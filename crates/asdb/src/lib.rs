@@ -1,0 +1,203 @@
+//! `asdb` — IP-to-AS mapping and AS-name handling.
+//!
+//! The paper's Table 1 (§3.3) associates each nameserver IP with its
+//! origin AS using Route Views BGP data, looks up the AS name, extracts
+//! the organization from the name string, and aggregates per organization.
+//! This crate provides those three building blocks:
+//!
+//! * [`Prefix`] / [`PrefixTable`] — a binary (unibit) trie with
+//!   longest-prefix matching over IPv4 and IPv6;
+//! * [`AsDb`] — routes + AS registry with [`AsDb::lookup`];
+//! * [`extract_org`] — organization extraction from AS-name strings such
+//!   as `"AMAZON-02 - Amazon.com, Inc., US"` → `"AMAZON"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod prefix;
+mod trie;
+
+pub use prefix::{Prefix, PrefixParseError};
+pub use trie::PrefixTable;
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// An Autonomous System number.
+pub type Asn = u32;
+
+/// Registry information about one AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsInfo {
+    /// AS number.
+    pub asn: Asn,
+    /// The registered AS name string, e.g. `"AMAZON-02 - Amazon.com, Inc., US"`.
+    pub name: String,
+    /// Organization extracted from the name, e.g. `"AMAZON"`.
+    pub org: String,
+}
+
+/// Routes plus AS registry: the data needed to go from an IP address to an
+/// organization name.
+#[derive(Debug, Default)]
+pub struct AsDb {
+    routes: PrefixTable<Asn>,
+    registry: HashMap<Asn, AsInfo>,
+}
+
+impl AsDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        AsDb::default()
+    }
+
+    /// Announce `prefix` as originated by `asn`. More-specific prefixes
+    /// win on lookup, mirroring BGP best-path semantics.
+    pub fn announce(&mut self, prefix: Prefix, asn: Asn) {
+        self.routes.insert(prefix, asn);
+    }
+
+    /// Register an AS with its name; the organization is derived with
+    /// [`extract_org`].
+    pub fn register_as(&mut self, asn: Asn, name: &str) {
+        let org = extract_org(name);
+        self.registry.insert(
+            asn,
+            AsInfo {
+                asn,
+                name: name.to_string(),
+                org,
+            },
+        );
+    }
+
+    /// Longest-prefix match: the originating AS for `addr`, if covered.
+    pub fn lookup_asn(&self, addr: IpAddr) -> Option<Asn> {
+        self.routes.lookup(addr).copied()
+    }
+
+    /// Full lookup: origin AS and its registry info.
+    ///
+    /// An announced-but-unregistered AS yields a synthesized
+    /// `AS<number>` record rather than `None`, matching how analysis
+    /// pipelines handle gaps in the AS-names dataset.
+    pub fn lookup(&self, addr: IpAddr) -> Option<AsInfo> {
+        let asn = self.lookup_asn(addr)?;
+        Some(self.registry.get(&asn).cloned().unwrap_or_else(|| AsInfo {
+            asn,
+            name: format!("AS{asn}"),
+            org: format!("AS{asn}"),
+        }))
+    }
+
+    /// Number of announced prefixes.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Number of registered ASes.
+    pub fn as_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Iterate over the registered ASes.
+    pub fn ases(&self) -> impl Iterator<Item = &AsInfo> {
+        self.registry.values()
+    }
+}
+
+/// Extract an organization name from an AS-name string.
+///
+/// Heuristics modeled on how Table 1 groups ASes:
+/// * take the part before the first `" - "` separator (or the whole
+///   string);
+/// * take the first comma-free token;
+/// * strip a trailing `-<digits>` ordinal (`AMAZON-02` → `AMAZON`);
+/// * uppercase the result.
+///
+/// Examples: `"AMAZON-02 - Amazon.com, Inc., US"` → `"AMAZON"`,
+/// `"CLOUDFLARENET - Cloudflare, Inc., US"` → `"CLOUDFLARENET"`,
+/// `"GOOGLE"` → `"GOOGLE"`.
+pub fn extract_org(as_name: &str) -> String {
+    let head = as_name.split(" - ").next().unwrap_or(as_name).trim();
+    let token = head
+        .split([',', ' '])
+        .find(|t| !t.is_empty())
+        .unwrap_or(head);
+    // Strip one trailing -NN ordinal.
+    let stripped = match token.rsplit_once('-') {
+        Some((left, right))
+            if !left.is_empty() && !right.is_empty() && right.chars().all(|c| c.is_ascii_digit()) =>
+        {
+            left
+        }
+        _ => token,
+    };
+    stripped.to_ascii_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn org_extraction() {
+        assert_eq!(extract_org("AMAZON-02 - Amazon.com, Inc., US"), "AMAZON");
+        assert_eq!(extract_org("AMAZON-AES - Amazon.com, Inc., US"), "AMAZON-AES");
+        assert_eq!(extract_org("CLOUDFLARENET - Cloudflare, Inc., US"), "CLOUDFLARENET");
+        assert_eq!(extract_org("GOOGLE"), "GOOGLE");
+        assert_eq!(extract_org("MICROSOFT-CORP-MSN-AS-BLOCK"), "MICROSOFT-CORP-MSN-AS-BLOCK");
+        assert_eq!(extract_org("VGRS-AC19 - VeriSign Global Registry"), "VGRS-AC19");
+        assert_eq!(extract_org("akamai-asn1"), "AKAMAI-ASN1");
+        assert_eq!(extract_org(""), "");
+        assert_eq!(extract_org("ULTRADNS-4"), "ULTRADNS");
+    }
+
+    #[test]
+    fn lookup_longest_prefix_wins() {
+        let mut db = AsDb::new();
+        db.announce("10.0.0.0/8".parse().unwrap(), 100);
+        db.announce("10.1.0.0/16".parse().unwrap(), 200);
+        db.register_as(100, "BIG-NET");
+        db.register_as(200, "SMALL-NET");
+        let a = db.lookup(IpAddr::V4(Ipv4Addr::new(10, 1, 2, 3))).unwrap();
+        assert_eq!(a.asn, 200);
+        assert_eq!(a.org, "SMALL-NET");
+        let b = db.lookup(IpAddr::V4(Ipv4Addr::new(10, 200, 0, 1))).unwrap();
+        assert_eq!(b.asn, 100);
+        assert!(db.lookup(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1))).is_none());
+    }
+
+    #[test]
+    fn unregistered_as_is_synthesized() {
+        let mut db = AsDb::new();
+        db.announce("203.0.113.0/24".parse().unwrap(), 64500);
+        let info = db
+            .lookup(IpAddr::V4(Ipv4Addr::new(203, 0, 113, 7)))
+            .unwrap();
+        assert_eq!(info.org, "AS64500");
+    }
+
+    #[test]
+    fn v6_lookup() {
+        let mut db = AsDb::new();
+        db.announce("2001:db8::/32".parse().unwrap(), 64501);
+        db.register_as(64501, "SIXNET - v6 networks");
+        let info = db.lookup("2001:db8::1".parse().unwrap()).unwrap();
+        assert_eq!(info.org, "SIXNET");
+        assert!(db.lookup("2600::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn counts() {
+        let mut db = AsDb::new();
+        assert_eq!(db.route_count(), 0);
+        db.announce("192.0.2.0/24".parse().unwrap(), 1);
+        db.announce("198.51.100.0/24".parse().unwrap(), 2);
+        db.register_as(1, "ONE");
+        assert_eq!(db.route_count(), 2);
+        assert_eq!(db.as_count(), 1);
+        assert_eq!(db.ases().count(), 1);
+    }
+}

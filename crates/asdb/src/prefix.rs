@@ -1,0 +1,189 @@
+//! CIDR prefixes over IPv4 and IPv6.
+
+use std::fmt;
+use std::net::IpAddr;
+use std::str::FromStr;
+
+/// A CIDR prefix: base address + mask length.
+///
+/// The base address is canonicalized (host bits zeroed) at construction,
+/// so `10.1.2.3/8` and `10.0.0.0/8` compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    addr: IpAddr,
+    len: u8,
+}
+
+/// Error parsing a prefix from `addr/len` notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// Missing `/` separator.
+    MissingSlash,
+    /// The address part did not parse.
+    BadAddress,
+    /// The length part did not parse or exceeded the family maximum.
+    BadLength,
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixParseError::MissingSlash => f.write_str("missing '/' in prefix"),
+            PrefixParseError::BadAddress => f.write_str("invalid address in prefix"),
+            PrefixParseError::BadLength => f.write_str("invalid prefix length"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl Prefix {
+    /// Build a prefix, canonicalizing the base address. Panics if `len`
+    /// exceeds the address family's bit width.
+    pub fn new(addr: IpAddr, len: u8) -> Prefix {
+        let max = Self::family_bits(addr);
+        assert!(len <= max, "prefix length {len} > {max}");
+        Prefix {
+            addr: mask_addr(addr, len),
+            len,
+        }
+    }
+
+    /// The canonical base address.
+    pub fn addr(&self) -> IpAddr {
+        self.addr
+    }
+
+    /// The mask length.
+    #[allow(clippy::len_without_is_empty)] // mask length, not a container
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Bit width of the prefix's address family (32 or 128).
+    pub fn family_bits(addr: IpAddr) -> u8 {
+        match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        }
+    }
+
+    /// True if `addr` (same family) falls inside this prefix.
+    pub fn contains(&self, addr: IpAddr) -> bool {
+        match (self.addr, addr) {
+            (IpAddr::V4(_), IpAddr::V4(_)) | (IpAddr::V6(_), IpAddr::V6(_)) => {
+                mask_addr(addr, self.len) == self.addr
+            }
+            _ => false,
+        }
+    }
+
+    /// The address as a big-endian u128 (IPv4 in the low 32 bits).
+    pub(crate) fn bits(&self) -> u128 {
+        addr_bits(self.addr)
+    }
+
+    /// True for IPv4 prefixes.
+    pub fn is_ipv4(&self) -> bool {
+        self.addr.is_ipv4()
+    }
+}
+
+/// Address as a big-endian u128 (IPv4 occupies the low 32 bits).
+pub(crate) fn addr_bits(addr: IpAddr) -> u128 {
+    match addr {
+        IpAddr::V4(v4) => u32::from(v4) as u128,
+        IpAddr::V6(v6) => u128::from(v6),
+    }
+}
+
+/// Zero the host bits of `addr` beyond `len`.
+fn mask_addr(addr: IpAddr, len: u8) -> IpAddr {
+    match addr {
+        IpAddr::V4(v4) => {
+            let bits = u32::from(v4);
+            let masked = if len == 0 {
+                0
+            } else {
+                bits & (u32::MAX << (32 - len as u32))
+            };
+            IpAddr::V4(masked.into())
+        }
+        IpAddr::V6(v6) => {
+            let bits = u128::from(v6);
+            let masked = if len == 0 {
+                0
+            } else {
+                bits & (u128::MAX << (128 - len as u32))
+            };
+            IpAddr::V6(masked.into())
+        }
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Prefix, PrefixParseError> {
+        let (addr, len) = s.split_once('/').ok_or(PrefixParseError::MissingSlash)?;
+        let addr: IpAddr = addr.parse().map_err(|_| PrefixParseError::BadAddress)?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError::BadLength)?;
+        if len > Prefix::family_bits(addr) {
+            return Err(PrefixParseError::BadLength);
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn parse_and_display() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        let p6: Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(p6.to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn canonicalization() {
+        let a: Prefix = "10.1.2.3/8".parse().unwrap();
+        let b: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn containment() {
+        let p: Prefix = "192.168.0.0/16".parse().unwrap();
+        assert!(p.contains("192.168.5.5".parse().unwrap()));
+        assert!(!p.contains("192.169.0.1".parse().unwrap()));
+        assert!(!p.contains("2001:db8::1".parse().unwrap()));
+        let all: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(all.contains(IpAddr::V4(Ipv4Addr::new(255, 255, 255, 255))));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(PrefixParseError::MissingSlash));
+        assert_eq!("bogus/8".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
+        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!("::/129".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!("10.0.0.0/x".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+    }
+
+    #[test]
+    fn zero_length_prefix() {
+        let p: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(p.len(), 0);
+        assert!(p.contains("1.2.3.4".parse().unwrap()));
+    }
+}

@@ -1,0 +1,264 @@
+//! A unibit trie with longest-prefix matching.
+//!
+//! One trie per address family; nodes live in a slab (`Vec`) and refer to
+//! children by index, avoiding both `Box` chasing and unsafe code. Lookup
+//! walks at most 32/128 nodes.
+
+use crate::prefix::{addr_bits, Prefix};
+use std::net::IpAddr;
+
+type Idx = u32;
+
+const NIL: Idx = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: [Idx; 2],
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node {
+            children: [NIL, NIL],
+            value: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FamilyTrie<T> {
+    nodes: Vec<Node<T>>,
+    bits: u8,
+    len: usize,
+}
+
+impl<T> FamilyTrie<T> {
+    fn new(bits: u8) -> Self {
+        FamilyTrie {
+            nodes: vec![Node::new()],
+            bits,
+            len: 0,
+        }
+    }
+
+    /// Bit `i` (0 = most significant of the prefix) of `key`.
+    #[inline]
+    fn bit(&self, key: u128, i: u8) -> usize {
+        ((key >> (self.bits - 1 - i)) & 1) as usize
+    }
+
+    fn insert(&mut self, key: u128, plen: u8, value: T) -> Option<T> {
+        let mut node = 0usize;
+        for i in 0..plen {
+            let b = self.bit(key, i);
+            let next = self.nodes[node].children[b];
+            let next = if next == NIL {
+                self.nodes.push(Node::new());
+                let idx = (self.nodes.len() - 1) as Idx;
+                self.nodes[node].children[b] = idx;
+                idx
+            } else {
+                next
+            };
+            node = next as usize;
+        }
+        let old = self.nodes[node].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn lookup(&self, key: u128) -> Option<&T> {
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for i in 0..self.bits {
+            let b = self.bit(key, i);
+            let next = self.nodes[node].children[b];
+            if next == NIL {
+                break;
+            }
+            node = next as usize;
+            if let Some(v) = self.nodes[node].value.as_ref() {
+                best = Some(v);
+            }
+        }
+        best
+    }
+
+    fn get_exact(&self, key: u128, plen: u8) -> Option<&T> {
+        let mut node = 0usize;
+        for i in 0..plen {
+            let b = self.bit(key, i);
+            let next = self.nodes[node].children[b];
+            if next == NIL {
+                return None;
+            }
+            node = next as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+}
+
+/// Longest-prefix-match table over both IPv4 and IPv6 prefixes.
+#[derive(Debug, Clone)]
+pub struct PrefixTable<T> {
+    v4: FamilyTrie<T>,
+    v6: FamilyTrie<T>,
+}
+
+impl<T> Default for PrefixTable<T> {
+    fn default() -> Self {
+        PrefixTable::new()
+    }
+}
+
+impl<T> PrefixTable<T> {
+    /// Empty table.
+    pub fn new() -> Self {
+        PrefixTable {
+            v4: FamilyTrie::new(32),
+            v6: FamilyTrie::new(128),
+        }
+    }
+
+    /// Insert `prefix → value`; returns the previous value for an exact
+    /// duplicate prefix.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let key = prefix.bits();
+        if prefix.is_ipv4() {
+            self.v4.insert(key, prefix.len(), value)
+        } else {
+            self.v6.insert(key, prefix.len(), value)
+        }
+    }
+
+    /// Longest-prefix match for `addr`.
+    pub fn lookup(&self, addr: IpAddr) -> Option<&T> {
+        let key = addr_bits(addr);
+        match addr {
+            IpAddr::V4(_) => self.v4.lookup(key),
+            IpAddr::V6(_) => self.v6.lookup(key),
+        }
+    }
+
+    /// Exact-prefix fetch (no LPM).
+    pub fn get(&self, prefix: &Prefix) -> Option<&T> {
+        let key = prefix.bits();
+        if prefix.is_ipv4() {
+            self.v4.get_exact(key, prefix.len())
+        } else {
+            self.v6.get_exact(key, prefix.len())
+        }
+    }
+
+    /// Number of stored prefixes (both families).
+    pub fn len(&self) -> usize {
+        self.v4.len + self.v6.len
+    }
+
+    /// True when no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.lookup("10.1.2.3".parse().unwrap()), Some(&"twentyfour"));
+        assert_eq!(t.lookup("10.1.9.9".parse().unwrap()), Some(&"sixteen"));
+        assert_eq!(t.lookup("10.9.9.9".parse().unwrap()), Some(&"eight"));
+        assert_eq!(t.lookup("11.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = PrefixTable::new();
+        t.insert(p("0.0.0.0/0"), 1);
+        t.insert(p("192.0.2.0/24"), 2);
+        assert_eq!(t.lookup("8.8.8.8".parse().unwrap()), Some(&1));
+        assert_eq!(t.lookup("192.0.2.9".parse().unwrap()), Some(&2));
+        // v6 default is separate.
+        assert_eq!(t.lookup("::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces() {
+        let mut t = PrefixTable::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("10.0.0.1".parse().unwrap()), Some(&2));
+    }
+
+    #[test]
+    fn exact_get() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&1));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.get(&p("10.0.0.0/7")), None);
+    }
+
+    #[test]
+    fn v6_lpm() {
+        let mut t = PrefixTable::new();
+        t.insert(p("2001:db8::/32"), "doc");
+        t.insert(p("2001:db8:1::/48"), "sub");
+        assert_eq!(t.lookup("2001:db8:1::5".parse().unwrap()), Some(&"sub"));
+        assert_eq!(t.lookup("2001:db8:2::5".parse().unwrap()), Some(&"doc"));
+        assert_eq!(t.lookup("2001:db9::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTable::new();
+        t.insert(p("192.0.2.53/32"), "host");
+        t.insert(p("192.0.2.0/24"), "net");
+        assert_eq!(t.lookup("192.0.2.53".parse().unwrap()), Some(&"host"));
+        assert_eq!(t.lookup("192.0.2.54".parse().unwrap()), Some(&"net"));
+    }
+
+    #[test]
+    fn matches_naive_scan() {
+        // Cross-check LPM against a brute-force scan over random data.
+        use std::net::Ipv4Addr;
+        let mut t = PrefixTable::new();
+        let mut list: Vec<(Prefix, u32)> = Vec::new();
+        let mut seed = 0x12345678u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for i in 0..500u32 {
+            let addr = Ipv4Addr::from(next());
+            let len = (next() % 25 + 8) as u8;
+            let pre = Prefix::new(IpAddr::V4(addr), len);
+            t.insert(pre, i);
+            list.retain(|(q, _)| *q != pre);
+            list.push((pre, i));
+        }
+        for _ in 0..2000 {
+            let addr = IpAddr::V4(Ipv4Addr::from(next()));
+            let expected = list
+                .iter()
+                .filter(|(q, _)| q.contains(addr))
+                .max_by_key(|(q, _)| q.len())
+                .map(|(_, v)| *v);
+            assert_eq!(t.lookup(addr).copied(), expected, "addr {addr}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests: the LPM trie must agree with a naive
+//! longest-prefix scan on arbitrary route tables, for both families.
+
+use asdb::{AsDb, Prefix, PrefixTable};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(addr)), len))
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=64).prop_map(|(addr, len)| Prefix::new(IpAddr::V6(Ipv6Addr::from(addr)), len))
+}
+
+fn naive_lookup(routes: &[(Prefix, u32)], addr: IpAddr) -> Option<u32> {
+    routes
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|&(_, v)| v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trie_matches_naive_scan_v4(
+        prefixes in prop::collection::vec(arb_v4_prefix(), 1..60),
+        probes in prop::collection::vec(any::<u32>(), 1..100),
+    ) {
+        let mut table = PrefixTable::new();
+        let mut routes: Vec<(Prefix, u32)> = Vec::new();
+        for (i, p) in prefixes.into_iter().enumerate() {
+            table.insert(p, i as u32);
+            routes.retain(|(q, _)| *q != p); // duplicates replace
+            routes.push((p, i as u32));
+        }
+        for probe in probes {
+            let addr = IpAddr::V4(Ipv4Addr::from(probe));
+            prop_assert_eq!(table.lookup(addr).copied(), naive_lookup(&routes, addr));
+        }
+    }
+
+    #[test]
+    fn trie_matches_naive_scan_v6(
+        prefixes in prop::collection::vec(arb_v6_prefix(), 1..40),
+        probes in prop::collection::vec(any::<u128>(), 1..60),
+    ) {
+        let mut table = PrefixTable::new();
+        let mut routes: Vec<(Prefix, u32)> = Vec::new();
+        for (i, p) in prefixes.into_iter().enumerate() {
+            table.insert(p, i as u32);
+            routes.retain(|(q, _)| *q != p);
+            routes.push((p, i as u32));
+        }
+        for probe in probes {
+            let addr = IpAddr::V6(Ipv6Addr::from(probe));
+            prop_assert_eq!(table.lookup(addr).copied(), naive_lookup(&routes, addr));
+        }
+    }
+
+    /// A covered address always resolves to an announced AS, and every
+    /// /32 host route wins over any broader covering prefix.
+    #[test]
+    fn host_routes_always_win(base in any::<u32>(), wide_len in 8u8..=24) {
+        let host = Ipv4Addr::from(base);
+        let mut db = AsDb::new();
+        db.announce(Prefix::new(IpAddr::V4(host), wide_len), 100);
+        db.announce(Prefix::new(IpAddr::V4(host), 32), 200);
+        db.register_as(100, "WIDE");
+        db.register_as(200, "HOST");
+        let hit = db.lookup(IpAddr::V4(host)).unwrap();
+        prop_assert_eq!(hit.asn, 200);
+    }
+
+    /// Prefix parse/display round-trips.
+    #[test]
+    fn prefix_roundtrip(p in arb_v4_prefix()) {
+        let text = p.to_string();
+        let back: Prefix = text.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Organization extraction never panics and produces uppercase ASCII.
+    #[test]
+    fn extract_org_total(s in "\\PC{0,40}") {
+        let org = asdb::extract_org(&s);
+        prop_assert!(org.chars().all(|c| !c.is_ascii_lowercase()));
+    }
+}

@@ -1,0 +1,155 @@
+//! One Criterion benchmark per paper table/figure: each bench runs the
+//! corresponding analysis over a pre-collected miniature dataset, so
+//! `cargo bench` exercises every reproduction code path and reports its
+//! cost. The full-scale regenerators are the `expt-*` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dns_observatory::analysis::{
+    asn, delays, distribution, happy, hilbert, qmin, represent, ttl,
+};
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig, TimeSeriesStore};
+use simnet::{Scenario, ScenarioEvent, ScenarioKind, SimConfig, Simulation};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+struct Fixture {
+    store: TimeSeriesStore,
+    records: Vec<represent::ReprRecord>,
+    servers: HashSet<std::net::IpAddr>,
+    pool: Vec<std::net::IpAddr>,
+    asdb: asdb::AsDb,
+    total: u64,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = Scenario::from_events([
+            ScenarioEvent { at: 0.0, domain: 5, kind: ScenarioKind::SetATtl(120) },
+            ScenarioEvent { at: 10.0, domain: 5, kind: ScenarioKind::SetATtl(10) },
+        ]);
+        let mut sim = Simulation::new(SimConfig::small(), scenario);
+        let mut obs = Observatory::new(ObservatoryConfig {
+            datasets: vec![
+                (Dataset::SrvIp, 5_000),
+                (Dataset::Qname, 5_000),
+                (Dataset::Esld, 5_000),
+                (Dataset::Qtype, 64),
+                (Dataset::SrcSrv, 10_000),
+                (Dataset::AaFqdn, 5_000),
+            ],
+            window_secs: 5.0,
+            ..ObservatoryConfig::default()
+        });
+        let mut records = Vec::new();
+        let mut servers = HashSet::new();
+        sim.run(20.0, &mut |tx| {
+            obs.ingest(tx);
+            servers.insert(tx.nameserver);
+            records.push(represent::ReprRecord {
+                time: tx.time,
+                resolver: tx.resolver,
+                nameserver: tx.nameserver,
+                tld: None,
+            });
+        });
+        let total = obs.ingested();
+        let pool = (0..sim.world().plan.resolver_count())
+            .map(|r| sim.world().plan.resolver_ip(r))
+            .collect();
+        Fixture {
+            store: obs.finish(),
+            records,
+            servers,
+            pool,
+            asdb: sim.world().plan.build_asdb(),
+            total,
+        }
+    })
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let f = fixture();
+    let srvip = f.store.cumulative(Dataset::SrvIp);
+    let qname = f.store.cumulative(Dataset::Qname);
+    let qtype = f.store.cumulative(Dataset::Qtype);
+    let srcsrv = f.store.cumulative(Dataset::SrcSrv);
+
+    let mut g = c.benchmark_group("paper_experiments");
+    g.sample_size(10);
+
+    g.bench_function("fig2_traffic_distribution", |b| {
+        b.iter(|| {
+            let d = distribution::traffic_distribution(black_box(&srvip));
+            black_box(d.curves[0].rank_for_share(0.5))
+        })
+    });
+    g.bench_function("table1_org_aggregation", |b| {
+        b.iter(|| black_box(asn::org_table(&srvip, &f.asdb, f.total).len()))
+    });
+    g.bench_function("table2_qtype_table", |b| {
+        b.iter(|| black_box(dns_observatory::analysis::qtypes::qtype_table(&qtype).len()))
+    });
+    g.bench_function("fig3_delay_analysis", |b| {
+        b.iter(|| {
+            let d = delays::server_delays(&srvip);
+            let cdf = delays::delay_cdf(&d);
+            let groups = delays::delay_by_rank(&d, 100);
+            black_box((cdf.regime_shares(), groups.len()))
+        })
+    });
+    g.bench_function("table3_qmin_classify", |b| {
+        b.iter(|| {
+            let v = qmin::classify(
+                &srcsrv,
+                &qmin::QminConfig {
+                    level_of: qmin::sim_level_of,
+                    lenient_tld: false,
+                },
+            );
+            black_box(qmin::summarize(&v))
+        })
+    });
+    g.bench_function("fig4_representativeness", |b| {
+        b.iter(|| {
+            black_box(represent::sample_curves(
+                &f.records,
+                &f.pool,
+                &[0.2, 1.0],
+                2,
+                100,
+                7,
+            ))
+        })
+    });
+    g.bench_function("fig5_servers_over_time", |b| {
+        b.iter(|| black_box(represent::nameservers_over_time(&f.records, 5.0).len()))
+    });
+    g.bench_function("fig6_hilbert_heatmap", |b| {
+        b.iter(|| black_box(hilbert::heatmap_of(f.servers.iter().copied(), 8).occupied()))
+    });
+    g.bench_function("fig7_key_series", |b| {
+        let windows = f.store.dataset(Dataset::Esld);
+        let key = &windows[0].rows.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        b.iter(|| black_box(ttl::key_series(&windows, key).len()))
+    });
+    g.bench_function("fig8_ttl_traffic_changes", |b| {
+        let windows = f.store.dataset(Dataset::Esld);
+        let mid = windows.len() / 2;
+        b.iter(|| black_box(ttl::ttl_traffic_changes(&windows[..mid], &windows[mid..]).len()))
+    });
+    g.bench_function("table4_change_detection", |b| {
+        let windows = f.store.dataset(Dataset::AaFqdn);
+        b.iter(|| black_box(ttl::detect_changes(&windows).len()))
+    });
+    g.bench_function("fig9_happy_eyeballs", |b| {
+        b.iter(|| {
+            let rows = happy::happy_rows(&qname, 200);
+            black_box(happy::quotient_share_correlation(&rows))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Micro-benchmarks for the sketch substrate: the per-transaction cost of
+//! everything the tracker touches on the hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sketches::{hash::xxh64, BloomFilter, HyperLogLog, LogHistogram, SpaceSaving, TopValues};
+
+fn keys(n: usize) -> Vec<String> {
+    // Zipf-ish key stream: repeated hot keys plus a cold tail.
+    (0..n)
+        .map(|i| {
+            let k = if i % 3 == 0 { i % 50 } else { i % 5_000 };
+            format!("key-{k}")
+        })
+        .collect()
+}
+
+fn bench_spacesaving(c: &mut Criterion) {
+    let stream = keys(100_000);
+    let mut group = c.benchmark_group("space_saving");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("observe_100k_k1000", |b| {
+        b.iter(|| {
+            let mut ss: SpaceSaving<String, u32> = SpaceSaving::new(1_000, 60.0);
+            for (i, k) in stream.iter().enumerate() {
+                *ss.observe(k, i as f64 * 1e-4) += 1;
+            }
+            black_box(ss.len())
+        })
+    });
+    group.bench_function("iter_desc_k1000", |b| {
+        let mut ss: SpaceSaving<String, u32> = SpaceSaving::new(1_000, 60.0);
+        for (i, k) in stream.iter().enumerate() {
+            ss.observe(k, i as f64 * 1e-4);
+        }
+        b.iter(|| black_box(ss.iter_desc().len()))
+    });
+    group.finish();
+}
+
+fn bench_hll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperloglog");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("insert_10k_p7", |b| {
+        b.iter(|| {
+            let mut h = HyperLogLog::new(7);
+            for i in 0u64..10_000 {
+                h.insert(&i.to_le_bytes());
+            }
+            black_box(h.count())
+        })
+    });
+    group.bench_function("estimate_p12", |b| {
+        let mut h = HyperLogLog::new(12);
+        for i in 0u64..100_000 {
+            h.insert(&i.to_le_bytes());
+        }
+        b.iter(|| black_box(h.estimate()))
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("check_and_insert_10k", |b| {
+        b.iter(|| {
+            let mut bf = BloomFilter::new(50_000, 0.02);
+            let mut hits = 0u32;
+            for i in 0u64..10_000 {
+                if bf.check_and_insert(&(i % 4_000).to_le_bytes()) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_histogram");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("record_10k_and_quartiles", |b| {
+        b.iter(|| {
+            let mut h = LogHistogram::for_delays_ms();
+            for i in 0..10_000 {
+                h.record(0.5 + (i % 700) as f64);
+            }
+            black_box(h.quartiles())
+        })
+    });
+    group.finish();
+}
+
+fn bench_topvalues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("top_values");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("record_10k_8slots", |b| {
+        b.iter(|| {
+            let mut t = TopValues::new(8);
+            for i in 0u64..10_000 {
+                t.record([60, 300, 3_600, 86_400][i as usize % 4] + (i % 13) / 12);
+            }
+            black_box(t.top())
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0xabu8; 64];
+    let mut group = c.benchmark_group("xxh64");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("hash_64B", |b| b.iter(|| black_box(xxh64(&data, 0))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spacesaving,
+    bench_hll,
+    bench_bloom,
+    bench_histogram,
+    bench_topvalues,
+    bench_hash
+);
+criterion_main!(benches);

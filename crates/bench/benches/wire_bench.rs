@@ -1,0 +1,129 @@
+//! Micro-benchmarks for the DNS wire format: parse/build costs per
+//! message, which bound the summarization stage's raw-packet path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnswire::{ip, Message, Name, RData, Rcode, Record, RecordType, Soa};
+use std::net::Ipv4Addr;
+
+fn sample_response() -> Message {
+    let query = Message::query(
+        0x1234,
+        Name::from_ascii("www.example.com").unwrap(),
+        RecordType::A,
+    );
+    let mut resp = Message::response_to(&query, Rcode::NoError);
+    resp.header.aa = true;
+    for k in 0..2u8 {
+        resp.answers.push(Record::new(
+            Name::from_ascii("www.example.com").unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(203, 0, 113, k)),
+        ));
+    }
+    for j in 1..=2u8 {
+        resp.authorities.push(Record::new(
+            Name::from_ascii("example.com").unwrap(),
+            86_400,
+            RData::Ns(Name::from_ascii(&format!("ns{j}.example.com")).unwrap()),
+        ));
+    }
+    resp.additionals.push(Record::new(
+        Name::from_ascii("ns1.example.com").unwrap(),
+        86_400,
+        RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+    ));
+    resp
+}
+
+fn nxdomain_response() -> Message {
+    let query = Message::query(
+        9,
+        Name::from_ascii("missing.example.com").unwrap(),
+        RecordType::Aaaa,
+    );
+    let mut resp = Message::response_to(&query, Rcode::NxDomain);
+    resp.authorities.push(Record::new(
+        Name::from_ascii("example.com").unwrap(),
+        300,
+        RData::Soa(Soa {
+            mname: Name::from_ascii("ns1.example.com").unwrap(),
+            rname: Name::from_ascii("hostmaster.example.com").unwrap(),
+            serial: 1,
+            refresh: 7_200,
+            retry: 900,
+            expire: 1_209_600,
+            minimum: 300,
+        }),
+    ));
+    resp
+}
+
+fn bench_message(c: &mut Criterion) {
+    let resp = sample_response();
+    let wire = resp.to_bytes().unwrap();
+    let nxd_wire = nxdomain_response().to_bytes().unwrap();
+
+    let mut group = c.benchmark_group("message");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("parse_referral_response", |b| {
+        b.iter(|| black_box(Message::parse(&wire).unwrap()))
+    });
+    group.bench_function("parse_nxdomain_soa", |b| {
+        b.iter(|| black_box(Message::parse(&nxd_wire).unwrap()))
+    });
+    group.bench_function("build_with_compression", |b| {
+        b.iter(|| black_box(resp.to_bytes().unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_name(c: &mut Criterion) {
+    // A message with heavy pointer use: parse the last name.
+    let resp = sample_response();
+    let wire = resp.to_bytes().unwrap();
+    let mut group = c.benchmark_group("name");
+    group.bench_function("from_ascii", |b| {
+        b.iter(|| black_box(Name::from_ascii("static.cdn.some-site.example.org").unwrap()))
+    });
+    group.bench_function("parse_compressed_message", |b| {
+        b.iter(|| {
+            // Parsing the full message exercises every compressed name.
+            black_box(Message::parse(&wire).unwrap().answers.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let resp = sample_response();
+    let payload = resp.to_bytes().unwrap();
+    let pkt = ip::build_udp_packet(
+        "100.64.0.1".parse().unwrap(),
+        "40.0.0.53".parse().unwrap(),
+        43_210,
+        53,
+        57,
+        &payload,
+    );
+    let mut group = c.benchmark_group("ip_udp");
+    group.throughput(Throughput::Bytes(pkt.len() as u64));
+    group.bench_function("parse_udp_packet", |b| {
+        b.iter(|| black_box(ip::parse_udp_packet(&pkt).unwrap()))
+    });
+    group.bench_function("build_udp_packet", |b| {
+        b.iter(|| {
+            black_box(ip::build_udp_packet(
+                "100.64.0.1".parse().unwrap(),
+                "40.0.0.53".parse().unwrap(),
+                43_210,
+                53,
+                57,
+                &payload,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_message, bench_name, bench_packets);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Figure 3 — response delays and hop counts.
+//!
+//! Paper shapes to reproduce:
+//! * (a) four delay regimes over the nameserver population: ~3 % at
+//!   0–5 ms, ~22 % at 5–35 ms, ~72 % at 35–350 ms, ~2 % above;
+//! * (b) the most popular nameservers respond faster and sit fewer hops
+//!   away (delay grows with rank);
+//! * (c) root letters: E, F, L fastest (most anycast mirrors);
+//! * (d) gTLD letters: tight cluster, B fastest.
+
+use bench::{bar, header, pct, run_observatory};
+use dns_observatory::analysis::delays::{
+    constellation, delay_by_rank, delay_cdf, gtld_letter_of, root_letter_of, server_delays, slope,
+};
+use dns_observatory::Dataset;
+use simnet::Scenario;
+
+fn main() {
+    let out = run_observatory(
+        bench::experiment_sim(),
+        Scenario::new(),
+        vec![(Dataset::SrvIp, 50_000)],
+        30.0,
+        240.0,
+    );
+    let rows = out.store.cumulative(Dataset::SrvIp);
+    let delays = server_delays(&rows);
+
+    header("a) distribution of median response delays over nameservers");
+    let cdf = delay_cdf(&delays);
+    let regimes = cdf.regime_shares();
+    for (label, share) in [
+        ("0-5 ms   (colocated)", regimes[0]),
+        ("5-35 ms  (regional) ", regimes[1]),
+        ("35-350 ms (distant) ", regimes[2]),
+        (">350 ms (impaired)  ", regimes[3]),
+    ] {
+        println!("  {label}: {:>6} {}", pct(share), bar(share, 1.0, 40));
+    }
+
+    header("b) delay and hops vs popularity rank (groups of 100)");
+    let groups = delay_by_rank(&delays, 100);
+    for g in groups.iter().take(10) {
+        println!(
+            "  ranks {:>5}+: delay {:>6.1} ms, hops {:>4.1}",
+            g.rank_start, g.mean_delay, g.mean_hops
+        );
+    }
+    let delay_slope = slope(&groups, |g| g.mean_delay);
+    let hops_slope = slope(&groups, |g| g.mean_hops);
+    println!(
+        "  -> slope of delay vs rank-group: {delay_slope:+.3} ms/group, hops: {hops_slope:+.4}/group \
+         (both positive = popular servers are faster & closer)"
+    );
+
+    header("c) root letters A-M (median delay / hops / traffic share)");
+    for l in constellation(&rows, root_letter_of) {
+        println!(
+            "  {}: {:>6.1} ms [{:>5.1}..{:>6.1}]  hops {:>4.1}  share {:>6}  {}",
+            l.letter,
+            l.median,
+            l.q25,
+            l.q75,
+            l.hops,
+            pct(l.share),
+            bar(l.median, 150.0, 30)
+        );
+    }
+
+    header("d) gTLD letters A-M");
+    for l in constellation(&rows, gtld_letter_of) {
+        println!(
+            "  {}: {:>6.1} ms [{:>5.1}..{:>6.1}]  hops {:>4.1}  share {:>6}  {}",
+            l.letter,
+            l.median,
+            l.q25,
+            l.q75,
+            l.hops,
+            pct(l.share),
+            bar(l.median, 60.0, 30)
+        );
+    }
+
+    // Root/gTLD traffic shares and NXD rates (§3.5's totals).
+    header("hierarchy totals");
+    let total_hits: u64 = rows.iter().map(|(_, r)| r.hits).sum();
+    let stats = |name: &str, select: &dyn Fn(std::net::IpAddr) -> bool| {
+        let (hits, nxd): (u64, u64) = rows
+            .iter()
+            .filter(|(k, _)| k.parse().map(select).unwrap_or(false))
+            .fold((0, 0), |(h, n), (_, r)| (h + r.hits, n + r.nxd));
+        println!(
+            "  {name}: {} of captured traffic, {} NXDOMAIN",
+            pct(hits as f64 / total_hits as f64),
+            pct(nxd as f64 / hits.max(1) as f64)
+        );
+    };
+    stats("root letters", &|ip| root_letter_of(ip).is_some());
+    stats("gTLD letters", &|ip| gtld_letter_of(ip).is_some());
+}

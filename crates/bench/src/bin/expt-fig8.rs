@@ -1,0 +1,141 @@
+//! Figure 8 — correlating TTL changes with query-volume changes for the
+//! top SLDs by traffic change.
+//!
+//! Paper shapes to reproduce: TTL decreases mostly increase traffic
+//! (near-inverse relation); TTL *increases* split — some domains still
+//! gained traffic, and most of those gained only *queries*, not
+//! responses (NXDOMAIN floods) — the paper found 28 of 34 such cases.
+
+use bench::{header, scale};
+use dns_observatory::analysis::ttl::ttl_traffic_changes;
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig};
+use simnet::{ScanFlood, Scenario, ScenarioEvent, ScenarioKind, Simulation};
+
+fn main() {
+    let duration = 600.0 * scale();
+    let change_at = duration / 2.0;
+
+    let mut scenario = Scenario::new();
+    let mut decreased = Vec::new();
+    let mut increased_clean = Vec::new();
+    let mut increased_flooded = Vec::new();
+    // 20 TTL cuts, 12 clean raises, 8 raises masked by scan floods.
+    for i in 0..40u64 {
+        let domain = 10 + i;
+        scenario.push(ScenarioEvent {
+            at: 0.0,
+            domain,
+            kind: ScenarioKind::SetATtl(120),
+        });
+        if i < 20 {
+            scenario.push(ScenarioEvent {
+                at: change_at,
+                domain,
+                kind: ScenarioKind::SetATtl(10),
+            });
+            decreased.push(domain);
+        } else {
+            scenario.push(ScenarioEvent {
+                at: change_at,
+                domain,
+                kind: ScenarioKind::SetATtl(1_800),
+            });
+            if i < 32 {
+                increased_clean.push(domain);
+            } else {
+                scenario.push_flood(ScanFlood {
+                    domain,
+                    start: change_at,
+                    end: duration,
+                    rate: 60.0,
+                });
+                increased_flooded.push(domain);
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(bench::experiment_sim(), scenario);
+    let name_of = |sim: &Simulation, id: u64| sim.world().domains.props(id).esld.to_ascii();
+    let window = duration / 10.0;
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets: vec![(Dataset::Esld, 30_000)],
+        window_secs: window,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(duration, &mut |tx| obs.ingest(tx));
+    let store = obs.finish();
+
+    let windows = store.dataset(Dataset::Esld);
+    let before: Vec<_> = windows
+        .iter()
+        .filter(|w| w.start + w.length <= change_at && w.start > 0.0)
+        .copied()
+        .collect();
+    let after: Vec<_> = windows
+        .iter()
+        .filter(|w| w.start >= change_at + window)
+        .copied()
+        .collect();
+    let changes = ttl_traffic_changes(&before, &after);
+
+    header("top TTL-changed SLDs by traffic change (scatter of Fig. 8)");
+    println!(
+        "{:<20}{:>10}{:>10}{:>12}{:>12}  note",
+        "esld", "ttl", "ttl'", "Δtraffic", "Δresponses"
+    );
+    for c in changes.iter().take(30) {
+        let note = if c.query_only_increase() {
+            "query-only (flood)"
+        } else {
+            ""
+        };
+        println!(
+            "{:<20}{:>10}{:>10}{:>11.0}%{:>11.0}%  {note}",
+            c.key,
+            c.ttl_before,
+            c.ttl_after,
+            c.traffic_change() * 100.0,
+            if c.ok_before > 0.0 {
+                (c.ok_after / c.ok_before - 1.0) * 100.0
+            } else {
+                0.0
+            },
+        );
+    }
+
+    // Quadrant counts, as in the paper's reading of the figure.
+    let mut dec_up = 0;
+    let mut dec_down = 0;
+    let mut inc_up = 0;
+    let mut inc_down = 0;
+    let mut inc_up_query_only = 0;
+    for c in &changes {
+        let up = c.traffic_change() > 0.0;
+        if c.ttl_log_ratio() < 0.0 {
+            if up {
+                dec_up += 1;
+            } else {
+                dec_down += 1;
+            }
+        } else if up {
+            inc_up += 1;
+            if c.query_only_increase() {
+                inc_up_query_only += 1;
+            }
+        } else {
+            inc_down += 1;
+        }
+    }
+    header("quadrants");
+    println!("  TTL decrease -> traffic UP:   {dec_up} (expected: majority of decreases)");
+    println!("  TTL decrease -> traffic down: {dec_down}");
+    println!("  TTL increase -> traffic down: {inc_down}");
+    println!("  TTL increase -> traffic UP:   {inc_up}, of which query-only: {inc_up_query_only}");
+    println!(
+        "\nscheduled ground truth: {} cuts, {} clean raises, {} flood-masked raises",
+        decreased.len(),
+        increased_clean.len(),
+        increased_flooded.len()
+    );
+    let _ = name_of;
+}

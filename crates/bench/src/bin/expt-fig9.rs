@@ -1,0 +1,71 @@
+//! Figure 9 — negative-caching TTLs vs the share of empty AAAA responses
+//! for the top FQDNs by traffic (paper §5.2).
+//!
+//! Paper shapes to reproduce: several FQDNs in the top 200 with >70 % of
+//! all their responses being empty AAAA, each with an A-TTL ≫
+//! negative-caching-TTL quotient; domains with quotient ≈1 stay low.
+
+use bench::{bar, header, pct, run_observatory};
+use dns_observatory::analysis::happy::{happy_rows, quotient_share_correlation};
+use dns_observatory::Dataset;
+use simnet::Scenario;
+
+fn main() {
+    let out = run_observatory(
+        bench::experiment_sim(),
+        Scenario::new(),
+        vec![(Dataset::Qname, 50_000)],
+        60.0,
+        300.0,
+    );
+    let rows = out.store.cumulative(Dataset::Qname);
+    let happy = happy_rows(&rows, 200);
+
+    header("top-200 FQDNs: empty-AAAA share vs A-TTL/negTTL quotient");
+    println!(
+        "{:>5} {:<28}{:>8}{:>8}{:>9}{:>10}  share",
+        "rank", "fqdn", "A-TTL", "negTTL", "quotient", "empty%"
+    );
+    for r in happy.iter().filter(|r| r.empty_aaaa_share > 0.3) {
+        println!(
+            "{:>5} {:<28}{:>8}{:>8}{:>9.1}{:>9.0}%  {}",
+            r.rank,
+            r.key,
+            r.a_ttl.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            r.neg_ttl.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            r.ttl_quotient().unwrap_or(f64::NAN),
+            r.empty_aaaa_share * 100.0,
+            bar(r.empty_aaaa_share, 1.0, 30)
+        );
+    }
+
+    let pathological = happy.iter().filter(|r| r.empty_aaaa_share > 0.7).count();
+    let moderate = happy.iter().filter(|r| r.empty_aaaa_share > 0.3).count();
+    println!(
+        "\n{} of the top 200 FQDNs have >70% empty responses; {} have >30% \
+         (paper: 5 FQDNs above 70%, up to 94%)",
+        pathological, moderate
+    );
+
+    if let Some(corr) = quotient_share_correlation(&happy) {
+        println!(
+            "correlation of ln(A-TTL/negTTL) with empty-AAAA share: {corr:.2} \
+             (paper: larger quotient -> more empty responses)"
+        );
+    }
+
+    // Control group: domains whose negative TTL >= A TTL stay quiet.
+    let quiet: Vec<&_> = happy
+        .iter()
+        .filter(|r| r.ttl_quotient().map(|q| q <= 1.0).unwrap_or(false))
+        .collect();
+    if !quiet.is_empty() {
+        let mean_share =
+            quiet.iter().map(|r| r.empty_aaaa_share).sum::<f64>() / quiet.len() as f64;
+        println!(
+            "control: {} FQDNs with quotient <= 1 average only {} empty responses",
+            quiet.len(),
+            pct(mean_share)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! §5.4 — the paper's three proposed remedies for the Happy-Eyeballs /
+//! negative-caching problem, implemented and measured head to head:
+//!
+//! 1. a joint A+AAAA query type (one transaction per dual-stack lookup);
+//! 2. split negative-caching semantics (NoData TTL aligned with the A
+//!    TTL, NXDOMAIN keeps the short SOA minimum);
+//! 3. simply raising the negative TTL to match the A TTL (per-domain
+//!    configuration, no protocol change).
+//!
+//! For each variant we report total cache-miss transactions and the
+//! share of empty AAAA responses — the two costs §5 quantifies.
+
+use bench::{header, pct, scale};
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig, TxSummary};
+use psl::Psl;
+use simnet::{Scenario, ScenarioEvent, ScenarioKind, SimConfig, Simulation};
+
+struct Outcome {
+    label: &'static str,
+    transactions: u64,
+    aaaa_nodata: u64,
+    web_answers: u64,
+}
+
+fn run(label: &'static str, cfg: SimConfig, scenario: Scenario) -> Outcome {
+    let psl = Psl::embedded();
+    let mut sim = Simulation::new(cfg, scenario);
+    sim.run(30.0 * scale(), &mut |_| {}); // warm caches
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets: vec![(Dataset::Qtype, 64)],
+        window_secs: 30.0,
+        ..ObservatoryConfig::default()
+    });
+    let mut aaaa_nodata = 0u64;
+    let mut web_answers = 0u64;
+    let mut transactions = 0u64;
+    sim.run(120.0 * scale(), &mut |tx| {
+        transactions += 1;
+        let s = TxSummary::from_transaction(tx, &psl);
+        if s.qtype == dnswire::RecordType::Aaaa && s.is_nodata() {
+            aaaa_nodata += 1;
+        }
+        if matches!(
+            s.qtype,
+            dnswire::RecordType::A | dnswire::RecordType::Aaaa | dnswire::RecordType::Any
+        ) && s.ok_ans
+        {
+            web_answers += 1;
+        }
+        obs.ingest_summary(s);
+    });
+    Outcome {
+        label,
+        transactions,
+        aaaa_nodata,
+        web_answers,
+    }
+}
+
+fn main() {
+    let base_cfg = SimConfig::small;
+
+    let baseline = run("baseline", base_cfg(), Scenario::new());
+
+    let joint = run(
+        "remedy 1: joint A+AAAA query",
+        SimConfig {
+            remedy_joint_query: true,
+            ..base_cfg()
+        },
+        Scenario::new(),
+    );
+
+    let split = run(
+        "remedy 2: split NXD/NoData TTLs",
+        SimConfig {
+            remedy_split_negative: true,
+            ..base_cfg()
+        },
+        Scenario::new(),
+    );
+
+    // Remedy 3: per-domain configuration — raise the negative TTL of the
+    // pathological domains (the only ones where it differs).
+    let probe = Simulation::from_config(base_cfg());
+    let events: Vec<ScenarioEvent> = (1..=2_000u64)
+        .filter(|&id| {
+            let p = probe.world().domains.props(id);
+            p.neg_ttl < p.a_ttl
+        })
+        .map(|id| {
+            let p = probe.world().domains.props(id);
+            ScenarioEvent {
+                at: 0.0,
+                domain: id,
+                kind: ScenarioKind::SetNegTtl(p.a_ttl),
+            }
+        })
+        .collect();
+    let fixed_domains = events.len();
+    drop(probe);
+    let aligned = run(
+        "remedy 3: negTTL := A TTL",
+        base_cfg(),
+        Scenario::from_events(events),
+    );
+
+    header("§5.4 remedies, measured over identical demand");
+    println!(
+        "{:<34}{:>14}{:>14}{:>14}",
+        "variant", "transactions", "empty AAAA", "answers"
+    );
+    for o in [&baseline, &joint, &split, &aligned] {
+        println!(
+            "{:<34}{:>14}{:>14}{:>14}",
+            o.label, o.transactions, o.aaaa_nodata, o.web_answers
+        );
+    }
+
+    let drop_vs = |o: &Outcome| 1.0 - o.transactions as f64 / baseline.transactions as f64;
+    let empty_drop = |o: &Outcome| {
+        1.0 - o.aaaa_nodata as f64 / baseline.aaaa_nodata.max(1) as f64
+    };
+    println!();
+    println!(
+        "remedy 1 removes {} of all transactions and {} of empty AAAA responses",
+        pct(drop_vs(&joint)),
+        pct(empty_drop(&joint))
+    );
+    println!(
+        "remedy 2 removes {} of empty AAAA responses with no protocol change to queries",
+        pct(empty_drop(&split))
+    );
+    println!(
+        "remedy 3 removes {} of empty AAAA responses by reconfiguring {} domains",
+        pct(empty_drop(&aligned)),
+        fixed_domains
+    );
+    println!(
+        "\npaper §5.4: remedy 1 needs client+server support; remedy 2 splits the\nsemantics zone operators asked for; remedy 3 is config-only but weakens\nthe defensive low negative TTL some CDNs rely on."
+    );
+}

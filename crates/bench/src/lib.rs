@@ -1,0 +1,127 @@
+//! Shared plumbing for the experiment binaries (`expt-*`): standard
+//! simulation runs, scale control, and plain-text chart rendering.
+//!
+//! Every binary prints the rows/series of one paper table or figure; see
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison produced from these outputs.
+
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig, TimeSeriesStore};
+use simnet::{Scenario, SimConfig, Simulation};
+
+/// Experiment scale factor from `DNSOBS_SCALE` (default 1.0). The
+/// simulated duration of each experiment multiplies by this; shapes are
+/// stable from ~0.25 upward.
+pub fn scale() -> f64 {
+    std::env::var("DNSOBS_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// The standard simulation configuration used by the experiments: the
+/// default world with the experiment seed.
+pub fn experiment_sim() -> SimConfig {
+    SimConfig::default()
+}
+
+/// Default cache warm-up before measurements begin, simulated seconds
+/// (scaled). The paper measures a steady-state system; without warm-up,
+/// first-contact delegation misses inflate root/TLD traffic shares.
+pub const WARMUP_SECS: f64 = 90.0;
+
+/// Result of [`run_observatory`].
+pub struct RunOutput {
+    /// Collected time series.
+    pub store: TimeSeriesStore,
+    /// The simulation, for world/AS-database access.
+    pub sim: Simulation,
+    /// Transactions observed during the measurement period (excludes
+    /// warm-up traffic).
+    pub measured_tx: u64,
+}
+
+/// Run a simulation for `sim_secs` (scaled) against an observatory with
+/// the given datasets, returning the time-series store and the
+/// simulation (for access to the world / AS database). Resolver caches
+/// are warmed for [`WARMUP_SECS`] before the observatory attaches.
+pub fn run_observatory(
+    cfg: SimConfig,
+    scenario: Scenario,
+    datasets: Vec<(Dataset, usize)>,
+    window_secs: f64,
+    sim_secs: f64,
+) -> RunOutput {
+    let mut sim = Simulation::new(cfg, scenario);
+    sim.run(WARMUP_SECS * scale(), &mut |_| {});
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets,
+        window_secs,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(sim_secs * scale(), &mut |tx| obs.ingest(tx));
+    let measured_tx = obs.ingested();
+    RunOutput {
+        store: obs.finish(),
+        sim,
+        measured_tx,
+    }
+}
+
+/// Render a horizontal ASCII bar of `value` within `[0, max]`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || !value.is_finite() || value < 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(n)
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(50.0, 10.0, 10), "##########");
+        assert_eq!(bar(-1.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.503), "50.3%");
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        if std::env::var("DNSOBS_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+        }
+    }
+
+    #[test]
+    fn run_observatory_produces_windows() {
+        let out = run_observatory(
+            SimConfig::small(),
+            Scenario::new(),
+            vec![(Dataset::Qtype, 32)],
+            1.0,
+            2.0 / scale(), // keep the test fast regardless of scale
+        );
+        assert!(!out.store.windows().is_empty());
+        assert!(out.sim.transactions_emitted() > 0);
+        assert!(out.measured_tx > 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Time aggregation (paper §2.4, step F): minutely windows roll up into
+//! 10-minute, hourly, daily, … files, with retention limits per level.
+//!
+//! Aggregation semantics follow the paper exactly: counters aggregate as
+//! the *mean rate per sub-window*, filling 0 for sub-windows where the
+//! object is missing; non-counter features (cardinality estimates,
+//! quartiles, averages) aggregate as the mean over the sub-windows where
+//! the object is *present*.
+
+use crate::features::FeatureRow;
+use crate::timeseries::WindowDump;
+use std::collections::HashMap;
+
+/// One rollup level, e.g. "10 windows of the level below".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Level {
+    /// Human name (`10min`, `hour`, …).
+    pub name: &'static str,
+    /// How many windows of the previous level form one of this level.
+    pub fan_in: usize,
+    /// How many aggregated windows to retain (older ones are deleted).
+    pub retention: usize,
+}
+
+/// The paper's ladder: minute → 10 min → hour → day.
+pub const DEFAULT_LEVELS: &[Level] = &[
+    Level { name: "10min", fan_in: 10, retention: 144 },
+    Level { name: "hour", fan_in: 6, retention: 72 },
+    Level { name: "day", fan_in: 24, retention: 60 },
+];
+
+/// Aggregate `fan_in` consecutive window dumps of one dataset into one
+/// coarser dump. Counters become mean-per-subwindow (missing → 0);
+/// everything else becomes mean over present subwindows.
+pub fn rollup(windows: &[WindowDump]) -> WindowDump {
+    assert!(!windows.is_empty(), "cannot roll up zero windows");
+    let dataset = windows[0].dataset.clone();
+    assert!(
+        windows.iter().all(|w| w.dataset == dataset),
+        "mixed datasets in rollup"
+    );
+    let n = windows.len() as f64;
+    let mut acc: HashMap<String, (FeatureRow, u64)> = HashMap::new();
+    for w in windows {
+        for (key, row) in &w.rows {
+            match acc.get_mut(key) {
+                None => {
+                    acc.insert(key.clone(), (row.clone(), 1));
+                }
+                Some((total, present)) => {
+                    crate::timeseries::merge_rows(total, row);
+                    *present += 1;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<(String, FeatureRow)> = acc
+        .into_iter()
+        .map(|(key, (mut row, present))| {
+            scale_row(&mut row, present, n);
+            (key, row)
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.1.hits
+            .cmp(&a.1.hits)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    WindowDump {
+        dataset,
+        start: windows[0].start,
+        length: windows.iter().map(|w| w.length).sum(),
+        kept: windows.iter().map(|w| w.kept).sum(),
+        dropped: windows.iter().map(|w| w.dropped).sum(),
+        filtered: windows.iter().map(|w| w.filtered).sum(),
+        rows,
+    }
+}
+
+/// Counters: divide by the total sub-window count (missing → 0).
+/// Non-counters: divide by the number of sub-windows present.
+fn scale_row(row: &mut FeatureRow, present: u64, n: f64) {
+    // The merged row already holds sums over present windows.
+    // Counters use n (fill-zero); means use `present`.
+    let div_counter = n;
+    row.hits = (row.hits as f64 / div_counter).round() as u64;
+    row.unans = (row.unans as f64 / div_counter).round() as u64;
+    row.ok = (row.ok as f64 / div_counter).round() as u64;
+    row.nxd = (row.nxd as f64 / div_counter).round() as u64;
+    row.rfs = (row.rfs as f64 / div_counter).round() as u64;
+    row.fail = (row.fail as f64 / div_counter).round() as u64;
+    row.ok_ans = (row.ok_ans as f64 / div_counter).round() as u64;
+    row.ok_ns = (row.ok_ns as f64 / div_counter).round() as u64;
+    row.ok_add = (row.ok_add as f64 / div_counter).round() as u64;
+    row.ok_nil = (row.ok_nil as f64 / div_counter).round() as u64;
+    row.ok6 = (row.ok6 as f64 / div_counter).round() as u64;
+    row.ok6nil = (row.ok6nil as f64 / div_counter).round() as u64;
+    row.ok_sec = (row.ok_sec as f64 / div_counter).round() as u64;
+    let p = present as f64;
+    for v in [
+        &mut row.srvips,
+        &mut row.srcips,
+        &mut row.sources,
+        &mut row.qnamesa,
+        &mut row.qnames,
+        &mut row.tlds,
+        &mut row.eslds,
+        &mut row.qtypes,
+        &mut row.ip4s,
+        &mut row.ip6s,
+    ] {
+        *v /= p;
+    }
+    for arr in [
+        &mut row.resp_delays,
+        &mut row.network_hops,
+        &mut row.resp_size,
+    ] {
+        for v in arr.iter_mut() {
+            *v /= p;
+        }
+    }
+}
+
+/// A rolling aggregator: feed minutely dumps, get coarser dumps out as
+/// they complete, with per-level retention.
+#[derive(Debug)]
+pub struct Aggregator {
+    levels: Vec<Level>,
+    /// Pending (not yet complete) windows per level; level 0 receives the
+    /// raw minutely input.
+    pending: Vec<Vec<WindowDump>>,
+    /// Completed windows per level, trimmed to retention.
+    complete: Vec<Vec<WindowDump>>,
+}
+
+impl Aggregator {
+    /// Build an aggregator with the given ladder (see [`DEFAULT_LEVELS`]).
+    pub fn new(levels: &[Level]) -> Aggregator {
+        assert!(!levels.is_empty());
+        Aggregator {
+            levels: levels.to_vec(),
+            pending: vec![Vec::new(); levels.len()],
+            complete: vec![Vec::new(); levels.len()],
+        }
+    }
+
+    /// Feed one minutely dump; cascades completed rollups upward.
+    pub fn push(&mut self, dump: WindowDump) {
+        self.push_level(0, dump);
+    }
+
+    fn push_level(&mut self, level: usize, dump: WindowDump) {
+        if level >= self.levels.len() {
+            return;
+        }
+        self.pending[level].push(dump);
+        if self.pending[level].len() >= self.levels[level].fan_in {
+            let batch: Vec<WindowDump> = self.pending[level].drain(..).collect();
+            let rolled = rollup(&batch);
+            self.complete[level].push(rolled.clone());
+            let retention = self.levels[level].retention;
+            let len = self.complete[level].len();
+            if len > retention {
+                self.complete[level].drain(0..len - retention);
+            }
+            self.push_level(level + 1, rolled);
+        }
+    }
+
+    /// Completed windows at a level (0 = first rollup, e.g. 10 min).
+    pub fn completed(&self, level: usize) -> &[WindowDump] {
+        &self.complete[level]
+    }
+
+    /// Names of the configured levels.
+    pub fn level_names(&self) -> Vec<&'static str> {
+        self.levels.iter().map(|l| l.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, FeatureSet};
+    use crate::summarize::TxSummary;
+    use psl::Psl;
+    use simnet::{SimConfig, Simulation};
+
+    fn row(secs: f64, seed: u64) -> FeatureRow {
+        let psl = Psl::embedded();
+        let mut sim = Simulation::from_config(SimConfig {
+            seed,
+            ..SimConfig::small()
+        });
+        let mut fs = FeatureSet::new(FeatureConfig::default());
+        sim.run(secs, &mut |tx| fs.fold(&TxSummary::from_transaction(tx, &psl)));
+        fs.row()
+    }
+
+    fn dump(start: f64, rows: Vec<(String, FeatureRow)>) -> WindowDump {
+        WindowDump {
+            dataset: "esld".into(),
+            start,
+            length: 60.0,
+            kept: rows.iter().map(|r| r.1.hits).sum(),
+            dropped: 0,
+            filtered: 0,
+            rows,
+        }
+    }
+
+    #[test]
+    fn counters_average_with_zero_fill() {
+        let r = row(1.0, 1);
+        let hits = r.hits;
+        // Object present in 1 of 2 windows → mean rate = hits/2.
+        let d1 = dump(0.0, vec![("k".into(), r)]);
+        let d2 = dump(60.0, vec![]);
+        let rolled = rollup(&[d1, d2]);
+        assert_eq!(rolled.rows.len(), 1);
+        assert_eq!(rolled.rows[0].1.hits, hits.div_ceil(2).max(hits / 2));
+        assert_eq!(rolled.length, 120.0);
+    }
+
+    #[test]
+    fn noncounters_average_over_present_only() {
+        let r = row(1.0, 2);
+        let srvips = r.srvips;
+        let d1 = dump(0.0, vec![("k".into(), r)]);
+        let d2 = dump(60.0, vec![]);
+        let rolled = rollup(&[d1, d2]);
+        // Present in one window → unchanged, NOT halved.
+        assert!((rolled.rows[0].1.srvips - srvips).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollup_of_identical_windows_is_identity_for_counters() {
+        let r = row(1.0, 3);
+        let d1 = dump(0.0, vec![("k".into(), r.clone())]);
+        let d2 = dump(60.0, vec![("k".into(), r.clone())]);
+        let rolled = rollup(&[d1, d2]);
+        assert_eq!(rolled.rows[0].1.hits, r.hits);
+        assert!((rolled.rows[0].1.resp_delays[1] - r.resp_delays[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed datasets")]
+    fn mixed_datasets_rejected() {
+        let r = row(0.3, 4);
+        let mut d2 = dump(60.0, vec![("k".into(), r.clone())]);
+        d2.dataset = "qname".into();
+        let d1 = dump(0.0, vec![("k".into(), r)]);
+        rollup(&[d1, d2]);
+    }
+
+    #[test]
+    fn aggregator_cascades() {
+        let r = row(0.3, 5);
+        let mut agg = Aggregator::new(&[
+            Level { name: "2min", fan_in: 2, retention: 10 },
+            Level { name: "4min", fan_in: 2, retention: 10 },
+        ]);
+        for i in 0..4 {
+            agg.push(dump(i as f64 * 60.0, vec![("k".into(), r.clone())]));
+        }
+        assert_eq!(agg.completed(0).len(), 2, "two 2-min windows");
+        assert_eq!(agg.completed(1).len(), 1, "one 4-min window");
+        assert_eq!(agg.completed(1)[0].length, 240.0);
+        assert_eq!(agg.level_names(), vec!["2min", "4min"]);
+    }
+
+    #[test]
+    fn retention_trims_old_windows() {
+        let r = row(0.3, 6);
+        let mut agg = Aggregator::new(&[Level {
+            name: "2min",
+            fan_in: 2,
+            retention: 3,
+        }]);
+        for i in 0..12 {
+            agg.push(dump(i as f64 * 60.0, vec![("k".into(), r.clone())]));
+        }
+        assert_eq!(agg.completed(0).len(), 3, "retention caps history");
+        // The oldest retained window starts at minute 6 (windows 0-5 gone).
+        assert_eq!(agg.completed(0)[0].start, 6.0 * 60.0);
+    }
+}

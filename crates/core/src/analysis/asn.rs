@@ -1,0 +1,191 @@
+//! AS-organization aggregation (paper §3.3, Table 1).
+//!
+//! Joins the `srvip` top list against a routing + AS-name database,
+//! extracts organization names, and aggregates traffic share, server
+//! counts, delays and hop counts per organization.
+
+use crate::features::FeatureRow;
+use asdb::AsDb;
+use std::collections::{HashMap, HashSet};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct OrgRow {
+    /// Organization name extracted from AS names.
+    pub org: String,
+    /// Number of distinct ASes observed for this org.
+    pub ases: usize,
+    /// Share of all observed DNS transactions (0..1).
+    pub global_share: f64,
+    /// Number of distinct nameserver IPs in the org's prefixes.
+    pub servers: usize,
+    /// Hit-weighted mean of per-server median response delay, ms.
+    pub delay_ms: f64,
+    /// Hit-weighted mean of per-server median hop count.
+    pub hops: f64,
+}
+
+/// Compute the Table 1 rows from cumulative `srvip` rows.
+///
+/// `total_hits` normalizes `global_share`; pass the sum over the whole
+/// top list (or the platform's total) — the paper uses the share of all
+/// observed transactions.
+pub fn org_table(rows: &[(String, FeatureRow)], asdb: &AsDb, total_hits: u64) -> Vec<OrgRow> {
+    struct Acc {
+        ases: HashSet<u32>,
+        hits: u64,
+        servers: usize,
+        delay_weight: f64,
+        delay_sum: f64,
+        hops_sum: f64,
+    }
+    let mut orgs: HashMap<String, Acc> = HashMap::new();
+    for (key, row) in rows {
+        let Ok(ip) = key.parse::<std::net::IpAddr>() else {
+            continue;
+        };
+        let Some(info) = asdb.lookup(ip) else {
+            continue;
+        };
+        let acc = orgs.entry(info.org.clone()).or_insert_with(|| Acc {
+            ases: HashSet::new(),
+            hits: 0,
+            servers: 0,
+            delay_weight: 0.0,
+            delay_sum: 0.0,
+            hops_sum: 0.0,
+        });
+        acc.ases.insert(info.asn);
+        acc.hits += row.hits;
+        acc.servers += 1;
+        let w = row.hits as f64;
+        if !row.median_delay().is_nan() {
+            acc.delay_sum += row.median_delay() * w;
+            acc.hops_sum += row.median_hops() * w;
+            acc.delay_weight += w;
+        }
+    }
+    let mut out: Vec<OrgRow> = orgs
+        .into_iter()
+        .map(|(org, acc)| OrgRow {
+            org,
+            ases: acc.ases.len(),
+            global_share: if total_hits > 0 {
+                acc.hits as f64 / total_hits as f64
+            } else {
+                0.0
+            },
+            servers: acc.servers,
+            delay_ms: if acc.delay_weight > 0.0 {
+                acc.delay_sum / acc.delay_weight
+            } else {
+                f64::NAN
+            },
+            hops: if acc.delay_weight > 0.0 {
+                acc.hops_sum / acc.delay_weight
+            } else {
+                f64::NAN
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.global_share
+            .partial_cmp(&a.global_share)
+            .unwrap()
+            .then_with(|| a.org.cmp(&b.org))
+    });
+    out
+}
+
+/// Render the table as aligned text (for the experiment binaries).
+pub fn format_org_table(rows: &[OrgRow], top: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<4}{:<22}{:>5}{:>9}{:>9}{:>9}{:>7}\n",
+        "#", "Name", "ASes", "global", "servers", "delay", "hops"
+    ));
+    for (i, r) in rows.iter().take(top).enumerate() {
+        s.push_str(&format!(
+            "{:<4}{:<22}{:>5}{:>8.1}%{:>9}{:>8.1}m{:>7.1}\n",
+            i + 1,
+            r.org,
+            r.ases,
+            r.global_share * 100.0,
+            r.servers,
+            r.delay_ms,
+            r.hops
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, FeatureSet};
+
+    fn row(hits: u64, delay: f64, hops: f64) -> FeatureRow {
+        let mut r = FeatureSet::new(FeatureConfig::default()).row();
+        r.hits = hits;
+        r.resp_delays = [delay * 0.8, delay, delay * 1.3];
+        r.network_hops = [hops - 1.0, hops, hops + 1.0];
+        r
+    }
+
+    fn db() -> AsDb {
+        let mut db = AsDb::new();
+        db.announce("10.0.0.0/8".parse().unwrap(), 100);
+        db.announce("20.0.0.0/8".parse().unwrap(), 200);
+        db.announce("20.128.0.0/9".parse().unwrap(), 201);
+        db.register_as(100, "ALPHA - alpha networks");
+        db.register_as(200, "BETA-01 - beta cloud");
+        db.register_as(201, "BETA-02 - beta cloud east");
+        db
+    }
+
+    #[test]
+    fn aggregates_by_org() {
+        let rows = vec![
+            ("10.0.0.1".to_string(), row(100, 20.0, 8.0)),
+            ("10.0.0.2".to_string(), row(50, 40.0, 10.0)),
+            ("20.0.0.1".to_string(), row(300, 60.0, 12.0)),
+            ("20.128.0.1".to_string(), row(50, 60.0, 12.0)),
+        ];
+        let table = org_table(&rows, &db(), 500);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].org, "BETA");
+        assert_eq!(table[0].ases, 2);
+        assert_eq!(table[0].servers, 2);
+        assert!((table[0].global_share - 0.7).abs() < 1e-9);
+        let alpha = &table[1];
+        assert_eq!(alpha.org, "ALPHA");
+        // Hit-weighted delay: (100*20 + 50*40) / 150 = 26.67.
+        assert!((alpha.delay_ms - 26.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn unknown_ips_skipped() {
+        let rows = vec![
+            ("10.0.0.1".to_string(), row(10, 5.0, 3.0)),
+            ("99.9.9.9".to_string(), row(1000, 5.0, 3.0)),
+            ("not-an-ip".to_string(), row(1000, 5.0, 3.0)),
+        ];
+        let table = org_table(&rows, &db(), 2010);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[0].org, "ALPHA");
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let rows = vec![("10.0.0.1".to_string(), row(10, 5.0, 3.0))];
+        let table = org_table(&rows, &db(), 10);
+        let text = format_org_table(&table, 10);
+        assert!(text.contains("ALPHA"));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(org_table(&[], &db(), 0).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Response-delay analysis (paper §3.5, Figure 3).
+//!
+//! Four views over the `srvip` dataset:
+//! * (a) the distribution of per-server delay quartiles;
+//! * (b) delay and hops versus popularity rank, in groups of 100;
+//! * (c)/(d) per-letter quartiles for the root and gTLD constellations.
+
+use crate::features::FeatureRow;
+use std::net::IpAddr;
+
+/// Per-server delay statistics extracted from a cumulative `srvip` row.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerDelay {
+    /// Delay quartiles, ms.
+    pub q25: f64,
+    /// Median delay, ms.
+    pub median: f64,
+    /// Upper quartile, ms.
+    pub q75: f64,
+    /// Median hop count.
+    pub hops: f64,
+    /// Traffic attributed to the server.
+    pub hits: u64,
+}
+
+/// Figure 3a: empirical CDF over nameservers of a per-server statistic.
+#[derive(Debug, Clone)]
+pub struct DelayCdf {
+    /// Sorted median delays (one per server).
+    pub sorted: Vec<f64>,
+}
+
+impl DelayCdf {
+    /// Fraction of servers with median delay below `ms`.
+    pub fn fraction_below(&self, ms: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < ms);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The paper's four regimes: shares of servers in
+    /// [0,5), [5,35), [35,350), [350,∞) ms.
+    pub fn regime_shares(&self) -> [f64; 4] {
+        let below5 = self.fraction_below(5.0);
+        let below35 = self.fraction_below(35.0);
+        let below350 = self.fraction_below(350.0);
+        [
+            below5,
+            below35 - below5,
+            below350 - below35,
+            1.0 - below350,
+        ]
+    }
+}
+
+/// Extract per-server delay statistics from cumulative `srvip` rows,
+/// skipping servers that never answered.
+pub fn server_delays(rows: &[(String, FeatureRow)]) -> Vec<ServerDelay> {
+    rows.iter()
+        .filter(|(_, r)| !r.median_delay().is_nan())
+        .map(|(_, r)| ServerDelay {
+            q25: r.resp_delays[0],
+            median: r.resp_delays[1],
+            q75: r.resp_delays[2],
+            hops: r.median_hops(),
+            hits: r.hits,
+        })
+        .collect()
+}
+
+/// Figure 3a: CDF of median delays over the server population.
+pub fn delay_cdf(delays: &[ServerDelay]) -> DelayCdf {
+    let mut sorted: Vec<f64> = delays.iter().map(|d| d.median).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    DelayCdf { sorted }
+}
+
+/// One group of Figure 3b: mean delay/hops for 100 neighbouring ranks.
+#[derive(Debug, Clone, Copy)]
+pub struct RankGroup {
+    /// First (best) rank in the group, 1-based.
+    pub rank_start: usize,
+    /// Mean of the members' median delays, ms.
+    pub mean_delay: f64,
+    /// Mean of the members' median hop counts.
+    pub mean_hops: f64,
+}
+
+/// Figure 3b: group the ranked servers (already hits-descending) into
+/// buckets of `group` and average each bucket.
+pub fn delay_by_rank(delays: &[ServerDelay], group: usize) -> Vec<RankGroup> {
+    assert!(group > 0);
+    delays
+        .chunks(group)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let n = chunk.len() as f64;
+            RankGroup {
+                rank_start: i * group + 1,
+                mean_delay: chunk.iter().map(|d| d.median).sum::<f64>() / n,
+                mean_hops: chunk.iter().map(|d| d.hops).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+/// Linear-regression slope of `y` against rank index — used to check the
+/// paper's claim that popular servers are faster (positive slope of delay
+/// vs rank).
+pub fn slope(groups: &[RankGroup], y: impl Fn(&RankGroup) -> f64) -> f64 {
+    let n = groups.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = (0..groups.len()).map(|i| i as f64).collect();
+    let ys: Vec<f64> = groups.iter().map(y).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+/// Figures 3c/3d: per-letter quartiles for an anycast constellation.
+#[derive(Debug, Clone)]
+pub struct LetterDelay {
+    /// Letter label 'A'..'M'.
+    pub letter: char,
+    /// Delay quartiles, ms.
+    pub q25: f64,
+    /// Median delay.
+    pub median: f64,
+    /// Upper quartile.
+    pub q75: f64,
+    /// Median hops.
+    pub hops: f64,
+    /// Traffic share within the constellation.
+    pub share: f64,
+}
+
+/// Extract the 13 letters of a constellation from cumulative `srvip`
+/// rows, selecting servers via `is_letter(ip) -> Some(letter index)`.
+pub fn constellation(
+    rows: &[(String, FeatureRow)],
+    is_letter: impl Fn(IpAddr) -> Option<usize>,
+) -> Vec<LetterDelay> {
+    let mut letters: Vec<Option<(FeatureRow, usize)>> = vec![None; 13];
+    for (key, row) in rows {
+        let Ok(ip) = key.parse::<IpAddr>() else {
+            continue;
+        };
+        if let Some(idx) = is_letter(ip) {
+            if idx < 13 {
+                letters[idx] = Some((row.clone(), idx));
+            }
+        }
+    }
+    let total: u64 = letters
+        .iter()
+        .flatten()
+        .map(|(r, _)| r.hits)
+        .sum::<u64>()
+        .max(1);
+    letters
+        .into_iter()
+        .flatten()
+        .map(|(r, idx)| LetterDelay {
+            letter: (b'A' + idx as u8) as char,
+            q25: r.resp_delays[0],
+            median: r.resp_delays[1],
+            q75: r.resp_delays[2],
+            hops: r.median_hops(),
+            share: r.hits as f64 / total as f64,
+        })
+        .collect()
+}
+
+/// Selector for the simulated root letters (198.41.L.4).
+pub fn root_letter_of(ip: IpAddr) -> Option<usize> {
+    match ip {
+        IpAddr::V4(v4) => {
+            let o = v4.octets();
+            (o[0] == 198 && o[1] == 41 && o[3] == 4 && o[2] < 13).then_some(o[2] as usize)
+        }
+        _ => None,
+    }
+}
+
+/// Selector for the simulated gTLD letters (192.(5+L).6.30).
+pub fn gtld_letter_of(ip: IpAddr) -> Option<usize> {
+    match ip {
+        IpAddr::V4(v4) => {
+            let o = v4.octets();
+            (o[0] == 192 && o[3] == 30 && (5..18).contains(&o[1])).then(|| (o[1] - 5) as usize)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, FeatureSet};
+
+    fn row(hits: u64, median: f64, hops: f64) -> FeatureRow {
+        let mut r = FeatureSet::new(FeatureConfig::default()).row();
+        r.hits = hits;
+        r.resp_delays = [median * 0.7, median, median * 1.5];
+        r.network_hops = [hops - 1.0, hops, hops + 1.0];
+        r
+    }
+
+    #[test]
+    fn cdf_regimes_partition() {
+        let delays = vec![
+            ServerDelay { q25: 1.0, median: 2.0, q75: 3.0, hops: 2.0, hits: 1 },
+            ServerDelay { q25: 8.0, median: 10.0, q75: 15.0, hops: 5.0, hits: 1 },
+            ServerDelay { q25: 50.0, median: 90.0, q75: 200.0, hops: 12.0, hits: 1 },
+            ServerDelay { q25: 300.0, median: 500.0, q75: 900.0, hops: 20.0, hits: 1 },
+        ];
+        let cdf = delay_cdf(&delays);
+        let shares = cdf.regime_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(shares, [0.25, 0.25, 0.25, 0.25]);
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_below(1e9), 1.0);
+    }
+
+    #[test]
+    fn rank_groups_average() {
+        let rows: Vec<(String, FeatureRow)> = (0..10)
+            .map(|i| (format!("10.0.0.{i}"), row(100 - i as u64, (i + 1) as f64 * 10.0, 5.0)))
+            .collect();
+        let delays = server_delays(&rows);
+        let groups = delay_by_rank(&delays, 5);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].rank_start, 1);
+        assert!((groups[0].mean_delay - 30.0).abs() < 1e-9);
+        assert!((groups[1].mean_delay - 80.0).abs() < 1e-9);
+        // Delay increases with rank → positive slope.
+        assert!(slope(&groups, |g| g.mean_delay) > 0.0);
+    }
+
+    #[test]
+    fn constellations_extracted() {
+        let mut rows = Vec::new();
+        for l in 0..13u8 {
+            rows.push((
+                format!("198.41.{l}.4"),
+                row(100 + l as u64, 10.0 + l as f64, 6.0),
+            ));
+            rows.push((
+                format!("192.{}.6.30", 5 + l),
+                row(200, 8.0, 5.0),
+            ));
+        }
+        rows.push(("10.1.2.3".to_string(), row(5_000, 99.0, 9.0)));
+        let root = constellation(&rows, root_letter_of);
+        assert_eq!(root.len(), 13);
+        assert_eq!(root[0].letter, 'A');
+        assert_eq!(root[12].letter, 'M');
+        let share_sum: f64 = root.iter().map(|l| l.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        let gtld = constellation(&rows, gtld_letter_of);
+        assert_eq!(gtld.len(), 13);
+    }
+
+    #[test]
+    fn unanswered_servers_skipped() {
+        let mut r = row(10, 5.0, 3.0);
+        r.resp_delays = [f64::NAN; 3];
+        let rows = vec![("10.0.0.1".to_string(), r)];
+        assert!(server_delays(&rows).is_empty());
+    }
+}

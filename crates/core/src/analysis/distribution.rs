@@ -1,0 +1,194 @@
+//! Traffic-distribution analysis (paper §3.2, Figure 2).
+//!
+//! Ranks the objects of a dataset by traffic and produces, per response
+//! class, an independent CDF over ranks — exactly the four curves of
+//! Fig. 2: all queries, NXDOMAIN, NoError+data, NoData.
+
+use crate::features::FeatureRow;
+
+/// One response-class curve: cumulative share of that class's traffic
+/// carried by the top `i+1` ranked objects.
+#[derive(Debug, Clone)]
+pub struct RankCdf {
+    /// Class label ("all", "nxdomain", "noerror_data", "nodata").
+    pub label: &'static str,
+    /// Cumulative fraction at each rank (monotone, ends at 1.0 when the
+    /// class has any traffic).
+    pub cdf: Vec<f64>,
+}
+
+impl RankCdf {
+    /// Cumulative share at a 1-based rank (clamped to the last rank).
+    pub fn at_rank(&self, rank: usize) -> f64 {
+        if self.cdf.is_empty() {
+            return 0.0;
+        }
+        self.cdf[(rank.max(1) - 1).min(self.cdf.len() - 1)]
+    }
+
+    /// The smallest rank whose cumulative share reaches `q`.
+    pub fn rank_for_share(&self, q: f64) -> Option<usize> {
+        self.cdf.iter().position(|&v| v >= q).map(|i| i + 1)
+    }
+}
+
+/// The Figure 2 analysis result for one dataset.
+#[derive(Debug, Clone)]
+pub struct TrafficDistribution {
+    /// Objects in rank order: `(key, hits)`.
+    pub ranked: Vec<(String, u64)>,
+    /// The four curves of Fig. 2.
+    pub curves: Vec<RankCdf>,
+    /// Total transactions captured by the top list.
+    pub captured_hits: u64,
+}
+
+/// Compute the Fig. 2 curves from cumulative per-object rows
+/// (see [`crate::TimeSeriesStore::cumulative`]), which must already be
+/// sorted by hits descending.
+pub fn traffic_distribution(rows: &[(String, FeatureRow)]) -> TrafficDistribution {
+    let mut all = Vec::with_capacity(rows.len());
+    let mut nxd = Vec::with_capacity(rows.len());
+    let mut data = Vec::with_capacity(rows.len());
+    let mut nodata = Vec::with_capacity(rows.len());
+    let mut ranked = Vec::with_capacity(rows.len());
+    for (key, r) in rows {
+        ranked.push((key.clone(), r.hits));
+        all.push(r.hits as f64);
+        nxd.push(r.nxd as f64);
+        data.push((r.ok - r.ok_nil) as f64);
+        nodata.push(r.ok_nil as f64);
+    }
+    let captured_hits = ranked.iter().map(|(_, h)| h).sum();
+    let curves = vec![
+        cdf("all", &all),
+        cdf("nxdomain", &nxd),
+        cdf("noerror_data", &data),
+        cdf("nodata", &nodata),
+    ];
+    TrafficDistribution {
+        ranked,
+        curves,
+        captured_hits,
+    }
+}
+
+fn cdf(label: &'static str, per_rank: &[f64]) -> RankCdf {
+    let total: f64 = per_rank.iter().sum();
+    let mut acc = 0.0;
+    let cdf = per_rank
+        .iter()
+        .map(|v| {
+            acc += v;
+            if total > 0.0 {
+                acc / total
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    RankCdf { label, cdf }
+}
+
+/// Downsample a CDF to log-spaced ranks for plotting / reporting:
+/// returns `(rank, value)` points at 1, 2, …, 10, 20, …, 100, … .
+pub fn log_spaced_points(curve: &RankCdf) -> Vec<(usize, f64)> {
+    let n = curve.cdf.len();
+    let mut points = Vec::new();
+    let mut rank = 1usize;
+    let mut step = 1usize;
+    while rank <= n {
+        points.push((rank, curve.at_rank(rank)));
+        if rank >= step * 10 {
+            step *= 10;
+        }
+        rank += step;
+    }
+    if points.last().map(|&(r, _)| r) != Some(n) && n > 0 {
+        points.push((n, curve.at_rank(n)));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, FeatureSet};
+
+    fn row(hits: u64, nxd: u64, ok: u64, ok_nil: u64) -> FeatureRow {
+        let mut r = FeatureSet::new(FeatureConfig::default()).row();
+        r.hits = hits;
+        r.nxd = nxd;
+        r.ok = ok;
+        r.ok_nil = ok_nil;
+        r
+    }
+
+    #[test]
+    fn curves_are_monotone_and_end_at_one() {
+        let rows = vec![
+            ("a".to_string(), row(100, 20, 70, 10)),
+            ("b".to_string(), row(50, 5, 40, 5)),
+            ("c".to_string(), row(10, 10, 0, 0)),
+        ];
+        let dist = traffic_distribution(&rows);
+        assert_eq!(dist.captured_hits, 160);
+        for curve in &dist.curves {
+            for w in curve.cdf.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "{} not monotone", curve.label);
+            }
+            assert!((curve.cdf.last().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn independent_normalization_per_class() {
+        // All NXD traffic is at rank 3: its curve must start at 0.
+        let rows = vec![
+            ("a".to_string(), row(100, 0, 100, 0)),
+            ("b".to_string(), row(50, 0, 50, 0)),
+            ("c".to_string(), row(10, 10, 0, 0)),
+        ];
+        let dist = traffic_distribution(&rows);
+        let nxd = dist.curves.iter().find(|c| c.label == "nxdomain").unwrap();
+        assert_eq!(nxd.at_rank(2), 0.0);
+        assert_eq!(nxd.at_rank(3), 1.0);
+    }
+
+    #[test]
+    fn rank_for_share() {
+        let rows = vec![
+            ("a".to_string(), row(60, 0, 60, 0)),
+            ("b".to_string(), row(30, 0, 30, 0)),
+            ("c".to_string(), row(10, 0, 10, 0)),
+        ];
+        let dist = traffic_distribution(&rows);
+        let all = &dist.curves[0];
+        assert_eq!(all.rank_for_share(0.5), Some(1));
+        assert_eq!(all.rank_for_share(0.9), Some(2));
+        assert_eq!(all.rank_for_share(0.95), Some(3));
+        assert_eq!(all.rank_for_share(1.1), None);
+    }
+
+    #[test]
+    fn log_points_cover_range() {
+        let rows: Vec<(String, FeatureRow)> = (0..250)
+            .map(|i| (format!("k{i}"), row(1000 - i as u64, 0, 0, 0)))
+            .collect();
+        let dist = traffic_distribution(&rows);
+        let pts = log_spaced_points(&dist.curves[0]);
+        assert_eq!(pts.first().unwrap().0, 1);
+        assert_eq!(pts.last().unwrap().0, 250);
+        // Dense at the head, sparse at the tail.
+        assert!(pts.len() < 60);
+        assert!(pts.iter().any(|&(r, _)| r == 10));
+    }
+
+    #[test]
+    fn empty_input() {
+        let dist = traffic_distribution(&[]);
+        assert_eq!(dist.captured_hits, 0);
+        assert!(dist.curves[0].cdf.is_empty());
+        assert_eq!(dist.curves[0].at_rank(5), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Happy Eyeballs and negative caching (paper §5, Figure 9).
+//!
+//! Correlates, per FQDN, the share of empty AAAA responses with the
+//! quotient of the A-record TTL by the negative-caching TTL — the
+//! paper's explanation for domains where up to ~90 % of all observed
+//! responses are empty.
+
+use crate::features::FeatureRow;
+use crate::timeseries::WindowDump;
+
+/// One point of Figure 9.
+#[derive(Debug, Clone)]
+pub struct HappyRow {
+    /// The FQDN.
+    pub key: String,
+    /// Popularity rank (1-based) within the analyzed top list.
+    pub rank: usize,
+    /// Total transactions.
+    pub hits: u64,
+    /// Share of all responses that are empty AAAA (NoData), in [0, 1].
+    pub empty_aaaa_share: f64,
+    /// Dominant A-record TTL, seconds.
+    pub a_ttl: Option<u64>,
+    /// Dominant negative-caching TTL (SOA minimum), seconds.
+    pub neg_ttl: Option<u64>,
+}
+
+impl HappyRow {
+    /// The paper's right-axis quotient: A TTL / negative TTL. Large
+    /// quotient → many empty AAAA responses expected.
+    pub fn ttl_quotient(&self) -> Option<f64> {
+        match (self.a_ttl, self.neg_ttl) {
+            (Some(a), Some(n)) if n > 0 => Some(a as f64 / n as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Build the Figure 9 rows from cumulative `qname` rows (already sorted
+/// by traffic), keeping the top `n`.
+pub fn happy_rows(rows: &[(String, FeatureRow)], n: usize) -> Vec<HappyRow> {
+    rows.iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, (key, r))| HappyRow {
+            key: key.clone(),
+            rank: i + 1,
+            hits: r.hits,
+            empty_aaaa_share: if r.hits > 0 {
+                r.ok6nil as f64 / r.hits as f64
+            } else {
+                0.0
+            },
+            a_ttl: r.top_ttl(),
+            neg_ttl: r.negttl_top.first().map(|&(v, _)| v),
+        })
+        .collect()
+}
+
+/// Pearson correlation between `log(quotient)` and the empty-AAAA share
+/// over rows where both are defined — the headline association of §5.2.
+pub fn quotient_share_correlation(rows: &[HappyRow]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| r.ttl_quotient().map(|q| (q.ln(), r.empty_aaaa_share)))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let vx: f64 = pts.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    let vy: f64 = pts.iter().map(|p| (p.1 - my).powi(2)).sum();
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// §5.3: the before/after view of one FQDN enabling IPv6.
+#[derive(Debug, Clone)]
+pub struct Ipv6Turnup {
+    /// The FQDN.
+    pub key: String,
+    /// Empty-AAAA share before / after the turn-up.
+    pub empty_share_before: f64,
+    /// Empty-AAAA share after.
+    pub empty_share_after: f64,
+    /// Queries per window before / after.
+    pub rate_before: f64,
+    /// Queries per window after.
+    pub rate_after: f64,
+}
+
+/// Compare a key's empty-AAAA share and query volume before and after a
+/// split time (the scenario's IPv6 turn-up moment).
+pub fn ipv6_turnup(windows: &[&WindowDump], key: &str, split: f64) -> Option<Ipv6Turnup> {
+    let mut before = (0u64, 0u64, 0usize); // (hits, ok6nil, windows)
+    let mut after = (0u64, 0u64, 0usize);
+    for w in windows {
+        let Some(row) = w.get(key) else { continue };
+        let slot = if w.start < split { &mut before } else { &mut after };
+        slot.0 += row.hits;
+        slot.1 += row.ok6nil;
+        slot.2 += 1;
+    }
+    if before.2 == 0 || after.2 == 0 {
+        return None;
+    }
+    Some(Ipv6Turnup {
+        key: key.to_string(),
+        empty_share_before: before.1 as f64 / before.0.max(1) as f64,
+        empty_share_after: after.1 as f64 / after.0.max(1) as f64,
+        rate_before: before.0 as f64 / before.2 as f64,
+        rate_after: after.0 as f64 / after.2 as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, FeatureSet};
+
+    fn row(hits: u64, ok6nil: u64, a_ttl: u64, neg_ttl: u64) -> FeatureRow {
+        let mut r = FeatureSet::new(FeatureConfig::default()).row();
+        r.hits = hits;
+        r.ok = hits;
+        r.ok6 = ok6nil;
+        r.ok6nil = ok6nil;
+        r.ttl_top = vec![(a_ttl, 0.9)];
+        r.negttl_top = vec![(neg_ttl, 0.9)];
+        r
+    }
+
+    #[test]
+    fn rows_and_quotients() {
+        let rows = vec![
+            ("pathological".to_string(), row(100, 89, 900, 15)),
+            ("healthy".to_string(), row(100, 10, 300, 300)),
+        ];
+        let happy = happy_rows(&rows, 10);
+        assert_eq!(happy.len(), 2);
+        assert_eq!(happy[0].rank, 1);
+        assert!((happy[0].empty_aaaa_share - 0.89).abs() < 1e-9);
+        assert!((happy[0].ttl_quotient().unwrap() - 60.0).abs() < 1e-9);
+        assert!((happy[1].ttl_quotient().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_positive_for_pathological_pattern() {
+        // Construct the paper's pattern: high quotient ↔ high empty share.
+        let rows: Vec<(String, FeatureRow)> = (0..20)
+            .map(|i| {
+                let quotient = 1 + i as u64 * 3;
+                let share = (quotient as f64 / 70.0).min(0.95);
+                let hits = 1000;
+                (
+                    format!("f{i}"),
+                    row(hits, (share * hits as f64) as u64, 60 * quotient, 60),
+                )
+            })
+            .collect();
+        let happy = happy_rows(&rows, 20);
+        let corr = quotient_share_correlation(&happy).unwrap();
+        assert!(corr > 0.8, "correlation {corr}");
+    }
+
+    #[test]
+    fn correlation_needs_enough_points() {
+        let rows = vec![("a".to_string(), row(10, 1, 60, 60))];
+        let happy = happy_rows(&rows, 10);
+        assert!(quotient_share_correlation(&happy).is_none());
+    }
+
+    #[test]
+    fn turnup_detects_share_drop() {
+        use crate::timeseries::WindowDump;
+        let mk = |start: f64, ok6nil: u64| WindowDump {
+            dataset: "qname".into(),
+            start,
+            length: 60.0,
+            kept: 0,
+            dropped: 0,
+            filtered: 0,
+            rows: vec![("www.d.com".to_string(), row(100, ok6nil, 300, 300))],
+        };
+        let w1 = mk(0.0, 40);
+        let w2 = mk(60.0, 42);
+        let w3 = mk(120.0, 2);
+        let w4 = mk(180.0, 1);
+        let windows: Vec<&WindowDump> = vec![&w1, &w2, &w3, &w4];
+        let t = ipv6_turnup(&windows, "www.d.com", 100.0).unwrap();
+        assert!(t.empty_share_before > 0.3);
+        assert!(t.empty_share_after < 0.05);
+        // Volume roughly flat (the §5.3 finding).
+        assert!((t.rate_after / t.rate_before - 1.0).abs() < 0.1);
+        assert!(ipv6_turnup(&windows, "missing", 100.0).is_none());
+    }
+}

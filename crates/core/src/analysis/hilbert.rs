@@ -1,0 +1,185 @@
+//! Hilbert-curve heatmap of the observed IPv4 nameserver space
+//! (paper §3.7, Figure 6; after Duane Wessels' ipv4-heatmap).
+//!
+//! Each pixel is one /24 prefix; the pixel value is the number of
+//! observed nameserver addresses inside that /24. The 24-bit prefix
+//! index is laid out along a Hilbert curve of order 12 (4096×4096), so
+//! numerically adjacent prefixes stay visually adjacent.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::IpAddr;
+
+/// Convert a distance `d` along a Hilbert curve of order `order`
+/// (side `2^order`) into `(x, y)` coordinates.
+pub fn hilbert_d2xy(order: u32, d: u64) -> (u32, u32) {
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s = 1u64;
+    while s < (1u64 << order) {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        // Rotate quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// The heatmap: a square grid of /24 occupancy counts.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Curve order; the side length is `2^order`.
+    pub order: u32,
+    /// Row-major pixel counts.
+    pub pixels: Vec<u32>,
+}
+
+impl Heatmap {
+    /// Side length in pixels.
+    pub fn side(&self) -> usize {
+        1usize << self.order
+    }
+
+    /// Number of non-empty pixels (occupied /24s at full order 12).
+    pub fn occupied(&self) -> usize {
+        self.pixels.iter().filter(|&&p| p > 0).count()
+    }
+
+    /// Maximum pixel value.
+    pub fn max(&self) -> u32 {
+        self.pixels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Write as a binary PGM (P5) image, 8-bit, log-scaled so single
+    /// addresses are visible against dense blocks.
+    pub fn write_pgm<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let side = self.side();
+        writeln!(w, "P5\n{side} {side}\n255")?;
+        let max = self.max().max(1) as f64;
+        let scale = 255.0 / (1.0 + max).ln();
+        let mut row = vec![0u8; side];
+        for y in 0..side {
+            for (x, px) in row.iter_mut().enumerate() {
+                let v = self.pixels[y * side + x] as f64;
+                *px = if v == 0.0 {
+                    0
+                } else {
+                    ((1.0 + v).ln() * scale).round().clamp(1.0, 255.0) as u8
+                };
+            }
+            w.write_all(&row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the heatmap from observed nameserver addresses. `order` 12 maps
+/// every /24 to its own pixel; lower orders aggregate (e.g. order 8 →
+/// one pixel per /16).
+pub fn heatmap_of(addrs: impl IntoIterator<Item = IpAddr>, order: u32) -> Heatmap {
+    assert!((1..=12).contains(&order), "order must be 1..=12");
+    let side = 1usize << order;
+    let mut per_prefix: HashMap<u32, u32> = HashMap::new();
+    for addr in addrs {
+        if let IpAddr::V4(v4) = addr {
+            let prefix = u32::from(v4) >> 8; // the /24 index, 24 bits
+            *per_prefix.entry(prefix).or_default() += 1;
+        }
+    }
+    let mut pixels = vec![0u32; side * side];
+    let shift = 24 - 2 * order; // fold 24 bits onto the 2*order-bit curve
+    for (prefix, count) in per_prefix {
+        let d = (prefix >> shift) as u64;
+        let (x, y) = hilbert_d2xy(order, d);
+        pixels[y as usize * side + x as usize] += count;
+    }
+    Heatmap { order, pixels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d2xy_visits_every_cell_once() {
+        let order = 4;
+        let side = 1u64 << order;
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..side * side {
+            let (x, y) = hilbert_d2xy(order, d);
+            assert!(x < side as u32 && y < side as u32);
+            assert!(seen.insert((x, y)), "cell visited twice at d={d}");
+        }
+        assert_eq!(seen.len(), (side * side) as usize);
+    }
+
+    #[test]
+    fn d2xy_is_continuous() {
+        // Successive distances map to 4-adjacent cells — the defining
+        // property of the Hilbert layout.
+        let order = 5;
+        let side = 1u64 << order;
+        let mut prev = hilbert_d2xy(order, 0);
+        for d in 1..side * side {
+            let cur = hilbert_d2xy(order, d);
+            let dist = (cur.0 as i64 - prev.0 as i64).abs() + (cur.1 as i64 - prev.1 as i64).abs();
+            assert_eq!(dist, 1, "jump at d={d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn heatmap_counts_per_slash24() {
+        let addrs: Vec<IpAddr> = vec![
+            "60.1.2.3".parse().unwrap(),
+            "60.1.2.4".parse().unwrap(),  // same /24
+            "60.1.3.1".parse().unwrap(),  // different /24
+            "2001:db8::1".parse().unwrap(), // ignored
+        ];
+        let map = heatmap_of(addrs, 12);
+        assert_eq!(map.occupied(), 2);
+        assert_eq!(map.max(), 2);
+        assert_eq!(map.pixels.iter().map(|&v| v as u64).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn lower_order_aggregates() {
+        let addrs: Vec<IpAddr> = vec![
+            "60.1.2.3".parse().unwrap(),
+            "60.1.3.1".parse().unwrap(), // same /16, different /24
+        ];
+        let map = heatmap_of(addrs, 8); // one pixel per /16
+        assert_eq!(map.occupied(), 1);
+        assert_eq!(map.max(), 2);
+    }
+
+    #[test]
+    fn pgm_output_wellformed() {
+        let addrs: Vec<IpAddr> = (0..100u32)
+            .map(|i| IpAddr::V4(std::net::Ipv4Addr::from(0x3c00_0000 + i * 256)))
+            .collect();
+        let map = heatmap_of(addrs, 6);
+        let mut buf = Vec::new();
+        map.write_pgm(&mut buf).unwrap();
+        let header_end = buf.iter().filter(|&&b| b == b'\n').take(3).count();
+        assert_eq!(header_end, 3);
+        assert!(buf.starts_with(b"P5\n64 64\n255\n"));
+        assert_eq!(buf.len(), "P5\n64 64\n255\n".len() + 64 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn bad_order_panics() {
+        heatmap_of(Vec::<IpAddr>::new(), 13);
+    }
+}

@@ -1,0 +1,23 @@
+//! Analyses reproducing the paper's evaluation section by section:
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`distribution`] | Fig. 2 — traffic CDFs over ranked objects |
+//! | [`asn`] | Table 1 — top AS organizations |
+//! | [`qtypes`] | Table 2 — top QTYPEs |
+//! | [`delays`] | Fig. 3 — response delays and hops |
+//! | [`qmin`] | Table 3 / §3.6 — QNAME minimization detection |
+//! | [`represent`] | Fig. 4 & 5 — data representativeness |
+//! | [`hilbert`] | Fig. 6 — nameserver /24 heatmap |
+//! | [`ttl`] | Fig. 7 & 8, Table 4 — TTL dynamics and change detection |
+//! | [`happy`] | Fig. 9 / §5 — Happy Eyeballs and negative caching |
+
+pub mod asn;
+pub mod delays;
+pub mod distribution;
+pub mod happy;
+pub mod hilbert;
+pub mod qmin;
+pub mod qtypes;
+pub mod represent;
+pub mod ttl;

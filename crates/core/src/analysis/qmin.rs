@@ -1,0 +1,216 @@
+//! QNAME-minimization detection (paper §3.6, Table 3).
+//!
+//! Works on the `srcsrv` dataset (resolver–nameserver pairs). The
+//! classification is deliberately negative-only, as in the paper: a pair
+//! is marked *non-qmin* when the resolver demonstrably sent more labels
+//! than a minimizing resolver would; otherwise its status is unknown.
+//! A resolver is reported as a *possible qmin resolver* when none of its
+//! pairs show non-qmin behaviour anywhere.
+
+use crate::features::FeatureRow;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Server level a pair talks to, for the Table 3 label rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerLevel {
+    /// Root: qmin resolvers send ≤1 label.
+    Root,
+    /// TLD: qmin resolvers send ≤2 labels (≤3 with the multi-label
+    /// whitelist).
+    Tld,
+    /// Anything else: unclassifiable.
+    Other,
+}
+
+/// Verdict for one resolver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolverVerdict {
+    /// Resolver address (as it appears in the dataset keys).
+    pub resolver: String,
+    /// Pairs with root servers that proved non-qmin.
+    pub nonqmin_root_pairs: usize,
+    /// Pairs with TLD servers that proved non-qmin.
+    pub nonqmin_tld_pairs: usize,
+    /// Pairs observed at root/TLD level in total.
+    pub classified_pairs: usize,
+    /// True when every observed root/TLD pair was consistent with qmin.
+    pub possible_qmin: bool,
+}
+
+/// Configuration for the classifier.
+pub struct QminConfig<F> {
+    /// Classify the nameserver side of a pair into a level.
+    pub level_of: F,
+    /// Allow up to 3 labels at TLD servers (the lenient whitelist for
+    /// registries hosting multi-label zones like `.co.uk`).
+    pub lenient_tld: bool,
+}
+
+/// Run the classifier over cumulative `srcsrv` rows. Keys must have the
+/// `resolver|nameserver` shape produced by [`crate::Dataset::SrcSrv`].
+pub fn classify<F>(rows: &[(String, FeatureRow)], cfg: &QminConfig<F>) -> Vec<ResolverVerdict>
+where
+    F: Fn(IpAddr) -> ServerLevel,
+{
+    let mut per_resolver: HashMap<String, ResolverVerdict> = HashMap::new();
+    let tld_limit = if cfg.lenient_tld { 3 } else { 2 };
+    for (key, row) in rows {
+        let Some((resolver, server)) = key.split_once('|') else {
+            continue;
+        };
+        let Ok(server_ip) = server.parse::<IpAddr>() else {
+            continue;
+        };
+        let level = (cfg.level_of)(server_ip);
+        if level == ServerLevel::Other {
+            continue;
+        }
+        let v = per_resolver
+            .entry(resolver.to_string())
+            .or_insert_with(|| ResolverVerdict {
+                resolver: resolver.to_string(),
+                nonqmin_root_pairs: 0,
+                nonqmin_tld_pairs: 0,
+                classified_pairs: 0,
+                possible_qmin: true,
+            });
+        v.classified_pairs += 1;
+        match level {
+            ServerLevel::Root => {
+                if row.qdots_max > 1 {
+                    v.nonqmin_root_pairs += 1;
+                    v.possible_qmin = false;
+                }
+            }
+            ServerLevel::Tld => {
+                if row.qdots_max > tld_limit {
+                    v.nonqmin_tld_pairs += 1;
+                    v.possible_qmin = false;
+                }
+            }
+            ServerLevel::Other => unreachable!(),
+        }
+    }
+    let mut out: Vec<ResolverVerdict> = per_resolver.into_values().collect();
+    out.sort_by(|a, b| a.resolver.cmp(&b.resolver));
+    out
+}
+
+/// Summary of the classification (the §3.6 headline numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QminSummary {
+    /// Resolvers with at least one classified pair.
+    pub resolvers: usize,
+    /// Resolvers consistent with qmin everywhere.
+    pub possible_qmin: usize,
+    /// Fraction of qmin-consistent resolvers.
+    pub qmin_fraction: f64,
+}
+
+/// Aggregate verdicts into the headline numbers.
+pub fn summarize(verdicts: &[ResolverVerdict]) -> QminSummary {
+    let resolvers = verdicts.len();
+    let possible_qmin = verdicts.iter().filter(|v| v.possible_qmin).count();
+    QminSummary {
+        resolvers,
+        possible_qmin,
+        qmin_fraction: if resolvers > 0 {
+            possible_qmin as f64 / resolvers as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The level classifier for the simulated world: root letters at
+/// 198.41.L.4, gTLD letters at 192.(5+L).6.30, ccTLD servers in
+/// 194.0.0.0/8.
+pub fn sim_level_of(ip: IpAddr) -> ServerLevel {
+    if super::delays::root_letter_of(ip).is_some() {
+        return ServerLevel::Root;
+    }
+    if super::delays::gtld_letter_of(ip).is_some() {
+        return ServerLevel::Tld;
+    }
+    match ip {
+        IpAddr::V4(v4) if v4.octets()[0] == 194 => ServerLevel::Tld,
+        _ => ServerLevel::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, FeatureSet};
+
+    fn row(qdots_max: u8) -> FeatureRow {
+        let mut r = FeatureSet::new(FeatureConfig::default()).row();
+        r.hits = 10;
+        r.qdots_max = qdots_max;
+        r
+    }
+
+    fn cfg(lenient: bool) -> QminConfig<impl Fn(IpAddr) -> ServerLevel> {
+        QminConfig {
+            level_of: sim_level_of,
+            lenient_tld: lenient,
+        }
+    }
+
+    #[test]
+    fn table3_rules() {
+        let rows = vec![
+            // resolver A: sends full names to root → non-qmin.
+            ("10.0.0.1|198.41.0.4".to_string(), row(3)),
+            // resolver B: 1 label to root, 2 to TLD → possible qmin.
+            ("10.0.0.2|198.41.0.4".to_string(), row(1)),
+            ("10.0.0.2|192.5.6.30".to_string(), row(2)),
+            // resolver C: fine at root, leaks at TLD.
+            ("10.0.0.3|198.41.1.4".to_string(), row(1)),
+            ("10.0.0.3|192.6.6.30".to_string(), row(4)),
+            // resolver D: only talks to SLD servers → unclassified.
+            ("10.0.0.4|40.0.0.53".to_string(), row(9)),
+        ];
+        let verdicts = classify(&rows, &cfg(false));
+        assert_eq!(verdicts.len(), 3, "resolver D is unclassifiable");
+        let a = verdicts.iter().find(|v| v.resolver == "10.0.0.1").unwrap();
+        assert!(!a.possible_qmin);
+        assert_eq!(a.nonqmin_root_pairs, 1);
+        let b = verdicts.iter().find(|v| v.resolver == "10.0.0.2").unwrap();
+        assert!(b.possible_qmin);
+        let c = verdicts.iter().find(|v| v.resolver == "10.0.0.3").unwrap();
+        assert!(!c.possible_qmin);
+        assert_eq!(c.nonqmin_tld_pairs, 1);
+
+        let summary = summarize(&verdicts);
+        assert_eq!(summary.resolvers, 3);
+        assert_eq!(summary.possible_qmin, 1);
+        assert!((summary.qmin_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lenient_whitelist_allows_three_labels_at_tld() {
+        let rows = vec![("10.0.0.9|192.5.6.30".to_string(), row(3))];
+        let strict = classify(&rows, &cfg(false));
+        assert!(!strict[0].possible_qmin);
+        let lenient = classify(&rows, &cfg(true));
+        assert!(lenient[0].possible_qmin);
+    }
+
+    #[test]
+    fn cctld_space_counts_as_tld() {
+        assert_eq!(sim_level_of("194.1.2.10".parse().unwrap()), ServerLevel::Tld);
+        assert_eq!(sim_level_of("198.41.3.4".parse().unwrap()), ServerLevel::Root);
+        assert_eq!(sim_level_of("40.0.0.53".parse().unwrap()), ServerLevel::Other);
+    }
+
+    #[test]
+    fn empty_input() {
+        let verdicts = classify(&[], &cfg(false));
+        assert!(verdicts.is_empty());
+        let s = summarize(&verdicts);
+        assert_eq!(s.resolvers, 0);
+        assert_eq!(s.qmin_fraction, 0.0);
+    }
+}

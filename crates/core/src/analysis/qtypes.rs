@@ -1,0 +1,193 @@
+//! QTYPE analysis (paper §3.4, Table 2).
+//!
+//! Renders the `qtype` dataset into the 15-column table the paper
+//! reports: shares per outcome class, name-structure statistics,
+//! uniqueness cardinalities, top TTL, infrastructure counts and
+//! performance quartiles.
+
+use crate::features::FeatureRow;
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct QtypeRow {
+    /// QTYPE mnemonic.
+    pub qtype: String,
+    /// Share in all observed transactions.
+    pub global: f64,
+    /// Share of NoError+data within this QTYPE.
+    pub data: f64,
+    /// Share of NoData.
+    pub nodata: f64,
+    /// Share of NXDOMAIN.
+    pub nxd: f64,
+    /// Share of other errors (incl. unanswered).
+    pub err: f64,
+    /// Mean QNAME label count.
+    pub qdots: f64,
+    /// Distinct TLDs per window (mean).
+    pub tlds: f64,
+    /// Distinct eSLDs per window (mean).
+    pub eslds: f64,
+    /// Distinct FQDNs per window (mean, NoError).
+    pub fqdns: f64,
+    /// Share of queried FQDNs that exist (qnames / qnamesa).
+    pub valid: f64,
+    /// Most common answer TTL.
+    pub ttl: Option<u64>,
+    /// Distinct nameserver IPs (mean per window).
+    pub servers: f64,
+    /// Median response delay, ms.
+    pub delay: f64,
+    /// Median hop count.
+    pub hops: f64,
+    /// Median response size, bytes.
+    pub size: f64,
+}
+
+/// Build Table 2 from cumulative `qtype` rows.
+pub fn qtype_table(rows: &[(String, FeatureRow)]) -> Vec<QtypeRow> {
+    let total: u64 = rows.iter().map(|(_, r)| r.hits).sum();
+    let mut out: Vec<QtypeRow> = rows
+        .iter()
+        .map(|(qtype, r)| {
+            let hits = r.hits.max(1) as f64;
+            QtypeRow {
+                qtype: qtype.clone(),
+                global: if total > 0 {
+                    r.hits as f64 / total as f64
+                } else {
+                    0.0
+                },
+                data: (r.ok - r.ok_nil) as f64 / hits,
+                nodata: r.ok_nil as f64 / hits,
+                nxd: r.nxd as f64 / hits,
+                err: (r.unans + r.rfs + r.fail) as f64 / hits,
+                qdots: r.qdots,
+                tlds: r.tlds,
+                eslds: r.eslds,
+                fqdns: r.qnames,
+                valid: if r.qnamesa > 0.0 {
+                    (r.qnames / r.qnamesa).min(1.0)
+                } else {
+                    0.0
+                },
+                ttl: r.top_ttl(),
+                servers: r.srvips,
+                delay: r.median_delay(),
+                hops: r.median_hops(),
+                size: r.resp_size[1],
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.global.partial_cmp(&a.global).unwrap());
+    out
+}
+
+/// Render Table 2 as aligned text.
+pub fn format_qtype_table(rows: &[QtypeRow], top: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<8}{:>7}{:>7}{:>8}{:>7}{:>7}{:>7}{:>8}{:>9}{:>9}{:>7}{:>8}{:>9}{:>7}{:>6}{:>7}\n",
+        "QTYPE", "global", "data", "nodata", "nxd", "err", "qdots", "TLDs", "eSLDs", "FQDNs",
+        "valid", "TTL", "servers", "delay", "hops", "size"
+    ));
+    for r in rows.iter().take(top) {
+        s.push_str(&format!(
+            "{:<8}{:>6.1}%{:>6.1}%{:>7.1}%{:>6.1}%{:>6.1}%{:>7.1}{:>8.0}{:>9.0}{:>9.0}{:>6.0}%{:>8}{:>9.0}{:>7.1}{:>6.1}{:>7.0}\n",
+            r.qtype,
+            r.global * 100.0,
+            r.data * 100.0,
+            r.nodata * 100.0,
+            r.nxd * 100.0,
+            r.err * 100.0,
+            r.qdots,
+            r.tlds,
+            r.eslds,
+            r.fqdns,
+            r.valid * 100.0,
+            r.ttl.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            r.servers,
+            r.delay,
+            r.hops,
+            r.size,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Dataset;
+    use crate::pipeline::{Observatory, ObservatoryConfig};
+    use simnet::{SimConfig, Simulation};
+
+    fn table_from_sim(secs: f64) -> Vec<QtypeRow> {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut obs = Observatory::new(ObservatoryConfig {
+            datasets: vec![(Dataset::Qtype, 64)],
+            window_secs: secs / 2.0,
+            ..ObservatoryConfig::default()
+        });
+        sim.run(secs, &mut |tx| obs.ingest(tx));
+        let store = obs.finish();
+        qtype_table(&store.cumulative(Dataset::Qtype))
+    }
+
+    #[test]
+    fn a_dominates_and_shares_sum() {
+        let table = table_from_sim(6.0);
+        assert!(!table.is_empty());
+        assert_eq!(table[0].qtype, "A", "A must be the top QTYPE");
+        let global_sum: f64 = table.iter().map(|r| r.global).sum();
+        assert!((global_sum - 1.0).abs() < 1e-6);
+        for r in &table {
+            let class_sum = r.data + r.nodata + r.nxd + r.err;
+            assert!(class_sum <= 1.0 + 1e-6, "{}: {class_sum}", r.qtype);
+        }
+    }
+
+    #[test]
+    fn aaaa_has_more_nodata_than_a() {
+        let table = table_from_sim(8.0);
+        let a = table.iter().find(|r| r.qtype == "A").unwrap();
+        let aaaa = table.iter().find(|r| r.qtype == "AAAA").unwrap();
+        assert!(
+            aaaa.nodata > 5.0 * a.nodata.max(0.001),
+            "AAAA nodata {} vs A {}",
+            aaaa.nodata,
+            a.nodata
+        );
+    }
+
+    #[test]
+    fn ptr_has_many_labels() {
+        let table = table_from_sim(8.0);
+        let ptr = table.iter().find(|r| r.qtype == "PTR").unwrap();
+        let a = table.iter().find(|r| r.qtype == "A").unwrap();
+        assert!(
+            ptr.qdots > a.qdots + 1.0,
+            "PTR qdots {} vs A {}",
+            ptr.qdots,
+            a.qdots
+        );
+    }
+
+    #[test]
+    fn ns_is_mostly_nxdomain_with_large_responses() {
+        let table = table_from_sim(8.0);
+        let ns = table.iter().find(|r| r.qtype == "NS").unwrap();
+        let a = table.iter().find(|r| r.qtype == "A").unwrap();
+        assert!(ns.nxd > 0.6, "NS nxd share {}", ns.nxd);
+        assert!(ns.size > 2.0 * a.size, "NS size {} vs A {}", ns.size, a.size);
+    }
+
+    #[test]
+    fn formatting_includes_all_rows() {
+        let table = table_from_sim(4.0);
+        let text = format_qtype_table(&table, 10);
+        assert!(text.contains("QTYPE"));
+        assert!(text.contains('A'));
+        assert!(text.lines().count() <= 11);
+    }
+}

@@ -1,0 +1,247 @@
+//! Data-representativeness experiments (paper §3.7, Figures 4 and 5).
+//!
+//! Figure 4 subsamples the resolver population and measures what a
+//! partial vantage-point set would have seen: distinct nameservers (4a),
+//! coverage of the full-data top-k nameserver list (4b), and distinct
+//! TLDs (4c). Figure 5 grows the observation time instead.
+
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// The minimal per-transaction record these experiments need.
+#[derive(Debug, Clone)]
+pub struct ReprRecord {
+    /// Stream time, seconds.
+    pub time: f64,
+    /// Resolver address.
+    pub resolver: IpAddr,
+    /// Nameserver address.
+    pub nameserver: IpAddr,
+    /// TLD of the QNAME, if any.
+    pub tld: Option<String>,
+}
+
+/// One point of the Figure 4 curves.
+#[derive(Debug, Clone)]
+pub struct SamplePoint {
+    /// Fraction of resolvers used, in (0, 1].
+    pub fraction: f64,
+    /// Mean distinct nameservers seen (over repetitions).
+    pub nameservers: f64,
+    /// Mean distinct TLDs seen.
+    pub tlds: f64,
+    /// Mean coverage of the full-data top-k nameserver list, in [0, 1].
+    pub topk_coverage: f64,
+}
+
+/// Deterministic shuffle of the resolver pool for one repetition.
+fn shuffled(pool: &[IpAddr], seed: u64) -> Vec<IpAddr> {
+    let mut v = pool.to_vec();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Run the Figure 4 experiment: for each fraction, take `reps` random
+/// resolver samples and average what each sample observes.
+///
+/// `topk` is the size of the reference top list (the paper uses 10 000;
+/// scale it to your run).
+pub fn sample_curves(
+    records: &[ReprRecord],
+    resolver_pool: &[IpAddr],
+    fractions: &[f64],
+    reps: usize,
+    topk: usize,
+    seed: u64,
+) -> Vec<SamplePoint> {
+    // Index transactions per resolver once.
+    let mut by_resolver: HashMap<IpAddr, Vec<usize>> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        by_resolver.entry(r.resolver).or_default().push(i);
+    }
+    // Full-data reference top list by transaction count.
+    let mut counts: HashMap<IpAddr, u64> = HashMap::new();
+    for r in records {
+        *counts.entry(r.nameserver).or_default() += 1;
+    }
+    let mut ranked: Vec<(IpAddr, u64)> = counts.into_iter().collect();
+    ranked.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let reference: HashSet<IpAddr> = ranked.iter().take(topk).map(|&(ip, _)| ip).collect();
+
+    let mut out = Vec::with_capacity(fractions.len());
+    for &fraction in fractions {
+        let take = ((fraction * resolver_pool.len() as f64).round() as usize)
+            .clamp(1, resolver_pool.len());
+        let mut ns_sum = 0.0;
+        let mut tld_sum = 0.0;
+        let mut cov_sum = 0.0;
+        for rep in 0..reps {
+            let sample = shuffled(resolver_pool, seed ^ (rep as u64) << 17 ^ take as u64);
+            let mut ns_seen: HashSet<IpAddr> = HashSet::new();
+            let mut tld_seen: HashSet<&str> = HashSet::new();
+            for resolver in sample.into_iter().take(take) {
+                if let Some(idxs) = by_resolver.get(&resolver) {
+                    for &i in idxs {
+                        ns_seen.insert(records[i].nameserver);
+                        if let Some(tld) = &records[i].tld {
+                            tld_seen.insert(tld.as_str());
+                        }
+                    }
+                }
+            }
+            ns_sum += ns_seen.len() as f64;
+            tld_sum += tld_seen.len() as f64;
+            if !reference.is_empty() {
+                let covered = reference.iter().filter(|ip| ns_seen.contains(ip)).count();
+                cov_sum += covered as f64 / reference.len() as f64;
+            }
+        }
+        let n = reps as f64;
+        out.push(SamplePoint {
+            fraction,
+            nameservers: ns_sum / n,
+            tlds: tld_sum / n,
+            topk_coverage: cov_sum / n,
+        });
+    }
+    out
+}
+
+/// Figure 5: cumulative distinct nameservers as observation time grows.
+/// Returns `(time, distinct_nameservers)` at each multiple of `step`.
+pub fn nameservers_over_time(records: &[ReprRecord], step: f64) -> Vec<(f64, usize)> {
+    assert!(step > 0.0);
+    let mut sorted: Vec<&ReprRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    let mut seen: HashSet<IpAddr> = HashSet::new();
+    let mut out = Vec::new();
+    let mut next_tick = step;
+    for r in sorted {
+        while r.time >= next_tick {
+            out.push((next_tick, seen.len()));
+            next_tick += step;
+        }
+        seen.insert(r.nameserver);
+    }
+    out.push((next_tick, seen.len()));
+    out
+}
+
+/// §3.7's /24 dispersion statistic: how many observed IPv4 /24 prefixes
+/// contain exactly 1, 2, 3, … nameserver addresses. Returns
+/// `(total_prefixes, histogram over address counts)`.
+pub fn slash24_dispersion(nameservers: &HashSet<IpAddr>) -> (usize, HashMap<usize, usize>) {
+    let mut per_prefix: HashMap<[u8; 3], usize> = HashMap::new();
+    for ip in nameservers {
+        if let IpAddr::V4(v4) = ip {
+            let o = v4.octets();
+            *per_prefix.entry([o[0], o[1], o[2]]).or_default() += 1;
+        }
+    }
+    let total = per_prefix.len();
+    let mut histogram: HashMap<usize, usize> = HashMap::new();
+    for count in per_prefix.into_values() {
+        *histogram.entry(count).or_default() += 1;
+    }
+    (total, histogram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, resolver: u8, ns: u16, tld: &str) -> ReprRecord {
+        ReprRecord {
+            time: t,
+            resolver: format!("100.64.0.{resolver}").parse().unwrap(),
+            nameserver: format!("60.{}.{}.1", ns / 256, ns % 256).parse().unwrap(),
+            tld: Some(tld.to_string()),
+        }
+    }
+
+    fn pool(n: u8) -> Vec<IpAddr> {
+        (0..n)
+            .map(|i| format!("100.64.0.{i}").parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn curves_grow_with_fraction() {
+        // 10 resolvers, each seeing a partially-overlapping server set.
+        let mut records = Vec::new();
+        for r in 0..10u8 {
+            for s in 0..20u16 {
+                records.push(rec(r as f64, r, (r as u16) * 10 + s, "com"));
+            }
+        }
+        let points = sample_curves(&records, &pool(10), &[0.1, 0.5, 1.0], 5, 50, 42);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].nameservers < points[1].nameservers);
+        assert!(points[1].nameservers < points[2].nameservers);
+        // Full sample sees everything: 10*10+20-10 … just check the max.
+        let all: HashSet<IpAddr> = records.iter().map(|r| r.nameserver).collect();
+        assert!((points[2].nameservers - all.len() as f64).abs() < 1e-9);
+        assert!((points[2].topk_coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn popular_servers_visible_in_small_samples() {
+        // One server seen by every resolver, the rest seen by one each.
+        let mut records = Vec::new();
+        for r in 0..20u8 {
+            records.push(rec(0.0, r, 0, "com")); // the popular one
+            records.push(rec(0.0, r, 100 + r as u16, "net"));
+        }
+        let points = sample_curves(&records, &pool(20), &[0.05], 10, 1, 7);
+        // The top-1 list (the popular server) is covered by any sample.
+        assert!((points[0].topk_coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_curve_is_monotone() {
+        let mut records = Vec::new();
+        for i in 0..100u16 {
+            records.push(rec(i as f64, 0, i / 2, "com"));
+        }
+        let curve = nameservers_over_time(&records, 10.0);
+        assert!(curve.len() >= 10);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 50);
+    }
+
+    #[test]
+    fn dispersion_counts_prefixes() {
+        let mut set: HashSet<IpAddr> = HashSet::new();
+        set.insert("60.0.0.1".parse().unwrap());
+        set.insert("60.0.0.2".parse().unwrap()); // same /24
+        set.insert("60.0.1.1".parse().unwrap());
+        set.insert("61.0.0.1".parse().unwrap());
+        set.insert("2001:db8::1".parse().unwrap()); // ignored (v6)
+        let (total, hist) = slash24_dispersion(&set);
+        assert_eq!(total, 3);
+        assert_eq!(hist.get(&1), Some(&2));
+        assert_eq!(hist.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let records: Vec<ReprRecord> = (0..50)
+            .map(|i| rec(i as f64, (i % 10) as u8, i as u16, "org"))
+            .collect();
+        let a = sample_curves(&records, &pool(10), &[0.3], 4, 10, 99);
+        let b = sample_curves(&records, &pool(10), &[0.3], 4, 10, 99);
+        assert_eq!(a[0].nameservers, b[0].nameservers);
+    }
+}

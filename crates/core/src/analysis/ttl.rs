@@ -1,0 +1,486 @@
+//! TTL dynamics (paper §4): traffic response to TTL changes (Fig. 7 and
+//! 8) and detection + classification of infrastructure changes from TTL
+//! movements (Table 4).
+
+use crate::features::FeatureRow;
+use crate::timeseries::WindowDump;
+use std::collections::HashMap;
+
+/// One point of a per-key time series (Fig. 7).
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesPoint {
+    /// Window start, seconds.
+    pub start: f64,
+    /// Queries in the window.
+    pub hits: u64,
+    /// Answered (NoError) queries in the window.
+    pub ok: u64,
+    /// Most common answer TTL in the window.
+    pub top_ttl: Option<u64>,
+}
+
+/// Extract the Fig. 7 time series of one key across a dataset's windows.
+pub fn key_series(windows: &[&WindowDump], key: &str) -> Vec<SeriesPoint> {
+    windows
+        .iter()
+        .map(|w| {
+            let row = w.get(key);
+            SeriesPoint {
+                start: w.start,
+                hits: row.map(|r| r.hits).unwrap_or(0),
+                ok: row.map(|r| r.ok).unwrap_or(0),
+                top_ttl: row.and_then(|r| r.top_ttl()),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Fig. 8 scatter: TTL change vs traffic change between
+/// two observation periods.
+#[derive(Debug, Clone)]
+pub struct TtlTrafficChange {
+    /// The eSLD.
+    pub key: String,
+    /// Most common TTL in the earlier period.
+    pub ttl_before: u64,
+    /// Most common TTL in the later period.
+    pub ttl_after: u64,
+    /// Queries per window, earlier period.
+    pub hits_before: f64,
+    /// Queries per window, later period.
+    pub hits_after: f64,
+    /// Answered queries per window, earlier/later — the paper uses the
+    /// response rate to spot NXDOMAIN-driven anomalies.
+    pub ok_before: f64,
+    /// Answered queries per window, later period.
+    pub ok_after: f64,
+}
+
+impl TtlTrafficChange {
+    /// log2 of the TTL ratio (negative = TTL decrease).
+    pub fn ttl_log_ratio(&self) -> f64 {
+        (self.ttl_after.max(1) as f64 / self.ttl_before.max(1) as f64).log2()
+    }
+
+    /// Relative traffic change (1.0 = doubled).
+    pub fn traffic_change(&self) -> f64 {
+        if self.hits_before <= 0.0 {
+            return 0.0;
+        }
+        self.hits_after / self.hits_before - 1.0
+    }
+
+    /// True when queries rose but responses did not (the paper's
+    /// explanation for TTL-increase-with-traffic-increase cases).
+    pub fn query_only_increase(&self) -> bool {
+        self.traffic_change() > 0.0
+            && self.ok_before > 0.0
+            && (self.ok_after / self.ok_before - 1.0) < 0.5 * self.traffic_change()
+    }
+}
+
+/// Compare two periods of a dataset and report keys whose dominant TTL
+/// changed, with their traffic deltas (Fig. 8's population).
+pub fn ttl_traffic_changes(
+    before: &[&WindowDump],
+    after: &[&WindowDump],
+) -> Vec<TtlTrafficChange> {
+    let mean_rows = |windows: &[&WindowDump]| -> HashMap<String, (f64, f64, Option<u64>)> {
+        let mut acc: HashMap<String, (f64, f64, HashMap<u64, f64>)> = HashMap::new();
+        for w in windows {
+            for (key, row) in &w.rows {
+                let e = acc.entry(key.clone()).or_default();
+                e.0 += row.hits as f64;
+                e.1 += row.ok as f64;
+                for &(v, s) in &row.ttl_top {
+                    *e.2.entry(v).or_default() += s * row.hits as f64;
+                }
+            }
+        }
+        let n = windows.len().max(1) as f64;
+        acc.into_iter()
+            .map(|(key, (hits, ok, ttls))| {
+                let top = ttls
+                    .into_iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .map(|(v, _)| v);
+                (key, (hits / n, ok / n, top))
+            })
+            .collect()
+    };
+    let b = mean_rows(before);
+    let a = mean_rows(after);
+    let mut out = Vec::new();
+    for (key, &(hits_before, ok_before, ttl_b)) in &b {
+        let Some(&(hits_after, ok_after, ttl_a)) = a.get(key) else {
+            continue;
+        };
+        let (Some(ttl_before), Some(ttl_after)) = (ttl_b, ttl_a) else {
+            continue;
+        };
+        if ttl_before == ttl_after {
+            continue;
+        }
+        out.push(TtlTrafficChange {
+            key: key.clone(),
+            ttl_before,
+            ttl_after,
+            hits_before,
+            hits_after,
+            ok_before,
+            ok_after,
+        });
+    }
+    // Largest traffic changes first (the paper plots the top 100).
+    out.sort_by(|x, y| {
+        y.traffic_change()
+            .abs()
+            .partial_cmp(&x.traffic_change().abs())
+            .unwrap()
+    });
+    out
+}
+
+/// Table 4 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeCategory {
+    /// Server returns variable TTLs on every query.
+    NonConforming,
+    /// Address records changed (with a TTL movement).
+    Renumbering,
+    /// NS set changed (with a TTL movement).
+    ChangeNs,
+    /// TTL went down, data unchanged.
+    TtlDecrease,
+    /// TTL went up, data unchanged.
+    TtlIncrease,
+    /// A TTL change with not enough evidence to classify.
+    Unknown,
+}
+
+/// One detected change (a Table 4 row).
+#[derive(Debug, Clone)]
+pub struct DetectedChange {
+    /// The FQDN.
+    pub key: String,
+    /// Window start where the change was first seen.
+    pub at: f64,
+    /// Classification.
+    pub category: ChangeCategory,
+    /// Dominant TTL before the change.
+    pub ttl_before: u64,
+    /// Dominant TTL after.
+    pub ttl_after: u64,
+}
+
+/// Minimum share a new TTL value needs in a window to count as a change
+/// (paper §4.2.1 uses 10 %).
+const NEW_VALUE_SHARE: f64 = 0.10;
+
+/// Detect and classify TTL-linked changes across consecutive windows of
+/// the `aafqdn` dataset (paper §4.2).
+///
+/// Works on the per-type TTL distributions: A-record TTLs (`ttl_a_top`)
+/// and NS TTLs/names, like the paper's analysis of "the TTL distribution
+/// of its A and NS records". Each key yields at most one detection — the
+/// whole episode's classification, with data-change evidence taking
+/// precedence over plain TTL movements.
+pub fn detect_changes(windows: &[&WindowDump]) -> Vec<DetectedChange> {
+    // Collect each key's row sequence.
+    let mut sequences: HashMap<&str, Vec<(f64, &FeatureRow)>> = HashMap::new();
+    for w in windows {
+        for (key, row) in &w.rows {
+            sequences.entry(key).or_default().push((w.start, row));
+        }
+    }
+    let mut out = Vec::new();
+    for (key, seq) in sequences {
+        if seq.len() < 2 {
+            continue;
+        }
+        if let Some(change) = classify_episode(key, &seq) {
+            out.push(change);
+        }
+    }
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    out
+}
+
+/// The most frequent A TTL of a row.
+fn top_a_ttl(r: &FeatureRow) -> Option<u64> {
+    r.ttl_a_top.first().map(|&(v, _)| v)
+}
+
+fn classify_episode(key: &str, seq: &[(f64, &FeatureRow)]) -> Option<DetectedChange> {
+    // --- Non-conforming: A TTLs scattered *and* unstable across windows.
+    let measured: Vec<&(f64, &FeatureRow)> = seq
+        .iter()
+        .filter(|(_, r)| r.hits >= 5 && !r.ttl_a_top.is_empty())
+        .collect();
+    if measured.len() >= 2 {
+        let scattered = measured
+            .iter()
+            .filter(|(_, r)| r.ttl_a_top.first().map(|&(_, s)| s < 0.6).unwrap_or(false))
+            .count();
+        let unstable = measured
+            .windows(2)
+            .filter(|w| top_a_ttl(w[0].1) != top_a_ttl(w[1].1))
+            .count();
+        if scattered * 2 > measured.len() && unstable * 2 >= measured.len() - 1 {
+            return Some(DetectedChange {
+                key: key.to_string(),
+                at: measured[0].0,
+                category: ChangeCategory::NonConforming,
+                ttl_before: top_a_ttl(measured[0].1).unwrap_or(0),
+                ttl_after: top_a_ttl(measured[measured.len() - 1].1).unwrap_or(0),
+            });
+        }
+    }
+
+    // --- Scan consecutive windows for evidence.
+    let mut first_ttl_move: Option<(f64, u64, u64)> = None; // (at, before, after)
+    let mut a_flipped = false;
+    let mut ns_flipped = false;
+    for pair in seq.windows(2) {
+        let (_, prev) = pair[0];
+        let (at, cur) = pair[1];
+        a_flipped |= data_top_changed(&prev.a_data_top, &cur.a_data_top);
+        ns_flipped |= data_top_changed(&prev.ns_names_top, &cur.ns_names_top);
+        if first_ttl_move.is_none() {
+            if let Some(prev_ttl) = top_a_ttl(prev) {
+                let new_value = cur.ttl_a_top.iter().find(|&&(v, s)| {
+                    s >= NEW_VALUE_SHARE && prev.ttl_a_top.iter().all(|&(pv, _)| pv != v)
+                });
+                if let Some(&(cur_ttl, _)) = new_value {
+                    first_ttl_move = Some((at, prev_ttl, cur_ttl));
+                }
+            }
+        }
+    }
+    // NS-only keys (e.g. eSLDs answering NS queries): an NS-name flip is
+    // itself a detection even without A records.
+    if first_ttl_move.is_none() && ns_flipped {
+        return Some(DetectedChange {
+            key: key.to_string(),
+            at: seq[0].0,
+            category: ChangeCategory::ChangeNs,
+            ttl_before: seq[0].1.nsttl_top.first().map(|&(v, _)| v).unwrap_or(0),
+            ttl_after: seq[seq.len() - 1]
+                .1
+                .nsttl_top
+                .first()
+                .map(|&(v, _)| v)
+                .unwrap_or(0),
+        });
+    }
+    let (at, ttl_before, ttl_after) = first_ttl_move?;
+    let had_a_data = seq.iter().any(|(_, r)| !r.a_data_top.is_empty());
+    let category = if ns_flipped {
+        ChangeCategory::ChangeNs
+    } else if a_flipped {
+        ChangeCategory::Renumbering
+    } else if !had_a_data {
+        ChangeCategory::Unknown
+    } else if ttl_after < ttl_before {
+        ChangeCategory::TtlDecrease
+    } else {
+        ChangeCategory::TtlIncrease
+    };
+    Some(DetectedChange {
+        key: key.to_string(),
+        at,
+        category,
+        ttl_before,
+        ttl_after,
+    })
+}
+
+/// Did the dominant data value change between two top-lists?
+fn data_top_changed(prev: &[(u64, f64)], cur: &[(u64, f64)]) -> bool {
+    match (prev.first(), cur.first()) {
+        (Some(&(p, _)), Some(&(c, _))) => p != c,
+        _ => false,
+    }
+}
+
+/// Count detections per category (the Table 4 "#" column).
+pub fn category_counts(changes: &[DetectedChange]) -> HashMap<ChangeCategory, usize> {
+    let mut counts = HashMap::new();
+    for c in changes {
+        *counts.entry(c.category).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, FeatureSet};
+
+    fn row(hits: u64, ttl_top: Vec<(u64, f64)>) -> FeatureRow {
+        let mut r = FeatureSet::new(FeatureConfig::default()).row();
+        r.hits = hits;
+        r.ok = hits;
+        r.ttl_a_top = ttl_top.clone();
+        r.ttl_top = ttl_top;
+        r.a_data_top = vec![(111, 1.0)];
+        r.ns_names_top = vec![(222, 1.0)];
+        r
+    }
+
+    fn dump(start: f64, rows: Vec<(String, FeatureRow)>) -> WindowDump {
+        WindowDump {
+            dataset: "aafqdn".into(),
+            start,
+            length: 3600.0,
+            kept: 0,
+            dropped: 0,
+            filtered: 0,
+            rows,
+        }
+    }
+
+    #[test]
+    fn series_extraction_fills_gaps() {
+        let d1 = dump(0.0, vec![("x".into(), row(10, vec![(600, 1.0)]))]);
+        let d2 = dump(3600.0, vec![]);
+        let d3 = dump(7200.0, vec![("x".into(), row(40, vec![(10, 1.0)]))]);
+        let windows: Vec<&WindowDump> = vec![&d1, &d2, &d3];
+        let series = key_series(&windows, "x");
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[1].hits, 0);
+        assert_eq!(series[2].top_ttl, Some(10));
+    }
+
+    #[test]
+    fn fig8_changes_sorted_by_traffic_delta() {
+        let b1 = dump(
+            0.0,
+            vec![
+                ("big".into(), row(100, vec![(600, 1.0)])),
+                ("small".into(), row(100, vec![(600, 1.0)])),
+                ("same".into(), row(100, vec![(600, 1.0)])),
+            ],
+        );
+        let a1 = dump(
+            3600.0,
+            vec![
+                ("big".into(), row(900, vec![(10, 1.0)])),
+                ("small".into(), row(120, vec![(300, 1.0)])),
+                ("same".into(), row(100, vec![(600, 1.0)])),
+            ],
+        );
+        let changes = ttl_traffic_changes(&[&b1], &[&a1]);
+        assert_eq!(changes.len(), 2, "unchanged-TTL key excluded");
+        assert_eq!(changes[0].key, "big");
+        assert!(changes[0].ttl_log_ratio() < 0.0);
+        assert!((changes[0].traffic_change() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_only_increase_detected() {
+        let c = TtlTrafficChange {
+            key: "x".into(),
+            ttl_before: 60,
+            ttl_after: 600,
+            hits_before: 100.0,
+            hits_after: 300.0,
+            ok_before: 90.0,
+            ok_after: 95.0,
+        };
+        assert!(c.query_only_increase());
+        let healthy = TtlTrafficChange {
+            ok_after: 280.0,
+            ..c
+        };
+        assert!(!healthy.query_only_increase());
+    }
+
+    #[test]
+    fn detects_plain_ttl_decrease() {
+        let d1 = dump(0.0, vec![("f".into(), row(50, vec![(86_400, 0.98)]))]);
+        let d2 = dump(3600.0, vec![("f".into(), row(50, vec![(3_600, 0.95)]))]);
+        let changes = detect_changes(&[&d1, &d2]);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].category, ChangeCategory::TtlDecrease);
+        assert_eq!(changes[0].ttl_before, 86_400);
+        assert_eq!(changes[0].ttl_after, 3_600);
+    }
+
+    #[test]
+    fn classifies_renumbering_and_ns_change() {
+        // Renumbering: A-data hash flips along with the TTL.
+        let mut r2 = row(50, vec![(38_400, 0.9)]);
+        r2.a_data_top = vec![(999, 1.0)];
+        let d1 = dump(0.0, vec![("ren".into(), row(50, vec![(600, 0.9)]))]);
+        let d2 = dump(3600.0, vec![("ren".into(), r2)]);
+        let changes = detect_changes(&[&d1, &d2]);
+        assert_eq!(changes[0].category, ChangeCategory::Renumbering);
+
+        // NS change dominates over renumbering when both flip.
+        let mut r3 = row(50, vec![(10, 0.9)]);
+        r3.a_data_top = vec![(999, 1.0)];
+        r3.ns_names_top = vec![(333, 1.0)];
+        let d3 = dump(0.0, vec![("nsch".into(), row(50, vec![(600, 0.9)]))]);
+        let d4 = dump(3600.0, vec![("nsch".into(), r3)]);
+        let changes = detect_changes(&[&d3, &d4]);
+        assert_eq!(changes[0].category, ChangeCategory::ChangeNs);
+    }
+
+    #[test]
+    fn detects_nonconforming() {
+        let scatter = |seedbase: u64| {
+            vec![
+                (seedbase + 100, 0.3),
+                (seedbase + 200, 0.3),
+                (seedbase + 300, 0.3),
+            ]
+        };
+        let d1 = dump(0.0, vec![("var".into(), row(50, scatter(0)))]);
+        let d2 = dump(3600.0, vec![("var".into(), row(50, scatter(7)))]);
+        let changes = detect_changes(&[&d1, &d2]);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].category, ChangeCategory::NonConforming);
+    }
+
+    #[test]
+    fn small_new_value_ignored() {
+        // A value with <10% share must not trigger a detection.
+        let d1 = dump(0.0, vec![("f".into(), row(100, vec![(600, 0.97)]))]);
+        let d2 = dump(
+            3600.0,
+            vec![("f".into(), row(100, vec![(600, 0.93), (10, 0.06)]))],
+        );
+        assert!(detect_changes(&[&d1, &d2]).is_empty());
+    }
+
+    #[test]
+    fn category_counting() {
+        let changes = vec![
+            DetectedChange {
+                key: "a".into(),
+                at: 0.0,
+                category: ChangeCategory::Renumbering,
+                ttl_before: 1,
+                ttl_after: 2,
+            },
+            DetectedChange {
+                key: "b".into(),
+                at: 0.0,
+                category: ChangeCategory::Renumbering,
+                ttl_before: 1,
+                ttl_after: 2,
+            },
+            DetectedChange {
+                key: "c".into(),
+                at: 0.0,
+                category: ChangeCategory::Unknown,
+                ttl_before: 1,
+                ttl_after: 2,
+            },
+        ];
+        let counts = category_counts(&changes);
+        assert_eq!(counts[&ChangeCategory::Renumbering], 2);
+        assert_eq!(counts[&ChangeCategory::Unknown], 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! `dnsobs` — the platform as a command-line tool.
+//!
+//! ```text
+//! dnsobs simulate --duration 60 --out ./data     run the pipeline, write TSV files
+//! dnsobs show ./data/srvip-60.tsv                pretty-print a TSV window
+//! dnsobs top ./data/srvip-60.tsv --n 10          top rows of a window by hits
+//! ```
+//!
+//! File names encode the dataset and the window start, like the paper's
+//! storage layout (§2.4). A `10min` rollup is produced alongside the
+//! minutely files when the run is long enough.
+
+use dns_observatory::aggregate::{Aggregator, Level};
+use dns_observatory::{tsv, Dataset, Observatory, ObservatoryConfig};
+use simnet::{SimConfig, Simulation};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("simulate") => simulate(&args[1..]),
+        Some("show") => show(&args[1..], usize::MAX),
+        Some("top") => {
+            let n = flag_value(&args[1..], "--n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            show(&args[1..], n)
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--out DIR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn simulate(args: &[String]) -> i32 {
+    let duration: f64 = flag_value(args, "--duration")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let window: f64 = flag_value(args, "--window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SimConfig::default().seed);
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("./dnsobs-data"));
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return 1;
+    }
+
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::small()
+    };
+    eprintln!(
+        "simulating {duration}s of DNS traffic (seed {seed}), windows of {window}s -> {}",
+        out.display()
+    );
+    let mut sim = Simulation::from_config(cfg);
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets: vec![
+            (Dataset::SrvIp, 10_000),
+            (Dataset::Esld, 10_000),
+            (Dataset::Qname, 10_000),
+            (Dataset::Qtype, 64),
+            (Dataset::Rcode, 16),
+        ],
+        window_secs: window,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(duration, &mut |tx| obs.ingest(tx));
+    eprintln!("ingested {} transactions", obs.ingested());
+    let store = obs.finish();
+
+    // Minutely files + a coarse rollup ladder per dataset.
+    let mut files = 0usize;
+    for ds in [
+        Dataset::SrvIp,
+        Dataset::Esld,
+        Dataset::Qname,
+        Dataset::Qtype,
+        Dataset::Rcode,
+    ] {
+        let mut agg = Aggregator::new(&[Level {
+            name: "10win",
+            fan_in: 10,
+            retention: 1_000,
+        }]);
+        for w in store.dataset(ds) {
+            let path = out.join(format!("{}-{:05}.tsv", ds.name(), w.start as u64));
+            if write_dump(&path, w).is_err() {
+                eprintln!("failed writing {}", path.display());
+                return 1;
+            }
+            files += 1;
+            agg.push((*w).clone());
+        }
+        for w in agg.completed(0) {
+            let path = out.join(format!("{}-10win-{:05}.tsv", ds.name(), w.start as u64));
+            if write_dump(&path, w).is_err() {
+                return 1;
+            }
+            files += 1;
+        }
+    }
+    eprintln!("wrote {files} TSV files to {}", out.display());
+    0
+}
+
+fn write_dump(path: &Path, dump: &dns_observatory::WindowDump) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    tsv::write_window(&mut w, dump)
+}
+
+fn show(args: &[String], top: usize) -> i32 {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--") && a.ends_with(".tsv")) else {
+        eprintln!("no .tsv file given");
+        return 2;
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return 1;
+        }
+    };
+    let dump = match tsv::read_window(BufReader::new(file)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "dataset {} | window {}s @ t={}s | kept {} dropped {} filtered {}",
+        dump.dataset, dump.length, dump.start, dump.kept, dump.dropped, dump.filtered
+    );
+    println!(
+        "{:<40} {:>8} {:>7} {:>7} {:>9} {:>8}",
+        "key", "hits", "nxd", "nodata", "delay_ms", "top_ttl"
+    );
+    for (key, row) in dump.rows.iter().take(top) {
+        println!(
+            "{:<40} {:>8} {:>6.1}% {:>6.1}% {:>9.1} {:>8}",
+            key,
+            row.hits,
+            row.nxd_share() * 100.0,
+            row.nodata_share() * 100.0,
+            row.median_delay(),
+            row.top_ttl()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    0
+}

@@ -1,0 +1,154 @@
+//! Dataset definitions: which textual key identifies a DNS object
+//! (paper §2.2 and §3.1).
+
+use crate::summarize::TxSummary;
+
+/// The aggregations collected by the platform (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Top authoritative nameservers, keyed by nameserver IP.
+    SrvIp,
+    /// Top effective TLDs (NXDOMAIN traffic included).
+    Etld,
+    /// Top effective SLDs.
+    Esld,
+    /// Top FQDNs (full QNAME).
+    Qname,
+    /// All QTYPE aggregations.
+    Qtype,
+    /// All RCODE aggregations.
+    Rcode,
+    /// Top FQDNs in authoritative answers (AA flag set, with data).
+    AaFqdn,
+    /// Top (resolver, nameserver) pairs.
+    SrcSrv,
+}
+
+impl Dataset {
+    /// Short name used in file names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::SrvIp => "srvip",
+            Dataset::Etld => "etld",
+            Dataset::Esld => "esld",
+            Dataset::Qname => "qname",
+            Dataset::Qtype => "qtype",
+            Dataset::Rcode => "rcode",
+            Dataset::AaFqdn => "aafqdn",
+            Dataset::SrcSrv => "srcsrv",
+        }
+    }
+
+    /// The k used in the paper for this aggregation.
+    pub fn paper_k(self) -> usize {
+        match self {
+            Dataset::SrvIp => 100_000,
+            Dataset::Etld => 10_000,
+            Dataset::Esld => 100_000,
+            Dataset::Qname => 100_000,
+            Dataset::Qtype => 256,
+            Dataset::Rcode => 32,
+            Dataset::AaFqdn => 20_000,
+            Dataset::SrcSrv => 30_000,
+        }
+    }
+
+    /// Extract this dataset's key from a summary; `None` drops the
+    /// transaction from the aggregation (the dataset's input filter).
+    pub fn key(self, s: &TxSummary) -> Option<String> {
+        match self {
+            Dataset::SrvIp => Some(s.nameserver.to_string()),
+            Dataset::Etld => s
+                .etld
+                .clone()
+                .or_else(|| s.tld.clone()),
+            Dataset::Esld => s.esld.clone(),
+            Dataset::Qname => Some(s.qname.to_ascii()),
+            Dataset::Qtype => Some(s.qtype.mnemonic()),
+            Dataset::Rcode => Some(s.outcome.tag().to_string()),
+            Dataset::AaFqdn => {
+                // Only authoritative responses carrying data or delegation
+                // (paper §4.2.1).
+                if s.aa && (s.ok_ans || s.ok_ns) {
+                    Some(s.qname.to_ascii())
+                } else {
+                    None
+                }
+            }
+            Dataset::SrcSrv => Some(format!("{}|{}", s.resolver, s.nameserver)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summarize::TxSummary;
+    use psl::Psl;
+    use simnet::{SimConfig, Simulation};
+
+    fn sample() -> Vec<TxSummary> {
+        let psl = Psl::embedded();
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut out = Vec::new();
+        sim.run(1.0, &mut |tx| out.push(TxSummary::from_transaction(tx, &psl)));
+        out
+    }
+
+    #[test]
+    fn keys_extracted_for_all_datasets() {
+        let sums = sample();
+        for ds in [
+            Dataset::SrvIp,
+            Dataset::Etld,
+            Dataset::Qname,
+            Dataset::Qtype,
+            Dataset::Rcode,
+            Dataset::SrcSrv,
+        ] {
+            let keyed = sums.iter().filter(|s| ds.key(s).is_some()).count();
+            assert_eq!(keyed, sums.len(), "{} must key every tx", ds.name());
+        }
+        // esld drops names without a registrable domain (e.g. bare TLDs).
+        let esld_keyed = sums.iter().filter(|s| Dataset::Esld.key(s).is_some()).count();
+        assert!(esld_keyed as f64 > 0.7 * sums.len() as f64);
+    }
+
+    #[test]
+    fn aafqdn_filters_non_authoritative() {
+        let sums = sample();
+        for s in &sums {
+            if let Some(_key) = Dataset::AaFqdn.key(s) {
+                assert!(s.aa && (s.ok_ans || s.ok_ns));
+            }
+        }
+        let kept = sums.iter().filter(|s| Dataset::AaFqdn.key(s).is_some()).count();
+        assert!(kept > 0, "some AA answers expected");
+        assert!(kept < sums.len(), "referrals/NXD must be filtered");
+    }
+
+    #[test]
+    fn srcsrv_key_combines_both_addresses() {
+        let sums = sample();
+        let s = &sums[0];
+        let key = Dataset::SrcSrv.key(s).unwrap();
+        assert!(key.contains('|'));
+        assert!(key.starts_with(&s.resolver.to_string()));
+    }
+
+    #[test]
+    fn qtype_keys_are_mnemonics() {
+        let sums = sample();
+        let keys: std::collections::HashSet<String> =
+            sums.iter().filter_map(|s| Dataset::Qtype.key(s)).collect();
+        assert!(keys.contains("A"));
+        assert!(keys.iter().all(|k| !k.is_empty()));
+    }
+
+    #[test]
+    fn names_and_paper_k() {
+        assert_eq!(Dataset::SrvIp.name(), "srvip");
+        assert_eq!(Dataset::SrvIp.paper_k(), 100_000);
+        assert_eq!(Dataset::Etld.paper_k(), 10_000);
+    }
+}

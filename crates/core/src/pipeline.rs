@@ -1,0 +1,355 @@
+//! The assembled Observatory (steps B–F of the paper's Figure 1), in two
+//! flavours: a single-threaded [`Observatory`] and a crossbeam-channel
+//! [`ThreadedPipeline`] with parallel summarizers and a sequencing stage,
+//! mirroring how a production deployment separates ingest from tracking.
+
+use crate::features::FeatureConfig;
+use crate::keys::Dataset;
+use crate::summarize::TxSummary;
+use crate::timeseries::{TimeSeriesStore, WindowDump};
+use crate::topk::TopKTracker;
+use psl::Psl;
+use simnet::Transaction;
+
+/// Observatory configuration.
+#[derive(Debug, Clone)]
+pub struct ObservatoryConfig {
+    /// Datasets to track, with their top-k capacities.
+    pub datasets: Vec<(Dataset, usize)>,
+    /// Window length in seconds (the paper uses 60).
+    pub window_secs: f64,
+    /// Sketch sizing for per-object features.
+    pub feature_cfg: FeatureConfig,
+    /// Use the Bloom eviction gate (paper §2.2's optional filter).
+    pub bloom_gate: bool,
+}
+
+impl Default for ObservatoryConfig {
+    fn default() -> Self {
+        ObservatoryConfig {
+            datasets: vec![(Dataset::SrvIp, 10_000)],
+            window_secs: 60.0,
+            feature_cfg: FeatureConfig::default(),
+            bloom_gate: true,
+        }
+    }
+}
+
+/// The single-threaded stream processor: summarize → track → window-dump.
+pub struct Observatory {
+    cfg: ObservatoryConfig,
+    psl: Psl,
+    trackers: Vec<TopKTracker>,
+    store: TimeSeriesStore,
+    window_start: Option<f64>,
+    /// Stats captured at the previous window boundary, per tracker.
+    prev_stats: Vec<(u64, u64, u64)>,
+    ingested: u64,
+}
+
+impl Observatory {
+    /// Build from config.
+    pub fn new(cfg: ObservatoryConfig) -> Observatory {
+        let trackers = cfg
+            .datasets
+            .iter()
+            .map(|&(ds, k)| TopKTracker::new(ds, k, cfg.feature_cfg, cfg.bloom_gate))
+            .collect::<Vec<_>>();
+        let prev_stats = vec![(0, 0, 0); trackers.len()];
+        Observatory {
+            cfg,
+            psl: Psl::embedded(),
+            trackers,
+            store: TimeSeriesStore::new(),
+            window_start: None,
+            prev_stats,
+            ingested: 0,
+        }
+    }
+
+    /// Total transactions ingested.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Ingest one simulator transaction (structured fast path).
+    pub fn ingest(&mut self, tx: &Transaction) {
+        let summary = TxSummary::from_transaction(tx, &self.psl);
+        self.ingest_summary(summary);
+    }
+
+    /// Ingest one transaction from raw captured packets; silently drops
+    /// unparseable input (the preprocessing filter).
+    pub fn ingest_packets(
+        &mut self,
+        query_pkt: &[u8],
+        response_pkt: Option<&[u8]>,
+        time: f64,
+        contributor: u16,
+        delay_ms: f64,
+    ) {
+        if let Some(summary) = TxSummary::from_packets(
+            query_pkt,
+            response_pkt,
+            time,
+            contributor,
+            delay_ms,
+            &self.psl,
+        ) {
+            self.ingest_summary(summary);
+        }
+    }
+
+    /// Ingest a pre-built summary.
+    pub fn ingest_summary(&mut self, summary: TxSummary) {
+        let start = *self.window_start.get_or_insert(summary.time);
+        if summary.time >= start + self.cfg.window_secs {
+            self.dump_window();
+            // Advance to the window containing this summary.
+            let w = self.cfg.window_secs;
+            let start = self.window_start.expect("set above");
+            let skipped = ((summary.time - start) / w).floor();
+            self.window_start = Some(start + skipped * w);
+        }
+        self.ingested += 1;
+        for t in &mut self.trackers {
+            t.observe(&summary);
+        }
+    }
+
+    fn dump_window(&mut self) {
+        let start = self.window_start.expect("dump only after first tx");
+        for (i, t) in self.trackers.iter_mut().enumerate() {
+            let rows = t.dump(start);
+            let (kept, dropped, filtered) = t.stats();
+            let (pk, pd, pf) = self.prev_stats[i];
+            self.prev_stats[i] = (kept, dropped, filtered);
+            self.store.push(WindowDump {
+                dataset: t.dataset().name().to_string(),
+                start,
+                length: self.cfg.window_secs,
+                rows,
+                kept: kept - pk,
+                dropped: dropped - pd,
+                filtered: filtered - pf,
+            });
+        }
+    }
+
+    /// Flush the final partial window and return the collected store.
+    pub fn finish(mut self) -> TimeSeriesStore {
+        if self.window_start.is_some() && self.ingested > 0 {
+            self.dump_window();
+        }
+        self.store
+    }
+
+    /// Borrow the store collected so far (completed windows only).
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+}
+
+/// A threaded pipeline: a bounded crossbeam channel fans transactions to
+/// `workers` summarizer threads; summaries return with sequence numbers
+/// and are re-ordered before entering the (stateful, single-threaded)
+/// trackers — the same shape as the paper's production ingest.
+pub struct ThreadedPipeline {
+    cfg: ObservatoryConfig,
+    workers: usize,
+}
+
+impl ThreadedPipeline {
+    /// Build a pipeline with `workers` summarizer threads.
+    pub fn new(cfg: ObservatoryConfig, workers: usize) -> ThreadedPipeline {
+        ThreadedPipeline {
+            cfg,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Consume `transactions`, returning the collected time series.
+    ///
+    /// The input is chunked into batches; each batch is summarized by one
+    /// worker; a sequencer restores batch order so window boundaries are
+    /// deterministic and identical to the single-threaded result.
+    pub fn run(&self, transactions: Vec<Transaction>) -> TimeSeriesStore {
+        use crossbeam_channel::bounded;
+        use std::collections::BTreeMap;
+
+        const BATCH: usize = 512;
+        let (task_tx, task_rx) = bounded::<(u64, Vec<Transaction>)>(self.workers * 2);
+        let (done_tx, done_rx) = bounded::<(u64, Vec<TxSummary>)>(self.workers * 2);
+
+        let mut observatory = Observatory::new(self.cfg.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    let psl = Psl::embedded();
+                    for (seq, batch) in task_rx.iter() {
+                        let summaries = batch
+                            .iter()
+                            .map(|tx| TxSummary::from_transaction(tx, &psl))
+                            .collect();
+                        if done_tx.send((seq, summaries)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(task_rx);
+            drop(done_tx);
+
+            // Feeder thread: chunk and send.
+            let feeder = scope.spawn(move || {
+                let mut seq = 0u64;
+                let mut it = transactions.into_iter().peekable();
+                while it.peek().is_some() {
+                    let batch: Vec<Transaction> = it.by_ref().take(BATCH).collect();
+                    if task_tx.send((seq, batch)).is_err() {
+                        return;
+                    }
+                    seq += 1;
+                }
+            });
+
+            // Sequencer: restore batch order, feed the trackers.
+            let mut next_seq = 0u64;
+            let mut hold: BTreeMap<u64, Vec<TxSummary>> = BTreeMap::new();
+            for (seq, summaries) in done_rx.iter() {
+                hold.insert(seq, summaries);
+                while let Some(batch) = hold.remove(&next_seq) {
+                    for s in batch {
+                        observatory.ingest_summary(s);
+                    }
+                    next_seq += 1;
+                }
+            }
+            feeder.join().expect("feeder thread");
+        });
+        observatory.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{SimConfig, Simulation};
+
+    fn small_cfg() -> ObservatoryConfig {
+        ObservatoryConfig {
+            datasets: vec![(Dataset::SrvIp, 500), (Dataset::Qtype, 32)],
+            window_secs: 1.0,
+            ..ObservatoryConfig::default()
+        }
+    }
+
+    #[test]
+    fn windows_are_produced() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut obs = Observatory::new(small_cfg());
+        sim.run(3.5, &mut |tx| obs.ingest(tx));
+        let store = obs.finish();
+        // 3 full windows + final partial, × 2 datasets.
+        let srvip = store.dataset(Dataset::SrvIp).len();
+        assert!((3..=4).contains(&srvip), "srvip windows: {srvip}");
+        assert_eq!(store.windows().len() % srvip, 0);
+    }
+
+    #[test]
+    fn window_rows_have_traffic() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut obs = Observatory::new(small_cfg());
+        sim.run(2.5, &mut |tx| obs.ingest(tx));
+        let store = obs.finish();
+        let windows = store.dataset(Dataset::Qtype);
+        let with_rows = windows.iter().filter(|w| !w.rows.is_empty()).count();
+        assert!(with_rows >= 1);
+        for w in &windows {
+            for (key, row) in &w.rows {
+                assert!(!key.is_empty());
+                assert!(row.hits > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn kept_dropped_are_per_window() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut obs = Observatory::new(small_cfg());
+        sim.run(3.5, &mut |tx| obs.ingest(tx));
+        let ingested = obs.ingested();
+        let store = obs.finish();
+        let total_kept: u64 = store
+            .dataset(Dataset::SrvIp)
+            .iter()
+            .map(|w| w.kept + w.dropped + w.filtered)
+            .sum();
+        assert_eq!(total_kept, ingested, "per-window stats must sum to total");
+    }
+
+    #[test]
+    fn packet_path_matches_structured_path() {
+        let mut sim1 = Simulation::from_config(SimConfig::small());
+        let mut obs1 = Observatory::new(small_cfg());
+        sim1.run(1.5, &mut |tx| obs1.ingest(tx));
+
+        let mut sim2 = Simulation::from_config(SimConfig::small());
+        let mut obs2 = Observatory::new(small_cfg());
+        sim2.run(1.5, &mut |tx| {
+            let (q, r) = tx.to_packets();
+            obs2.ingest_packets(&q, r.as_deref(), tx.time, tx.contributor, tx.delay_ms);
+        });
+
+        let s1 = obs1.finish();
+        let s2 = obs2.finish();
+        assert_eq!(s1.windows().len(), s2.windows().len());
+        for (w1, w2) in s1.windows().iter().zip(s2.windows()) {
+            assert_eq!(w1.rows.len(), w2.rows.len(), "{} window", w1.dataset);
+            assert_eq!(w1.total_hits(), w2.total_hits());
+        }
+    }
+
+    #[test]
+    fn threaded_pipeline_matches_single_threaded() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(2.0);
+
+        let mut obs = Observatory::new(small_cfg());
+        for tx in &txs {
+            obs.ingest(tx);
+        }
+        let single = obs.finish();
+
+        let threaded = ThreadedPipeline::new(small_cfg(), 4).run(txs);
+
+        assert_eq!(single.windows().len(), threaded.windows().len());
+        for (a, b) in single.windows().iter().zip(threaded.windows()) {
+            assert_eq!(a.dataset, b.dataset);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.rows.len(), b.rows.len());
+            assert_eq!(a.total_hits(), b.total_hits());
+            for ((ka, ra), (kb, rb)) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(ka, kb);
+                assert_eq!(ra.hits, rb.hits);
+            }
+        }
+    }
+
+    #[test]
+    fn gap_in_traffic_does_not_break_windows() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut obs = Observatory::new(small_cfg());
+        sim.run(1.2, &mut |tx| obs.ingest(tx));
+        sim.skip_to(10.0);
+        sim.run(1.2, &mut |tx| obs.ingest(tx));
+        let store = obs.finish();
+        // Windows must align to the 1 s grid despite the jump.
+        for w in store.windows() {
+            assert!(w.length == 1.0);
+        }
+        assert!(store.windows().iter().any(|w| w.start >= 9.0));
+    }
+}

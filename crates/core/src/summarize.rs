@@ -1,0 +1,440 @@
+//! Transaction summarization (paper §2.1, step B).
+//!
+//! Raw material — either a [`simnet::Transaction`] or captured IP packets
+//! — is reduced to a [`TxSummary`]: "only the relevant pieces of
+//! information", with privacy-sensitive EDNS payloads dropped. Everything
+//! downstream (top-k tracking, features, analyses) consumes summaries.
+
+use dnswire::{ip, Message, Name, RData, Rcode, RecordType, Section};
+use psl::Psl;
+use simnet::Transaction;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Outcome classification of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// No response observed.
+    Unanswered,
+    /// RCODE 0.
+    NoError,
+    /// RCODE 3.
+    NxDomain,
+    /// RCODE 5.
+    Refused,
+    /// RCODE 2.
+    ServFail,
+    /// Any other RCODE.
+    OtherError,
+}
+
+impl Outcome {
+    /// Map an RCODE to an outcome.
+    pub fn from_rcode(rcode: Rcode) -> Outcome {
+        match rcode {
+            Rcode::NoError => Outcome::NoError,
+            Rcode::NxDomain => Outcome::NxDomain,
+            Rcode::Refused => Outcome::Refused,
+            Rcode::ServFail => Outcome::ServFail,
+            _ => Outcome::OtherError,
+        }
+    }
+
+    /// Short lowercase tag used as a dataset key (`rcode` aggregation).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Outcome::Unanswered => "unans",
+            Outcome::NoError => "ok",
+            Outcome::NxDomain => "nxd",
+            Outcome::Refused => "rfs",
+            Outcome::ServFail => "fail",
+            Outcome::OtherError => "err",
+        }
+    }
+}
+
+/// One summarized transaction: everything the feature step needs, nothing
+/// more (the paper's "line of text" per transaction).
+#[derive(Debug, Clone)]
+pub struct TxSummary {
+    /// Stream time, seconds.
+    pub time: f64,
+    /// Recursive resolver address.
+    pub resolver: IpAddr,
+    /// SIE contributor id.
+    pub contributor: u16,
+    /// Authoritative nameserver address.
+    pub nameserver: IpAddr,
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+    /// Number of labels in the QNAME.
+    pub qdots: u8,
+    /// Outcome classification.
+    pub outcome: Outcome,
+    /// Response had the AA flag.
+    pub aa: bool,
+    /// NoError with a non-empty ANSWER section.
+    pub ok_ans: bool,
+    /// NoError with NS records in AUTHORITY.
+    pub ok_ns: bool,
+    /// NoError with a non-empty ADDITIONAL section (OPT excluded).
+    pub ok_add: bool,
+    /// Number of records in ANSWER.
+    pub answer_count: u8,
+    /// Number of NS records in AUTHORITY.
+    pub authority_ns_count: u8,
+    /// Distinct IPv4 addresses in NoError answers to A/ANY queries.
+    pub ip4s: Vec<Ipv4Addr>,
+    /// Distinct IPv6 addresses in NoError answers to AAAA/ANY queries.
+    pub ip6s: Vec<Ipv6Addr>,
+    /// TTL of the first ANSWER record.
+    pub answer_ttl: Option<u32>,
+    /// TTL of the first NS record in AUTHORITY.
+    pub ns_ttl: Option<u32>,
+    /// SOA `minimum` (negative-caching TTL) from AUTHORITY, when present.
+    pub soa_minimum: Option<u32>,
+    /// Query had the EDNS DO bit set.
+    pub do_flag: bool,
+    /// Response satisfied the paper's `ok_sec` condition: DO set, data or
+    /// delegation present, and RRSIGs in the sections.
+    pub dnssec_ok: bool,
+    /// Server response delay in milliseconds.
+    pub delay_ms: Option<f64>,
+    /// Network hops inferred from the response's IP TTL.
+    pub hops: Option<u8>,
+    /// DNS payload size of the response, bytes.
+    pub resp_size: Option<u32>,
+    /// 64-bit hashes of the ANSWER rdata values (change detection).
+    pub answer_data_hashes: Vec<u64>,
+    /// 64-bit hashes of NS names in AUTHORITY/ANSWER (change detection).
+    pub ns_name_hashes: Vec<u64>,
+    /// Effective TLD of the QNAME (PSL), presentation form.
+    pub etld: Option<String>,
+    /// Effective SLD of the QNAME (PSL), presentation form.
+    pub esld: Option<String>,
+    /// Plain last label (TLD) of the QNAME.
+    pub tld: Option<String>,
+}
+
+impl TxSummary {
+    /// Summarize a simulator transaction (structured fast path).
+    pub fn from_transaction(tx: &Transaction, psl: &Psl) -> TxSummary {
+        let q = tx
+            .query
+            .question()
+            .cloned()
+            .unwrap_or_else(|| dnswire::Question::new(Name::root(), RecordType::Any));
+        let do_flag = tx
+            .query
+            .edns
+            .as_ref()
+            .map(|e| e.dnssec_ok)
+            .unwrap_or(false);
+        let mut s = TxSummary {
+            time: tx.time,
+            resolver: tx.resolver,
+            contributor: tx.contributor,
+            nameserver: tx.nameserver,
+            qdots: q.qname.label_count() as u8,
+            etld: psl.etld(&q.qname).map(|n| n.to_ascii()),
+            esld: psl.esld(&q.qname).map(|n| n.to_ascii()),
+            tld: (!q.qname.is_root()).then(|| q.qname.suffix(1).to_ascii()),
+            qname: q.qname,
+            qtype: q.qtype,
+            outcome: Outcome::Unanswered,
+            aa: false,
+            ok_ans: false,
+            ok_ns: false,
+            ok_add: false,
+            answer_count: 0,
+            authority_ns_count: 0,
+            ip4s: Vec::new(),
+            ip6s: Vec::new(),
+            answer_ttl: None,
+            ns_ttl: None,
+            soa_minimum: None,
+            do_flag,
+            dnssec_ok: false,
+            delay_ms: None,
+            hops: None,
+            resp_size: None,
+            answer_data_hashes: Vec::new(),
+            ns_name_hashes: Vec::new(),
+        };
+        if let Some(resp) = &tx.response {
+            s.absorb_response(resp);
+            s.delay_ms = Some(tx.delay_ms);
+            s.hops = ip::infer_hops(tx.ip_ttl_observed);
+            s.resp_size = Some(tx.response_size as u32);
+        }
+        s
+    }
+
+    /// Summarize from raw captured packets, exactly as the sensors feed
+    /// the platform: `(query packet, optional response packet, metadata)`.
+    /// Returns `None` when the packets are not a parseable UDP/53 DNS
+    /// transaction (the preprocessing filter).
+    pub fn from_packets(
+        query_pkt: &[u8],
+        response_pkt: Option<&[u8]>,
+        time: f64,
+        contributor: u16,
+        delay_ms: f64,
+        psl: &Psl,
+    ) -> Option<TxSummary> {
+        let qdg = ip::parse_udp_packet(query_pkt).ok()?;
+        if qdg.udp.dst_port != 53 {
+            return None;
+        }
+        let query =
+            Message::parse(&query_pkt[qdg.payload_offset..qdg.payload_offset + qdg.payload_len])
+                .ok()?;
+        let q = query.question()?.clone();
+        let do_flag = query.edns.as_ref().map(|e| e.dnssec_ok).unwrap_or(false);
+        let mut s = TxSummary {
+            time,
+            resolver: qdg.ip.src,
+            contributor,
+            nameserver: qdg.ip.dst,
+            qdots: q.qname.label_count() as u8,
+            etld: psl.etld(&q.qname).map(|n| n.to_ascii()),
+            esld: psl.esld(&q.qname).map(|n| n.to_ascii()),
+            tld: (!q.qname.is_root()).then(|| q.qname.suffix(1).to_ascii()),
+            qname: q.qname,
+            qtype: q.qtype,
+            outcome: Outcome::Unanswered,
+            aa: false,
+            ok_ans: false,
+            ok_ns: false,
+            ok_add: false,
+            answer_count: 0,
+            authority_ns_count: 0,
+            ip4s: Vec::new(),
+            ip6s: Vec::new(),
+            answer_ttl: None,
+            ns_ttl: None,
+            soa_minimum: None,
+            do_flag,
+            dnssec_ok: false,
+            delay_ms: None,
+            hops: None,
+            resp_size: None,
+            answer_data_hashes: Vec::new(),
+            ns_name_hashes: Vec::new(),
+        };
+        if let Some(rpkt) = response_pkt {
+            let rdg = ip::parse_udp_packet(rpkt).ok()?;
+            let resp =
+                Message::parse(&rpkt[rdg.payload_offset..rdg.payload_offset + rdg.payload_len])
+                    .ok()?;
+            // Sanity: the response must come from the queried server.
+            if rdg.ip.src != qdg.ip.dst || resp.header.id != query.header.id {
+                return None;
+            }
+            s.absorb_response(&resp);
+            s.delay_ms = Some(delay_ms);
+            s.hops = ip::infer_hops(rdg.ip.ttl);
+            s.resp_size = Some(rdg.payload_len as u32);
+        }
+        Some(s)
+    }
+
+    fn absorb_response(&mut self, resp: &Message) {
+        self.outcome = Outcome::from_rcode(resp.rcode());
+        self.aa = resp.header.aa;
+        self.answer_count = resp.answers.len().min(255) as u8;
+        self.answer_ttl = resp.answers.first().map(|r| r.ttl);
+
+        let mut has_rrsig = false;
+        for (section, rec) in resp.all_records() {
+            match &rec.rdata {
+                RData::Ns(name) => {
+                    if section == Section::Authority {
+                        self.authority_ns_count = self.authority_ns_count.saturating_add(1);
+                        if self.ns_ttl.is_none() {
+                            self.ns_ttl = Some(rec.ttl);
+                        }
+                    }
+                    self.ns_name_hashes.push(hash_bytes(name.as_wire()));
+                }
+                RData::Soa(soa)
+                    if section == Section::Authority && self.soa_minimum.is_none() => {
+                        self.soa_minimum = Some(soa.minimum);
+                    }
+                RData::Rrsig(_) => has_rrsig = true,
+                _ => {}
+            }
+            if section == Section::Answer {
+                match &rec.rdata {
+                    RData::A(a) => {
+                        if matches!(self.qtype, RecordType::A | RecordType::Any)
+                            && !self.ip4s.contains(a)
+                        {
+                            self.ip4s.push(*a);
+                        }
+                        self.answer_data_hashes.push(hash_bytes(&a.octets()));
+                    }
+                    RData::Aaaa(a) => {
+                        if matches!(self.qtype, RecordType::Aaaa | RecordType::Any)
+                            && !self.ip6s.contains(a)
+                        {
+                            self.ip6s.push(*a);
+                        }
+                        self.answer_data_hashes.push(hash_bytes(&a.octets()));
+                    }
+                    RData::Cname(n) | RData::Ptr(n) => {
+                        self.answer_data_hashes.push(hash_bytes(n.as_wire()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        if self.outcome == Outcome::NoError {
+            self.ok_ans = !resp.answers.is_empty();
+            self.ok_ns = resp
+                .authorities
+                .iter()
+                .any(|r| matches!(r.rdata, RData::Ns(_)));
+            self.ok_add = !resp.additionals.is_empty();
+            self.dnssec_ok = self.do_flag && (self.ok_ans || self.ok_ns) && has_rrsig;
+        }
+    }
+
+    /// NoData: a NoError response with neither answer nor delegation.
+    pub fn is_nodata(&self) -> bool {
+        self.outcome == Outcome::NoError && !self.ok_ans && !self.ok_ns
+    }
+
+    /// NoError with data or delegation (the paper's "NOERROR + data").
+    pub fn is_ok_with_data(&self) -> bool {
+        self.outcome == Outcome::NoError && (self.ok_ans || self.ok_ns)
+    }
+}
+
+/// FNV-1a over bytes; stable, dependency-free hashing for change
+/// detection sets.
+fn hash_bytes(b: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &x in b {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{SimConfig, Simulation};
+
+    fn collect_summaries(n_secs: f64) -> Vec<TxSummary> {
+        let psl = Psl::embedded();
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut out = Vec::new();
+        sim.run(n_secs, &mut |tx| {
+            out.push(TxSummary::from_transaction(tx, &psl));
+        });
+        out
+    }
+
+    #[test]
+    fn summaries_cover_outcomes() {
+        let sums = collect_summaries(2.0);
+        assert!(sums.len() > 200);
+        let ok = sums.iter().filter(|s| s.outcome == Outcome::NoError).count();
+        let nxd = sums.iter().filter(|s| s.outcome == Outcome::NxDomain).count();
+        let unans = sums.iter().filter(|s| s.outcome == Outcome::Unanswered).count();
+        assert!(ok > 0 && nxd > 0 && unans > 0, "ok={ok} nxd={nxd} unans={unans}");
+    }
+
+    #[test]
+    fn psl_fields_populated() {
+        let sums = collect_summaries(1.0);
+        let with_esld = sums.iter().filter(|s| s.esld.is_some()).count();
+        assert!(with_esld as f64 > 0.8 * sums.len() as f64);
+        // Every non-root name has a TLD.
+        assert!(sums.iter().all(|s| s.tld.is_some()));
+    }
+
+    #[test]
+    fn nodata_vs_data_classification() {
+        let sums = collect_summaries(3.0);
+        let nodata = sums.iter().filter(|s| s.is_nodata()).count();
+        let with_data = sums.iter().filter(|s| s.is_ok_with_data()).count();
+        assert!(nodata > 0, "expect some AAAA NoData");
+        assert!(with_data > nodata, "data should dominate");
+        // NoData and ok-with-data are disjoint.
+        assert!(sums.iter().all(|s| !(s.is_nodata() && s.is_ok_with_data())));
+    }
+
+    #[test]
+    fn answered_summaries_have_delay_hops_size() {
+        let sums = collect_summaries(1.0);
+        for s in sums.iter().filter(|s| s.outcome != Outcome::Unanswered) {
+            assert!(s.delay_ms.is_some());
+            assert!(s.hops.is_some());
+            assert!(s.resp_size.unwrap() >= 12);
+        }
+        for s in sums.iter().filter(|s| s.outcome == Outcome::Unanswered) {
+            assert!(s.delay_ms.is_none() && s.hops.is_none() && s.resp_size.is_none());
+        }
+    }
+
+    #[test]
+    fn packet_path_agrees_with_structured_path() {
+        let psl = Psl::embedded();
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let mut checked = 0;
+        sim.run(0.5, &mut |tx| {
+            let structured = TxSummary::from_transaction(tx, &psl);
+            let (qpkt, rpkt) = tx.to_packets();
+            let from_pkts = TxSummary::from_packets(
+                &qpkt,
+                rpkt.as_deref(),
+                tx.time,
+                tx.contributor,
+                tx.delay_ms,
+                &psl,
+            )
+            .expect("sim packets always parse");
+            assert_eq!(structured.qname, from_pkts.qname);
+            assert_eq!(structured.qtype, from_pkts.qtype);
+            assert_eq!(structured.outcome, from_pkts.outcome);
+            assert_eq!(structured.ok_ans, from_pkts.ok_ans);
+            assert_eq!(structured.ok_ns, from_pkts.ok_ns);
+            assert_eq!(structured.resp_size, from_pkts.resp_size);
+            assert_eq!(structured.hops, from_pkts.hops);
+            assert_eq!(structured.ip4s, from_pkts.ip4s);
+            assert_eq!(structured.soa_minimum, from_pkts.soa_minimum);
+            checked += 1;
+        });
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn garbage_packets_filtered() {
+        let psl = Psl::embedded();
+        assert!(TxSummary::from_packets(&[0u8; 4], None, 0.0, 0, 0.0, &psl).is_none());
+        // Valid IP/UDP but port 80.
+        let pkt = ip::build_udp_packet(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1234,
+            80,
+            64,
+            b"\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00",
+        );
+        assert!(TxSummary::from_packets(&pkt, None, 0.0, 0, 0.0, &psl).is_none());
+    }
+
+    #[test]
+    fn dnssec_feature_detected() {
+        let sums = collect_summaries(3.0);
+        let sec = sums.iter().filter(|s| s.dnssec_ok).count();
+        assert!(sec > 0, "expect some RRSIG-bearing responses");
+        // dnssec_ok implies the DO bit was set.
+        assert!(sums.iter().filter(|s| s.dnssec_ok).all(|s| s.do_flag));
+    }
+}

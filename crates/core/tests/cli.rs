@@ -1,0 +1,124 @@
+//! Integration tests for the `dnsobs` command-line tool.
+
+use std::process::Command;
+
+fn dnsobs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dnsobs"))
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = dnsobs().output().expect("spawn dnsobs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn simulate_then_show_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("dnsobs-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = dnsobs()
+        .args([
+            "simulate",
+            "--duration",
+            "6",
+            "--window",
+            "2",
+            "--seed",
+            "99",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Files were written for every dataset, plus the rollup ladder is
+    // attempted (may be absent for short runs).
+    let files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(files.iter().any(|f| f.starts_with("srvip-")), "{files:?}");
+    assert!(files.iter().any(|f| f.starts_with("qtype-")));
+    assert!(files.iter().all(|f| f.ends_with(".tsv")));
+
+    // `show` parses what `simulate` wrote.
+    let sample = dir.join(files.iter().find(|f| f.starts_with("qtype-")).unwrap());
+    let out = dnsobs()
+        .args(["show", sample.to_str().unwrap()])
+        .output()
+        .expect("spawn show");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dataset qtype"));
+    assert!(text.contains('A'));
+
+    // `top --n 3` limits output rows.
+    let out = dnsobs()
+        .args(["top", sample.to_str().unwrap(), "--n", "3"])
+        .output()
+        .expect("spawn top");
+    assert!(out.status.success());
+    let lines = String::from_utf8_lossy(&out.stdout).lines().count();
+    assert!(lines <= 2 + 3, "top -n 3 printed {lines} lines");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn determinism_across_cli_runs() {
+    let base = std::env::temp_dir().join(format!("dnsobs-cli-det-{}", std::process::id()));
+    let run = |suffix: &str| {
+        let dir = base.join(suffix);
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dnsobs()
+            .args([
+                "simulate",
+                "--duration",
+                "4",
+                "--window",
+                "2",
+                "--seed",
+                "7",
+                "--out",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        dir
+    };
+    let a = run("a");
+    let b = run("b");
+    let read_sorted = |dir: &std::path::Path| {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|n| std::fs::read_to_string(dir.join(n)).unwrap())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(read_sorted(&a), read_sorted(&b), "same seed, same bytes");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn show_rejects_garbage() {
+    let path = std::env::temp_dir().join(format!("dnsobs-garbage-{}.tsv", std::process::id()));
+    std::fs::write(&path, "this is not a window dump\n").unwrap();
+    let out = dnsobs()
+        .args(["show", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the core pipeline's data-handling laws:
+//! TSV round-trips for arbitrary feature rows, merge/rollup arithmetic,
+//! and distribution-analysis invariants.
+
+use dns_observatory::aggregate::rollup;
+use dns_observatory::analysis::distribution::traffic_distribution;
+use dns_observatory::{tsv, FeatureConfig, FeatureRow, FeatureSet, WindowDump};
+use proptest::prelude::*;
+
+fn arb_tops() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((1u64..100_000, 0.01f64..=1.0), 0..=3).prop_map(|mut v| {
+        // Normalize shares to sum ≤ 1 and sort descending like the real code.
+        let total: f64 = v.iter().map(|(_, s)| s).sum();
+        if total > 1.0 {
+            for (_, s) in &mut v {
+                *s /= total;
+            }
+        }
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v.dedup_by_key(|(val, _)| *val);
+        v
+    })
+}
+
+fn arb_quartiles() -> impl Strategy<Value = [f64; 3]> {
+    prop_oneof![
+        Just([f64::NAN; 3]),
+        (0.5f64..100.0, 0.0f64..50.0, 0.0f64..50.0)
+            .prop_map(|(a, d1, d2)| [a, a + d1, a + d1 + d2]),
+    ]
+}
+
+prop_compose! {
+    fn arb_row()(
+        counters in prop::collection::vec(0u64..1_000_000, 13),
+        cards in prop::collection::vec(0.0f64..100_000.0, 10),
+        qdots in 0.0f64..40.0,
+        qdots_max in 0u8..=40,
+        lvl in 0.0f64..20.0,
+        nslvl in 0.0f64..20.0,
+        ttl_top in arb_tops(),
+        ttl_a_top in arb_tops(),
+        nsttl_top in arb_tops(),
+        negttl_top in arb_tops(),
+        a_data_top in arb_tops(),
+        ns_names_top in arb_tops(),
+        delays in arb_quartiles(),
+        hops in arb_quartiles(),
+        sizes in arb_quartiles(),
+    ) -> FeatureRow {
+        let mut row = FeatureSet::new(FeatureConfig::default()).row();
+        let hits = counters[0].max(counters.iter().copied().max().unwrap_or(0));
+        row.hits = hits;
+        row.unans = counters[1].min(hits);
+        row.ok = counters[2].min(hits);
+        row.nxd = counters[3].min(hits);
+        row.rfs = counters[4].min(hits);
+        row.fail = counters[5].min(hits);
+        row.ok_ans = counters[6].min(row.ok);
+        row.ok_ns = counters[7].min(row.ok);
+        row.ok_add = counters[8].min(row.ok);
+        row.ok_nil = counters[9].min(row.ok);
+        row.ok6 = counters[10].min(row.ok);
+        row.ok6nil = counters[11].min(row.ok6);
+        row.ok_sec = counters[12].min(row.ok);
+        row.srvips = cards[0];
+        row.srcips = cards[1];
+        row.sources = cards[2];
+        row.qnamesa = cards[3];
+        row.qnames = cards[4];
+        row.tlds = cards[5];
+        row.eslds = cards[6];
+        row.qtypes = cards[7];
+        row.ip4s = cards[8];
+        row.ip6s = cards[9];
+        row.qdots = qdots;
+        row.qdots_max = qdots_max;
+        row.lvl = lvl;
+        row.nslvl = nslvl;
+        row.ttl_top = ttl_top;
+        row.ttl_a_top = ttl_a_top;
+        row.nsttl_top = nsttl_top;
+        row.negttl_top = negttl_top;
+        row.a_data_top = a_data_top;
+        row.ns_names_top = ns_names_top;
+        row.resp_delays = delays;
+        row.network_hops = hops;
+        row.resp_size = sizes;
+        row
+    }
+}
+
+fn dump(rows: Vec<(String, FeatureRow)>, start: f64) -> WindowDump {
+    WindowDump {
+        dataset: "prop".into(),
+        start,
+        length: 60.0,
+        kept: rows.iter().map(|(_, r)| r.hits).sum(),
+        dropped: 0,
+        filtered: 0,
+        rows,
+    }
+}
+
+fn rows_close(a: &FeatureRow, b: &FeatureRow) -> bool {
+    let f_eq = |x: f64, y: f64| (x.is_nan() && y.is_nan()) || (x - y).abs() < 2e-3 * (1.0 + x.abs());
+    a.hits == b.hits
+        && a.nxd == b.nxd
+        && a.ok_nil == b.ok_nil
+        && f_eq(a.srvips, b.srvips)
+        && f_eq(a.qdots, b.qdots)
+        && a.qdots_max == b.qdots_max
+        && f_eq(a.resp_delays[1], b.resp_delays[1])
+        && a.ttl_top.len() == b.ttl_top.len()
+        && a
+            .ttl_top
+            .iter()
+            .zip(&b.ttl_top)
+            .all(|((v1, s1), (v2, s2))| v1 == v2 && (s1 - s2).abs() < 1e-3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every representable window dump round-trips through its TSV file.
+    #[test]
+    fn tsv_roundtrip_arbitrary_rows(
+        rows in prop::collection::vec(("k[a-z0-9.]{1,30}", arb_row()), 0..20),
+    ) {
+        let d = dump(rows, 120.0);
+        let mut buf = Vec::new();
+        tsv::write_window(&mut buf, &d).unwrap();
+        let parsed = tsv::read_window(&buf[..]).unwrap();
+        prop_assert_eq!(parsed.rows.len(), d.rows.len());
+        prop_assert_eq!(parsed.kept, d.kept);
+        for ((ka, ra), (kb, rb)) in d.rows.iter().zip(&parsed.rows) {
+            prop_assert_eq!(ka, kb);
+            prop_assert!(rows_close(ra, rb), "row drift for {}", ka);
+        }
+    }
+
+    /// Rolling up n copies of the same window is the identity on counter
+    /// rates and on present-window means.
+    #[test]
+    fn rollup_identity(row in arb_row(), n in 2usize..6) {
+        let windows: Vec<WindowDump> =
+            (0..n).map(|i| dump(vec![("k".into(), row.clone())], i as f64 * 60.0)).collect();
+        let rolled = rollup(&windows);
+        prop_assert_eq!(rolled.rows.len(), 1);
+        let out = &rolled.rows[0].1;
+        prop_assert_eq!(out.hits, row.hits);
+        prop_assert_eq!(out.nxd, row.nxd);
+        prop_assert!((out.srvips - row.srvips).abs() < 1e-6 * (1.0 + row.srvips));
+        if !row.resp_delays[1].is_nan() {
+            prop_assert!((out.resp_delays[1] - row.resp_delays[1]).abs() < 1e-9);
+        }
+    }
+
+    /// Rolling up a window with an absent partner halves counter rates
+    /// (fill-zero) but leaves non-counters untouched.
+    #[test]
+    fn rollup_fill_zero(row in arb_row()) {
+        let w1 = dump(vec![("k".into(), row.clone())], 0.0);
+        let w2 = dump(vec![], 60.0);
+        let rolled = rollup(&[w1, w2]);
+        let out = &rolled.rows[0].1;
+        let half = (row.hits as f64 / 2.0).round() as u64;
+        prop_assert!(out.hits == half || out.hits == row.hits / 2);
+        prop_assert!((out.srvips - row.srvips).abs() < 1e-9 * (1.0 + row.srvips));
+    }
+
+    /// Distribution curves are monotone and correctly normalized for any
+    /// input rows.
+    #[test]
+    fn distribution_invariants(
+        mut rows in prop::collection::vec(("k[a-z0-9]{1,10}", arb_row()), 1..40),
+    ) {
+        rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits));
+        let dist = traffic_distribution(&rows);
+        prop_assert_eq!(
+            dist.captured_hits,
+            rows.iter().map(|(_, r)| r.hits).sum::<u64>()
+        );
+        for curve in &dist.curves {
+            for w in curve.cdf.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-12);
+            }
+            if let Some(&last) = curve.cdf.last() {
+                prop_assert!(last <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

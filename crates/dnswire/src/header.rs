@@ -1,0 +1,161 @@
+//! The 12-octet DNS message header (RFC 1035 §4.1.1).
+
+use crate::{Opcode, Rcode, Result, WireReader, WireWriter};
+
+/// Parsed DNS header.
+///
+/// The four section counts are not stored here; [`crate::Message`] derives
+/// them from the actual section vectors when serializing, so they can never
+/// disagree with the message contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Header {
+    /// Transaction identifier chosen by the querier.
+    pub id: u16,
+    /// True for responses, false for queries (QR bit).
+    pub qr: bool,
+    /// Kind of query.
+    pub opcode: Opcode,
+    /// Authoritative Answer: the responder is authoritative for the QNAME.
+    pub aa: bool,
+    /// TrunCation: the response was truncated to fit the transport.
+    pub tc: bool,
+    /// Recursion Desired: copied from query into response.
+    pub rd: bool,
+    /// Recursion Available: the responder offers recursion.
+    pub ra: bool,
+    /// Authentic Data (DNSSEC, RFC 4035).
+    pub ad: bool,
+    /// Checking Disabled (DNSSEC, RFC 4035).
+    pub cd: bool,
+    /// Response code. Only the low 4 bits are carried here; EDNS0 extended
+    /// bits are merged in by [`crate::Message::parse`].
+    pub rcode: Rcode,
+}
+
+/// Section counts as they appear on the wire; used during parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Counts {
+    pub qd: u16,
+    pub an: u16,
+    pub ns: u16,
+    pub ar: u16,
+}
+
+impl Header {
+    pub(crate) fn parse(r: &mut WireReader<'_>) -> Result<(Header, Counts)> {
+        let id = r.read_u16("header id")?;
+        let flags = r.read_u16("header flags")?;
+        let counts = Counts {
+            qd: r.read_u16("qdcount")?,
+            an: r.read_u16("ancount")?,
+            ns: r.read_u16("nscount")?,
+            ar: r.read_u16("arcount")?,
+        };
+        let header = Header {
+            id,
+            qr: flags & 0x8000 != 0,
+            opcode: Opcode::from_code(((flags >> 11) & 0x0f) as u8),
+            aa: flags & 0x0400 != 0,
+            tc: flags & 0x0200 != 0,
+            rd: flags & 0x0100 != 0,
+            ra: flags & 0x0080 != 0,
+            ad: flags & 0x0020 != 0,
+            cd: flags & 0x0010 != 0,
+            rcode: Rcode::from_code(flags & 0x000f),
+        };
+        Ok((header, counts))
+    }
+
+    pub(crate) fn write(&self, w: &mut WireWriter, counts: Counts) {
+        w.write_u16(self.id);
+        let mut flags = 0u16;
+        if self.qr {
+            flags |= 0x8000;
+        }
+        flags |= (self.opcode.code() as u16) << 11;
+        if self.aa {
+            flags |= 0x0400;
+        }
+        if self.tc {
+            flags |= 0x0200;
+        }
+        if self.rd {
+            flags |= 0x0100;
+        }
+        if self.ra {
+            flags |= 0x0080;
+        }
+        if self.ad {
+            flags |= 0x0020;
+        }
+        if self.cd {
+            flags |= 0x0010;
+        }
+        flags |= self.rcode.code() & 0x000f;
+        w.write_u16(flags);
+        w.write_u16(counts.qd);
+        w.write_u16(counts.an);
+        w.write_u16(counts.ns);
+        w.write_u16(counts.ar);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(h: Header) -> Header {
+        let mut w = WireWriter::new();
+        h.write(&mut w, Counts::default());
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        Header::parse(&mut r).unwrap().0
+    }
+
+    #[test]
+    fn default_roundtrip() {
+        let h = Header::default();
+        assert_eq!(roundtrip(h), h);
+    }
+
+    #[test]
+    fn all_flags_roundtrip() {
+        let h = Header {
+            id: 0xbeef,
+            qr: true,
+            opcode: Opcode::Notify,
+            aa: true,
+            tc: true,
+            rd: true,
+            ra: true,
+            ad: true,
+            cd: true,
+            rcode: Rcode::Refused,
+        };
+        assert_eq!(roundtrip(h), h);
+    }
+
+    #[test]
+    fn counts_parse() {
+        let mut w = WireWriter::new();
+        Header::default().write(
+            &mut w,
+            Counts {
+                qd: 1,
+                an: 2,
+                ns: 3,
+                ar: 4,
+            },
+        );
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let (_, counts) = Header::parse(&mut r).unwrap();
+        assert_eq!((counts.qd, counts.an, counts.ns, counts.ar), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        let mut r = WireReader::new(&[0u8; 11]);
+        assert!(Header::parse(&mut r).is_err());
+    }
+}

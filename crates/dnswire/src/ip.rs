@@ -1,0 +1,369 @@
+//! IPv4, IPv6 and UDP header codecs, plus hop-count inference.
+//!
+//! Passive DNS sensors hand the pipeline raw packets starting at the IP
+//! header (paper §2.1). These codecs carry exactly the fields the
+//! summarization step needs; options and extension headers are skipped,
+//! not interpreted.
+
+use crate::{Result, WireError};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Protocol number for UDP in the IPv4 `protocol` / IPv6 `next header` field.
+pub const PROTO_UDP: u8 = 17;
+
+/// Decoded fields from an IPv4 or IPv6 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpHeader {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Received TTL (IPv4) or hop limit (IPv6).
+    pub ttl: u8,
+    /// Layer-4 protocol number.
+    pub protocol: u8,
+    /// Offset of the layer-4 header from the start of the buffer.
+    pub payload_offset: usize,
+    /// Total packet length according to the header.
+    pub total_len: usize,
+}
+
+/// Decoded UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// UDP length field (header + payload).
+    pub length: u16,
+}
+
+/// Size of the fixed UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+impl IpHeader {
+    /// Parse an IPv4 or IPv6 header from the start of `buf`, dispatching on
+    /// the version nibble.
+    pub fn parse(buf: &[u8]) -> Result<IpHeader> {
+        let first = *buf
+            .first()
+            .ok_or(WireError::BadIpHeader("empty buffer"))?;
+        match first >> 4 {
+            4 => Self::parse_v4(buf),
+            6 => Self::parse_v6(buf),
+            _ => Err(WireError::BadIpHeader("unknown IP version")),
+        }
+    }
+
+    fn parse_v4(buf: &[u8]) -> Result<IpHeader> {
+        if buf.len() < 20 {
+            return Err(WireError::BadIpHeader("IPv4 header shorter than 20"));
+        }
+        let ihl = (buf[0] & 0x0f) as usize * 4;
+        if ihl < 20 {
+            return Err(WireError::BadIpHeader("IPv4 IHL below 5"));
+        }
+        if buf.len() < ihl {
+            return Err(WireError::BadIpHeader("IPv4 options truncated"));
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if total_len < ihl {
+            return Err(WireError::BadIpHeader("IPv4 total length below IHL"));
+        }
+        Ok(IpHeader {
+            src: IpAddr::V4(Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15])),
+            dst: IpAddr::V4(Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19])),
+            ttl: buf[8],
+            protocol: buf[9],
+            payload_offset: ihl,
+            total_len,
+        })
+    }
+
+    fn parse_v6(buf: &[u8]) -> Result<IpHeader> {
+        if buf.len() < 40 {
+            return Err(WireError::BadIpHeader("IPv6 header shorter than 40"));
+        }
+        let payload_len = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&buf[24..40]);
+        // Extension headers are rare on resolver↔authoritative paths; we
+        // only accept packets where UDP follows directly, matching the
+        // sensors' behaviour of reconstructing plain UDP/53 transactions.
+        Ok(IpHeader {
+            src: IpAddr::V6(Ipv6Addr::from(src)),
+            dst: IpAddr::V6(Ipv6Addr::from(dst)),
+            ttl: buf[7],
+            protocol: buf[6],
+            payload_offset: 40,
+            total_len: 40 + payload_len,
+        })
+    }
+
+    /// Serialize an IPv4 header (no options) followed by nothing; the
+    /// caller appends the payload. `payload_len` sizes the length field.
+    pub fn build_v4(src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, payload_len: usize) -> Vec<u8> {
+        let total = 20 + payload_len;
+        let mut h = vec![0u8; 20];
+        h[0] = 0x45; // version 4, IHL 5
+        h[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+        h[8] = ttl;
+        h[9] = PROTO_UDP;
+        h[12..16].copy_from_slice(&src.octets());
+        h[16..20].copy_from_slice(&dst.octets());
+        let sum = ipv4_checksum(&h);
+        h[10..12].copy_from_slice(&sum.to_be_bytes());
+        h
+    }
+
+    /// Serialize an IPv6 header; the caller appends the payload.
+    pub fn build_v6(src: Ipv6Addr, dst: Ipv6Addr, hop_limit: u8, payload_len: usize) -> Vec<u8> {
+        let mut h = vec![0u8; 40];
+        h[0] = 0x60;
+        h[4..6].copy_from_slice(&(payload_len as u16).to_be_bytes());
+        h[6] = PROTO_UDP;
+        h[7] = hop_limit;
+        h[8..24].copy_from_slice(&src.octets());
+        h[24..40].copy_from_slice(&dst.octets());
+        h
+    }
+}
+
+/// RFC 1071 Internet checksum over an IPv4 header.
+fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in header.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += word as u32;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl UdpHeader {
+    /// Parse a UDP header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<UdpHeader> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(WireError::BadUdpHeader("shorter than 8 octets"));
+        }
+        let length = u16::from_be_bytes([buf[4], buf[5]]);
+        if (length as usize) < UDP_HEADER_LEN {
+            return Err(WireError::BadUdpHeader("length field below 8"));
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length,
+        })
+    }
+
+    /// Serialize a UDP header for a payload of `payload_len` octets.
+    /// The checksum is left zero (legal for IPv4, and the sensors do not
+    /// verify it).
+    pub fn build(src_port: u16, dst_port: u16, payload_len: usize) -> Vec<u8> {
+        let mut h = vec![0u8; UDP_HEADER_LEN];
+        h[0..2].copy_from_slice(&src_port.to_be_bytes());
+        h[2..4].copy_from_slice(&dst_port.to_be_bytes());
+        h[4..6].copy_from_slice(&((UDP_HEADER_LEN + payload_len) as u16).to_be_bytes());
+        h
+    }
+}
+
+/// A fully decoded UDP datagram: IP header, UDP header, and DNS payload
+/// span within the original buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpDatagram {
+    /// Network-layer fields.
+    pub ip: IpHeader,
+    /// Transport-layer fields.
+    pub udp: UdpHeader,
+    /// Offset of the DNS payload from the start of the buffer.
+    pub payload_offset: usize,
+    /// Length of the DNS payload.
+    pub payload_len: usize,
+}
+
+/// Decode an IP packet down to its UDP payload span.
+pub fn parse_udp_packet(buf: &[u8]) -> Result<UdpDatagram> {
+    let ip = IpHeader::parse(buf)?;
+    if ip.protocol != PROTO_UDP {
+        return Err(WireError::BadUdpHeader("not UDP"));
+    }
+    let l4 = buf
+        .get(ip.payload_offset..)
+        .ok_or(WireError::BadUdpHeader("missing UDP header"))?;
+    let udp = UdpHeader::parse(l4)?;
+    let payload_offset = ip.payload_offset + UDP_HEADER_LEN;
+    let payload_len = udp.length as usize - UDP_HEADER_LEN;
+    if buf.len() < payload_offset + payload_len {
+        return Err(WireError::BadUdpHeader("payload truncated"));
+    }
+    Ok(UdpDatagram {
+        ip,
+        udp,
+        payload_offset,
+        payload_len,
+    })
+}
+
+/// Build a complete UDP/IP packet around a DNS payload.
+pub fn build_udp_packet(
+    src: IpAddr,
+    dst: IpAddr,
+    src_port: u16,
+    dst_port: u16,
+    ttl: u8,
+    payload: &[u8],
+) -> Vec<u8> {
+    let udp_len = UDP_HEADER_LEN + payload.len();
+    let mut pkt = match (src, dst) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => IpHeader::build_v4(s, d, ttl, udp_len),
+        (IpAddr::V6(s), IpAddr::V6(d)) => IpHeader::build_v6(s, d, ttl, udp_len),
+        // Mixed families cannot occur on a real path; fall back to mapped v6.
+        (s, d) => {
+            let to6 = |a: IpAddr| match a {
+                IpAddr::V4(v4) => v4.to_ipv6_mapped(),
+                IpAddr::V6(v6) => v6,
+            };
+            IpHeader::build_v6(to6(s), to6(d), ttl, udp_len)
+        }
+    };
+    pkt.extend_from_slice(&UdpHeader::build(src_port, dst_port, payload.len()));
+    pkt.extend_from_slice(payload);
+    pkt
+}
+
+/// Common initial TTL values used by real stacks (cf. Jin et al., hop-count
+/// filtering): 32 (old Windows), 64 (Linux/macOS), 128 (Windows), 255
+/// (network gear, many BSDs).
+const INITIAL_TTLS: [u8; 4] = [32, 64, 128, 255];
+
+/// Infer the number of router hops a packet traversed from its received
+/// TTL, assuming the sender used the next-highest common initial TTL.
+///
+/// Returns `None` for TTL 0 (cannot have arrived) — otherwise
+/// `initial − received`, where `initial` is the smallest common initial
+/// TTL ≥ received.
+pub fn infer_hops(received_ttl: u8) -> Option<u8> {
+    if received_ttl == 0 {
+        return None;
+    }
+    let initial = INITIAL_TTLS
+        .iter()
+        .copied()
+        .find(|&init| init >= received_ttl)
+        .unwrap_or(255);
+    Some(initial - received_ttl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_roundtrip() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 53);
+        let payload = b"hello dns";
+        let pkt = build_udp_packet(src.into(), dst.into(), 4321, 53, 57, payload);
+        let dg = parse_udp_packet(&pkt).unwrap();
+        assert_eq!(dg.ip.src, IpAddr::V4(src));
+        assert_eq!(dg.ip.dst, IpAddr::V4(dst));
+        assert_eq!(dg.ip.ttl, 57);
+        assert_eq!(dg.udp.src_port, 4321);
+        assert_eq!(dg.udp.dst_port, 53);
+        assert_eq!(
+            &pkt[dg.payload_offset..dg.payload_offset + dg.payload_len],
+            payload
+        );
+    }
+
+    #[test]
+    fn v6_roundtrip() {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::53".parse().unwrap();
+        let payload = b"payload";
+        let pkt = build_udp_packet(src.into(), dst.into(), 1000, 53, 61, payload);
+        let dg = parse_udp_packet(&pkt).unwrap();
+        assert_eq!(dg.ip.src, IpAddr::V6(src));
+        assert_eq!(dg.ip.ttl, 61);
+        assert_eq!(dg.payload_len, payload.len());
+    }
+
+    #[test]
+    fn ipv4_checksum_is_valid() {
+        let h = IpHeader::build_v4(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            64,
+            10,
+        );
+        // Recomputing the checksum over a header with a valid checksum
+        // field must give zero.
+        assert_eq!(ipv4_checksum(&h), 0);
+    }
+
+    #[test]
+    fn bad_packets_rejected() {
+        assert!(IpHeader::parse(&[]).is_err());
+        assert!(IpHeader::parse(&[0x45; 10]).is_err()); // short v4
+        assert!(IpHeader::parse(&[0x60; 20]).is_err()); // short v6
+        assert!(IpHeader::parse(&[0x15; 20]).is_err()); // version 1
+        let mut bad_ihl = vec![0u8; 20];
+        bad_ihl[0] = 0x41; // IHL = 1 word
+        assert!(IpHeader::parse(&bad_ihl).is_err());
+        // Non-UDP protocol.
+        let mut tcp = IpHeader::build_v4(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            64,
+            20,
+        );
+        tcp[9] = 6;
+        tcp[10..12].copy_from_slice(&[0, 0]);
+        tcp.extend_from_slice(&[0u8; 20]);
+        assert!(parse_udp_packet(&tcp).is_err());
+    }
+
+    #[test]
+    fn udp_length_below_8_rejected() {
+        let mut h = UdpHeader::build(1, 2, 0);
+        h[4..6].copy_from_slice(&3u16.to_be_bytes());
+        assert!(UdpHeader::parse(&h).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut pkt = build_udp_packet(
+            IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            IpAddr::V4(Ipv4Addr::new(2, 2, 2, 2)),
+            1,
+            2,
+            64,
+            b"abcdef",
+        );
+        pkt.truncate(pkt.len() - 3);
+        assert!(parse_udp_packet(&pkt).is_err());
+    }
+
+    #[test]
+    fn hop_inference() {
+        assert_eq!(infer_hops(64), Some(0));
+        assert_eq!(infer_hops(57), Some(7));
+        assert_eq!(infer_hops(33), Some(31));
+        assert_eq!(infer_hops(32), Some(0));
+        assert_eq!(infer_hops(120), Some(8));
+        assert_eq!(infer_hops(250), Some(5));
+        assert_eq!(infer_hops(0), None);
+        assert_eq!(infer_hops(255), Some(0));
+    }
+}

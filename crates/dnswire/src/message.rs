@@ -1,0 +1,377 @@
+//! Whole DNS messages and the EDNS0 pseudo-record.
+
+use crate::header::Counts;
+use crate::{
+    Header, Name, Question, RData, Rcode, Record, RecordClass, RecordType, Result, WireError,
+    WireReader, WireWriter,
+};
+
+/// EDNS0 state extracted from (or to be encoded into) the OPT pseudo-record
+/// in the ADDITIONAL section (RFC 6891).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edns {
+    /// Requestor's maximum UDP payload size.
+    pub udp_payload_size: u16,
+    /// EDNS version, normally 0.
+    pub version: u8,
+    /// DNSSEC OK: the querier wants DNSSEC records in the response.
+    pub dnssec_ok: bool,
+    /// Raw EDNS options (code/value pairs are carried opaquely; the
+    /// pipeline drops them early for privacy, per the paper's §2.5).
+    pub options: Vec<u8>,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload_size: 1232,
+            version: 0,
+            dnssec_ok: false,
+            options: Vec::new(),
+        }
+    }
+}
+
+/// A complete DNS message: header, question, and the three record sections.
+///
+/// The OPT pseudo-record is lifted out of the ADDITIONAL section into
+/// [`Message::edns`] during parsing and re-inserted during serialization, so
+/// `additionals` holds only real records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Message header (section counts are derived, not stored).
+    pub header: Header,
+    /// Question section; in practice exactly one entry.
+    pub questions: Vec<Question>,
+    /// ANSWER section.
+    pub answers: Vec<Record>,
+    /// AUTHORITY section.
+    pub authorities: Vec<Record>,
+    /// ADDITIONAL section, excluding the OPT pseudo-record.
+    pub additionals: Vec<Record>,
+    /// EDNS0 state, if an OPT record was present.
+    pub edns: Option<Edns>,
+}
+
+impl Message {
+    /// Build a plain query for `qname`/`qtype`.
+    pub fn query(id: u16, qname: Name, qtype: RecordType) -> Self {
+        Message {
+            header: Header {
+                id,
+                ..Header::default()
+            },
+            questions: vec![Question::new(qname, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// Start a response to `query`, echoing id, question, opcode and RD.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Self {
+        Message {
+            header: Header {
+                id: query.header.id,
+                qr: true,
+                opcode: query.header.opcode,
+                rd: query.header.rd,
+                rcode,
+                ..Header::default()
+            },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// First question, if present — the common case for real traffic.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Effective RCODE; when serialized with EDNS, codes above 15 are split
+    /// between the header and the OPT TTL field and re-merged on parse.
+    pub fn rcode(&self) -> Rcode {
+        self.header.rcode
+    }
+
+    /// Iterate over answer + authority + additional with section tags.
+    pub fn all_records(&self) -> impl Iterator<Item = (crate::Section, &Record)> {
+        let ans = self
+            .answers
+            .iter()
+            .map(|r| (crate::Section::Answer, r));
+        let auth = self
+            .authorities
+            .iter()
+            .map(|r| (crate::Section::Authority, r));
+        let add = self
+            .additionals
+            .iter()
+            .map(|r| (crate::Section::Additional, r));
+        ans.chain(auth).chain(add)
+    }
+
+    /// Parse a message from wire octets.
+    pub fn parse(wire: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(wire);
+        let (mut header, counts) = Header::parse(&mut r)?;
+
+        let mut questions = Vec::with_capacity(counts.qd as usize);
+        for _ in 0..counts.qd {
+            questions.push(Question::parse(&mut r)?);
+        }
+        let mut answers = Vec::with_capacity(counts.an as usize);
+        for _ in 0..counts.an {
+            answers.push(Record::parse(&mut r)?);
+        }
+        let mut authorities = Vec::with_capacity(counts.ns as usize);
+        for _ in 0..counts.ns {
+            authorities.push(Record::parse(&mut r)?);
+        }
+        let mut additionals = Vec::with_capacity(counts.ar as usize);
+        let mut edns = None;
+        for _ in 0..counts.ar {
+            let rec = Record::parse(&mut r)?;
+            if let RData::Opt(options) = rec.rdata {
+                // RFC 6891: CLASS carries the UDP size, TTL carries
+                // extended-RCODE (high 8 bits of the 12-bit code), version,
+                // and flags.
+                let ext_rcode = (rec.ttl >> 24) as u16;
+                let version = ((rec.ttl >> 16) & 0xff) as u8;
+                let dnssec_ok = rec.ttl & 0x8000 != 0;
+                if ext_rcode != 0 {
+                    let full = (ext_rcode << 4) | header.rcode.code();
+                    header.rcode = Rcode::from_code(full);
+                }
+                edns = Some(Edns {
+                    udp_payload_size: rec.class.code(),
+                    version,
+                    dnssec_ok,
+                    options,
+                });
+            } else {
+                additionals.push(rec);
+            }
+        }
+
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+            edns,
+        })
+    }
+
+    /// Serialize to wire octets with name compression.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut w = WireWriter::new();
+        let rcode_num = self.header.rcode.code();
+        if rcode_num > 0x0f && self.edns.is_none() {
+            // An extended RCODE cannot be represented without EDNS.
+            return Err(WireError::MessageTooLong(rcode_num as usize));
+        }
+        let ar_count = self.additionals.len() + usize::from(self.edns.is_some());
+        let counts = Counts {
+            qd: self.questions.len() as u16,
+            an: self.answers.len() as u16,
+            ns: self.authorities.len() as u16,
+            ar: ar_count as u16,
+        };
+        // The header's 4-bit RCODE field gets the low bits.
+        let mut header = self.header;
+        header.rcode = Rcode::from_code(rcode_num & 0x0f);
+        header.write(&mut w, counts);
+
+        for q in &self.questions {
+            q.write(&mut w)?;
+        }
+        for rec in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            rec.write(&mut w)?;
+        }
+        if let Some(edns) = &self.edns {
+            let mut ttl = ((rcode_num >> 4) as u32) << 24;
+            ttl |= (edns.version as u32) << 16;
+            if edns.dnssec_ok {
+                ttl |= 0x8000;
+            }
+            let opt = Record {
+                name: Name::root(),
+                class: RecordClass::from_code(edns.udp_payload_size),
+                ttl,
+                rdata: RData::Opt(edns.options.clone()),
+            };
+            opt.write(&mut w)?;
+        }
+        let bytes = w.into_bytes();
+        if bytes.len() > u16::MAX as usize {
+            return Err(WireError::MessageTooLong(bytes.len()));
+        }
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Soa;
+    use std::net::Ipv4Addr;
+
+    fn sample_response() -> Message {
+        let query = Message::query(
+            7,
+            Name::from_ascii("www.example.com").unwrap(),
+            RecordType::A,
+        );
+        let mut resp = Message::response_to(&query, Rcode::NoError);
+        resp.header.aa = true;
+        resp.answers.push(Record::new(
+            Name::from_ascii("www.example.com").unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+        ));
+        resp.authorities.push(Record::new(
+            Name::from_ascii("example.com").unwrap(),
+            86400,
+            RData::Ns(Name::from_ascii("ns1.example.com").unwrap()),
+        ));
+        resp.additionals.push(Record::new(
+            Name::from_ascii("ns1.example.com").unwrap(),
+            86400,
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ));
+        resp
+    }
+
+    #[test]
+    fn roundtrip_response() {
+        let msg = sample_response();
+        let wire = msg.to_bytes().unwrap();
+        let parsed = Message::parse(&wire).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn compression_shrinks_message() {
+        let msg = sample_response();
+        let wire = msg.to_bytes().unwrap();
+        // Uncompressed, the four names would repeat "example.com" in full;
+        // with compression the message must be well under that size.
+        let uncompressed_estimate: usize = 12
+            + msg.questions[0].qname.wire_len() + 4
+            + msg
+                .all_records()
+                .map(|(_, r)| r.name.wire_len() + 10 + 20)
+                .sum::<usize>();
+        assert!(wire.len() < uncompressed_estimate);
+    }
+
+    #[test]
+    fn edns_roundtrip() {
+        let mut msg = Message::query(
+            1,
+            Name::from_ascii("example.com").unwrap(),
+            RecordType::Aaaa,
+        );
+        msg.edns = Some(Edns {
+            udp_payload_size: 4096,
+            version: 0,
+            dnssec_ok: true,
+            options: vec![],
+        });
+        let wire = msg.to_bytes().unwrap();
+        let parsed = Message::parse(&wire).unwrap();
+        assert_eq!(parsed.edns.as_ref().unwrap().udp_payload_size, 4096);
+        assert!(parsed.edns.as_ref().unwrap().dnssec_ok);
+        assert!(parsed.additionals.is_empty());
+    }
+
+    #[test]
+    fn extended_rcode_roundtrip() {
+        let mut msg = Message::query(2, Name::from_ascii("x.test").unwrap(), RecordType::A);
+        msg.header.qr = true;
+        msg.header.rcode = Rcode::Unknown(16); // BADVERS
+        msg.edns = Some(Edns::default());
+        let wire = msg.to_bytes().unwrap();
+        let parsed = Message::parse(&wire).unwrap();
+        assert_eq!(parsed.header.rcode, Rcode::Unknown(16));
+    }
+
+    #[test]
+    fn extended_rcode_without_edns_is_an_error() {
+        let mut msg = Message::query(2, Name::from_ascii("x.test").unwrap(), RecordType::A);
+        msg.header.rcode = Rcode::Unknown(16);
+        assert!(msg.to_bytes().is_err());
+    }
+
+    #[test]
+    fn nxdomain_with_soa() {
+        let query = Message::query(
+            9,
+            Name::from_ascii("nope.example.com").unwrap(),
+            RecordType::A,
+        );
+        let mut resp = Message::response_to(&query, Rcode::NxDomain);
+        resp.authorities.push(Record::new(
+            Name::from_ascii("example.com").unwrap(),
+            300,
+            RData::Soa(Soa {
+                mname: Name::from_ascii("ns1.example.com").unwrap(),
+                rname: Name::from_ascii("host.example.com").unwrap(),
+                serial: 1,
+                refresh: 2,
+                retry: 3,
+                expire: 4,
+                minimum: 15,
+            }),
+        ));
+        let wire = resp.to_bytes().unwrap();
+        let parsed = Message::parse(&wire).unwrap();
+        assert_eq!(parsed.rcode(), Rcode::NxDomain);
+        assert_eq!(parsed.authorities.len(), 1);
+    }
+
+    #[test]
+    fn query_constructor() {
+        let q = Message::query(3, Name::from_ascii("a.b").unwrap(), RecordType::Txt);
+        assert!(!q.header.qr);
+        assert_eq!(q.questions.len(), 1);
+        let wire = q.to_bytes().unwrap();
+        assert_eq!(Message::parse(&wire).unwrap(), q);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Message::parse(&[]).is_err());
+        assert!(Message::parse(&[0u8; 5]).is_err());
+        // Header claims a question that isn't there.
+        let mut bytes = sample_response().to_bytes().unwrap();
+        bytes.truncate(14);
+        assert!(Message::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn all_records_iterates_in_section_order() {
+        let msg = sample_response();
+        let sections: Vec<_> = msg.all_records().map(|(s, _)| s).collect();
+        assert_eq!(
+            sections,
+            vec![
+                crate::Section::Answer,
+                crate::Section::Authority,
+                crate::Section::Additional
+            ]
+        );
+    }
+}

@@ -1,0 +1,544 @@
+//! Domain names: storage, comparison, parsing and presentation format.
+//!
+//! A [`Name`] is stored in canonical wire form (a sequence of
+//! length-prefixed labels terminated by the root's zero octet) with all
+//! compression pointers already resolved. Comparisons and hashing are
+//! ASCII-case-insensitive, as required by RFC 4343.
+
+use crate::{Result, WireError};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Maximum length of a single label, in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// Maximum length of a complete name on the wire, in octets.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Maximum number of compression pointers we will chase in one name.
+///
+/// Since every pointer must point strictly backwards, a valid chain is
+/// bounded by the message size; this limit just keeps adversarial inputs
+/// from costing more than a trivial amount of work.
+const MAX_POINTER_HOPS: usize = 127;
+
+/// A single label of a domain name, borrowed from the name's storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label<'a>(&'a [u8]);
+
+impl<'a> Label<'a> {
+    /// Raw octets of the label (1..=63 bytes, never empty).
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.0
+    }
+
+    /// Label length in octets.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Labels are never empty; provided for clippy-idiomatic completeness.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Case-insensitive equality with an ASCII string.
+    pub fn eq_ignore_case(&self, other: &[u8]) -> bool {
+        self.0.eq_ignore_ascii_case(other)
+    }
+}
+
+impl fmt::Display for Label<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in self.0 {
+            match b {
+                b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                0x21..=0x7e => write!(f, "{}", b as char)?,
+                other => write!(f, "\\{other:03}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully-qualified domain name in uncompressed wire form.
+///
+/// The root name is a single zero octet. `Name` values are cheap to clone
+/// (a `Vec<u8>` of at most 255 bytes) and hash/compare case-insensitively.
+#[derive(Debug, Clone)]
+pub struct Name {
+    /// Wire form: `len label len label ... 0`.
+    wire: Vec<u8>,
+}
+
+impl Name {
+    /// The root name `.`.
+    pub fn root() -> Self {
+        Name { wire: vec![0] }
+    }
+
+    /// Build a name from presentation format, e.g. `"www.example.com"`.
+    ///
+    /// A trailing dot is accepted and ignored; the empty string and `"."`
+    /// both denote the root. Escapes are not supported here — names in the
+    /// measurement pipeline are machine-generated.
+    pub fn from_ascii(s: &str) -> Result<Self> {
+        if !s.is_ascii() {
+            return Err(WireError::NotAscii);
+        }
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut wire = Vec::with_capacity(s.len() + 2);
+        for label in s.split('.') {
+            if label.is_empty() {
+                return Err(WireError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
+            wire.push(label.len() as u8);
+            wire.extend_from_slice(label.as_bytes());
+        }
+        wire.push(0);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire.len()));
+        }
+        Ok(Name { wire })
+    }
+
+    /// Build a name from raw labels (each 1..=63 arbitrary octets).
+    pub fn from_labels<I, L>(labels: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut wire = Vec::new();
+        for label in labels {
+            let label = label.as_ref();
+            if label.is_empty() {
+                return Err(WireError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
+            wire.push(label.len() as u8);
+            wire.extend_from_slice(label);
+        }
+        wire.push(0);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire.len()));
+        }
+        Ok(Name { wire })
+    }
+
+    /// Parse a (possibly compressed) name out of `msg` starting at `pos`.
+    ///
+    /// Returns the name and the offset just past the name *in the original
+    /// stream* (i.e. past the first pointer if the name was compressed).
+    /// Pointers must point strictly backwards, which both matches how real
+    /// encoders emit them and guarantees termination.
+    pub fn parse(msg: &[u8], pos: usize) -> Result<(Self, usize)> {
+        let mut wire = Vec::new();
+        let mut cursor = pos;
+        // Offset just past the name in the original stream; set when we
+        // follow the first pointer.
+        let mut end: Option<usize> = None;
+        let mut hops = 0usize;
+        // The lowest position we have jumped to so far; every pointer must
+        // target something strictly below it, which prevents loops.
+        let mut min_jump = pos;
+
+        loop {
+            let len = *msg
+                .get(cursor)
+                .ok_or(WireError::Truncated { what: "name label" })? as usize;
+            match len {
+                0 => {
+                    wire.push(0);
+                    if wire.len() > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire.len()));
+                    }
+                    let after = end.unwrap_or(cursor + 1);
+                    return Ok((Name { wire }, after));
+                }
+                1..=MAX_LABEL_LEN => {
+                    let label_end = cursor + 1 + len;
+                    let label = msg
+                        .get(cursor + 1..label_end)
+                        .ok_or(WireError::Truncated { what: "name label" })?;
+                    wire.push(len as u8);
+                    wire.extend_from_slice(label);
+                    if wire.len() + 1 > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire.len() + 1));
+                    }
+                    cursor = label_end;
+                }
+                _ if len & 0xc0 == 0xc0 => {
+                    let lo = *msg.get(cursor + 1).ok_or(WireError::Truncated {
+                        what: "compression pointer",
+                    })? as usize;
+                    let target = ((len & 0x3f) << 8) | lo;
+                    if target >= min_jump {
+                        return Err(WireError::BadPointer { at: cursor, target });
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::BadPointer { at: cursor, target });
+                    }
+                    end.get_or_insert(cursor + 2);
+                    min_jump = target;
+                    cursor = target;
+                }
+                other => return Err(WireError::BadLabelType(other as u8)),
+            }
+        }
+    }
+
+    /// Uncompressed wire form, including the terminating zero octet.
+    pub fn as_wire(&self) -> &[u8] {
+        &self.wire
+    }
+
+    /// Length of the uncompressed wire form in octets.
+    pub fn wire_len(&self) -> usize {
+        self.wire.len()
+    }
+
+    /// True if this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.wire.len() == 1
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// Iterate over the labels, leftmost (most specific) first.
+    pub fn labels(&self) -> impl Iterator<Item = Label<'_>> {
+        LabelIter {
+            wire: &self.wire,
+            pos: 0,
+        }
+    }
+
+    /// The name with the leftmost label removed; `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.is_root() {
+            return None;
+        }
+        let skip = 1 + self.wire[0] as usize;
+        Some(Name {
+            wire: self.wire[skip..].to_vec(),
+        })
+    }
+
+    /// Keep only the rightmost `n` labels (n=0 gives the root).
+    pub fn suffix(&self, n: usize) -> Name {
+        let total = self.label_count();
+        if n >= total {
+            return self.clone();
+        }
+        let mut name = self.clone();
+        for _ in 0..total - n {
+            name = name.parent().expect("counted labels");
+        }
+        name
+    }
+
+    /// True if `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        let mine = self.wire_len();
+        let theirs = other.wire_len();
+        if theirs > mine {
+            return false;
+        }
+        self.wire[mine - theirs..].eq_ignore_ascii_case(&other.wire)
+    }
+
+    /// Prepend a label, producing `label.self`.
+    pub fn prepend(&self, label: &[u8]) -> Result<Name> {
+        if label.is_empty() {
+            return Err(WireError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(label.len()));
+        }
+        let mut wire = Vec::with_capacity(self.wire.len() + label.len() + 1);
+        wire.push(label.len() as u8);
+        wire.extend_from_slice(label);
+        wire.extend_from_slice(&self.wire);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire.len()));
+        }
+        Ok(Name { wire })
+    }
+
+    /// Canonical lowercase presentation form without the trailing dot
+    /// (the root renders as `"."`).
+    pub fn to_ascii(&self) -> String {
+        if self.is_root() {
+            return ".".to_string();
+        }
+        let mut out = String::with_capacity(self.wire.len());
+        for (i, label) in self.labels().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            // Lowercase through the escaping Display impl.
+            let rendered = label.to_string();
+            out.push_str(&rendered.to_ascii_lowercase());
+        }
+        out
+    }
+}
+
+struct LabelIter<'a> {
+    wire: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = Label<'a>;
+
+    fn next(&mut self) -> Option<Label<'a>> {
+        let len = self.wire[self.pos] as usize;
+        if len == 0 {
+            return None;
+        }
+        let start = self.pos + 1;
+        self.pos = start + len;
+        Some(Label(&self.wire[start..start + len]))
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.wire.eq_ignore_ascii_case(&other.wire)
+    }
+}
+
+impl Eq for Name {}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for &b in &self.wire {
+            state.write_u8(b.to_ascii_lowercase());
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.wire.iter().map(|b| b.to_ascii_lowercase());
+        let b = other.wire.iter().map(|b| b.to_ascii_lowercase());
+        a.cmp(b)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        Name::from_ascii(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_name() {
+        let root = Name::root();
+        assert!(root.is_root());
+        assert_eq!(root.label_count(), 0);
+        assert_eq!(root.to_ascii(), ".");
+        assert_eq!(root.wire_len(), 1);
+        assert_eq!(Name::from_ascii("").unwrap(), root);
+        assert_eq!(Name::from_ascii(".").unwrap(), root);
+    }
+
+    #[test]
+    fn presentation_roundtrip() {
+        let n = Name::from_ascii("www.Example.COM").unwrap();
+        assert_eq!(n.to_ascii(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.wire_len(), 17);
+    }
+
+    #[test]
+    fn trailing_dot_is_accepted() {
+        assert_eq!(
+            Name::from_ascii("example.com.").unwrap(),
+            Name::from_ascii("example.com").unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        assert_eq!(
+            Name::from_ascii("a..b").unwrap_err(),
+            WireError::EmptyLabel
+        );
+    }
+
+    #[test]
+    fn long_label_rejected() {
+        let label = "a".repeat(64);
+        assert!(matches!(
+            Name::from_ascii(&label).unwrap_err(),
+            WireError::LabelTooLong(64)
+        ));
+        // 63 is fine.
+        assert!(Name::from_ascii(&"a".repeat(63)).is_ok());
+    }
+
+    #[test]
+    fn long_name_rejected() {
+        // 4 * 63 + 4 + 1 = 257 > 255.
+        let name = [
+            "a".repeat(63),
+            "b".repeat(63),
+            "c".repeat(63),
+            "d".repeat(63),
+        ]
+        .join(".");
+        assert!(matches!(
+            Name::from_ascii(&name).unwrap_err(),
+            WireError::NameTooLong(_)
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Name::from_ascii("WWW.EXAMPLE.COM").unwrap();
+        let b = Name::from_ascii("www.example.com").unwrap();
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn parent_and_suffix() {
+        let n = Name::from_ascii("a.b.example.com").unwrap();
+        assert_eq!(n.parent().unwrap().to_ascii(), "b.example.com");
+        assert_eq!(n.suffix(2).to_ascii(), "example.com");
+        assert_eq!(n.suffix(1).to_ascii(), "com");
+        assert_eq!(n.suffix(0), Name::root());
+        assert_eq!(n.suffix(9), n);
+        assert_eq!(Name::root().parent(), None);
+    }
+
+    #[test]
+    fn subdomain_check() {
+        let com = Name::from_ascii("com").unwrap();
+        let ex = Name::from_ascii("example.COM").unwrap();
+        let www = Name::from_ascii("www.example.com").unwrap();
+        assert!(www.is_subdomain_of(&ex));
+        assert!(www.is_subdomain_of(&com));
+        assert!(www.is_subdomain_of(&Name::root()));
+        assert!(ex.is_subdomain_of(&ex));
+        assert!(!ex.is_subdomain_of(&www));
+        // "le.com" is not a parent of "example.com" despite the byte suffix.
+        let le = Name::from_ascii("le.com").unwrap();
+        assert!(!ex.is_subdomain_of(&le));
+    }
+
+    #[test]
+    fn prepend_label() {
+        let base = Name::from_ascii("example.com").unwrap();
+        let www = base.prepend(b"www").unwrap();
+        assert_eq!(www.to_ascii(), "www.example.com");
+        assert!(base.prepend(b"").is_err());
+    }
+
+    #[test]
+    fn parse_uncompressed() {
+        let wire = b"\x03www\x07example\x03com\x00rest";
+        let (name, off) = Name::parse(wire, 0).unwrap();
+        assert_eq!(name.to_ascii(), "www.example.com");
+        assert_eq!(off, 17);
+    }
+
+    #[test]
+    fn parse_with_pointer() {
+        // offset 0: "example.com", offset 13: "www" + ptr to 0.
+        let mut msg = Vec::new();
+        msg.extend_from_slice(b"\x07example\x03com\x00");
+        let ptr_at = msg.len();
+        msg.extend_from_slice(b"\x03www\xc0\x00");
+        let (name, off) = Name::parse(&msg, ptr_at).unwrap();
+        assert_eq!(name.to_ascii(), "www.example.com");
+        assert_eq!(off, ptr_at + 6);
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Pointer to itself.
+        let msg = b"\xc0\x00";
+        assert!(matches!(
+            Name::parse(msg, 0).unwrap_err(),
+            WireError::BadPointer { .. }
+        ));
+        // Two pointers chasing each other: 0 -> 2 is forward, rejected.
+        let msg = b"\xc0\x02\xc0\x00";
+        assert!(Name::parse(msg, 0).is_err());
+        // Backward chain that loops: parse at 2 jumps to 0, which would
+        // need to jump forward again -> rejected by the strictly-backward
+        // rule.
+        let msg = b"\xc0\x02\xc0\x00";
+        assert!(Name::parse(msg, 2).is_err());
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        assert!(Name::parse(b"", 0).is_err());
+        assert!(Name::parse(b"\x03ww", 0).is_err());
+        assert!(Name::parse(b"\x03www", 0).is_err()); // missing terminator
+        assert!(Name::parse(b"\xc0", 0).is_err()); // half a pointer
+    }
+
+    #[test]
+    fn reserved_label_types_rejected() {
+        assert!(matches!(
+            Name::parse(b"\x40abc", 0).unwrap_err(),
+            WireError::BadLabelType(0x40)
+        ));
+        assert!(matches!(
+            Name::parse(b"\x80abc", 0).unwrap_err(),
+            WireError::BadLabelType(0x80)
+        ));
+    }
+
+    #[test]
+    fn display_escapes_binary_labels() {
+        let n = Name::from_labels([b"a.b" as &[u8], b"\x01\x02"]).unwrap();
+        assert_eq!(n.to_ascii(), "a\\.b.\\001\\002");
+    }
+
+    #[test]
+    fn ordering_is_case_insensitive() {
+        let a = Name::from_ascii("ALPHA.example").unwrap();
+        let b = Name::from_ascii("alpha.example").unwrap();
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+}

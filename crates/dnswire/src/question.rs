@@ -1,0 +1,72 @@
+//! The question section entry (RFC 1035 §4.1.2).
+
+use crate::{Name, RecordClass, RecordType, Result, WireReader, WireWriter};
+use std::fmt;
+
+/// A single question: what name, what type, what class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub qname: Name,
+    /// Queried record type.
+    pub qtype: RecordType,
+    /// Queried class, virtually always `IN`.
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    /// Convenience constructor for an `IN`-class question.
+    pub fn new(qname: Name, qtype: RecordType) -> Self {
+        Question {
+            qname,
+            qtype,
+            qclass: RecordClass::In,
+        }
+    }
+
+    pub(crate) fn parse(r: &mut WireReader<'_>) -> Result<Self> {
+        let qname = r.read_name()?;
+        let qtype = RecordType::from_code(r.read_u16("qtype")?);
+        let qclass = RecordClass::from_code(r.read_u16("qclass")?);
+        Ok(Question {
+            qname,
+            qtype,
+            qclass,
+        })
+    }
+
+    pub(crate) fn write(&self, w: &mut WireWriter) -> Result<()> {
+        w.write_name(&self.qname)?;
+        w.write_u16(self.qtype.code());
+        w.write_u16(self.qclass.code());
+        Ok(())
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.qname, self.qclass, self.qtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let q = Question::new(Name::from_ascii("example.com").unwrap(), RecordType::Aaaa);
+        let mut w = WireWriter::new();
+        q.write(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Question::parse(&mut r).unwrap(), q);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        let q = Question::new(Name::from_ascii("a.b").unwrap(), RecordType::Mx);
+        assert_eq!(q.to_string(), "a.b IN MX");
+    }
+}

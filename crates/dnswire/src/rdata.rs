@@ -1,0 +1,523 @@
+//! RDATA payloads for the record types the measurement pipeline carries.
+
+use crate::{Name, RecordType, Result, WireError, WireReader, WireWriter};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Start-of-authority payload (RFC 1035 §3.3.13).
+///
+/// The `minimum` field doubles as the negative-caching TTL per RFC 2308,
+/// which is central to the paper's Happy Eyeballs analysis (§5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Soa {
+    /// Primary nameserver of the zone.
+    pub mname: Name,
+    /// Mailbox of the zone administrator, encoded as a name.
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval, seconds.
+    pub retry: u32,
+    /// Expiry limit, seconds.
+    pub expire: u32,
+    /// Minimum TTL — in practice the negative-caching TTL (RFC 2308).
+    pub minimum: u32,
+}
+
+/// Mail-exchange payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mx {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// Host that accepts mail.
+    pub exchange: Name,
+}
+
+/// Service-locator payload (RFC 2782).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SvcRecord {
+    /// Lower is tried first.
+    pub priority: u16,
+    /// Relative weight among equal priorities.
+    pub weight: u16,
+    /// Service port.
+    pub port: u16,
+    /// Host providing the service.
+    pub target: Name,
+}
+
+/// Delegation-signer payload (RFC 4034 §5); digest is carried opaquely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ds {
+    /// Key tag of the referenced DNSKEY.
+    pub key_tag: u16,
+    /// DNSSEC algorithm number.
+    pub algorithm: u8,
+    /// Digest algorithm number.
+    pub digest_type: u8,
+    /// Raw digest bytes.
+    pub digest: Vec<u8>,
+}
+
+/// DNSSEC signature payload (RFC 4034 §3); the signature is carried opaquely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rrsig {
+    /// Record type this signature covers.
+    pub type_covered: RecordType,
+    /// DNSSEC algorithm number.
+    pub algorithm: u8,
+    /// Number of labels in the signed owner name.
+    pub labels: u8,
+    /// Original TTL of the covered RRset.
+    pub original_ttl: u32,
+    /// Signature validity end, UNIX-ish epoch seconds.
+    pub expiration: u32,
+    /// Signature validity start.
+    pub inception: u32,
+    /// Key tag of the signing key.
+    pub key_tag: u16,
+    /// Name of the signing zone.
+    pub signer: Name,
+    /// Raw signature bytes.
+    pub signature: Vec<u8>,
+}
+
+/// Parsed RDATA.
+///
+/// Record types we do not model keep their raw octets in
+/// [`RData::Unknown`], so any message round-trips loss-free.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Nameserver host name.
+    Ns(Name),
+    /// Alias target.
+    Cname(Name),
+    /// Reverse-DNS pointer target.
+    Ptr(Name),
+    /// Start of authority.
+    Soa(Soa),
+    /// Mail exchange.
+    Mx(Mx),
+    /// Text strings (each at most 255 octets).
+    Txt(Vec<Vec<u8>>),
+    /// Service locator.
+    Srv(SvcRecord),
+    /// Delegation signer.
+    Ds(Ds),
+    /// DNSSEC signature.
+    Rrsig(Rrsig),
+    /// EDNS0 options, raw (interpreted by [`crate::Edns`]).
+    Opt(Vec<u8>),
+    /// Opaque RDATA of a type we do not model.
+    Unknown {
+        /// Numeric record type.
+        rtype: u16,
+        /// Raw RDATA octets.
+        data: Vec<u8>,
+    },
+}
+
+impl RData {
+    /// The record type corresponding to this payload.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::Aaaa,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Ptr(_) => RecordType::Ptr,
+            RData::Soa(_) => RecordType::Soa,
+            RData::Mx(_) => RecordType::Mx,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Srv(_) => RecordType::Srv,
+            RData::Ds(_) => RecordType::Ds,
+            RData::Rrsig(_) => RecordType::Rrsig,
+            RData::Opt(_) => RecordType::Opt,
+            RData::Unknown { rtype, .. } => RecordType::from_code(*rtype),
+        }
+    }
+
+    /// Parse RDATA of type `rtype` occupying `rdlength` octets at the
+    /// reader's position. The reader always ends exactly at the end of the
+    /// RDATA (we re-seek for name-bearing types to be robust against
+    /// trailing junk inside the declared RDLENGTH).
+    pub(crate) fn parse(
+        r: &mut WireReader<'_>,
+        rtype: RecordType,
+        rdlength: usize,
+    ) -> Result<Self> {
+        let start = r.position();
+        let end = start
+            .checked_add(rdlength)
+            .ok_or(WireError::Truncated { what: "rdata" })?;
+        let rd = match rtype {
+            RecordType::A => {
+                let b = r.read_slice(4, "A rdata")?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::Aaaa => {
+                let b = r.read_slice(16, "AAAA rdata")?;
+                let mut octets = [0u8; 16];
+                octets.copy_from_slice(b);
+                RData::Aaaa(Ipv6Addr::from(octets))
+            }
+            RecordType::Ns => RData::Ns(r.read_name()?),
+            RecordType::Cname => RData::Cname(r.read_name()?),
+            RecordType::Ptr => RData::Ptr(r.read_name()?),
+            RecordType::Soa => RData::Soa(Soa {
+                mname: r.read_name()?,
+                rname: r.read_name()?,
+                serial: r.read_u32("SOA serial")?,
+                refresh: r.read_u32("SOA refresh")?,
+                retry: r.read_u32("SOA retry")?,
+                expire: r.read_u32("SOA expire")?,
+                minimum: r.read_u32("SOA minimum")?,
+            }),
+            RecordType::Mx => RData::Mx(Mx {
+                preference: r.read_u16("MX preference")?,
+                exchange: r.read_name()?,
+            }),
+            RecordType::Txt => {
+                let mut strings = Vec::new();
+                while r.position() < end {
+                    strings.push(r.read_character_string()?.to_vec());
+                }
+                if strings.is_empty() {
+                    // RFC 1035 requires at least one character-string.
+                    return Err(WireError::BadRdataLength {
+                        rtype: rtype.code(),
+                        declared: rdlength,
+                        consumed: 0,
+                    });
+                }
+                RData::Txt(strings)
+            }
+            RecordType::Srv => RData::Srv(SvcRecord {
+                priority: r.read_u16("SRV priority")?,
+                weight: r.read_u16("SRV weight")?,
+                port: r.read_u16("SRV port")?,
+                target: r.read_name()?,
+            }),
+            RecordType::Ds => {
+                let key_tag = r.read_u16("DS key tag")?;
+                let algorithm = r.read_u8("DS algorithm")?;
+                let digest_type = r.read_u8("DS digest type")?;
+                let digest_len = end
+                    .checked_sub(r.position())
+                    .ok_or(WireError::BadRdataLength {
+                        rtype: rtype.code(),
+                        declared: rdlength,
+                        consumed: r.position() - start,
+                    })?;
+                RData::Ds(Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest: r.read_slice(digest_len, "DS digest")?.to_vec(),
+                })
+            }
+            RecordType::Rrsig => {
+                let type_covered = RecordType::from_code(r.read_u16("RRSIG covered")?);
+                let algorithm = r.read_u8("RRSIG algorithm")?;
+                let labels = r.read_u8("RRSIG labels")?;
+                let original_ttl = r.read_u32("RRSIG ttl")?;
+                let expiration = r.read_u32("RRSIG expiration")?;
+                let inception = r.read_u32("RRSIG inception")?;
+                let key_tag = r.read_u16("RRSIG key tag")?;
+                let signer = r.read_name()?;
+                let sig_len = end
+                    .checked_sub(r.position())
+                    .ok_or(WireError::BadRdataLength {
+                        rtype: rtype.code(),
+                        declared: rdlength,
+                        consumed: r.position() - start,
+                    })?;
+                RData::Rrsig(Rrsig {
+                    type_covered,
+                    algorithm,
+                    labels,
+                    original_ttl,
+                    expiration,
+                    inception,
+                    key_tag,
+                    signer,
+                    signature: r.read_slice(sig_len, "RRSIG signature")?.to_vec(),
+                })
+            }
+            RecordType::Opt => RData::Opt(r.read_slice(rdlength, "OPT rdata")?.to_vec()),
+            _ => RData::Unknown {
+                rtype: rtype.code(),
+                data: r.read_slice(rdlength, "unknown rdata")?.to_vec(),
+            },
+        };
+        let consumed = r.position() - start;
+        if consumed > rdlength {
+            return Err(WireError::BadRdataLength {
+                rtype: rtype.code(),
+                declared: rdlength,
+                consumed,
+            });
+        }
+        // Fixed-layout types must consume RDLENGTH exactly; name-bearing
+        // compressed names may legitimately stop short of RDLENGTH only if
+        // the encoder padded, which we reject too: consumed must equal the
+        // declared length.
+        if consumed != rdlength {
+            return Err(WireError::BadRdataLength {
+                rtype: rtype.code(),
+                declared: rdlength,
+                consumed,
+            });
+        }
+        Ok(rd)
+    }
+
+    /// Serialize the RDATA. `w` already contains the record's fixed fields;
+    /// the caller patches RDLENGTH afterwards.
+    ///
+    /// Names inside RDATA are written *uncompressed*: RFC 3597 forbids
+    /// compression for post-1035 types, and emitting compression into SOA /
+    /// NS / CNAME RDATA complicates RDLENGTH handling for no measurable
+    /// gain in a measurement pipeline.
+    pub(crate) fn write(&self, w: &mut WireWriter) -> Result<()> {
+        match self {
+            RData::A(addr) => w.write_slice(&addr.octets()),
+            RData::Aaaa(addr) => w.write_slice(&addr.octets()),
+            RData::Ns(name) | RData::Cname(name) | RData::Ptr(name) => {
+                w.write_name_uncompressed(name)?
+            }
+            RData::Soa(soa) => {
+                w.write_name_uncompressed(&soa.mname)?;
+                w.write_name_uncompressed(&soa.rname)?;
+                w.write_u32(soa.serial);
+                w.write_u32(soa.refresh);
+                w.write_u32(soa.retry);
+                w.write_u32(soa.expire);
+                w.write_u32(soa.minimum);
+            }
+            RData::Mx(mx) => {
+                w.write_u16(mx.preference);
+                w.write_name_uncompressed(&mx.exchange)?;
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    w.write_character_string(s)?;
+                }
+            }
+            RData::Srv(srv) => {
+                w.write_u16(srv.priority);
+                w.write_u16(srv.weight);
+                w.write_u16(srv.port);
+                w.write_name_uncompressed(&srv.target)?;
+            }
+            RData::Ds(ds) => {
+                w.write_u16(ds.key_tag);
+                w.write_u8(ds.algorithm);
+                w.write_u8(ds.digest_type);
+                w.write_slice(&ds.digest);
+            }
+            RData::Rrsig(sig) => {
+                w.write_u16(sig.type_covered.code());
+                w.write_u8(sig.algorithm);
+                w.write_u8(sig.labels);
+                w.write_u32(sig.original_ttl);
+                w.write_u32(sig.expiration);
+                w.write_u32(sig.inception);
+                w.write_u16(sig.key_tag);
+                w.write_name_uncompressed(&sig.signer)?;
+                w.write_slice(&sig.signature);
+            }
+            RData::Opt(data) => w.write_slice(data),
+            RData::Unknown { data, .. } => w.write_slice(data),
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RData::A(a) => write!(f, "{a}"),
+            RData::Aaaa(a) => write!(f, "{a}"),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, "{n}"),
+            RData::Soa(s) => write!(
+                f,
+                "{} {} {} {} {} {} {}",
+                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+            ),
+            RData::Mx(m) => write!(f, "{} {}", m.preference, m.exchange),
+            RData::Txt(strings) => {
+                for (i, s) in strings.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "\"{}\"", String::from_utf8_lossy(s))?;
+                }
+                Ok(())
+            }
+            RData::Srv(s) => write!(f, "{} {} {} {}", s.priority, s.weight, s.port, s.target),
+            RData::Ds(d) => write!(
+                f,
+                "{} {} {} ({} digest octets)",
+                d.key_tag,
+                d.algorithm,
+                d.digest_type,
+                d.digest.len()
+            ),
+            RData::Rrsig(s) => write!(
+                f,
+                "{} {} {} sig-by {}",
+                s.type_covered, s.algorithm, s.labels, s.signer
+            ),
+            RData::Opt(data) => write!(f, "OPT ({} octets)", data.len()),
+            RData::Unknown { rtype, data } => {
+                write!(f, "\\# type {} ({} octets)", rtype, data.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rd: &RData) -> RData {
+        let mut w = WireWriter::new();
+        rd.write(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let parsed = RData::parse(&mut r, rd.rtype(), bytes.len()).unwrap();
+        assert!(r.is_empty());
+        parsed
+    }
+
+    #[test]
+    fn a_roundtrip() {
+        let rd = RData::A(Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn aaaa_roundtrip() {
+        let rd = RData::Aaaa("2001:db8::1".parse().unwrap());
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn name_types_roundtrip() {
+        for rd in [
+            RData::Ns(Name::from_ascii("ns1.example.com").unwrap()),
+            RData::Cname(Name::from_ascii("alias.example.com").unwrap()),
+            RData::Ptr(Name::from_ascii("host.example.com").unwrap()),
+        ] {
+            assert_eq!(roundtrip(&rd), rd);
+        }
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        let rd = RData::Soa(Soa {
+            mname: Name::from_ascii("ns1.example.com").unwrap(),
+            rname: Name::from_ascii("hostmaster.example.com").unwrap(),
+            serial: 2019041901,
+            refresh: 7200,
+            retry: 900,
+            expire: 1209600,
+            minimum: 300,
+        });
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn mx_srv_roundtrip() {
+        let mx = RData::Mx(Mx {
+            preference: 10,
+            exchange: Name::from_ascii("mail.example.com").unwrap(),
+        });
+        assert_eq!(roundtrip(&mx), mx);
+        let srv = RData::Srv(SvcRecord {
+            priority: 0,
+            weight: 5,
+            port: 443,
+            target: Name::from_ascii("svc.example.com").unwrap(),
+        });
+        assert_eq!(roundtrip(&srv), srv);
+    }
+
+    #[test]
+    fn txt_roundtrip() {
+        let rd = RData::Txt(vec![b"v=spf1 -all".to_vec(), vec![0xff, 0x00]]);
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn empty_txt_rejected() {
+        let mut r = WireReader::new(&[]);
+        assert!(RData::parse(&mut r, RecordType::Txt, 0).is_err());
+    }
+
+    #[test]
+    fn ds_rrsig_roundtrip() {
+        let ds = RData::Ds(Ds {
+            key_tag: 12345,
+            algorithm: 8,
+            digest_type: 2,
+            digest: vec![0xab; 32],
+        });
+        assert_eq!(roundtrip(&ds), ds);
+        let sig = RData::Rrsig(Rrsig {
+            type_covered: RecordType::A,
+            algorithm: 8,
+            labels: 2,
+            original_ttl: 3600,
+            expiration: 1_556_668_800,
+            inception: 1_554_076_800,
+            key_tag: 12345,
+            signer: Name::from_ascii("example.com").unwrap(),
+            signature: vec![0xcd; 64],
+        });
+        assert_eq!(roundtrip(&sig), sig);
+    }
+
+    #[test]
+    fn unknown_type_is_opaque() {
+        let rd = RData::Unknown {
+            rtype: 99,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn declared_length_mismatch_rejected() {
+        // A record with 3 bytes of RDATA.
+        let mut r = WireReader::new(&[192, 0, 2]);
+        assert!(RData::parse(&mut r, RecordType::A, 3).is_err());
+        // A record where RDLENGTH says 5 but A consumes 4.
+        let mut r = WireReader::new(&[192, 0, 2, 1, 9]);
+        assert!(matches!(
+            RData::parse(&mut r, RecordType::A, 5).unwrap_err(),
+            WireError::BadRdataLength { .. }
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "1.2.3.4");
+        assert_eq!(
+            RData::Txt(vec![b"hi".to_vec()]).to_string(),
+            "\"hi\""
+        );
+        let mx = RData::Mx(Mx {
+            preference: 10,
+            exchange: Name::from_ascii("mx.example").unwrap(),
+        });
+        assert_eq!(mx.to_string(), "10 mx.example");
+    }
+}

@@ -1,0 +1,141 @@
+//! A bounds-checked cursor over a DNS message.
+
+use crate::{Name, Result, WireError};
+
+/// Sequential reader over a whole DNS message.
+///
+/// Name decompression needs access to the entire message, so the reader
+/// keeps the full slice and an explicit position rather than shrinking a
+/// sub-slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    msg: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Create a reader positioned at the start of `msg`.
+    pub fn new(msg: &'a [u8]) -> Self {
+        WireReader { msg, pos: 0 }
+    }
+
+    /// Current offset from the start of the message.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.msg.len() - self.pos
+    }
+
+    /// True once the whole message has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Move to an absolute offset (used to skip over opaque RDATA).
+    pub fn seek(&mut self, pos: usize) -> Result<()> {
+        if pos > self.msg.len() {
+            return Err(WireError::Truncated { what: "seek target" });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Read one octet.
+    pub fn read_u8(&mut self, what: &'static str) -> Result<u8> {
+        let b = *self
+            .msg
+            .get(self.pos)
+            .ok_or(WireError::Truncated { what })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a big-endian u16.
+    pub fn read_u16(&mut self, what: &'static str) -> Result<u16> {
+        let bytes = self.read_slice(2, what)?;
+        Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Read a big-endian u32.
+    pub fn read_u32(&mut self, what: &'static str) -> Result<u32> {
+        let bytes = self.read_slice(4, what)?;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Read `len` raw octets.
+    pub fn read_slice(&mut self, len: usize, what: &'static str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(WireError::Truncated { what })?;
+        let slice = self.msg.get(self.pos..end).ok_or(WireError::Truncated { what })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read a possibly-compressed name; the cursor advances past the name
+    /// as it appears in the stream (i.e. past the first pointer).
+    pub fn read_name(&mut self) -> Result<Name> {
+        let (name, next) = Name::parse(self.msg, self.pos)?;
+        self.pos = next;
+        Ok(name)
+    }
+
+    /// Read an RFC 1035 character-string (one length octet + payload).
+    pub fn read_character_string(&mut self) -> Result<&'a [u8]> {
+        let len = self.read_u8("character-string length")? as usize;
+        self.read_slice(len, "character-string")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reads() {
+        let buf = [0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.read_u8("x").unwrap(), 0x12);
+        assert_eq!(r.read_u16("x").unwrap(), 0x3456);
+        assert_eq!(r.read_u32("x").unwrap(), 0x789abcde);
+        assert!(r.is_empty());
+        assert!(r.read_u8("x").is_err());
+    }
+
+    #[test]
+    fn slice_and_seek() {
+        let buf = [1, 2, 3, 4, 5];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.read_slice(2, "x").unwrap(), &[1, 2]);
+        r.seek(4).unwrap();
+        assert_eq!(r.read_u8("x").unwrap(), 5);
+        assert!(r.seek(6).is_err());
+        r.seek(5).unwrap(); // end is a valid position
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn character_string() {
+        let buf = [3, b'a', b'b', b'c', 0];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.read_character_string().unwrap(), b"abc");
+        assert_eq!(r.read_character_string().unwrap(), b"");
+        assert!(r.read_character_string().is_err());
+    }
+
+    #[test]
+    fn name_read_advances_past_pointer() {
+        let mut msg = Vec::from(&b"\x03com\x00"[..]);
+        let start = msg.len();
+        msg.extend_from_slice(b"\x07example\xc0\x00\xff");
+        let mut r = WireReader::new(&msg);
+        r.seek(start).unwrap();
+        let name = r.read_name().unwrap();
+        assert_eq!(name.to_ascii(), "example.com");
+        assert_eq!(r.read_u8("tail").unwrap(), 0xff);
+    }
+}

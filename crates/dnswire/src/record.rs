@@ -1,0 +1,135 @@
+//! Resource records (RFC 1035 §4.1.3).
+
+use crate::{Name, RData, RecordClass, RecordType, Result, WireReader, WireWriter};
+use std::fmt;
+
+/// Which message section a record appeared in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// ANSWER section.
+    Answer,
+    /// AUTHORITY section.
+    Authority,
+    /// ADDITIONAL section.
+    Additional,
+}
+
+/// A resource record: owner name, class, TTL and typed RDATA.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Owner name the record is attached to.
+    pub name: Name,
+    /// Record class, virtually always `IN`.
+    pub class: RecordClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed payload.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for an `IN`-class record.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        Record {
+            name,
+            class: RecordClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record type, derived from the RDATA.
+    pub fn rtype(&self) -> RecordType {
+        self.rdata.rtype()
+    }
+
+    pub(crate) fn parse(r: &mut WireReader<'_>) -> Result<Self> {
+        let name = r.read_name()?;
+        let rtype = RecordType::from_code(r.read_u16("record type")?);
+        let class = RecordClass::from_code(r.read_u16("record class")?);
+        let ttl = r.read_u32("record ttl")?;
+        let rdlength = r.read_u16("rdlength")? as usize;
+        let rdata = RData::parse(r, rtype, rdlength)?;
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+
+    pub(crate) fn write(&self, w: &mut WireWriter) -> Result<()> {
+        w.write_name(&self.name)?;
+        w.write_u16(self.rtype().code());
+        w.write_u16(self.class.code());
+        w.write_u32(self.ttl);
+        let len_at = w.len();
+        w.write_u16(0); // placeholder RDLENGTH
+        let rdata_start = w.len();
+        self.rdata.write(w)?;
+        let rdlen = w.len() - rdata_start;
+        debug_assert!(rdlen <= u16::MAX as usize, "rdata cannot exceed 65535");
+        w.patch_u16(len_at, rdlen as u16);
+        Ok(())
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.name,
+            self.ttl,
+            self.class,
+            self.rtype(),
+            self.rdata
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn roundtrip() {
+        let rec = Record::new(
+            Name::from_ascii("www.example.com").unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+        );
+        let mut w = WireWriter::new();
+        rec.write(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Record::parse(&mut r).unwrap(), rec);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rdlength_is_patched() {
+        let rec = Record::new(
+            Name::from_ascii("t.example").unwrap(),
+            60,
+            RData::Txt(vec![b"hello".to_vec()]),
+        );
+        let mut w = WireWriter::new();
+        rec.write(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        // name(11) + type(2) + class(2) + ttl(4) => rdlength at offset 19.
+        let rdlen = u16::from_be_bytes([bytes[19], bytes[20]]);
+        assert_eq!(rdlen, 6); // 1 length octet + "hello"
+    }
+
+    #[test]
+    fn display() {
+        let rec = Record::new(
+            Name::from_ascii("www.example.com").unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        );
+        assert_eq!(rec.to_string(), "www.example.com 300 IN A 1.2.3.4");
+    }
+}

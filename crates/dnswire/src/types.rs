@@ -1,0 +1,323 @@
+//! Enumerations for record types, classes, opcodes and response codes.
+
+use std::fmt;
+
+/// DNS record / query type (RFC 1035 §3.2.2 and friends).
+///
+/// Only the types relevant to the measurement pipeline get named variants;
+/// everything else round-trips through [`RecordType::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Domain name pointer (reverse DNS).
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text strings.
+    Txt,
+    /// IPv6 host address.
+    Aaaa,
+    /// Service locator.
+    Srv,
+    /// EDNS0 pseudo record.
+    Opt,
+    /// Delegation signer (DNSSEC).
+    Ds,
+    /// DNSSEC signature.
+    Rrsig,
+    /// DNSKEY record (carried, not validated).
+    Dnskey,
+    /// NSEC authenticated denial record.
+    Nsec,
+    /// Query-only: all records.
+    Any,
+    /// Anything else, preserving the numeric code.
+    Unknown(u16),
+}
+
+impl RecordType {
+    /// Numeric type code on the wire.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Srv => 33,
+            RecordType::Opt => 41,
+            RecordType::Ds => 43,
+            RecordType::Rrsig => 46,
+            RecordType::Nsec => 47,
+            RecordType::Dnskey => 48,
+            RecordType::Any => 255,
+            RecordType::Unknown(c) => c,
+        }
+    }
+
+    /// Map a numeric code back to a variant.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            33 => RecordType::Srv,
+            41 => RecordType::Opt,
+            43 => RecordType::Ds,
+            46 => RecordType::Rrsig,
+            47 => RecordType::Nsec,
+            48 => RecordType::Dnskey,
+            255 => RecordType::Any,
+            other => RecordType::Unknown(other),
+        }
+    }
+
+    /// True for types that ask for (or carry) host addresses.
+    pub fn is_address(self) -> bool {
+        matches!(self, RecordType::A | RecordType::Aaaa)
+    }
+
+    /// Mnemonic used in presentation format, e.g. `"AAAA"`.
+    pub fn mnemonic(self) -> String {
+        match self {
+            RecordType::A => "A".into(),
+            RecordType::Ns => "NS".into(),
+            RecordType::Cname => "CNAME".into(),
+            RecordType::Soa => "SOA".into(),
+            RecordType::Ptr => "PTR".into(),
+            RecordType::Mx => "MX".into(),
+            RecordType::Txt => "TXT".into(),
+            RecordType::Aaaa => "AAAA".into(),
+            RecordType::Srv => "SRV".into(),
+            RecordType::Opt => "OPT".into(),
+            RecordType::Ds => "DS".into(),
+            RecordType::Rrsig => "RRSIG".into(),
+            RecordType::Nsec => "NSEC".into(),
+            RecordType::Dnskey => "DNSKEY".into(),
+            RecordType::Any => "ANY".into(),
+            RecordType::Unknown(c) => format!("TYPE{c}"),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// DNS class. In practice always `IN`; OPT abuses the field for UDP size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordClass {
+    /// The Internet.
+    In,
+    /// CHAOS (used by `version.bind` style queries).
+    Ch,
+    /// Query-only: any class.
+    Any,
+    /// Anything else, preserving the numeric code.
+    Unknown(u16),
+}
+
+impl RecordClass {
+    /// Numeric class code on the wire.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::Ch => 3,
+            RecordClass::Any => 255,
+            RecordClass::Unknown(c) => c,
+        }
+    }
+
+    /// Map a numeric code back to a variant.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RecordClass::In,
+            3 => RecordClass::Ch,
+            255 => RecordClass::Any,
+            other => RecordClass::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordClass::In => f.write_str("IN"),
+            RecordClass::Ch => f.write_str("CH"),
+            RecordClass::Any => f.write_str("ANY"),
+            RecordClass::Unknown(c) => write!(f, "CLASS{c}"),
+        }
+    }
+}
+
+/// Header opcode (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Opcode {
+    /// Standard query.
+    #[default]
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Zone change notification.
+    Notify,
+    /// Dynamic update.
+    Update,
+    /// Anything else, preserving the 4-bit code.
+    Unknown(u8),
+}
+
+impl Opcode {
+    /// 4-bit opcode value.
+    pub fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Unknown(c) => c & 0x0f,
+        }
+    }
+
+    /// Map a 4-bit value back to a variant.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0x0f {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            other => Opcode::Unknown(other),
+        }
+    }
+}
+
+/// Response code (RFC 1035 §4.1.1, extended by EDNS0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Rcode {
+    /// No error condition.
+    #[default]
+    NoError,
+    /// The server could not interpret the query.
+    FormErr,
+    /// The server failed to complete the request.
+    ServFail,
+    /// The queried name does not exist.
+    NxDomain,
+    /// The server does not support the requested kind of query.
+    NotImp,
+    /// The server refuses to answer for policy reasons.
+    Refused,
+    /// Anything else (including extended RCODEs), preserving the code.
+    Unknown(u16),
+}
+
+impl Rcode {
+    /// Numeric RCODE; values above 15 require EDNS0 extended RCODE bits.
+    pub fn code(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Unknown(c) => c,
+        }
+    }
+
+    /// Map a numeric RCODE back to a variant.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => f.write_str("NOERROR"),
+            Rcode::FormErr => f.write_str("FORMERR"),
+            Rcode::ServFail => f.write_str("SERVFAIL"),
+            Rcode::NxDomain => f.write_str("NXDOMAIN"),
+            Rcode::NotImp => f.write_str("NOTIMP"),
+            Rcode::Refused => f.write_str("REFUSED"),
+            Rcode::Unknown(c) => write!(f, "RCODE{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_type_roundtrip() {
+        for code in 0u16..=300 {
+            assert_eq!(RecordType::from_code(code).code(), code, "type {code}");
+        }
+    }
+
+    #[test]
+    fn record_class_roundtrip() {
+        for code in 0u16..=300 {
+            assert_eq!(RecordClass::from_code(code).code(), code, "class {code}");
+        }
+    }
+
+    #[test]
+    fn opcode_roundtrip() {
+        for code in 0u8..=15 {
+            assert_eq!(Opcode::from_code(code).code(), code, "opcode {code}");
+        }
+    }
+
+    #[test]
+    fn rcode_roundtrip() {
+        for code in 0u16..=40 {
+            assert_eq!(Rcode::from_code(code).code(), code, "rcode {code}");
+        }
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(RecordType::Aaaa.to_string(), "AAAA");
+        assert_eq!(RecordType::Unknown(999).to_string(), "TYPE999");
+        assert_eq!(Rcode::NxDomain.to_string(), "NXDOMAIN");
+        assert_eq!(RecordClass::In.to_string(), "IN");
+    }
+
+    #[test]
+    fn address_types() {
+        assert!(RecordType::A.is_address());
+        assert!(RecordType::Aaaa.is_address());
+        assert!(!RecordType::Ns.is_address());
+        assert!(!RecordType::Any.is_address());
+    }
+}

@@ -1,0 +1,197 @@
+//! Serialization buffer with RFC 1035 name compression.
+
+use crate::{Name, Result, WireError};
+use std::collections::HashMap;
+
+/// Compression pointers can only address the first 16 KiB − 1 of a message.
+const MAX_POINTER_TARGET: usize = 0x3fff;
+
+/// Growable output buffer that tracks previously written names so later
+/// occurrences can be emitted as compression pointers.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Maps the lowercase wire form of a name suffix to the offset where it
+    /// was first written.
+    seen: HashMap<Vec<u8>, usize>,
+}
+
+impl WireWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before anything has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the serialized message.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one octet.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw octets.
+    pub fn write_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrite a big-endian u16 at an absolute offset (used to patch
+    /// RDLENGTH after the RDATA has been written).
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append an RFC 1035 character-string.
+    pub fn write_character_string(&mut self, s: &[u8]) -> Result<()> {
+        if s.len() > 255 {
+            return Err(WireError::StringTooLong(s.len()));
+        }
+        self.buf.push(s.len() as u8);
+        self.buf.extend_from_slice(s);
+        Ok(())
+    }
+
+    /// Append a name, compressing against previously written names.
+    pub fn write_name(&mut self, name: &Name) -> Result<()> {
+        self.write_name_inner(name, true)
+    }
+
+    /// Append a name without compression (required inside RRSIG RDATA,
+    /// where compression is forbidden by RFC 4034 §3.1.7).
+    pub fn write_name_uncompressed(&mut self, name: &Name) -> Result<()> {
+        self.write_name_inner(name, false)
+    }
+
+    fn write_name_inner(&mut self, name: &Name, compress: bool) -> Result<()> {
+        let wire = name.as_wire();
+        let mut pos = 0usize;
+        // Walk suffixes from the full name downwards; emit a pointer at the
+        // first suffix we have already written.
+        while wire[pos] != 0 {
+            let suffix_key: Vec<u8> = wire[pos..].to_ascii_lowercase();
+            if compress {
+                if let Some(&target) = self.seen.get(&suffix_key) {
+                    self.write_u16(0xc000 | target as u16);
+                    return Ok(());
+                }
+            }
+            let here = self.buf.len();
+            if here <= MAX_POINTER_TARGET {
+                self.seen.entry(suffix_key).or_insert(here);
+            }
+            let label_len = wire[pos] as usize;
+            self.buf.extend_from_slice(&wire[pos..pos + 1 + label_len]);
+            pos += 1 + label_len;
+        }
+        self.write_u8(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        let mut w = WireWriter::new();
+        w.write_u8(1);
+        w.write_u16(0x0203);
+        w.write_u32(0x04050607);
+        w.write_slice(&[8, 9]);
+        assert_eq!(w.into_bytes(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn patch() {
+        let mut w = WireWriter::new();
+        w.write_u16(0);
+        w.write_u8(0xaa);
+        w.patch_u16(0, 0x1234);
+        assert_eq!(w.into_bytes(), vec![0x12, 0x34, 0xaa]);
+    }
+
+    #[test]
+    fn character_string_limits() {
+        let mut w = WireWriter::new();
+        w.write_character_string(b"hello").unwrap();
+        assert!(w.write_character_string(&[0u8; 256]).is_err());
+        assert_eq!(w.into_bytes(), vec![5, b'h', b'e', b'l', b'l', b'o']);
+    }
+
+    #[test]
+    fn compression_reuses_suffixes() {
+        let mut w = WireWriter::new();
+        let a = Name::from_ascii("www.example.com").unwrap();
+        let b = Name::from_ascii("mail.example.com").unwrap();
+        w.write_name(&a).unwrap();
+        let before = w.len();
+        w.write_name(&b).unwrap();
+        // "mail" (5 bytes) + pointer (2 bytes) = 7 bytes.
+        assert_eq!(w.len() - before, 7);
+        let bytes = w.into_bytes();
+        // Re-parse both names to prove correctness.
+        let (n1, next) = Name::parse(&bytes, 0).unwrap();
+        let (n2, _) = Name::parse(&bytes, next).unwrap();
+        assert_eq!(n1, a);
+        assert_eq!(n2, b);
+    }
+
+    #[test]
+    fn full_name_reuse_is_a_single_pointer() {
+        let mut w = WireWriter::new();
+        let a = Name::from_ascii("example.com").unwrap();
+        w.write_name(&a).unwrap();
+        let before = w.len();
+        w.write_name(&a).unwrap();
+        assert_eq!(w.len() - before, 2);
+    }
+
+    #[test]
+    fn compression_is_case_insensitive() {
+        let mut w = WireWriter::new();
+        w.write_name(&Name::from_ascii("Example.COM").unwrap()).unwrap();
+        let before = w.len();
+        w.write_name(&Name::from_ascii("example.com").unwrap()).unwrap();
+        assert_eq!(w.len() - before, 2);
+    }
+
+    #[test]
+    fn uncompressed_writes_full_name() {
+        let mut w = WireWriter::new();
+        let a = Name::from_ascii("example.com").unwrap();
+        w.write_name(&a).unwrap();
+        let before = w.len();
+        w.write_name_uncompressed(&a).unwrap();
+        assert_eq!(w.len() - before, a.wire_len());
+    }
+
+    #[test]
+    fn root_name() {
+        let mut w = WireWriter::new();
+        w.write_name(&Name::root()).unwrap();
+        assert_eq!(w.into_bytes(), vec![0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Edge-case tests for the wire format: size limits, deep compression,
+//! EDNS corner cases, and adversarial inputs beyond what the property
+//! tests randomly reach.
+
+use dnswire::{
+    ip, Edns, Message, Name, Question, RData, Rcode, Record, RecordType, WireError,
+};
+use std::net::Ipv4Addr;
+
+#[test]
+fn maximum_length_name_roundtrips() {
+    // 3×63 + 61 + dots = 253 presentation chars → 255 wire bytes.
+    let name = format!(
+        "{}.{}.{}.{}",
+        "a".repeat(63),
+        "b".repeat(63),
+        "c".repeat(63),
+        "d".repeat(61)
+    );
+    let n = Name::from_ascii(&name).unwrap();
+    assert_eq!(n.wire_len(), 255);
+    let msg = Message::query(1, n.clone(), RecordType::A);
+    let wire = msg.to_bytes().unwrap();
+    let parsed = Message::parse(&wire).unwrap();
+    assert_eq!(parsed.questions[0].qname, n);
+    // One byte longer must fail.
+    let too_long = format!(
+        "{}.{}.{}.{}",
+        "a".repeat(63),
+        "b".repeat(63),
+        "c".repeat(63),
+        "d".repeat(62)
+    );
+    assert!(matches!(
+        Name::from_ascii(&too_long).unwrap_err(),
+        WireError::NameTooLong(_)
+    ));
+}
+
+#[test]
+fn deep_compression_chain_parses() {
+    // Build a message by writing names that share ever-longer suffixes;
+    // each new name points at the previous one: a chain dozens deep.
+    let mut msg = Message::query(7, Name::from_ascii("l0.example").unwrap(), RecordType::A);
+    msg.header.qr = true;
+    let mut name = Name::from_ascii("example").unwrap();
+    for i in 0..60 {
+        name = name.prepend(format!("x{i}").as_bytes()).unwrap_or(name);
+        if name.wire_len() > 200 {
+            break;
+        }
+        msg.answers.push(Record::new(
+            name.clone(),
+            60,
+            RData::A(Ipv4Addr::new(10, 0, 0, i as u8)),
+        ));
+    }
+    assert!(msg.answers.len() > 40);
+    let wire = msg.to_bytes().unwrap();
+    let parsed = Message::parse(&wire).unwrap();
+    assert_eq!(parsed.answers.len(), msg.answers.len());
+    for (a, b) in parsed.answers.iter().zip(&msg.answers) {
+        assert_eq!(a.name, b.name);
+    }
+}
+
+#[test]
+fn large_txt_message_near_64k() {
+    let mut msg = Message::query(9, Name::from_ascii("big.test").unwrap(), RecordType::Txt);
+    msg.header.qr = true;
+    // 240 TXT records × ~268 B each ≈ 64.3 KiB, just under the limit.
+    for i in 0..240 {
+        msg.answers.push(Record::new(
+            Name::from_ascii("big.test").unwrap(),
+            60,
+            RData::Txt(vec![vec![i as u8; 255]]),
+        ));
+    }
+    let wire = msg.to_bytes().unwrap();
+    assert!(wire.len() > 60_000 && wire.len() <= 65_535);
+    let parsed = Message::parse(&wire).unwrap();
+    assert_eq!(parsed.answers.len(), 240);
+    // A handful more records must overflow the 16-bit length space.
+    for _ in 0..5 {
+        msg.answers.push(Record::new(
+            Name::from_ascii("big.test").unwrap(),
+            60,
+            RData::Txt(vec![vec![0u8; 255]]),
+        ));
+    }
+    assert!(matches!(
+        msg.to_bytes().unwrap_err(),
+        WireError::MessageTooLong(_)
+    ));
+}
+
+#[test]
+fn empty_question_section_roundtrips() {
+    // Some real-world responses (REFUSED) carry zero questions.
+    let msg = Message {
+        header: dnswire::Header {
+            id: 5,
+            qr: true,
+            rcode: Rcode::Refused,
+            ..Default::default()
+        },
+        questions: vec![],
+        answers: vec![],
+        authorities: vec![],
+        additionals: vec![],
+        edns: None,
+    };
+    let wire = msg.to_bytes().unwrap();
+    let parsed = Message::parse(&wire).unwrap();
+    assert!(parsed.questions.is_empty());
+    assert_eq!(parsed.rcode(), Rcode::Refused);
+}
+
+#[test]
+fn multiple_questions_roundtrip() {
+    let mut msg = Message::query(3, Name::from_ascii("a.test").unwrap(), RecordType::A);
+    msg.questions.push(Question::new(
+        Name::from_ascii("b.test").unwrap(),
+        RecordType::Aaaa,
+    ));
+    let wire = msg.to_bytes().unwrap();
+    let parsed = Message::parse(&wire).unwrap();
+    assert_eq!(parsed.questions.len(), 2);
+    assert_eq!(parsed.questions[1].qtype, RecordType::Aaaa);
+}
+
+#[test]
+fn edns_with_options_payload() {
+    let mut msg = Message::query(4, Name::from_ascii("opt.test").unwrap(), RecordType::A);
+    msg.edns = Some(Edns {
+        udp_payload_size: 4096,
+        version: 0,
+        dnssec_ok: false,
+        // A cookie-like option: code 10, length 8.
+        options: vec![0x00, 0x0a, 0x00, 0x08, 1, 2, 3, 4, 5, 6, 7, 8],
+    });
+    let wire = msg.to_bytes().unwrap();
+    let parsed = Message::parse(&wire).unwrap();
+    let edns = parsed.edns.unwrap();
+    assert_eq!(edns.options.len(), 12);
+    assert_eq!(edns.udp_payload_size, 4096);
+}
+
+#[test]
+fn opt_record_is_never_in_additionals() {
+    let mut msg = Message::query(6, Name::from_ascii("x.test").unwrap(), RecordType::A);
+    msg.edns = Some(Edns::default());
+    msg.additionals.push(Record::new(
+        Name::from_ascii("glue.test").unwrap(),
+        60,
+        RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+    ));
+    let wire = msg.to_bytes().unwrap();
+    let parsed = Message::parse(&wire).unwrap();
+    assert_eq!(parsed.additionals.len(), 1, "OPT is lifted out");
+    assert!(parsed.edns.is_some());
+    assert!(parsed
+        .additionals
+        .iter()
+        .all(|r| r.rtype() != RecordType::Opt));
+}
+
+#[test]
+fn truncation_bit_survives() {
+    let mut msg = Message::query(8, Name::from_ascii("t.test").unwrap(), RecordType::Any);
+    msg.header.qr = true;
+    msg.header.tc = true;
+    let wire = msg.to_bytes().unwrap();
+    assert!(Message::parse(&wire).unwrap().header.tc);
+}
+
+#[test]
+fn zero_ttl_and_max_ttl_records() {
+    for ttl in [0u32, u32::MAX] {
+        let mut msg = Message::query(2, Name::from_ascii("ttl.test").unwrap(), RecordType::A);
+        msg.header.qr = true;
+        msg.answers.push(Record::new(
+            Name::from_ascii("ttl.test").unwrap(),
+            ttl,
+            RData::A(Ipv4Addr::new(9, 9, 9, 9)),
+        ));
+        let parsed = Message::parse(&msg.to_bytes().unwrap()).unwrap();
+        assert_eq!(parsed.answers[0].ttl, ttl);
+    }
+}
+
+#[test]
+fn pointer_to_middle_of_name_is_valid() {
+    // Pointer targets may land inside a previously written name
+    // (pointing at a suffix), which our writer emits routinely; verify a
+    // hand-built case parses.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"\x03www\x07example\x03com\x00"); // offset 0
+    let suffix_at = 4; // "example.com" starts at offset 4
+    bytes.extend_from_slice(b"\x04mail"); // second name at offset 17
+    bytes.push(0xc0);
+    bytes.push(suffix_at as u8);
+    let (n, _) = Name::parse(&bytes, 17).unwrap();
+    assert_eq!(n.to_ascii(), "mail.example.com");
+}
+
+#[test]
+fn ipv6_hop_limit_roundtrip_through_packets() {
+    let payload = Message::query(1, Name::from_ascii("v6.test").unwrap(), RecordType::Aaaa)
+        .to_bytes()
+        .unwrap();
+    for hop_limit in [1u8, 64, 255] {
+        let pkt = ip::build_udp_packet(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            1234,
+            53,
+            hop_limit,
+            &payload,
+        );
+        let dg = ip::parse_udp_packet(&pkt).unwrap();
+        assert_eq!(dg.ip.ttl, hop_limit);
+    }
+}
+
+#[test]
+fn header_counts_lie_high_is_rejected() {
+    // Claim 10 answers but provide none: the parser must error cleanly.
+    let msg = Message::query(1, Name::from_ascii("x.test").unwrap(), RecordType::A);
+    let mut wire = msg.to_bytes().unwrap();
+    wire[6] = 0;
+    wire[7] = 10; // ANCOUNT = 10
+    assert!(Message::parse(&wire).is_err());
+}
+
+#[test]
+fn any_query_returns_both_families_when_dual_stacked() {
+    // Exercise RecordType::Any end-to-end through simnet's server logic
+    // via the public message types (document ANY semantics at the wire
+    // level: both A and AAAA can share one ANSWER section).
+    let mut msg = Message::query(1, Name::from_ascii("dual.test").unwrap(), RecordType::Any);
+    msg.header.qr = true;
+    msg.answers.push(Record::new(
+        Name::from_ascii("dual.test").unwrap(),
+        60,
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+    ));
+    msg.answers.push(Record::new(
+        Name::from_ascii("dual.test").unwrap(),
+        60,
+        RData::Aaaa("2001:db8::1".parse().unwrap()),
+    ));
+    let parsed = Message::parse(&msg.to_bytes().unwrap()).unwrap();
+    let types: Vec<RecordType> = parsed.answers.iter().map(|r| r.rtype()).collect();
+    assert!(types.contains(&RecordType::A) && types.contains(&RecordType::Aaaa));
+}

@@ -1,0 +1,242 @@
+//! Property-based tests for the DNS wire format.
+//!
+//! Two families of properties:
+//! 1. Round-trip: any message we can represent serializes and re-parses to
+//!    an equal message.
+//! 2. Robustness: the parser never panics and never reads out of bounds on
+//!    arbitrary input bytes.
+
+use dnswire::{
+    ip, Edns, Header, Message, Mx, Name, Question, RData, Rcode, Record, RecordType, Soa,
+    SvcRecord,
+};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A valid DNS label: 1..=63 octets. We generate printable ASCII plus a few
+/// oddballs to exercise case-insensitivity and escaping.
+fn arb_label() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::char::range('a', 'z').prop_map(|c| c as u8),
+            prop::char::range('A', 'Z').prop_map(|c| c as u8),
+            prop::char::range('0', '9').prop_map(|c| c as u8),
+            Just(b'-'),
+            Just(b'_'),
+        ],
+        1..=20,
+    )
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(arb_label(), 0..=6).prop_map(|labels| {
+        if labels.is_empty() {
+            Name::root()
+        } else {
+            Name::from_labels(labels).expect("labels are valid")
+        }
+    })
+}
+
+fn arb_rtype() -> impl Strategy<Value = RecordType> {
+    prop_oneof![
+        Just(RecordType::A),
+        Just(RecordType::Aaaa),
+        Just(RecordType::Ns),
+        Just(RecordType::Cname),
+        Just(RecordType::Ptr),
+        Just(RecordType::Mx),
+        Just(RecordType::Txt),
+        Just(RecordType::Soa),
+        Just(RecordType::Srv),
+        Just(RecordType::Ds),
+        (256u16..4096).prop_map(RecordType::from_code),
+    ]
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx(Mx {
+            preference,
+            exchange
+        })),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..=80), 1..=3)
+            .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<[u32; 5]>()).prop_map(|(mname, rname, v)| {
+            RData::Soa(Soa {
+                mname,
+                rname,
+                serial: v[0],
+                refresh: v[1],
+                retry: v[2],
+                expire: v[3],
+                minimum: v[4],
+            })
+        }),
+        (any::<[u16; 3]>(), arb_name()).prop_map(|(v, target)| RData::Srv(SvcRecord {
+            priority: v[0],
+            weight: v[1],
+            port: v[2],
+            target
+        })),
+        (any::<u16>(), any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..=40))
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Ds(dnswire::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest
+            })),
+        (4096u16..9999, prop::collection::vec(any::<u8>(), 0..=30)).prop_map(|(rtype, data)| {
+            RData::Unknown { rtype, data }
+        }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (any::<u16>(), any::<[bool; 7]>(), 0u16..16).prop_map(|(id, f, rcode)| Header {
+        id,
+        qr: f[0],
+        opcode: dnswire::Opcode::Query,
+        aa: f[1],
+        tc: f[2],
+        rd: f[3],
+        ra: f[4],
+        ad: f[5],
+        cd: f[6],
+        rcode: Rcode::from_code(rcode),
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        arb_header(),
+        prop::collection::vec((arb_name(), arb_rtype()), 0..=2),
+        prop::collection::vec(arb_record(), 0..=4),
+        prop::collection::vec(arb_record(), 0..=3),
+        prop::collection::vec(arb_record(), 0..=3),
+        prop::option::of((512u16..8192, any::<bool>())),
+    )
+        .prop_map(|(header, qs, answers, authorities, additionals, edns)| Message {
+            header,
+            questions: qs
+                .into_iter()
+                .map(|(qname, qtype)| Question::new(qname, qtype))
+                .collect(),
+            answers,
+            authorities,
+            additionals,
+            edns: edns.map(|(udp_payload_size, dnssec_ok)| Edns {
+                udp_payload_size,
+                version: 0,
+                dnssec_ok,
+                options: Vec::new(),
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let wire = msg.to_bytes().expect("serializable");
+        let parsed = Message::parse(&wire).expect("reparsable");
+        prop_assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn name_roundtrip_via_presentation(name in arb_name()) {
+        let text = name.to_ascii();
+        let back = Name::from_ascii(&text).expect("presentation parses");
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..=512)) {
+        // Must return (not panic, not hang); the result itself is free.
+        let _ = Message::parse(&bytes);
+    }
+
+    #[test]
+    fn name_parser_never_panics_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..=256),
+        pos in 0usize..256,
+    ) {
+        let _ = Name::parse(&bytes, pos % (bytes.len() + 1));
+    }
+
+    #[test]
+    fn mutated_valid_messages_never_panic(
+        msg in arb_message(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..=8),
+    ) {
+        // Corrupt a valid message a few bytes at a time — the classic
+        // fault-injection test for protocol parsers.
+        let mut wire = msg.to_bytes().expect("serializable");
+        for (idx, val) in flips {
+            if wire.is_empty() { break; }
+            let i = idx.index(wire.len());
+            wire[i] ^= val;
+        }
+        let _ = Message::parse(&wire);
+    }
+
+    #[test]
+    fn ip_udp_roundtrip_v4(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in 1u16..,
+        ttl in 1u8..,
+        payload in prop::collection::vec(any::<u8>(), 0..=512),
+    ) {
+        let src = Ipv4Addr::from(src);
+        let dst = Ipv4Addr::from(dst);
+        let pkt = ip::build_udp_packet(src.into(), dst.into(), sport, 53, ttl, &payload);
+        let dg = ip::parse_udp_packet(&pkt).expect("self-built packet parses");
+        prop_assert_eq!(dg.ip.src, std::net::IpAddr::V4(src));
+        prop_assert_eq!(dg.ip.ttl, ttl);
+        prop_assert_eq!(dg.udp.src_port, sport);
+        prop_assert_eq!(&pkt[dg.payload_offset..dg.payload_offset + dg.payload_len], &payload[..]);
+    }
+
+    #[test]
+    fn ip_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..=128)) {
+        let _ = ip::parse_udp_packet(&bytes);
+    }
+
+    #[test]
+    fn hop_inference_bounded(ttl in any::<u8>()) {
+        if let Some(hops) = ip::infer_hops(ttl) {
+            // Hops never exceed initial TTL and the received TTL is
+            // consistent with some standard initial value.
+            prop_assert!(hops < 255);
+            let initial = ttl as u16 + hops as u16;
+            prop_assert!([32u16, 64, 128, 255].contains(&initial));
+        } else {
+            prop_assert_eq!(ttl, 0);
+        }
+    }
+
+    #[test]
+    fn subdomain_relation_is_transitive(a in arb_name(), b in arb_name(), c in arb_name()) {
+        if a.is_subdomain_of(&b) && b.is_subdomain_of(&c) {
+            prop_assert!(a.is_subdomain_of(&c));
+        }
+    }
+
+    #[test]
+    fn suffix_is_subdomain_parent(name in arb_name(), n in 0usize..8) {
+        let suffix = name.suffix(n);
+        prop_assert!(name.is_subdomain_of(&suffix));
+        prop_assert!(suffix.label_count() <= name.label_count());
+    }
+}

@@ -1,0 +1,275 @@
+//! `psl` — Public Suffix List rules and effective-TLD extraction.
+//!
+//! The paper defines (§2): *"effective TLDs" (eTLDs) refer to the ICANN
+//! domains listed in the Public Suffix List (e.g. `.co.uk`), and
+//! "effective SLD" (eSLD) is simply a label directly under an eTLD (e.g.
+//! `bbc.co.uk`)*. The `etld` and `esld` Top-k datasets aggregate on these
+//! keys, so extraction must be fast and allocation-light.
+//!
+//! This crate implements the publicsuffix.org matching algorithm — normal
+//! rules, wildcard rules (`*.ck`) and exception rules (`!www.ck`) — over a
+//! rule set supplied by the caller, plus an embedded snapshot of the most
+//! common ICANN suffixes ([`Psl::embedded`]) sufficient for the simulated
+//! address plan and for realistic tests.
+//!
+//! # Example
+//!
+//! ```
+//! use psl::Psl;
+//! use dnswire::Name;
+//!
+//! let psl = Psl::embedded();
+//! let name = Name::from_ascii("www.bbc.co.uk").unwrap();
+//! assert_eq!(psl.etld(&name).unwrap().to_ascii(), "co.uk");
+//! assert_eq!(psl.esld(&name).unwrap().to_ascii(), "bbc.co.uk");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dnswire::Name;
+use std::collections::HashMap;
+
+mod rules;
+
+/// Outcome of matching a name against the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleKind {
+    /// Plain suffix rule, e.g. `co.uk`.
+    Normal,
+    /// Wildcard rule `*.<suffix>`: every direct child of `<suffix>` is a
+    /// public suffix.
+    Wildcard,
+    /// Exception `!<name>`: `<name>` is *not* a public suffix even though
+    /// a wildcard would make it one.
+    Exception,
+}
+
+/// A compiled Public Suffix List.
+#[derive(Debug, Clone)]
+pub struct Psl {
+    /// Lowercase dotted suffix → rule kind. Wildcard rules are stored
+    /// under their base (the part after `*.`); exceptions under the full
+    /// name (without `!`).
+    rules: HashMap<String, RuleKind>,
+    /// Longest rule length in labels, to bound the matching walk.
+    max_labels: usize,
+}
+
+impl Psl {
+    /// Compile a rule set from presentation-format lines.
+    ///
+    /// Accepts the publicsuffix.org file syntax: one rule per line,
+    /// `*.` prefix for wildcards, `!` prefix for exceptions; empty lines
+    /// and `//` comments are ignored.
+    pub fn from_rules<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> Psl {
+        let mut rules = HashMap::new();
+        let mut max_labels = 1;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            let (kind, body) = if let Some(rest) = line.strip_prefix('!') {
+                (RuleKind::Exception, rest)
+            } else if let Some(rest) = line.strip_prefix("*.") {
+                (RuleKind::Wildcard, rest)
+            } else {
+                (RuleKind::Normal, line)
+            };
+            let body = body.trim_end_matches('.').to_ascii_lowercase();
+            if body.is_empty() {
+                continue;
+            }
+            let labels = body.split('.').count()
+                + usize::from(kind == RuleKind::Wildcard);
+            max_labels = max_labels.max(labels);
+            rules.insert(body, kind);
+        }
+        Psl { rules, max_labels }
+    }
+
+    /// The embedded snapshot of common ICANN suffixes (see
+    /// [`rules::EMBEDDED_RULES`] for the list).
+    pub fn embedded() -> Psl {
+        Psl::from_rules(rules::EMBEDDED_RULES.iter().copied())
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The effective TLD (public suffix) of `name`, or `None` when the
+    /// name itself is a public suffix or the root.
+    ///
+    /// Per the publicsuffix.org algorithm, an unlisted TLD matches the
+    /// implicit `*` rule, so `example.zzztld` has eTLD `zzztld`.
+    pub fn etld(&self, name: &Name) -> Option<Name> {
+        let labels = self.suffix_len(name)?;
+        // A name that *is* its own suffix has no domain below it.
+        if labels >= name.label_count() {
+            return None;
+        }
+        Some(name.suffix(labels))
+    }
+
+    /// The effective SLD (registrable domain): one label below the eTLD.
+    pub fn esld(&self, name: &Name) -> Option<Name> {
+        let labels = self.suffix_len(name)?;
+        if labels + 1 > name.label_count() {
+            return None;
+        }
+        Some(name.suffix(labels + 1))
+    }
+
+    /// True if `name` exactly equals some public suffix.
+    pub fn is_public_suffix(&self, name: &Name) -> bool {
+        if name.is_root() {
+            return false;
+        }
+        self.suffix_len(name)
+            .map(|n| n == name.label_count())
+            .unwrap_or(false)
+    }
+
+    /// Length (in labels) of the public suffix of `name`.
+    fn suffix_len(&self, name: &Name) -> Option<usize> {
+        let total = name.label_count();
+        if total == 0 {
+            return None;
+        }
+        // Collect lowered labels right-to-left once.
+        let labels: Vec<String> = name
+            .labels()
+            .map(|l| {
+                String::from_utf8_lossy(l.as_bytes())
+                    .to_ascii_lowercase()
+            })
+            .collect();
+
+        let mut best = 1; // implicit "*" rule: the bare TLD
+        let upper = total.min(self.max_labels);
+        let mut candidate = String::new();
+        for take in 1..=upper {
+            // Build the dotted suffix of `take` labels.
+            candidate.clear();
+            for (i, label) in labels[total - take..].iter().enumerate() {
+                if i > 0 {
+                    candidate.push('.');
+                }
+                candidate.push_str(label);
+            }
+            match self.rules.get(candidate.as_str()) {
+                Some(RuleKind::Normal) => best = best.max(take),
+                Some(RuleKind::Wildcard) => best = best.max(take + 1),
+                Some(RuleKind::Exception) => {
+                    // Exception wins immediately: the public suffix is one
+                    // label shorter than the exception name.
+                    return Some(take - 1);
+                }
+                None => {}
+            }
+        }
+        Some(best.min(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    #[test]
+    fn basic_single_label_tld() {
+        let psl = Psl::embedded();
+        assert_eq!(psl.etld(&name("www.example.com")).unwrap(), name("com"));
+        assert_eq!(
+            psl.esld(&name("www.example.com")).unwrap(),
+            name("example.com")
+        );
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        let psl = Psl::embedded();
+        assert_eq!(psl.etld(&name("www.bbc.co.uk")).unwrap(), name("co.uk"));
+        assert_eq!(psl.esld(&name("www.bbc.co.uk")).unwrap(), name("bbc.co.uk"));
+        assert_eq!(psl.etld(&name("x.org.il")).unwrap(), name("org.il"));
+        assert_eq!(psl.etld(&name("a.b.net.me")).unwrap(), name("net.me"));
+    }
+
+    #[test]
+    fn suffix_itself_has_no_etld() {
+        let psl = Psl::embedded();
+        assert_eq!(psl.etld(&name("co.uk")), None);
+        assert_eq!(psl.esld(&name("co.uk")), None);
+        assert_eq!(psl.etld(&name("com")), None);
+        assert!(psl.is_public_suffix(&name("co.uk")));
+        assert!(psl.is_public_suffix(&name("com")));
+        assert!(!psl.is_public_suffix(&name("example.com")));
+    }
+
+    #[test]
+    fn root_has_nothing() {
+        let psl = Psl::embedded();
+        assert_eq!(psl.etld(&Name::root()), None);
+        assert_eq!(psl.esld(&Name::root()), None);
+        assert!(!psl.is_public_suffix(&Name::root()));
+    }
+
+    #[test]
+    fn unlisted_tld_uses_implicit_star() {
+        let psl = Psl::embedded();
+        assert_eq!(psl.etld(&name("foo.zzztld")).unwrap(), name("zzztld"));
+        assert_eq!(psl.esld(&name("a.foo.zzztld")).unwrap(), name("foo.zzztld"));
+    }
+
+    #[test]
+    fn wildcard_rules() {
+        let psl = Psl::from_rules(["com", "*.ck", "!www.ck"]);
+        // Every child of .ck is a public suffix...
+        assert_eq!(psl.etld(&name("shop.foo.ck")).unwrap(), name("foo.ck"));
+        assert_eq!(psl.esld(&name("x.shop.foo.ck")).unwrap(), name("shop.foo.ck"));
+        // ...except www.ck, whose registrable domain is www.ck itself.
+        assert_eq!(psl.etld(&name("www.ck")).unwrap(), name("ck"));
+        assert_eq!(psl.esld(&name("a.www.ck")).unwrap(), name("www.ck"));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let psl = Psl::embedded();
+        assert_eq!(psl.etld(&name("WWW.BBC.CO.UK")).unwrap(), name("co.uk"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let psl = Psl::from_rules(["// comment", "", "com", "  co.uk  "]);
+        assert_eq!(psl.len(), 2);
+        assert_eq!(psl.etld(&name("a.co.uk")).unwrap(), name("co.uk"));
+    }
+
+    #[test]
+    fn esld_of_direct_child_of_etld() {
+        let psl = Psl::embedded();
+        // bbc.co.uk is an eSLD: its own esld() is itself.
+        assert_eq!(psl.esld(&name("bbc.co.uk")).unwrap(), name("bbc.co.uk"));
+        // One label under com.
+        assert_eq!(psl.esld(&name("example.com")).unwrap(), name("example.com"));
+    }
+
+    #[test]
+    fn embedded_has_reasonable_size() {
+        let psl = Psl::embedded();
+        assert!(psl.len() > 100, "embedded PSL too small: {}", psl.len());
+        assert!(!psl.is_empty());
+    }
+}

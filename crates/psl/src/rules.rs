@@ -1,0 +1,74 @@
+//! Embedded snapshot of common ICANN public-suffix rules.
+//!
+//! This is a deliberately compact subset of the publicsuffix.org list:
+//! every gTLD and ccTLD used by the simulated address plan, the classic
+//! multi-label ccTLD families (uk, au, jp, br, nz, za, il, me, ...), the
+//! `.arpa` reverse-DNS suffixes, and the wildcard/exception pair for `.ck`
+//! that the PSL algorithm is traditionally tested against. Production
+//! deployments should load the full list with [`crate::Psl::from_rules`].
+
+/// One rule per entry, publicsuffix.org syntax.
+pub const EMBEDDED_RULES: &[&str] = &[
+    // --- Generic TLDs -----------------------------------------------------
+    "com", "net", "org", "info", "biz", "name", "pro", "mobi", "asia",
+    "edu", "gov", "mil", "int", "aero", "coop", "museum", "jobs", "travel",
+    "xyz", "top", "site", "online", "club", "shop", "app", "dev", "page",
+    "cloud", "live", "store", "tech", "space", "fun", "icu", "vip", "work",
+    "link", "win", "loan", "men", "download", "stream", "date", "racing",
+    "io", "co", "me", "tv", "cc", "ws", "blog", "wiki", "news", "zone",
+    // --- .arpa (reverse DNS, per the PTR analysis) -------------------------
+    "arpa", "in-addr.arpa", "ip6.arpa",
+    // --- Country codes, single label --------------------------------------
+    "us", "ca", "mx", "de", "fr", "nl", "be", "ch", "at", "it", "es", "pt",
+    "se", "no", "dk", "fi", "pl", "cz", "sk", "hu", "ro", "bg", "gr", "ie",
+    "ru", "ua", "by", "kz", "tr", "sa", "ae", "ir", "cn", "hk", "tw", "sg",
+    "my", "th", "vn", "ph", "id", "in", "pk", "bd", "lk", "kr", "jp", "au",
+    "nz", "za", "ng", "ke", "eg", "ma", "br", "ar", "cl", "pe", "ve", "uy",
+    "is", "lt", "lv", "ee", "si", "hr", "rs", "md", "ge", "am", "az", "uk",
+    "il", "ck",
+    // --- United Kingdom ----------------------------------------------------
+    "co.uk", "org.uk", "me.uk", "ltd.uk", "plc.uk", "net.uk", "sch.uk",
+    "ac.uk", "gov.uk", "nhs.uk", "police.uk",
+    // --- Australia ----------------------------------------------------------
+    "com.au", "net.au", "org.au", "edu.au", "gov.au", "asn.au", "id.au",
+    // --- Japan ---------------------------------------------------------------
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "ad.jp", "ed.jp", "go.jp", "gr.jp",
+    "lg.jp",
+    // --- Brazil -------------------------------------------------------------
+    "com.br", "net.br", "org.br", "gov.br", "edu.br", "blog.br", "eco.br",
+    // --- New Zealand ---------------------------------------------------------
+    "co.nz", "net.nz", "org.nz", "govt.nz", "ac.nz", "school.nz", "geek.nz",
+    // --- South Africa ---------------------------------------------------------
+    "co.za", "net.za", "org.za", "gov.za", "ac.za", "web.za",
+    // --- Israel (the paper's .org.il example) -----------------------------
+    "co.il", "org.il", "net.il", "ac.il", "gov.il", "muni.il", "k12.il",
+    // --- Montenegro (.me hosts .net.me, per the paper's §3.6) -------------
+    "co.me", "net.me", "org.me", "edu.me", "ac.me", "gov.me", "its.me",
+    "priv.me",
+    // --- China / India / Russia ------------------------------------------
+    "com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn", "ac.cn",
+    "co.in", "net.in", "org.in", "firm.in", "gen.in", "ind.in", "ac.in",
+    "gov.in", "edu.in", "res.in",
+    "com.ru", "net.ru", "org.ru", "pp.ru", "msk.ru", "spb.ru",
+    // --- Turkey / Mexico / Argentina ---------------------------------------
+    "com.tr", "net.tr", "org.tr", "gov.tr", "edu.tr", "web.tr",
+    "com.mx", "net.mx", "org.mx", "gob.mx", "edu.mx",
+    "com.ar", "net.ar", "org.ar", "gob.ar", "edu.ar",
+    // --- Misc multi-label families often seen in DNS traffic -------------
+    "com.sg", "net.sg", "org.sg", "edu.sg", "gov.sg",
+    "com.hk", "net.hk", "org.hk", "edu.hk", "gov.hk",
+    "com.tw", "net.tw", "org.tw", "edu.tw", "gov.tw",
+    "co.kr", "ne.kr", "or.kr", "re.kr", "go.kr", "ac.kr",
+    "com.ua", "net.ua", "org.ua", "edu.ua", "gov.ua", "in.ua",
+    "co.th", "ac.th", "go.th", "in.th", "or.th", "net.th",
+    "com.my", "net.my", "org.my", "edu.my", "gov.my",
+    "com.ph", "net.ph", "org.ph", "edu.ph", "gov.ph",
+    "co.id", "or.id", "net.id", "ac.id", "go.id", "web.id", "sch.id",
+    "com.vn", "net.vn", "org.vn", "edu.vn", "gov.vn",
+    "com.eg", "net.eg", "org.eg", "edu.eg", "gov.eg",
+    "com.sa", "net.sa", "org.sa", "edu.sa", "gov.sa", "med.sa",
+    "com.pk", "net.pk", "org.pk", "edu.pk", "gov.pk",
+    "com.bd", "net.bd", "org.bd", "edu.bd", "gov.bd",
+    // --- The PSL's canonical wildcard/exception example ---------------------
+    "*.ck", "!www.ck",
+];

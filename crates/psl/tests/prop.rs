@@ -1,0 +1,85 @@
+//! Property-based tests for Public Suffix List extraction laws.
+
+use dnswire::Name;
+use proptest::prelude::*;
+use psl::Psl;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'z'), 1..=8)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(arb_label(), 1..=5).prop_map(|labels| {
+        Name::from_ascii(&labels.join(".")).expect("lowercase labels are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The eSLD is always exactly one label longer than the eTLD, and the
+    /// name is a subdomain of both.
+    #[test]
+    fn esld_extends_etld_by_one(name in arb_name()) {
+        let psl = Psl::embedded();
+        match (psl.etld(&name), psl.esld(&name)) {
+            (Some(etld), Some(esld)) => {
+                prop_assert_eq!(esld.label_count(), etld.label_count() + 1);
+                prop_assert!(esld.is_subdomain_of(&etld));
+                prop_assert!(name.is_subdomain_of(&esld));
+                prop_assert!(name.is_subdomain_of(&etld));
+            }
+            (Some(etld), None) => {
+                // Name *is* its own suffix plus nothing below.
+                prop_assert!(name.is_subdomain_of(&etld));
+            }
+            (None, Some(_)) => prop_assert!(false, "esld without etld"),
+            (None, None) => {
+                // The name must itself be a public suffix (or the root).
+                prop_assert!(psl.is_public_suffix(&name) || name.is_root());
+            }
+        }
+    }
+
+    /// Extraction is invariant under case.
+    #[test]
+    fn case_invariance(name in arb_name()) {
+        let psl = Psl::embedded();
+        let upper = Name::from_ascii(&name.to_ascii().to_ascii_uppercase()).unwrap();
+        prop_assert_eq!(psl.etld(&name), psl.etld(&upper));
+        prop_assert_eq!(psl.esld(&name), psl.esld(&upper));
+    }
+
+    /// Extending a name with more labels on the left never changes its
+    /// eTLD or eSLD.
+    #[test]
+    fn prepending_labels_is_stable(name in arb_name(), label in arb_label()) {
+        let psl = Psl::embedded();
+        let Some(esld) = psl.esld(&name) else { return Ok(()); };
+        if let Ok(longer) = name.prepend(label.as_bytes()) {
+            prop_assert_eq!(psl.etld(&longer), psl.etld(&name));
+            prop_assert_eq!(psl.esld(&longer).unwrap(), esld);
+        }
+    }
+
+    /// The eSLD of an eSLD is itself (idempotence of registrable-domain
+    /// extraction).
+    #[test]
+    fn esld_is_idempotent(name in arb_name()) {
+        let psl = Psl::embedded();
+        if let Some(esld) = psl.esld(&name) {
+            prop_assert_eq!(psl.esld(&esld), Some(esld.clone()));
+        }
+    }
+
+    /// A one-label name never has an eSLD, and its eTLD is None (the
+    /// label is treated as the public suffix itself).
+    #[test]
+    fn single_labels_are_suffixes(label in arb_label()) {
+        let psl = Psl::embedded();
+        let name = Name::from_ascii(&label).unwrap();
+        prop_assert_eq!(psl.esld(&name), None);
+        prop_assert_eq!(psl.etld(&name), None);
+    }
+}

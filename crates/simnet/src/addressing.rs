@@ -1,0 +1,567 @@
+//! The address plan: which organizations exist, which ASes and prefixes
+//! they announce, and where every nameserver and resolver IP lives.
+//!
+//! The plan is a pure function of the configuration — nameserver addresses
+//! for the long tail are *derived* (hashed) from domain identifiers rather
+//! than stored, so a million-domain world costs no memory.
+
+use asdb::{AsDb, Asn, Prefix};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Performance class of a nameserver, following the four delay regimes of
+/// the paper's Figure 3a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerClass {
+    /// 0–5 ms: co-located with resolvers (large CDNs).
+    Colocated,
+    /// 5–35 ms: same or neighbouring country.
+    Regional,
+    /// 35–350 ms: distant location.
+    Distant,
+    /// >350 ms: impaired server or connectivity.
+    Impaired,
+}
+
+impl ServerClass {
+    /// Geometric center of the class's delay band, in milliseconds.
+    pub fn typical_delay_ms(self) -> f64 {
+        match self {
+            ServerClass::Colocated => 2.0,
+            ServerClass::Regional => 15.0,
+            ServerClass::Distant => 90.0,
+            ServerClass::Impaired => 600.0,
+        }
+    }
+}
+
+/// Static description of one hosting organization (Table 1 rows).
+#[derive(Debug, Clone)]
+pub struct OrgSpec {
+    /// Organization name as extracted from AS names, e.g. `"AMAZON"`.
+    pub name: &'static str,
+    /// Number of ASes the org announces.
+    pub as_count: u8,
+    /// Popular nameserver IPs operated inside this org's prefixes.
+    pub servers: usize,
+    /// Typical (median) response delay of this org's servers, ms.
+    pub median_delay_ms: f64,
+    /// Typical router hops from resolvers.
+    pub median_hops: u8,
+    /// Relative share of popular-domain hosting (drives Table 1's
+    /// `global` column together with domain popularity).
+    pub hosting_weight: f64,
+    /// True for anycast CDNs: few addresses, many mirrors.
+    pub anycast: bool,
+}
+
+/// The ten named organizations of Table 1, plus an aggregate "OTHER" tier
+/// appended by the plan for everything else.
+///
+/// Server counts are the paper's values divided by 10 so laptop-scale runs
+/// keep the ratios (AKAMAI many unicast IPs vs CLOUDFLARE few anycast
+/// ones) without six-thousand-entry tables.
+pub const ORGS: &[OrgSpec] = &[
+    OrgSpec { name: "AMAZON",     as_count: 3, servers: 503, median_delay_ms: 60.9, median_hops: 12, hosting_weight: 16.0, anycast: false },
+    OrgSpec { name: "VERISIGN",   as_count: 7, servers: 6,   median_delay_ms: 53.5, median_hops: 10, hosting_weight: 0.5,  anycast: true  },
+    OrgSpec { name: "CLOUDFLARE", as_count: 2, servers: 100, median_delay_ms: 26.5, median_hops: 7,  hosting_weight: 6.6,  anycast: true  },
+    OrgSpec { name: "AKAMAI",     as_count: 6, servers: 684, median_delay_ms: 14.9, median_hops: 7,  hosting_weight: 6.4,  anycast: false },
+    OrgSpec { name: "MICROSOFT",  as_count: 5, servers: 48,  median_delay_ms: 74.8, median_hops: 14, hosting_weight: 2.7,  anycast: false },
+    OrgSpec { name: "PCH",        as_count: 2, servers: 18,  median_delay_ms: 29.9, median_hops: 7,  hosting_weight: 0.4,  anycast: true  },
+    OrgSpec { name: "ULTRADNS",   as_count: 1, servers: 93,  median_delay_ms: 24.6, median_hops: 8,  hosting_weight: 2.3,  anycast: true  },
+    OrgSpec { name: "GOOGLE",     as_count: 1, servers: 24,  median_delay_ms: 89.9, median_hops: 13, hosting_weight: 2.1,  anycast: false },
+    OrgSpec { name: "DYNDNS",     as_count: 1, servers: 60,  median_delay_ms: 56.0, median_hops: 11, hosting_weight: 1.8,  anycast: true  },
+    OrgSpec { name: "GODADDY",    as_count: 2, servers: 37,  median_delay_ms: 63.0, median_hops: 11, hosting_weight: 1.2,  anycast: false },
+];
+
+/// Anycast mirror counts for the 13 root letters A–M. E, F and L have the
+/// most mirrors and are the fastest (paper §3.5).
+pub const ROOT_MIRRORS: [u16; 13] = [12, 6, 10, 20, 180, 220, 8, 60, 50, 70, 40, 160, 90];
+
+/// Anycast mirror counts for the 13 gTLD letters; B is the largest and
+/// fastest (paper §3.5: "The B gTLD nameserver is the fastest").
+pub const GTLD_MIRRORS: [u16; 13] = [60, 140, 70, 60, 50, 70, 55, 65, 50, 60, 45, 55, 50];
+
+/// Everything known about one nameserver address.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NsInfo {
+    /// The nameserver's IP address.
+    pub ip: IpAddr,
+    /// Index into [`ORGS`], or `None` for tail/self-hosted servers.
+    pub org: Option<usize>,
+    /// Performance class.
+    pub class: ServerClass,
+    /// Median response delay of this server, ms (before per-query jitter).
+    pub median_delay_ms: f64,
+    /// Router hops between the resolver population and this server.
+    pub hops: u8,
+    /// Initial IP TTL its stack uses (64, 128 or 255).
+    pub initial_ttl: u8,
+}
+
+/// The complete address plan.
+#[derive(Debug, Clone)]
+pub struct AddressPlan {
+    seed: u64,
+    resolvers: usize,
+    contributors: usize,
+    /// Number of /24 prefixes the tail-server space draws from; sized so
+    /// that a fully-discovered tail reproduces the paper's §3.7 /24
+    /// occupancy histogram (≈48 % single-address prefixes).
+    tail_pool: u32,
+}
+
+/// First octet of the org address space: org `i` owns `(40+i).0.0.0/8`.
+const ORG_BASE_OCTET: u8 = 40;
+/// Tail nameservers live in `60.0.0.0/6`-ish space: octets 60..=99.
+const TAIL_BASE_OCTET: u8 = 60;
+const TAIL_OCTETS: u32 = 40;
+/// Base ASN for org ASes; org `i`, AS `j` is `BASE + i*16 + j`.
+const ORG_BASE_ASN: Asn = 16_000;
+/// Base ASN for the synthetic tail ASes (one per tail /16).
+const TAIL_BASE_ASN: Asn = 64_512;
+
+/// 64-bit mix used for all derived choices (SplitMix64 finalizer).
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0,1) from a mixed value.
+pub(crate) fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl AddressPlan {
+    /// Build the plan for a given seed and resolver population.
+    /// `tail_pool` is the number of /24 prefixes available to tail
+    /// servers (use roughly the domain-universe size).
+    pub fn new(seed: u64, resolvers: usize, contributors: usize, tail_pool: u32) -> AddressPlan {
+        assert!(resolvers > 0 && contributors > 0);
+        AddressPlan {
+            seed,
+            resolvers,
+            contributors: contributors.min(resolvers),
+            tail_pool: tail_pool.clamp(1_024, TAIL_OCTETS * 65_536),
+        }
+    }
+
+    /// Number of resolvers in the plan.
+    pub fn resolver_count(&self) -> usize {
+        self.resolvers
+    }
+
+    /// Number of SIE contributors.
+    pub fn contributor_count(&self) -> usize {
+        self.contributors
+    }
+
+    /// IP address of resolver `r` (0-based). Resolvers sit in
+    /// `100.64.0.0/10`-style space, one /24 per contributor.
+    pub fn resolver_ip(&self, r: usize) -> IpAddr {
+        let c = self.contributor_of(r) as u32;
+        let host = (r / self.contributors) as u32 + 1;
+        IpAddr::V4(Ipv4Addr::new(
+            100,
+            64 + (c / 256) as u8,
+            (c % 256) as u8,
+            (host % 250 + 1) as u8,
+        ))
+    }
+
+    /// Contributor that operates resolver `r`.
+    pub fn contributor_of(&self, r: usize) -> u16 {
+        (r % self.contributors) as u16
+    }
+
+    /// True if resolver `r` performs QNAME minimization given the
+    /// configured fraction (the first ⌈fraction·n⌉ resolvers, so the set
+    /// is stable across runs).
+    pub fn resolver_is_qmin(&self, r: usize, fraction: f64) -> bool {
+        let count = (fraction * self.resolvers as f64).ceil() as usize;
+        r < count
+    }
+
+    /// The 13 root letters, A through M.
+    pub fn root_letter(&self, letter: usize) -> NsInfo {
+        assert!(letter < 13);
+        let mirrors = ROOT_MIRRORS[letter] as f64;
+        // More mirrors → closer to the querying population.
+        let median_delay_ms = (260.0 / mirrors.sqrt()).clamp(3.0, 150.0);
+        let hops = delay_to_hops(median_delay_ms, mix(self.seed ^ (0xA00 + letter as u64)));
+        NsInfo {
+            ip: IpAddr::V4(Ipv4Addr::new(198, 41, letter as u8, 4)),
+            org: Some(5), // PCH announces the root letter prefixes here
+            class: class_for_delay(median_delay_ms),
+            median_delay_ms,
+            hops,
+            initial_ttl: 255,
+        }
+    }
+
+    /// The 13 gTLD letters serving `.com`/`.net`.
+    pub fn gtld_letter(&self, letter: usize) -> NsInfo {
+        assert!(letter < 13);
+        let mirrors = GTLD_MIRRORS[letter] as f64;
+        let median_delay_ms = (230.0 / mirrors.sqrt()).clamp(3.0, 80.0);
+        let hops = delay_to_hops(median_delay_ms, mix(self.seed ^ (0xB00 + letter as u64)));
+        NsInfo {
+            ip: IpAddr::V4(Ipv4Addr::new(192, 5 + letter as u8, 6, 30)),
+            org: Some(1), // VERISIGN
+            class: class_for_delay(median_delay_ms),
+            median_delay_ms,
+            hops,
+            initial_ttl: 255,
+        }
+    }
+
+    /// Authoritative server `j` (0 or 1) for ccTLD number `t`.
+    pub fn cctld_server(&self, t: usize, j: usize) -> NsInfo {
+        let h = mix(self.seed ^ 0xCC00 ^ ((t as u64) << 8) ^ j as u64);
+        // ccTLDs are regional-to-distant; a few are PCH-hosted anycast.
+        let pch = h.is_multiple_of(5);
+        let median_delay_ms = if pch {
+            18.0 + unit(mix(h)) * 20.0
+        } else {
+            35.0 + unit(mix(h)) * 120.0
+        };
+        let hops = delay_to_hops(median_delay_ms, mix(h ^ 1));
+        NsInfo {
+            ip: IpAddr::V4(Ipv4Addr::new(
+                194,
+                (t / 250) as u8,
+                (t % 250) as u8,
+                (10 + j) as u8,
+            )),
+            org: if pch { Some(5) } else { None },
+            class: class_for_delay(median_delay_ms),
+            median_delay_ms,
+            hops,
+            initial_ttl: 255,
+        }
+    }
+
+    /// Popular nameserver `idx` of org `org` (idx < `ORGS[org].servers`).
+    pub fn org_server(&self, org: usize, idx: usize) -> NsInfo {
+        let spec = &ORGS[org];
+        let idx = idx % spec.servers.max(1);
+        let h = mix(self.seed ^ ((org as u64) << 32) ^ idx as u64);
+        // Per-server spread around the org's median: low-index slots are
+        // the well-provisioned ones (popular domains are pinned to them —
+        // see `World::domain_ns`), which produces Fig. 3b's delay-vs-rank
+        // gradient. A jitter factor keeps servers distinct.
+        let pos = idx as f64 / spec.servers.max(1) as f64;
+        let spread = (0.45 + 1.1 * pos) * (0.7 + 0.6 * unit(h));
+        let median_delay_ms = (spec.median_delay_ms * spread).max(0.8);
+        let hops = delay_to_hops(median_delay_ms, mix(h ^ 2));
+        // ~12% of popular org servers are IPv6.
+        let ip = if h % 100 < 12 {
+            IpAddr::V6(Ipv6Addr::new(
+                0x2001,
+                0xdb8,
+                org as u16,
+                (idx >> 8) as u16,
+                0,
+                0,
+                0,
+                (idx & 0xff) as u16 + 1,
+            ))
+        } else {
+            // Spread servers across the org's per-AS /12 blocks so the
+            // Table 1 "ASes" column reflects the org's AS count.
+            let as_span = spec.as_count as usize * 16;
+            IpAddr::V4(Ipv4Addr::new(
+                ORG_BASE_OCTET + org as u8,
+                (idx % as_span) as u8,
+                (idx / as_span) as u8,
+                53,
+            ))
+        };
+        NsInfo {
+            ip,
+            org: Some(org),
+            class: class_for_delay(median_delay_ms),
+            median_delay_ms,
+            hops,
+            initial_ttl: if spec.anycast { 255 } else { 64 },
+        }
+    }
+
+    /// Tail (self-hosted) nameserver `j` ∈ {0, 1} for tail key `key`
+    /// (derived from a domain identifier).
+    ///
+    /// Tail servers are spread thinly over the address space: most /24s
+    /// host exactly one nameserver (paper §3.7: 48 % of observed /24
+    /// prefixes had a single address).
+    pub fn tail_server(&self, key: u64, j: usize) -> NsInfo {
+        let h = mix(self.seed ^ 0x7A11 ^ key.rotate_left(17) ^ ((j as u64) << 56));
+        // Pick a /24 from the bounded tail pool; a fully-discovered tail
+        // then lands at ~1.3 addresses per occupied prefix — roughly the
+        // paper's 48 % / 24 % / 7.7 % histogram for 1/2/3 addresses.
+        let idx = (h % self.tail_pool as u64) as u32;
+        let oct1 = TAIL_BASE_OCTET + (idx >> 16) as u8 % TAIL_OCTETS as u8;
+        let oct2 = ((idx >> 8) & 0xff) as u8;
+        let oct3 = (idx & 0xff) as u8;
+        let host = (1 + ((h >> 24) % 253)) as u8;
+        // Tail delay distribution per Figure 3a: mostly distant.
+        let u = unit(mix(h ^ 3));
+        let median_delay_ms = if u < 0.018 {
+            1.0 + unit(mix(h ^ 4)) * 4.0
+        } else if u < 0.21 {
+            5.0 + unit(mix(h ^ 4)) * 30.0
+        } else if u < 0.975 {
+            35.0 + unit(mix(h ^ 4)).powi(2) * 315.0
+        } else {
+            350.0 + unit(mix(h ^ 4)) * 1800.0
+        };
+        let hops = delay_to_hops(median_delay_ms, mix(h ^ 5));
+        NsInfo {
+            ip: IpAddr::V4(Ipv4Addr::new(oct1, oct2, oct3, host)),
+            org: None,
+            class: class_for_delay(median_delay_ms),
+            median_delay_ms,
+            hops,
+            initial_ttl: if h.is_multiple_of(3) { 128 } else { 64 },
+        }
+    }
+
+    /// Build the routing + registry database covering every address the
+    /// plan can produce, so Table 1 aggregation works via real LPM.
+    pub fn build_asdb(&self) -> AsDb {
+        let mut db = AsDb::new();
+        for (i, org) in ORGS.iter().enumerate() {
+            // Register each of the org's ASes with a Table-1-style name.
+            for j in 0..org.as_count {
+                let asn = ORG_BASE_ASN + (i as u32) * 16 + j as u32;
+                let name = if j == 0 {
+                    format!("{} - {} infrastructure", org.name, org.name)
+                } else {
+                    format!("{}-{:02} - {} regional", org.name, j + 1, org.name)
+                };
+                db.register_as(asn, &name);
+            }
+            // v4: split the org /8 across its ASes as /10+ chunks; simply
+            // announce the /8 from the primary AS and carve per-AS /12s.
+            let base = Ipv4Addr::new(ORG_BASE_OCTET + i as u8, 0, 0, 0);
+            db.announce(Prefix::new(IpAddr::V4(base), 8), ORG_BASE_ASN + (i as u32) * 16);
+            for j in 1..org.as_count {
+                let sub = Ipv4Addr::new(ORG_BASE_OCTET + i as u8, j << 4, 0, 0);
+                db.announce(
+                    Prefix::new(IpAddr::V4(sub), 12),
+                    ORG_BASE_ASN + (i as u32) * 16 + j as u32,
+                );
+            }
+            // v6 block.
+            let v6 = Ipv6Addr::new(0x2001, 0xdb8, i as u16, 0, 0, 0, 0, 0);
+            db.announce(Prefix::new(IpAddr::V6(v6), 48), ORG_BASE_ASN + (i as u32) * 16);
+        }
+        // Root letter prefixes: announced by PCH's first AS (index 5).
+        db.announce(
+            Prefix::new(IpAddr::V4(Ipv4Addr::new(198, 41, 0, 0)), 16),
+            ORG_BASE_ASN + 5 * 16,
+        );
+        // gTLD letter prefixes: VERISIGN (index 1), spread over its
+        // seven ASes as in the real constellation.
+        for l in 0..13u8 {
+            db.announce(
+                Prefix::new(IpAddr::V4(Ipv4Addr::new(192, 5 + l, 0, 0)), 16),
+                ORG_BASE_ASN + 16 + (l % 7) as u32,
+            );
+        }
+        // ccTLD space: one registry org per /16 (many distinct national
+        // registries, none individually in the top 10).
+        for x in 0..7u32 {
+            let asn = 3_000 + x;
+            db.register_as(asn, &format!("NIC{x:02} - national registry group"));
+            db.announce(
+                Prefix::new(IpAddr::V4(Ipv4Addr::new(194, x as u8, 0, 0)), 16),
+                asn,
+            );
+        }
+        // Tail space: one AS per first octet, each its own hosting org
+        // (digit-free names so org extraction keeps them distinct).
+        for o in 0..TAIL_OCTETS {
+            let asn = TAIL_BASE_ASN + o;
+            db.register_as(asn, &format!("HOSTER{o:02} - assorted hosting"));
+            db.announce(
+                Prefix::new(
+                    IpAddr::V4(Ipv4Addr::new(TAIL_BASE_OCTET + o as u8, 0, 0, 0)),
+                    8,
+                ),
+                asn,
+            );
+        }
+        db
+    }
+}
+
+/// Map a delay to a hop count with deterministic jitter: closer servers
+/// are fewer hops away. Fit loosely to Table 1 (15 ms ≈ 7 hops,
+/// 60 ms ≈ 12, 90 ms ≈ 13).
+fn delay_to_hops(delay_ms: f64, h: u64) -> u8 {
+    let base = 1.8 * delay_ms.max(1.0).ln() + 3.0;
+    let jitter = (unit(h) - 0.5) * 3.0;
+    (base + jitter).round().clamp(1.0, 30.0) as u8
+}
+
+/// Classify a median delay into the paper's four regimes.
+fn class_for_delay(ms: f64) -> ServerClass {
+    if ms < 5.0 {
+        ServerClass::Colocated
+    } else if ms < 35.0 {
+        ServerClass::Regional
+    } else if ms < 350.0 {
+        ServerClass::Distant
+    } else {
+        ServerClass::Impaired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> AddressPlan {
+        AddressPlan::new(42, 100, 20, 100_000)
+    }
+
+    #[test]
+    fn org_table_is_table1_shaped() {
+        assert_eq!(ORGS.len(), 10);
+        assert_eq!(ORGS[0].name, "AMAZON");
+        // AKAMAI has the most unicast servers; CLOUDFLARE far fewer.
+        let akamai = ORGS.iter().find(|o| o.name == "AKAMAI").unwrap();
+        let cf = ORGS.iter().find(|o| o.name == "CLOUDFLARE").unwrap();
+        assert!(akamai.servers > 5 * cf.servers);
+        assert!(cf.anycast && !akamai.anycast);
+    }
+
+    #[test]
+    fn resolver_ips_are_distinct() {
+        let p = plan();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..p.resolver_count() {
+            assert!(seen.insert(p.resolver_ip(r)), "dup resolver ip for {r}");
+        }
+    }
+
+    #[test]
+    fn contributor_mapping_is_stable() {
+        let p = plan();
+        assert_eq!(p.contributor_of(0), 0);
+        assert_eq!(p.contributor_of(20), 0);
+        assert_eq!(p.contributor_of(21), 1);
+        assert!(p.contributor_count() == 20);
+    }
+
+    #[test]
+    fn qmin_fraction_selects_prefix_of_resolvers() {
+        let p = plan();
+        let count = (0..100).filter(|&r| p.resolver_is_qmin(r, 0.03)).count();
+        assert_eq!(count, 3);
+        assert!(p.resolver_is_qmin(0, 0.03));
+        assert!(!p.resolver_is_qmin(99, 0.03));
+    }
+
+    #[test]
+    fn root_letters_efl_are_fastest() {
+        let p = plan();
+        let delays: Vec<f64> = (0..13).map(|l| p.root_letter(l).median_delay_ms).collect();
+        // E (4), F (5), L (11) have the most mirrors → smallest delays.
+        let mut ranked: Vec<usize> = (0..13).collect();
+        ranked.sort_by(|&a, &b| delays[a].partial_cmp(&delays[b]).unwrap());
+        assert!(ranked[..3].contains(&4) || ranked[..4].contains(&4));
+        assert!(ranked[..3].contains(&5));
+        assert!(ranked[..4].contains(&11));
+    }
+
+    #[test]
+    fn gtld_b_is_fastest() {
+        let p = plan();
+        let delays: Vec<f64> = (0..13).map(|l| p.gtld_letter(l).median_delay_ms).collect();
+        let min = delays
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(min, 1, "gTLD B must be the fastest letter");
+    }
+
+    #[test]
+    fn org_servers_deterministic_and_in_org_space() {
+        let p = plan();
+        let a = p.org_server(0, 7);
+        let b = p.org_server(0, 7);
+        assert_eq!(a, b);
+        if let IpAddr::V4(v4) = a.ip {
+            assert_eq!(v4.octets()[0], ORG_BASE_OCTET);
+        }
+        let asdb = p.build_asdb();
+        let info = asdb.lookup(a.ip).expect("org server covered by asdb");
+        assert_eq!(info.org, "AMAZON");
+    }
+
+    #[test]
+    fn tail_servers_spread_over_many_prefixes() {
+        let p = plan();
+        let mut prefixes = std::collections::HashSet::new();
+        let n = 5000;
+        for key in 0..n {
+            let ns = p.tail_server(key, 0);
+            if let IpAddr::V4(v4) = ns.ip {
+                let o = v4.octets();
+                prefixes.insert((o[0], o[1], o[2]));
+            }
+        }
+        // Nearly every server lands in its own /24 at this density.
+        assert!(prefixes.len() as f64 > 0.9 * n as f64, "{}", prefixes.len());
+    }
+
+    #[test]
+    fn tail_delay_regimes_match_fig3a() {
+        let p = plan();
+        let mut counts = [0usize; 4];
+        let n = 20_000;
+        for key in 0..n {
+            match p.tail_server(key, 0).class {
+                ServerClass::Colocated => counts[0] += 1,
+                ServerClass::Regional => counts[1] += 1,
+                ServerClass::Distant => counts[2] += 1,
+                ServerClass::Impaired => counts[3] += 1,
+            }
+        }
+        let share = |c: usize| c as f64 / n as f64;
+        assert!((0.005..0.05).contains(&share(counts[0])), "colocated {}", share(counts[0]));
+        assert!((0.1..0.35).contains(&share(counts[1])), "regional {}", share(counts[1]));
+        assert!((0.6..0.85).contains(&share(counts[2])), "distant {}", share(counts[2]));
+        assert!((0.005..0.06).contains(&share(counts[3])), "impaired {}", share(counts[3]));
+    }
+
+    #[test]
+    fn asdb_covers_all_address_families() {
+        let p = plan();
+        let db = p.build_asdb();
+        assert!(db.lookup(p.root_letter(0).ip).is_some());
+        assert!(db.lookup(p.gtld_letter(3).ip).is_some());
+        assert!(db.lookup(p.cctld_server(17, 0).ip).is_some());
+        assert!(db.lookup(p.tail_server(99, 1).ip).is_some());
+        // Find an IPv6 org server and check coverage.
+        let v6 = (0..200)
+            .map(|i| p.org_server(3, i))
+            .find(|ns| ns.ip.is_ipv6());
+        if let Some(ns) = v6 {
+            assert!(db.lookup(ns.ip).is_some());
+        }
+    }
+
+    #[test]
+    fn hops_increase_with_delay() {
+        let near = delay_to_hops(2.0, 1);
+        let far = delay_to_hops(300.0, 1);
+        assert!(far > near);
+        assert!((1..=30).contains(&near));
+        assert!((1..=30).contains(&far));
+    }
+}

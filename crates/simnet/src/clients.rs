@@ -1,0 +1,149 @@
+//! Client populations: what kinds of queries arrive at resolvers, with
+//! which mix (drives Table 2's QTYPE distribution).
+
+use crate::config::SimConfig;
+
+/// The intent behind one client arrival at a resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryIntent {
+    /// Dual-stack browser using Happy Eyeballs: A + AAAA pair.
+    WebDualstack,
+    /// IPv4-only client: A only.
+    WebV4Only,
+    /// Reverse-DNS lookup (mail servers, log enrichment).
+    Ptr,
+    /// TXT-over-DNS custom protocol (anti-virus / anti-spam, §3.4).
+    Txt,
+    /// Mail routing.
+    Mx,
+    /// Service discovery.
+    Srv,
+    /// Explicit CNAME query.
+    Cname,
+    /// SOA refresh check.
+    Soa,
+    /// DS query from a validating resolver.
+    Ds,
+    /// NS query; predominantly PRSD attack traffic (§3.4).
+    NsQuery,
+    /// Mylobot-style DGA: A queries for FQDNs under non-existent `.com`
+    /// SLDs (§3.2).
+    Botnet,
+    /// A-record scanning: non-existent hosts and junk TLDs.
+    Scanner,
+}
+
+/// All intents in a fixed order, paired with their config weights.
+pub fn intent_weights(cfg: &SimConfig) -> [(QueryIntent, f64); 12] {
+    [
+        (QueryIntent::WebDualstack, cfg.weight_web_dualstack),
+        (QueryIntent::WebV4Only, cfg.weight_web_v4only),
+        (QueryIntent::Ptr, cfg.weight_ptr),
+        (QueryIntent::Txt, cfg.weight_txt),
+        (QueryIntent::Mx, cfg.weight_mx),
+        (QueryIntent::Srv, cfg.weight_srv),
+        (QueryIntent::Cname, cfg.weight_cname),
+        (QueryIntent::Soa, cfg.weight_soa),
+        (QueryIntent::Ds, cfg.weight_ds),
+        (QueryIntent::NsQuery, cfg.weight_ns),
+        (QueryIntent::Botnet, cfg.weight_botnet),
+        (QueryIntent::Scanner, cfg.weight_scanner),
+    ]
+}
+
+/// Map a uniform draw `u ∈ [0, 1)` to an intent per the config weights.
+pub fn pick_intent(cfg: &SimConfig, u: f64) -> QueryIntent {
+    let total = cfg.total_weight();
+    let mut target = u.clamp(0.0, 1.0 - 1e-12) * total;
+    for (intent, weight) in intent_weights(cfg) {
+        target -= weight;
+        if target <= 0.0 {
+            return intent;
+        }
+    }
+    QueryIntent::Scanner
+}
+
+/// A profile groups intents for documentation and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientProfile {
+    /// Human-driven web browsing (A/AAAA).
+    Web,
+    /// Server infrastructure (PTR, MX, SOA, TXT).
+    Infrastructure,
+    /// Security tooling (TXT protocols, DS).
+    Security,
+    /// Abusive automation (botnet DGA, PRSD, scanners).
+    Abusive,
+}
+
+impl QueryIntent {
+    /// Coarse grouping of this intent.
+    pub fn profile(self) -> ClientProfile {
+        match self {
+            QueryIntent::WebDualstack | QueryIntent::WebV4Only => ClientProfile::Web,
+            QueryIntent::Ptr | QueryIntent::Mx | QueryIntent::Soa | QueryIntent::Srv
+            | QueryIntent::Cname => ClientProfile::Infrastructure,
+            QueryIntent::Txt | QueryIntent::Ds => ClientProfile::Security,
+            QueryIntent::NsQuery | QueryIntent::Botnet | QueryIntent::Scanner => {
+                ClientProfile::Abusive
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_cover_unit_interval() {
+        let cfg = SimConfig::default();
+        assert_eq!(pick_intent(&cfg, 0.0), QueryIntent::WebDualstack);
+        // u = 1 - eps must map to the last nonzero weight.
+        assert_eq!(pick_intent(&cfg, 0.999_999), QueryIntent::Scanner);
+    }
+
+    #[test]
+    fn mix_matches_weights() {
+        let cfg = SimConfig::default();
+        let n = 100_000;
+        let mut web = 0usize;
+        let mut botnet = 0usize;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            match pick_intent(&cfg, u) {
+                QueryIntent::WebDualstack | QueryIntent::WebV4Only => web += 1,
+                QueryIntent::Botnet => botnet += 1,
+                _ => {}
+            }
+        }
+        let total = cfg.total_weight();
+        let expect_web = (cfg.weight_web_dualstack + cfg.weight_web_v4only) / total;
+        let expect_botnet = cfg.weight_botnet / total;
+        assert!((web as f64 / n as f64 - expect_web).abs() < 0.01);
+        assert!((botnet as f64 / n as f64 - expect_botnet).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_intent_never_picked() {
+        let cfg = SimConfig {
+            weight_botnet: 0.0,
+            ..SimConfig::default()
+        };
+        for i in 0..10_000 {
+            let u = (i as f64 + 0.5) / 10_000.0;
+            assert_ne!(pick_intent(&cfg, u), QueryIntent::Botnet);
+        }
+    }
+
+    #[test]
+    fn profiles_partition_intents() {
+        for (intent, _) in intent_weights(&SimConfig::default()) {
+            // Just ensure every intent maps to a profile without panicking.
+            let _ = intent.profile();
+        }
+        assert_eq!(QueryIntent::Botnet.profile(), ClientProfile::Abusive);
+        assert_eq!(QueryIntent::WebDualstack.profile(), ClientProfile::Web);
+    }
+}

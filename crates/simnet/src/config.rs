@@ -1,0 +1,197 @@
+//! Simulation configuration.
+
+/// All knobs of the simulated DNS world.
+///
+/// The defaults are tuned so a few simulated minutes on a laptop show the
+/// qualitative shapes of the paper's figures; [`SimConfig::paper_scale`]
+/// scales the populations up for the headline reproductions.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master RNG seed; everything derives from it.
+    pub seed: u64,
+
+    // --- Vantage points ----------------------------------------------------
+    /// Number of recursive resolvers feeding the observatory.
+    pub resolvers: usize,
+    /// Number of SIE contributors; each resolver belongs to one.
+    pub contributors: usize,
+    /// Fraction of resolvers that perform QNAME minimization (paper §3.6
+    /// finds it minuscule — a handful of resolvers).
+    pub qmin_fraction: f64,
+
+    // --- Domain universe ----------------------------------------------------
+    /// Number of distinct eSLDs in the popularity distribution.
+    pub domains: usize,
+    /// Zipf exponent of eSLD popularity (≈1 gives the classic heavy tail).
+    pub zipf_exponent: f64,
+    /// Average number of stable FQDNs per popular eSLD.
+    pub fqdns_per_domain: usize,
+    /// Probability that a web query targets an ephemeral, never-repeated
+    /// FQDN (disposable domains, paper §3.2b).
+    pub ephemeral_fqdn_prob: f64,
+    /// Fraction of domains that have AAAA records (server-side IPv6
+    /// adoption; the rest are IPv4-only and produce AAAA NoData).
+    pub ipv6_domain_fraction: f64,
+
+    // --- Client mix (relative weights of query intents) ---------------------
+    /// Dual-stack web clients using Happy Eyeballs (A+AAAA pairs).
+    pub weight_web_dualstack: f64,
+    /// IPv4-only web clients (A only).
+    pub weight_web_v4only: f64,
+    /// Reverse-DNS lookers (PTR), i.e. mail servers and infrastructure.
+    pub weight_ptr: f64,
+    /// Anti-virus / anti-spam systems using TXT-over-DNS protocols.
+    pub weight_txt: f64,
+    /// Mail routing (MX).
+    pub weight_mx: f64,
+    /// Service discovery (SRV).
+    pub weight_srv: f64,
+    /// Explicit CNAME queries (misconfigured crawlers etc.).
+    pub weight_cname: f64,
+    /// SOA refresh checks.
+    pub weight_soa: f64,
+    /// DS queries from validating resolvers.
+    pub weight_ds: f64,
+    /// NS queries, most of which belong to PRSD attack traffic.
+    pub weight_ns: f64,
+    /// DGA botnet queries for non-existent .com SLDs (Mylobot-style).
+    pub weight_botnet: f64,
+    /// A-record scanning of non-existent FQDNs under existing domains.
+    pub weight_scanner: f64,
+
+    // --- Traffic shape -------------------------------------------------------
+    /// Mean client query arrivals per simulated second (before resolver
+    /// caches suppress repeats).
+    pub arrivals_per_sec: f64,
+    /// Amplitude of the diurnal modulation in [0, 1); 0 disables it.
+    pub diurnal_amplitude: f64,
+    /// Fraction of queries that get no response at all (unans feature).
+    pub loss_rate: f64,
+
+    // --- TTL defaults (seconds) ---------------------------------------------
+    /// A-record TTL for CDN-style popular domains.
+    pub ttl_a_popular: u32,
+    /// A-record TTL for ordinary domains.
+    pub ttl_a_default: u32,
+    /// AAAA-record TTL.
+    pub ttl_aaaa: u32,
+    /// NS TTL at TLD delegations.
+    pub ttl_ns: u32,
+    /// Negative-caching TTL (SOA minimum) default.
+    pub ttl_negative_default: u32,
+    /// TXT TTL (tiny, per Table 2's custom-protocol finding).
+    pub ttl_txt: u32,
+    /// MX TTL.
+    pub ttl_mx: u32,
+
+    // --- §5.4 remedies (paper's proposed measures, off by default) -----------
+    /// Remedy 1: dual-stack clients send a single joint A+AAAA query
+    /// (one transaction instead of two) when supported end-to-end.
+    pub remedy_joint_query: bool,
+    /// Remedy 2: zones split negative caching semantics — NoData answers
+    /// advertise a negative TTL aligned with the A TTL, while NXDOMAIN
+    /// keeps the (possibly short) SOA minimum.
+    pub remedy_split_negative: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xD15_0B5E,
+            resolvers: 200,
+            contributors: 40,
+            qmin_fraction: 0.015,
+            domains: 200_000,
+            zipf_exponent: 1.12,
+            fqdns_per_domain: 4,
+            ephemeral_fqdn_prob: 0.12,
+            ipv6_domain_fraction: 0.42,
+            weight_web_dualstack: 30.0,
+            weight_web_v4only: 34.0,
+            weight_ptr: 6.4,
+            weight_txt: 1.4,
+            weight_mx: 1.2,
+            weight_srv: 1.1,
+            weight_cname: 1.0,
+            weight_soa: 0.5,
+            weight_ds: 0.5,
+            weight_ns: 1.4,
+            weight_botnet: 8.5,
+            weight_scanner: 8.0,
+            arrivals_per_sec: 12_000.0,
+            diurnal_amplitude: 0.35,
+            loss_rate: 0.035,
+            ttl_a_popular: 60,
+            ttl_a_default: 300,
+            ttl_aaaa: 300,
+            ttl_ns: 86_400,
+            ttl_negative_default: 300,
+            ttl_txt: 5,
+            ttl_mx: 3_600,
+            remedy_joint_query: false,
+            remedy_split_negative: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small configuration for unit tests: quick to build, still
+    /// exercising every code path.
+    pub fn small() -> Self {
+        SimConfig {
+            domains: 2_000,
+            resolvers: 24,
+            contributors: 8,
+            arrivals_per_sec: 2_000.0,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The configuration used by the experiment binaries: larger domain
+    /// and resolver populations so rank curves extend far enough to show
+    /// the paper's shapes.
+    pub fn paper_scale() -> Self {
+        SimConfig {
+            domains: 1_000_000,
+            resolvers: 400,
+            contributors: 60,
+            arrivals_per_sec: 40_000.0,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Sum of all intent weights (normalization denominator).
+    pub fn total_weight(&self) -> f64 {
+        self.weight_web_dualstack
+            + self.weight_web_v4only
+            + self.weight_ptr
+            + self.weight_txt
+            + self.weight_mx
+            + self.weight_srv
+            + self.weight_cname
+            + self.weight_soa
+            + self.weight_ds
+            + self.weight_ns
+            + self.weight_botnet
+            + self.weight_scanner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.total_weight() > 0.0);
+        assert!(c.resolvers > 0 && c.contributors <= c.resolvers);
+        assert!(c.zipf_exponent > 0.0);
+        assert!((0.0..1.0).contains(&c.loss_rate));
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert!(SimConfig::paper_scale().domains > SimConfig::small().domains);
+    }
+}

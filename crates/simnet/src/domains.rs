@@ -1,0 +1,378 @@
+//! The domain universe: a million-entry popularity-ranked eSLD space whose
+//! per-domain properties are *derived*, not stored.
+//!
+//! Every domain is identified by its popularity rank (`DomainId`, 1-based).
+//! [`DomainPlan::props`] computes the domain's TLD, hosting organization,
+//! nameserver fan-out, TTLs, IPv6 status and service records as a pure
+//! function of `(seed, rank)`, so the plan scales to arbitrary universe
+//! sizes with zero memory. Scenario overrides (TTL cuts, renumbering,
+//! IPv6 turn-up) are layered on top by [`crate::Scenario`].
+
+use crate::addressing::{mix, unit, ORGS};
+use crate::config::SimConfig;
+use dnswire::Name;
+
+/// Popularity rank of an eSLD, 1-based (1 = most popular).
+pub type DomainId = u64;
+
+/// Number of TLD slots in the simulated root zone. About 80 % of the
+/// traffic-weighted mass lands on `.com`; ~1,150 of these slots see
+/// traffic within an hour at default rates (paper Fig. 4c converges to
+/// ~1,150 active TLDs out of >1,500 existing).
+pub const TLD_COUNT: usize = 1_500;
+
+/// Derived properties of one domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainProps {
+    /// The domain's rank.
+    pub id: DomainId,
+    /// Registrable name, e.g. `dom42.com`.
+    pub esld: Name,
+    /// Index into the TLD table.
+    pub tld: usize,
+    /// Hosting org (index into [`ORGS`]) or `None` when self-hosted.
+    pub org: Option<usize>,
+    /// Number of authoritative nameservers (2..=4).
+    pub ns_count: usize,
+    /// Whether the domain publishes AAAA records.
+    pub has_ipv6: bool,
+    /// TTL of A records, seconds.
+    pub a_ttl: u32,
+    /// TTL of AAAA records, seconds.
+    pub aaaa_ttl: u32,
+    /// Negative-caching TTL (SOA minimum), seconds.
+    pub neg_ttl: u32,
+    /// Number of stable FQDNs under the domain.
+    pub fqdn_count: usize,
+    /// Publishes MX records.
+    pub has_mx: bool,
+    /// Publishes SRV records.
+    pub has_srv: bool,
+    /// Runs a TXT-over-DNS service (anti-virus style, paper §3.4).
+    pub txt_service: bool,
+    /// DNSSEC-signed (DS at the parent, RRSIG in answers).
+    pub dnssec: bool,
+    /// Authoritative server returns a *different, decreasing* TTL on every
+    /// response (the "Non-conforming" rows of Table 4).
+    pub nonconforming_ttl: bool,
+}
+
+/// The derivation rules for domain properties.
+#[derive(Debug, Clone)]
+pub struct DomainPlan {
+    seed: u64,
+    domains: u64,
+    cfg_ipv6_fraction: f64,
+    fqdns_per_domain: usize,
+    ttl_a_popular: u32,
+    ttl_a_default: u32,
+    ttl_aaaa: u32,
+    ttl_negative_default: u32,
+    /// Names of the TLD table (index 0 = com).
+    tlds: Vec<String>,
+}
+
+/// Cap on how many top-ranked domains are considered "popular" (CDN-style
+/// TTLs, mostly org-hosted, more FQDNs). Small universes scale this down —
+/// see [`DomainPlan::popular_cutoff`].
+const POPULAR_CUTOFF_MAX: u64 = 3_000;
+
+impl DomainPlan {
+    /// Build the plan from the simulation config.
+    pub fn new(cfg: &SimConfig) -> DomainPlan {
+        let mut tlds = Vec::with_capacity(TLD_COUNT);
+        // Head TLDs get real names so PSL extraction and the TLD-count
+        // experiments look right; the rest are synthetic ccTLD-ish labels.
+        const HEAD: &[&str] = &[
+            "com", "net", "org", "de", "uk", "ru", "nl", "fr", "br", "it",
+            "pl", "cn", "jp", "au", "in", "info", "ir", "cz", "ua", "ca",
+            "eu", "kr", "es", "ch", "se", "us", "at", "be", "biz", "dk",
+            "tv", "me", "io", "co", "xyz", "top", "online", "site", "club",
+            "shop", "app", "dev", "arpa",
+        ];
+        for name in HEAD {
+            tlds.push((*name).to_string());
+        }
+        let mut i = 0;
+        while tlds.len() < TLD_COUNT {
+            // Two-letter ccTLD-style labels, then three-letter ones.
+            let label = synth_tld_label(i);
+            if !HEAD.contains(&label.as_str()) {
+                tlds.push(label);
+            }
+            i += 1;
+        }
+        DomainPlan {
+            seed: cfg.seed,
+            domains: cfg.domains as u64,
+            cfg_ipv6_fraction: cfg.ipv6_domain_fraction,
+            fqdns_per_domain: cfg.fqdns_per_domain,
+            ttl_a_popular: cfg.ttl_a_popular,
+            ttl_a_default: cfg.ttl_a_default,
+            ttl_aaaa: cfg.ttl_aaaa,
+            ttl_negative_default: cfg.ttl_negative_default,
+            tlds,
+        }
+    }
+
+    /// Number of domains in the universe.
+    pub fn domain_count(&self) -> u64 {
+        self.domains
+    }
+
+    /// The TLD table (presentation labels).
+    pub fn tlds(&self) -> &[String] {
+        &self.tlds
+    }
+
+    /// TLD label by index.
+    pub fn tld_name(&self, idx: usize) -> &str {
+        &self.tlds[idx]
+    }
+
+    /// Index of `.com` in the TLD table.
+    pub fn com_tld(&self) -> usize {
+        0
+    }
+
+    /// Number of top ranks treated as "popular": 5 % of the universe,
+    /// capped at 3,000 and at least 50.
+    pub fn popular_cutoff(&self) -> u64 {
+        (self.domains / 20).clamp(50, POPULAR_CUTOFF_MAX)
+    }
+
+    /// True if TLD `idx` is served by the gTLD letter constellation
+    /// (`.com`/`.net`, like Verisign's registry).
+    pub fn tld_is_gtld(&self, idx: usize) -> bool {
+        idx <= 1
+    }
+
+    /// Derived properties of domain `id` (1-based rank).
+    pub fn props(&self, id: DomainId) -> DomainProps {
+        assert!(id >= 1 && id <= self.domains, "domain id out of range");
+        let h = mix(self.seed ^ id.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let tld = self.assign_tld(id, h);
+        let esld = Name::from_ascii(&format!("dom{}.{}", id, self.tlds[tld]))
+            .expect("generated name is valid");
+        let popular = id <= self.popular_cutoff();
+
+        // Hosting: popular domains are predominantly hosted by the big
+        // organizations; tail domains self-host on scattered servers.
+        let host_prob = if popular { 0.92 } else { 0.18 };
+        let org = if unit(mix(h ^ 1)) < host_prob {
+            Some(pick_org(mix(h ^ 2)))
+        } else {
+            None
+        };
+
+        // Server-side IPv6: more common among the popular, org-hosted set.
+        let v6_prob = if popular {
+            self.cfg_ipv6_fraction * 1.6
+        } else {
+            self.cfg_ipv6_fraction * 0.9
+        };
+        let has_ipv6 = unit(mix(h ^ 3)) < v6_prob.min(0.95);
+
+        // TTLs: popular CDN-ish domains use short A TTLs; everyone else
+        // the default. A deterministic slice of domains runs a *low*
+        // negative-caching TTL (the Fig. 9 pathology); a smaller slice
+        // runs a *high* one.
+        let mut a_ttl = if popular { self.ttl_a_popular } else { self.ttl_a_default };
+        let neg_sel = mix(h ^ 4) % 100;
+        let neg_ttl = if neg_sel < 7 {
+            // The paper's worst offenders (§5.2, the OS time services at
+            // ranks 81/116): A TTL of 10–15 minutes paired with a 15 s
+            // negative TTL — a quotient of ~50 and ~90 % empty responses.
+            a_ttl = 900;
+            15
+        } else if neg_sel < 11 {
+            60
+        } else if neg_sel < 15 {
+            3_600 // higher than A TTL (the rank-140 curiosity)
+        } else {
+            self.ttl_negative_default
+        };
+
+        let fqdn_count = if popular {
+            self.fqdns_per_domain * 4
+        } else {
+            self.fqdns_per_domain
+        }
+        .max(1);
+
+        DomainProps {
+            id,
+            esld,
+            tld,
+            org,
+            ns_count: 2 + (mix(h ^ 5) % 3) as usize,
+            has_ipv6,
+            a_ttl,
+            aaaa_ttl: self.ttl_aaaa,
+            neg_ttl,
+            fqdn_count,
+            has_mx: mix(h ^ 6) % 100 < 80,
+            has_srv: mix(h ^ 7) % 100 < 25,
+            txt_service: popular && mix(h ^ 8) % 100 < 4,
+            dnssec: mix(h ^ 9) % 100 < 45,
+            nonconforming_ttl: mix(h ^ 10) % 1000 < 6,
+        }
+    }
+
+    /// The `i`-th stable FQDN label under a domain ("www" first).
+    pub fn fqdn_label(&self, id: DomainId, i: usize) -> String {
+        const COMMON: &[&str] = &[
+            "www", "api", "cdn", "mail", "img", "static", "app", "login",
+            "news", "shop", "m", "blog",
+        ];
+        if i < COMMON.len() {
+            COMMON[i].to_string()
+        } else {
+            format!("host{}", mix(self.seed ^ id ^ (i as u64) << 40) % 100_000)
+        }
+    }
+
+    /// Full FQDN `label.esld` for stable FQDN index `i`.
+    pub fn fqdn(&self, props: &DomainProps, i: usize) -> Name {
+        props
+            .esld
+            .prepend(self.fqdn_label(props.id, i % props.fqdn_count).as_bytes())
+            .expect("label fits")
+    }
+
+    fn assign_tld(&self, _id: DomainId, h: u64) -> usize {
+        // Traffic-weighted TLD mix: ~52% com, 6% net, 5% org, the rest
+        // Zipf-spread over the remaining table. Assignment by rank hash so
+        // it is stable per domain.
+        let u = unit(mix(h ^ 0x71d));
+        if u < 0.52 {
+            0
+        } else if u < 0.58 {
+            1
+        } else if u < 0.63 {
+            2
+        } else {
+            // Zipf over indexes 3..TLD_COUNT.
+            let z = crate::zipf::Zipf::new((TLD_COUNT - 3) as u64, 1.0);
+            3 + (z.rank_for(unit(mix(h ^ 0xF00D))) - 1) as usize
+        }
+    }
+}
+
+/// Pick a hosting org with probability proportional to hosting weight.
+fn pick_org(h: u64) -> usize {
+    let total: f64 = ORGS.iter().map(|o| o.hosting_weight).sum();
+    let mut target = unit(h) * total;
+    for (i, org) in ORGS.iter().enumerate() {
+        target -= org.hosting_weight;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    ORGS.len() - 1
+}
+
+/// Generate a synthetic TLD label for index `i`: `aa`, `ab`, ..., then
+/// three-letter labels.
+fn synth_tld_label(i: usize) -> String {
+    let letters = b"abcdefghijklmnopqrstuvwxyz";
+    if i < 26 * 26 {
+        String::from_utf8(vec![letters[i / 26], letters[i % 26]]).unwrap()
+    } else {
+        let j = i - 26 * 26;
+        String::from_utf8(vec![
+            letters[(j / (26 * 26)) % 26],
+            letters[(j / 26) % 26],
+            letters[j % 26],
+        ])
+        .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> DomainPlan {
+        DomainPlan::new(&SimConfig::small())
+    }
+
+    #[test]
+    fn props_are_deterministic() {
+        let p = plan();
+        assert_eq!(p.props(1), p.props(1));
+        assert_eq!(p.props(1999), p.props(1999));
+    }
+
+    #[test]
+    fn tld_table_has_expected_shape() {
+        let p = plan();
+        assert_eq!(p.tlds().len(), TLD_COUNT);
+        assert_eq!(p.tld_name(0), "com");
+        assert!(p.tld_is_gtld(0) && p.tld_is_gtld(1) && !p.tld_is_gtld(2));
+        // All labels distinct.
+        let set: std::collections::HashSet<_> = p.tlds().iter().collect();
+        assert_eq!(set.len(), TLD_COUNT);
+    }
+
+    #[test]
+    fn com_dominates() {
+        let p = plan();
+        let com = (1..=2000).filter(|&id| p.props(id).tld == 0).count();
+        let share = com as f64 / 2000.0;
+        assert!((0.45..0.60).contains(&share), "com share {share}");
+    }
+
+    #[test]
+    fn popular_domains_are_org_hosted() {
+        let p = plan();
+        let cutoff = p.popular_cutoff();
+        assert_eq!(cutoff, 100, "small config: 2000/20 clamped to >=50");
+        let hosted = (1..=cutoff).filter(|&id| p.props(id).org.is_some()).count();
+        assert!(
+            hosted as f64 > 0.8 * cutoff as f64,
+            "only {hosted}/{cutoff} popular domains org-hosted"
+        );
+        let tail_hosted = (1500..=1999).filter(|&id| p.props(id).org.is_some()).count();
+        assert!(tail_hosted < 200, "{tail_hosted}/500 tail domains org-hosted");
+    }
+
+    #[test]
+    fn some_domains_have_low_negative_ttl() {
+        let p = plan();
+        let low = (1..=1000)
+            .map(|id| p.props(id))
+            .filter(|d| d.neg_ttl < d.a_ttl)
+            .count();
+        assert!(low > 30, "too few low-negTTL domains: {low}");
+        let high = (1..=1000)
+            .map(|id| p.props(id))
+            .filter(|d| d.neg_ttl > d.a_ttl)
+            .count();
+        assert!(high > 5, "too few high-negTTL domains: {high}");
+    }
+
+    #[test]
+    fn esld_names_parse_and_split() {
+        let p = plan();
+        let d = p.props(7);
+        assert!(d.esld.label_count() >= 2);
+        let fqdn = p.fqdn(&d, 0);
+        assert!(fqdn.is_subdomain_of(&d.esld));
+        assert_eq!(fqdn.label_count(), d.esld.label_count() + 1);
+        assert!(fqdn.to_ascii().starts_with("www."));
+    }
+
+    #[test]
+    fn nonconforming_is_rare() {
+        let p = plan();
+        let n = (1..=2000).filter(|&id| p.props(id).nonconforming_ttl).count();
+        assert!(n < 40, "nonconforming too common: {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_id_panics() {
+        plan().props(0);
+    }
+}

@@ -1,0 +1,959 @@
+//! The simulation driver: arrival process, recursive resolution against
+//! the delegation tree, cache-miss transaction emission.
+
+use crate::addressing::{mix, NsInfo};
+use crate::clients::{pick_intent, QueryIntent};
+use crate::config::SimConfig;
+use crate::domains::DomainId;
+use crate::rescache::{CacheKey, CacheOutcome};
+use crate::resolver::ResolverState;
+use crate::scenario::Scenario;
+use crate::servers::{self, AnswerContext};
+use crate::transaction::Transaction;
+use crate::world::World;
+use crate::zipf::Zipf;
+use dnswire::{Edns, Message, Name, Rcode, RecordType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// TTL for cached TLD delegations (root zone NS TTL is 2 days).
+const TLD_DELEGATION_TTL: u32 = 172_800;
+/// Negative TTL used by root/TLD zones.
+const UPSTREAM_NEG_TTL: u32 = 900;
+/// Per-resolver cache entry cap.
+const CACHE_CAPACITY: usize = 200_000;
+
+/// What a single resolution is aimed at.
+#[derive(Debug, Clone)]
+enum Target {
+    /// A name under an existing registered domain.
+    Domain {
+        id: DomainId,
+        fqdn_idx: usize,
+        exists: bool,
+    },
+    /// A name under a non-existent SLD of an existing TLD (botnet, PRSD).
+    MissingDomain { tld: usize },
+    /// A name whose TLD does not exist (junk hitting the root).
+    BadTld,
+    /// A reverse-DNS name.
+    Reverse { exists: bool },
+}
+
+/// The discrete-event simulation: owns the world, the resolver
+/// population, and the clock.
+#[derive(Debug)]
+pub struct Simulation {
+    world: World,
+    resolvers: Vec<ResolverState>,
+    rng: StdRng,
+    now: f64,
+    domain_zipf: Zipf,
+    /// Popular domains operating TXT-over-DNS services.
+    txt_domains: Vec<DomainId>,
+    transactions_emitted: u64,
+    arrivals: u64,
+}
+
+impl Simulation {
+    /// Build a simulation from config and scenario.
+    pub fn new(cfg: SimConfig, scenario: Scenario) -> Simulation {
+        let world = World::new(cfg, scenario);
+        let cfg = &world.cfg;
+        let mut resolvers = Vec::with_capacity(cfg.resolvers);
+        for r in 0..cfg.resolvers {
+            let dnssec_ok = mix(cfg.seed ^ 0xD0 ^ r as u64) % 100 < 35;
+            resolvers.push(ResolverState::new(
+                r,
+                world.plan.resolver_ip(r),
+                world.plan.contributor_of(r),
+                world.plan.resolver_is_qmin(r, cfg.qmin_fraction),
+                dnssec_ok,
+                CACHE_CAPACITY,
+            ));
+        }
+        let domain_zipf = Zipf::new(cfg.domains as u64, cfg.zipf_exponent);
+        // TXT-service domains: scan the popular head once.
+        let txt_domains: Vec<DomainId> = (1..=world.domains.popular_cutoff())
+            .filter(|&id| world.domains.props(id).txt_service)
+            .collect();
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_c0de);
+        Simulation {
+            world,
+            resolvers,
+            rng,
+            now: 0.0,
+            domain_zipf,
+            txt_domains,
+            transactions_emitted: 0,
+            arrivals: 0,
+        }
+    }
+
+    /// Convenience: default scenario.
+    pub fn from_config(cfg: SimConfig) -> Simulation {
+        Simulation::new(cfg, Scenario::new())
+    }
+
+    /// The simulated world (plans, AS database, scenario).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Current stream time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total transactions emitted so far.
+    pub fn transactions_emitted(&self) -> u64 {
+        self.transactions_emitted
+    }
+
+    /// Total client arrivals processed so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Jump the clock forward without generating traffic (lets scenario
+    /// events fall between observation windows cheaply).
+    pub fn skip_to(&mut self, t: f64) {
+        assert!(t >= self.now, "time only moves forward");
+        self.now = t;
+    }
+
+    /// Run for `duration` simulated seconds, delivering every cache-miss
+    /// transaction to `sink`.
+    pub fn run(&mut self, duration: f64, sink: &mut dyn FnMut(&Transaction)) {
+        let end = self.now + duration;
+        loop {
+            let rate = self.world.cfg.arrivals_per_sec * self.diurnal_factor();
+            let u: f64 = self.rng.gen_range(1e-12..1.0);
+            self.now += -u.ln() / rate;
+            if self.now >= end {
+                self.now = end;
+                return;
+            }
+            self.arrival(sink);
+        }
+    }
+
+    /// Run and collect into a vector (tests and small experiments).
+    pub fn collect(&mut self, duration: f64) -> Vec<Transaction> {
+        let mut out = Vec::new();
+        self.run(duration, &mut |tx| out.push(tx.clone()));
+        out
+    }
+
+    fn diurnal_factor(&self) -> f64 {
+        let a = self.world.cfg.diurnal_amplitude;
+        if a == 0.0 {
+            return 1.0;
+        }
+        1.0 + a * (2.0 * std::f64::consts::PI * self.now / 86_400.0).sin()
+    }
+
+    /// Process one client arrival.
+    fn arrival(&mut self, sink: &mut dyn FnMut(&Transaction)) {
+        self.arrivals += 1;
+        let r = self.rng.gen_range(0..self.resolvers.len());
+        // Scripted scan floods divert a share of arrivals into junk
+        // queries against their target domains (query rate up, response
+        // rate flat — see Scenario::push_flood).
+        let floods: Vec<(DomainId, f64)> = self
+            .world
+            .scenario
+            .active_floods(self.now)
+            .map(|f| (f.domain, f.rate))
+            .collect();
+        if !floods.is_empty() {
+            let total: f64 = floods.iter().map(|(_, rate)| rate).sum();
+            let p = (total / self.world.cfg.arrivals_per_sec).min(0.5);
+            if self.rng.gen::<f64>() < p {
+                let mut pick = self.rng.gen::<f64>() * total;
+                let mut target = floods[0].0;
+                for &(id, rate) in &floods {
+                    pick -= rate;
+                    if pick <= 0.0 {
+                        target = id;
+                        break;
+                    }
+                }
+                let (props, _, _) = self.world.domain_at(target, self.now);
+                let name = props
+                    .esld
+                    .prepend(format!("flood{}", self.rng.gen_range(0..100_000_000u64)).as_bytes())
+                    .expect("label fits");
+                self.resolve(
+                    r,
+                    name,
+                    RecordType::A,
+                    Target::Domain {
+                        id: target,
+                        fqdn_idx: 0,
+                        exists: false,
+                    },
+                    sink,
+                );
+                return;
+            }
+        }
+        let intent = pick_intent(&self.world.cfg, self.rng.gen());
+        match intent {
+            QueryIntent::WebDualstack => {
+                let (name, target) = self.web_name();
+                if self.world.cfg.remedy_joint_query {
+                    // §5.4 remedy 1: one joint A+AAAA query (modelled as
+                    // an address-limited ANY) instead of the pair.
+                    self.resolve(r, name, RecordType::Any, target, sink);
+                } else {
+                    self.resolve(r, name.clone(), RecordType::A, target.clone(), sink);
+                    self.resolve(r, name, RecordType::Aaaa, target, sink);
+                }
+            }
+            QueryIntent::WebV4Only => {
+                let (name, target) = self.web_name();
+                self.resolve(r, name, RecordType::A, target, sink);
+            }
+            QueryIntent::Ptr => {
+                let exists = self.rng.gen::<f64>() > 0.29;
+                let name = self.reverse_name();
+                self.resolve(r, name, RecordType::Ptr, Target::Reverse { exists }, sink);
+            }
+            QueryIntent::Txt => {
+                if self.txt_domains.is_empty() {
+                    return;
+                }
+                let id = self.txt_domains[self.rng.gen_range(0..self.txt_domains.len())];
+                let (props, _, _) = self.world.domain_at(id, self.now);
+                // Encoded lookups: many distinct multi-label FQDNs per SLD.
+                let nonce: u64 = self.rng.gen();
+                let name = Name::from_ascii(&format!(
+                    "x{:012x}.sig{}.db.{}",
+                    nonce & 0xffff_ffff_ffff,
+                    nonce % 16,
+                    props.esld
+                ))
+                .expect("valid txt name");
+                self.resolve(
+                    r,
+                    name,
+                    RecordType::Txt,
+                    Target::Domain {
+                        id,
+                        fqdn_idx: (nonce % 1_000_000) as usize,
+                        exists: true,
+                    },
+                    sink,
+                );
+            }
+            QueryIntent::Mx => {
+                let id = self.zipf_domain();
+                let (props, _, _) = self.world.domain_at(id, self.now);
+                self.resolve(
+                    r,
+                    props.esld.clone(),
+                    RecordType::Mx,
+                    Target::Domain {
+                        id,
+                        fqdn_idx: 0,
+                        exists: true,
+                    },
+                    sink,
+                );
+            }
+            QueryIntent::Srv => {
+                let id = self.zipf_domain();
+                let (props, _, _) = self.world.domain_at(id, self.now);
+                let name = Name::from_ascii(&format!("_sip._tcp.{}", props.esld))
+                    .expect("valid srv name");
+                self.resolve(
+                    r,
+                    name,
+                    RecordType::Srv,
+                    Target::Domain {
+                        id,
+                        fqdn_idx: 0,
+                        exists: props.has_srv,
+                    },
+                    sink,
+                );
+            }
+            QueryIntent::Cname => {
+                let id = self.zipf_domain();
+                let (props, _, _) = self.world.domain_at(id, self.now);
+                let exists = self.rng.gen::<f64>() < 0.46;
+                let idx = 2; // the alias slot in answer_auth
+                let name = if exists {
+                    self.world.domains.fqdn(&props, idx)
+                } else {
+                    props
+                        .esld
+                        .prepend(format!("alias{}", self.rng.gen_range(0..1_000_000)).as_bytes())
+                        .expect("label fits")
+                };
+                self.resolve(
+                    r,
+                    name,
+                    RecordType::Cname,
+                    Target::Domain {
+                        id,
+                        fqdn_idx: idx,
+                        exists,
+                    },
+                    sink,
+                );
+            }
+            QueryIntent::Soa => {
+                let id = self.zipf_domain();
+                let (props, _, _) = self.world.domain_at(id, self.now);
+                self.resolve(
+                    r,
+                    props.esld.clone(),
+                    RecordType::Soa,
+                    Target::Domain {
+                        id,
+                        fqdn_idx: 0,
+                        exists: true,
+                    },
+                    sink,
+                );
+            }
+            QueryIntent::Ds => {
+                let id = self.zipf_domain();
+                let (props, _, _) = self.world.domain_at(id, self.now);
+                self.resolve(
+                    r,
+                    props.esld.clone(),
+                    RecordType::Ds,
+                    Target::Domain {
+                        id,
+                        fqdn_idx: 0,
+                        exists: true,
+                    },
+                    sink,
+                );
+            }
+            QueryIntent::NsQuery => {
+                if self.rng.gen::<f64>() < 0.86 {
+                    // PRSD: NS for a non-existent .com SLD, DO set for
+                    // maximum amplification.
+                    let nonce: u64 = self.rng.gen();
+                    let name = Name::from_ascii(&format!("prsd-{:010x}.com", nonce & 0xff_ffff_ffff))
+                        .expect("valid prsd name");
+                    self.resolve(r, name, RecordType::Ns, Target::MissingDomain { tld: 0 }, sink);
+                } else {
+                    let id = self.zipf_domain();
+                    let (props, _, _) = self.world.domain_at(id, self.now);
+                    self.resolve(
+                        r,
+                        props.esld.clone(),
+                        RecordType::Ns,
+                        Target::Domain {
+                            id,
+                            fqdn_idx: 0,
+                            exists: true,
+                        },
+                        sink,
+                    );
+                }
+            }
+            QueryIntent::Botnet => {
+                // Mylobot-style DGA: unique FQDNs under a few thousand
+                // non-existent .com SLDs.
+                let sld = self.rng.gen_range(0..4_000u32);
+                let nonce: u64 = self.rng.gen();
+                let name = Name::from_ascii(&format!(
+                    "m{:08x}.dga-{sld:04}.com",
+                    nonce & 0xffff_ffff
+                ))
+                .expect("valid dga name");
+                self.resolve(r, name, RecordType::A, Target::MissingDomain { tld: 0 }, sink);
+            }
+            QueryIntent::Scanner => {
+                if self.rng.gen::<f64>() < 0.5 {
+                    // Non-existent host under an existing domain.
+                    let id = self.zipf_domain();
+                    let (props, _, _) = self.world.domain_at(id, self.now);
+                    let name = props
+                        .esld
+                        .prepend(format!("scan{}", self.rng.gen_range(0..10_000_000)).as_bytes())
+                        .expect("label fits");
+                    self.resolve(
+                        r,
+                        name,
+                        RecordType::A,
+                        Target::Domain {
+                            id,
+                            fqdn_idx: 0,
+                            exists: false,
+                        },
+                        sink,
+                    );
+                } else {
+                    // Junk TLD hitting the root (wpad.localdomain etc.).
+                    let nonce: u64 = self.rng.gen();
+                    let name = Name::from_ascii(&format!(
+                        "wpad.junk{:06x}",
+                        nonce & 0xff_ffff
+                    ))
+                    .expect("valid junk name");
+                    self.resolve(r, name, RecordType::A, Target::BadTld, sink);
+                }
+            }
+        }
+    }
+
+    /// Pick a web FQDN: Zipf domain, popularity-skewed FQDN index, with a
+    /// chance of an ephemeral one-shot name.
+    fn web_name(&mut self) -> (Name, Target) {
+        let id = self.zipf_domain();
+        let (props, _, _) = self.world.domain_at(id, self.now);
+        if self.rng.gen::<f64>() < self.world.cfg.ephemeral_fqdn_prob {
+            let nonce: u64 = self.rng.gen();
+            let name = props
+                .esld
+                .prepend(format!("s{:010x}", nonce & 0xff_ffff_ffff).as_bytes())
+                .expect("label fits");
+            return (
+                name,
+                Target::Domain {
+                    id,
+                    fqdn_idx: (nonce % 1_000_000) as usize,
+                    exists: true,
+                },
+            );
+        }
+        // Square a uniform to skew toward index 0 ("www").
+        let u: f64 = self.rng.gen();
+        let idx = ((u * u) * props.fqdn_count as f64) as usize;
+        let name = self.world.domains.fqdn(&props, idx);
+        (
+            name,
+            Target::Domain {
+                id,
+                fqdn_idx: idx,
+                exists: true,
+            },
+        )
+    }
+
+    fn zipf_domain(&mut self) -> DomainId {
+        self.domain_zipf.rank_for(self.rng.gen())
+    }
+
+    /// A reverse name for a random address, weighted toward real content
+    /// space (203.x, mirroring `fqdn_v4`).
+    fn reverse_name(&mut self) -> Name {
+        if self.rng.gen::<f64>() < 0.97 {
+            let (b, c, d) = (
+                self.rng.gen_range(0..=255u8),
+                self.rng.gen_range(0..=255u8),
+                self.rng.gen_range(1..=254u8),
+            );
+            Name::from_ascii(&format!("{d}.{c}.{b}.203.in-addr.arpa")).expect("valid reverse")
+        } else {
+            // IPv6 reverse: 34 labels (drives Table 2's qdots for PTR).
+            let mut labels: Vec<String> = Vec::with_capacity(34);
+            for _ in 0..32 {
+                labels.push(format!("{:x}", self.rng.gen_range(0..16)));
+            }
+            labels.push("ip6".into());
+            labels.push("arpa".into());
+            Name::from_ascii(&labels.join(".")).expect("valid v6 reverse")
+        }
+    }
+
+    /// Full recursive resolution of `(qname, qtype)` for resolver `r`,
+    /// emitting one transaction per cache-miss hop.
+    fn resolve(
+        &mut self,
+        r: usize,
+        qname: Name,
+        qtype: RecordType,
+        target: Target,
+        sink: &mut dyn FnMut(&Transaction),
+    ) {
+        // 1. Final-answer caches.
+        let now = self.now;
+        {
+            let cache = &mut self.resolvers[r].cache;
+            if cache.probe(&CacheKey::Answer(qname.clone(), qtype), now) == CacheOutcome::Hit
+                || cache.probe(&CacheKey::NxDomain(qname.clone()), now) == CacheOutcome::Hit
+                || cache.probe(&CacheKey::NoData(qname.clone(), qtype), now) == CacheOutcome::Hit
+            {
+                return;
+            }
+        }
+
+        match target {
+            Target::BadTld => {
+                // One root transaction, NXDOMAIN, negative-cache it.
+                // A qmin resolver only exposes the (non-existent) TLD.
+                let probe = if self.resolvers[r].qmin {
+                    qname.suffix(1)
+                } else {
+                    qname.clone()
+                };
+                let q = self.build_query(r, &probe, qtype, false);
+                let server = self.world.root_server(self.rng.gen());
+                let resp = servers::answer_root(self.actx(), &q, None);
+                if self.emit(r, &server, q, resp, sink) {
+                    self.resolvers[r].cache.store(
+                        CacheKey::NxDomain(qname),
+                        now,
+                        UPSTREAM_NEG_TTL,
+                    );
+                }
+            }
+            Target::Reverse { exists } => {
+                let q = self.build_query(r, &qname, qtype, false);
+                // Key the reverse zone off the queried name, not the
+                // resolver: hash the name into a synthetic address so
+                // each reverse zone has a stable server.
+                let h = mix(hash_name(&qname));
+                let zone_addr = std::net::IpAddr::V4(std::net::Ipv4Addr::from((h as u32) | 1));
+                let server = self.world.reverse_server(zone_addr);
+                let resp = servers::answer_reverse(self.actx(), &q, exists);
+                if self.emit(r, &server, q, resp, sink) {
+                    let key = if exists {
+                        CacheKey::Answer(qname, qtype)
+                    } else {
+                        CacheKey::NxDomain(qname)
+                    };
+                    self.resolvers[r].cache.store(key, now, 3_600);
+                }
+            }
+            Target::MissingDomain { tld } => {
+                if !self.ensure_tld_delegation(r, tld, &qname, qtype, sink) {
+                    return;
+                }
+                // TLD query → NXDOMAIN (large if DO). A qmin resolver
+                // only exposes the (non-existent) SLD.
+                let dnssec = qtype == RecordType::Ns || self.resolvers[r].dnssec_ok;
+                let probe = if self.resolvers[r].qmin {
+                    qname.suffix(2)
+                } else {
+                    qname.clone()
+                };
+                let q = self.build_query_full(r, &probe, qtype, dnssec, tld, None);
+                let server = self.world.tld_server(tld, self.rng.gen());
+                let resp = servers::answer_tld(self.actx(), &q, tld, None);
+                if self.emit(r, &server, q, resp, sink) {
+                    self.resolvers[r].cache.store(
+                        CacheKey::NxDomain(qname),
+                        now,
+                        UPSTREAM_NEG_TTL,
+                    );
+                }
+            }
+            Target::Domain {
+                id,
+                fqdn_idx,
+                exists,
+            } => {
+                let (props, addr_epoch, ns_epoch) = self.world.domain_at(id, now);
+                if !self.ensure_tld_delegation(r, props.tld, &qname, qtype, sink) {
+                    return;
+                }
+                // DS is answered by the parent registry.
+                if qtype == RecordType::Ds {
+                    let q = self.build_query(r, &qname, qtype, true);
+                    let server = self.world.tld_server(props.tld, self.rng.gen());
+                    let resp =
+                        servers::answer_tld(self.actx(), &q, props.tld, Some((&props, ns_epoch)));
+                    if self.emit(r, &server, q, resp, sink) {
+                        let key = if props.dnssec {
+                            CacheKey::Answer(qname, qtype)
+                        } else {
+                            CacheKey::NoData(qname, qtype)
+                        };
+                        self.resolvers[r].cache.store(key, now, 3_600);
+                    }
+                    return;
+                }
+                // Domain delegation from the TLD.
+                if self.resolvers[r]
+                    .cache
+                    .probe(&CacheKey::DomainDelegation(id), now)
+                    == CacheOutcome::Miss
+                {
+                    let qmin = self.resolvers[r].qmin;
+                    let q = if qmin {
+                        self.build_query(r, &props.esld, RecordType::A, false)
+                    } else {
+                        self.build_query(r, &qname, qtype, self.resolvers[r].dnssec_ok)
+                    };
+                    let server = self.world.tld_server(props.tld, self.rng.gen());
+                    let resp =
+                        servers::answer_tld(self.actx(), &q, props.tld, Some((&props, ns_epoch)));
+                    if !self.emit(r, &server, q, resp, sink) {
+                        return;
+                    }
+                    self.resolvers[r].cache.store(
+                        CacheKey::DomainDelegation(id),
+                        now,
+                        self.world.cfg.ttl_ns,
+                    );
+                }
+                // Authoritative query: always the full name.
+                let q = self.build_query(r, &qname, qtype, self.resolvers[r].dnssec_ok);
+                let j = self.rng.gen_range(0..props.ns_count);
+                let server = self.world.domain_ns(&props, j, ns_epoch);
+                let resp = servers::answer_auth(
+                    self.actx(),
+                    &q,
+                    &props,
+                    exists,
+                    fqdn_idx,
+                    (addr_epoch, ns_epoch),
+                );
+                if self.emit(r, &server, q, resp.clone(), sink) {
+                    let cache = &mut self.resolvers[r].cache;
+                    // RFC 2308: the negative-caching TTL is the SOA
+                    // minimum advertised in the response's AUTHORITY
+                    // section, not zone configuration the resolver cannot
+                    // see.
+                    let advertised_neg = resp
+                        .authorities
+                        .iter()
+                        .find_map(|rec| match &rec.rdata {
+                            dnswire::RData::Soa(soa) => Some(soa.minimum),
+                            _ => None,
+                        })
+                        .unwrap_or(props.neg_ttl);
+                    match resp.rcode() {
+                        Rcode::NxDomain => {
+                            cache.store(CacheKey::NxDomain(qname), now, advertised_neg)
+                        }
+                        Rcode::NoError if resp.answers.is_empty() => {
+                            cache.store(CacheKey::NoData(qname, qtype), now, advertised_neg)
+                        }
+                        Rcode::NoError => {
+                            let ttl = resp.answers[0].ttl;
+                            cache.store(CacheKey::Answer(qname, qtype), now, ttl)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ensure the TLD delegation is cached, emitting a root transaction if
+    /// not. Returns false when the root query was lost (resolution
+    /// aborted this round).
+    fn ensure_tld_delegation(
+        &mut self,
+        r: usize,
+        tld: usize,
+        qname: &Name,
+        qtype: RecordType,
+        sink: &mut dyn FnMut(&Transaction),
+    ) -> bool {
+        let now = self.now;
+        if self.resolvers[r]
+            .cache
+            .probe(&CacheKey::TldDelegation(tld), now)
+            == CacheOutcome::Hit
+        {
+            return true;
+        }
+        let qmin = self.resolvers[r].qmin;
+        let q = if qmin {
+            let tld_name = Name::from_ascii(self.world.domains.tld_name(tld)).expect("valid tld");
+            self.build_query(r, &tld_name, RecordType::A, false)
+        } else {
+            self.build_query(r, qname, qtype, self.resolvers[r].dnssec_ok)
+        };
+        let server = self.world.root_server(self.rng.gen());
+        let resp = servers::answer_root(self.actx(), &q, Some(tld));
+        if !self.emit(r, &server, q, resp, sink) {
+            return false;
+        }
+        self.resolvers[r]
+            .cache
+            .store(CacheKey::TldDelegation(tld), now, TLD_DELEGATION_TTL);
+        true
+    }
+
+    fn actx(&self) -> AnswerContext<'_> {
+        AnswerContext {
+            world: &self.world,
+            now: self.now,
+            qhash: mix(self.transactions_emitted ^ (self.now.to_bits())),
+        }
+    }
+
+    fn build_query(&mut self, r: usize, qname: &Name, qtype: RecordType, dnssec: bool) -> Message {
+        let id: u16 = self.rng.gen();
+        let mut q = Message::query(id, qname.clone(), qtype);
+        q.edns = Some(Edns {
+            udp_payload_size: 1_232,
+            version: 0,
+            dnssec_ok: dnssec && (self.resolvers[r].dnssec_ok || qtype == RecordType::Ns),
+            options: Vec::new(),
+        });
+        q
+    }
+
+    /// Like `build_query` but allows forcing the DO bit regardless of the
+    /// resolver's policy (PRSD attack traffic).
+    fn build_query_full(
+        &mut self,
+        r: usize,
+        qname: &Name,
+        qtype: RecordType,
+        force_do: bool,
+        _tld: usize,
+        _domain: Option<DomainId>,
+    ) -> Message {
+        let _ = r;
+        let id: u16 = self.rng.gen();
+        let mut q = Message::query(id, qname.clone(), qtype);
+        q.edns = Some(Edns {
+            udp_payload_size: 4_096,
+            version: 0,
+            dnssec_ok: force_do,
+            options: Vec::new(),
+        });
+        q
+    }
+
+    /// Emit one transaction; returns true when it was answered.
+    fn emit(
+        &mut self,
+        r: usize,
+        server: &NsInfo,
+        query: Message,
+        response: Message,
+        sink: &mut dyn FnMut(&Transaction),
+    ) -> bool {
+        self.transactions_emitted += 1;
+        let lost = self.rng.gen::<f64>() < self.world.cfg.loss_rate;
+        let qhash: u64 = self.rng.gen();
+        let delay_ms = self.world.latency.query_delay_ms(r, server, qhash);
+        let (response, response_size, ip_ttl) = if lost {
+            (None, 0, 0)
+        } else {
+            let size = response.to_bytes().expect("response serializes").len();
+            (
+                Some(response),
+                size,
+                self.world.latency.observed_ip_ttl(r, server),
+            )
+        };
+        let tx = Transaction {
+            time: self.now,
+            resolver: self.resolvers[r].ip,
+            contributor: self.resolvers[r].contributor,
+            nameserver: server.ip,
+            query,
+            response,
+            delay_ms,
+            ip_ttl_observed: ip_ttl,
+            response_size,
+        };
+        sink(&tx);
+        !lost
+    }
+}
+
+/// Hash a name's lowercase wire form (used to key reverse zones).
+fn hash_name(name: &Name) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in name.as_wire() {
+        h ^= b.to_ascii_lowercase() as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Simulation {
+        Simulation::from_config(SimConfig::small())
+    }
+
+    #[test]
+    fn produces_transactions_deterministically() {
+        let mut a = sim();
+        let mut b = sim();
+        let ta = a.collect(2.0);
+        let tb = b.collect(2.0);
+        assert!(!ta.is_empty());
+        assert_eq!(ta.len(), tb.len());
+        for (x, y) in ta.iter().zip(&tb) {
+            assert_eq!(x.nameserver, y.nameserver);
+            assert_eq!(x.query, y.query);
+            assert_eq!(x.response_size, y.response_size);
+        }
+    }
+
+    #[test]
+    fn caching_suppresses_repeats() {
+        // With one resolver and no loss, the second wave of arrivals for
+        // the same hot domains must produce far fewer transactions.
+        let cfg = SimConfig {
+            resolvers: 1,
+            contributors: 1,
+            loss_rate: 0.0,
+            domains: 50,
+            ephemeral_fqdn_prob: 0.0,
+            weight_botnet: 0.0,
+            weight_scanner: 0.0,
+            weight_ns: 0.0,
+            weight_txt: 0.0,
+            weight_ptr: 0.0,
+            weight_cname: 0.0,
+            diurnal_amplitude: 0.0,
+            arrivals_per_sec: 500.0,
+            ..SimConfig::default()
+        };
+        let mut s = Simulation::from_config(cfg);
+        let first = s.collect(5.0).len();
+        let second = s.collect(5.0).len();
+        assert!(
+            (second as f64) < 0.35 * first as f64,
+            "second window {second} vs first {first}"
+        );
+    }
+
+    #[test]
+    fn transactions_have_consistent_fields() {
+        let mut s = sim();
+        let txs = s.collect(1.0);
+        assert!(txs.len() > 100, "only {} transactions", txs.len());
+        let mut answered = 0usize;
+        for tx in &txs {
+            assert!(tx.time >= 0.0 && tx.time <= 1.0);
+            assert!(tx.query.questions.len() == 1);
+            if let Some(resp) = &tx.response {
+                answered += 1;
+                assert_eq!(resp.header.id, tx.query.header.id);
+                assert_eq!(resp.questions, tx.query.questions);
+                assert_eq!(
+                    resp.to_bytes().unwrap().len(),
+                    tx.response_size,
+                    "size mismatch"
+                );
+                assert!(tx.ip_ttl_observed > 0);
+                assert!(dnswire::ip::infer_hops(tx.ip_ttl_observed).is_some());
+            }
+            assert!(tx.delay_ms > 0.0);
+        }
+        // Loss rate default 3.5%: answered should dominate.
+        assert!(answered as f64 > 0.9 * txs.len() as f64);
+    }
+
+    #[test]
+    fn observes_all_levels_of_hierarchy() {
+        let mut s = sim();
+        let txs = s.collect(2.0);
+        let mut root = false;
+        let mut gtld = false;
+        let mut auth = false;
+        for tx in &txs {
+            match tx.nameserver {
+                std::net::IpAddr::V4(v4) if v4.octets()[0] == 198 && v4.octets()[1] == 41 => {
+                    root = true
+                }
+                std::net::IpAddr::V4(v4) if v4.octets()[0] == 192 && v4.octets()[3] == 30 => {
+                    gtld = true
+                }
+                _ => {
+                    if tx
+                        .response
+                        .as_ref()
+                        .map(|r| r.header.aa && r.rcode() == Rcode::NoError)
+                        .unwrap_or(false)
+                    {
+                        auth = true;
+                    }
+                }
+            }
+        }
+        assert!(root, "no root transactions seen");
+        assert!(gtld, "no gTLD transactions seen");
+        assert!(auth, "no authoritative answers seen");
+    }
+
+    #[test]
+    fn botnet_traffic_hits_gtld_with_nxdomain() {
+        let cfg = SimConfig {
+            weight_botnet: 100.0,
+            weight_web_dualstack: 0.0,
+            weight_web_v4only: 0.0,
+            weight_ptr: 0.0,
+            weight_txt: 0.0,
+            weight_mx: 0.0,
+            weight_srv: 0.0,
+            weight_cname: 0.0,
+            weight_soa: 0.0,
+            weight_ds: 0.0,
+            weight_ns: 0.0,
+            weight_scanner: 0.0,
+            arrivals_per_sec: 1000.0,
+            loss_rate: 0.0,
+            ..SimConfig::small()
+        };
+        let mut s = Simulation::from_config(cfg);
+        let txs = s.collect(1.0);
+        assert!(!txs.is_empty());
+        // After the root delegation warms up, everything is gTLD NXDOMAIN.
+        let nxd = txs
+            .iter()
+            .filter(|t| {
+                t.response
+                    .as_ref()
+                    .map(|r| r.rcode() == Rcode::NxDomain)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            nxd as f64 > 0.9 * txs.len() as f64,
+            "nxd {} of {}",
+            nxd,
+            txs.len()
+        );
+    }
+
+    #[test]
+    fn qmin_resolvers_minimize_upstream_qnames() {
+        let cfg = SimConfig {
+            qmin_fraction: 1.0, // every resolver minimizes
+            weight_botnet: 0.0,
+            weight_scanner: 0.0,
+            weight_ns: 0.0,
+            weight_ptr: 0.0,
+            weight_txt: 0.0,
+            ..SimConfig::small()
+        };
+        let mut s = Simulation::from_config(cfg);
+        let txs = s.collect(1.0);
+        for tx in &txs {
+            let q = tx.query.question().unwrap();
+            // Root queries (to 198.41/16) must carry at most 1 label.
+            if let std::net::IpAddr::V4(v4) = tx.nameserver {
+                if v4.octets()[0] == 198 && v4.octets()[1] == 41 {
+                    assert!(
+                        q.qname.label_count() <= 1,
+                        "qmin resolver leaked {} to root",
+                        q.qname
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_to_advances_clock() {
+        let mut s = sim();
+        s.skip_to(500.0);
+        assert_eq!(s.now(), 500.0);
+        let txs = s.collect(0.5);
+        assert!(txs.iter().all(|t| t.time >= 500.0));
+    }
+}

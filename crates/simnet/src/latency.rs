@@ -1,0 +1,116 @@
+//! Per-path delay and hop modelling.
+//!
+//! Each `(resolver, nameserver)` pair has a stable path: a delay factor
+//! around the server's median (for anycast this models which mirror the
+//! resolver reaches) and a stable hop count. Individual queries add
+//! lognormal jitter on top.
+
+use crate::addressing::{mix, unit, NsInfo};
+use std::net::IpAddr;
+
+/// Deterministic latency/hops model.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    seed: u64,
+}
+
+impl LatencyModel {
+    /// Build the model from the world seed.
+    pub fn new(seed: u64) -> LatencyModel {
+        LatencyModel { seed }
+    }
+
+    fn pair_hash(&self, resolver: usize, ns_ip: IpAddr) -> u64 {
+        let ip_bits: u128 = match ns_ip {
+            IpAddr::V4(v4) => u32::from(v4) as u128,
+            IpAddr::V6(v6) => u128::from(v6),
+        };
+        mix(self.seed
+            ^ (resolver as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (ip_bits as u64)
+            ^ ((ip_bits >> 64) as u64))
+    }
+
+    /// Stable per-pair delay factor in [0.6, 1.8].
+    pub fn pair_factor(&self, resolver: usize, ns_ip: IpAddr) -> f64 {
+        let h = self.pair_hash(resolver, ns_ip);
+        0.6 + unit(h) * 1.2
+    }
+
+    /// Stable hop count between a resolver and a nameserver.
+    pub fn pair_hops(&self, resolver: usize, ns: &NsInfo) -> u8 {
+        let h = self.pair_hash(resolver, ns.ip);
+        let jitter = (h % 5) as i16 - 2;
+        (ns.hops as i16 + jitter).clamp(1, 30) as u8
+    }
+
+    /// One query's delay in ms: median × pair factor × lognormal jitter.
+    /// `qhash` must vary per query for independent jitter draws.
+    pub fn query_delay_ms(&self, resolver: usize, ns: &NsInfo, qhash: u64) -> f64 {
+        let pair = self.pair_factor(resolver, ns.ip);
+        // Cheap lognormal-ish jitter: exp(σ·z) with z from the sum of two
+        // uniforms (triangular ≈ normal enough for a delay tail).
+        let u1 = unit(mix(qhash ^ 0xD31A));
+        let u2 = unit(mix(qhash ^ 0x10DE));
+        let z = (u1 + u2) - 1.0; // in [-1, 1], mode 0
+        let jitter = (0.55 * z * 2.0).exp();
+        (ns.median_delay_ms * pair * jitter).max(0.2)
+    }
+
+    /// The response packet's IP TTL as observed at the sensor.
+    pub fn observed_ip_ttl(&self, resolver: usize, ns: &NsInfo) -> u8 {
+        ns.initial_ttl.saturating_sub(self.pair_hops(resolver, ns)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addressing::AddressPlan;
+
+    fn model_and_ns() -> (LatencyModel, NsInfo) {
+        let plan = AddressPlan::new(7, 10, 5, 50_000);
+        (LatencyModel::new(7), plan.org_server(3, 0))
+    }
+
+    #[test]
+    fn pair_values_are_stable() {
+        let (m, ns) = model_and_ns();
+        assert_eq!(m.pair_factor(2, ns.ip).to_bits(), m.pair_factor(2, ns.ip).to_bits());
+        assert_eq!(m.pair_hops(2, &ns), m.pair_hops(2, &ns));
+    }
+
+    #[test]
+    fn different_pairs_differ() {
+        let (m, ns) = model_and_ns();
+        let factors: std::collections::HashSet<u64> =
+            (0..10).map(|r| m.pair_factor(r, ns.ip).to_bits()).collect();
+        assert!(factors.len() > 5);
+    }
+
+    #[test]
+    fn delay_is_positive_and_centered() {
+        let (m, ns) = model_and_ns();
+        let mut sum = 0.0;
+        let n = 2000;
+        for q in 0..n {
+            let d = m.query_delay_ms(1, &ns, q);
+            assert!(d > 0.0);
+            sum += d;
+        }
+        let mean = sum / n as f64;
+        // Mean should be within a factor ~2.5 of the server median.
+        assert!(mean > ns.median_delay_ms / 2.5 && mean < ns.median_delay_ms * 2.5,
+            "mean {mean} vs median {}", ns.median_delay_ms);
+    }
+
+    #[test]
+    fn observed_ttl_is_consistent_with_hops() {
+        let (m, ns) = model_and_ns();
+        let ttl = m.observed_ip_ttl(4, &ns);
+        let hops = m.pair_hops(4, &ns);
+        assert_eq!(ttl, ns.initial_ttl - hops);
+        // And dnswire's inference recovers the hop count.
+        assert_eq!(dnswire::ip::infer_hops(ttl), Some(hops));
+    }
+}

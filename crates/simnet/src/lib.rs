@@ -1,0 +1,61 @@
+//! `simnet` — a deterministic, seedable simulation of the global DNS as
+//! seen from above recursive resolvers.
+//!
+//! # Why this exists
+//!
+//! The paper's data source is the Farsight SIE passive DNS feed: hundreds
+//! of sensor-equipped recursive resolvers world-wide, streaming their
+//! cache-miss transactions with authoritative nameservers. That feed is
+//! proprietary; this crate is the substitution (see DESIGN.md §2). It
+//! produces the *same observable*: a stream of
+//! `(time, resolver IP, nameserver IP, query, response, delay, IP TTL)`
+//! tuples whose statistical structure matches what the paper describes —
+//! heavy-tailed domain popularity, shared authoritative infrastructure,
+//! anycast root/gTLD letters, resolver caching (positive and negative, so
+//! only cache misses surface), Happy-Eyeballs dual-stack clients, botnet
+//! DGA floods, PRSD attacks, and scripted infrastructure changes.
+//!
+//! # Architecture
+//!
+//! ```text
+//! ClientMix ──queries──▶ Resolver (cache, qmin?) ──misses──▶ ZoneWorld
+//!      ▲                                                        │
+//!   Workload (Zipf, diurnal, attacks)                 answers (dnswire Messages)
+//!      │                                                        │
+//! Scenario (TTL cuts, renumbering, IPv6 turn-up)                ▼
+//!                              Transaction stream → DNS Observatory
+//! ```
+//!
+//! Determinism: all randomness flows from the single `seed` in
+//! [`SimConfig`]; two runs with the same config produce identical streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addressing;
+mod clients;
+mod config;
+mod domains;
+mod driver;
+mod latency;
+mod rescache;
+mod resolver;
+mod scenario;
+mod servers;
+mod transaction;
+mod world;
+mod zipf;
+
+pub use addressing::{AddressPlan, OrgSpec, ServerClass};
+pub use clients::{ClientProfile, QueryIntent};
+pub use config::SimConfig;
+pub use domains::{DomainId, DomainPlan, DomainProps};
+pub use driver::Simulation;
+pub use latency::LatencyModel;
+pub use rescache::{CacheKey, CacheOutcome, ResolverCache};
+pub use resolver::ResolverState;
+pub use scenario::{ScanFlood, Scenario, ScenarioEvent, ScenarioKind};
+pub use servers::{AnswerContext, ServerKind};
+pub use transaction::Transaction;
+pub use world::World;
+pub use zipf::Zipf;

@@ -1,0 +1,217 @@
+//! The recursive resolver's cache, reduced to what a passive observer can
+//! distinguish: *which queries do not reach authoritative servers*.
+//!
+//! The sensors sit above the resolvers, so the only effect of caching on
+//! the observed stream is suppression. The cache therefore stores
+//! expirable keys, not record data: delegations (per TLD / per domain),
+//! positive answers (per name+type), and negative entries — NXDOMAIN per
+//! name (RFC 2308 §5), NoData per name+type — with the negative TTL taken
+//! from the zone's SOA minimum.
+
+use dnswire::{Name, RecordType};
+use std::collections::HashMap;
+
+use crate::domains::DomainId;
+
+/// What a resolver remembers, keyed by the minimum the simulation needs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// Delegation NS set for a TLD (learned from a root referral).
+    TldDelegation(usize),
+    /// Delegation NS set for a registrable domain (from a TLD referral).
+    DomainDelegation(DomainId),
+    /// A positive final answer for `(name, qtype)`.
+    Answer(Name, RecordType),
+    /// NXDOMAIN for a name (covers every type).
+    NxDomain(Name),
+    /// NoData: the name exists but has no records of this type.
+    NoData(Name, RecordType),
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Entry present and fresh.
+    Hit,
+    /// Absent or expired: the resolver must ask an authoritative server.
+    Miss,
+}
+
+/// TTL-expiring cache with bounded memory.
+#[derive(Debug)]
+pub struct ResolverCache {
+    entries: HashMap<CacheKey, f64>,
+    /// Soft cap; exceeded → sweep expired, then hard-trim arbitrarily.
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResolverCache {
+    /// Create a cache with a soft entry cap.
+    pub fn new(capacity: usize) -> ResolverCache {
+        assert!(capacity > 0);
+        ResolverCache {
+            entries: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Probe for `key` at time `now`, counting hit/miss statistics.
+    /// Expired entries are removed on probe.
+    pub fn probe(&mut self, key: &CacheKey, now: f64) -> CacheOutcome {
+        match self.entries.get(key) {
+            Some(&expiry) if expiry > now => {
+                self.hits += 1;
+                CacheOutcome::Hit
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.misses += 1;
+                CacheOutcome::Miss
+            }
+            None => {
+                self.misses += 1;
+                CacheOutcome::Miss
+            }
+        }
+    }
+
+    /// Insert `key` valid for `ttl` seconds from `now`. A TTL of zero
+    /// means "do not cache".
+    pub fn store(&mut self, key: CacheKey, now: f64, ttl: u32) {
+        if ttl == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.evict(now);
+        }
+        self.entries.insert(key, now + ttl as f64);
+    }
+
+    /// Drop a cached entry (used when a scenario flushes state).
+    pub fn invalidate(&mut self, key: &CacheKey) {
+        self.entries.remove(key);
+    }
+
+    /// Number of live entries (including not-yet-swept expired ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Sweep expired entries; if still over capacity, drop enough
+    /// arbitrary entries to reach 7/8 capacity. Dropping live cache
+    /// entries only creates extra cache misses — safe for correctness,
+    /// and what real resolvers under memory pressure do too.
+    fn evict(&mut self, now: f64) {
+        self.entries.retain(|_, &mut expiry| expiry > now);
+        if self.entries.len() >= self.capacity {
+            let target = self.capacity * 7 / 8;
+            let excess = self.entries.len() - target;
+            let doomed: Vec<CacheKey> = self
+                .entries
+                .keys()
+                .take(excess)
+                .cloned()
+                .collect();
+            for k in doomed {
+                self.entries.remove(&k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn akey(s: &str) -> CacheKey {
+        CacheKey::Answer(Name::from_ascii(s).unwrap(), RecordType::A)
+    }
+
+    #[test]
+    fn miss_then_hit_then_expire() {
+        let mut c = ResolverCache::new(100);
+        let k = akey("www.example.com");
+        assert_eq!(c.probe(&k, 0.0), CacheOutcome::Miss);
+        c.store(k.clone(), 0.0, 60);
+        assert_eq!(c.probe(&k, 30.0), CacheOutcome::Hit);
+        assert_eq!(c.probe(&k, 59.9), CacheOutcome::Hit);
+        assert_eq!(c.probe(&k, 60.1), CacheOutcome::Miss);
+        // The expired entry was removed on probe.
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_ttl_is_not_cached() {
+        let mut c = ResolverCache::new(10);
+        c.store(akey("a.test"), 0.0, 0);
+        assert_eq!(c.probe(&akey("a.test"), 0.01), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn nxdomain_and_nodata_are_distinct_keys() {
+        let mut c = ResolverCache::new(10);
+        let name = Name::from_ascii("x.example").unwrap();
+        c.store(CacheKey::NxDomain(name.clone()), 0.0, 300);
+        assert_eq!(
+            c.probe(&CacheKey::NoData(name.clone(), RecordType::Aaaa), 1.0),
+            CacheOutcome::Miss
+        );
+        assert_eq!(c.probe(&CacheKey::NxDomain(name), 1.0), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut c = ResolverCache::new(64);
+        for i in 0..10_000 {
+            c.store(akey(&format!("h{i}.example.com")), i as f64 * 0.001, 3600);
+        }
+        assert!(c.len() <= 64, "cache grew to {}", c.len());
+    }
+
+    #[test]
+    fn eviction_prefers_expired() {
+        let mut c = ResolverCache::new(4);
+        c.store(akey("old1.test"), 0.0, 1);
+        c.store(akey("old2.test"), 0.0, 1);
+        c.store(akey("live1.test"), 0.0, 1000);
+        // At t=100, inserting past capacity sweeps the expired pair first.
+        c.store(akey("live2.test"), 100.0, 1000);
+        c.store(akey("live3.test"), 100.0, 1000);
+        assert_eq!(c.probe(&akey("live1.test"), 100.0), CacheOutcome::Hit);
+        assert_eq!(c.probe(&akey("old1.test"), 100.0), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut c = ResolverCache::new(8);
+        let k = akey("s.test");
+        c.probe(&k, 0.0);
+        c.store(k.clone(), 0.0, 10);
+        c.probe(&k, 1.0);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = ResolverCache::new(8);
+        let k = CacheKey::DomainDelegation(42);
+        c.store(k.clone(), 0.0, 86_400);
+        assert_eq!(c.probe(&k, 1.0), CacheOutcome::Hit);
+        c.invalidate(&k);
+        assert_eq!(c.probe(&k, 2.0), CacheOutcome::Miss);
+    }
+}

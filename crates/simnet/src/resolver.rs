@@ -1,0 +1,64 @@
+//! Per-resolver state: identity, cache, and behavioural flags.
+
+use crate::rescache::ResolverCache;
+use std::net::IpAddr;
+
+/// One recursive resolver in the vantage-point population.
+#[derive(Debug)]
+pub struct ResolverState {
+    /// Index in the plan (0-based).
+    pub idx: usize,
+    /// The resolver's IP address.
+    pub ip: IpAddr,
+    /// The SIE contributor operating it.
+    pub contributor: u16,
+    /// Whether it performs QNAME minimization (RFC 7816).
+    pub qmin: bool,
+    /// Whether it sets the EDNS DO bit (validating resolver).
+    pub dnssec_ok: bool,
+    /// Its cache.
+    pub cache: ResolverCache,
+}
+
+impl ResolverState {
+    /// Create resolver state with the given cache capacity.
+    pub fn new(
+        idx: usize,
+        ip: IpAddr,
+        contributor: u16,
+        qmin: bool,
+        dnssec_ok: bool,
+        cache_capacity: usize,
+    ) -> ResolverState {
+        ResolverState {
+            idx,
+            ip,
+            contributor,
+            qmin,
+            dnssec_ok,
+            cache: ResolverCache::new(cache_capacity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn construction() {
+        let r = ResolverState::new(
+            3,
+            IpAddr::V4(Ipv4Addr::new(100, 64, 0, 3)),
+            1,
+            true,
+            false,
+            1000,
+        );
+        assert_eq!(r.idx, 3);
+        assert!(r.qmin);
+        assert!(!r.dnssec_ok);
+        assert!(r.cache.is_empty());
+    }
+}

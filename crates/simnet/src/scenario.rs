@@ -1,0 +1,316 @@
+//! Scripted infrastructure changes — the ground truth for the paper's
+//! TTL-dynamics experiments (Figures 7/8, Table 4, §5.3).
+//!
+//! A [`Scenario`] is a set of timed events that override the derived
+//! [`DomainProps`] of specific domains from their `at` time onward. The
+//! experiment harness schedules events, runs the simulation, and can then
+//! verify that the observatory-side detector recovers exactly these
+//! changes (a stronger oracle than the paper's manual DNSDB lookups).
+
+use crate::domains::{DomainId, DomainProps};
+use std::collections::HashMap;
+
+/// What changes at an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// Set the A-record TTL (Fig. 7: `xmsecu.com` went 600 → 10 s).
+    SetATtl(u32),
+    /// Set the negative-caching TTL (SOA minimum).
+    SetNegTtl(u32),
+    /// Publish AAAA records from now on (§5.3 IPv6 turn-up).
+    EnableIpv6,
+    /// Renumber: all address records change (Table 4 "Renumbering").
+    Renumber,
+    /// Replace the NS set — hostnames and addresses (Table 4 "Change NS").
+    ChangeNs,
+    /// Toggle non-conforming variable-TTL behaviour (Table 4 top row).
+    SetNonconforming(bool),
+}
+
+/// One timed change to one domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEvent {
+    /// Stream time (seconds) the change takes effect.
+    pub at: f64,
+    /// Affected domain.
+    pub domain: DomainId,
+    /// The change.
+    pub kind: ScenarioKind,
+}
+
+/// A scripted scan flood: extra queries for *non-existent* names under a
+/// domain, raising its query rate without raising its response rate —
+/// the paper's explanation for SLDs whose traffic rose although their
+/// TTL went up (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanFlood {
+    /// Target domain.
+    pub domain: DomainId,
+    /// Flood active from this stream time…
+    pub start: f64,
+    /// …until this stream time.
+    pub end: f64,
+    /// Extra arrivals per second while active.
+    pub rate: f64,
+}
+
+/// An ordered script of events, indexed per domain.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    by_domain: HashMap<DomainId, Vec<ScenarioEvent>>,
+    floods: Vec<ScanFlood>,
+}
+
+impl Scenario {
+    /// Empty scenario (no overrides).
+    pub fn new() -> Scenario {
+        Scenario::default()
+    }
+
+    /// Build from a list of events (sorted internally per domain).
+    pub fn from_events(events: impl IntoIterator<Item = ScenarioEvent>) -> Scenario {
+        let mut s = Scenario::new();
+        for e in events {
+            s.push(e);
+        }
+        s
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, event: ScenarioEvent) {
+        let list = self.by_domain.entry(event.domain).or_default();
+        list.push(event);
+        list.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("no NaN times"));
+    }
+
+    /// Convenience: the operational choreography the paper describes for a
+    /// planned migration (§4.2) — drop the TTL ahead of the change, make
+    /// the change, raise the TTL afterwards.
+    pub fn planned_change(
+        domain: DomainId,
+        change_at: f64,
+        lead: f64,
+        kind: ScenarioKind,
+        low_ttl: u32,
+        high_ttl: u32,
+    ) -> Vec<ScenarioEvent> {
+        vec![
+            ScenarioEvent {
+                at: change_at - lead,
+                domain,
+                kind: ScenarioKind::SetATtl(low_ttl),
+            },
+            ScenarioEvent {
+                at: change_at,
+                domain,
+                kind,
+            },
+            ScenarioEvent {
+                at: change_at + lead,
+                domain,
+                kind: ScenarioKind::SetATtl(high_ttl),
+            },
+        ]
+    }
+
+    /// Schedule a scan flood.
+    pub fn push_flood(&mut self, flood: ScanFlood) {
+        assert!(flood.end > flood.start && flood.rate > 0.0);
+        self.floods.push(flood);
+    }
+
+    /// Floods active at `now`.
+    pub fn active_floods(&self, now: f64) -> impl Iterator<Item = &ScanFlood> {
+        self.floods
+            .iter()
+            .filter(move |f| f.start <= now && now < f.end)
+    }
+
+    /// Number of domains with scripted events.
+    pub fn affected_domains(&self) -> usize {
+        self.by_domain.len()
+    }
+
+    /// All events scripted for `domain` (any time), in order.
+    pub fn events_for(&self, domain: DomainId) -> &[ScenarioEvent] {
+        self.by_domain
+            .get(&domain)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Apply every event with `at <= now` to `props`, returning
+    /// `(addr_epoch, ns_epoch)` — counters that bump on Renumber/ChangeNs
+    /// so derived addresses and NS names change.
+    pub fn apply(&self, props: &mut DomainProps, now: f64) -> (u32, u32) {
+        let mut addr_epoch = 0;
+        let mut ns_epoch = 0;
+        let Some(events) = self.by_domain.get(&props.id) else {
+            return (0, 0);
+        };
+        for e in events {
+            if e.at > now {
+                break;
+            }
+            match &e.kind {
+                ScenarioKind::SetATtl(ttl) => props.a_ttl = *ttl,
+                ScenarioKind::SetNegTtl(ttl) => props.neg_ttl = *ttl,
+                ScenarioKind::EnableIpv6 => props.has_ipv6 = true,
+                ScenarioKind::Renumber => addr_epoch += 1,
+                ScenarioKind::ChangeNs => {
+                    ns_epoch += 1;
+                    addr_epoch += 1;
+                }
+                ScenarioKind::SetNonconforming(v) => props.nonconforming_ttl = *v,
+            }
+        }
+        (addr_epoch, ns_epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::domains::DomainPlan;
+
+    fn props(id: DomainId) -> DomainProps {
+        DomainPlan::new(&SimConfig::small()).props(id)
+    }
+
+    #[test]
+    fn empty_scenario_changes_nothing() {
+        let s = Scenario::new();
+        let mut p = props(5);
+        let orig = p.clone();
+        assert_eq!(s.apply(&mut p, 1e9), (0, 0));
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn ttl_change_applies_only_after_time() {
+        let s = Scenario::from_events([ScenarioEvent {
+            at: 100.0,
+            domain: 5,
+            kind: ScenarioKind::SetATtl(10),
+        }]);
+        let mut before = props(5);
+        s.apply(&mut before, 99.0);
+        assert_ne!(before.a_ttl, 10);
+        let mut after = props(5);
+        s.apply(&mut after, 100.0);
+        assert_eq!(after.a_ttl, 10);
+    }
+
+    #[test]
+    fn events_apply_in_time_order() {
+        let s = Scenario::from_events([
+            ScenarioEvent { at: 200.0, domain: 1, kind: ScenarioKind::SetATtl(999) },
+            ScenarioEvent { at: 100.0, domain: 1, kind: ScenarioKind::SetATtl(111) },
+        ]);
+        let mut p = props(1);
+        s.apply(&mut p, 150.0);
+        assert_eq!(p.a_ttl, 111);
+        let mut p = props(1);
+        s.apply(&mut p, 250.0);
+        assert_eq!(p.a_ttl, 999);
+    }
+
+    #[test]
+    fn epochs_accumulate() {
+        let s = Scenario::from_events([
+            ScenarioEvent { at: 10.0, domain: 3, kind: ScenarioKind::Renumber },
+            ScenarioEvent { at: 20.0, domain: 3, kind: ScenarioKind::ChangeNs },
+        ]);
+        let mut p = props(3);
+        assert_eq!(s.apply(&mut p, 15.0), (1, 0));
+        let mut p = props(3);
+        assert_eq!(s.apply(&mut p, 25.0), (2, 1));
+    }
+
+    #[test]
+    fn ipv6_turnup() {
+        // Find a domain without IPv6 and enable it.
+        let plan = DomainPlan::new(&SimConfig::small());
+        let id = (1..=200).find(|&i| !plan.props(i).has_ipv6).unwrap();
+        let s = Scenario::from_events([ScenarioEvent {
+            at: 50.0,
+            domain: id,
+            kind: ScenarioKind::EnableIpv6,
+        }]);
+        let mut p = plan.props(id);
+        s.apply(&mut p, 49.0);
+        assert!(!p.has_ipv6);
+        let mut p = plan.props(id);
+        s.apply(&mut p, 51.0);
+        assert!(p.has_ipv6);
+    }
+
+    #[test]
+    fn floods_are_time_windowed() {
+        let mut s = Scenario::new();
+        s.push_flood(ScanFlood {
+            domain: 4,
+            start: 100.0,
+            end: 200.0,
+            rate: 50.0,
+        });
+        assert_eq!(s.active_floods(50.0).count(), 0);
+        assert_eq!(s.active_floods(150.0).count(), 1);
+        assert_eq!(s.active_floods(200.0).count(), 0, "end is exclusive");
+    }
+
+    #[test]
+    fn flood_raises_query_rate_without_responses() {
+        use crate::config::SimConfig;
+        use crate::driver::Simulation;
+        let mut scenario = Scenario::new();
+        scenario.push_flood(ScanFlood {
+            domain: 1,
+            start: 0.0,
+            end: 100.0,
+            rate: 500.0,
+        });
+        let cfg = SimConfig {
+            arrivals_per_sec: 1_000.0,
+            loss_rate: 0.0,
+            ..SimConfig::small()
+        };
+        let mut sim = Simulation::new(cfg, scenario);
+        let mut nxd_dom1 = 0usize;
+        let mut total = 0usize;
+        sim.run(2.0, &mut |tx| {
+            total += 1;
+            let q = tx.query.question().unwrap();
+            if q.qname.to_ascii().contains("dom1.")
+                && tx
+                    .response
+                    .as_ref()
+                    .map(|r| r.rcode() == dnswire::Rcode::NxDomain)
+                    .unwrap_or(false)
+            {
+                nxd_dom1 += 1;
+            }
+        });
+        assert!(
+            nxd_dom1 as f64 > 0.15 * total as f64,
+            "flood NXD share too small: {nxd_dom1}/{total}"
+        );
+    }
+
+    #[test]
+    fn planned_change_choreography() {
+        let events = Scenario::planned_change(9, 1000.0, 300.0, ScenarioKind::Renumber, 30, 86_400);
+        assert_eq!(events.len(), 3);
+        let s = Scenario::from_events(events);
+        let mut p = props(9);
+        s.apply(&mut p, 800.0);
+        assert_eq!(p.a_ttl, 30); // lowered ahead of the change
+        let mut p = props(9);
+        let (addr, _) = s.apply(&mut p, 1400.0);
+        assert_eq!(addr, 1);
+        assert_eq!(p.a_ttl, 86_400); // raised after
+        assert_eq!(s.events_for(9).len(), 3);
+        assert_eq!(s.affected_domains(), 1);
+    }
+}

@@ -1,0 +1,726 @@
+//! Authoritative answer synthesis: given a query and its place in the
+//! delegation tree, produce the `dnswire::Message` a real server would
+//! return — referrals with glue, authoritative answers, NXDOMAIN and
+//! NoData with SOA, DNSSEC records when the querier set DO, and the
+//! deliberately non-conforming variable TTLs of Table 4.
+
+use crate::addressing::mix;
+use crate::domains::DomainProps;
+use crate::world::World;
+use dnswire::{Edns, Message, Name, RData, Rcode, Record, RecordType, Rrsig, Soa};
+
+/// Which server in the hierarchy is answering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// A root letter.
+    Root,
+    /// A gTLD or ccTLD registry server for TLD index `usize`.
+    Tld(usize),
+    /// The authoritative server of a registrable domain.
+    Auth,
+    /// A reverse-DNS (in-addr.arpa) server.
+    Reverse,
+}
+
+/// Everything the answer synthesizer needs besides the query itself.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerContext<'a> {
+    /// The world (plans, scenario).
+    pub world: &'a World,
+    /// Stream time.
+    pub now: f64,
+    /// Per-query entropy for jittered choices.
+    pub qhash: u64,
+}
+
+/// TTL of delegation NS records served by root/TLD.
+const DELEGATION_TTL: u32 = 86_400;
+/// Negative TTL in the root zone SOA.
+const ROOT_NEG_TTL: u32 = 900;
+/// Negative TTL in TLD zone SOAs.
+const TLD_NEG_TTL: u32 = 900;
+/// TTL for PTR records.
+const PTR_TTL: u32 = 86_400;
+
+fn base_response(query: &Message, rcode: Rcode, aa: bool) -> Message {
+    let mut resp = Message::response_to(query, rcode);
+    resp.header.aa = aa;
+    // Echo EDNS when the querier used it (needed to carry DO + RRSIGs).
+    if let Some(edns) = &query.edns {
+        resp.edns = Some(Edns {
+            udp_payload_size: 1232,
+            version: 0,
+            dnssec_ok: edns.dnssec_ok,
+            options: Vec::new(),
+        });
+    }
+    resp
+}
+
+fn wants_dnssec(query: &Message) -> bool {
+    query.edns.as_ref().map(|e| e.dnssec_ok).unwrap_or(false)
+}
+
+fn soa_record(zone: Name, mname: Name, neg_ttl: u32, serial: u32) -> Record {
+    let rname = mname
+        .prepend(b"hostmaster")
+        .unwrap_or_else(|_| mname.clone());
+    Record::new(
+        zone,
+        neg_ttl,
+        RData::Soa(Soa {
+            mname,
+            rname,
+            serial,
+            refresh: 7_200,
+            retry: 900,
+            expire: 1_209_600,
+            minimum: neg_ttl,
+        }),
+    )
+}
+
+/// A fake RRSIG covering `rtype` for `owner`, signed by `signer`.
+fn fake_rrsig(owner: Name, rtype: RecordType, ttl: u32, signer: Name, qhash: u64) -> Record {
+    Record::new(
+        owner,
+        ttl,
+        RData::Rrsig(Rrsig {
+            type_covered: rtype,
+            algorithm: 8,
+            labels: 2,
+            original_ttl: ttl,
+            expiration: 1_560_000_000,
+            inception: 1_550_000_000,
+            key_tag: (qhash % 65_536) as u16,
+            signer,
+            signature: vec![0xa5; 96],
+        }),
+    )
+}
+
+/// An opaque NSEC3 record used to bulk up signed NXDOMAIN responses.
+fn fake_nsec3(zone: &Name, qhash: u64) -> Record {
+    let label = format!("{:032x}", qhash as u128 | 0x1);
+    let owner = zone.prepend(label.as_bytes()).unwrap_or_else(|_| zone.clone());
+    Record::new(
+        owner,
+        TLD_NEG_TTL,
+        RData::Unknown {
+            rtype: 50, // NSEC3
+            data: vec![0x01, 0x00, 0x00, 0x05, 0x04, 0xde, 0xad, 0xbe, 0xef, 20]
+                .into_iter()
+                .chain(std::iter::repeat_n(0x3c, 30))
+                .collect(),
+        },
+    )
+}
+
+/// Root server answering `query`. `tld` is the index of the queried
+/// name's TLD in the plan, or `None` when the TLD does not exist.
+pub fn answer_root(ctx: AnswerContext<'_>, query: &Message, tld: Option<usize>) -> Message {
+    let Some(q) = query.question() else {
+        return base_response(query, Rcode::FormErr, false);
+    };
+    match tld {
+        Some(tld_idx) => {
+            // Referral: NS set for the TLD plus one glue address.
+            let mut resp = base_response(query, Rcode::NoError, false);
+            let tld_name = Name::from_ascii(ctx.world.domains.tld_name(tld_idx))
+                .expect("tld names are valid");
+            let servers = if ctx.world.domains.tld_is_gtld(tld_idx) { 13 } else { 2 };
+            for j in 0..servers {
+                let ns_name = tld_ns_name(ctx.world, tld_idx, j);
+                resp.authorities.push(Record::new(
+                    tld_name.clone(),
+                    DELEGATION_TTL * 2,
+                    RData::Ns(ns_name),
+                ));
+            }
+            // One glue record keeps referral sizes realistic.
+            let glue_ns = ctx.world.tld_server(tld_idx, ctx.qhash);
+            if let std::net::IpAddr::V4(v4) = glue_ns.ip {
+                resp.additionals.push(Record::new(
+                    tld_ns_name(ctx.world, tld_idx, 0),
+                    DELEGATION_TTL * 2,
+                    RData::A(v4),
+                ));
+            }
+            resp
+        }
+        None => {
+            let mut resp = base_response(query, Rcode::NxDomain, true);
+            resp.authorities.push(soa_record(
+                Name::root(),
+                Name::from_ascii("a.root-servers.net").unwrap(),
+                ROOT_NEG_TTL,
+                2_019_040_100,
+            ));
+            if wants_dnssec(query) {
+                resp.authorities.push(fake_nsec3(&Name::root(), ctx.qhash));
+                resp.authorities.push(fake_rrsig(
+                    Name::root(),
+                    RecordType::Soa,
+                    ROOT_NEG_TTL,
+                    Name::root(),
+                    ctx.qhash,
+                ));
+            }
+            let _ = q;
+            resp
+        }
+    }
+}
+
+/// Hostname of TLD server `j`, e.g. `a.gtld-servers.net` / `ns1.nic.de`.
+fn tld_ns_name(world: &World, tld: usize, j: usize) -> Name {
+    if world.domains.tld_is_gtld(tld) {
+        let letter = (b'a' + (j % 13) as u8) as char;
+        Name::from_ascii(&format!("{letter}.gtld-servers.net")).unwrap()
+    } else {
+        Name::from_ascii(&format!("ns{}.nic.{}", j + 1, world.domains.tld_name(tld))).unwrap()
+    }
+}
+
+/// TLD registry server answering `query` for a name under TLD `tld`.
+/// `domain` carries the registered domain's properties when it exists.
+pub fn answer_tld(
+    ctx: AnswerContext<'_>,
+    query: &Message,
+    tld: usize,
+    domain: Option<(&DomainProps, u32)>,
+) -> Message {
+    let tld_name = Name::from_ascii(ctx.world.domains.tld_name(tld)).expect("valid tld");
+    let Some(q) = query.question() else {
+        return base_response(query, Rcode::FormErr, false);
+    };
+    match domain {
+        Some((props, ns_epoch)) => {
+            // DS queries are answered *by the parent*, authoritatively.
+            if q.qtype == RecordType::Ds {
+                return answer_ds(ctx, query, &tld_name, props);
+            }
+            // Referral to the domain's nameservers, with glue.
+            let mut resp = base_response(query, Rcode::NoError, false);
+            for j in 0..props.ns_count {
+                let ns_name = ctx.world.domain_ns_name(props, j, ns_epoch);
+                resp.authorities.push(Record::new(
+                    props.esld.clone(),
+                    ctx.world.cfg.ttl_ns,
+                    RData::Ns(ns_name.clone()),
+                ));
+                let info = ctx.world.domain_ns(props, j, ns_epoch);
+                match info.ip {
+                    std::net::IpAddr::V4(v4) => resp
+                        .additionals
+                        .push(Record::new(ns_name, ctx.world.cfg.ttl_ns, RData::A(v4))),
+                    std::net::IpAddr::V6(v6) => resp
+                        .additionals
+                        .push(Record::new(ns_name, ctx.world.cfg.ttl_ns, RData::Aaaa(v6))),
+                }
+            }
+            resp
+        }
+        None => {
+            // NXDOMAIN from the registry; signed zones (.com) return the
+            // full NSEC3 + RRSIG proof, which is what makes PRSD NXDOMAIN
+            // responses so large (Table 2's 835-byte NS row).
+            let mut resp = base_response(query, Rcode::NxDomain, true);
+            let mname = tld_ns_name(ctx.world, tld, 0);
+            resp.authorities
+                .push(soa_record(tld_name.clone(), mname, TLD_NEG_TTL, 1_556_000_000));
+            if wants_dnssec(query) && ctx.world.domains.tld_is_gtld(tld) {
+                for k in 0..3u64 {
+                    resp.authorities.push(fake_nsec3(&tld_name, ctx.qhash ^ k));
+                    resp.authorities.push(fake_rrsig(
+                        tld_name.clone(),
+                        RecordType::Unknown(50),
+                        TLD_NEG_TTL,
+                        tld_name.clone(),
+                        ctx.qhash ^ k,
+                    ));
+                }
+            }
+            resp
+        }
+    }
+}
+
+/// DS answer from the parent registry.
+fn answer_ds(
+    ctx: AnswerContext<'_>,
+    query: &Message,
+    tld_name: &Name,
+    props: &DomainProps,
+) -> Message {
+    if props.dnssec {
+        let mut resp = base_response(query, Rcode::NoError, true);
+        resp.answers.push(Record::new(
+            props.esld.clone(),
+            86_400,
+            RData::Ds(dnswire::Ds {
+                key_tag: (mix(props.id) % 65_536) as u16,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![0x5d; 32],
+            }),
+        ));
+        if wants_dnssec(query) {
+            resp.answers.push(fake_rrsig(
+                props.esld.clone(),
+                RecordType::Ds,
+                86_400,
+                tld_name.clone(),
+                ctx.qhash,
+            ));
+        }
+        resp
+    } else {
+        // Unsigned child: NoData with the TLD SOA.
+        let mut resp = base_response(query, Rcode::NoError, true);
+        resp.authorities.push(soa_record(
+            tld_name.clone(),
+            tld_ns_name(ctx.world, props.tld, 0),
+            TLD_NEG_TTL,
+            1_556_000_001,
+        ));
+        resp
+    }
+}
+
+/// Effective record TTL, honouring the non-conforming servers of Table 4
+/// that return a different, decreasing TTL on every query.
+fn effective_ttl(props: &DomainProps, base: u32, qhash: u64) -> u32 {
+    if props.nonconforming_ttl {
+        // A different value on every response, as dns.widhost.net did
+        // (decreasing values below 1024). The 1..=255 range keeps the
+        // churn visible within minutes of observation.
+        1 + (mix(qhash) % 255) as u32
+    } else {
+        base
+    }
+}
+
+/// The domain's authoritative server answering `query`.
+///
+/// * `fqdn_exists` — whether the queried name exists in the zone;
+/// * `fqdn_idx` — which stable FQDN it is (drives published addresses);
+/// * `epochs` — `(addr_epoch, ns_epoch)` from the scenario.
+pub fn answer_auth(
+    ctx: AnswerContext<'_>,
+    query: &Message,
+    props: &DomainProps,
+    fqdn_exists: bool,
+    fqdn_idx: usize,
+    epochs: (u32, u32),
+) -> Message {
+    let Some(q) = query.question() else {
+        return base_response(query, Rcode::FormErr, true);
+    };
+    let (addr_epoch, ns_epoch) = epochs;
+    let qname = q.qname.clone();
+
+    if !fqdn_exists {
+        let mut resp = base_response(query, Rcode::NxDomain, true);
+        resp.authorities.push(soa_record(
+            props.esld.clone(),
+            ctx.world.domain_ns_name(props, 0, ns_epoch),
+            props.neg_ttl,
+            props.id as u32,
+        ));
+        return resp;
+    }
+
+    let mut resp = base_response(query, Rcode::NoError, true);
+    let nodata = |ctx: AnswerContext<'_>, mut resp: Message| {
+        // §5.4 remedy 2: when zones split negative-caching semantics,
+        // NoData advertises a negative TTL aligned with the A TTL while
+        // NXDOMAIN (handled above) keeps the short SOA minimum.
+        let neg = if ctx.world.cfg.remedy_split_negative {
+            props.neg_ttl.max(props.a_ttl)
+        } else {
+            props.neg_ttl
+        };
+        resp.authorities.push(soa_record(
+            props.esld.clone(),
+            ctx.world.domain_ns_name(props, 0, ns_epoch),
+            neg,
+            props.id as u32,
+        ));
+        resp
+    };
+
+    match q.qtype {
+        RecordType::A | RecordType::Any => {
+            let ttl = effective_ttl(props, props.a_ttl, ctx.qhash);
+            let addrs = 1 + (mix(props.id ^ fqdn_idx as u64) % 2) as usize;
+            for k in 0..addrs {
+                resp.answers.push(Record::new(
+                    qname.clone(),
+                    ttl,
+                    RData::A(ctx.world.fqdn_v4(props, fqdn_idx, k, addr_epoch)),
+                ));
+            }
+            if q.qtype == RecordType::Any && props.has_ipv6 {
+                resp.answers.push(Record::new(
+                    qname.clone(),
+                    effective_ttl(props, props.aaaa_ttl, ctx.qhash ^ 1),
+                    RData::Aaaa(ctx.world.fqdn_v6(props, fqdn_idx, 0, addr_epoch)),
+                ));
+            }
+            if props.dnssec && wants_dnssec(query) {
+                resp.answers.push(fake_rrsig(
+                    qname.clone(),
+                    RecordType::A,
+                    ttl,
+                    props.esld.clone(),
+                    ctx.qhash,
+                ));
+            }
+        }
+        RecordType::Aaaa => {
+            if props.has_ipv6 {
+                let ttl = effective_ttl(props, props.aaaa_ttl, ctx.qhash);
+                resp.answers.push(Record::new(
+                    qname.clone(),
+                    ttl,
+                    RData::Aaaa(ctx.world.fqdn_v6(props, fqdn_idx, 0, addr_epoch)),
+                ));
+                if props.dnssec && wants_dnssec(query) {
+                    resp.answers.push(fake_rrsig(
+                        qname.clone(),
+                        RecordType::Aaaa,
+                        ttl,
+                        props.esld.clone(),
+                        ctx.qhash,
+                    ));
+                }
+            } else {
+                // The Happy Eyeballs pathology: NoData with the SOA whose
+                // minimum is the (possibly tiny) negative-caching TTL.
+                resp = nodata(ctx, resp);
+            }
+        }
+        RecordType::Ns => {
+            for j in 0..props.ns_count {
+                resp.answers.push(Record::new(
+                    props.esld.clone(),
+                    effective_ttl(props, ctx.world.cfg.ttl_ns, ctx.qhash ^ j as u64),
+                    RData::Ns(ctx.world.domain_ns_name(props, j, ns_epoch)),
+                ));
+            }
+        }
+        RecordType::Mx
+            if props.has_mx => {
+                for pref in [10u16, 20] {
+                    let mx = props
+                        .esld
+                        .prepend(format!("mx{}", pref / 10).as_bytes())
+                        .expect("label fits");
+                    resp.answers.push(Record::new(
+                        qname.clone(),
+                        effective_ttl(props, ctx.world.cfg.ttl_mx, ctx.qhash),
+                        RData::Mx(dnswire::Mx {
+                            preference: pref,
+                            exchange: mx,
+                        }),
+                    ));
+                }
+            }
+        RecordType::Txt => {
+            // TXT-over-DNS custom protocols answer with an opaque blob and
+            // a tiny TTL (paper §3.4).
+            let payload = format!(
+                "v=resp h={:016x} t={} flags=0x{:04x}",
+                mix(ctx.qhash),
+                ctx.now as u64,
+                (ctx.qhash % 0xffff) as u16
+            );
+            let ttl = if props.txt_service {
+                ctx.world.cfg.ttl_txt
+            } else {
+                effective_ttl(props, 3_600, ctx.qhash)
+            };
+            resp.answers.push(Record::new(
+                qname.clone(),
+                ttl,
+                RData::Txt(vec![payload.into_bytes(), vec![0x42; 48]]),
+            ));
+        }
+        RecordType::Srv
+            if props.has_srv => {
+                resp.answers.push(Record::new(
+                    qname.clone(),
+                    300,
+                    RData::Srv(dnswire::SvcRecord {
+                        priority: 0,
+                        weight: 5,
+                        port: 5_060,
+                        target: ctx.world.domains.fqdn(props, 0),
+                    }),
+                ));
+            }
+        RecordType::Cname
+            // Explicit CNAME query: answer the alias if this FQDN is one.
+            if fqdn_idx % 3 == 2 => {
+                resp.answers.push(Record::new(
+                    qname.clone(),
+                    300,
+                    RData::Cname(ctx.world.domains.fqdn(props, 0)),
+                ));
+            }
+        RecordType::Soa => {
+            resp.answers.push(soa_record(
+                props.esld.clone(),
+                ctx.world.domain_ns_name(props, 0, ns_epoch),
+                props.neg_ttl,
+                props.id as u32,
+            ));
+        }
+        _ => {
+            resp = nodata(ctx, resp);
+        }
+    }
+    resp
+}
+
+/// A reverse-DNS server answering a PTR query. `exists` controls PTR
+/// record vs NXDOMAIN (29 % of PTR queries hit unassigned space, Table 2).
+pub fn answer_reverse(ctx: AnswerContext<'_>, query: &Message, exists: bool) -> Message {
+    let Some(q) = query.question() else {
+        return base_response(query, Rcode::FormErr, true);
+    };
+    if exists {
+        let mut resp = base_response(query, Rcode::NoError, true);
+        let target = Name::from_ascii(&format!(
+            "host-{:x}.isp{}.net",
+            mix(ctx.qhash) % 0xffff_ffff,
+            ctx.qhash % 97
+        ))
+        .expect("valid ptr target");
+        resp.answers
+            .push(Record::new(q.qname.clone(), PTR_TTL, RData::Ptr(target)));
+        resp
+    } else {
+        let zone = q.qname.suffix(3.min(q.qname.label_count()));
+        let mut resp = base_response(query, Rcode::NxDomain, true);
+        resp.authorities.push(soa_record(
+            zone.clone(),
+            zone.prepend(b"ns1").unwrap_or(zone),
+            3_600,
+            1,
+        ));
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::scenario::Scenario;
+
+    fn world() -> World {
+        World::new(SimConfig::small(), Scenario::new())
+    }
+
+    fn ctx(world: &World) -> AnswerContext<'_> {
+        AnswerContext {
+            world,
+            now: 100.0,
+            qhash: 0xabc,
+        }
+    }
+
+    fn query(name: &str, qtype: RecordType) -> Message {
+        Message::query(1, Name::from_ascii(name).unwrap(), qtype)
+    }
+
+    fn query_do(name: &str, qtype: RecordType) -> Message {
+        let mut q = query(name, qtype);
+        q.edns = Some(Edns {
+            dnssec_ok: true,
+            ..Edns::default()
+        });
+        q
+    }
+
+    #[test]
+    fn root_referral_for_existing_tld() {
+        let w = world();
+        let q = query("www.dom1.com", RecordType::A);
+        let resp = answer_root(ctx(&w), &q, Some(0));
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert!(!resp.header.aa);
+        assert_eq!(resp.answers.len(), 0);
+        assert_eq!(resp.authorities.len(), 13); // gTLD letters
+        assert!(!resp.additionals.is_empty()); // glue
+    }
+
+    #[test]
+    fn root_nxdomain_for_bad_tld() {
+        let w = world();
+        let q = query("foo.notarealtld12345", RecordType::A);
+        let resp = answer_root(ctx(&w), &q, None);
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+        assert!(resp.header.aa);
+        assert!(matches!(resp.authorities[0].rdata, RData::Soa(_)));
+    }
+
+    #[test]
+    fn tld_referral_and_nxdomain_sizes() {
+        let w = world();
+        let (props, _, e) = w.domain_at(1, 0.0);
+        let q = query(&format!("www.{}", props.esld), RecordType::A);
+        let referral = answer_tld(ctx(&w), &q, props.tld, Some((&props, e)));
+        assert_eq!(referral.rcode(), Rcode::NoError);
+        assert_eq!(referral.authorities.len(), props.ns_count);
+        assert_eq!(referral.additionals.len(), props.ns_count);
+
+        // Signed NXDOMAIN from .com must be much larger than the plain one.
+        let plain = answer_tld(ctx(&w), &query("x.mylo1.com", RecordType::Ns), 0, None);
+        let signed = answer_tld(ctx(&w), &query_do("x.mylo1.com", RecordType::Ns), 0, None);
+        let plain_len = plain.to_bytes().unwrap().len();
+        let signed_len = signed.to_bytes().unwrap().len();
+        assert_eq!(plain.rcode(), Rcode::NxDomain);
+        assert!(signed_len > 3 * plain_len, "{signed_len} vs {plain_len}");
+        assert!(signed_len > 600, "signed NXD should approach Table 2's 835 B: {signed_len}");
+    }
+
+    #[test]
+    fn auth_a_answer() {
+        let w = world();
+        let (props, ae, ne) = w.domain_at(1, 0.0);
+        let fqdn = w.domains.fqdn(&props, 0);
+        let q = query(&fqdn.to_ascii(), RecordType::A);
+        let resp = answer_auth(ctx(&w), &q, &props, true, 0, (ae, ne));
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert!(resp.header.aa);
+        assert!(!resp.answers.is_empty());
+        assert!(matches!(resp.answers[0].rdata, RData::A(_)));
+        assert_eq!(resp.answers[0].ttl, props.a_ttl);
+    }
+
+    #[test]
+    fn auth_aaaa_nodata_for_v4only() {
+        let w = world();
+        let id = (1..=2000)
+            .find(|&i| !w.domain_at(i, 0.0).0.has_ipv6 && !w.domain_at(i, 0.0).0.nonconforming_ttl)
+            .unwrap();
+        let (props, ae, ne) = w.domain_at(id, 0.0);
+        let fqdn = w.domains.fqdn(&props, 0);
+        let q = query(&fqdn.to_ascii(), RecordType::Aaaa);
+        let resp = answer_auth(ctx(&w), &q, &props, true, 0, (ae, ne));
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert!(resp.answers.is_empty(), "NoData must have empty answer");
+        // SOA minimum carries the negative TTL.
+        match &resp.authorities[0].rdata {
+            RData::Soa(soa) => assert_eq!(soa.minimum, props.neg_ttl),
+            other => panic!("expected SOA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_nxdomain_for_missing_fqdn() {
+        let w = world();
+        let (props, ae, ne) = w.domain_at(2, 0.0);
+        let q = query(&format!("nosuchhost.{}", props.esld), RecordType::A);
+        let resp = answer_auth(ctx(&w), &q, &props, false, 0, (ae, ne));
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+        assert!(resp.answers.is_empty());
+    }
+
+    #[test]
+    fn nonconforming_ttl_varies() {
+        let w = world();
+        let id = (1..=2000)
+            .find(|&i| w.domain_at(i, 0.0).0.nonconforming_ttl)
+            .expect("config guarantees some nonconforming domains");
+        let (props, ae, ne) = w.domain_at(id, 0.0);
+        let fqdn = w.domains.fqdn(&props, 0);
+        let q = query(&fqdn.to_ascii(), RecordType::A);
+        let mut ttls = std::collections::HashSet::new();
+        for i in 0..10u64 {
+            let c = AnswerContext {
+                world: &w,
+                now: 0.0,
+                qhash: i,
+            };
+            let resp = answer_auth(c, &q, &props, true, 0, (ae, ne));
+            let ttl = resp.answers[0].ttl;
+            assert!(ttl < 1_024);
+            ttls.insert(ttl);
+        }
+        assert!(ttls.len() > 3, "TTL should vary: {ttls:?}");
+    }
+
+    #[test]
+    fn ds_from_parent() {
+        let w = world();
+        let signed = (1..=2000).find(|&i| w.domain_at(i, 0.0).0.dnssec).unwrap();
+        let (props, _, e) = w.domain_at(signed, 0.0);
+        let q = query_do(&props.esld.to_ascii(), RecordType::Ds);
+        let resp = answer_tld(ctx(&w), &q, props.tld, Some((&props, e)));
+        assert!(resp.header.aa, "DS answers come authoritatively from the parent");
+        assert!(matches!(resp.answers[0].rdata, RData::Ds(_)));
+
+        let unsigned = (1..=2000).find(|&i| !w.domain_at(i, 0.0).0.dnssec).unwrap();
+        let (props, _, e) = w.domain_at(unsigned, 0.0);
+        let q = query(&props.esld.to_ascii(), RecordType::Ds);
+        let resp = answer_tld(ctx(&w), &q, props.tld, Some((&props, e)));
+        assert!(resp.answers.is_empty());
+        assert!(matches!(resp.authorities[0].rdata, RData::Soa(_)));
+    }
+
+    #[test]
+    fn reverse_ptr() {
+        let w = world();
+        let q = query("4.3.2.1.in-addr.arpa", RecordType::Ptr);
+        let hit = answer_reverse(ctx(&w), &q, true);
+        assert!(matches!(hit.answers[0].rdata, RData::Ptr(_)));
+        assert_eq!(hit.answers[0].ttl, PTR_TTL);
+        let miss = answer_reverse(ctx(&w), &q, false);
+        assert_eq!(miss.rcode(), Rcode::NxDomain);
+    }
+
+    #[test]
+    fn ipv6_enabled_domain_answers_aaaa() {
+        let w = world();
+        let id = (1..=2000).find(|&i| w.domain_at(i, 0.0).0.has_ipv6).unwrap();
+        let (props, ae, ne) = w.domain_at(id, 0.0);
+        let fqdn = w.domains.fqdn(&props, 0);
+        let q = query(&fqdn.to_ascii(), RecordType::Aaaa);
+        let resp = answer_auth(ctx(&w), &q, &props, true, 0, (ae, ne));
+        assert!(matches!(resp.answers[0].rdata, RData::Aaaa(_)));
+    }
+
+    #[test]
+    fn all_answers_serialize() {
+        // Every answer path must produce a valid wire message.
+        let w = world();
+        let (props, ae, ne) = w.domain_at(3, 0.0);
+        let fqdn = w.domains.fqdn(&props, 0).to_ascii();
+        for qtype in [
+            RecordType::A,
+            RecordType::Aaaa,
+            RecordType::Ns,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Srv,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ds,
+            RecordType::Any,
+        ] {
+            let q = query_do(&fqdn, qtype);
+            let resp = if qtype == RecordType::Ds {
+                answer_tld(ctx(&w), &q, props.tld, Some((&props, ne)))
+            } else {
+                answer_auth(ctx(&w), &q, &props, true, 0, (ae, ne))
+            };
+            let bytes = resp.to_bytes().expect("serializes");
+            let parsed = Message::parse(&bytes).expect("reparses");
+            assert_eq!(parsed.rcode(), resp.rcode(), "qtype {qtype}");
+        }
+    }
+}

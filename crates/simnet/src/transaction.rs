@@ -1,0 +1,129 @@
+//! The observable unit: one resolver↔nameserver DNS transaction.
+
+use dnswire::{ip, Message};
+use std::net::IpAddr;
+
+/// One cache-miss DNS transaction as a passive sensor sees it
+/// (paper §2.1): the query, the response (if any), precise timing, and
+/// the IP-level evidence used for hop inference.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// Stream time of the query, seconds since simulation start.
+    pub time: f64,
+    /// Recursive resolver address (source of the query).
+    pub resolver: IpAddr,
+    /// SIE contributor operating the resolver.
+    pub contributor: u16,
+    /// Authoritative nameserver address (destination of the query).
+    pub nameserver: IpAddr,
+    /// The parsed query message.
+    pub query: Message,
+    /// The parsed response, `None` when the query went unanswered.
+    pub response: Option<Message>,
+    /// Server response delay in milliseconds (query→response at the
+    /// resolver); meaningless when `response` is `None`.
+    pub delay_ms: f64,
+    /// IP TTL of the *response* packet as received at the sensor; used to
+    /// infer the hop count via [`dnswire::ip::infer_hops`].
+    pub ip_ttl_observed: u8,
+    /// Size of the response DNS payload in bytes (0 if unanswered).
+    pub response_size: usize,
+}
+
+/// UDP source port used for resolver-originated queries in raw packets.
+const RESOLVER_PORT: u16 = 43210;
+
+impl Transaction {
+    /// Serialize this transaction into raw IP/UDP packets, exactly as a
+    /// passive sensor would capture them: `(query packet, response
+    /// packet)`. The query packet carries a plausible client-side IP TTL;
+    /// the response packet carries the observed TTL recorded at capture.
+    pub fn to_packets(&self) -> (Vec<u8>, Option<Vec<u8>>) {
+        let qbytes = self.query.to_bytes().expect("query serializes");
+        let qpkt = ip::build_udp_packet(
+            self.resolver,
+            self.nameserver,
+            RESOLVER_PORT,
+            53,
+            64,
+            &qbytes,
+        );
+        let rpkt = self.response.as_ref().map(|resp| {
+            let rbytes = resp.to_bytes().expect("response serializes");
+            ip::build_udp_packet(
+                self.nameserver,
+                self.resolver,
+                53,
+                RESOLVER_PORT,
+                self.ip_ttl_observed,
+                &rbytes,
+            )
+        });
+        (qpkt, rpkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::{Name, RecordType};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn packets_roundtrip_through_dnswire() {
+        let query = Message::query(
+            77,
+            Name::from_ascii("www.example.com").unwrap(),
+            RecordType::A,
+        );
+        let mut response = Message::response_to(&query, dnswire::Rcode::NoError);
+        response.header.aa = true;
+        let tx = Transaction {
+            time: 1.5,
+            resolver: IpAddr::V4(Ipv4Addr::new(100, 64, 0, 1)),
+            contributor: 3,
+            nameserver: IpAddr::V4(Ipv4Addr::new(40, 0, 0, 53)),
+            query: query.clone(),
+            response: Some(response.clone()),
+            delay_ms: 12.0,
+            ip_ttl_observed: 57,
+            response_size: response.to_bytes().unwrap().len(),
+        };
+        let (qpkt, rpkt) = tx.to_packets();
+        let qdg = ip::parse_udp_packet(&qpkt).unwrap();
+        assert_eq!(qdg.ip.src, tx.resolver);
+        assert_eq!(qdg.ip.dst, tx.nameserver);
+        assert_eq!(qdg.udp.dst_port, 53);
+        let qparsed =
+            Message::parse(&qpkt[qdg.payload_offset..qdg.payload_offset + qdg.payload_len])
+                .unwrap();
+        assert_eq!(qparsed, query);
+
+        let rpkt = rpkt.unwrap();
+        let rdg = ip::parse_udp_packet(&rpkt).unwrap();
+        assert_eq!(rdg.ip.ttl, 57);
+        assert_eq!(rdg.payload_len, tx.response_size);
+        let rparsed =
+            Message::parse(&rpkt[rdg.payload_offset..rdg.payload_offset + rdg.payload_len])
+                .unwrap();
+        assert_eq!(rparsed, response);
+    }
+
+    #[test]
+    fn unanswered_has_no_response_packet() {
+        let query = Message::query(1, Name::from_ascii("x.test").unwrap(), RecordType::A);
+        let tx = Transaction {
+            time: 0.0,
+            resolver: IpAddr::V4(Ipv4Addr::new(100, 64, 0, 1)),
+            contributor: 0,
+            nameserver: IpAddr::V4(Ipv4Addr::new(60, 0, 0, 1)),
+            query,
+            response: None,
+            delay_ms: 0.0,
+            ip_ttl_observed: 0,
+            response_size: 0,
+        };
+        let (_, rpkt) = tx.to_packets();
+        assert!(rpkt.is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! The assembled world: configuration, address plan, domain plan,
+//! latency model, scenario, and the derived lookup helpers shared by
+//! servers and resolvers.
+
+use crate::addressing::{mix, AddressPlan, NsInfo, ORGS};
+use crate::config::SimConfig;
+use crate::domains::{DomainId, DomainPlan, DomainProps};
+use crate::latency::LatencyModel;
+use crate::scenario::Scenario;
+use asdb::AsDb;
+use dnswire::Name;
+use std::net::IpAddr;
+
+/// Everything static (or scripted) about the simulated Internet.
+#[derive(Debug)]
+pub struct World {
+    /// The configuration the world was built from.
+    pub cfg: SimConfig,
+    /// Address and organization plan.
+    pub plan: AddressPlan,
+    /// Domain universe.
+    pub domains: DomainPlan,
+    /// Path delay/hops model.
+    pub latency: LatencyModel,
+    /// Scripted infrastructure changes.
+    pub scenario: Scenario,
+    /// Routing + AS registry covering the whole plan.
+    pub asdb: AsDb,
+}
+
+impl World {
+    /// Build a world from config and scenario.
+    pub fn new(cfg: SimConfig, scenario: Scenario) -> World {
+        let plan = AddressPlan::new(cfg.seed, cfg.resolvers, cfg.contributors, (cfg.domains as u32).saturating_mul(7) / 4);
+        let domains = DomainPlan::new(&cfg);
+        let latency = LatencyModel::new(cfg.seed ^ 0x1a7e);
+        let asdb = plan.build_asdb();
+        World {
+            cfg,
+            plan,
+            domains,
+            latency,
+            scenario,
+            asdb,
+        }
+    }
+
+    /// Properties of domain `id` at time `now`, with scenario overrides
+    /// applied. Returns the props together with the `(addr, ns)` epochs.
+    pub fn domain_at(&self, id: DomainId, now: f64) -> (DomainProps, u32, u32) {
+        let mut props = self.domains.props(id);
+        let (addr_epoch, ns_epoch) = self.scenario.apply(&mut props, now);
+        (props, addr_epoch, ns_epoch)
+    }
+
+    /// The `j`-th authoritative nameserver of a domain.
+    ///
+    /// Org-hosted domains use servers from the org pool (so many domains
+    /// share nameservers — the paper's traffic-concentration effect);
+    /// self-hosted domains get dedicated tail servers. The `ns_epoch`
+    /// (bumped by a ChangeNs scenario event) rotates the selection.
+    pub fn domain_ns(&self, props: &DomainProps, j: usize, ns_epoch: u32) -> NsInfo {
+        let j = j % props.ns_count;
+        match props.org {
+            Some(org) => {
+                let pool = ORGS[org].servers;
+                // Popular domains are pinned to the low (well-provisioned,
+                // fast) slots of the org's pool; the long tail spreads over
+                // the whole pool. This produces the paper's Fig. 3b
+                // correlation between popularity rank and response delay.
+                let cutoff = self.domains.popular_cutoff() as f64;
+                let frac = (props.id as f64 / cutoff).powf(0.7).clamp(0.04, 1.0);
+                let limit = ((pool as f64 * frac).ceil() as usize).clamp(2, pool.max(2));
+                let slot =
+                    mix(props.id ^ ((j as u64) << 32) ^ ((ns_epoch as u64) << 48)) as usize % limit;
+                self.plan.org_server(org, slot)
+            }
+            None => {
+                let key = mix(props.id.wrapping_mul(0x9e3779b97f4a7c15) ^ ((ns_epoch as u64) << 40));
+                self.plan.tail_server(key ^ j as u64, j)
+            }
+        }
+    }
+
+    /// Hostname of the `j`-th nameserver of a domain, e.g.
+    /// `ns1.dom42.com` or `ns1.cloudflare-dns.com` for org-hosted zones.
+    pub fn domain_ns_name(&self, props: &DomainProps, j: usize, ns_epoch: u32) -> Name {
+        let j = j % props.ns_count;
+        match props.org {
+            Some(org) => {
+                let label = format!("ns{}", j + 1 + ns_epoch as usize * props.ns_count);
+                Name::from_ascii(&format!(
+                    "{}.{}-dns.com",
+                    label,
+                    ORGS[org].name.to_ascii_lowercase()
+                ))
+                .expect("valid ns name")
+            }
+            None => {
+                let label = format!("ns{}", j + 1 + ns_epoch as usize * props.ns_count);
+                props.esld.prepend(label.as_bytes()).expect("label fits")
+            }
+        }
+    }
+
+    /// Authoritative servers for TLD `tld`: the 13 gTLD letters for
+    /// `.com`/`.net`, two ccTLD servers otherwise.
+    pub fn tld_server(&self, tld: usize, pick: u64) -> NsInfo {
+        if self.domains.tld_is_gtld(tld) {
+            self.plan.gtld_letter(self.weighted_gtld_letter(pick))
+        } else {
+            self.plan.cctld_server(tld, (pick % 2) as usize)
+        }
+    }
+
+    /// A root letter, chosen with probability ∝ mirror count (resolvers
+    /// prefer well-deployed, nearby letters).
+    pub fn root_server(&self, pick: u64) -> NsInfo {
+        let total: u32 = crate::addressing::ROOT_MIRRORS.iter().map(|&m| m as u32).sum();
+        let mut target = (mix(pick) % total as u64) as u32;
+        for (i, &m) in crate::addressing::ROOT_MIRRORS.iter().enumerate() {
+            if target < m as u32 {
+                return self.plan.root_letter(i);
+            }
+            target -= m as u32;
+        }
+        self.plan.root_letter(12)
+    }
+
+    fn weighted_gtld_letter(&self, pick: u64) -> usize {
+        let total: u32 = crate::addressing::GTLD_MIRRORS.iter().map(|&m| m as u32).sum();
+        let mut target = (mix(pick ^ 0x67) % total as u64) as u32;
+        for (i, &m) in crate::addressing::GTLD_MIRRORS.iter().enumerate() {
+            if target < m as u32 {
+                return i;
+            }
+            target -= m as u32;
+        }
+        12
+    }
+
+    /// The authoritative server for a reverse (in-addr.arpa / ip6.arpa)
+    /// zone covering `addr` — reverse DNS is served by infrastructure
+    /// operators, modelled as tail servers keyed by the /16.
+    pub fn reverse_server(&self, addr: IpAddr) -> NsInfo {
+        let key = match addr {
+            IpAddr::V4(v4) => (u32::from(v4) >> 16) as u64 | 0x5e5e_0000_0000,
+            IpAddr::V6(v6) => (u128::from(v6) >> 96) as u64 | 0x6e6e_0000_0000,
+        };
+        let mut ns = self.plan.tail_server(mix(key), 0);
+        // Reverse zones are run by ISPs and IXPs, closer to the resolver
+        // population than generic tail hosting (paper Table 2: PTR delay
+        // ≈2x forward-DNS, not ≈4x).
+        ns.median_delay_ms *= 0.55;
+        ns
+    }
+
+    /// IPv4 address published for FQDN index `i` of a domain; varies with
+    /// the address epoch (renumbering support).
+    pub fn fqdn_v4(&self, props: &DomainProps, i: usize, k: usize, addr_epoch: u32) -> std::net::Ipv4Addr {
+        let h = mix(props.id ^ ((i as u64) << 24) ^ ((k as u64) << 50) ^ ((addr_epoch as u64) << 56));
+        // Web content lives in yet another address space (203.x / 198.x).
+        std::net::Ipv4Addr::new(203, (h >> 8) as u8, (h >> 16) as u8, ((h >> 24) % 254 + 1) as u8)
+    }
+
+    /// IPv6 address published for FQDN index `i` of a domain.
+    pub fn fqdn_v6(&self, props: &DomainProps, i: usize, k: usize, addr_epoch: u32) -> std::net::Ipv6Addr {
+        let h = mix(props.id ^ ((i as u64) << 24) ^ ((k as u64) << 50) ^ ((addr_epoch as u64) << 56) ^ 0x6666);
+        std::net::Ipv6Addr::new(
+            0x2a00,
+            0x1450,
+            (h >> 16) as u16,
+            (h >> 32) as u16,
+            0,
+            0,
+            0,
+            (h as u16).max(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(SimConfig::small(), Scenario::new())
+    }
+
+    #[test]
+    fn domain_ns_is_stable_and_shared() {
+        let w = world();
+        let (p, _, _) = w.domain_at(1, 0.0);
+        let a = w.domain_ns(&p, 0, 0);
+        let b = w.domain_ns(&p, 0, 0);
+        assert_eq!(a, b);
+        // Two org-hosted domains on the same org often share servers:
+        // check the pool is bounded.
+        let mut ips = std::collections::HashSet::new();
+        for id in 1..=500u64 {
+            let (p, _, ns_epoch) = w.domain_at(id, 0.0);
+            if p.org == Some(0) {
+                for j in 0..p.ns_count {
+                    ips.insert(w.domain_ns(&p, j, ns_epoch).ip);
+                }
+            }
+        }
+        assert!(ips.len() <= ORGS[0].servers, "pool exceeded: {}", ips.len());
+        assert!(!ips.is_empty());
+    }
+
+    #[test]
+    fn ns_epoch_changes_servers_for_tail_domains() {
+        let w = world();
+        let id = (1..=2000)
+            .find(|&i| w.domain_at(i, 0.0).0.org.is_none())
+            .expect("some tail domain");
+        let (p, _, _) = w.domain_at(id, 0.0);
+        let before = w.domain_ns(&p, 0, 0);
+        let after = w.domain_ns(&p, 0, 1);
+        assert_ne!(before.ip, after.ip);
+        assert_ne!(
+            w.domain_ns_name(&p, 0, 0),
+            w.domain_ns_name(&p, 0, 1)
+        );
+    }
+
+    #[test]
+    fn root_letters_weighted_by_mirrors() {
+        let w = world();
+        let mut counts = [0u32; 13];
+        for pick in 0..20_000u64 {
+            let ns = w.root_server(pick);
+            let letter = match ns.ip {
+                IpAddr::V4(v4) => v4.octets()[2] as usize,
+                _ => unreachable!(),
+            };
+            counts[letter] += 1;
+        }
+        // F (index 5, 220 mirrors) must see far more picks than B (6).
+        assert!(counts[5] > 10 * counts[1], "F={} B={}", counts[5], counts[1]);
+    }
+
+    #[test]
+    fn gtld_vs_cctld_serving() {
+        let w = world();
+        let g = w.tld_server(0, 1);
+        assert_eq!(g.org, Some(1)); // VERISIGN
+        let c = w.tld_server(700, 1);
+        assert_ne!(c.ip, g.ip);
+    }
+
+    #[test]
+    fn renumbering_changes_fqdn_addresses() {
+        let w = world();
+        let (p, _, _) = w.domain_at(10, 0.0);
+        assert_ne!(w.fqdn_v4(&p, 0, 0, 0), w.fqdn_v4(&p, 0, 0, 1));
+        assert_ne!(w.fqdn_v6(&p, 0, 0, 0), w.fqdn_v6(&p, 0, 0, 1));
+        // Same epoch → same address.
+        assert_eq!(w.fqdn_v4(&p, 0, 0, 0), w.fqdn_v4(&p, 0, 0, 0));
+    }
+
+    #[test]
+    fn reverse_server_is_per_slash16() {
+        let w = world();
+        let a = w.reverse_server("198.51.100.1".parse().unwrap());
+        let b = w.reverse_server("198.51.200.9".parse().unwrap());
+        let c = w.reverse_server("10.9.0.1".parse().unwrap());
+        assert_eq!(a.ip, b.ip); // same /16
+        assert_ne!(a.ip, c.ip);
+    }
+
+    #[test]
+    fn asdb_knows_domain_ns_addresses() {
+        let w = world();
+        for id in [1u64, 50, 500, 1500] {
+            let (p, _, e) = w.domain_at(id, 0.0);
+            let ns = w.domain_ns(&p, 0, e);
+            assert!(w.asdb.lookup(ns.ip).is_some(), "uncovered ns {:?}", ns.ip);
+        }
+    }
+}

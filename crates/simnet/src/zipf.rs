@@ -1,0 +1,148 @@
+//! Zipf-distributed rank sampling by inverse-CDF approximation.
+//!
+//! Domain popularity in DNS traffic is heavy-tailed (paper §3.2). We
+//! sample ranks `1..=n` with P(rank = k) ∝ k^(−s) using the continuous
+//! inverse-CDF approximation, which is O(1) per sample and accurate enough
+//! for workload generation (exact normalization does not matter for the
+//! shapes we reproduce; what matters is the tail exponent).
+
+/// O(1) approximate Zipf(n, s) sampler over ranks `1..=n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Precomputed for the s≈1 branch.
+    ln_n1: f64,
+    /// Precomputed for the general branch: 1 − s.
+    one_minus_s: f64,
+    /// (n+1)^(1−s) − 1, the unnormalized CDF mass for the general branch.
+    mass: f64,
+}
+
+impl Zipf {
+    /// Create a sampler over ranks `1..=n` with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s > 0.0, "exponent must be positive");
+        let ln_n1 = ((n + 1) as f64).ln();
+        let one_minus_s = 1.0 - s;
+        let mass = if one_minus_s.abs() < 1e-9 {
+            0.0
+        } else {
+            ((n + 1) as f64).powf(one_minus_s) - 1.0
+        };
+        Zipf {
+            n,
+            s,
+            ln_n1,
+            one_minus_s,
+            mass,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Map a uniform `u ∈ [0, 1)` to a rank in `1..=n`.
+    ///
+    /// Continuous approximation: for s = 1 the CDF is ~ln(1+x)/ln(1+n);
+    /// for s ≠ 1 it is ~((1+x)^(1−s) − 1) / ((1+n)^(1−s) − 1). Both invert
+    /// in closed form.
+    pub fn rank_for(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        let x = if self.one_minus_s.abs() < 1e-9 {
+            (u * self.ln_n1).exp() - 1.0
+        } else {
+            ((u * self.mass + 1.0).powf(1.0 / self.one_minus_s)) - 1.0
+        };
+        (x.floor() as u64 + 1).min(self.n)
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic uniform sequence for the tests.
+    fn uniforms(n: usize) -> impl Iterator<Item = f64> {
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        std::iter::repeat_with(move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / (1u64 << 53) as f64
+        })
+        .take(n)
+    }
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipf::new(1000, 1.0);
+        for u in uniforms(10_000) {
+            let r = z.rank_for(u);
+            assert!((1..=1000).contains(&r));
+        }
+        assert_eq!(z.rank_for(0.0), 1);
+        assert_eq!(z.rank_for(1.0), 1000);
+    }
+
+    #[test]
+    fn head_is_heavy() {
+        let z = Zipf::new(100_000, 1.0);
+        let mut head = 0usize;
+        let total = 100_000;
+        for u in uniforms(total) {
+            if z.rank_for(u) <= 100 {
+                head += 1;
+            }
+        }
+        // For s=1, N=1e5: P(rank ≤ 100) ≈ ln(101)/ln(100001) ≈ 0.40.
+        let share = head as f64 / total as f64;
+        assert!((0.3..0.5).contains(&share), "head share {share}");
+    }
+
+    #[test]
+    fn tail_exponent_shows() {
+        // With s = 1, rank-1 frequency should be ~2x rank-2 frequency.
+        let z = Zipf::new(10_000, 1.0);
+        let (mut r1, mut r2) = (0u64, 0u64);
+        for u in uniforms(2_000_000) {
+            match z.rank_for(u) {
+                1 => r1 += 1,
+                2 => r2 += 1,
+                _ => {}
+            }
+        }
+        let ratio = r1 as f64 / r2 as f64;
+        assert!((1.5..2.6).contains(&ratio), "r1/r2 = {ratio}");
+    }
+
+    #[test]
+    fn non_unit_exponent() {
+        let z = Zipf::new(1000, 2.0);
+        let mut top = 0usize;
+        let total = 50_000;
+        for u in uniforms(total) {
+            if z.rank_for(u) == 1 {
+                top += 1;
+            }
+        }
+        // s=2 concentrates hard on rank 1 (>50%).
+        assert!(top as f64 / total as f64 > 0.45);
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.3);
+        for u in uniforms(100) {
+            assert_eq!(z.rank_for(u), 1);
+        }
+    }
+}

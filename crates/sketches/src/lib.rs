@@ -1,0 +1,41 @@
+//! `sketches` — streaming algorithms and probabilistic data structures,
+//! written from scratch for the DNS Observatory pipeline.
+//!
+//! The paper (§2.2–2.3) relies on a small toolbox of stream algorithms:
+//!
+//! * **Space-Saving** (Metwally et al. 2005) to track Top-k DNS objects in
+//!   bounded memory — [`SpaceSaving`].
+//! * **HyperLogLog** (as improved by Heule et al. 2013) for cardinality
+//!   estimates such as distinct QNAMEs — [`HyperLogLog`].
+//! * A **Bloom filter** to skip incidental observations of rare keys before
+//!   evicting a Space-Saving entry — [`BloomFilter`].
+//! * **Log-bucketed histograms** with quantile extraction for response
+//!   delays, hop counts and response sizes — [`LogHistogram`].
+//! * An **exponentially decaying rate** estimator (transactions per second
+//!   per tracked object) — [`DecayingRate`].
+//! * A **top-N value tracker** for TTL distributions — [`TopValues`].
+//! * **Reservoir sampling** for unbiased fixed-size samples — [`Reservoir`].
+//!
+//! Everything is deterministic given its inputs (no hidden RNG state), uses
+//! no `unsafe`, and exposes memory use explicitly via constructor
+//! parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod ewma;
+pub mod hash;
+mod histogram;
+mod hll;
+mod reservoir;
+mod spacesaving;
+mod topvalues;
+
+pub use bloom::BloomFilter;
+pub use ewma::DecayingRate;
+pub use histogram::LogHistogram;
+pub use hll::HyperLogLog;
+pub use reservoir::Reservoir;
+pub use spacesaving::{SpaceSaving, TopEntry};
+pub use topvalues::TopValues;

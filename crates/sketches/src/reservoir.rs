@@ -1,0 +1,134 @@
+//! Reservoir sampling (Vitter's Algorithm R) with a deterministic,
+//! self-contained PRNG.
+//!
+//! Used by the representativeness experiments (paper §3.7) to take
+//! unbiased fixed-size samples of resolvers and by tests that need a
+//! sample of a stream without holding it all.
+
+/// Fixed-size uniform sample over a stream of items.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: u64,
+    rng: SplitMix64,
+}
+
+impl<T> Reservoir<T> {
+    /// Create a reservoir holding at most `capacity` items, seeded for
+    /// reproducibility.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0);
+        Reservoir {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Offer one item to the sample.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            // Replace a random slot with probability capacity/seen.
+            let j = self.rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Items seen so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current sample contents.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// SplitMix64 — tiny, well-understood 64-bit PRNG (Steele et al. 2014).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via rejection-free multiply-shift.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_samples() {
+        let mut r = Reservoir::new(10, 42);
+        for i in 0..5 {
+            r.offer(i);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+        for i in 5..1000 {
+            r.offer(i);
+        }
+        assert_eq!(r.items().len(), 10);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn is_roughly_uniform() {
+        // Offer 0..100 to a size-10 reservoir many times; each item should
+        // be selected ~10% of the time.
+        let mut hits = [0u32; 100];
+        for seed in 0..2000u64 {
+            let mut r = Reservoir::new(10, seed);
+            for i in 0..100usize {
+                r.offer(i);
+            }
+            for &i in r.items() {
+                hits[i] += 1;
+            }
+        }
+        let expected = 200.0; // 2000 runs * 10/100
+        for (i, &h) in hits.iter().enumerate() {
+            let rel = (h as f64 - expected).abs() / expected;
+            assert!(rel < 0.35, "item {i} selected {h} times");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Reservoir::new(5, 7);
+        let mut b = Reservoir::new(5, 7);
+        for i in 0..100 {
+            a.offer(i);
+            b.offer(i);
+        }
+        assert_eq!(a.items(), b.items());
+    }
+}

@@ -1,0 +1,196 @@
+//! Exact top-N tracking of low-cardinality discrete values.
+//!
+//! The paper reports "the top-3 TTL values (and distributions)" per object
+//! (§2.3). TTLs per object have tiny cardinality (a handful of configured
+//! values plus cache-decremented noise), so an exact bounded counter map
+//! with least-count eviction is appropriate: unlike Space-Saving we do not
+//! inherit counts, because we want the *configured* values to dominate,
+//! not to give newcomers a boost.
+
+/// Tracks counts for up to `capacity` distinct `u64` values, evicting the
+/// least frequent when full.
+#[derive(Debug, Clone)]
+pub struct TopValues {
+    capacity: usize,
+    /// (value, count) pairs; linear scan is fine for capacities ≤ ~64.
+    slots: Vec<(u64, u64)>,
+    observed: u64,
+}
+
+impl TopValues {
+    /// Track up to `capacity` distinct values exactly.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TopValues {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            observed: 0,
+        }
+    }
+
+    /// Record one occurrence of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.observed += n;
+        if let Some(slot) = self.slots.iter_mut().find(|(v, _)| *v == value) {
+            slot.1 += n;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push((value, n));
+            return;
+        }
+        // Evict the current minimum only if the newcomer would beat it;
+        // a 1-count newcomer never displaces an established value.
+        let (min_idx, &(_, min_count)) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, c))| *c)
+            .expect("capacity > 0");
+        if n > min_count {
+            self.slots[min_idx] = (value, n);
+        }
+    }
+
+    /// Total number of recorded occurrences (including evicted ones).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observed == 0
+    }
+
+    /// The most frequent value, `None` when empty.
+    pub fn top(&self) -> Option<u64> {
+        self.ranked().first().map(|&(v, _)| v)
+    }
+
+    /// All tracked values with counts, most frequent first; ties broken by
+    /// smaller value for determinism.
+    pub fn ranked(&self) -> Vec<(u64, u64)> {
+        let mut v = self.slots.clone();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The top `n` values with their share of all observations.
+    pub fn top_n_with_share(&self, n: usize) -> Vec<(u64, f64)> {
+        if self.observed == 0 {
+            return Vec::new();
+        }
+        self.ranked()
+            .into_iter()
+            .take(n)
+            .map(|(v, c)| (v, c as f64 / self.observed as f64))
+            .collect()
+    }
+
+    /// Merge another tracker into this one.
+    pub fn merge(&mut self, other: &TopValues) {
+        for &(v, c) in &other.slots {
+            self.observed += c;
+            // record_n would double-count observed; inline the merge.
+            if let Some(slot) = self.slots.iter_mut().find(|(sv, _)| *sv == v) {
+                slot.1 += c;
+            } else if self.slots.len() < self.capacity {
+                self.slots.push((v, c));
+            } else if let Some((min_idx, &(_, min_count))) = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, cc))| *cc)
+            {
+                if c > min_count {
+                    self.slots[min_idx] = (v, c);
+                }
+            }
+        }
+        self.observed += other.observed - other.slots.iter().map(|(_, c)| c).sum::<u64>();
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_and_ranks() {
+        let mut t = TopValues::new(3);
+        for _ in 0..5 {
+            t.record(300);
+        }
+        for _ in 0..3 {
+            t.record(60);
+        }
+        t.record(86400);
+        assert_eq!(t.top(), Some(300));
+        assert_eq!(t.ranked(), vec![(300, 5), (60, 3), (86400, 1)]);
+        assert_eq!(t.observed(), 9);
+    }
+
+    #[test]
+    fn shares_sum_to_at_most_one() {
+        let mut t = TopValues::new(3);
+        for v in [1u64, 1, 2, 2, 2, 3, 4, 5, 6] {
+            t.record(v);
+        }
+        let shares = t.top_n_with_share(3);
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!(total <= 1.0 + 1e-12);
+        assert_eq!(shares[0].0, 2);
+    }
+
+    #[test]
+    fn weak_newcomer_does_not_displace() {
+        let mut t = TopValues::new(2);
+        t.record_n(100, 10);
+        t.record_n(200, 5);
+        t.record(300); // count 1 < min 5: dropped
+        assert_eq!(t.ranked(), vec![(100, 10), (200, 5)]);
+        t.record_n(400, 7); // beats 5: displaces 200
+        assert_eq!(t.ranked(), vec![(100, 10), (400, 7)]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut t = TopValues::new(4);
+        t.record(9);
+        t.record(3);
+        assert_eq!(t.ranked(), vec![(3, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = TopValues::new(3);
+        let mut b = TopValues::new(3);
+        a.record_n(1, 4);
+        a.record_n(2, 2);
+        b.record_n(2, 3);
+        b.record_n(3, 1);
+        a.merge(&b);
+        assert_eq!(a.ranked(), vec![(2, 5), (1, 4), (3, 1)]);
+        assert_eq!(a.observed(), 10);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TopValues::new(2);
+        t.record(7);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.top(), None);
+    }
+}

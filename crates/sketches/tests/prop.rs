@@ -1,0 +1,167 @@
+//! Property-based tests for the sketch invariants the pipeline relies on.
+
+use proptest::prelude::*;
+use sketches::{BloomFilter, HyperLogLog, LogHistogram, SpaceSaving, TopValues};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Space-Saving: for every monitored key,
+    /// `count − error ≤ true count ≤ count`, and `error ≤ N/k`.
+    #[test]
+    fn space_saving_error_bounds(
+        keys in prop::collection::vec(0u32..50, 1..2000),
+        k in 2usize..32,
+    ) {
+        let mut ss: SpaceSaving<u32, ()> = SpaceSaving::new(k, 60.0);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            ss.observe(key, i as f64 * 0.001);
+            *truth.entry(*key).or_default() += 1;
+        }
+        let n = keys.len() as u64;
+        prop_assert_eq!(ss.observed(), n);
+        for e in ss.iter_desc() {
+            let true_count = truth[e.key];
+            prop_assert!(e.count >= true_count,
+                "count {} < true {}", e.count, true_count);
+            prop_assert!(e.count - e.error <= true_count,
+                "lower bound {} > true {}", e.count - e.error, true_count);
+            prop_assert!(e.error <= n / k as u64,
+                "error {} > N/k {}", e.error, n / k as u64);
+        }
+    }
+
+    /// Space-Saving: any key whose true frequency exceeds N/k must be
+    /// monitored (the classic frequent-elements guarantee).
+    #[test]
+    fn space_saving_finds_frequent_elements(
+        keys in prop::collection::vec(0u32..20, 100..1500),
+        k in 4usize..16,
+    ) {
+        let mut ss: SpaceSaving<u32, ()> = SpaceSaving::new(k, 60.0);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            ss.observe(key, i as f64);
+            *truth.entry(*key).or_default() += 1;
+        }
+        let n = keys.len() as u64;
+        let threshold = n / k as u64;
+        for (key, &count) in &truth {
+            if count > threshold {
+                prop_assert!(ss.count(key).is_some(),
+                    "frequent key {key} (count {count} > {threshold}) evicted");
+            }
+        }
+    }
+
+    /// HyperLogLog: estimate within 6 standard errors of the truth for
+    /// arbitrary distinct-item counts.
+    #[test]
+    fn hll_relative_error(n in 1u64..30_000, p in 8u8..14) {
+        let mut h = HyperLogLog::new(p);
+        for i in 0..n {
+            h.insert(&i.to_le_bytes());
+        }
+        let est = h.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        // Allow generous slack for small n where quantization dominates.
+        let allowed = 6.0 * h.standard_error() + 3.0 / n as f64;
+        prop_assert!(rel <= allowed, "n={n} p={p} est={est:.1} rel={rel:.4}");
+    }
+
+    /// HyperLogLog merge is commutative and idempotent.
+    #[test]
+    fn hll_merge_laws(
+        xs in prop::collection::vec(any::<u64>(), 0..500),
+        ys in prop::collection::vec(any::<u64>(), 0..500),
+    ) {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        for x in &xs { a.insert(&x.to_le_bytes()); }
+        for y in &ys { b.insert(&y.to_le_bytes()); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.estimate().to_bits(), ba.estimate().to_bits());
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        prop_assert_eq!(abb.estimate().to_bits(), ab.estimate().to_bits());
+    }
+
+    /// Bloom filter: zero false negatives, whatever the input.
+    #[test]
+    fn bloom_no_false_negatives(
+        items in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..500),
+    ) {
+        let mut bf = BloomFilter::new(items.len().max(8), 0.02);
+        for item in &items {
+            bf.insert(item);
+        }
+        for item in &items {
+            prop_assert!(bf.contains(item));
+        }
+    }
+
+    /// Histogram: quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn histogram_quantile_monotone(
+        values in prop::collection::vec(0.5f64..5000.0, 1..300),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let mut h = LogHistogram::new(0.5, 10_000.0, 20);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= last, "quantile not monotone at q={q}");
+            prop_assert!(v >= h.min_value().unwrap() && v <= h.max_value().unwrap());
+            last = v;
+        }
+    }
+
+    /// Histogram: median has bounded relative error vs the exact median.
+    #[test]
+    fn histogram_median_accuracy(
+        mut values in prop::collection::vec(1.0f64..10_000.0, 11..400),
+    ) {
+        let mut h = LogHistogram::new(1.0, 10_000.0, 20);
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = values[(values.len() - 1) / 2];
+        let approx = h.quantile(0.5).unwrap();
+        // One log-bucket is a factor of 10^(1/20) ≈ 1.122; allow two
+        // buckets of slack either way for rank-rounding.
+        let factor = 10f64.powf(2.0 / 20.0);
+        prop_assert!(approx <= exact * factor && approx >= exact / factor,
+            "approx {approx} exact {exact}");
+    }
+
+    /// TopValues: the reported counts are exact for values that were never
+    /// evicted, and the top value is the true mode when capacity suffices.
+    #[test]
+    fn topvalues_exact_within_capacity(
+        values in prop::collection::vec(0u64..8, 1..500),
+    ) {
+        let mut t = TopValues::new(8);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &v in &values {
+            t.record(v);
+            *truth.entry(v).or_default() += 1;
+        }
+        for (v, c) in t.ranked() {
+            prop_assert_eq!(truth[&v], c);
+        }
+        let mode = truth.iter().max_by_key(|(v, c)| (*c, std::cmp::Reverse(*v))).unwrap();
+        let top = t.top().unwrap();
+        prop_assert_eq!(truth[&top], *mode.1);
+    }
+}

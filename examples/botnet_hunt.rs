@@ -1,0 +1,74 @@
+//! Botnet hunt: use the Observatory's datasets to isolate DGA traffic the
+//! way the paper spotted Mylobot (§3.2) — a flood of NXDOMAIN A-queries
+//! for machine-generated names under non-existent `.com` SLDs, landing
+//! on the gTLD letters.
+//!
+//! ```sh
+//! cargo run --release --example botnet_hunt
+//! ```
+
+use dns_observatory::analysis::delays::gtld_letter_of;
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig};
+use simnet::{SimConfig, Simulation};
+
+fn main() {
+    // Crank the botnet up so the hunt has something to find.
+    let cfg = SimConfig {
+        weight_botnet: 20.0,
+        ..SimConfig::small()
+    };
+    let mut sim = Simulation::from_config(cfg);
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets: vec![(Dataset::SrvIp, 2_000), (Dataset::Esld, 10_000)],
+        window_secs: 15.0,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(45.0, &mut |tx| obs.ingest(tx));
+    let store = obs.finish();
+
+    // Step 1: the infrastructure view. Which servers drown in NXDOMAIN?
+    println!("step 1 — nameservers with anomalous NXDOMAIN shares:");
+    let servers = store.cumulative(Dataset::SrvIp);
+    let mut suspicious = 0;
+    for (ip, row) in servers.iter().take(40) {
+        if row.nxd_share() > 0.30 && row.hits > 100 {
+            let is_gtld = ip
+                .parse()
+                .map(|p| gtld_letter_of(p).is_some())
+                .unwrap_or(false);
+            println!(
+                "  {ip:<16} {:>6} hits, {:>4.0}% NXD{}",
+                row.hits,
+                row.nxd_share() * 100.0,
+                if is_gtld { "  <- gTLD letter" } else { "" }
+            );
+            suspicious += 1;
+        }
+    }
+    assert!(suspicious > 0, "expected NXD-heavy servers with the botnet on");
+
+    // Step 2: the domain view. DGA SLDs have a signature: almost pure
+    // NXDOMAIN, many distinct QNAMEs, zero resolved names.
+    println!("\nstep 2 — candidate DGA SLDs (NXD-only, high name churn):");
+    let eslds = store.cumulative(Dataset::Esld);
+    let mut dga = Vec::new();
+    for (esld, row) in &eslds {
+        let nxd_only = row.nxd_share() > 0.95;
+        let churny = row.qnamesa > 3.0 && row.qnames < 1.0;
+        if nxd_only && churny && row.hits >= 10 {
+            dga.push((esld.clone(), row.hits, row.qnamesa));
+        }
+    }
+    dga.sort_by_key(|d| std::cmp::Reverse(d.1));
+    for (esld, hits, names) in dga.iter().take(10) {
+        println!("  {esld:<24} {hits:>6} queries, ~{names:.0} distinct names, 0 resolved");
+    }
+    println!(
+        "\n{} candidate DGA SLDs found (the simulated Mylobot uses 4,000 .com SLDs)",
+        dga.len()
+    );
+    assert!(
+        dga.iter().all(|(esld, _, _)| esld.contains("dga-") || esld.contains("prsd-")),
+        "false positives in the DGA hunt"
+    );
+}

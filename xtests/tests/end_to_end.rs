@@ -1,0 +1,188 @@
+//! End-to-end integration: simulator → observatory → analyses, with
+//! assertions on the paper-shaped properties the whole system exists to
+//! show.
+
+use dns_observatory::analysis::{delays, distribution, happy, qmin, qtypes};
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig, TimeSeriesStore};
+use simnet::{SimConfig, Simulation};
+
+fn run(datasets: Vec<(Dataset, usize)>, secs: f64) -> (TimeSeriesStore, Simulation) {
+    let mut sim = Simulation::from_config(SimConfig::small());
+    // Warm caches briefly so steady-state shapes dominate.
+    sim.run(3.0, &mut |_| {});
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets,
+        window_secs: secs / 4.0,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(secs, &mut |tx| obs.ingest(tx));
+    (obs.finish(), sim)
+}
+
+#[test]
+fn traffic_concentrates_on_few_servers() {
+    let (store, _) = run(vec![(Dataset::SrvIp, 10_000)], 8.0);
+    let rows = store.cumulative(Dataset::SrvIp);
+    let dist = distribution::traffic_distribution(&rows);
+    let total_objects = dist.ranked.len();
+    assert!(total_objects > 300, "world too small: {total_objects}");
+    // The paper's headline: a small fraction of nameservers carries half
+    // the traffic.
+    let half_rank = dist.curves[0].rank_for_share(0.5).expect("has traffic");
+    assert!(
+        (half_rank as f64) < 0.1 * total_objects as f64,
+        "50% of traffic needs {half_rank} of {total_objects} servers"
+    );
+    // NXDOMAIN is even more concentrated (gTLD letters).
+    let nxd = dist.curves.iter().find(|c| c.label == "nxdomain").unwrap();
+    assert!(nxd.at_rank(30) > 0.5, "NXD not concentrated: {}", nxd.at_rank(30));
+}
+
+#[test]
+fn qtype_table_matches_paper_shape() {
+    let (store, _) = run(vec![(Dataset::Qtype, 64)], 8.0);
+    let table = qtypes::qtype_table(&store.cumulative(Dataset::Qtype));
+    let get = |q: &str| table.iter().find(|r| r.qtype == q).cloned();
+    let a = get("A").expect("A present");
+    let aaaa = get("AAAA").expect("AAAA present");
+    assert_eq!(table[0].qtype, "A");
+    assert!(a.global > 2.0 * aaaa.global, "A should dominate AAAA");
+    assert!(
+        aaaa.nodata > 10.0 * a.nodata.max(0.001),
+        "Happy Eyeballs NoData signature missing"
+    );
+    if let Some(ns) = get("NS") {
+        assert!(ns.nxd > 0.5, "PRSD NXD share too low: {}", ns.nxd);
+        assert!(ns.size > 2.0 * a.size, "signed NXD should be large");
+    }
+    if let Some(ptr) = get("PTR") {
+        assert!(ptr.qdots > a.qdots + 1.0, "reverse names have many labels");
+    }
+    if let Some(txt) = get("TXT") {
+        assert_eq!(txt.ttl, Some(5), "TXT custom protocols use tiny TTLs");
+    }
+}
+
+#[test]
+fn delay_regimes_partition_plausibly() {
+    let (store, _) = run(vec![(Dataset::SrvIp, 10_000)], 8.0);
+    let rows = store.cumulative(Dataset::SrvIp);
+    let d = delays::server_delays(&rows);
+    assert!(d.len() > 200);
+    let shares = delays::delay_cdf(&d).regime_shares();
+    assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    // Distant (35-350ms) dominates, as in Fig. 3a.
+    assert!(shares[2] > shares[0] && shares[2] > shares[1] && shares[2] > shares[3]);
+    assert!(shares[2] > 0.4, "distant regime share {}", shares[2]);
+}
+
+#[test]
+fn root_and_gtld_constellations_visible() {
+    let (store, _) = run(vec![(Dataset::SrvIp, 10_000)], 10.0);
+    let rows = store.cumulative(Dataset::SrvIp);
+    let root = delays::constellation(&rows, delays::root_letter_of);
+    let gtld = delays::constellation(&rows, delays::gtld_letter_of);
+    assert!(root.len() >= 10, "root letters observed: {}", root.len());
+    assert_eq!(gtld.len(), 13, "all gTLD letters should carry traffic");
+    // F root (most mirrors) must beat B root (fewest) on delay.
+    let delay = |set: &[delays::LetterDelay], ch: char| {
+        set.iter().find(|l| l.letter == ch).map(|l| l.median)
+    };
+    if let (Some(f), Some(b)) = (delay(&root, 'F'), delay(&root, 'B')) {
+        assert!(f < b, "root F ({f} ms) should be faster than B ({b} ms)");
+    }
+    // gTLD B is the fastest letter.
+    let min = gtld
+        .iter()
+        .min_by(|a, b| a.median.partial_cmp(&b.median).unwrap())
+        .unwrap();
+    assert_eq!(min.letter, 'B');
+}
+
+#[test]
+fn qmin_classifier_recovers_configured_resolvers() {
+    let cfg = SimConfig {
+        qmin_fraction: 0.25, // 6 of 24 resolvers
+        ..SimConfig::small()
+    };
+    let mut sim = Simulation::from_config(cfg);
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets: vec![(Dataset::SrcSrv, 20_000)],
+        window_secs: 4.0,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(8.0, &mut |tx| obs.ingest(tx));
+    let rows = obs.finish().cumulative(Dataset::SrcSrv);
+    let verdicts = qmin::classify(
+        &rows,
+        &qmin::QminConfig {
+            level_of: qmin::sim_level_of,
+            lenient_tld: false,
+        },
+    );
+    let summary = qmin::summarize(&verdicts);
+    assert_eq!(summary.possible_qmin, 6, "exactly the configured qmin set");
+    // The qmin resolvers are the plan's first six.
+    let expected: std::collections::HashSet<String> = (0..6)
+        .map(|r| sim.world().plan.resolver_ip(r).to_string())
+        .collect();
+    for v in verdicts.iter().filter(|v| v.possible_qmin) {
+        assert!(expected.contains(&v.resolver), "unexpected qmin {}", v.resolver);
+    }
+}
+
+#[test]
+fn happy_eyeballs_correlation_emerges() {
+    let (store, _) = run(vec![(Dataset::Qname, 20_000)], 40.0);
+    let rows = store.cumulative(Dataset::Qname);
+    let happy_list = happy::happy_rows(&rows, 150);
+    assert!(happy_list.len() >= 100);
+    let pathological = happy_list
+        .iter()
+        .filter(|r| r.empty_aaaa_share > 0.5)
+        .count();
+    assert!(pathological >= 1, "low-negTTL domains must stand out");
+    // Robust version of Fig. 9's association: among the *popular* rows
+    // (where demand is high enough that TTLs actually bind — the paper's
+    // top-200 are all in this regime), a large A-TTL/negTTL quotient must
+    // push the empty-AAAA share far above the healthy rows' shares.
+    let popular: Vec<_> = happy_list.iter().take(40).collect();
+    let worst_high = popular
+        .iter()
+        .filter(|r| r.ttl_quotient().map(|q| q > 2.0).unwrap_or(false))
+        .map(|r| r.empty_aaaa_share)
+        .fold(0.0f64, f64::max);
+    let mean_low = {
+        let sel: Vec<f64> = popular
+            .iter()
+            .filter(|r| r.ttl_quotient().map(|q| q <= 1.0).unwrap_or(false))
+            .map(|r| r.empty_aaaa_share)
+            .collect();
+        if sel.is_empty() {
+            0.0
+        } else {
+            sel.iter().sum::<f64>() / sel.len() as f64
+        }
+    };
+    assert!(
+        worst_high > mean_low + 0.2,
+        "quotient association missing: worst high {worst_high:.2} vs mean low {mean_low:.2}"
+    );
+}
+
+#[test]
+fn collection_stats_account_for_every_transaction() {
+    let (store, sim) = run(vec![(Dataset::SrvIp, 500), (Dataset::AaFqdn, 500)], 6.0);
+    let _ = sim;
+    for ds in [Dataset::SrvIp, Dataset::AaFqdn] {
+        let windows = store.dataset(ds);
+        assert!(!windows.is_empty());
+        let ingested: u64 = windows.iter().map(|w| w.kept + w.dropped + w.filtered).sum();
+        let first: u64 = store
+            .dataset(Dataset::SrvIp)
+            .iter()
+            .map(|w| w.kept + w.dropped + w.filtered)
+            .sum();
+        assert_eq!(ingested, first, "{:?} sees every transaction", ds.name());
+    }
+}

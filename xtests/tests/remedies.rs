@@ -1,0 +1,130 @@
+//! §5.4 remedy mechanics, verified end to end: each proposed measure
+//! must reduce exactly the cost it targets, without breaking resolution.
+
+use dnswire::RecordType;
+use psl::Psl;
+use simnet::{Scenario, SimConfig, Simulation};
+
+struct Counts {
+    transactions: u64,
+    aaaa_nodata: u64,
+    any_with_both: u64,
+    answered_web: u64,
+}
+
+fn measure(cfg: SimConfig) -> Counts {
+    let psl = Psl::embedded();
+    let mut sim = Simulation::new(cfg, Scenario::new());
+    sim.run(10.0, &mut |_| {}); // warm up
+    let mut c = Counts {
+        transactions: 0,
+        aaaa_nodata: 0,
+        any_with_both: 0,
+        answered_web: 0,
+    };
+    // Long enough that short negative TTLs (15 s) expire several times.
+    sim.run(60.0, &mut |tx| {
+        c.transactions += 1;
+        let s = dns_observatory::TxSummary::from_transaction(tx, &psl);
+        if s.qtype == RecordType::Aaaa && s.is_nodata() {
+            c.aaaa_nodata += 1;
+        }
+        if s.qtype == RecordType::Any && !s.ip4s.is_empty() && !s.ip6s.is_empty() {
+            c.any_with_both += 1;
+        }
+        if s.ok_ans
+            && matches!(
+                s.qtype,
+                RecordType::A | RecordType::Aaaa | RecordType::Any
+            )
+        {
+            c.answered_web += 1;
+        }
+    });
+    c
+}
+
+#[test]
+fn joint_query_reduces_transactions_and_carries_both_families() {
+    let baseline = measure(SimConfig::small());
+    let joint = measure(SimConfig {
+        remedy_joint_query: true,
+        ..SimConfig::small()
+    });
+    // Dual-stack pairs collapse into single queries: total volume drops.
+    assert!(
+        (joint.transactions as f64) < 0.95 * baseline.transactions as f64,
+        "joint {} vs baseline {}",
+        joint.transactions,
+        baseline.transactions
+    );
+    // The joint answers actually carry both address families for
+    // dual-stacked domains.
+    assert!(joint.any_with_both > 0, "no joint answers with A+AAAA seen");
+    // And the AAAA NoData flood disappears (no separate AAAA queries).
+    assert!(
+        joint.aaaa_nodata < baseline.aaaa_nodata / 4,
+        "joint {} vs baseline {}",
+        joint.aaaa_nodata,
+        baseline.aaaa_nodata
+    );
+    // Resolution still works.
+    assert!(joint.answered_web > 0);
+}
+
+#[test]
+fn split_negative_caching_reduces_empty_aaaa_for_pathological_fqdns() {
+    // The remedy targets domains whose negative TTL is shorter than the
+    // A TTL; measure the empty-AAAA flood on exactly those FQDNs.
+    let probe = Simulation::new(SimConfig::small(), Scenario::new());
+    let victims: Vec<String> = (1..=100u64)
+        .filter(|&id| {
+            let p = probe.world().domains.props(id);
+            !p.has_ipv6 && p.neg_ttl < p.a_ttl
+        })
+        .map(|id| {
+            let p = probe.world().domains.props(id);
+            probe.world().domains.fqdn(&p, 0).to_ascii()
+        })
+        .collect();
+    assert!(!victims.is_empty(), "the small world has pathological domains");
+    drop(probe);
+
+    let count_for = |cfg: SimConfig| {
+        let mut sim = Simulation::new(cfg, Scenario::new());
+        sim.run(10.0, &mut |_| {});
+        let mut nodata = 0u64;
+        sim.run(60.0, &mut |tx| {
+            let q = tx.query.question().unwrap();
+            if q.qtype != RecordType::Aaaa {
+                return;
+            }
+            if !victims.iter().any(|v| v == &q.qname.to_ascii()) {
+                return;
+            }
+            if let Some(r) = &tx.response {
+                if r.rcode() == dnswire::Rcode::NoError && r.answers.is_empty() {
+                    nodata += 1;
+                }
+            }
+        });
+        nodata
+    };
+    let baseline = count_for(SimConfig::small());
+    let split = count_for(SimConfig {
+        remedy_split_negative: true,
+        ..SimConfig::small()
+    });
+    assert!(
+        (split as f64) < 0.6 * baseline as f64,
+        "split {split} vs baseline {baseline}"
+    );
+    assert!(baseline > 50, "baseline flood too small to judge: {baseline}");
+}
+
+#[test]
+fn remedies_default_off() {
+    let cfg = SimConfig::default();
+    assert!(!cfg.remedy_joint_query);
+    assert!(!cfg.remedy_split_negative);
+}

@@ -1,0 +1,194 @@
+//! Scenario-driven integration tests: scripted infrastructure changes
+//! must surface in the observatory's detection analyses — the oracle
+//! that replaces the paper's manual DNSDB verification.
+
+use dns_observatory::analysis::ttl::{self, ChangeCategory};
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig};
+use simnet::{ScanFlood, Scenario, ScenarioEvent, ScenarioKind, SimConfig, Simulation};
+
+fn run_with(
+    scenario: Scenario,
+    datasets: Vec<(Dataset, usize)>,
+    secs: f64,
+    window: f64,
+) -> dns_observatory::TimeSeriesStore {
+    let mut sim = Simulation::new(SimConfig::small(), scenario);
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets,
+        window_secs: window,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(secs, &mut |tx| obs.ingest(tx));
+    obs.finish()
+}
+
+#[test]
+fn ttl_cut_multiplies_cache_misses() {
+    // Domain 1 is popular enough that per-resolver demand outruns a 20 s
+    // TTL; old entries drain within 20 s of the cut, so comparing the
+    // last pre-change windows with the last post-change windows isolates
+    // the effect.
+    let scenario = Scenario::from_events([
+        ScenarioEvent { at: 0.0, domain: 1, kind: ScenarioKind::SetATtl(20) },
+        ScenarioEvent { at: 30.0, domain: 1, kind: ScenarioKind::SetATtl(1) },
+    ]);
+    let probe = Simulation::new(SimConfig::small(), Scenario::new());
+    let props = probe.world().domains.props(1);
+    let fqdn = probe.world().domains.fqdn(&props, 0).to_ascii();
+    drop(probe);
+
+    let store = run_with(scenario, vec![(Dataset::Qname, 10_000)], 60.0, 5.0);
+    let windows = store.dataset(Dataset::Qname);
+    let series = ttl::key_series(&windows, &fqdn);
+    let before: u64 = series
+        .iter()
+        .filter(|p| p.start >= 20.0 && p.start < 30.0)
+        .map(|p| p.hits)
+        .sum();
+    let after: u64 = series
+        .iter()
+        .filter(|p| p.start >= 50.0)
+        .map(|p| p.hits)
+        .sum();
+    assert!(
+        after > 3 * before.max(1),
+        "TTL cut: before {before}, after {after}"
+    );
+}
+
+#[test]
+fn renumbering_detected_and_classified() {
+    let mut scenario = Scenario::new();
+    for e in Scenario::planned_change(4, 40.0, 10.0, ScenarioKind::Renumber, 20, 3_600) {
+        scenario.push(e);
+    }
+    let store = run_with(scenario, vec![(Dataset::AaFqdn, 10_000)], 80.0, 10.0);
+    let windows = store.dataset(Dataset::AaFqdn);
+    let changes = ttl::detect_changes(&windows);
+    let hit = changes
+        .iter()
+        .any(|c| c.key.contains("dom4.") && c.category == ChangeCategory::Renumbering);
+    assert!(
+        hit,
+        "renumbering of dom4 not recovered; got {:?}",
+        changes
+            .iter()
+            .filter(|c| c.key.contains("dom4."))
+            .map(|c| (c.key.clone(), c.category))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn ns_change_detected_on_esld_key() {
+    // NS answers normally live a day in caches, hiding NS changes from a
+    // short run; dial the NS TTL down and the NS query rate up so every
+    // resolver re-learns the NS set within the observation window.
+    let cfg = SimConfig {
+        ttl_ns: 20,
+        weight_ns: 30.0,
+        ..SimConfig::small()
+    };
+    let scenario = Scenario::from_events([
+        ScenarioEvent { at: 0.0, domain: 6, kind: ScenarioKind::SetATtl(600) },
+        ScenarioEvent { at: 40.0, domain: 6, kind: ScenarioKind::ChangeNs },
+    ]);
+    let mut sim = Simulation::new(cfg, scenario);
+    let mut obs = Observatory::new(ObservatoryConfig {
+        datasets: vec![(Dataset::AaFqdn, 10_000)],
+        window_secs: 10.0,
+        ..ObservatoryConfig::default()
+    });
+    sim.run(80.0, &mut |tx| obs.ingest(tx));
+    let store = obs.finish();
+    let windows = store.dataset(Dataset::AaFqdn);
+    let changes = ttl::detect_changes(&windows);
+    let found = changes
+        .iter()
+        .any(|c| c.key.contains("dom6.") && c.category == ChangeCategory::ChangeNs);
+    assert!(
+        found,
+        "NS change not detected; dom6 detections: {:?}",
+        changes
+            .iter()
+            .filter(|c| c.key.contains("dom6."))
+            .map(|c| (c.key.clone(), c.category))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn nonconforming_server_flagged() {
+    let scenario = Scenario::from_events([ScenarioEvent {
+        at: 0.0,
+        domain: 2,
+        kind: ScenarioKind::SetNonconforming(true),
+    }]);
+    let store = run_with(scenario, vec![(Dataset::AaFqdn, 10_000)], 100.0, 25.0);
+    let windows = store.dataset(Dataset::AaFqdn);
+    let changes = ttl::detect_changes(&windows);
+    let found = changes
+        .iter()
+        .any(|c| c.key.contains("dom2.") && c.category == ChangeCategory::NonConforming);
+    assert!(found, "variable-TTL server not flagged");
+}
+
+#[test]
+fn scan_flood_raises_queries_not_responses() {
+    let mut scenario = Scenario::new();
+    scenario.push_flood(ScanFlood {
+        domain: 7,
+        start: 20.0,
+        end: 40.0,
+        rate: 300.0,
+    });
+    let store = run_with(scenario, vec![(Dataset::Esld, 10_000)], 40.0, 10.0);
+    let windows = store.dataset(Dataset::Esld);
+    let probe = Simulation::new(SimConfig::small(), Scenario::new());
+    let esld = probe.world().domains.props(7).esld.to_ascii();
+    drop(probe);
+    let series = ttl::key_series(&windows, &esld);
+    let calm: u64 = series.iter().filter(|p| p.start < 20.0).map(|p| p.hits).sum();
+    let flooded: u64 = series.iter().filter(|p| p.start >= 20.0).map(|p| p.hits).sum();
+    assert!(flooded > 3 * calm.max(1), "flood invisible: {calm} -> {flooded}");
+    // Responses (ok) must not grow with the queries: the flood is NXD.
+    let calm_ok: u64 = series.iter().filter(|p| p.start < 20.0).map(|p| p.ok).sum();
+    let flooded_ok: u64 = series.iter().filter(|p| p.start >= 20.0).map(|p| p.ok).sum();
+    assert!(
+        (flooded_ok as f64) < 2.0 * calm_ok.max(1) as f64,
+        "flood should not raise NoError responses: {calm_ok} -> {flooded_ok}"
+    );
+}
+
+#[test]
+fn ipv6_turnup_kills_empty_aaaa() {
+    let probe = Simulation::new(SimConfig::small(), Scenario::new());
+    let victim = (1..=100)
+        .find(|&id| {
+            let p = probe.world().domains.props(id);
+            !p.has_ipv6 && p.neg_ttl <= 60
+        })
+        .expect("an IPv4-only, short-negTTL domain exists");
+    let fqdn = {
+        let p = probe.world().domains.props(victim);
+        probe.world().domains.fqdn(&p, 0).to_ascii()
+    };
+    drop(probe);
+
+    let scenario = Scenario::from_events([ScenarioEvent {
+        at: 40.0,
+        domain: victim,
+        kind: ScenarioKind::EnableIpv6,
+    }]);
+    let store = run_with(scenario, vec![(Dataset::Qname, 10_000)], 80.0, 10.0);
+    let windows = store.dataset(Dataset::Qname);
+    let turnup = dns_observatory::analysis::happy::ipv6_turnup(&windows, &fqdn, 40.0)
+        .expect("victim fqdn tracked");
+    assert!(turnup.empty_share_before > 0.2, "{}", turnup.empty_share_before);
+    assert!(
+        turnup.empty_share_after < 0.5 * turnup.empty_share_before,
+        "share did not collapse: {} -> {}",
+        turnup.empty_share_before,
+        turnup.empty_share_after
+    );
+}
