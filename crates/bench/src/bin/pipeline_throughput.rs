@@ -1,0 +1,221 @@
+//! Pipeline throughput sweep: single-threaded Observatory vs the sharded
+//! ThreadedPipeline across a workers × shards grid, on one fixed
+//! pre-generated transaction stream.
+//!
+//! Writes `BENCH_pipeline.json` at the repository root (the committed
+//! baseline `scripts/bench-smoke.sh` regresses against) and prints the
+//! table. `--smoke` runs only the smoke configuration and prints
+//! `smoke_tx_per_sec=<n>` for the regression check.
+//!
+//! Steady-state tracker allocations are measured when built with
+//! `--features count-allocs` (a counting global allocator); without the
+//! feature the alloc fields are reported as null.
+
+use dns_observatory::{
+    Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TopKTracker, TxSummary,
+};
+use simnet::{SimConfig, Simulation, Transaction};
+use std::time::Instant;
+
+#[cfg(feature = "count-allocs")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: defers entirely to the System allocator; the counter is a
+    // relaxed atomic with no allocation of its own.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// The tracked datasets: the full paper set with capacities small enough
+/// to exercise eviction on the high-cardinality keys.
+fn bench_cfg() -> ObservatoryConfig {
+    ObservatoryConfig {
+        datasets: vec![
+            (Dataset::SrvIp, 10_000),
+            (Dataset::Etld, 2_000),
+            (Dataset::Esld, 10_000),
+            (Dataset::Qname, 10_000),
+            (Dataset::Qtype, 64),
+            (Dataset::Rcode, 16),
+            (Dataset::AaFqdn, 5_000),
+            (Dataset::SrcSrv, 10_000),
+        ],
+        window_secs: 1.0,
+        ..ObservatoryConfig::default()
+    }
+}
+
+/// The fixed grid point used for regression smoke checks.
+const SMOKE_WORKERS: usize = 2;
+const SMOKE_SHARDS: usize = 2;
+
+fn generate(sim_secs: f64) -> Vec<Transaction> {
+    let mut sim = Simulation::from_config(SimConfig::small());
+    sim.collect(sim_secs)
+}
+
+/// Best-of-`reps` transactions per second for one pipeline configuration.
+fn measure_threaded(txs: &[Transaction], workers: usize, shards: usize, reps: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let pipeline = ThreadedPipeline::with_shards(bench_cfg(), workers, shards);
+        let t0 = Instant::now();
+        let store = pipeline.run(txs.iter().cloned());
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(!store.windows().is_empty());
+        best = best.max(txs.len() as f64 / secs);
+    }
+    best
+}
+
+fn measure_single(txs: &[Transaction], reps: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let mut obs = Observatory::new(bench_cfg());
+        let t0 = Instant::now();
+        for tx in txs {
+            obs.ingest(tx);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(obs.ingested() == txs.len() as u64);
+        best = best.max(txs.len() as f64 / secs);
+    }
+    best
+}
+
+/// Steady-state allocations per observe() on a warmed SrvIp tracker.
+/// First pass inserts every key (allocating); the measured second pass
+/// should hit the borrowed-bytes lookup path and allocate nothing.
+#[cfg(feature = "count-allocs")]
+fn measure_allocs(txs: &[Transaction]) -> (f64, u64) {
+    use std::sync::atomic::Ordering;
+    let psl = psl::Psl::embedded();
+    let summaries: Vec<TxSummary> = txs
+        .iter()
+        .map(|tx| TxSummary::from_transaction(tx, &psl))
+        .collect();
+    let mut tracker = TopKTracker::new(
+        Dataset::SrvIp,
+        20_000,
+        dns_observatory::FeatureConfig::default(),
+        true,
+    );
+    for s in &summaries {
+        tracker.observe(s);
+    }
+    let before = counting_alloc::ALLOCS.load(Ordering::Relaxed);
+    for s in &summaries {
+        tracker.observe(s);
+    }
+    let delta = counting_alloc::ALLOCS.load(Ordering::Relaxed) - before;
+    (delta as f64 / summaries.len() as f64, delta)
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn measure_allocs(_txs: &[Transaction]) -> (f64, u64) {
+    // Keep the unused-import lints quiet in the featureless build.
+    let _ = (TopKTracker::new as fn(_, _, _, _) -> _, TxSummary::from_transaction as fn(_, _) -> _);
+    (f64::NAN, 0)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let smoke_only = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    if smoke_only {
+        let txs = generate(4.0);
+        let tps = measure_threaded(&txs, SMOKE_WORKERS, SMOKE_SHARDS, 2);
+        println!("smoke_tx_per_sec={tps:.1}");
+        return;
+    }
+
+    eprintln!("generating workload...");
+    let txs = generate(12.0);
+    eprintln!("generated {} transactions; cores={cores}", txs.len());
+
+    let reps = 2;
+    let single = measure_single(&txs, reps);
+    println!("single-threaded Observatory: {single:>10.0} tx/s");
+
+    let grid = [(1, 1), (2, 1), (4, 1), (2, 2), (4, 2), (4, 4)];
+    let mut results = Vec::new();
+    for &(workers, shards) in &grid {
+        let tps = measure_threaded(&txs, workers, shards, reps);
+        println!(
+            "workers={workers} shards={shards}: {tps:>10.0} tx/s  ({:.2}x single)",
+            tps / single
+        );
+        results.push((workers, shards, tps));
+    }
+    let smoke = measure_threaded(&txs, SMOKE_WORKERS, SMOKE_SHARDS, reps);
+
+    let (allocs_per_tx, alloc_total) = measure_allocs(&txs);
+    if allocs_per_tx.is_finite() {
+        println!("steady-state srvip tracker: {allocs_per_tx:.4} allocs/tx ({alloc_total} total)");
+    } else {
+        println!("steady-state allocs: not measured (build with --features count-allocs)");
+    }
+
+    // Hand-rolled JSON baseline for scripts/bench-smoke.sh.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"transactions\": {},\n", txs.len()));
+    out.push_str(&format!("  \"single_tx_per_sec\": {},\n", json_f64(single)));
+    out.push_str(&format!("  \"smoke_tx_per_sec\": {},\n", json_f64(smoke)));
+    out.push_str(&format!(
+        "  \"smoke_config\": {{ \"workers\": {SMOKE_WORKERS}, \"shards\": {SMOKE_SHARDS} }},\n"
+    ));
+    out.push_str(&format!(
+        "  \"allocs_per_tx_srvip_steady\": {},\n",
+        if allocs_per_tx.is_finite() {
+            format!("{allocs_per_tx:.4}")
+        } else {
+            "null".to_string()
+        }
+    ));
+    out.push_str("  \"grid\": [\n");
+    for (i, (w, s, tps)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"workers\": {w}, \"shards\": {s}, \"tx_per_sec\": {} }}{comma}\n",
+            json_f64(*tps)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_pipeline.json");
+    std::fs::write(&path, out).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+}

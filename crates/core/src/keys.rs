@@ -1,7 +1,18 @@
-//! Dataset definitions: which textual key identifies a DNS object
-//! (paper §2.2 and §3.1).
+//! Dataset definitions: which key identifies a DNS object (paper §2.2 and
+//! §3.1), plus the compact [`Key`] representation used on the hot path.
+//!
+//! The tracker ingests ~200 k transactions/s across eight datasets, so
+//! key extraction must not allocate per transaction. [`Dataset::key_into`]
+//! writes a canonical byte encoding into a reusable [`KeyBuf`] scratch
+//! buffer; the bytes serve as the Space-Saving lookup form, and an owned
+//! [`Key`] is materialized only when a key actually enters the cache.
+//! Low-cardinality datasets (QTYPE, RCODE) intern `&'static str` keys,
+//! IP-keyed datasets store binary address octets, and everything else uses
+//! inline small-string storage with a heap spill for long QNAMEs.
 
 use crate::summarize::TxSummary;
+use std::fmt::{self, Write as _};
+use std::net::IpAddr;
 
 /// The aggregations collected by the platform (paper §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,27 +66,285 @@ impl Dataset {
 
     /// Extract this dataset's key from a summary; `None` drops the
     /// transaction from the aggregation (the dataset's input filter).
+    ///
+    /// Convenience/compat form of [`Dataset::key_into`]: allocates exactly
+    /// one `String` for the rendered key (the old `Etld` path cloned even
+    /// when `etld` was present and cloned twice on the TLD fallback).
     pub fn key(self, s: &TxSummary) -> Option<String> {
+        let mut buf = KeyBuf::new();
+        self.key_into(s, &mut buf).then(|| buf.render())
+    }
+
+    /// Write this dataset's key for `s` into the reusable scratch buffer.
+    ///
+    /// Returns `false` when the dataset's input filter drops the
+    /// transaction (the buffer is left cleared). On `true`, the buffer
+    /// holds the canonical byte encoding: the Space-Saving lookup form
+    /// whose rendered presentation equals [`Dataset::key`]'s output. The
+    /// steady-state path performs no allocation — the buffer's backing
+    /// storage is reused across calls.
+    pub fn key_into(self, s: &TxSummary, buf: &mut KeyBuf) -> bool {
+        buf.clear();
         match self {
-            Dataset::SrvIp => Some(s.nameserver.to_string()),
-            Dataset::Etld => s
-                .etld
-                .clone()
-                .or_else(|| s.tld.clone()),
-            Dataset::Esld => s.esld.clone(),
-            Dataset::Qname => Some(s.qname.to_ascii()),
-            Dataset::Qtype => Some(s.qtype.mnemonic()),
-            Dataset::Rcode => Some(s.outcome.tag().to_string()),
+            Dataset::SrvIp => {
+                buf.kind = KeyKind::Ip;
+                push_ip(&mut buf.bytes, s.nameserver);
+                true
+            }
+            Dataset::Etld => match s.etld.as_deref().or(s.tld.as_deref()) {
+                Some(t) => {
+                    buf.bytes.extend_from_slice(t.as_bytes());
+                    true
+                }
+                None => false,
+            },
+            Dataset::Esld => match s.esld.as_deref() {
+                Some(t) => {
+                    buf.bytes.extend_from_slice(t.as_bytes());
+                    true
+                }
+                None => false,
+            },
+            Dataset::Qname => {
+                buf.push_name(s);
+                true
+            }
+            Dataset::Qtype => {
+                match s.qtype.mnemonic_static() {
+                    Some(m) => buf.statik = Some(m),
+                    None => {
+                        write!(AsciiSink(&mut buf.bytes), "TYPE{}", s.qtype.code())
+                            .expect("Vec sink never fails");
+                    }
+                }
+                true
+            }
+            Dataset::Rcode => {
+                buf.statik = Some(s.outcome.tag());
+                true
+            }
             Dataset::AaFqdn => {
                 // Only authoritative responses carrying data or delegation
                 // (paper §4.2.1).
                 if s.aa && (s.ok_ans || s.ok_ns) {
-                    Some(s.qname.to_ascii())
+                    buf.push_name(s);
+                    true
                 } else {
-                    None
+                    false
                 }
             }
-            Dataset::SrcSrv => Some(format!("{}|{}", s.resolver, s.nameserver)),
+            Dataset::SrcSrv => {
+                buf.kind = KeyKind::IpPair;
+                let flags = (matches!(s.resolver, IpAddr::V6(_)) as u8)
+                    | ((matches!(s.nameserver, IpAddr::V6(_)) as u8) << 1);
+                buf.bytes.push(flags);
+                push_ip(&mut buf.bytes, s.resolver);
+                push_ip(&mut buf.bytes, s.nameserver);
+                true
+            }
+        }
+    }
+}
+
+/// How a key's canonical bytes are rendered back into presentation form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyKind {
+    /// Bytes are the presentation text itself (ASCII).
+    Text,
+    /// Bytes are raw IP octets (4 or 16).
+    Ip,
+    /// Bytes are a flags octet (bit 0: first address is IPv6, bit 1:
+    /// second address is IPv6) followed by both addresses' octets.
+    IpPair,
+}
+
+/// Keys that fit inline avoid any heap allocation; 38 bytes covers the
+/// binary encoding of an IPv6 `SrcSrv` pair (1 + 16 + 16 = 33) and the
+/// overwhelming majority of QNAMEs/eSLDs.
+const INLINE_CAP: usize = 38;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Interned text for low-cardinality datasets (QTYPE, RCODE).
+    Static(&'static str),
+    /// Small keys stored inline, no heap.
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    /// Spill for long keys (rare: deep QNAMEs only).
+    Heap(Box<[u8]>),
+}
+
+/// A compact, tracker-owned dataset key.
+///
+/// Equality and hashing are defined over the canonical byte encoding only
+/// (`Borrow<[u8]>`), so a borrowed `&[u8]` scratch buffer can be used for
+/// cache lookups without constructing a `Key` — see
+/// [`sketches::SpaceSaving::observe_with_ref`]. The rendering kind is
+/// presentation metadata and is uniform within a dataset.
+#[derive(Debug, Clone)]
+pub struct Key {
+    kind: KeyKind,
+    repr: Repr,
+}
+
+impl Key {
+    /// Canonical byte encoding (the hash/equality identity).
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s.as_bytes(),
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(b) => b,
+        }
+    }
+
+    /// Render the presentation form (what the TSV files and window dumps
+    /// show) — identical to what [`Dataset::key`] returns.
+    pub fn render(&self) -> String {
+        render_bytes(self.kind, self.as_bytes())
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Key {}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must agree with `<[u8] as Hash>::hash` for Borrow-based lookups.
+        self.as_bytes().hash(state);
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Key {
+    fn borrow(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Reusable scratch buffer for [`Dataset::key_into`].
+///
+/// Holds the canonical byte encoding of one key at a time; the backing
+/// `Vec` is reused across transactions so the steady state allocates
+/// nothing. Convert to an owned [`Key`] with [`KeyBuf::to_key`] only when
+/// the key must enter the top-k cache.
+#[derive(Debug, Default)]
+pub struct KeyBuf {
+    kind: KeyKind,
+    statik: Option<&'static str>,
+    bytes: Vec<u8>,
+}
+
+impl Default for KeyKind {
+    fn default() -> Self {
+        KeyKind::Text
+    }
+}
+
+impl KeyBuf {
+    /// Fresh, empty buffer.
+    pub fn new() -> KeyBuf {
+        KeyBuf::default()
+    }
+
+    fn clear(&mut self) {
+        self.kind = KeyKind::Text;
+        self.statik = None;
+        self.bytes.clear();
+    }
+
+    fn push_name(&mut self, s: &TxSummary) {
+        s.qname
+            .write_ascii(&mut AsciiSink(&mut self.bytes))
+            .expect("Vec sink never fails");
+    }
+
+    /// The canonical byte encoding of the current key — the borrowed
+    /// lookup form used against the Space-Saving cache.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self.statik {
+            Some(s) => s.as_bytes(),
+            None => &self.bytes,
+        }
+    }
+
+    /// Materialize an owned [`Key`]. Interned and inline-sized keys
+    /// allocate nothing; only keys longer than the inline capacity touch
+    /// the heap (one boxed-slice allocation).
+    pub fn to_key(&self) -> Key {
+        let repr = match self.statik {
+            Some(s) => Repr::Static(s),
+            None if self.bytes.len() <= INLINE_CAP => {
+                let mut buf = [0u8; INLINE_CAP];
+                buf[..self.bytes.len()].copy_from_slice(&self.bytes);
+                Repr::Inline {
+                    len: self.bytes.len() as u8,
+                    buf,
+                }
+            }
+            None => Repr::Heap(self.bytes.as_slice().into()),
+        };
+        Key {
+            kind: self.kind,
+            repr,
+        }
+    }
+
+    /// Render the presentation form directly from the scratch bytes
+    /// (one `String` allocation, no intermediate `Key`).
+    pub fn render(&self) -> String {
+        render_bytes(self.kind, self.as_bytes())
+    }
+}
+
+/// `fmt::Write` adapter appending UTF-8 text to a byte buffer.
+struct AsciiSink<'a>(&'a mut Vec<u8>);
+
+impl fmt::Write for AsciiSink<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn push_ip(bytes: &mut Vec<u8>, ip: IpAddr) {
+    match ip {
+        IpAddr::V4(a) => bytes.extend_from_slice(&a.octets()),
+        IpAddr::V6(a) => bytes.extend_from_slice(&a.octets()),
+    }
+}
+
+fn decode_ip(bytes: &[u8], v6: bool) -> (IpAddr, usize) {
+    if v6 {
+        let octets: [u8; 16] = bytes[..16].try_into().expect("16 v6 octets");
+        (IpAddr::V6(octets.into()), 16)
+    } else {
+        let octets: [u8; 4] = bytes[..4].try_into().expect("4 v4 octets");
+        (IpAddr::V4(octets.into()), 4)
+    }
+}
+
+fn render_bytes(kind: KeyKind, bytes: &[u8]) -> String {
+    match kind {
+        KeyKind::Text => String::from_utf8_lossy(bytes).into_owned(),
+        KeyKind::Ip => {
+            let (ip, _) = decode_ip(bytes, bytes.len() == 16);
+            ip.to_string()
+        }
+        KeyKind::IpPair => {
+            let flags = bytes[0];
+            let rest = &bytes[1..];
+            let (first, n) = decode_ip(rest, flags & 1 != 0);
+            let (second, _) = decode_ip(&rest[n..], flags & 2 != 0);
+            format!("{first}|{second}")
         }
     }
 }

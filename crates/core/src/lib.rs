@@ -48,7 +48,7 @@ pub mod topk;
 pub mod tsv;
 
 pub use features::{FeatureConfig, FeatureRow, FeatureSet};
-pub use keys::Dataset;
+pub use keys::{Dataset, Key, KeyBuf};
 pub use pipeline::{Observatory, ObservatoryConfig, ThreadedPipeline};
 pub use summarize::{Outcome, TxSummary};
 pub use timeseries::{TimeSeriesStore, WindowDump};

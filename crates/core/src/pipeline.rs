@@ -150,49 +150,139 @@ impl Observatory {
     }
 }
 
-/// A threaded pipeline: a bounded crossbeam channel fans transactions to
-/// `workers` summarizer threads; summaries return with sequence numbers
-/// and are re-ordered before entering the (stateful, single-threaded)
-/// trackers — the same shape as the paper's production ingest.
+/// One message on a shard's input channel.
+///
+/// Batches carry the summaries by `Arc` (shared with every other shard
+/// that got assignments from the same batch) plus this shard's private
+/// assignment list: `(index into the batch, bitmask of dataset slots)`.
+/// Watermarks mark a window boundary; the sequencer broadcasts one to
+/// every shard so all partial trackers dump at exactly the same point in
+/// the (re-ordered, deterministic) stream.
+enum ShardMsg {
+    Batch {
+        summaries: std::sync::Arc<Vec<TxSummary>>,
+        assign: Vec<(u32, u16)>,
+    },
+    Watermark {
+        start: f64,
+    },
+}
+
+/// Per-window output of one shard: for each configured dataset (in config
+/// order) the dumped rows plus this window's `(kept, dropped, filtered)`
+/// deltas.
+type ShardPart = (Vec<(String, crate::features::FeatureRow)>, (u64, u64, u64));
+type ShardWindows = Vec<(f64, Vec<ShardPart>)>;
+
+/// A threaded pipeline: transactions are chunked into batches and fanned
+/// out to `workers` summarizer threads; a sequencer restores batch order,
+/// drives the window clock, and routes each summary to one of `shards`
+/// tracker threads by `xxh64(key) % shards` — so the Top-k state itself
+/// is partitioned, not just the parsing. Disjoint key partitions make the
+/// merge trivial (concatenate + re-sort) and keep the sharded output
+/// byte-identical to the single-threaded [`Observatory`].
 pub struct ThreadedPipeline {
     cfg: ObservatoryConfig,
     workers: usize,
+    shards: usize,
 }
 
 impl ThreadedPipeline {
-    /// Build a pipeline with `workers` summarizer threads.
+    /// Build a pipeline with `workers` summarizer threads and a single
+    /// tracker shard (exact single-tracker capacities).
     pub fn new(cfg: ObservatoryConfig, workers: usize) -> ThreadedPipeline {
+        Self::with_shards(cfg, workers, 1)
+    }
+
+    /// Build a pipeline with `workers` summarizer threads and `shards`
+    /// tracker threads. With `shards > 1` each shard gets capacity
+    /// `ceil(k/shards)` plus 25 % headroom against uneven hashing; with
+    /// `shards == 1` capacities match the single-threaded tracker
+    /// exactly.
+    pub fn with_shards(cfg: ObservatoryConfig, workers: usize, shards: usize) -> ThreadedPipeline {
+        assert!(
+            cfg.datasets.len() <= 16,
+            "shard routing packs dataset slots into a u16 bitmask"
+        );
         ThreadedPipeline {
             cfg,
             workers: workers.max(1),
+            shards: shards.max(1),
+        }
+    }
+
+    /// Per-shard cache capacity for a dataset configured with capacity `k`.
+    fn shard_capacity(k: usize, shards: usize) -> usize {
+        if shards <= 1 {
+            k
+        } else {
+            let per = k.div_ceil(shards);
+            (per + per / 4).max(8)
         }
     }
 
     /// Consume `transactions`, returning the collected time series.
     ///
-    /// The input is chunked into batches; each batch is summarized by one
-    /// worker; a sequencer restores batch order so window boundaries are
-    /// deterministic and identical to the single-threaded result.
-    pub fn run(&self, transactions: Vec<Transaction>) -> TimeSeriesStore {
-        use crossbeam_channel::bounded;
+    /// The input is chunked into batches on the calling thread (batch
+    /// `Vec`s are recycled through a return channel, so the steady state
+    /// allocates no batch storage); each batch is summarized by one
+    /// worker; the sequencer restores batch order so window boundaries
+    /// are deterministic and identical to the single-threaded result,
+    /// then scatters summaries to the tracker shards.
+    pub fn run<I>(&self, transactions: I) -> TimeSeriesStore
+    where
+        I: IntoIterator<Item = Transaction>,
+    {
+        use crate::keys::KeyBuf;
+        use crossbeam_channel::{bounded, unbounded};
         use std::collections::BTreeMap;
+        use std::sync::Arc;
 
         const BATCH: usize = 512;
-        let (task_tx, task_rx) = bounded::<(u64, Vec<Transaction>)>(self.workers * 2);
-        let (done_tx, done_rx) = bounded::<(u64, Vec<TxSummary>)>(self.workers * 2);
+        let workers = self.workers;
+        let shards = self.shards;
+        let datasets: Vec<Dataset> = self.cfg.datasets.iter().map(|&(ds, _)| ds).collect();
+        let n_datasets = datasets.len();
+        let full_mask: u16 = if n_datasets >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << n_datasets) - 1
+        };
+        let window_secs = self.cfg.window_secs;
 
-        let mut observatory = Observatory::new(self.cfg.clone());
+        let (task_tx, task_rx) = bounded::<(u64, Vec<Transaction>)>(workers * 2);
+        let (done_tx, done_rx) = bounded::<(u64, Vec<TxSummary>)>(workers * 2);
+        // Drained batch Vecs flow back to the feeder for reuse. Unbounded
+        // so a worker can never block on the return path; the population
+        // of batches is bounded by the task channel anyway.
+        let (recycle_tx, recycle_rx) = unbounded::<Vec<Transaction>>();
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = bounded::<ShardMsg>(4);
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+
+        let mut store = TimeSeriesStore::new();
+        let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+            // Summarizer workers.
+            for _ in 0..workers {
                 let task_rx = task_rx.clone();
                 let done_tx = done_tx.clone();
+                let recycle_tx = recycle_tx.clone();
                 scope.spawn(move || {
                     let psl = Psl::embedded();
-                    for (seq, batch) in task_rx.iter() {
+                    for (seq, mut batch) in task_rx.iter() {
                         let summaries = batch
                             .iter()
                             .map(|tx| TxSummary::from_transaction(tx, &psl))
                             .collect();
+                        batch.clear();
+                        // Feeder may already be done draining; that's fine.
+                        let _ = recycle_tx.send(batch);
                         if done_tx.send((seq, summaries)).is_err() {
                             return;
                         }
@@ -201,35 +291,205 @@ impl ThreadedPipeline {
             }
             drop(task_rx);
             drop(done_tx);
+            drop(recycle_tx);
 
-            // Feeder thread: chunk and send.
-            let feeder = scope.spawn(move || {
-                let mut seq = 0u64;
-                let mut it = transactions.into_iter().peekable();
-                while it.peek().is_some() {
-                    let batch: Vec<Transaction> = it.by_ref().take(BATCH).collect();
-                    if task_tx.send((seq, batch)).is_err() {
-                        return;
+            // Tracker shards: each owns an independent TopKTracker per
+            // dataset over its disjoint slice of the key space.
+            let shard_handles: Vec<_> = shard_rxs
+                .into_iter()
+                .map(|rx| {
+                    let cfg = &self.cfg;
+                    scope.spawn(move || {
+                        let mut trackers: Vec<TopKTracker> = cfg
+                            .datasets
+                            .iter()
+                            .map(|&(ds, k)| {
+                                TopKTracker::new(
+                                    ds,
+                                    Self::shard_capacity(k, shards),
+                                    cfg.feature_cfg,
+                                    cfg.bloom_gate,
+                                )
+                            })
+                            .collect();
+                        let mut prev = vec![(0u64, 0u64, 0u64); trackers.len()];
+                        let mut windows: ShardWindows = Vec::new();
+                        for msg in rx.iter() {
+                            match msg {
+                                ShardMsg::Batch { summaries, assign } => {
+                                    for (idx, mask) in assign {
+                                        let s = &summaries[idx as usize];
+                                        for (d, t) in trackers.iter_mut().enumerate() {
+                                            if mask & (1 << d) != 0 {
+                                                t.observe(s);
+                                            }
+                                        }
+                                    }
+                                }
+                                ShardMsg::Watermark { start } => {
+                                    let parts = trackers
+                                        .iter_mut()
+                                        .enumerate()
+                                        .map(|(i, t)| {
+                                            let rows = t.dump(start);
+                                            let (k, dr, f) = t.stats();
+                                            let (pk, pd, pf) = prev[i];
+                                            prev[i] = (k, dr, f);
+                                            (rows, (k - pk, dr - pd, f - pf))
+                                        })
+                                        .collect();
+                                    windows.push((start, parts));
+                                }
+                            }
+                        }
+                        windows
+                    })
+                })
+                .collect();
+
+            // Sequencer: restore batch order, drive the window clock with
+            // the exact arithmetic of `Observatory::ingest_summary`, and
+            // scatter assignments to the shards.
+            let datasets: &[Dataset] = &datasets;
+            let sequencer = scope.spawn(move || {
+                let mut next_seq = 0u64;
+                let mut hold: BTreeMap<u64, Vec<TxSummary>> = BTreeMap::new();
+                let mut window_start: Option<f64> = None;
+                let mut ingested = 0u64;
+                let mut keybuf = KeyBuf::new();
+                let mut masks: Vec<u16> = vec![0; shards];
+                let mut pending: Vec<Vec<(u32, u16)>> = vec![Vec::new(); shards];
+
+                let flush = |pending: &mut Vec<Vec<(u32, u16)>>,
+                             batch: &Arc<Vec<TxSummary>>,
+                             shard_txs: &[crossbeam_channel::Sender<ShardMsg>]| {
+                    for (sh, assign) in pending.iter_mut().enumerate() {
+                        if !assign.is_empty() {
+                            shard_txs[sh]
+                                .send(ShardMsg::Batch {
+                                    summaries: Arc::clone(batch),
+                                    assign: std::mem::take(assign),
+                                })
+                                .unwrap_or_else(|_| panic!("shard thread alive"));
+                        }
                     }
-                    seq += 1;
+                };
+
+                for (seq, summaries) in done_rx.iter() {
+                    hold.insert(seq, summaries);
+                    while let Some(batch) = hold.remove(&next_seq) {
+                        next_seq += 1;
+                        let batch = Arc::new(batch);
+                        for (i, s) in batch.iter().enumerate() {
+                            let start = *window_start.get_or_insert(s.time);
+                            if s.time >= start + window_secs {
+                                // Window boundary *before* this summary:
+                                // ship everything routed so far, then the
+                                // watermark, exactly as the single-threaded
+                                // Observatory dumps before observing.
+                                flush(&mut pending, &batch, &shard_txs);
+                                for tx in &shard_txs {
+                                    tx.send(ShardMsg::Watermark { start })
+                                        .unwrap_or_else(|_| panic!("shard thread alive"));
+                                }
+                                let skipped = ((s.time - start) / window_secs).floor();
+                                window_start = Some(start + skipped * window_secs);
+                            }
+                            ingested += 1;
+                            if shards == 1 {
+                                pending[0].push((i as u32, full_mask));
+                            } else {
+                                masks.iter_mut().for_each(|m| *m = 0);
+                                for (d, ds) in datasets.iter().enumerate() {
+                                    // Filtered summaries still count once:
+                                    // route them by dataset slot so exactly
+                                    // one shard tallies the `filtered` stat.
+                                    let sh = if ds.key_into(s, &mut keybuf) {
+                                        (sketches::hash::xxh64(keybuf.as_bytes(), 0)
+                                            % shards as u64)
+                                            as usize
+                                    } else {
+                                        d % shards
+                                    };
+                                    masks[sh] |= 1 << d;
+                                }
+                                for (sh, m) in masks.iter().enumerate() {
+                                    if *m != 0 {
+                                        pending[sh].push((i as u32, *m));
+                                    }
+                                }
+                            }
+                        }
+                        flush(&mut pending, &batch, &shard_txs);
+                    }
                 }
+                // Final partial window, matching `Observatory::finish`.
+                if let Some(start) = window_start {
+                    if ingested > 0 {
+                        for tx in &shard_txs {
+                            tx.send(ShardMsg::Watermark { start })
+                                .unwrap_or_else(|_| panic!("shard thread alive"));
+                        }
+                    }
+                }
+                // Dropping the senders disconnects the shards.
             });
 
-            // Sequencer: restore batch order, feed the trackers.
-            let mut next_seq = 0u64;
-            let mut hold: BTreeMap<u64, Vec<TxSummary>> = BTreeMap::new();
-            for (seq, summaries) in done_rx.iter() {
-                hold.insert(seq, summaries);
-                while let Some(batch) = hold.remove(&next_seq) {
-                    for s in batch {
-                        observatory.ingest_summary(s);
-                    }
-                    next_seq += 1;
+            // Feeder (this thread): chunk the input, reusing drained
+            // batch Vecs from the recycle channel.
+            let mut it = transactions.into_iter();
+            let mut seq = 0u64;
+            loop {
+                let mut batch = recycle_rx.try_recv().unwrap_or_default();
+                batch.extend(it.by_ref().take(BATCH));
+                if batch.is_empty() {
+                    break;
                 }
+                if task_tx.send((seq, batch)).is_err() {
+                    break;
+                }
+                seq += 1;
             }
-            feeder.join().expect("feeder thread");
+            drop(task_tx);
+            drop(recycle_rx);
+
+            sequencer.join().expect("sequencer thread");
+            for h in shard_handles {
+                shard_windows.push(h.join().expect("shard thread"));
+            }
         });
-        observatory.finish()
+
+        // Merge: every shard saw every watermark, so all shards report the
+        // same window starts in the same order. Partitions are disjoint,
+        // so a window's rows are the concatenation, re-sorted with the
+        // tracker's own dump order (hits desc, then key).
+        let n_windows = shard_windows.first().map_or(0, Vec::len);
+        debug_assert!(shard_windows.iter().all(|w| w.len() == n_windows));
+        for w in 0..n_windows {
+            let start = shard_windows[0][w].0;
+            for (d, ds) in datasets.iter().enumerate() {
+                let mut rows = Vec::new();
+                let (mut kept, mut dropped, mut filtered) = (0u64, 0u64, 0u64);
+                for sw in shard_windows.iter_mut() {
+                    let (part_rows, (dk, dd, df)) = std::mem::take(&mut sw[w].1[d]);
+                    rows.extend(part_rows);
+                    kept += dk;
+                    dropped += dd;
+                    filtered += df;
+                }
+                rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
+                store.push(WindowDump {
+                    dataset: ds.name().to_string(),
+                    start,
+                    length: window_secs,
+                    rows,
+                    kept,
+                    dropped,
+                    filtered,
+                });
+            }
+        }
+        store
     }
 }
 
@@ -323,18 +583,160 @@ mod tests {
         }
         let single = obs.finish();
 
-        let threaded = ThreadedPipeline::new(small_cfg(), 4).run(txs);
-
-        assert_eq!(single.windows().len(), threaded.windows().len());
-        for (a, b) in single.windows().iter().zip(threaded.windows()) {
-            assert_eq!(a.dataset, b.dataset);
-            assert_eq!(a.start, b.start);
-            assert_eq!(a.rows.len(), b.rows.len());
-            assert_eq!(a.total_hits(), b.total_hits());
-            for ((ka, ra), (kb, rb)) in a.rows.iter().zip(&b.rows) {
-                assert_eq!(ka, kb);
-                assert_eq!(ra.hits, rb.hits);
+        // small_cfg's SrvIp cache saturates (evictions happen), so exact
+        // equality is only guaranteed with one tracker shard — any number
+        // of summarizer workers.
+        for workers in [1, 4] {
+            let threaded = ThreadedPipeline::new(small_cfg(), workers).run(txs.clone());
+            assert_eq!(
+                single.windows().len(),
+                threaded.windows().len(),
+                "workers={workers}"
+            );
+            for (a, b) in single.windows().iter().zip(threaded.windows()) {
+                assert_eq!(a.dataset, b.dataset);
+                assert_eq!(a.start, b.start);
+                assert_eq!(a.rows.len(), b.rows.len(), "{} window", a.dataset);
+                assert_eq!(a.total_hits(), b.total_hits());
+                for ((ka, ra), (kb, rb)) in a.rows.iter().zip(&b.rows) {
+                    assert_eq!(ka, kb);
+                    assert_eq!(ra.hits, rb.hits);
+                }
             }
+        }
+
+        // With unsaturated caches, equality extends to sharded trackers
+        // (see sharded_pipeline_is_byte_identical_to_observatory for the
+        // full 8-dataset version of this assertion).
+        let roomy_cfg = ObservatoryConfig {
+            datasets: vec![(Dataset::SrvIp, 16_000), (Dataset::Qtype, 64)],
+            window_secs: 1.0,
+            ..ObservatoryConfig::default()
+        };
+        let mut obs = Observatory::new(roomy_cfg.clone());
+        for tx in &txs {
+            obs.ingest(tx);
+        }
+        let single = obs.finish();
+        for (workers, shards) in [(4, 2), (4, 4)] {
+            let threaded =
+                ThreadedPipeline::with_shards(roomy_cfg.clone(), workers, shards).run(txs.clone());
+            assert_eq!(single.windows().len(), threaded.windows().len());
+            for (a, b) in single.windows().iter().zip(threaded.windows()) {
+                assert_eq!(a.dataset, b.dataset);
+                assert_eq!(a.start, b.start);
+                assert_eq!(
+                    format!("{:?}", a.rows),
+                    format!("{:?}", b.rows),
+                    "{} @ {} (workers={workers} shards={shards})",
+                    a.dataset,
+                    a.start
+                );
+            }
+        }
+    }
+
+    /// Every paper dataset, including the filtered ones (AaFqdn only sees
+    /// authoritative answers, Esld/Etld drop unparseable names): the
+    /// sharded pipeline must be byte-identical to the single-threaded
+    /// Observatory — rows, feature values, and per-window stat deltas.
+    ///
+    /// Exactness requires the unsaturated regime (no cache is ever full,
+    /// in either pipeline): eviction consults a *global* minimum that a
+    /// key-partitioned shard cannot see. The `dropped == 0` asserts guard
+    /// that premise; under saturation the sharded result degrades to the
+    /// per-partition Space-Saving error bound instead (covered by the
+    /// sketches proptest).
+    #[test]
+    fn sharded_pipeline_is_byte_identical_to_observatory() {
+        let cfg = ObservatoryConfig {
+            datasets: vec![
+                // ~10k transactions in the 3 s workload below, so 16k
+                // capacity can never saturate even for per-tx-unique keys.
+                (Dataset::SrvIp, 16_000),
+                (Dataset::Etld, 2_000),
+                (Dataset::Esld, 16_000),
+                (Dataset::Qname, 16_000),
+                (Dataset::Qtype, 64),
+                (Dataset::Rcode, 32),
+                (Dataset::AaFqdn, 16_000),
+                (Dataset::SrcSrv, 16_000),
+            ],
+            window_secs: 1.0,
+            ..ObservatoryConfig::default()
+        };
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(3.0);
+
+        let mut obs = Observatory::new(cfg.clone());
+        for tx in &txs {
+            obs.ingest(tx);
+        }
+        let single = obs.finish();
+        for w in single.windows() {
+            assert_eq!(w.dropped, 0, "test premise: no eviction in {}", w.dataset);
+        }
+
+        for (workers, shards) in [(4, 4), (2, 3)] {
+            let threaded =
+                ThreadedPipeline::with_shards(cfg.clone(), workers, shards).run(txs.clone());
+            assert_eq!(single.windows().len(), threaded.windows().len());
+            for (a, b) in single.windows().iter().zip(threaded.windows()) {
+                assert_eq!(a.dataset, b.dataset);
+                assert_eq!(a.start, b.start);
+                assert_eq!(a.length, b.length);
+                assert_eq!(
+                    (a.kept, a.dropped, a.filtered),
+                    (b.kept, b.dropped, b.filtered),
+                    "{} @ {} (workers={workers} shards={shards})",
+                    a.dataset,
+                    a.start
+                );
+                // Debug formatting covers every feature field (and renders
+                // NaN stably, which f64 == would reject).
+                assert_eq!(
+                    format!("{:?}", a.rows),
+                    format!("{:?}", b.rows),
+                    "{} @ {} (workers={workers} shards={shards})",
+                    a.dataset,
+                    a.start
+                );
+            }
+        }
+    }
+
+    /// Under eviction pressure the sharded rows legitimately differ, but
+    /// the per-window data-collection stats must still be conserved:
+    /// every transaction lands in exactly one shard's kept/dropped/
+    /// filtered tally for each dataset.
+    #[test]
+    fn sharded_stats_sum_to_ingested_under_pressure() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(2.0);
+        let total = txs.len() as u64;
+        let store = ThreadedPipeline::with_shards(small_cfg(), 2, 3).run(txs);
+        for ds in [Dataset::SrvIp, Dataset::Qtype] {
+            let sum: u64 = store
+                .dataset(ds)
+                .iter()
+                .map(|w| w.kept + w.dropped + w.filtered)
+                .sum();
+            assert_eq!(sum, total, "{} stats must sum to ingested", ds.name());
+        }
+    }
+
+    /// `run` takes any IntoIterator, so transactions can stream straight
+    /// off a generator without being collected first.
+    #[test]
+    fn run_accepts_streaming_iterator() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(1.5);
+        let from_vec = ThreadedPipeline::new(small_cfg(), 2).run(txs.clone());
+        let from_iter =
+            ThreadedPipeline::new(small_cfg(), 2).run(txs.into_iter().filter(|_| true));
+        assert_eq!(from_vec.windows().len(), from_iter.windows().len());
+        for (a, b) in from_vec.windows().iter().zip(from_iter.windows()) {
+            assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
         }
     }
 

@@ -2,7 +2,7 @@
 //! Bloom-filter eviction gate and the 60-second residency rule.
 
 use crate::features::{FeatureConfig, FeatureSet};
-use crate::keys::Dataset;
+use crate::keys::{Dataset, Key, KeyBuf};
 use crate::summarize::TxSummary;
 use sketches::{BloomFilter, SpaceSaving};
 
@@ -10,14 +10,22 @@ use sketches::{BloomFilter, SpaceSaving};
 const RATE_HALFLIFE: f64 = 60.0;
 
 /// One dataset's tracker: key extraction + Space-Saving + features.
+///
+/// The hot path is allocation-free in the steady state: keys are encoded
+/// into a reusable [`KeyBuf`] scratch buffer and looked up by borrowed
+/// bytes; an owned [`Key`] is built only when an object actually enters
+/// the cache.
 #[derive(Debug)]
 pub struct TopKTracker {
     dataset: Dataset,
-    ss: SpaceSaving<String, FeatureSet>,
+    ss: SpaceSaving<Key, FeatureSet>,
     /// Eviction gate: a key must have been seen before (within the current
     /// Bloom generation) to displace a monitored object.
     bloom: Option<BloomFilter>,
     feature_cfg: FeatureConfig,
+    /// Reusable key-encoding scratch; lives here so `observe` allocates
+    /// nothing per transaction.
+    keybuf: KeyBuf,
     /// Transactions dropped because their object is not monitored.
     dropped: u64,
     /// Transactions aggregated into a monitored object.
@@ -34,6 +42,7 @@ impl TopKTracker {
             ss: SpaceSaving::new(k, RATE_HALFLIFE),
             bloom: bloom_gate.then(|| BloomFilter::new(4 * k.max(1_024), 0.02)),
             feature_cfg,
+            keybuf: KeyBuf::new(),
             dropped: 0,
             kept: 0,
             filtered: 0,
@@ -45,19 +54,22 @@ impl TopKTracker {
         self.dataset
     }
 
-    /// Feed one summary.
+    /// Feed one summary. Steady state (object already monitored) performs
+    /// no allocation: the key is encoded into the reusable scratch buffer
+    /// and looked up by borrowed bytes.
     pub fn observe(&mut self, s: &TxSummary) {
-        let Some(key) = self.dataset.key(s) else {
+        if !self.dataset.key_into(s, &mut self.keybuf) {
             self.filtered += 1;
             return;
-        };
+        }
+        let keybuf = &self.keybuf;
         // The Bloom gate only applies when the key would *displace* a
         // monitored object: if the cache is full and the key is unknown,
         // require a second sighting first.
         if let Some(bloom) = &mut self.bloom {
             let full = self.ss.len() == self.ss.capacity();
-            if full && self.ss.count(&key).is_none() {
-                let seen_before = bloom.check_and_insert(key.as_bytes());
+            if full && self.ss.count(keybuf.as_bytes()).is_none() {
+                let seen_before = bloom.check_and_insert(keybuf.as_bytes());
                 if !seen_before {
                     self.dropped += 1;
                     return;
@@ -69,9 +81,12 @@ impl TopKTracker {
             }
         }
         let cfg = self.feature_cfg;
-        let fs = self
-            .ss
-            .observe_with(&key, s.time, || FeatureSet::new(cfg));
+        let fs = self.ss.observe_with_ref(
+            keybuf.as_bytes(),
+            s.time,
+            || keybuf.to_key(),
+            || FeatureSet::new(cfg),
+        );
         fs.fold(s);
         self.kept += 1;
     }
@@ -100,17 +115,12 @@ impl TopKTracker {
     /// but their state is still reset so the next window starts clean.
     pub fn dump(&mut self, window_start: f64) -> Vec<(String, crate::features::FeatureRow)> {
         let mut rows = Vec::with_capacity(self.ss.len());
-        // Collect keys + insertion times first (immutable pass).
-        let resident: std::collections::HashSet<String> = self
-            .ss
-            .iter_desc()
-            .into_iter()
-            .filter(|e| e.inserted_at <= window_start)
-            .map(|e| e.key.clone())
-            .collect();
-        self.ss.for_each_value(|key, _count, _rate, fs| {
-            if resident.contains(key) && fs.hits() > 0 {
-                rows.push((key.clone(), fs.row()));
+        // One pass: residency comes straight from each entry's insertion
+        // time, so only emitted rows pay a key rendering (and nothing is
+        // cloned into a side set, as the old two-pass version did).
+        self.ss.for_each_value(|key, _count, _rate, inserted_at, fs| {
+            if inserted_at <= window_start && fs.hits() > 0 {
+                rows.push((key.render(), fs.row()));
             }
             fs.reset();
         });

@@ -279,19 +279,40 @@ impl Name {
     /// Canonical lowercase presentation form without the trailing dot
     /// (the root renders as `"."`).
     pub fn to_ascii(&self) -> String {
-        if self.is_root() {
-            return ".".to_string();
-        }
         let mut out = String::with_capacity(self.wire.len());
+        self.write_ascii(&mut out).expect("fmt to String");
+        out
+    }
+
+    /// Write the canonical lowercase presentation form into `out` without
+    /// allocating; output is byte-identical to [`Name::to_ascii`].
+    ///
+    /// This is the hot-path form used by the pipeline's key extraction,
+    /// where per-transaction `String` allocations are forbidden.
+    pub fn write_ascii<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        if self.is_root() {
+            return out.write_char('.');
+        }
         for (i, label) in self.labels().enumerate() {
             if i > 0 {
-                out.push('.');
+                out.write_char('.')?;
             }
-            // Lowercase through the escaping Display impl.
-            let rendered = label.to_string();
-            out.push_str(&rendered.to_ascii_lowercase());
+            // Same escaping as the `Label` Display impl, lowercased: the
+            // escape sequences themselves contain no letters, so
+            // per-character lowercasing matches lowercasing the rendered
+            // string.
+            for &b in label.as_bytes() {
+                match b {
+                    b'.' | b'\\' => {
+                        out.write_char('\\')?;
+                        out.write_char(b as char)?;
+                    }
+                    0x21..=0x7e => out.write_char(b.to_ascii_lowercase() as char)?,
+                    other => write!(out, "\\{other:03}")?,
+                }
+            }
         }
-        out
+        Ok(())
     }
 }
 

@@ -94,24 +94,37 @@ impl RecordType {
 
     /// Mnemonic used in presentation format, e.g. `"AAAA"`.
     pub fn mnemonic(self) -> String {
-        match self {
-            RecordType::A => "A".into(),
-            RecordType::Ns => "NS".into(),
-            RecordType::Cname => "CNAME".into(),
-            RecordType::Soa => "SOA".into(),
-            RecordType::Ptr => "PTR".into(),
-            RecordType::Mx => "MX".into(),
-            RecordType::Txt => "TXT".into(),
-            RecordType::Aaaa => "AAAA".into(),
-            RecordType::Srv => "SRV".into(),
-            RecordType::Opt => "OPT".into(),
-            RecordType::Ds => "DS".into(),
-            RecordType::Rrsig => "RRSIG".into(),
-            RecordType::Nsec => "NSEC".into(),
-            RecordType::Dnskey => "DNSKEY".into(),
-            RecordType::Any => "ANY".into(),
-            RecordType::Unknown(c) => format!("TYPE{c}"),
+        match self.mnemonic_static() {
+            Some(s) => s.into(),
+            None => match self {
+                RecordType::Unknown(c) => format!("TYPE{c}"),
+                _ => unreachable!("every known type has a static mnemonic"),
+            },
         }
+    }
+
+    /// Interned mnemonic for every known type; `None` only for
+    /// [`RecordType::Unknown`]. Lets hot paths key on `&'static str`
+    /// without allocating.
+    pub fn mnemonic_static(self) -> Option<&'static str> {
+        Some(match self {
+            RecordType::A => "A",
+            RecordType::Ns => "NS",
+            RecordType::Cname => "CNAME",
+            RecordType::Soa => "SOA",
+            RecordType::Ptr => "PTR",
+            RecordType::Mx => "MX",
+            RecordType::Txt => "TXT",
+            RecordType::Aaaa => "AAAA",
+            RecordType::Srv => "SRV",
+            RecordType::Opt => "OPT",
+            RecordType::Ds => "DS",
+            RecordType::Rrsig => "RRSIG",
+            RecordType::Nsec => "NSEC",
+            RecordType::Dnskey => "DNSKEY",
+            RecordType::Any => "ANY",
+            RecordType::Unknown(_) => return None,
+        })
     }
 }
 

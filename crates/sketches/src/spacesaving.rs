@@ -20,6 +20,7 @@
 //! doubly-linked list of count buckets ("stream summary"), giving O(1)
 //! amortized increments.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -151,23 +152,51 @@ impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
     /// it. If the key displaced another, the state is newly created even
     /// though count/error/rate are inherited.
     pub fn observe_with(&mut self, key: &K, now: f64, make: impl FnOnce() -> V) -> &mut V {
+        self.observe_with_ref(key, now, || key.clone(), make)
+    }
+
+    /// Observe a key by a borrowed lookup form `q`, deferring construction
+    /// of the owned key until it actually has to enter the cache.
+    ///
+    /// In the steady state — the key is already monitored — this path
+    /// performs no owned-key construction at all, which is what makes the
+    /// tracker's hot loop allocation-free. `make_key` is called only on
+    /// insertion (cache not yet full, or eviction of the minimum entry)
+    /// and must produce a key whose `Borrow<Q>` view equals `q`.
+    pub fn observe_with_ref<Q>(
+        &mut self,
+        q: &Q,
+        now: f64,
+        make_key: impl FnOnce() -> K,
+        make: impl FnOnce() -> V,
+    ) -> &mut V
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.observed += 1;
-        if let Some(&idx) = self.index.get(key) {
+        if let Some(&idx) = self.index.get(q) {
             self.bump(idx, now);
             return &mut self.entries[idx].value;
         }
-        if self.entries.len() < self.capacity {
-            let idx = self.insert_new(key.clone(), make(), now);
-            self.bump_rate(idx, now);
-            return &mut self.entries[idx].value;
-        }
-        let idx = self.replace_min(key.clone(), make(), now);
+        let key = make_key();
+        debug_assert!(key.borrow() == q, "make_key must agree with the lookup form");
+        let idx = if self.entries.len() < self.capacity {
+            self.insert_new(key, make(), now)
+        } else {
+            self.replace_min(key, make(), now)
+        };
         self.bump_rate(idx, now);
         &mut self.entries[idx].value
     }
 
-    /// Estimated count for `key` if it is currently monitored.
-    pub fn count(&self, key: &K) -> Option<u64> {
+    /// Estimated count for `key` if it is currently monitored. Accepts any
+    /// borrowed form of the key (e.g. `&[u8]` for byte-backed keys).
+    pub fn count<Q>(&self, key: &Q) -> Option<u64>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.index.get(key).map(|&i| self.entries[i].count)
     }
 
@@ -203,13 +232,15 @@ impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
 
     /// Visit every monitored entry mutably (used by the 60 s dump step to
     /// harvest-and-reset feature state without touching the top-k list).
-    pub fn for_each_value<F: FnMut(&K, u64, f64, &mut V)>(&mut self, mut f: F) {
+    /// The callback receives `(key, count, rate, inserted_at, value)` so
+    /// window-residency checks need no separate key-collecting pass.
+    pub fn for_each_value<F: FnMut(&K, u64, f64, f64, &mut V)>(&mut self, mut f: F) {
         for e in &mut self.entries {
             let rate = {
                 // Inline decay with current knowledge; rate_updated stays.
                 e.rate
             };
-            f(&e.key, e.count, rate, &mut e.value);
+            f(&e.key, e.count, rate, e.inserted_at, &mut e.value);
         }
     }
 
@@ -415,8 +446,8 @@ mod tests {
         for _ in 0..3 {
             observe(&mut ss, "b", 0.0);
         }
-        assert_eq!(ss.count(&"a".into()), Some(5));
-        assert_eq!(ss.count(&"b".into()), Some(3));
+        assert_eq!(ss.count("a"), Some(5));
+        assert_eq!(ss.count("b"), Some(3));
         assert_eq!(ss.observed(), 8);
         let top = ss.iter_desc();
         assert_eq!(top[0].key, "a");
@@ -431,8 +462,8 @@ mod tests {
         observe(&mut ss, "b", 0.0);
         // Cache full: "c" evicts "b" (count 1) and gets count 2, error 1.
         observe(&mut ss, "c", 0.0);
-        assert_eq!(ss.count(&"b".into()), None);
-        assert_eq!(ss.count(&"c".into()), Some(2));
+        assert_eq!(ss.count("b"), None);
+        assert_eq!(ss.count("c"), Some(2));
         let c = ss
             .iter_desc()
             .into_iter()
@@ -524,7 +555,7 @@ mod tests {
             observe(&mut ss, k, 0.0);
         }
         let mut seen = Vec::new();
-        ss.for_each_value(|k, _, _, v| {
+        ss.for_each_value(|k, _, _, _, v| {
             seen.push(k.clone());
             *v = 99;
         });

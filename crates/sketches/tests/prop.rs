@@ -126,6 +126,58 @@ proptest! {
         }
     }
 
+    /// Sharded Space-Saving: partitioning a stream by key hash across N
+    /// independent trackers (the pipeline's shard layout) and merging by
+    /// concatenation preserves the per-partition error bound. Because the
+    /// partitions are disjoint, each merged entry keeps the guarantees of
+    /// the shard that produced it: `count − error ≤ true ≤ count` with
+    /// `error ≤ N_shard / k_shard`, and any key whose frequency within its
+    /// shard exceeds that bound is present in the merged view.
+    #[test]
+    fn sharded_space_saving_merge_preserves_partition_bounds(
+        keys in prop::collection::vec(0u32..60, 1..2500),
+        k in 2usize..24,
+        shards in 1usize..5,
+    ) {
+        let shard_of = |key: u32| -> usize {
+            (sketches::hash::xxh64(&key.to_be_bytes(), 0) % shards as u64) as usize
+        };
+        let mut parts: Vec<SpaceSaving<u32, ()>> =
+            (0..shards).map(|_| SpaceSaving::new(k, 60.0)).collect();
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            parts[shard_of(*key)].observe(key, i as f64 * 0.001);
+            *truth.entry(*key).or_default() += 1;
+        }
+        // Disjoint partitions ⇒ merge is concatenation: no key appears in
+        // two shards, and per-shard totals sum to the stream length.
+        let total: u64 = parts.iter().map(|p| p.observed()).sum();
+        prop_assert_eq!(total, keys.len() as u64);
+        let mut seen: HashMap<u32, usize> = HashMap::new();
+        for (s, part) in parts.iter().enumerate() {
+            let bound = part.error_bound();
+            for e in part.iter_desc() {
+                prop_assert!(seen.insert(*e.key, s).is_none(),
+                    "key {} reported by two shards", e.key);
+                let true_count = truth[e.key];
+                prop_assert!(e.count >= true_count,
+                    "merged count {} < true {}", e.count, true_count);
+                prop_assert!(e.count - e.error <= true_count,
+                    "merged lower bound {} > true {}", e.count - e.error, true_count);
+                prop_assert!(e.error <= bound,
+                    "shard {s}: error {} > per-partition bound {}", e.error, bound);
+            }
+        }
+        // Frequent-elements guarantee survives the merge, per partition.
+        for (key, &count) in &truth {
+            let part = &parts[shard_of(*key)];
+            if count > part.error_bound() {
+                prop_assert!(seen.contains_key(key),
+                    "shard-frequent key {key} missing from merged view");
+            }
+        }
+    }
+
     /// Histogram: median has bounded relative error vs the exact median.
     #[test]
     fn histogram_median_accuracy(

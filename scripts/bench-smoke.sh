@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Throughput smoke check: fail if the pipeline's tx/s regressed more than
+# 20 % against the committed baseline in BENCH_pipeline.json.
+#
+# Usage: ./scripts/bench-smoke.sh
+# Exit codes: 0 ok, 1 regression, 2 cannot run (no baseline / bad output).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_pipeline.json
+if [ ! -f "$BASELINE" ]; then
+    echo "bench-smoke: no $BASELINE baseline; generate one with:" >&2
+    echo "  cargo run --release -p bench --bin pipeline_throughput" >&2
+    exit 2
+fi
+
+base=$(sed -n 's/.*"smoke_tx_per_sec": *\([0-9][0-9.]*\).*/\1/p' "$BASELINE" | head -n1)
+if [ -z "$base" ]; then
+    echo "bench-smoke: $BASELINE lacks a smoke_tx_per_sec field" >&2
+    exit 2
+fi
+
+echo "bench-smoke: building release bench binary..."
+cargo build --release -q -p bench --bin pipeline_throughput
+
+out=$(./target/release/pipeline_throughput --smoke)
+cur=$(printf '%s\n' "$out" | sed -n 's/^smoke_tx_per_sec=\([0-9][0-9.]*\)$/\1/p' | head -n1)
+if [ -z "$cur" ]; then
+    echo "bench-smoke: could not parse smoke output:" >&2
+    printf '%s\n' "$out" >&2
+    exit 2
+fi
+
+echo "bench-smoke: baseline ${base} tx/s, current ${cur} tx/s"
+awk -v cur="$cur" -v base="$base" 'BEGIN {
+    floor = 0.8 * base;
+    if (cur < floor) {
+        printf "bench-smoke: FAIL — %.0f tx/s is below the 20%% floor (%.0f tx/s)\n", cur, floor;
+        exit 1;
+    }
+    printf "bench-smoke: OK — within 20%% of baseline (floor %.0f tx/s)\n", floor;
+}'

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion` (see `stubs/README.md`).
+//!
+//! Implements the `criterion_group!`/`criterion_main!` entry points and
+//! the `benchmark_group`/`bench_function`/`iter` surface the workspace's
+//! benches use. Measurement is a simple calibrated wall-clock loop: each
+//! benchmark is timed over enough iterations to fill a short measurement
+//! window and the mean per-iteration time is printed to stdout. No
+//! statistics, no HTML reports, no saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(self.measurement_window, name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_window = d;
+        self
+    }
+
+    /// Time `f` and print the mean per-iteration cost.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(self.criterion.measurement_window, name, self.throughput, f);
+        self
+    }
+
+    /// End the group (printing only; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the payload `self.iters` times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    window: Duration,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: grow the batch size until one batch fills ~1/10 of the
+    // measurement window, then measure one full window worth.
+    let mut iters = 1u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        b.iters = iters;
+        f(&mut b);
+        if b.elapsed >= window / 10 || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_batch = b.elapsed.max(Duration::from_nanos(1));
+    let batches = (window.as_nanos() / per_batch.as_nanos()).clamp(1, 1_000) as u64;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..batches {
+        b.iters = iters;
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+    let ns_per_iter = total.as_nanos() as f64 / total_iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / ns_per_iter * 953.674_316),
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / ns_per_iter * 1e9)
+        }
+    });
+    println!(
+        "  {name}: {:.1} ns/iter{}",
+        ns_per_iter,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collect benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point: run every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

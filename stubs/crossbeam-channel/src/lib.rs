@@ -1,0 +1,269 @@
+//! Offline stand-in for `crossbeam-channel` (see `stubs/README.md`).
+//!
+//! A bounded MPMC channel built on `Mutex` + `Condvar` with the same
+//! semantics the pipeline relies on: blocking `send` with backpressure,
+//! cloneable senders *and* receivers, disconnection when the last handle
+//! on the other side drops, and a blocking [`Receiver::iter`] that ends
+//! on disconnect.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; gives
+/// the message back like the real crate.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`] when no message is ready.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now; senders still exist.
+    Empty,
+    /// Nothing queued and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// The sending half; cloneable for fan-in.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; cloneable for fan-out (each message is delivered
+/// to exactly one receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded channel with room for `capacity` queued messages.
+/// `capacity == 0` is rounded up to 1 (the real crate's zero-capacity
+/// rendezvous semantics are not needed here).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            // Cap the eager allocation; effectively-unbounded channels
+            // grow on demand.
+            queue: VecDeque::with_capacity(capacity.clamp(1, 1_024)),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity: capacity.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    bounded(usize::MAX / 2)
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue `msg`. Fails only when
+    /// every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(msg);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake blocked receivers so they can observe disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives. Fails only when the queue is empty
+    /// and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(msg) = state.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// A blocking iterator that yields until the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            // Wake blocked senders so they can observe disconnection.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fan_out_fan_in_delivers_everything() {
+        let (task_tx, task_rx) = bounded::<u64>(4);
+        // Results are drained only after all sends: leave room for every
+        // result so the blocking send never deadlocks against the feeder.
+        let (done_tx, done_rx) = bounded::<u64>(128);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = task_rx.clone();
+                let tx = done_tx.clone();
+                thread::spawn(move || {
+                    for v in rx.iter() {
+                        tx.send(v * 2).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(task_rx);
+        drop(done_tx);
+        for v in 0..100u64 {
+            task_tx.send(v).unwrap();
+        }
+        drop(task_tx);
+        let mut got: Vec<u64> = done_rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let handle = thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,827 @@
+//! Offline stand-in for `proptest` (see `stubs/README.md`).
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use, with two deliberate simplifications:
+//!
+//! - **No shrinking.** A failing case panics with the case number; the
+//!   run is deterministic (the RNG seed derives from the test name), so
+//!   a failure reproduces exactly on re-run.
+//! - **Minimal regex strategies.** String-literal strategies support the
+//!   subset the tests use: literal characters, `[...]` classes with
+//!   ranges, `\PC` (any non-control character), and `{m,n}`/`{m}`
+//!   quantifiers.
+
+#![forbid(unsafe_code)]
+
+/// Test-case plumbing: config, RNG, and error type.
+pub mod test_runner {
+    /// Controls how many accepted cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of (non-rejected) cases to execute.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases with default everything-else.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is skipped, not failed.
+        Reject,
+        /// `prop_assert!`-family failure with a rendered message.
+        Fail(String),
+    }
+
+    /// Deterministic generator driving all strategies (xoshiro256++
+    /// seeded from an FNV-1a hash of the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed from a test name so every run of a test is identical.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut key = h;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                key = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = key;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *slot = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)` (Lemire scaled multiply).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// The core [`Strategy`] trait and basic combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Box a strategy with its value type unified by inference — the
+    /// cast-free workhorse behind `prop_oneof!`.
+    pub fn union_box<T, S: Strategy<Value = T> + 'static>(strat: S) -> BoxedStrategy<T> {
+        Box::new(strat)
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from at least one alternative.
+        pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+            Union { choices }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.choices.len() as u64) as usize;
+            self.choices[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let x = rng.next_u64() as u128;
+                    self.start.wrapping_add(((x * span) >> 64) as $t)
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                    let x = rng.next_u64() as u128;
+                    lo.wrapping_add(((x * span) >> 64) as $t)
+                }
+            }
+            impl Strategy for ::std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    (self.start..=<$t>::MAX).sample(rng)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11, M.12);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11, M.12, N.13);
+    impl_tuple_strategy!(
+        A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11, M.12, N.13, O.14
+    );
+    impl_tuple_strategy!(
+        A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11, M.12, N.13, O.14, P.15
+    );
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` — uniform values of simple types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size window for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Optional-value strategies (`prop::option`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` half the time, `Some` of the inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Character strategies (`prop::char`).
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`range`].
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Uniform `char` in `[lo, hi]` (skipping invalid code points).
+    pub fn range(lo: ::std::primitive::char, hi: ::std::primitive::char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::std::primitive::char;
+
+        fn sample(&self, rng: &mut TestRng) -> ::std::primitive::char {
+            let span = (self.hi - self.lo) as u64 + 1;
+            loop {
+                let c = self.lo + rng.below(span) as u32;
+                if let Some(c) = ::std::primitive::char::from_u32(c) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    /// An arbitrary index usable against any non-empty slice length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        /// Resolve against a concrete length (must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+/// Minimal regex-pattern string generation (see crate docs for the
+/// supported subset).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Literal(::std::primitive::char),
+        /// Inclusive code-point ranges from a `[...]` class.
+        Class(Vec<(u32, u32)>),
+        /// `\PC` — any non-control character (sampled from printable
+        /// ASCII, which satisfies the predicate).
+        NonControl,
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let item = chars.next().expect("unterminated [class]");
+                        if item == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            let mut look = chars.clone();
+                            look.next();
+                            if look.peek().is_some_and(|&c| c != ']') {
+                                chars.next();
+                                let hi = chars.next().unwrap();
+                                ranges.push((item as u32, hi as u32));
+                                continue;
+                            }
+                        }
+                        ranges.push((item as u32, item as u32));
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' => {
+                        let cat = chars.next().expect("\\P needs a category");
+                        assert_eq!(cat, 'C', "only \\PC is supported");
+                        Atom::NonControl
+                    }
+                    lit => Atom::Literal(lit),
+                },
+                lit => Atom::Literal(lit),
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                    None => {
+                        let m: usize = spec.parse().unwrap();
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    pub(crate) fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let n = lo + rng.below((hi - lo) as u64 + 1) as usize;
+            for _ in 0..n {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::NonControl => {
+                        out.push((0x20 + rng.below(0x5f) as u8) as ::std::primitive::char)
+                    }
+                    Atom::Class(ranges) => {
+                        let total: u64 =
+                            ranges.iter().map(|(lo, hi)| (hi - lo) as u64 + 1).sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let size = (hi - lo) as u64 + 1;
+                            if pick < size {
+                                let c = ::std::primitive::char::from_u32(lo + pick as u32)
+                                    .expect("class range within valid chars");
+                                out.push(c);
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The `prop::` namespace used inside tests.
+pub mod prop {
+    pub use crate::char;
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+/// One-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Define property tests. Each accepted case samples every `pat in
+/// strategy` binding and runs the body; `prop_assume!` rejections do not
+/// count toward the case budget.
+#[macro_export]
+macro_rules! proptest {
+    (@config ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident($($p:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strats = ($($strat,)+);
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while accepted < config.cases {
+                    case += 1;
+                    let ($($p,)+) = $crate::strategy::Strategy::sample(&strats, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 65_536,
+                                "proptest: too many rejected cases in {}",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case #{} of {} failed: {}",
+                                case,
+                                stringify!($name),
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Compose strategies into a named strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+     ($($p:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(($($strat,)+), move |($($p,)+)| $body)
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_box($strat),)+
+        ])
+    };
+}
+
+/// Assert within a property body; failure reports the case, no panic
+/// mid-strategy.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    left,
+                    right
+                );
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                $crate::prop_assert!(*left == *right, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: `{:?}` != `{:?}`",
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(x in 3u8..9, y in 0.25f64..=0.5, n in 1usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..=0.5).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((any::<u16>(), arb_even()), 0..=5),
+            opt in prop::option::of(Just(7u8)),
+            c in prop::char::range('a', 'f'),
+            s in "x[a-c0-2.]{2,4}",
+            idx in any::<prop::sample::Index>(),
+        ) {
+            for (_, e) in &v {
+                prop_assert_eq!(e % 2, 0);
+            }
+            prop_assert!(opt.is_none() || opt == Some(7));
+            prop_assert!(('a'..='f').contains(&c));
+            prop_assert!(s.starts_with('x'));
+            prop_assert!((3..=5).contains(&s.len()));
+            prop_assert!(s[1..].chars().all(|c| "abc012.".contains(c)));
+            prop_assert!(idx.index(10) < 10);
+        }
+
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![Just(1u8), Just(2u8), (5u8..7)]) {
+            prop_assume!(pick != 2);
+            prop_assert!(pick == 1 || pick == 5 || pick == 6);
+        }
+
+        #[test]
+        fn mut_bindings_work(mut xs in prop::collection::vec(any::<u32>(), 1..10)) {
+            xs.sort_unstable();
+            for w in xs.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 0u32..10) -> (u32, u32) {
+            (a.min(b), a.max(b))
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_ordered(p in arb_pair()) {
+            prop_assert!(p.0 <= p.1);
+        }
+    }
+}

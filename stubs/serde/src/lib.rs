@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde` (see `stubs/README.md`).
+//!
+//! The workspace only imports the derive macros; no serialization
+//! machinery is needed because persistence goes through the TSV layer.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

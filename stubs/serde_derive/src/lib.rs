@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives (see `stubs/README.md`).
+//!
+//! The workspace derives these traits for documentation purposes but
+//! serializes via its own TSV layer, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
