@@ -4,14 +4,29 @@
 //! dnsobs simulate --duration 60 --out ./data     run the pipeline, write TSV files
 //! dnsobs show ./data/srvip-60.tsv                pretty-print a TSV window
 //! dnsobs top ./data/srvip-60.tsv --n 10          top rows of a window by hits
+//! dnsobs collect --listen 127.0.0.1:5300         run the collector half of a feed
+//! dnsobs sensor --connect 127.0.0.1:5300         run one sensor pushing into it
 //! ```
 //!
 //! File names encode the dataset and the window start, like the paper's
 //! storage layout (§2.4). A `10min` rollup is produced alongside the
 //! minutely files when the run is long enough.
+//!
+//! `sensor`/`collect` split the platform at the paper's Figure 1 A→B
+//! boundary: sensors summarize resolver traffic locally and stream the
+//! summaries over TCP; the collector merges the streams back into one
+//! time-ordered feed and runs the tracking pipeline on it. Start the
+//! collector first (or don't — sensors reconnect with backoff), run one
+//! `sensor --index I` process per sensor with the same `--seed` and
+//! `--sensors N`, and the collector's TSV output matches a single-process
+//! `simulate` run of the same seed.
 
 use dns_observatory::aggregate::{Aggregator, Level};
-use dns_observatory::{tsv, Dataset, Observatory, ObservatoryConfig};
+use dns_observatory::{
+    tsv, Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TimeSeriesStore, TxSummary,
+};
+use feed::{Collector, CollectorConfig, Sensor, SensorConfig};
+use psl::Psl;
 use simnet::{SimConfig, Simulation};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -21,6 +36,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("simulate") => simulate(&args[1..]),
+        Some("sensor") => sensor(&args[1..]),
+        Some("collect") => collect(&args[1..]),
         Some("show") => show(&args[1..], usize::MAX),
         Some("top") => {
             let n = flag_value(&args[1..], "--n")
@@ -30,7 +47,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--out DIR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]"
+                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--out DIR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--out DIR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\nsensor:  simulate traffic, keep the 1/N slice owned by --index, and\n         stream its summaries to the collector (reconnects with backoff).\ncollect: accept N sensors, merge their streams in time order, run the\n         tracking pipeline, and write TSV windows like `simulate`."
             );
             2
         }
@@ -71,13 +88,7 @@ fn simulate(args: &[String]) -> i32 {
     );
     let mut sim = Simulation::from_config(cfg);
     let mut obs = Observatory::new(ObservatoryConfig {
-        datasets: vec![
-            (Dataset::SrvIp, 10_000),
-            (Dataset::Esld, 10_000),
-            (Dataset::Qname, 10_000),
-            (Dataset::Qtype, 64),
-            (Dataset::Rcode, 16),
-        ],
+        datasets: default_datasets(),
         window_secs: window,
         ..ObservatoryConfig::default()
     });
@@ -85,15 +96,33 @@ fn simulate(args: &[String]) -> i32 {
     eprintln!("ingested {} transactions", obs.ingested());
     let store = obs.finish();
 
-    // Minutely files + a coarse rollup ladder per dataset.
+    match write_store(&out, &store) {
+        Ok(files) => {
+            eprintln!("wrote {files} TSV files to {}", out.display());
+            0
+        }
+        Err(path) => {
+            eprintln!("failed writing {}", path.display());
+            1
+        }
+    }
+}
+
+fn default_datasets() -> Vec<(Dataset, usize)> {
+    vec![
+        (Dataset::SrvIp, 10_000),
+        (Dataset::Esld, 10_000),
+        (Dataset::Qname, 10_000),
+        (Dataset::Qtype, 64),
+        (Dataset::Rcode, 16),
+    ]
+}
+
+/// Minutely files + a coarse rollup ladder per dataset; returns the file
+/// count, or the path that failed.
+fn write_store(out: &Path, store: &TimeSeriesStore) -> Result<usize, PathBuf> {
     let mut files = 0usize;
-    for ds in [
-        Dataset::SrvIp,
-        Dataset::Esld,
-        Dataset::Qname,
-        Dataset::Qtype,
-        Dataset::Rcode,
-    ] {
+    for &(ds, _) in &default_datasets() {
         let mut agg = Aggregator::new(&[Level {
             name: "10win",
             fan_in: 10,
@@ -102,8 +131,7 @@ fn simulate(args: &[String]) -> i32 {
         for w in store.dataset(ds) {
             let path = out.join(format!("{}-{:05}.tsv", ds.name(), w.start as u64));
             if write_dump(&path, w).is_err() {
-                eprintln!("failed writing {}", path.display());
-                return 1;
+                return Err(path);
             }
             files += 1;
             agg.push((*w).clone());
@@ -111,13 +139,135 @@ fn simulate(args: &[String]) -> i32 {
         for w in agg.completed(0) {
             let path = out.join(format!("{}-10win-{:05}.tsv", ds.name(), w.start as u64));
             if write_dump(&path, w).is_err() {
-                return 1;
+                return Err(path);
             }
             files += 1;
         }
     }
-    eprintln!("wrote {files} TSV files to {}", out.display());
+    Ok(files)
+}
+
+/// The sensor half of a distributed run: simulate the full deployment's
+/// traffic, keep the slice this sensor's vantage point would see, and
+/// stream its summaries to the collector.
+fn sensor(args: &[String]) -> i32 {
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("sensor: --connect ADDR is required");
+        return 2;
+    };
+    let duration: f64 = flag_value(args, "--duration")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SimConfig::default().seed);
+    let sensors: usize = flag_value(args, "--sensors")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let index: usize = flag_value(args, "--index")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if index >= sensors {
+        eprintln!("sensor: --index {index} out of range for --sensors {sensors}");
+        return 2;
+    }
+
+    eprintln!(
+        "sensor {index}/{sensors}: {duration}s of traffic (seed {seed}) -> {addr}"
+    );
+    let psl = Psl::embedded();
+    let client = Sensor::connect(addr, SensorConfig::new(index as u64));
+    let mut sim = Simulation::from_config(SimConfig {
+        seed,
+        ..SimConfig::small()
+    });
+    let mut kept = 0u64;
+    sim.run(duration, &mut |tx| {
+        if tx.sensor_index(sensors) == index {
+            client.send(TxSummary::from_transaction(tx, &psl));
+            kept += 1;
+        }
+    });
+    let report = client.finish();
+    eprintln!(
+        "sensor {index}: summarized {kept} transactions, sent {} frames/{} items, dropped {} frames/{} items, {} connect(s)",
+        report.sent_frames,
+        report.sent_items,
+        report.dropped_frames,
+        report.dropped_items,
+        report.connects
+    );
     0
+}
+
+/// The collector half: accept N sensors, merge their streams in time
+/// order, run the tracking pipeline over the merged feed, and write the
+/// same TSV layout as `simulate`.
+fn collect(args: &[String]) -> i32 {
+    let Some(listen) = flag_value(args, "--listen") else {
+        eprintln!("collect: --listen ADDR is required");
+        return 2;
+    };
+    let sensors: u64 = flag_value(args, "--sensors")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let window: f64 = flag_value(args, "--window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("./dnsobs-data"));
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return 1;
+    }
+
+    let mut collector = match Collector::<TxSummary>::bind(listen, CollectorConfig::new(sensors)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot listen on {listen}: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "collecting from {sensors} sensor(s) on {}, windows of {window}s -> {}",
+        collector.local_addr(),
+        out.display()
+    );
+    let output = collector.take_output();
+    let pipeline = ThreadedPipeline::new(
+        ObservatoryConfig {
+            datasets: default_datasets(),
+            window_secs: window,
+            ..ObservatoryConfig::default()
+        },
+        1,
+    );
+    let store = pipeline.run_summaries(output.iter());
+    let report = collector.finish();
+
+    eprintln!("merged {} items", report.items_merged);
+    for (id, s) in &report.sensors {
+        eprintln!(
+            "  sensor {id}: {} frames/{} items, {} gap(s)/{} missing frames, {} dup(s), {} crc error(s), self-reported drops {} frames/{} items",
+            s.frames,
+            s.items,
+            s.gaps.len(),
+            s.gap_frames,
+            s.duplicate_frames,
+            s.crc_errors,
+            s.reported_dropped_frames,
+            s.reported_dropped_items
+        );
+    }
+    match write_store(&out, &store) {
+        Ok(files) => {
+            eprintln!("wrote {files} TSV files to {}", out.display());
+            0
+        }
+        Err(path) => {
+            eprintln!("failed writing {}", path.display());
+            1
+        }
+    }
 }
 
 fn write_dump(path: &Path, dump: &dns_observatory::WindowDump) -> std::io::Result<()> {

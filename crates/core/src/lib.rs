@@ -40,6 +40,7 @@
 pub mod aggregate;
 pub mod analysis;
 pub mod features;
+pub mod feedwire;
 pub mod keys;
 pub mod pipeline;
 pub mod summarize;

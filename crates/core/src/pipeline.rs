@@ -233,21 +233,12 @@ impl ThreadedPipeline {
     where
         I: IntoIterator<Item = Transaction>,
     {
-        use crate::keys::KeyBuf;
         use crossbeam_channel::{bounded, unbounded};
-        use std::collections::BTreeMap;
-        use std::sync::Arc;
 
         const BATCH: usize = 512;
         let workers = self.workers;
         let shards = self.shards;
         let datasets: Vec<Dataset> = self.cfg.datasets.iter().map(|&(ds, _)| ds).collect();
-        let n_datasets = datasets.len();
-        let full_mask: u16 = if n_datasets >= 16 {
-            u16::MAX
-        } else {
-            (1u16 << n_datasets) - 1
-        };
         let window_secs = self.cfg.window_secs;
 
         let (task_tx, task_rx) = bounded::<(u64, Vec<Transaction>)>(workers * 2);
@@ -256,16 +247,8 @@ impl ThreadedPipeline {
         // so a worker can never block on the return path; the population
         // of batches is bounded by the task channel anyway.
         let (recycle_tx, recycle_rx) = unbounded::<Vec<Transaction>>();
+        let (shard_txs, shard_rxs) = shard_channels(shards);
 
-        let mut shard_txs = Vec::with_capacity(shards);
-        let mut shard_rxs = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = bounded::<ShardMsg>(4);
-            shard_txs.push(tx);
-            shard_rxs.push(rx);
-        }
-
-        let mut store = TimeSeriesStore::new();
         let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
             // Summarizer workers.
@@ -293,147 +276,17 @@ impl ThreadedPipeline {
             drop(done_tx);
             drop(recycle_tx);
 
-            // Tracker shards: each owns an independent TopKTracker per
-            // dataset over its disjoint slice of the key space.
             let shard_handles: Vec<_> = shard_rxs
                 .into_iter()
                 .map(|rx| {
                     let cfg = &self.cfg;
-                    scope.spawn(move || {
-                        let mut trackers: Vec<TopKTracker> = cfg
-                            .datasets
-                            .iter()
-                            .map(|&(ds, k)| {
-                                TopKTracker::new(
-                                    ds,
-                                    Self::shard_capacity(k, shards),
-                                    cfg.feature_cfg,
-                                    cfg.bloom_gate,
-                                )
-                            })
-                            .collect();
-                        let mut prev = vec![(0u64, 0u64, 0u64); trackers.len()];
-                        let mut windows: ShardWindows = Vec::new();
-                        for msg in rx.iter() {
-                            match msg {
-                                ShardMsg::Batch { summaries, assign } => {
-                                    for (idx, mask) in assign {
-                                        let s = &summaries[idx as usize];
-                                        for (d, t) in trackers.iter_mut().enumerate() {
-                                            if mask & (1 << d) != 0 {
-                                                t.observe(s);
-                                            }
-                                        }
-                                    }
-                                }
-                                ShardMsg::Watermark { start } => {
-                                    let parts = trackers
-                                        .iter_mut()
-                                        .enumerate()
-                                        .map(|(i, t)| {
-                                            let rows = t.dump(start);
-                                            let (k, dr, f) = t.stats();
-                                            let (pk, pd, pf) = prev[i];
-                                            prev[i] = (k, dr, f);
-                                            (rows, (k - pk, dr - pd, f - pf))
-                                        })
-                                        .collect();
-                                    windows.push((start, parts));
-                                }
-                            }
-                        }
-                        windows
-                    })
+                    scope.spawn(move || shard_loop(rx, cfg, shards))
                 })
                 .collect();
 
-            // Sequencer: restore batch order, drive the window clock with
-            // the exact arithmetic of `Observatory::ingest_summary`, and
-            // scatter assignments to the shards.
             let datasets: &[Dataset] = &datasets;
-            let sequencer = scope.spawn(move || {
-                let mut next_seq = 0u64;
-                let mut hold: BTreeMap<u64, Vec<TxSummary>> = BTreeMap::new();
-                let mut window_start: Option<f64> = None;
-                let mut ingested = 0u64;
-                let mut keybuf = KeyBuf::new();
-                let mut masks: Vec<u16> = vec![0; shards];
-                let mut pending: Vec<Vec<(u32, u16)>> = vec![Vec::new(); shards];
-
-                let flush = |pending: &mut Vec<Vec<(u32, u16)>>,
-                             batch: &Arc<Vec<TxSummary>>,
-                             shard_txs: &[crossbeam_channel::Sender<ShardMsg>]| {
-                    for (sh, assign) in pending.iter_mut().enumerate() {
-                        if !assign.is_empty() {
-                            shard_txs[sh]
-                                .send(ShardMsg::Batch {
-                                    summaries: Arc::clone(batch),
-                                    assign: std::mem::take(assign),
-                                })
-                                .unwrap_or_else(|_| panic!("shard thread alive"));
-                        }
-                    }
-                };
-
-                for (seq, summaries) in done_rx.iter() {
-                    hold.insert(seq, summaries);
-                    while let Some(batch) = hold.remove(&next_seq) {
-                        next_seq += 1;
-                        let batch = Arc::new(batch);
-                        for (i, s) in batch.iter().enumerate() {
-                            let start = *window_start.get_or_insert(s.time);
-                            if s.time >= start + window_secs {
-                                // Window boundary *before* this summary:
-                                // ship everything routed so far, then the
-                                // watermark, exactly as the single-threaded
-                                // Observatory dumps before observing.
-                                flush(&mut pending, &batch, &shard_txs);
-                                for tx in &shard_txs {
-                                    tx.send(ShardMsg::Watermark { start })
-                                        .unwrap_or_else(|_| panic!("shard thread alive"));
-                                }
-                                let skipped = ((s.time - start) / window_secs).floor();
-                                window_start = Some(start + skipped * window_secs);
-                            }
-                            ingested += 1;
-                            if shards == 1 {
-                                pending[0].push((i as u32, full_mask));
-                            } else {
-                                masks.iter_mut().for_each(|m| *m = 0);
-                                for (d, ds) in datasets.iter().enumerate() {
-                                    // Filtered summaries still count once:
-                                    // route them by dataset slot so exactly
-                                    // one shard tallies the `filtered` stat.
-                                    let sh = if ds.key_into(s, &mut keybuf) {
-                                        (sketches::hash::xxh64(keybuf.as_bytes(), 0)
-                                            % shards as u64)
-                                            as usize
-                                    } else {
-                                        d % shards
-                                    };
-                                    masks[sh] |= 1 << d;
-                                }
-                                for (sh, m) in masks.iter().enumerate() {
-                                    if *m != 0 {
-                                        pending[sh].push((i as u32, *m));
-                                    }
-                                }
-                            }
-                        }
-                        flush(&mut pending, &batch, &shard_txs);
-                    }
-                }
-                // Final partial window, matching `Observatory::finish`.
-                if let Some(start) = window_start {
-                    if ingested > 0 {
-                        for tx in &shard_txs {
-                            tx.send(ShardMsg::Watermark { start })
-                                .unwrap_or_else(|_| panic!("shard thread alive"));
-                        }
-                    }
-                }
-                // Dropping the senders disconnects the shards.
-            });
+            let sequencer =
+                scope.spawn(move || sequencer_loop(done_rx, shard_txs, datasets, window_secs));
 
             // Feeder (this thread): chunk the input, reusing drained
             // batch Vecs from the recycle channel.
@@ -459,38 +312,275 @@ impl ThreadedPipeline {
             }
         });
 
-        // Merge: every shard saw every watermark, so all shards report the
-        // same window starts in the same order. Partitions are disjoint,
-        // so a window's rows are the concatenation, re-sorted with the
-        // tracker's own dump order (hits desc, then key).
-        let n_windows = shard_windows.first().map_or(0, Vec::len);
-        debug_assert!(shard_windows.iter().all(|w| w.len() == n_windows));
-        for w in 0..n_windows {
-            let start = shard_windows[0][w].0;
-            for (d, ds) in datasets.iter().enumerate() {
-                let mut rows = Vec::new();
-                let (mut kept, mut dropped, mut filtered) = (0u64, 0u64, 0u64);
-                for sw in shard_windows.iter_mut() {
-                    let (part_rows, (dk, dd, df)) = std::mem::take(&mut sw[w].1[d]);
-                    rows.extend(part_rows);
-                    kept += dk;
-                    dropped += dd;
-                    filtered += df;
+        merge_shard_windows(shard_windows, &datasets, window_secs)
+    }
+
+    /// Consume pre-built summaries, returning the collected time series.
+    ///
+    /// This is the collector-side entry point of the feed transport: the
+    /// summaries were produced (and parallelized) on the sensors, so the
+    /// summarizer stage is skipped and the stream goes straight through
+    /// the sequencer → shard → merge machinery shared with [`Self::run`].
+    /// With one shard the result is byte-identical to feeding the same
+    /// summaries through [`Observatory::ingest_summary`].
+    pub fn run_summaries<I>(&self, summaries: I) -> TimeSeriesStore
+    where
+        I: IntoIterator<Item = TxSummary>,
+    {
+        use crossbeam_channel::bounded;
+
+        const BATCH: usize = 512;
+        let shards = self.shards;
+        let datasets: Vec<Dataset> = self.cfg.datasets.iter().map(|&(ds, _)| ds).collect();
+        let window_secs = self.cfg.window_secs;
+
+        let (done_tx, done_rx) = bounded::<(u64, Vec<TxSummary>)>(4);
+        let (shard_txs, shard_rxs) = shard_channels(shards);
+
+        let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let shard_handles: Vec<_> = shard_rxs
+                .into_iter()
+                .map(|rx| {
+                    let cfg = &self.cfg;
+                    scope.spawn(move || shard_loop(rx, cfg, shards))
+                })
+                .collect();
+
+            let datasets: &[Dataset] = &datasets;
+            let sequencer =
+                scope.spawn(move || sequencer_loop(done_rx, shard_txs, datasets, window_secs));
+
+            let mut it = summaries.into_iter();
+            let mut seq = 0u64;
+            loop {
+                let batch: Vec<TxSummary> = it.by_ref().take(BATCH).collect();
+                if batch.is_empty() {
+                    break;
                 }
-                rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
-                store.push(WindowDump {
-                    dataset: ds.name().to_string(),
-                    start,
-                    length: window_secs,
-                    rows,
-                    kept,
-                    dropped,
-                    filtered,
-                });
+                if done_tx.send((seq, batch)).is_err() {
+                    break;
+                }
+                seq += 1;
+            }
+            drop(done_tx);
+
+            sequencer.join().expect("sequencer thread");
+            for h in shard_handles {
+                shard_windows.push(h.join().expect("shard thread"));
+            }
+        });
+
+        merge_shard_windows(shard_windows, &datasets, window_secs)
+    }
+}
+
+fn shard_channels(
+    shards: usize,
+) -> (
+    Vec<crossbeam_channel::Sender<ShardMsg>>,
+    Vec<crossbeam_channel::Receiver<ShardMsg>>,
+) {
+    let mut shard_txs = Vec::with_capacity(shards);
+    let mut shard_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = crossbeam_channel::bounded::<ShardMsg>(4);
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
+    }
+    (shard_txs, shard_rxs)
+}
+
+/// Tracker shard: owns an independent TopKTracker per dataset over its
+/// disjoint slice of the key space, dumping at every watermark.
+fn shard_loop(
+    rx: crossbeam_channel::Receiver<ShardMsg>,
+    cfg: &ObservatoryConfig,
+    shards: usize,
+) -> ShardWindows {
+    let mut trackers: Vec<TopKTracker> = cfg
+        .datasets
+        .iter()
+        .map(|&(ds, k)| {
+            TopKTracker::new(
+                ds,
+                ThreadedPipeline::shard_capacity(k, shards),
+                cfg.feature_cfg,
+                cfg.bloom_gate,
+            )
+        })
+        .collect();
+    let mut prev = vec![(0u64, 0u64, 0u64); trackers.len()];
+    let mut windows: ShardWindows = Vec::new();
+    for msg in rx.iter() {
+        match msg {
+            ShardMsg::Batch { summaries, assign } => {
+                for (idx, mask) in assign {
+                    let s = &summaries[idx as usize];
+                    for (d, t) in trackers.iter_mut().enumerate() {
+                        if mask & (1 << d) != 0 {
+                            t.observe(s);
+                        }
+                    }
+                }
+            }
+            ShardMsg::Watermark { start } => {
+                let parts = trackers
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let rows = t.dump(start);
+                        let (k, dr, f) = t.stats();
+                        let (pk, pd, pf) = prev[i];
+                        prev[i] = (k, dr, f);
+                        (rows, (k - pk, dr - pd, f - pf))
+                    })
+                    .collect();
+                windows.push((start, parts));
             }
         }
-        store
     }
+    windows
+}
+
+/// Sequencer: restore batch order, drive the window clock with the exact
+/// arithmetic of `Observatory::ingest_summary`, and scatter assignments
+/// to the shards. Dropping the senders on return disconnects the shards.
+fn sequencer_loop(
+    done_rx: crossbeam_channel::Receiver<(u64, Vec<TxSummary>)>,
+    shard_txs: Vec<crossbeam_channel::Sender<ShardMsg>>,
+    datasets: &[Dataset],
+    window_secs: f64,
+) {
+    use crate::keys::KeyBuf;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let shards = shard_txs.len();
+    let n_datasets = datasets.len();
+    let full_mask: u16 = if n_datasets >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << n_datasets) - 1
+    };
+
+    let mut next_seq = 0u64;
+    let mut hold: BTreeMap<u64, Vec<TxSummary>> = BTreeMap::new();
+    let mut window_start: Option<f64> = None;
+    let mut ingested = 0u64;
+    let mut keybuf = KeyBuf::new();
+    let mut masks: Vec<u16> = vec![0; shards];
+    let mut pending: Vec<Vec<(u32, u16)>> = vec![Vec::new(); shards];
+
+    let flush = |pending: &mut Vec<Vec<(u32, u16)>>,
+                 batch: &Arc<Vec<TxSummary>>,
+                 shard_txs: &[crossbeam_channel::Sender<ShardMsg>]| {
+        for (sh, assign) in pending.iter_mut().enumerate() {
+            if !assign.is_empty() {
+                shard_txs[sh]
+                    .send(ShardMsg::Batch {
+                        summaries: Arc::clone(batch),
+                        assign: std::mem::take(assign),
+                    })
+                    .unwrap_or_else(|_| panic!("shard thread alive"));
+            }
+        }
+    };
+
+    for (seq, summaries) in done_rx.iter() {
+        hold.insert(seq, summaries);
+        while let Some(batch) = hold.remove(&next_seq) {
+            next_seq += 1;
+            let batch = Arc::new(batch);
+            for (i, s) in batch.iter().enumerate() {
+                let start = *window_start.get_or_insert(s.time);
+                if s.time >= start + window_secs {
+                    // Window boundary *before* this summary: ship
+                    // everything routed so far, then the watermark,
+                    // exactly as the single-threaded Observatory dumps
+                    // before observing.
+                    flush(&mut pending, &batch, &shard_txs);
+                    for tx in &shard_txs {
+                        tx.send(ShardMsg::Watermark { start })
+                            .unwrap_or_else(|_| panic!("shard thread alive"));
+                    }
+                    let skipped = ((s.time - start) / window_secs).floor();
+                    window_start = Some(start + skipped * window_secs);
+                }
+                ingested += 1;
+                if shards == 1 {
+                    pending[0].push((i as u32, full_mask));
+                } else {
+                    masks.iter_mut().for_each(|m| *m = 0);
+                    for (d, ds) in datasets.iter().enumerate() {
+                        // Filtered summaries still count once: route them
+                        // by dataset slot so exactly one shard tallies
+                        // the `filtered` stat.
+                        let sh = if ds.key_into(s, &mut keybuf) {
+                            (sketches::hash::xxh64(keybuf.as_bytes(), 0) % shards as u64) as usize
+                        } else {
+                            d % shards
+                        };
+                        masks[sh] |= 1 << d;
+                    }
+                    for (sh, m) in masks.iter().enumerate() {
+                        if *m != 0 {
+                            pending[sh].push((i as u32, *m));
+                        }
+                    }
+                }
+            }
+            flush(&mut pending, &batch, &shard_txs);
+        }
+    }
+    // Final partial window, matching `Observatory::finish`.
+    if let Some(start) = window_start {
+        if ingested > 0 {
+            for tx in &shard_txs {
+                tx.send(ShardMsg::Watermark { start })
+                    .unwrap_or_else(|_| panic!("shard thread alive"));
+            }
+        }
+    }
+}
+
+/// Merge: every shard saw every watermark, so all shards report the same
+/// window starts in the same order. Partitions are disjoint, so a
+/// window's rows are the concatenation, re-sorted with the tracker's own
+/// dump order (hits desc, then key).
+fn merge_shard_windows(
+    mut shard_windows: Vec<ShardWindows>,
+    datasets: &[Dataset],
+    window_secs: f64,
+) -> TimeSeriesStore {
+    let mut store = TimeSeriesStore::new();
+    let n_windows = shard_windows.first().map_or(0, Vec::len);
+    debug_assert!(shard_windows.iter().all(|w| w.len() == n_windows));
+    for w in 0..n_windows {
+        let start = shard_windows[0][w].0;
+        for (d, ds) in datasets.iter().enumerate() {
+            let mut rows = Vec::new();
+            let (mut kept, mut dropped, mut filtered) = (0u64, 0u64, 0u64);
+            for sw in shard_windows.iter_mut() {
+                let (part_rows, (dk, dd, df)) = std::mem::take(&mut sw[w].1[d]);
+                rows.extend(part_rows);
+                kept += dk;
+                dropped += dd;
+                filtered += df;
+            }
+            rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
+            store.push(WindowDump {
+                dataset: ds.name().to_string(),
+                start,
+                length: window_secs,
+                rows,
+                kept,
+                dropped,
+                filtered,
+            });
+        }
+    }
+    store
 }
 
 #[cfg(test)]
@@ -736,6 +826,35 @@ mod tests {
             ThreadedPipeline::new(small_cfg(), 2).run(txs.into_iter().filter(|_| true));
         assert_eq!(from_vec.windows().len(), from_iter.windows().len());
         for (a, b) in from_vec.windows().iter().zip(from_iter.windows()) {
+            assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
+        }
+    }
+
+    /// `run_summaries` (the collector-side feed entry point) must agree
+    /// with ingesting the same pre-built summaries one by one — the
+    /// guarantee the distributed loopback equivalence test builds on.
+    #[test]
+    fn run_summaries_matches_ingest_summary() {
+        let psl = psl::Psl::embedded();
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(2.0);
+        let summaries: Vec<TxSummary> = txs
+            .iter()
+            .map(|tx| TxSummary::from_transaction(tx, &psl))
+            .collect();
+
+        let mut obs = Observatory::new(small_cfg());
+        for s in summaries.clone() {
+            obs.ingest_summary(s);
+        }
+        let single = obs.finish();
+
+        let threaded = ThreadedPipeline::new(small_cfg(), 2).run_summaries(summaries);
+        assert_eq!(single.windows().len(), threaded.windows().len());
+        for (a, b) in single.windows().iter().zip(threaded.windows()) {
+            assert_eq!(a.dataset, b.dataset);
+            assert_eq!(a.start, b.start);
+            assert_eq!((a.kept, a.dropped, a.filtered), (b.kept, b.dropped, b.filtered));
             assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
         }
     }

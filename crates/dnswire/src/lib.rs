@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod framing;
 mod header;
 pub mod ip;
 mod message;

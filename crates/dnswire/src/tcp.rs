@@ -8,6 +8,7 @@
 //! messages, tolerating arbitrary segmentation (the hard part of TCP
 //! reassembly).
 
+use crate::framing::{encode_frame_into, Reassembler, U16Prefix};
 use crate::{Message, Result, WireError};
 
 /// Maximum frame payload: the length prefix is 16 bits.
@@ -18,8 +19,7 @@ pub fn encode_frame(msg: &Message) -> Result<Vec<u8>> {
     let body = msg.to_bytes()?;
     debug_assert!(body.len() <= MAX_FRAME, "to_bytes enforces the limit");
     let mut out = Vec::with_capacity(2 + body.len());
-    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
-    out.extend_from_slice(&body);
+    encode_frame_into::<U16Prefix>(&body, &mut out);
     Ok(out)
 }
 
@@ -27,12 +27,23 @@ pub fn encode_frame(msg: &Message) -> Result<Vec<u8>> {
 ///
 /// Feed arbitrary chunks with [`FrameDecoder::push`]; complete messages
 /// come out of [`FrameDecoder::next_message`]. Buffered bytes are bounded
-/// by one frame (≤64 KiB + 2).
-#[derive(Debug, Default)]
+/// by one frame (≤64 KiB + 2). Reassembly itself is the generic
+/// [`Reassembler`]; this type adds the DNS policy: a frame must hold a
+/// parseable message, and an empty frame is an error.
+#[derive(Debug)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    frames: Reassembler<U16Prefix>,
     /// Frames successfully decoded so far.
     decoded: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder {
+            frames: Reassembler::new(MAX_FRAME),
+            decoded: 0,
+        }
+    }
 }
 
 impl FrameDecoder {
@@ -43,12 +54,12 @@ impl FrameDecoder {
 
     /// Append stream bytes.
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.frames.push(bytes);
     }
 
     /// Bytes currently buffered (incomplete frame).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.frames.buffered()
     }
 
     /// Frames decoded over the decoder's lifetime.
@@ -63,22 +74,17 @@ impl FrameDecoder {
     /// stream stays synchronized (the length prefix delimits frames
     /// regardless of their content).
     pub fn next_message(&mut self) -> Result<Option<Message>> {
-        if self.buf.len() < 2 {
+        let Some(frame) = self.frames.next_frame()? else {
             return Ok(None);
-        }
-        let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
-        if len == 0 {
-            // A zero-length frame can never hold a DNS header.
-            self.buf.drain(..2);
+        };
+        if frame.is_empty() {
+            // A zero-length frame can never hold a DNS header; the frame
+            // is already consumed, so the stream stays aligned.
             return Err(WireError::Truncated {
                 what: "empty TCP frame",
             });
         }
-        if self.buf.len() < 2 + len {
-            return Ok(None);
-        }
-        let frame: Vec<u8> = self.buf.drain(..2 + len).collect();
-        let msg = Message::parse(&frame[2..])?;
+        let msg = Message::parse(&frame)?;
         self.decoded += 1;
         Ok(Some(msg))
     }

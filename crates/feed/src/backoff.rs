@@ -1,0 +1,163 @@
+//! Exponential backoff with deterministic jitter for sensor reconnects.
+//!
+//! The schedule is `min(base << attempt, max)` scaled into the 50–100%
+//! band by a seeded splitmix-style generator, so thundering herds are
+//! broken up but every schedule is reproducible in tests.
+
+use std::time::Duration;
+
+/// Backoff parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First delay, milliseconds.
+    pub base_ms: u64,
+    /// Ceiling for the un-jittered delay, milliseconds.
+    pub max_ms: u64,
+    /// Jitter seed; give each sensor its own.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base_ms: 50,
+            max_ms: 5_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Stateful backoff schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    config: BackoffConfig,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    /// Schedule starting at attempt zero.
+    pub fn new(config: BackoffConfig) -> Backoff {
+        Backoff {
+            config,
+            attempt: 0,
+            state: config.seed,
+        }
+    }
+
+    /// Failed attempts so far (delays handed out).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Forget the failure history after a successful connect.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Delay to sleep before the next attempt; advances the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(32);
+        let raw = self
+            .config
+            .base_ms
+            .saturating_shl(shift)
+            .min(self.config.max_ms);
+        self.attempt = self.attempt.saturating_add(1);
+        // Jitter into [raw/2, raw]: never below half the nominal delay, so
+        // upper bounds on reconnect counts stay provable in tests.
+        let jitter = self.next_rand() % (raw / 2 + 1);
+        Duration::from_millis(raw - jitter)
+    }
+
+    /// Largest delay `next_delay` can return for a given attempt number —
+    /// lets tests bound total reconnect latency.
+    pub fn max_delay_for_attempt(config: &BackoffConfig, attempt: u32) -> Duration {
+        let raw = config
+            .base_ms
+            .saturating_shl(attempt.min(32))
+            .min(config.max_ms);
+        Duration::from_millis(raw)
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // splitmix64 step: cheap, stateless-seedable, good enough for
+        // decorrelating reconnect times.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 {
+            0
+        } else if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let config = BackoffConfig {
+            base_ms: 100,
+            max_ms: 1_000,
+            seed: 42,
+        };
+        let mut b = Backoff::new(config);
+        let mut prev_nominal = 0;
+        for attempt in 0..8u32 {
+            let d = b.next_delay().as_millis() as u64;
+            let nominal = (100u64 << attempt.min(32)).min(1_000);
+            assert!(d >= nominal / 2 && d <= nominal, "attempt {attempt}: {d}ms");
+            assert!(nominal >= prev_nominal);
+            prev_nominal = nominal;
+        }
+        assert_eq!(b.attempts(), 8);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay().as_millis() as u64;
+        assert!((50..=100).contains(&d));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = BackoffConfig::default();
+        let a: Vec<_> = {
+            let mut b = Backoff::new(config);
+            (0..5).map(|_| b.next_delay()).collect()
+        };
+        let b_: Vec<_> = {
+            let mut b = Backoff::new(config);
+            (0..5).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(a, b_);
+    }
+
+    #[test]
+    fn shift_saturates() {
+        let config = BackoffConfig {
+            base_ms: u64::MAX / 2,
+            max_ms: u64::MAX,
+            seed: 1,
+        };
+        let mut b = Backoff::new(config);
+        for _ in 0..70 {
+            let _ = b.next_delay();
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Collector side of the feed: a TCP server that accepts many sensor
+//! connections, decodes each stream on its own thread, audits per-sensor
+//! sequence numbers, and merges the concurrent streams into one
+//! time-ordered feed.
+//!
+//! Structure (mirroring the core pipeline's std-thread + crossbeam
+//! style):
+//!
+//! ```text
+//! accept thread ──spawns──▶ reader thread per connection
+//!                                │  decoded frames / errors
+//!                                ▼
+//!                          merge thread ──▶ output channel (merged items)
+//! ```
+//!
+//! The merge thread owns the [`TimeMerger`] and one [`SensorLedger`] per
+//! sensor; it releases items only when every live sensor has something to
+//! compare against, so the merged order is deterministic regardless of
+//! how the network interleaves the streams. It stops once the configured
+//! number of BYE frames has arrived (or every connection is gone).
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::codec::FeedItem;
+use crate::error::FeedError;
+use crate::frame::{Frame, FrameReader};
+use crate::merge::TimeMerger;
+
+/// Per-sensor accounting kept by the collector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SensorStats {
+    /// Connections this sensor made (HELLO frames seen).
+    pub connects: u64,
+    /// Fresh BATCH frames accepted.
+    pub frames: u64,
+    /// BATCH frames discarded as retransmitted duplicates.
+    pub duplicate_frames: u64,
+    /// Items delivered into the merge.
+    pub items: u64,
+    /// Observed sequence gaps, as inclusive `(first, last)` missing
+    /// frame numbers.
+    pub gaps: Vec<(u64, u64)>,
+    /// Total frames missing across all gaps.
+    pub gap_frames: u64,
+    /// Frames that failed their CRC on this sensor's connections.
+    pub crc_errors: u64,
+    /// Frames whose payload failed to decode after a clean CRC.
+    pub decode_errors: u64,
+    /// BYE frames received.
+    pub byes: u64,
+    /// Frames the sensor itself reported dropping (from BYE).
+    pub reported_dropped_frames: u64,
+    /// Items the sensor itself reported dropping (from BYE).
+    pub reported_dropped_items: u64,
+}
+
+/// Sans-io per-sensor sequence auditor: feed it the frames of one sensor
+/// (across any number of connections) and it tracks gaps, duplicates,
+/// and the sensor's self-reported losses.
+#[derive(Debug, Default)]
+pub struct SensorLedger {
+    expected: Option<u64>,
+    /// Accumulated statistics.
+    pub stats: SensorStats,
+}
+
+impl SensorLedger {
+    /// Fresh ledger.
+    pub fn new() -> SensorLedger {
+        SensorLedger::default()
+    }
+
+    /// Sequence number the next fresh batch should carry.
+    pub fn expected_seq(&self) -> Option<u64> {
+        self.expected
+    }
+
+    fn advance_to(&mut self, seq: u64) {
+        match self.expected {
+            None => self.expected = Some(seq),
+            Some(e) if seq > e => {
+                self.stats.gaps.push((e, seq - 1));
+                self.stats.gap_frames += seq - e;
+                self.expected = Some(seq);
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// A HELLO announced the stream (re)starts at `next_seq`. A value
+    /// above the expected sequence means frames were lost while the
+    /// sensor was away; below means the sensor is retransmitting and the
+    /// duplicates will be discarded batch by batch.
+    pub fn on_hello(&mut self, next_seq: u64) {
+        self.stats.connects += 1;
+        self.advance_to(next_seq);
+    }
+
+    /// A BATCH with `seq` holding `items` items arrived. Returns true
+    /// when the batch is fresh (its items should be delivered), false for
+    /// a duplicate.
+    pub fn on_batch(&mut self, seq: u64, items: u64) -> bool {
+        if let Some(e) = self.expected {
+            if seq < e {
+                self.stats.duplicate_frames += 1;
+                return false;
+            }
+        }
+        self.advance_to(seq);
+        self.expected = Some(seq + 1);
+        self.stats.frames += 1;
+        self.stats.items += items;
+        true
+    }
+
+    /// A BYE closed the stream at `next_seq` with the sensor's own drop
+    /// tally. A `next_seq` above expectation exposes frames dropped at
+    /// the very tail of the stream.
+    pub fn on_bye(&mut self, next_seq: u64, dropped_frames: u64, dropped_items: u64) {
+        self.advance_to(next_seq);
+        self.stats.byes += 1;
+        self.stats.reported_dropped_frames += dropped_frames;
+        self.stats.reported_dropped_items += dropped_items;
+    }
+}
+
+/// Collector tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorConfig {
+    /// BYE frames to wait for before the merged output ends (normally
+    /// the number of sensors in the deployment).
+    pub expected_byes: u64,
+    /// Distinct sensors that must say HELLO before any item is released:
+    /// an early sensor must not drain ahead of peers that are still
+    /// connecting, or the merged order would depend on connect timing.
+    pub expected_sensors: u64,
+    /// Socket read timeout (also the readers' stop-poll interval).
+    pub read_timeout: Duration,
+    /// Accept-loop poll interval.
+    pub poll_interval: Duration,
+}
+
+impl CollectorConfig {
+    /// Defaults for a deployment of `expected_byes` sensors.
+    pub fn new(expected_byes: u64) -> CollectorConfig {
+        CollectorConfig {
+            expected_byes,
+            expected_sensors: expected_byes,
+            read_timeout: Duration::from_millis(25),
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Final collector accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollectorReport {
+    /// Per-sensor statistics, keyed by sensor id.
+    pub sensors: BTreeMap<u64, SensorStats>,
+    /// Items released into the merged output.
+    pub items_merged: u64,
+    /// Protocol errors on connections that never completed a HELLO.
+    pub unattributed_errors: u64,
+}
+
+impl CollectorReport {
+    /// Total frames lost across all sensors (collector-observed gaps).
+    pub fn total_gap_frames(&self) -> u64 {
+        self.sensors.values().map(|s| s.gap_frames).sum()
+    }
+}
+
+enum Event<T> {
+    Frame { conn: u64, frame: Frame<T> },
+    BadFrame { conn: u64, error: FeedError },
+    Disconnect { conn: u64 },
+}
+
+/// TCP feed server: accepts sensors, merges their streams, and hands the
+/// merged items out through a channel.
+pub struct Collector<T> {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    output: Option<Receiver<T>>,
+    accept: Option<JoinHandle<()>>,
+    merge: Option<JoinHandle<CollectorReport>>,
+}
+
+impl<T: FeedItem> Collector<T> {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting sensors.
+    pub fn bind(addr: &str, config: CollectorConfig) -> std::io::Result<Collector<T>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (event_tx, event_rx) = unbounded::<Event<T>>();
+        let (out_tx, out_rx) = unbounded::<T>();
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("feed-accept".into())
+                .spawn(move || accept_loop(listener, event_tx, stop, config))
+                .expect("spawn collector accept thread")
+        };
+        let merge = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("feed-merge".into())
+                .spawn(move || merge_loop(event_rx, out_tx, &stop, config))
+                .expect("spawn collector merge thread")
+        };
+
+        Ok(Collector {
+            addr: local,
+            stop,
+            output: Some(out_rx),
+            accept: Some(accept),
+            merge: Some(merge),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Take the merged output channel. Iterate it to drive the pipeline;
+    /// it ends when the expected number of BYEs has arrived.
+    pub fn take_output(&mut self) -> Receiver<T> {
+        self.output.take().expect("collector output already taken")
+    }
+
+    /// Wait for the feed to complete and return the accounting. Call
+    /// after draining (or dropping) the output channel.
+    pub fn finish(mut self) -> CollectorReport {
+        let report = self
+            .merge
+            .take()
+            .map(|h| h.join().expect("collector merge thread panicked"))
+            .unwrap_or_default();
+        // The merge thread set `stop` on its way out; the accept loop and
+        // readers notice within a poll interval.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        report
+    }
+}
+
+impl<T> Drop for Collector<T> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.merge.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop<T: FeedItem>(
+    listener: TcpListener,
+    events: Sender<Event<T>>,
+    stop: Arc<AtomicBool>,
+    config: CollectorConfig,
+) {
+    let mut readers = Vec::new();
+    let mut next_conn = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = next_conn;
+                next_conn += 1;
+                let events = events.clone();
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name(format!("feed-reader-{conn}"))
+                    .spawn(move || reader_loop(stream, conn, events, stop, config))
+                    .expect("spawn collector reader thread");
+                readers.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(config.poll_interval),
+        }
+    }
+    drop(events);
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+fn reader_loop<T: FeedItem>(
+    mut stream: TcpStream,
+    conn: u64,
+    events: Sender<Event<T>>,
+    stop: Arc<AtomicBool>,
+    config: CollectorConfig,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut reader = FrameReader::<T>::new();
+    let mut buf = [0u8; 16 * 1024];
+    'conn: loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        reader.push(&buf[..n]);
+        loop {
+            match reader.next_frame() {
+                Ok(Some(frame)) => {
+                    if events.send(Event::Frame { conn, frame }).is_err() {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    let fatal = matches!(error, FeedError::Framing(_));
+                    if events.send(Event::BadFrame { conn, error }).is_err() {
+                        break 'conn;
+                    }
+                    if fatal {
+                        // A corrupt length prefix poisons the stream;
+                        // drop the connection, the sensor will reconnect.
+                        break 'conn;
+                    }
+                }
+            }
+        }
+    }
+    let _ = events.send(Event::Disconnect { conn });
+}
+
+fn merge_loop<T: FeedItem>(
+    events: Receiver<Event<T>>,
+    output: Sender<T>,
+    stop: &AtomicBool,
+    config: CollectorConfig,
+) -> CollectorReport {
+    let mut merger = TimeMerger::<T>::new();
+    let mut ledgers: BTreeMap<u64, SensorLedger> = BTreeMap::new();
+    // conn → sensor identity (learned from HELLO), and per-sensor latest
+    // conn so a stale disconnect cannot close a reconnected stream.
+    let mut conn_sensor: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut latest_conn: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut report = CollectorReport::default();
+    let mut byes = 0u64;
+
+    for event in events.iter() {
+        match event {
+            Event::Frame { conn, frame } => match frame {
+                Frame::Hello {
+                    sensor, next_seq, ..
+                } => {
+                    conn_sensor.insert(conn, sensor);
+                    latest_conn.insert(sensor, conn);
+                    ledgers.entry(sensor).or_default().on_hello(next_seq);
+                    merger.open(sensor);
+                }
+                Frame::Batch { sensor, seq, items } => {
+                    let ledger = ledgers.entry(sensor).or_default();
+                    if ledger.on_batch(seq, items.len() as u64) {
+                        merger.push(sensor, items);
+                    }
+                }
+                Frame::Bye {
+                    sensor,
+                    next_seq,
+                    dropped_frames,
+                    dropped_items,
+                } => {
+                    ledgers.entry(sensor).or_default().on_bye(
+                        next_seq,
+                        dropped_frames,
+                        dropped_items,
+                    );
+                    merger.close(sensor);
+                    byes += 1;
+                }
+            },
+            Event::BadFrame { conn, error } => {
+                match conn_sensor.get(&conn) {
+                    Some(&sensor) => {
+                        let stats = &mut ledgers.entry(sensor).or_default().stats;
+                        if matches!(error, FeedError::Crc { .. }) {
+                            stats.crc_errors += 1;
+                        } else {
+                            stats.decode_errors += 1;
+                        }
+                    }
+                    None => report.unattributed_errors += 1,
+                }
+            }
+            Event::Disconnect { conn } => {
+                if let Some(&sensor) = conn_sensor.get(&conn) {
+                    if latest_conn.get(&sensor) == Some(&conn) {
+                        // The sensor's live connection died without BYE:
+                        // stop letting its silence gate the merge.
+                        merger.close(sensor);
+                    }
+                }
+            }
+        }
+        if ledgers.len() as u64 >= config.expected_sensors {
+            for item in merger.drain_ready() {
+                report.items_merged += 1;
+                if output.send(item).is_err() {
+                    break;
+                }
+            }
+        }
+        if config.expected_byes > 0 && byes >= config.expected_byes {
+            break;
+        }
+    }
+
+    // Everything still buffered belongs to closed or abandoned streams.
+    for (&sensor, _) in &ledgers {
+        merger.close(sensor);
+    }
+    for item in merger.drain_ready() {
+        report.items_merged += 1;
+        if output.send(item).is_err() {
+            break;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    report.sensors = ledgers.into_iter().map(|(id, l)| (id, l.stats)).collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::{Sensor, SensorConfig};
+    use crate::testitem::TestItem;
+
+    #[test]
+    fn ledger_tracks_gaps_duplicates_and_byes() {
+        let mut l = SensorLedger::new();
+        l.on_hello(0);
+        assert!(l.on_batch(0, 10));
+        assert!(l.on_batch(1, 10));
+        // Frames 2..=4 lost at the sensor's full buffer.
+        assert!(l.on_batch(5, 10));
+        // A retransmit of frame 1 after reconnect is a duplicate.
+        assert!(!l.on_batch(1, 10));
+        // BYE says next would have been 8: frames 6..=7 lost at the tail.
+        l.on_bye(8, 5, 50);
+        let s = &l.stats;
+        assert_eq!(s.frames, 3);
+        assert_eq!(s.items, 30);
+        assert_eq!(s.duplicate_frames, 1);
+        assert_eq!(s.gaps, vec![(2, 4), (6, 7)]);
+        assert_eq!(s.gap_frames, 5);
+        assert_eq!(s.byes, 1);
+        assert_eq!(s.reported_dropped_frames, 5);
+        assert_eq!(s.reported_dropped_items, 50);
+    }
+
+    #[test]
+    fn ledger_gap_on_reconnect_hello() {
+        let mut l = SensorLedger::new();
+        l.on_hello(0);
+        assert!(l.on_batch(0, 1));
+        // Reconnect announcing seq 4: frames 1..=3 were lost offline.
+        l.on_hello(4);
+        assert!(l.on_batch(4, 1));
+        assert_eq!(l.stats.gaps, vec![(1, 3)]);
+        assert_eq!(l.stats.connects, 2);
+    }
+
+    #[test]
+    fn collector_merges_sensors_in_time_order() {
+        let mut collector =
+            Collector::<TestItem>::bind("127.0.0.1:0", CollectorConfig::new(3)).unwrap();
+        let addr = collector.local_addr().to_string();
+        let output = collector.take_output();
+
+        let mut handles = Vec::new();
+        for sensor_id in 0..3u64 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut config = SensorConfig::new(sensor_id);
+                config.batch_items = 4;
+                let sensor = Sensor::connect(addr, config);
+                // Sensor k owns times k, k+3, k+6, ... so the merged
+                // stream must be exactly 0,1,2,...,29.
+                for i in 0..10u64 {
+                    let t = (sensor_id + 3 * i) as f64;
+                    sensor.send(TestItem::at(sensor_id + 3 * i, t));
+                }
+                sensor.finish()
+            }));
+        }
+        let merged: Vec<TestItem> = output.iter().collect();
+        let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let report = collector.finish();
+
+        let times: Vec<f64> = merged.iter().map(|i| i.time).collect();
+        let want: Vec<f64> = (0..30).map(|v| v as f64).collect();
+        assert_eq!(times, want);
+        assert_eq!(report.items_merged, 30);
+        assert_eq!(report.total_gap_frames(), 0);
+        for r in &reports {
+            assert_eq!(r.dropped_frames, 0);
+            let stats = &report.sensors[&r.sensor];
+            assert_eq!(stats.items, 10);
+            assert_eq!(stats.byes, 1);
+            assert_eq!(stats.crc_errors, 0);
+        }
+    }
+
+    #[test]
+    fn collector_reports_restart_gap() {
+        let mut collector =
+            Collector::<TestItem>::bind("127.0.0.1:0", CollectorConfig::new(1)).unwrap();
+        let addr = collector.local_addr().to_string();
+        let output = collector.take_output();
+
+        // Incarnation 1: frames 0..=1, then crash (no BYE).
+        let mut config = SensorConfig::new(5);
+        config.batch_items = 1;
+        let sensor = Sensor::connect(addr.clone(), config);
+        sensor.send(TestItem::at(0, 0.0));
+        sensor.send(TestItem::at(1, 1.0));
+        sensor.wait_drained();
+        let r1 = sensor.abort();
+        assert_eq!(r1.next_seq, 2);
+
+        // Incarnation 2 lost 3 frames before restarting: resume at 5.
+        let mut config = SensorConfig::new(5);
+        config.batch_items = 1;
+        config.first_seq = r1.next_seq + 3;
+        let sensor = Sensor::connect(addr, config);
+        sensor.send(TestItem::at(5, 5.0));
+        let r2 = sensor.finish();
+        assert_eq!(r2.next_seq, 6);
+
+        let merged: Vec<TestItem> = output.iter().collect();
+        let report = collector.finish();
+        assert_eq!(merged.len(), 3);
+        let stats = &report.sensors[&5];
+        assert_eq!(stats.gaps, vec![(2, 4)]);
+        assert_eq!(stats.gap_frames, 3);
+        assert_eq!(stats.connects, 2);
+        assert_eq!(stats.byes, 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Frame layer: HELLO / BATCH / BYE payloads inside 32-bit length-prefixed
+//! stream frames, each ending in a CRC-32 trailer.
+//!
+//! The layer is sans-io: [`encode_frame`] appends bytes to a buffer and
+//! [`FrameReader`] consumes arbitrary stream chunks, so the whole protocol
+//! round-trips in memory (and in CI) without a socket.
+
+use crate::codec::{ByteReader, FeedItem};
+use crate::crc32::crc32;
+use crate::error::FeedError;
+use crate::varint;
+use dnswire::framing::{encode_frame_into, Reassembler, U32Prefix};
+
+/// Protocol magic carried in HELLO frames.
+pub const MAGIC: [u8; 4] = *b"DOF1";
+
+/// Frame-layer protocol revision.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Largest acceptable frame payload. A batch of 4096 worst-case DNS
+/// summaries stays well below this; anything larger is a corrupted or
+/// hostile length prefix.
+pub const MAX_FRAME: usize = 4 << 20;
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_BATCH: u8 = 2;
+const TYPE_BYE: u8 = 3;
+
+/// One decoded feed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame<T> {
+    /// Stream opener: version negotiation plus the sender's identity and
+    /// the sequence number its next batch will carry (re-sent on every
+    /// reconnect).
+    Hello {
+        /// Sensor identity (stable across reconnects).
+        sensor: u64,
+        /// Sequence number of the next BATCH on this connection.
+        next_seq: u64,
+        /// Item-codec revision the sensor encodes with.
+        item_version: u8,
+    },
+    /// A batch of items with this sensor's monotone frame sequence number.
+    Batch {
+        /// Sensor identity.
+        sensor: u64,
+        /// Frame sequence number (consumed even by dropped frames, so
+        /// gaps are observable).
+        seq: u64,
+        /// The decoded items, in sensor emission order.
+        items: Vec<T>,
+    },
+    /// Orderly end of stream with the sensor's own loss accounting.
+    Bye {
+        /// Sensor identity.
+        sensor: u64,
+        /// Sequence number the next batch would have carried.
+        next_seq: u64,
+        /// Frames the sensor dropped at its full send buffer.
+        dropped_frames: u64,
+        /// Items inside those dropped frames.
+        dropped_items: u64,
+    },
+}
+
+impl<T> Frame<T> {
+    /// The sensor identity every frame variant carries.
+    pub fn sensor(&self) -> u64 {
+        match *self {
+            Frame::Hello { sensor, .. }
+            | Frame::Batch { sensor, .. }
+            | Frame::Bye { sensor, .. } => sensor,
+        }
+    }
+}
+
+/// Append `frame` to `out` as one length-prefixed stream frame.
+pub fn encode_frame<T: FeedItem>(frame: &Frame<T>, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(64);
+    match frame {
+        Frame::Hello {
+            sensor,
+            next_seq,
+            item_version,
+        } => {
+            payload.push(TYPE_HELLO);
+            payload.extend_from_slice(&MAGIC);
+            payload.push(PROTOCOL_VERSION);
+            payload.push(*item_version);
+            varint::write_u64(*sensor, &mut payload);
+            varint::write_u64(*next_seq, &mut payload);
+        }
+        Frame::Batch { sensor, seq, items } => {
+            payload.push(TYPE_BATCH);
+            varint::write_u64(*sensor, &mut payload);
+            varint::write_u64(*seq, &mut payload);
+            varint::write_u64(items.len() as u64, &mut payload);
+            for item in items {
+                item.encode(&mut payload);
+            }
+        }
+        Frame::Bye {
+            sensor,
+            next_seq,
+            dropped_frames,
+            dropped_items,
+        } => {
+            payload.push(TYPE_BYE);
+            varint::write_u64(*sensor, &mut payload);
+            varint::write_u64(*next_seq, &mut payload);
+            varint::write_u64(*dropped_frames, &mut payload);
+            varint::write_u64(*dropped_items, &mut payload);
+        }
+    }
+    let crc = crc32(&payload);
+    payload.extend_from_slice(&crc.to_le_bytes());
+    debug_assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    encode_frame_into::<U32Prefix>(&payload, out);
+}
+
+/// Decode one frame payload (the bytes between length prefix and end,
+/// CRC trailer included).
+pub fn decode_payload<T: FeedItem>(payload: &[u8]) -> Result<Frame<T>, FeedError> {
+    if payload.len() < 5 {
+        return Err(FeedError::Truncated("frame header"));
+    }
+    let (body, trailer) = payload.split_at(payload.len() - 4);
+    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(body);
+    if expected != computed {
+        return Err(FeedError::Crc { expected, computed });
+    }
+    let mut r = ByteReader::new(body);
+    let frame = match r.u8("frame type")? {
+        TYPE_HELLO => {
+            let magic = r.bytes(4, "hello magic")?;
+            if magic != MAGIC {
+                return Err(FeedError::BadMagic([magic[0], magic[1], magic[2], magic[3]]));
+            }
+            let protocol = r.u8("protocol version")?;
+            if protocol != PROTOCOL_VERSION {
+                return Err(FeedError::BadProtocolVersion {
+                    got: protocol,
+                    want: PROTOCOL_VERSION,
+                });
+            }
+            let item_version = r.u8("item version")?;
+            if item_version != T::ITEM_VERSION {
+                return Err(FeedError::BadItemVersion {
+                    got: item_version,
+                    want: T::ITEM_VERSION,
+                });
+            }
+            Frame::Hello {
+                item_version,
+                sensor: r.varint()?,
+                next_seq: r.varint()?,
+            }
+        }
+        TYPE_BATCH => {
+            let sensor = r.varint()?;
+            let seq = r.varint()?;
+            let count = r.count(1, "batch items")?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(T::decode(&mut r)?);
+            }
+            Frame::Batch { sensor, seq, items }
+        }
+        TYPE_BYE => Frame::Bye {
+            sensor: r.varint()?,
+            next_seq: r.varint()?,
+            dropped_frames: r.varint()?,
+            dropped_items: r.varint()?,
+        },
+        other => return Err(FeedError::BadFrameType(other)),
+    };
+    if !r.is_empty() {
+        return Err(FeedError::TrailingBytes(r.remaining()));
+    }
+    Ok(frame)
+}
+
+/// Incremental frame decoder over a byte stream.
+///
+/// Like [`dnswire::tcp::FrameDecoder`] but for feed frames: push arbitrary
+/// chunks, pop decoded [`Frame`]s. A payload that fails its CRC or its
+/// decode is consumed (the length prefix keeps the stream aligned) and
+/// reported as an error; an oversized length prefix is unrecoverable and
+/// the connection should be dropped.
+#[derive(Debug)]
+pub struct FrameReader<T> {
+    frames: Reassembler<U32Prefix>,
+    decoded: u64,
+    _item: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: FeedItem> Default for FrameReader<T> {
+    fn default() -> Self {
+        FrameReader {
+            frames: Reassembler::new(MAX_FRAME),
+            decoded: 0,
+            _item: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: FeedItem> FrameReader<T> {
+    /// Fresh reader.
+    pub fn new() -> FrameReader<T> {
+        FrameReader::default()
+    }
+
+    /// Append stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.frames.push(bytes);
+    }
+
+    /// Bytes buffered towards an incomplete frame.
+    pub fn buffered(&self) -> usize {
+        self.frames.buffered()
+    }
+
+    /// Frames decoded successfully over the reader's lifetime.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Try to decode the next complete frame; `Ok(None)` means more bytes
+    /// are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame<T>>, FeedError> {
+        let Some(payload) = self.frames.next_frame()? else {
+            return Ok(None);
+        };
+        let frame = decode_payload(&payload)?;
+        self.decoded += 1;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testitem::TestItem;
+
+    fn batch(seq: u64, vals: &[u64]) -> Frame<TestItem> {
+        Frame::Batch {
+            sensor: 9,
+            seq,
+            items: vals.iter().map(|&v| TestItem::new(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_frame_types() {
+        let frames = vec![
+            Frame::Hello {
+                sensor: 9,
+                next_seq: 0,
+                item_version: TestItem::ITEM_VERSION,
+            },
+            batch(0, &[1, 2, 3]),
+            batch(1, &[]),
+            Frame::Bye {
+                sensor: 9,
+                next_seq: 2,
+                dropped_frames: 1,
+                dropped_items: 4,
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        // Byte-at-a-time segmentation: the hard case of TCP reassembly.
+        let mut reader = FrameReader::<TestItem>::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            reader.push(&[b]);
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(reader.decoded(), 4);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn corrupt_payload_byte_fails_crc_and_keeps_alignment() {
+        let mut stream = Vec::new();
+        encode_frame(&batch(0, &[7]), &mut stream);
+        let first_len = stream.len();
+        encode_frame(&batch(1, &[8]), &mut stream);
+        // Flip one byte inside the first frame's payload (past the 4-byte
+        // length prefix).
+        stream[5] ^= 0xff;
+        let mut reader = FrameReader::<TestItem>::new();
+        reader.push(&stream);
+        assert!(matches!(reader.next_frame(), Err(FeedError::Crc { .. })));
+        // The second frame still decodes: alignment survived.
+        assert_eq!(reader.next_frame().unwrap(), Some(batch(1, &[8])));
+        let _ = first_len;
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut stream = Vec::new();
+        encode_frame::<TestItem>(
+            &Frame::Hello {
+                sensor: 1,
+                next_seq: 0,
+                item_version: TestItem::ITEM_VERSION + 1,
+            },
+            &mut stream,
+        );
+        let mut reader = FrameReader::<TestItem>::new();
+        reader.push(&stream);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(FeedError::BadItemVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let mut reader = FrameReader::<TestItem>::new();
+        reader.push(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(matches!(reader.next_frame(), Err(FeedError::Framing(_))));
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic k-way merge of per-sensor item streams by time.
+//!
+//! Each sensor delivers its items in emission order, but the collector
+//! receives the streams interleaved arbitrarily by the network. The
+//! merger releases the globally smallest-time head only when every *open*
+//! stream has a head to compare against — otherwise an early-arriving
+//! stream could overtake a slow one and break determinism. A stream that
+//! is closed (sensor said BYE or its connection dropped) no longer blocks
+//! the merge; whatever it already delivered still drains in order.
+//!
+//! Ties on time break by sensor id, so the merged order is a pure
+//! function of the input streams.
+
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug)]
+struct Stream<T> {
+    queue: VecDeque<T>,
+    open: bool,
+}
+
+/// Watermark-style merger of per-sensor time-ordered streams.
+#[derive(Debug)]
+pub struct TimeMerger<T> {
+    streams: BTreeMap<u64, Stream<T>>,
+}
+
+impl<T> Default for TimeMerger<T> {
+    fn default() -> Self {
+        TimeMerger {
+            streams: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: crate::codec::FeedItem> TimeMerger<T> {
+    /// Empty merger; streams appear via [`TimeMerger::open`].
+    pub fn new() -> TimeMerger<T> {
+        TimeMerger::default()
+    }
+
+    /// Declare `sensor` live: its stream now gates the merge until it is
+    /// closed. Reopening after a close (sensor reconnect) is fine.
+    pub fn open(&mut self, sensor: u64) {
+        self.streams
+            .entry(sensor)
+            .or_insert_with(|| Stream {
+                queue: VecDeque::new(),
+                open: true,
+            })
+            .open = true;
+    }
+
+    /// Append items (in emission order) to `sensor`'s stream.
+    pub fn push(&mut self, sensor: u64, items: impl IntoIterator<Item = T>) {
+        self.streams
+            .entry(sensor)
+            .or_insert_with(|| Stream {
+                queue: VecDeque::new(),
+                open: false,
+            })
+            .queue
+            .extend(items);
+    }
+
+    /// Mark `sensor` finished: an empty queue no longer blocks the merge.
+    pub fn close(&mut self, sensor: u64) {
+        if let Some(s) = self.streams.get_mut(&sensor) {
+            s.open = false;
+        }
+    }
+
+    /// Number of streams currently gating the merge.
+    pub fn open_streams(&self) -> usize {
+        self.streams.values().filter(|s| s.open).count()
+    }
+
+    /// Items buffered across all streams.
+    pub fn buffered(&self) -> usize {
+        self.streams.values().map(|s| s.queue.len()).sum()
+    }
+
+    /// Pop the next item in merged time order, or `None` when an open
+    /// stream is empty (more input needed) or everything has drained.
+    pub fn pop_ready(&mut self) -> Option<T> {
+        let mut best: Option<(f64, u64)> = None;
+        for (&sensor, stream) in &self.streams {
+            match stream.queue.front() {
+                None => {
+                    if stream.open {
+                        // A live stream with no head: releasing anything
+                        // now could reorder against its next item.
+                        return None;
+                    }
+                }
+                Some(head) => {
+                    let t = head.order_time();
+                    // BTreeMap iterates sensors ascending, so strict `<`
+                    // keeps the lowest sensor id on time ties.
+                    let better = match best {
+                        None => true,
+                        Some((bt, _)) => t < bt,
+                    };
+                    if better {
+                        best = Some((t, sensor));
+                    }
+                }
+            }
+        }
+        let (_, sensor) = best?;
+        let stream = self.streams.get_mut(&sensor)?;
+        let item = stream.queue.pop_front();
+        if stream.queue.is_empty() && !stream.open {
+            self.streams.remove(&sensor);
+        }
+        item
+    }
+
+    /// Drain everything currently releasable, in merged order.
+    pub fn drain_ready(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.pop_ready() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testitem::TestItem;
+
+    fn times(items: &[TestItem]) -> Vec<f64> {
+        items.iter().map(|i| i.time).collect()
+    }
+
+    #[test]
+    fn merges_two_streams_by_time() {
+        let mut m = TimeMerger::new();
+        m.open(1);
+        m.open(2);
+        m.push(1, [TestItem::at(1, 1.0), TestItem::at(3, 3.0)]);
+        m.push(2, [TestItem::at(2, 2.0), TestItem::at(4, 4.0)]);
+        m.close(1);
+        m.close(2);
+        assert_eq!(times(&m.drain_ready()), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.buffered(), 0);
+    }
+
+    #[test]
+    fn open_empty_stream_blocks_release() {
+        let mut m = TimeMerger::new();
+        m.open(1);
+        m.open(2);
+        m.push(1, [TestItem::at(1, 1.0)]);
+        // Sensor 2 is live but silent: nothing may be released yet.
+        assert!(m.pop_ready().is_none());
+        m.push(2, [TestItem::at(2, 0.5)]);
+        // Now sensor 2's earlier item correctly comes out first.
+        assert_eq!(m.pop_ready().unwrap().time, 0.5);
+        assert_eq!(m.pop_ready(), None); // sensor 2 drained, still open
+        m.close(2);
+        assert_eq!(m.pop_ready().unwrap().time, 1.0);
+    }
+
+    #[test]
+    fn closed_stream_does_not_block() {
+        let mut m = TimeMerger::new();
+        m.open(1);
+        m.open(2);
+        m.push(1, [TestItem::at(1, 1.0)]);
+        m.close(2); // sensor 2 died without delivering anything
+        assert_eq!(m.pop_ready().unwrap().time, 1.0);
+    }
+
+    #[test]
+    fn time_ties_break_by_sensor_id() {
+        let mut m = TimeMerger::new();
+        m.open(2);
+        m.open(1);
+        m.push(2, [TestItem::at(20, 5.0)]);
+        m.push(1, [TestItem::at(10, 5.0)]);
+        m.close(1);
+        m.close(2);
+        let got: Vec<u64> = m.drain_ready().into_iter().map(|i| i.value).collect();
+        assert_eq!(got, [10, 20]);
+    }
+
+    #[test]
+    fn reopen_after_close_gates_again() {
+        let mut m = TimeMerger::new();
+        m.open(1);
+        m.open(2);
+        m.push(2, [TestItem::at(2, 2.0)]);
+        m.close(1);
+        assert_eq!(m.pop_ready().unwrap().time, 2.0);
+        m.open(1); // reconnect
+        m.push(2, [TestItem::at(3, 3.0)]);
+        assert!(m.pop_ready().is_none());
+        m.push(1, [TestItem::at(1, 2.5)]);
+        assert_eq!(m.pop_ready().unwrap().time, 2.5);
+    }
+}

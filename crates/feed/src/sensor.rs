@@ -1,0 +1,624 @@
+//! Sensor side of the feed: batch items into frames, buffer a bounded
+//! number of frames, and push them to the collector over TCP with
+//! reconnect-and-backoff.
+//!
+//! The codec half ([`SensorEncoder`]) is sans-io and independently
+//! testable; the [`Sensor`] wraps it with a writer thread so the caller
+//! (the resolver tap) never blocks on the network: when the send buffer
+//! is full, whole frames are dropped and *accounted* — their sequence
+//! numbers are still consumed, so the collector sees the exact gap, and
+//! the BYE frame reports the sensor's own tally.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::backoff::{Backoff, BackoffConfig};
+use crate::codec::FeedItem;
+use crate::frame::{encode_frame, Frame};
+
+/// Tuning for a [`Sensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensorConfig {
+    /// Identity reported in every frame; stable across reconnects and
+    /// restarts.
+    pub sensor_id: u64,
+    /// Items per BATCH frame.
+    pub batch_items: usize,
+    /// Frames the send buffer holds before new frames are dropped.
+    pub buffer_frames: usize,
+    /// Sequence number of the first batch (a restarted sensor resumes
+    /// from where its previous incarnation reported stopping).
+    pub first_seq: u64,
+    /// Reconnect schedule.
+    pub backoff: BackoffConfig,
+}
+
+impl SensorConfig {
+    /// Defaults for `sensor_id`: 256-item batches, 64-frame buffer,
+    /// sequence numbers from zero.
+    pub fn new(sensor_id: u64) -> SensorConfig {
+        SensorConfig {
+            sensor_id,
+            batch_items: 256,
+            buffer_frames: 64,
+            first_seq: 0,
+            backoff: BackoffConfig {
+                seed: sensor_id,
+                ..BackoffConfig::default()
+            },
+        }
+    }
+}
+
+/// An encoded frame ready for the wire, with the metadata the buffer and
+/// the loss accounting need.
+#[derive(Debug, Clone)]
+pub struct SealedFrame {
+    /// Wire bytes (length prefix included).
+    pub bytes: Vec<u8>,
+    /// Frame sequence number (for BYE frames: the final `next_seq`).
+    pub seq: u64,
+    /// Items inside the frame.
+    pub items: u64,
+}
+
+/// Sans-io encoder: accumulates items, seals them into BATCH frames with
+/// monotone sequence numbers, and builds the HELLO/BYE envelopes.
+#[derive(Debug)]
+pub struct SensorEncoder<T> {
+    sensor: u64,
+    batch_items: usize,
+    next_seq: u64,
+    pending: Vec<T>,
+}
+
+impl<T: FeedItem> SensorEncoder<T> {
+    /// Encoder for `sensor`, sealing every `batch_items` items, starting
+    /// at sequence `first_seq`.
+    pub fn new(sensor: u64, batch_items: usize, first_seq: u64) -> SensorEncoder<T> {
+        SensorEncoder {
+            sensor,
+            batch_items: batch_items.max(1),
+            next_seq: first_seq,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Sensor identity.
+    pub fn sensor(&self) -> u64 {
+        self.sensor
+    }
+
+    /// Sequence number the next sealed batch will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Items buffered towards the next batch.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// HELLO announcing `sensor` will continue at `next_seq`.
+    pub fn hello_for(sensor: u64, next_seq: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_frame::<T>(
+            &Frame::Hello {
+                sensor,
+                next_seq,
+                item_version: T::ITEM_VERSION,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    /// HELLO for this encoder's current position.
+    pub fn hello_frame(&self) -> Vec<u8> {
+        Self::hello_for(self.sensor, self.next_seq)
+    }
+
+    /// Add an item; returns a sealed frame when the batch fills.
+    pub fn push(&mut self, item: T) -> Option<SealedFrame> {
+        self.pending.push(item);
+        if self.pending.len() >= self.batch_items {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Seal the partial batch, if any.
+    pub fn flush(&mut self) -> Option<SealedFrame> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let items = std::mem::take(&mut self.pending);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut bytes = Vec::with_capacity(items.len() * 32);
+        let count = items.len() as u64;
+        encode_frame(
+            &Frame::Batch {
+                sensor: self.sensor,
+                seq,
+                items,
+            },
+            &mut bytes,
+        );
+        Some(SealedFrame {
+            bytes,
+            seq,
+            items: count,
+        })
+    }
+
+    /// BYE carrying this sensor's own loss accounting.
+    pub fn bye_frame(&self, dropped_frames: u64, dropped_items: u64) -> SealedFrame {
+        let mut bytes = Vec::new();
+        encode_frame::<T>(
+            &Frame::Bye {
+                sensor: self.sensor,
+                next_seq: self.next_seq,
+                dropped_frames,
+                dropped_items,
+            },
+            &mut bytes,
+        );
+        SealedFrame {
+            bytes,
+            seq: self.next_seq,
+            items: 0,
+        }
+    }
+}
+
+/// Final accounting from a finished or aborted [`Sensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensorReport {
+    /// Sensor identity.
+    pub sensor: u64,
+    /// Successful TCP connections made.
+    pub connects: u64,
+    /// Frames written to the wire (HELLOs excluded).
+    pub sent_frames: u64,
+    /// Items inside those frames.
+    pub sent_items: u64,
+    /// Frames dropped at the full send buffer.
+    pub dropped_frames: u64,
+    /// Items inside the dropped frames.
+    pub dropped_items: u64,
+    /// Sequence number a restarted incarnation should resume from.
+    pub next_seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    frames: VecDeque<SealedFrame>,
+    in_flight: bool,
+    closing: bool,
+    abort: bool,
+    sent_frames: u64,
+    sent_items: u64,
+    dropped_frames: u64,
+    dropped_items: u64,
+    connects: u64,
+}
+
+struct Shared<T> {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    encoder: Mutex<SensorEncoder<T>>,
+}
+
+/// TCP feed client: a resolver tap calls [`Sensor::send`] and never
+/// blocks on the network; a writer thread owns the connection.
+pub struct Sensor<T> {
+    shared: Arc<Shared<T>>,
+    buffer_frames: usize,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl<T: FeedItem> Sensor<T> {
+    /// Start a sensor pushing to `addr`. Connection (and reconnection) is
+    /// handled by the writer thread; this call never blocks on the
+    /// network.
+    pub fn connect(addr: impl Into<String>, config: SensorConfig) -> Sensor<T> {
+        let addr = addr.into();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            cond: Condvar::new(),
+            encoder: Mutex::new(SensorEncoder::new(
+                config.sensor_id,
+                config.batch_items,
+                config.first_seq,
+            )),
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let backoff = config.backoff;
+            let sensor_id = config.sensor_id;
+            std::thread::Builder::new()
+                .name(format!("feed-sensor-{sensor_id}"))
+                .spawn(move || writer_loop::<T>(&addr, &shared, backoff, sensor_id))
+                .expect("spawn sensor writer")
+        };
+        Sensor {
+            shared,
+            buffer_frames: config.buffer_frames.max(1),
+            writer: Some(writer),
+        }
+    }
+
+    /// Queue an item. When the batch fills, the sealed frame enters the
+    /// send buffer — or is dropped (and accounted) if the buffer is full.
+    pub fn send(&self, item: T) {
+        let sealed = self.shared.encoder.lock().unwrap().push(item);
+        if let Some(frame) = sealed {
+            self.enqueue(frame, true);
+        }
+    }
+
+    /// Seal and queue the current partial batch.
+    pub fn flush(&self) {
+        let sealed = self.shared.encoder.lock().unwrap().flush();
+        if let Some(frame) = sealed {
+            self.enqueue(frame, true);
+        }
+    }
+
+    /// Block until the send buffer has fully drained onto the wire.
+    pub fn wait_drained(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        while !q.frames.is_empty() || q.in_flight {
+            q = self.shared.cond.wait(q).unwrap();
+        }
+    }
+
+    /// Flush, send BYE, drain, and return the final accounting.
+    pub fn finish(mut self) -> SensorReport {
+        self.flush();
+        let bye = {
+            let q = self.shared.queue.lock().unwrap();
+            let enc = self.shared.encoder.lock().unwrap();
+            enc.bye_frame(q.dropped_frames, q.dropped_items)
+        };
+        // Control frames bypass the drop policy: accounting must arrive.
+        self.enqueue(bye, false);
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.closing = true;
+            self.shared.cond.notify_all();
+        }
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+        self.report()
+    }
+
+    /// Tear the connection down *without* BYE — simulates (or reacts to)
+    /// a crash. Queued frames are discarded and counted as dropped. The
+    /// report's `next_seq` is what a restarted incarnation should resume
+    /// from.
+    pub fn abort(mut self) -> SensorReport {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            while let Some(f) = q.frames.pop_front() {
+                q.dropped_frames += 1;
+                q.dropped_items += f.items;
+            }
+            q.abort = true;
+            self.shared.cond.notify_all();
+        }
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+        self.report()
+    }
+
+    fn report(&self) -> SensorReport {
+        let q = self.shared.queue.lock().unwrap();
+        let enc = self.shared.encoder.lock().unwrap();
+        SensorReport {
+            sensor: enc.sensor(),
+            connects: q.connects,
+            sent_frames: q.sent_frames,
+            sent_items: q.sent_items,
+            dropped_frames: q.dropped_frames,
+            dropped_items: q.dropped_items,
+            next_seq: enc.next_seq(),
+        }
+    }
+
+    fn enqueue(&self, frame: SealedFrame, droppable: bool) {
+        let mut q = self.shared.queue.lock().unwrap();
+        if droppable && q.frames.len() >= self.buffer_frames {
+            // The frame's sequence number stays consumed, so the
+            // collector observes this exact loss as a gap.
+            q.dropped_frames += 1;
+            q.dropped_items += frame.items;
+            return;
+        }
+        q.frames.push_back(frame);
+        self.shared.cond.notify_all();
+    }
+}
+
+impl<T> Drop for Sensor<T> {
+    fn drop(&mut self) {
+        if let Some(h) = self.writer.take() {
+            {
+                let mut q = self.shared.queue.lock().unwrap();
+                q.abort = true;
+                self.shared.cond.notify_all();
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+fn writer_loop<T: FeedItem>(
+    addr: &str,
+    shared: &Shared<T>,
+    backoff: BackoffConfig,
+    sensor_id: u64,
+) {
+    let mut backoff = Backoff::new(backoff);
+    let mut conn: Option<TcpStream> = None;
+    'frames: loop {
+        // Wait for something to send (or a shutdown signal).
+        let frame = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if q.abort {
+                    return;
+                }
+                if let Some(f) = q.frames.pop_front() {
+                    q.in_flight = true;
+                    break f;
+                }
+                if q.closing {
+                    return;
+                }
+                q = shared.cond.wait(q).unwrap();
+            }
+        };
+        // Write it, reconnecting as needed. At-least-once: a frame whose
+        // write failed midway may reach the collector twice; the
+        // sequence number lets the collector discard the duplicate.
+        loop {
+            if conn.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        backoff.reset();
+                        // Announce where this connection resumes: the
+                        // frame about to be (re)sent.
+                        let hello = SensorEncoder::<T>::hello_for(sensor_id, frame.seq);
+                        let mut stream = stream;
+                        if std::io::Write::write_all(&mut stream, &hello).is_err() {
+                            continue;
+                        }
+                        {
+                            let mut q = shared.queue.lock().unwrap();
+                            q.connects += 1;
+                        }
+                        conn = Some(stream);
+                    }
+                    Err(_) => {
+                        let delay = backoff.next_delay();
+                        if sleep_or_abort(shared, delay) {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+            let stream = conn.as_mut().expect("connection present");
+            match std::io::Write::write_all(stream, &frame.bytes) {
+                Ok(()) => {
+                    let mut q = shared.queue.lock().unwrap();
+                    q.in_flight = false;
+                    q.sent_frames += 1;
+                    q.sent_items += frame.items;
+                    shared.cond.notify_all();
+                    continue 'frames;
+                }
+                Err(_) => {
+                    conn = None;
+                    if shared.queue.lock().unwrap().abort {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sleep `delay` but wake early on abort; returns true when aborting.
+fn sleep_or_abort<T>(shared: &Shared<T>, delay: Duration) -> bool {
+    let q = shared.queue.lock().unwrap();
+    let (q, _timeout) = shared
+        .cond
+        .wait_timeout_while(q, delay, |q| !q.abort && !q.closing)
+        .unwrap();
+    // `closing` with frames still queued must keep trying to deliver
+    // them; only a hard abort stops the writer mid-backoff.
+    q.abort
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameReader;
+    use crate::testitem::TestItem;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn read_frames(stream: &mut TcpStream) -> Vec<Frame<TestItem>> {
+        let mut reader = FrameReader::new();
+        let mut buf = [0u8; 4096];
+        let mut out = Vec::new();
+        loop {
+            let n = match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            reader.push(&buf[..n]);
+            while let Some(f) = reader.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn encoder_seals_batches_with_monotone_seq() {
+        let mut enc = SensorEncoder::<TestItem>::new(3, 2, 10);
+        assert!(enc.push(TestItem::new(1)).is_none());
+        let f = enc.push(TestItem::new(2)).expect("batch sealed");
+        assert_eq!((f.seq, f.items), (10, 2));
+        assert!(enc.push(TestItem::new(3)).is_none());
+        let f = enc.flush().expect("partial flushed");
+        assert_eq!((f.seq, f.items), (11, 1));
+        assert!(enc.flush().is_none());
+        let bye = enc.bye_frame(4, 9);
+        assert_eq!(bye.seq, 12);
+        // Everything decodes back.
+        let mut reader = FrameReader::<TestItem>::new();
+        reader.push(&enc.hello_frame());
+        reader.push(&bye.bytes);
+        assert!(matches!(
+            reader.next_frame().unwrap(),
+            Some(Frame::Hello {
+                sensor: 3,
+                next_seq: 12,
+                ..
+            })
+        ));
+        assert!(matches!(
+            reader.next_frame().unwrap(),
+            Some(Frame::Bye {
+                sensor: 3,
+                next_seq: 12,
+                dropped_frames: 4,
+                dropped_items: 9,
+            })
+        ));
+    }
+
+    #[test]
+    fn sensor_delivers_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_frames(&mut stream)
+        });
+
+        let mut config = SensorConfig::new(7);
+        config.batch_items = 3;
+        let sensor = Sensor::connect(addr.to_string(), config);
+        for v in 0..7u64 {
+            sensor.send(TestItem::new(v));
+        }
+        let report = sensor.finish();
+        assert_eq!(report.sent_frames, 4); // 2 full + 1 partial + BYE
+        assert_eq!(report.sent_items, 7);
+        assert_eq!(report.dropped_frames, 0);
+        assert_eq!(report.next_seq, 3);
+        assert_eq!(report.connects, 1);
+
+        let frames = server.join().unwrap();
+        assert!(matches!(
+            frames[0],
+            Frame::Hello {
+                sensor: 7,
+                next_seq: 0,
+                ..
+            }
+        ));
+        let seqs: Vec<u64> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Batch { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, [0, 1, 2]);
+        assert!(matches!(
+            frames.last().unwrap(),
+            Frame::Bye {
+                next_seq: 3,
+                dropped_frames: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sensor_retries_until_listener_appears() {
+        // Bind to learn a free port, then close it so the first connect
+        // attempts fail and the backoff path runs.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        let mut config = SensorConfig::new(1);
+        config.batch_items = 1;
+        config.backoff = BackoffConfig {
+            base_ms: 5,
+            max_ms: 40,
+            seed: 1,
+        };
+        let sensor = Sensor::<TestItem>::connect(addr.to_string(), config);
+        sensor.send(TestItem::new(42));
+
+        std::thread::sleep(Duration::from_millis(60));
+        let listener = TcpListener::bind(addr).unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_frames(&mut stream)
+        });
+
+        let report = sensor.finish();
+        assert_eq!(report.sent_items, 1);
+        assert_eq!(report.connects, 1);
+        let frames = server.join().unwrap();
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::Batch { seq: 0, .. })));
+    }
+
+    #[test]
+    fn full_buffer_drops_and_accounts() {
+        // No listener at all: every sealed frame beyond the buffer bound
+        // must be dropped with its items counted and its seq consumed.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        let mut config = SensorConfig::new(2);
+        config.batch_items = 1;
+        config.buffer_frames = 2;
+        config.backoff = BackoffConfig {
+            base_ms: 1_000,
+            max_ms: 1_000,
+            seed: 2,
+        };
+        let sensor = Sensor::<TestItem>::connect(addr.to_string(), config);
+        for v in 0..10u64 {
+            sensor.send(TestItem::new(v));
+        }
+        let report = sensor.abort();
+        // One frame may be in flight with the writer; the rest split
+        // between the 2-slot buffer and the drop counter.
+        assert!(report.dropped_frames >= 7, "dropped {}", report.dropped_frames);
+        assert_eq!(report.dropped_items, report.dropped_frames);
+        assert_eq!(report.next_seq, 10); // seqs consumed even for drops
+        assert_eq!(report.sent_frames, 0);
+    }
+}

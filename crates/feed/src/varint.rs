@@ -1,0 +1,56 @@
+//! LEB128 unsigned varints: 7 bits per octet, continuation in the high
+//! bit, little-endian groups. Small values (counts, sequence numbers,
+//! short lengths) cost one byte; the worst case for a `u64` is ten.
+
+/// Append `v` to `out` as an unsigned LEB128 varint.
+pub fn write_u64(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encoded length of `v` in octets (1..=10).
+pub fn len_u64(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).max(1).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::ByteReader;
+
+    #[test]
+    fn roundtrip_edges() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u16::MAX as u64,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(v, &mut buf);
+            assert_eq!(buf.len(), len_u64(v), "len for {v}");
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_byte_values() {
+        let mut buf = Vec::new();
+        write_u64(5, &mut buf);
+        assert_eq!(buf, [5]);
+    }
+}

@@ -34,6 +34,34 @@ pub struct Transaction {
 const RESOLVER_PORT: u16 = 43210;
 
 impl Transaction {
+    /// Deterministic sensor assignment for an `n`-sensor deployment:
+    /// which sensor taps this transaction's resolver.
+    ///
+    /// Real sensor deployments partition by vantage point — each sensor
+    /// sits next to (and sees all traffic of) a set of resolvers. Hashing
+    /// the resolver address reproduces that: every transaction of one
+    /// resolver lands on the same sensor, so per-resolver transaction
+    /// order survives the split and an `n`-way feed merge can reconstruct
+    /// the original stream exactly.
+    pub fn sensor_index(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        // FNV-1a over the address octets; stable and dependency-free.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: &[u8]| {
+            for &x in b {
+                h ^= x as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        match self.resolver {
+            IpAddr::V4(a) => eat(&a.octets()),
+            IpAddr::V6(a) => eat(&a.octets()),
+        }
+        (h % n as u64) as usize
+    }
+
     /// Serialize this transaction into raw IP/UDP packets, exactly as a
     /// passive sensor would capture them: `(query packet, response
     /// packet)`. The query packet carries a plausible client-side IP TTL;
@@ -125,5 +153,25 @@ mod tests {
         };
         let (_, rpkt) = tx.to_packets();
         assert!(rpkt.is_none());
+    }
+
+    #[test]
+    fn sensor_index_is_stable_per_resolver_and_covers_all_sensors() {
+        let mut sim = crate::Simulation::from_config(crate::SimConfig::small());
+        let txs = sim.collect(1.0);
+        assert!(txs.len() > 100);
+        let n = 3;
+        let mut seen = [false; 3];
+        let mut by_resolver = std::collections::HashMap::new();
+        for tx in &txs {
+            let idx = tx.sensor_index(n);
+            assert!(idx < n);
+            seen[idx] = true;
+            // All of a resolver's traffic goes to one sensor.
+            assert_eq!(*by_resolver.entry(tx.resolver).or_insert(idx), idx);
+            // n == 1 collapses to a single sensor.
+            assert_eq!(tx.sensor_index(1), 0);
+        }
+        assert!(seen.iter().all(|&s| s), "all sensors should get traffic");
     }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Throughput smoke check: fail if the pipeline's tx/s regressed more than
-# 20 % against the committed baseline in BENCH_pipeline.json.
+# Throughput smoke check: fail if the pipeline's tx/s (BENCH_pipeline.json)
+# or the feed transport's loopback tx/s (BENCH_feed.json) regressed more
+# than 20 % against the committed baselines.
 #
 # Usage: ./scripts/bench-smoke.sh
 # Exit codes: 0 ok, 1 regression, 2 cannot run (no baseline / bad output).
@@ -39,4 +40,38 @@ awk -v cur="$cur" -v base="$base" 'BEGIN {
         exit 1;
     }
     printf "bench-smoke: OK — within 20%% of baseline (floor %.0f tx/s)\n", floor;
+}'
+
+FEED_BASELINE=BENCH_feed.json
+if [ ! -f "$FEED_BASELINE" ]; then
+    echo "bench-smoke: no $FEED_BASELINE baseline; generate one with:" >&2
+    echo "  cargo run --release -p bench --bin feed_throughput" >&2
+    exit 2
+fi
+
+feed_base=$(sed -n 's/.*"feed_smoke_tx_per_sec": *\([0-9][0-9.]*\).*/\1/p' "$FEED_BASELINE" | head -n1)
+if [ -z "$feed_base" ]; then
+    echo "bench-smoke: $FEED_BASELINE lacks a feed_smoke_tx_per_sec field" >&2
+    exit 2
+fi
+
+echo "bench-smoke: building release feed bench binary..."
+cargo build --release -q -p bench --bin feed_throughput
+
+feed_out=$(./target/release/feed_throughput --smoke)
+feed_cur=$(printf '%s\n' "$feed_out" | sed -n 's/^feed_smoke_tx_per_sec=\([0-9][0-9.]*\)$/\1/p' | head -n1)
+if [ -z "$feed_cur" ]; then
+    echo "bench-smoke: could not parse feed smoke output:" >&2
+    printf '%s\n' "$feed_out" >&2
+    exit 2
+fi
+
+echo "bench-smoke: feed baseline ${feed_base} tx/s, current ${feed_cur} tx/s"
+awk -v cur="$feed_cur" -v base="$feed_base" 'BEGIN {
+    floor = 0.8 * base;
+    if (cur < floor) {
+        printf "bench-smoke: FAIL — feed %.0f tx/s is below the 20%% floor (%.0f tx/s)\n", cur, floor;
+        exit 1;
+    }
+    printf "bench-smoke: OK — feed within 20%% of baseline (floor %.0f tx/s)\n", floor;
 }'

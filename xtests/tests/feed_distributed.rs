@@ -1,0 +1,252 @@
+//! Distributed-feed integration: the acceptance bar for the sensor→
+//! collector transport is *loopback equivalence* — K sensor processes
+//! streaming over real TCP must reproduce, byte for byte, the TSV output
+//! of the same traffic ingested in a single process — plus exact fault
+//! accounting when a sensor dies and comes back.
+
+use dns_observatory::{
+    tsv, Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TimeSeriesStore, TxSummary,
+};
+use feed::{Backoff, BackoffConfig, Collector, CollectorConfig, Sensor, SensorConfig};
+use psl::Psl;
+use simnet::{SimConfig, Simulation};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const SENSORS: usize = 3;
+const DURATION: f64 = 3.0;
+
+fn obs_config(window: f64) -> ObservatoryConfig {
+    ObservatoryConfig {
+        datasets: vec![
+            (Dataset::SrvIp, 2_000),
+            (Dataset::Esld, 2_000),
+            (Dataset::Qtype, 64),
+        ],
+        window_secs: window,
+        ..ObservatoryConfig::default()
+    }
+}
+
+/// Single-process reference: the Observatory ingesting the raw stream.
+fn single_process(seed: u64) -> TimeSeriesStore {
+    let mut sim = Simulation::from_config(SimConfig {
+        seed,
+        ..SimConfig::small()
+    });
+    let mut obs = Observatory::new(obs_config(1.0));
+    sim.run(DURATION, &mut |tx| obs.ingest(tx));
+    obs.finish()
+}
+
+/// Distributed run: K sensor threads each simulate the deployment's
+/// traffic, keep their own vantage slice, and stream summaries over TCP
+/// to a collector that feeds the pipeline.
+fn distributed(seed: u64) -> (TimeSeriesStore, feed::CollectorReport, Vec<feed::SensorReport>) {
+    let mut collector =
+        Collector::<TxSummary>::bind("127.0.0.1:0", CollectorConfig::new(SENSORS as u64))
+            .expect("bind collector");
+    let addr = collector.local_addr().to_string();
+
+    let handles: Vec<_> = (0..SENSORS)
+        .map(|index| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let psl = Psl::embedded();
+                let client = Sensor::connect(addr, SensorConfig::new(index as u64));
+                let mut sim = Simulation::from_config(SimConfig {
+                    seed,
+                    ..SimConfig::small()
+                });
+                sim.run(DURATION, &mut |tx| {
+                    if tx.sensor_index(SENSORS) == index {
+                        client.send(TxSummary::from_transaction(tx, &psl));
+                    }
+                });
+                client.finish()
+            })
+        })
+        .collect();
+
+    let output = collector.take_output();
+    let store = ThreadedPipeline::new(obs_config(1.0), 1).run_summaries(output.iter());
+    let sensor_reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let report = collector.finish();
+    (store, report, sensor_reports)
+}
+
+/// Render every window of every dataset exactly as `dnsobs` writes it.
+fn tsv_bytes(store: &TimeSeriesStore) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for &(ds, _) in &obs_config(1.0).datasets {
+        for w in store.dataset(ds) {
+            let mut bytes = Vec::new();
+            tsv::write_window(&mut bytes, w).expect("tsv serializes");
+            out.push((format!("{}-{:05}", ds.name(), w.start as u64), bytes));
+        }
+    }
+    out
+}
+
+#[test]
+fn loopback_equivalence_across_seeds() {
+    for seed in [3u64, 11] {
+        let reference = tsv_bytes(&single_process(seed));
+        let (store, report, sensor_reports) = distributed(seed);
+        let distributed = tsv_bytes(&store);
+
+        // A clean localhost run loses nothing, so equivalence must be exact.
+        assert_eq!(report.total_gap_frames(), 0, "seed {seed}: lossy feed");
+        let sent: u64 = sensor_reports.iter().map(|r| r.sent_items).sum();
+        assert_eq!(report.items_merged, sent, "seed {seed}: items vanished");
+        for r in &sensor_reports {
+            assert_eq!(r.dropped_frames, 0, "seed {seed}: sensor {} dropped", r.sensor);
+        }
+
+        assert_eq!(
+            reference.len(),
+            distributed.len(),
+            "seed {seed}: window count differs"
+        );
+        for ((name_a, bytes_a), (name_b, bytes_b)) in reference.iter().zip(&distributed) {
+            assert_eq!(name_a, name_b, "seed {seed}: window sequence differs");
+            assert_eq!(
+                bytes_a, bytes_b,
+                "seed {seed}: TSV for {name_a} is not byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn crashed_sensor_restart_reports_exact_gap() {
+    let mut collector =
+        Collector::<TxSummary>::bind("127.0.0.1:0", CollectorConfig::new(1)).expect("bind");
+    let addr = collector.local_addr().to_string();
+    let output = collector.take_output();
+    let consumer = thread::spawn(move || output.iter().count() as u64);
+
+    let psl = Psl::embedded();
+    let mut sim = Simulation::from_config(SimConfig {
+        seed: 5,
+        ..SimConfig::small()
+    });
+    let summaries: Vec<TxSummary> = sim
+        .collect(0.3)
+        .iter()
+        .map(|tx| TxSummary::from_transaction(tx, &psl))
+        .collect();
+    assert!(summaries.len() > 64, "world too small");
+    let half = summaries.len() / 2;
+
+    // Incarnation 1: stream the first half, then die without a BYE.
+    let mut cfg = SensorConfig::new(0);
+    cfg.batch_items = 16;
+    let client = Sensor::connect(&addr, cfg);
+    for s in &summaries[..half] {
+        client.send(s.clone());
+    }
+    client.flush();
+    client.wait_drained();
+    let crashed = client.abort();
+    assert_eq!(crashed.dropped_frames, 0, "drained before the crash");
+    assert!(crashed.sent_frames > 1);
+    // Let the collector finish draining the dead connection before the
+    // replacement shows up — a real restart is never faster than the
+    // collector's read poll, and starting early would make incarnation
+    // 1's final frames race incarnation 2's HELLO through the per-
+    // connection reader threads.
+    thread::sleep(Duration::from_millis(300));
+
+    // Incarnation 2: the crash lost GAP sealed-but-unsent frames, so the
+    // restarted sensor resumes its sequence numbers past them.
+    const GAP: u64 = 4;
+    let mut cfg = SensorConfig::new(0);
+    cfg.batch_items = 16;
+    cfg.first_seq = crashed.next_seq + GAP;
+    let client = Sensor::connect(&addr, cfg);
+    for s in &summaries[half..] {
+        client.send(s.clone());
+    }
+    let resumed = client.finish();
+    assert_eq!(resumed.dropped_frames, 0);
+
+    let merged = consumer.join().unwrap();
+    let report = collector.finish();
+    let stats = &report.sensors[&0];
+
+    // The collector saw both incarnations and reports exactly the frames
+    // the crash swallowed — as one gap, at the right position.
+    assert_eq!(stats.connects, 2);
+    assert_eq!(stats.byes, 1);
+    assert_eq!(
+        stats.gaps,
+        vec![(crashed.next_seq, crashed.next_seq + GAP - 1)],
+        "gap must span exactly the lost sequence range"
+    );
+    assert_eq!(stats.gap_frames, GAP);
+    assert_eq!(stats.duplicate_frames, 0);
+    assert_eq!(stats.crc_errors, 0);
+
+    // Conservation: every summary handed to a sensor is either merged or
+    // accounted as dropped; nothing is double-counted or invented. The
+    // sensor's `sent_frames` includes incarnation 2's BYE, which the
+    // collector tallies separately from data frames.
+    assert_eq!(stats.frames + stats.byes, crashed.sent_frames + resumed.sent_frames);
+    assert_eq!(stats.items, crashed.sent_items + resumed.sent_items);
+    assert_eq!(report.items_merged, stats.items);
+    assert_eq!(merged, report.items_merged);
+    assert_eq!(
+        stats.items + crashed.dropped_items + resumed.dropped_items,
+        summaries.len() as u64
+    );
+}
+
+#[test]
+fn sensor_reconnects_within_backoff_schedule() {
+    // Reserve a port, then free it: the sensor starts against a dead
+    // address and must keep retrying on its backoff schedule.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let backoff = BackoffConfig {
+        base_ms: 10,
+        max_ms: 80,
+        seed: 0,
+    };
+    let mut cfg = SensorConfig::new(0);
+    cfg.backoff = backoff;
+    let client = Sensor::connect(&addr, cfg);
+
+    let psl = Psl::embedded();
+    let mut sim = Simulation::from_config(SimConfig::small());
+    let tx = &sim.collect(0.05)[0];
+    client.send(TxSummary::from_transaction(tx, &psl));
+    client.flush();
+
+    // Let a few attempts fail, then bring the collector up.
+    thread::sleep(Duration::from_millis(120));
+    let mut collector =
+        Collector::<TxSummary>::bind(&addr, CollectorConfig::new(1)).expect("rebind");
+    let up = Instant::now();
+    let output = collector.take_output();
+    let consumer = thread::spawn(move || output.iter().count());
+
+    let report = client.finish();
+    let connected_within = up.elapsed();
+    assert_eq!(consumer.join().unwrap(), 1);
+    let stats = collector.finish();
+
+    assert_eq!(report.connects, 1, "one successful connection, late");
+    assert_eq!(report.dropped_frames, 0);
+    assert_eq!(stats.sensors[&0].items, 1);
+    // Once the listener exists, the very next scheduled attempt succeeds:
+    // the wait is bounded by one capped backoff delay plus slack for
+    // scheduling and the write itself.
+    let cap = Backoff::max_delay_for_attempt(&backoff, 32);
+    assert!(
+        connected_within < cap * 3 + Duration::from_millis(750),
+        "reconnect took {connected_within:?}, schedule cap is {cap:?}"
+    );
+}
