@@ -1,0 +1,75 @@
+//! Release-mode chaos sweep: a fixed matrix of seeds × fault profiles,
+//! each run audited by the differential oracle.
+//!
+//! ```text
+//! chaos_smoke [seeds-per-profile] [profile ...]
+//! ```
+//!
+//! Exit code 0 when every run passes; 1 with a minimized repro on the
+//! first divergence. Driven by `scripts/chaos-smoke.sh`.
+
+use chaos::{
+    check, describe_plans, minimize_plans, plans_for, run_planned, ChaosConfig, FaultProfile,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seeds: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seeds-per-profile must be a number"))
+        .unwrap_or(50);
+    let profiles: Vec<FaultProfile> = {
+        let named: Vec<FaultProfile> = args
+            .map(|name| {
+                FaultProfile::by_name(&name)
+                    .unwrap_or_else(|| panic!("unknown profile {name:?} (lossless|light|heavy|flaky)"))
+            })
+            .collect();
+        if named.is_empty() {
+            FaultProfile::all().to_vec()
+        } else {
+            named
+        }
+    };
+
+    let config = ChaosConfig::default();
+    let mut runs = 0u64;
+    for profile in &profiles {
+        let mut agg_delivered = 0u64;
+        let mut agg_lost = 0u64;
+        let mut agg_late = 0u64;
+        let mut agg_connects = 0u64;
+        for seed in 0..seeds {
+            let plans = plans_for(seed, config.sensors, profile);
+            let outcome = run_planned(seed, &config, plans.clone());
+            match check(&outcome) {
+                Ok(summary) => {
+                    runs += 1;
+                    agg_delivered += summary.delivered;
+                    agg_lost += summary.wire_lost + summary.sensor_dropped;
+                    agg_late += summary.late;
+                    agg_connects += summary.connects;
+                }
+                Err(divergence) => {
+                    eprintln!("chaos-smoke FAIL: profile={} seed={seed}", profile.name);
+                    eprintln!("  divergence: {divergence}");
+                    let minimal = minimize_plans(&plans, |candidate| {
+                        check(&run_planned(seed, &config, candidate.to_vec())).is_err()
+                    });
+                    eprintln!("minimized repro (seed={seed}, profile={}):", profile.name);
+                    eprint!("{}", describe_plans(&minimal));
+                    eprintln!(
+                        "replay: chaos::run_planned({seed}, &ChaosConfig::default(), plans)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "chaos-smoke profile={:<9} seeds={seeds} delivered={agg_delivered} \
+             accounted_lost={agg_lost} late={agg_late} connects={agg_connects}",
+            profile.name
+        );
+    }
+    println!("chaos-smoke PASS: {runs} runs, zero unaccounted divergences");
+}

@@ -1,0 +1,151 @@
+//! Virtual time: a monotone microsecond clock plus a deterministic
+//! timed event queue — the scheduler every chaos run executes on.
+//!
+//! Nothing in the kernel ever sleeps: backoff delays, link latency, and
+//! stalls all become timestamps in the [`EventQueue`], and the harness
+//! advances the [`VirtualClock`] straight to the next due event. A full
+//! reconnect schedule that takes seconds of wall time in the TCP tests
+//! replays here in microseconds of real time.
+
+use std::collections::BinaryHeap;
+
+/// Monotone virtual clock, in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time (µs).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Jump forward to `t`. Panics on time travel: the harness must only
+    /// ever advance to a future (or current) instant.
+    pub fn advance_to(&mut self, t: u64) {
+        assert!(t >= self.now, "virtual clock moved backwards: {} -> {t}", self.now);
+        self.now = t;
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq)
+        // pops first. The insertion sequence number makes ordering total
+        // and FIFO within an instant — determinism does not depend on
+        // the payload type at all.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic timed event queue: events pop in `(time, insertion)`
+/// order, so two runs with the same inputs replay identically.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    counter: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            counter: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at virtual time `time` (µs).
+    pub fn push(&mut self, time: u64, event: E) {
+        let seq = self.counter;
+        self.counter += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Earliest scheduled time, if any.
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, E)> {
+        if self.heap.peek().map(|e| e.time <= now).unwrap_or(false) {
+            self.heap.pop().map(|e| (e.time, e.event))
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        let mut clock = VirtualClock::new();
+        assert_eq!(q.pop_due(clock.now()), None, "nothing due at t=0");
+        clock.advance_to(q.next_time().unwrap());
+        assert_eq!(q.pop_due(clock.now()), Some((10, "a1")));
+        assert_eq!(q.pop_due(clock.now()), Some((10, "a2")));
+        assert_eq!(q.pop_due(clock.now()), None);
+        clock.advance_to(25);
+        assert_eq!(q.pop_due(clock.now()), Some((20, "b")));
+        clock.advance_to(30);
+        assert_eq!(q.pop_due(clock.now()), Some((30, "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn clock_rejects_time_travel() {
+        let mut c = VirtualClock::new();
+        c.advance_to(5);
+        c.advance_to(4);
+    }
+}

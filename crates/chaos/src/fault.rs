@@ -1,0 +1,302 @@
+//! Fault schedules: what the virtual network does to each write.
+//!
+//! A [`SensorPlan`] is a *concrete* script — one [`FaultOp`] per write
+//! the sensor attempts, plus a verdict per connect attempt. Plans are
+//! generated from a seed through a [`FaultProfile`] (splitmix64, fully
+//! deterministic), but they stay plain data: the minimizer shrinks a
+//! failing schedule by replacing ops with [`FaultOp::Deliver`] and
+//! re-running, no generator state involved.
+
+/// One write's fate on the virtual link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Deliver the bytes untouched.
+    Deliver,
+    /// Flip one byte (at `offset % len`) before delivery — the CRC layer
+    /// must catch it.
+    Corrupt {
+        /// Byte position selector.
+        offset: u16,
+    },
+    /// Split the write into two segments at `at_permille/1000` of its
+    /// length — exercises the reassembler; must be invisible end-to-end.
+    Chop {
+        /// Split point, permille of the write length.
+        at_permille: u16,
+    },
+    /// Deliver the bytes twice — the sequence ledger must deduplicate.
+    Dup,
+    /// Connection reset mid-write: only `keep_permille/1000` of the bytes
+    /// arrive, the sensor sees a failed write and reconnects.
+    Reset {
+        /// Delivered prefix, permille of the write length.
+        keep_permille: u16,
+    },
+    /// Delay this write (and everything after it on the connection) by
+    /// `us` microseconds of virtual time.
+    Stall {
+        /// Added latency, µs.
+        us: u32,
+    },
+}
+
+/// A sensor's complete fault script for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SensorPlan {
+    /// Op applied to the i-th write this sensor attempts; writes beyond
+    /// the end deliver cleanly.
+    pub write_ops: Vec<FaultOp>,
+    /// Verdict for the i-th connect attempt (`true` = refused); attempts
+    /// beyond the end succeed.
+    pub connect_fails: Vec<bool>,
+}
+
+impl SensorPlan {
+    /// A plan that never interferes.
+    pub fn clean() -> SensorPlan {
+        SensorPlan::default()
+    }
+
+    /// Op for the `idx`-th write.
+    pub fn write_op(&self, idx: usize) -> FaultOp {
+        self.write_ops.get(idx).copied().unwrap_or(FaultOp::Deliver)
+    }
+
+    /// Verdict for the `idx`-th connect attempt.
+    pub fn connect_fail(&self, idx: usize) -> bool {
+        self.connect_fails.get(idx).copied().unwrap_or(false)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.fault_count() == 0
+    }
+
+    /// Number of active injections (non-`Deliver` ops + connect
+    /// failures) — the quantity the minimizer drives to a local minimum.
+    pub fn fault_count(&self) -> usize {
+        self.write_ops
+            .iter()
+            .filter(|op| !matches!(op, FaultOp::Deliver))
+            .count()
+            + self.connect_fails.iter().filter(|f| **f).count()
+    }
+}
+
+/// splitmix64 — tiny, seedable, and stable across platforms; the same
+/// generator the feed's backoff jitter uses.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Generator seeded with `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` (`n` > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Per-op injection probabilities a seed is expanded through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Profile name (for repro lines and the smoke matrix).
+    pub name: &'static str,
+    /// Probability a write is corrupted.
+    pub p_corrupt: f64,
+    /// Probability a write is split in two.
+    pub p_chop: f64,
+    /// Probability a write is duplicated.
+    pub p_dup: f64,
+    /// Probability a write resets the connection.
+    pub p_reset: f64,
+    /// Probability a write stalls the connection.
+    pub p_stall: f64,
+    /// Upper bound on injected stall, µs.
+    pub max_stall_us: u32,
+    /// Probability a connect attempt is refused.
+    pub p_connect_fail: f64,
+    /// Write ops generated per sensor (writes beyond deliver cleanly).
+    pub horizon_writes: usize,
+    /// Connect verdicts generated per sensor.
+    pub horizon_connects: usize,
+}
+
+impl FaultProfile {
+    /// Segmentation and stalls only: nothing is lost, so the output must
+    /// be byte-identical to a faultless run.
+    pub fn lossless() -> FaultProfile {
+        FaultProfile {
+            name: "lossless",
+            p_corrupt: 0.0,
+            p_chop: 0.45,
+            p_dup: 0.0,
+            p_reset: 0.0,
+            p_stall: 0.15,
+            max_stall_us: 40_000,
+            p_connect_fail: 0.0,
+            horizon_writes: 96,
+            horizon_connects: 0,
+        }
+    }
+
+    /// Occasional faults of every kind.
+    pub fn light() -> FaultProfile {
+        FaultProfile {
+            name: "light",
+            p_corrupt: 0.03,
+            p_chop: 0.25,
+            p_dup: 0.04,
+            p_reset: 0.03,
+            p_stall: 0.10,
+            max_stall_us: 60_000,
+            p_connect_fail: 0.10,
+            horizon_writes: 96,
+            horizon_connects: 8,
+        }
+    }
+
+    /// Hostile link: frequent corruption, duplication, and resets.
+    pub fn heavy() -> FaultProfile {
+        FaultProfile {
+            name: "heavy",
+            p_corrupt: 0.12,
+            p_chop: 0.30,
+            p_dup: 0.10,
+            p_reset: 0.12,
+            p_stall: 0.15,
+            max_stall_us: 120_000,
+            p_connect_fail: 0.25,
+            horizon_writes: 128,
+            horizon_connects: 16,
+        }
+    }
+
+    /// Connections that barely stay up: heavy connect refusal plus
+    /// resets, driving the full backoff/retransmit machinery.
+    pub fn flaky() -> FaultProfile {
+        FaultProfile {
+            name: "flaky",
+            p_corrupt: 0.02,
+            p_chop: 0.15,
+            p_dup: 0.03,
+            p_reset: 0.20,
+            p_stall: 0.10,
+            max_stall_us: 80_000,
+            p_connect_fail: 0.55,
+            horizon_writes: 128,
+            horizon_connects: 48,
+        }
+    }
+
+    /// The standard smoke/test matrix.
+    pub fn all() -> [FaultProfile; 4] {
+        [
+            FaultProfile::lossless(),
+            FaultProfile::light(),
+            FaultProfile::heavy(),
+            FaultProfile::flaky(),
+        ]
+    }
+
+    /// Profile by name (smoke-runner CLI).
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        FaultProfile::all().into_iter().find(|p| p.name == name)
+    }
+}
+
+/// Expand `(seed, sensor)` through `profile` into a concrete plan. The
+/// same triple always yields the same plan.
+pub fn plan_for(seed: u64, sensor: u64, profile: &FaultProfile) -> SensorPlan {
+    let mut rng = Rng::new(seed ^ sensor.wrapping_mul(0xa076_1d64_78bd_642f));
+    let mut write_ops = Vec::with_capacity(profile.horizon_writes);
+    for _ in 0..profile.horizon_writes {
+        let op = if rng.chance(profile.p_reset) {
+            FaultOp::Reset {
+                keep_permille: rng.below(1001) as u16,
+            }
+        } else if rng.chance(profile.p_corrupt) {
+            FaultOp::Corrupt {
+                offset: rng.below(4096) as u16,
+            }
+        } else if rng.chance(profile.p_dup) {
+            FaultOp::Dup
+        } else if rng.chance(profile.p_chop) {
+            FaultOp::Chop {
+                at_permille: 1 + rng.below(999) as u16,
+            }
+        } else if rng.chance(profile.p_stall) {
+            FaultOp::Stall {
+                us: 1 + rng.below(profile.max_stall_us.max(1) as u64) as u32,
+            }
+        } else {
+            FaultOp::Deliver
+        };
+        write_ops.push(op);
+    }
+    let connect_fails = (0..profile.horizon_connects)
+        .map(|_| rng.chance(profile.p_connect_fail))
+        .collect();
+    SensorPlan {
+        write_ops,
+        connect_fails,
+    }
+}
+
+/// Plans for a whole deployment of `sensors` peers.
+pub fn plans_for(seed: u64, sensors: u64, profile: &FaultProfile) -> Vec<SensorPlan> {
+    (0..sensors).map(|s| plan_for(seed, s, profile)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let p = FaultProfile::heavy();
+        assert_eq!(plan_for(42, 1, &p), plan_for(42, 1, &p));
+        assert_ne!(plan_for(42, 1, &p), plan_for(43, 1, &p));
+        assert_ne!(plan_for(42, 1, &p), plan_for(42, 2, &p));
+    }
+
+    #[test]
+    fn lossless_profile_never_loses_bytes() {
+        for seed in 0..50 {
+            let plan = plan_for(seed, 0, &FaultProfile::lossless());
+            assert!(plan.write_ops.iter().all(|op| matches!(
+                op,
+                FaultOp::Deliver | FaultOp::Chop { .. } | FaultOp::Stall { .. }
+            )));
+            assert!(plan.connect_fails.is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_count_counts_only_injections() {
+        let plan = SensorPlan {
+            write_ops: vec![FaultOp::Deliver, FaultOp::Dup, FaultOp::Deliver],
+            connect_fails: vec![false, true],
+        };
+        assert_eq!(plan.fault_count(), 2);
+        assert!(!plan.is_clean());
+        assert!(SensorPlan::clean().is_clean());
+    }
+}

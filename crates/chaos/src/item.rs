@@ -1,0 +1,103 @@
+//! The chaos kernel's native feed item: a self-describing probe.
+//!
+//! [`ChaosItem`] carries its originating sensor, its per-sensor index,
+//! and its stream time in its own encoding, so the oracle can attribute
+//! every delivered item back to the exact `push` that produced it — the
+//! property the differential accounting check is built on. (Pipeline
+//! differential tests ride real `TxSummary` items instead; this type is
+//! for the transport-level oracle.)
+
+use feed::{ByteReader, FeedError, FeedItem};
+
+/// A traceable probe item for chaos runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosItem {
+    /// Sensor that pushed the item.
+    pub sensor: u64,
+    /// Zero-based index within that sensor's pushed stream.
+    pub index: u64,
+    /// Stream time, seconds — the merge key.
+    pub time: f64,
+}
+
+impl ChaosItem {
+    /// Probe `index` from `sensor` at stream time `time`.
+    pub fn new(sensor: u64, index: u64, time: f64) -> ChaosItem {
+        ChaosItem {
+            sensor,
+            index,
+            time,
+        }
+    }
+}
+
+impl FeedItem for ChaosItem {
+    const ITEM_VERSION: u8 = 201;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.sensor.to_le_bytes());
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out.extend_from_slice(&self.time.to_bits().to_le_bytes());
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, FeedError> {
+        let sensor = r.u64("chaos sensor")?;
+        let index = r.u64("chaos index")?;
+        let time = r.f64("chaos time")?;
+        if !time.is_finite() {
+            return Err(FeedError::Invalid("chaos time not finite"));
+        }
+        Ok(ChaosItem {
+            sensor,
+            index,
+            time,
+        })
+    }
+
+    fn order_time(&self) -> f64 {
+        self.time
+    }
+}
+
+/// Deterministic item stream for `sensor` in a deployment of `sensors`
+/// peers: times interleave strictly across sensors (item `i` of sensor
+/// `s` happens at `(i·sensors + s)` milliseconds), so the expected merge
+/// order is globally unique and any reordering is observable.
+pub fn probe_stream(sensor: u64, sensors: u64, items: u64) -> Vec<ChaosItem> {
+    (0..items)
+        .map(|i| ChaosItem::new(sensor, i, (i * sensors + sensor) as f64 * 1e-3))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let item = ChaosItem::new(3, 17, 0.042);
+        let mut buf = Vec::new();
+        item.encode(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(ChaosItem::decode(&mut r).unwrap(), item);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn probe_times_interleave_across_sensors() {
+        let a = probe_stream(0, 2, 3);
+        let b = probe_stream(1, 2, 3);
+        let mut times: Vec<f64> = a.iter().chain(b.iter()).map(|i| i.time).collect();
+        times.sort_by(f64::total_cmp);
+        times.dedup();
+        assert_eq!(times.len(), 6, "probe times must be globally distinct");
+    }
+
+    #[test]
+    fn non_finite_time_rejected() {
+        let mut buf = Vec::new();
+        ChaosItem::new(0, 0, f64::NAN).encode(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert!(ChaosItem::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Fault-schedule minimization: shrink a failing seed to a
+//! human-readable repro.
+//!
+//! The vendored `proptest` stub has no shrinking, so the kernel carries
+//! its own delta-debugger over concrete [`SensorPlan`]s: first clear
+//! whole chunks of injected ops (halving passes), then single ops, then
+//! connect failures — keeping a change only when the run still fails.
+//! The result is a locally minimal schedule plus a repro string naming
+//! the seed, every surviving fault, and the divergence.
+
+use crate::fault::{FaultOp, SensorPlan};
+
+/// Indices of active injections, as `(sensor, kind, position)` where
+/// kind 0 = write op, 1 = connect failure.
+fn injection_sites(plans: &[SensorPlan]) -> Vec<(usize, u8, usize)> {
+    let mut sites = Vec::new();
+    for (s, plan) in plans.iter().enumerate() {
+        for (i, op) in plan.write_ops.iter().enumerate() {
+            if !matches!(op, FaultOp::Deliver) {
+                sites.push((s, 0, i));
+            }
+        }
+        for (i, fail) in plan.connect_fails.iter().enumerate() {
+            if *fail {
+                sites.push((s, 1, i));
+            }
+        }
+    }
+    sites
+}
+
+fn clear_sites(plans: &[SensorPlan], sites: &[(usize, u8, usize)]) -> Vec<SensorPlan> {
+    let mut out = plans.to_vec();
+    for &(s, kind, i) in sites {
+        match kind {
+            0 => out[s].write_ops[i] = FaultOp::Deliver,
+            _ => out[s].connect_fails[i] = false,
+        }
+    }
+    out
+}
+
+/// Shrink `plans` while `still_fails` keeps returning true, by clearing
+/// injections in halving chunks and then one by one. Returns a locally
+/// minimal failing schedule (every remaining injection is necessary).
+pub fn minimize_plans(
+    plans: &[SensorPlan],
+    mut still_fails: impl FnMut(&[SensorPlan]) -> bool,
+) -> Vec<SensorPlan> {
+    debug_assert!(still_fails(plans), "minimizer needs a failing input");
+    let mut current = plans.to_vec();
+
+    // Halving passes: try clearing large chunks of injections at once.
+    loop {
+        let sites = injection_sites(&current);
+        if sites.is_empty() {
+            break;
+        }
+        let mut chunk = sites.len().div_ceil(2);
+        let mut shrunk = false;
+        while chunk >= 1 {
+            let sites = injection_sites(&current);
+            let mut start = 0;
+            while start < sites.len() {
+                let end = (start + chunk).min(sites.len());
+                let candidate = clear_sites(&current, &sites[start..end]);
+                if still_fails(&candidate) {
+                    current = candidate;
+                    shrunk = true;
+                    break;
+                }
+                start = end;
+            }
+            if shrunk {
+                break;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !shrunk {
+            break;
+        }
+    }
+
+    // Final greedy pass: every surviving injection must be necessary.
+    loop {
+        let sites = injection_sites(&current);
+        let mut shrunk = false;
+        for site in sites {
+            let candidate = clear_sites(&current, &[site]);
+            if still_fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+
+    // Trim trailing no-ops so the repro prints tight.
+    for plan in &mut current {
+        while matches!(plan.write_ops.last(), Some(FaultOp::Deliver)) {
+            plan.write_ops.pop();
+        }
+        while plan.connect_fails.last() == Some(&false) {
+            plan.connect_fails.pop();
+        }
+    }
+    current
+}
+
+/// Human-readable repro line for a (possibly minimized) schedule.
+pub fn describe_plans(plans: &[SensorPlan]) -> String {
+    let mut out = String::new();
+    for (s, plan) in plans.iter().enumerate() {
+        for (i, op) in plan.write_ops.iter().enumerate() {
+            if matches!(op, FaultOp::Deliver) {
+                continue;
+            }
+            out.push_str(&format!("  sensor {s}: write #{i} -> {op:?}\n"));
+        }
+        for (i, fail) in plan.connect_fails.iter().enumerate() {
+            if *fail {
+                out.push_str(&format!("  sensor {s}: connect #{i} -> refused\n"));
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  (no injected faults)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failure iff sensor 0 has a Dup at write 3 — everything else is
+    /// noise the minimizer must clear.
+    #[test]
+    fn minimizer_isolates_the_one_necessary_fault() {
+        let mut plan = SensorPlan::clean();
+        plan.write_ops = vec![
+            FaultOp::Stall { us: 10 },
+            FaultOp::Chop { at_permille: 500 },
+            FaultOp::Corrupt { offset: 9 },
+            FaultOp::Dup,
+            FaultOp::Stall { us: 5 },
+        ];
+        plan.connect_fails = vec![true, true];
+        let plans = vec![plan, SensorPlan::clean()];
+
+        let trials = std::cell::Cell::new(0usize);
+        let minimal = minimize_plans(&plans, |p| {
+            trials.set(trials.get() + 1);
+            p[0].write_op(3) == FaultOp::Dup
+        });
+        assert_eq!(minimal[0].fault_count(), 1, "one necessary fault survives");
+        assert_eq!(minimal[0].write_op(3), FaultOp::Dup);
+        assert!(minimal[1].is_clean());
+        assert!(trials.get() > 0);
+        let repro = describe_plans(&minimal);
+        assert!(repro.contains("write #3 -> Dup"), "repro: {repro}");
+    }
+
+    #[test]
+    fn clean_schedule_describes_as_faultless() {
+        assert!(describe_plans(&[SensorPlan::clean()]).contains("no injected faults"));
+    }
+}

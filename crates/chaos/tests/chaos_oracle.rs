@@ -1,0 +1,372 @@
+//! The chaos acceptance suite: the differential oracle must pass on a
+//! broad matrix of seeded fault schedules, catch deliberately injected
+//! accounting bugs (mutation checks), and replay identically per seed.
+//!
+//! A failing schedule is minimized before panicking, so the assertion
+//! message is a ready-to-paste repro: the seed, the profile, and the
+//! smallest set of injections that still diverges.
+
+use chaos::{
+    check, describe_plans, minimize_plans, plans_for, run_planned, run_seed, ChaosConfig,
+    ChaosItem, ChaosOutcome, Divergence, FaultOp, FaultProfile, SensorPlan,
+};
+use proptest::prelude::*;
+
+/// Run one seeded schedule; on divergence, minimize and panic with a
+/// human-readable repro.
+fn audit_or_die(seed: u64, profile: &FaultProfile, config: &ChaosConfig) -> chaos::OracleSummary {
+    let plans = plans_for(seed, config.sensors, profile);
+    let outcome = run_planned(seed, config, plans.clone());
+    match check(&outcome) {
+        Ok(summary) => summary,
+        Err(divergence) => {
+            let minimal = minimize_plans(&plans, |candidate| {
+                check(&run_planned(seed, config, candidate.to_vec())).is_err()
+            });
+            panic!(
+                "oracle divergence (profile={}, seed={seed}): {divergence}\n\
+                 minimized repro:\n{}replay: chaos::run_planned({seed}, \
+                 &ChaosConfig::default(), plans)",
+                profile.name,
+                describe_plans(&minimal),
+            );
+        }
+    }
+}
+
+/// Acceptance criterion: ≥ 200 distinct seeded fault schedules audited
+/// with zero unaccounted divergences (4 profiles × 55 seeds = 220).
+#[test]
+fn oracle_passes_on_220_seeded_fault_schedules() {
+    let config = ChaosConfig::default();
+    let mut runs = 0u64;
+    let mut delivered = 0u64;
+    let mut accounted_lost = 0u64;
+    for profile in FaultProfile::all() {
+        for seed in 0..55 {
+            let summary = audit_or_die(seed, &profile, &config);
+            runs += 1;
+            delivered += summary.delivered;
+            accounted_lost += summary.wire_lost + summary.sensor_dropped;
+        }
+    }
+    assert_eq!(runs, 220);
+    // The matrix must actually exercise loss, not coast on clean runs.
+    assert!(delivered > 0, "no items delivered across the whole matrix");
+    assert!(
+        accounted_lost > 0,
+        "no loss injected anywhere — the fault profiles are not biting"
+    );
+}
+
+/// Schedules must also hold up under non-default shapes: more sensors,
+/// odd batch sizes, tiny buffers (more sensor-side drops).
+#[test]
+fn oracle_passes_on_stressed_configs() {
+    let configs = [
+        ChaosConfig {
+            sensors: 5,
+            items_per_sensor: 37,
+            batch_items: 3,
+            buffer_frames: 2,
+        },
+        ChaosConfig {
+            sensors: 1,
+            items_per_sensor: 80,
+            batch_items: 7,
+            buffer_frames: 4,
+        },
+        ChaosConfig {
+            sensors: 4,
+            items_per_sensor: 24,
+            batch_items: 1,
+            buffer_frames: 1,
+        },
+    ];
+    for config in &configs {
+        for profile in FaultProfile::all() {
+            for seed in 100..106 {
+                audit_or_die(seed, &profile, config);
+            }
+        }
+    }
+}
+
+/// The same seed must produce byte-identical outcomes every time — the
+/// whole point of virtual time.
+#[test]
+fn seeded_runs_replay_identically() {
+    let config = ChaosConfig::default();
+    for profile in FaultProfile::all() {
+        let a = run_seed(17, &profile, &config);
+        let b = run_seed(17, &profile, &config);
+        assert_eq!(a.delivered, b.delivered, "profile {}", profile.name);
+        assert_eq!(a.end_us, b.end_us, "profile {}", profile.name);
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "profile {}",
+            profile.name
+        );
+    }
+}
+
+/// A lossless schedule (stalls and segmentation only — nothing is ever
+/// corrupted, reset, or refused) must deliver every pushed item.
+#[test]
+fn lossless_profile_delivers_everything() {
+    let config = ChaosConfig::default();
+    let profile = FaultProfile::lossless();
+    for seed in 0..25 {
+        let summary = audit_or_die(seed, &profile, &config);
+        assert_eq!(
+            summary.delivered,
+            config.sensors * config.items_per_sensor,
+            "lossless seed {seed} lost items"
+        );
+        assert_eq!(summary.late, 0, "lossless seed {seed} dropped late items");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation checks: tamper with a passing run's books and the oracle must
+// refuse them. Each mutation models a real accounting-bug shape.
+// ---------------------------------------------------------------------
+
+/// A heavy-profile run that actually recorded a gap (so gap mutations
+/// have something to erase).
+fn run_with_gaps() -> ChaosOutcome<ChaosItem> {
+    let config = ChaosConfig::default();
+    for seed in 0..500 {
+        let outcome = run_seed(seed, &FaultProfile::heavy(), &config);
+        if check(&outcome).is_err() {
+            continue; // truncated runs etc. are useless as a base
+        }
+        let has_gap = outcome.report.sensors.values().any(|s| s.gap_frames > 0);
+        if has_gap {
+            return outcome;
+        }
+    }
+    panic!("no heavy-profile seed in 0..500 produced a gap — profiles miscalibrated");
+}
+
+/// Ledger "forgets" a loss: a recorded gap disappears along with its
+/// frame count, exactly as if `advance_to` never ran. The lost frames
+/// are now invisible → the oracle must report silent loss.
+#[test]
+fn mutation_forgotten_gap_is_caught() {
+    let mut outcome = run_with_gaps();
+    let sensor = *outcome
+        .report
+        .sensors
+        .iter()
+        .find(|(_, s)| s.gap_frames > 0)
+        .map(|(id, _)| id)
+        .unwrap();
+    {
+        let stats = outcome.report.sensors.get_mut(&sensor).unwrap();
+        stats.gap_frames = 0;
+        stats.gaps.clear();
+    }
+    match check(&outcome) {
+        Err(Divergence::SilentLoss { sensor: s, .. }) => assert_eq!(s, sensor),
+        other => panic!("forgotten gap not caught as silent loss: {other:?}"),
+    }
+}
+
+/// Ledger keeps the gap ranges but zeroes the counter — internal
+/// inconsistency, caught before any frame classification runs.
+#[test]
+fn mutation_gap_counter_drift_is_caught() {
+    let mut outcome = run_with_gaps();
+    let stats = outcome
+        .report
+        .sensors
+        .values_mut()
+        .find(|s| s.gap_frames > 0)
+        .unwrap();
+    stats.gap_frames -= 1;
+    assert!(
+        matches!(check(&outcome), Err(Divergence::LedgerInconsistent { .. })),
+        "gap_frames drift not caught"
+    );
+}
+
+/// The collector inflates its merge total (double-counting bug shape).
+#[test]
+fn mutation_inflated_merge_total_is_caught() {
+    let mut outcome = run_seed(3, &FaultProfile::light(), &ChaosConfig::default());
+    check(&outcome).expect("base run must pass");
+    outcome.report.items_merged += 1;
+    assert!(
+        matches!(check(&outcome), Err(Divergence::CountMismatch { .. })),
+        "inflated items_merged not caught"
+    );
+}
+
+/// An item silently vanishes from the delivered stream (the classic
+/// merge-drops-without-accounting bug shape).
+#[test]
+fn mutation_vanished_delivery_is_caught() {
+    let mut outcome = run_seed(3, &FaultProfile::light(), &ChaosConfig::default());
+    check(&outcome).expect("base run must pass");
+    assert!(!outcome.delivered.is_empty());
+    let mid = outcome.delivered.len() / 2;
+    outcome.delivered.remove(mid);
+    assert!(
+        check(&outcome).is_err(),
+        "removing a delivered item went unnoticed"
+    );
+}
+
+/// Two delivered items swap places: same multiset, wrong order. The
+/// value-replay clause must still refuse it.
+#[test]
+fn mutation_reordered_delivery_is_caught() {
+    let mut outcome = run_seed(3, &FaultProfile::light(), &ChaosConfig::default());
+    check(&outcome).expect("base run must pass");
+    assert!(outcome.delivered.len() >= 2);
+    outcome.delivered.swap(0, 1);
+    assert!(
+        matches!(check(&outcome), Err(Divergence::ValueMismatch { .. })),
+        "reordered delivery not caught"
+    );
+}
+
+/// The exact bug shape the oracle originally surfaced in the collector:
+/// an accepted frame is re-booked as a retransmit duplicate, so its
+/// items exist in the output with no accepted frame to justify them.
+#[test]
+fn mutation_misbooked_duplicate_is_caught() {
+    let mut outcome = run_seed(3, &FaultProfile::light(), &ChaosConfig::default());
+    check(&outcome).expect("base run must pass");
+    let run = outcome
+        .sensors
+        .iter_mut()
+        .find(|r| !r.accepted.is_empty())
+        .expect("some sensor accepted a frame");
+    let frame = run.accepted.pop().unwrap();
+    run.duplicates += 1;
+    let sensor = run.sensor_id;
+    {
+        let stats = outcome.report.sensors.get_mut(&sensor).unwrap();
+        stats.frames -= 1;
+        stats.items -= frame.items;
+        stats.duplicate_frames += 1;
+    }
+    assert!(
+        check(&outcome).is_err(),
+        "re-booking an accepted frame as a duplicate went unnoticed"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Regression: the overtaken-connection bug (flaky seed 9). A stalled
+// connection's in-flight HELLO+frames surface *after* the replacement
+// connection's HELLO baselined the ledger above them; before the fix the
+// ledger booked the late frames as duplicates and their items vanished.
+// ---------------------------------------------------------------------
+
+/// The minimized repro the oracle produced, pinned exactly: sensor 2's
+/// first write stalls 65.22 ms, its fourth write is cut short by a
+/// reset. The fixed ledger must lower its baseline, record the gap, and
+/// fill it when the stalled bytes surface.
+#[test]
+fn regression_overtaken_connection_is_gap_filled() {
+    let config = ChaosConfig::default();
+    let mut plans = vec![SensorPlan::clean(), SensorPlan::clean(), SensorPlan::clean()];
+    plans[2].write_ops = vec![
+        FaultOp::Stall { us: 65_220 },
+        FaultOp::Deliver,
+        FaultOp::Deliver,
+        FaultOp::Reset { keep_permille: 394 },
+    ];
+    let outcome = run_planned(9, &config, plans);
+    check(&outcome).expect("overtaken-connection repro must be fully accounted");
+    let stats = &outcome.report.sensors[&2];
+    assert!(
+        stats.gap_filled > 0,
+        "the overtaken connection's frames never gap-filled: {stats:?}"
+    );
+}
+
+/// Second oracle-surfaced bug (flaky seed 296105, found by the property
+/// below, minimized): a connection whose stalled HELLO never surfaces is
+/// reset; the sensor — whose local writes all "succeeded" — evicts the
+/// written frames from its retransmit buffer and reconnects announcing
+/// an advanced `next_seq`. The collector baselines above frames it
+/// never saw, and before the fix had *no record at all* that they might
+/// have existed. Now every never-heralded connection's disconnect is
+/// counted, which is the only evidence of such loss a receiver can have.
+#[test]
+fn regression_vanished_connection_loss_is_evidenced() {
+    let config = ChaosConfig {
+        sensors: 1,
+        items_per_sensor: 30,
+        batch_items: 5,
+        buffer_frames: 4,
+    };
+    let mut plan = SensorPlan::clean();
+    plan.write_ops = vec![
+        FaultOp::Reset { keep_permille: 51 },
+        FaultOp::Stall { us: 70_605 },
+        FaultOp::Deliver,
+        FaultOp::Deliver,
+        FaultOp::Deliver,
+        FaultOp::Reset { keep_permille: 359 },
+    ];
+    let outcome = run_planned(296_105, &config, vec![plan]);
+    check(&outcome).expect("vanished-connection repro must be fully accounted");
+    assert!(
+        outcome.report.anonymous_disconnects > 0,
+        "the swallowed connections left no trace: {:?}",
+        outcome.report
+    );
+}
+
+/// The original unminimized failing schedule, pinned too.
+#[test]
+fn regression_flaky_seed_9_is_accounted() {
+    let config = ChaosConfig::default();
+    let summary = audit_or_die(9, &FaultProfile::flaky(), &config);
+    assert!(summary.connects > config.sensors, "seed 9 must reconnect");
+}
+
+// ---------------------------------------------------------------------
+// Property: any seed under any profile stays accounted, including
+// profiles sampled outside the fixed smoke matrix's seed range.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_random_schedules_stay_accounted(
+        seed in 1_000u64..1_000_000,
+        profile_idx in 0usize..4,
+        sensors in 1u64..5,
+        batch_items in 1usize..6,
+    ) {
+        let profile = &FaultProfile::all()[profile_idx];
+        let config = ChaosConfig {
+            sensors,
+            items_per_sensor: 30,
+            batch_items,
+            buffer_frames: 4,
+        };
+        let plans = plans_for(seed, config.sensors, profile);
+        let outcome = run_planned(seed, &config, plans.clone());
+        if let Err(divergence) = check(&outcome) {
+            let minimal = minimize_plans(&plans, |candidate| {
+                check(&run_planned(seed, &config, candidate.to_vec())).is_err()
+            });
+            prop_assert!(
+                false,
+                "oracle divergence (profile={}, seed={seed}, sensors={sensors}, \
+                 batch_items={batch_items}): {divergence}\nminimized repro:\n{}",
+                profile.name,
+                describe_plans(&minimal),
+            );
+        }
+    }
+}

@@ -54,7 +54,11 @@ impl Outcome {
 
 /// One summarized transaction: everything the feature step needs, nothing
 /// more (the paper's "line of text" per transaction).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (times bit-for-bit) — the chaos
+/// differential oracle uses it to match a delivered stream against its
+/// prediction element by element.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TxSummary {
     /// Stream time, seconds.
     pub time: f64,

@@ -3,7 +3,8 @@
 //! the last row).
 
 use crate::features::FeatureRow;
-use crate::timeseries::WindowDump;
+use crate::keys::Dataset;
+use crate::timeseries::{TimeSeriesStore, WindowDump};
 use std::io::{self, BufRead, Write};
 
 /// Column names, in file order.
@@ -114,6 +115,23 @@ fn write_row<W: Write>(w: &mut W, key: &str, r: &FeatureRow) -> io::Result<()> {
         fmt_f(r.resp_size[1]),
         fmt_f(r.resp_size[2]),
     )
+}
+
+/// Render every window of the given datasets exactly as `dnsobs` writes
+/// them to disk: one `(file-name, bytes)` pair per window, in dataset
+/// then window order. This is the canonical byte-level fingerprint of a
+/// pipeline run — the loopback-equivalence and chaos differential tests
+/// compare two runs by comparing these pairs.
+pub fn render_store(store: &TimeSeriesStore, datasets: &[Dataset]) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for &ds in datasets {
+        for w in store.dataset(ds) {
+            let mut bytes = Vec::new();
+            write_window(&mut bytes, w).expect("writing to a Vec cannot fail");
+            out.push((format!("{}-{:05}", ds.name(), w.start as u64), bytes));
+        }
+    }
+    out
 }
 
 /// Parse a TSV produced by [`write_window`] back into a [`WindowDump`].

@@ -254,3 +254,153 @@ fn any_query_returns_both_families_when_dual_stacked() {
     let types: Vec<RecordType> = parsed.answers.iter().map(|r| r.rtype()).collect();
     assert!(types.contains(&RecordType::A) && types.contains(&RecordType::Aaaa));
 }
+
+// ---------------------------------------------------------------------
+// Adversarial name decompression: raw byte constructions no well-formed
+// encoder would emit. The parser must reject each with a clean error —
+// never panic, never loop — because a collector decodes names from
+// whatever the network hands it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn self_and_forward_pointers_are_rejected() {
+    // A pointer to its own position would loop forever.
+    assert!(matches!(
+        Name::parse(&[0xc0, 0x00], 0).unwrap_err(),
+        WireError::BadPointer { at: 0, target: 0 }
+    ));
+    // A forward pointer violates the strictly-backwards rule even when
+    // its target holds a valid name.
+    let msg = [0x01, b'a', 0xc0, 0x05, 0x01, b'b', 0x00];
+    assert!(matches!(
+        Name::parse(&msg, 2).unwrap_err(),
+        WireError::BadPointer { at: 2, target: 5 }
+    ));
+}
+
+#[test]
+fn two_pointer_cycle_is_rejected() {
+    // Offsets 0 and 2 point at each other; whichever end parsing starts
+    // from, the second hop must fail the strictly-backwards check.
+    let msg = [0xc0, 0x02, 0xc0, 0x00];
+    assert!(matches!(
+        Name::parse(&msg, 2).unwrap_err(),
+        WireError::BadPointer { at: 0, target: 2 }
+    ));
+    assert!(matches!(
+        Name::parse(&msg, 0).unwrap_err(),
+        WireError::BadPointer { at: 0, target: 2 }
+    ));
+}
+
+#[test]
+fn pointer_and_label_past_end_are_rejected() {
+    // The pointer's second octet is missing.
+    assert!(matches!(
+        Name::parse(&[0x01, b'a', 0xc0], 2).unwrap_err(),
+        WireError::Truncated { .. }
+    ));
+    // A pointer aimed beyond the end of the message (necessarily forward,
+    // so the backwards rule doubles as a bounds check).
+    assert!(matches!(
+        Name::parse(&[0x00, 0xc0, 0x07], 1).unwrap_err(),
+        WireError::BadPointer { at: 1, target: 7 }
+    ));
+    // A label whose declared length runs past the buffer.
+    assert!(matches!(
+        Name::parse(&[0x05, b'a', b'b'], 0).unwrap_err(),
+        WireError::Truncated { .. }
+    ));
+    // An empty buffer has no length octet at all.
+    assert!(matches!(
+        Name::parse(&[], 0).unwrap_err(),
+        WireError::Truncated { .. }
+    ));
+}
+
+#[test]
+fn pointer_chain_depth_is_capped_at_127_hops() {
+    // Root at offset 0, then pointer k at offset 2k−1 targeting the
+    // previous pointer: parsing at pointer k chases exactly k hops. Every
+    // hop is strictly backwards, so only the hop cap can stop a chain.
+    let mut msg = vec![0x00];
+    for k in 1..=128usize {
+        let target = if k == 1 { 0 } else { 2 * k - 3 };
+        msg.push(0xc0 | (target >> 8) as u8);
+        msg.push((target & 0xff) as u8);
+    }
+    // 127 hops: allowed, resolves to the root.
+    let (name, after) = Name::parse(&msg, 2 * 127 - 1).unwrap();
+    assert!(name.is_root());
+    assert_eq!(after, 2 * 127 - 1 + 2);
+    // 128 hops: one past the cap, rejected.
+    assert!(matches!(
+        Name::parse(&msg, 2 * 128 - 1).unwrap_err(),
+        WireError::BadPointer { .. }
+    ));
+}
+
+#[test]
+fn overlong_wire_name_errors_cleanly() {
+    // Five 63-octet labels = 320 wire octets, past the 255 limit; the
+    // parser must stop with NameTooLong, not build an oversized name.
+    let mut msg = Vec::new();
+    for _ in 0..5 {
+        msg.push(63);
+        msg.extend(std::iter::repeat(b'a').take(63));
+    }
+    msg.push(0);
+    assert!(matches!(
+        Name::parse(&msg, 0).unwrap_err(),
+        WireError::NameTooLong(_)
+    ));
+    // The reserved 0b01/0b10 length prefixes are rejected, not masked.
+    assert!(matches!(
+        Name::parse(&[0x40, 0x00], 0).unwrap_err(),
+        WireError::BadLabelType(0x40)
+    ));
+    assert!(matches!(
+        Name::parse(&[0x80, 0x00], 0).unwrap_err(),
+        WireError::BadLabelType(0x80)
+    ));
+}
+
+#[test]
+fn name_parser_never_panics_or_loops_on_random_bytes() {
+    // Deterministic splitmix64 fuzz: tens of thousands of random buffers,
+    // biased toward pointer-dense garbage (high bits set). Every parse
+    // must return — Ok or Err — in bounded time; looping or panicking
+    // fails the test by construction.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut parses = 0u64;
+    for case in 0..20_000u64 {
+        let len = (next() % 64) as usize;
+        let mut buf: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+        if case % 3 == 0 {
+            // Saturate with pointer-type octets to maximize chain chasing.
+            for b in buf.iter_mut().step_by(2) {
+                *b |= 0xc0;
+            }
+        }
+        let pos = if len == 0 { 0 } else { (next() % len as u64) as usize };
+        match Name::parse(&buf, pos) {
+            Ok((name, after)) => {
+                assert!(name.wire_len() <= 255);
+                assert!(after <= buf.len());
+                parses += 1;
+            }
+            Err(_) => {}
+        }
+        // The same buffer must also be safe as a whole message.
+        let _ = Message::parse(&buf);
+    }
+    // Sanity: the fuzz corpus is not all-rejects (short names do parse).
+    assert!(parses > 0, "corpus never produced a parseable name");
+}

@@ -50,6 +50,10 @@ pub struct SensorStats {
     pub gaps: Vec<(u64, u64)>,
     /// Total frames missing across all gaps.
     pub gap_frames: u64,
+    /// Frames that arrived *after* having been recorded as missing — an
+    /// overtaken connection's in-flight data surfacing late. The gap
+    /// entry is removed again; this counts how often that happened.
+    pub gap_filled: u64,
     /// Frames that failed their CRC on this sensor's connections.
     pub crc_errors: u64,
     /// Frames whose payload failed to decode after a clean CRC.
@@ -60,6 +64,19 @@ pub struct SensorStats {
     pub reported_dropped_frames: u64,
     /// Items the sensor itself reported dropping (from BYE).
     pub reported_dropped_items: u64,
+    /// Items from accepted frames discarded because they arrived behind
+    /// the merge watermark (a reconnecting sensor delivering data older
+    /// than what was already released; see [`TimeMerger`]).
+    pub late_items: u64,
+    /// Sequence number the ledger expected next when the feed ended —
+    /// frames at or beyond it that never arrived are invisible to the
+    /// collector unless a BYE advanced past them.
+    pub final_expected_seq: Option<u64>,
+    /// The ledger's first baseline (the first valid HELLO's `next_seq`,
+    /// or the first accepted batch for streams whose HELLO never made
+    /// it). Frames before it are attributable only to a poisoned
+    /// connection, never to silent loss.
+    pub first_expected_seq: Option<u64>,
 }
 
 /// Sans-io per-sensor sequence auditor: feed it the frames of one sensor
@@ -85,7 +102,10 @@ impl SensorLedger {
 
     fn advance_to(&mut self, seq: u64) {
         match self.expected {
-            None => self.expected = Some(seq),
+            None => {
+                self.expected = Some(seq);
+                self.stats.first_expected_seq = Some(seq);
+            }
             Some(e) if seq > e => {
                 self.stats.gaps.push((e, seq - 1));
                 self.stats.gap_frames += seq - e;
@@ -99,19 +119,66 @@ impl SensorLedger {
     /// above the expected sequence means frames were lost while the
     /// sensor was away; below means the sensor is retransmitting and the
     /// duplicates will be discarded batch by batch.
+    ///
+    /// A `next_seq` below the ledger's *baseline* is a different story:
+    /// the stream has positions this ledger has never heard of, because
+    /// a newer connection's HELLO overtook an older connection whose
+    /// data is still in flight (a stalled link, reordered reader
+    /// threads). Those frames must not be mistaken for retransmits —
+    /// the baseline is lowered and the unknown range recorded as a gap,
+    /// which the old connection's frames then fill as they surface
+    /// ([`SensorLedger::on_batch`]). Whatever never surfaces stays a
+    /// gap: visible loss, never silent.
     pub fn on_hello(&mut self, next_seq: u64) {
         self.stats.connects += 1;
-        self.advance_to(next_seq);
+        match self.stats.first_expected_seq {
+            Some(first) if next_seq < first => {
+                self.stats.gaps.insert(0, (next_seq, first - 1));
+                self.stats.gap_frames += first - next_seq;
+                self.stats.first_expected_seq = Some(next_seq);
+            }
+            _ => self.advance_to(next_seq),
+        }
+    }
+
+    /// Remove `seq` from the recorded gaps if present (splitting the
+    /// range it sat in). Returns true when a gap was filled.
+    fn fill_gap(&mut self, seq: u64) -> bool {
+        let Some(idx) = self
+            .stats
+            .gaps
+            .iter()
+            .position(|&(a, b)| a <= seq && seq <= b)
+        else {
+            return false;
+        };
+        let (a, b) = self.stats.gaps.remove(idx);
+        if seq < b {
+            self.stats.gaps.insert(idx, (seq + 1, b));
+        }
+        if a < seq {
+            self.stats.gaps.insert(idx, (a, seq - 1));
+        }
+        self.stats.gap_frames -= 1;
+        self.stats.gap_filled += 1;
+        true
     }
 
     /// A BATCH with `seq` holding `items` items arrived. Returns true
     /// when the batch is fresh (its items should be delivered), false for
-    /// a duplicate.
+    /// a duplicate. A below-expectation sequence that matches a recorded
+    /// gap is *not* a duplicate — it is missing data surfacing late from
+    /// an overtaken connection, and fills the gap.
     pub fn on_batch(&mut self, seq: u64, items: u64) -> bool {
         if let Some(e) = self.expected {
             if seq < e {
-                self.stats.duplicate_frames += 1;
-                return false;
+                if !self.fill_gap(seq) {
+                    self.stats.duplicate_frames += 1;
+                    return false;
+                }
+                self.stats.frames += 1;
+                self.stats.items += items;
+                return true;
             }
         }
         self.advance_to(seq);
@@ -169,6 +236,20 @@ pub struct CollectorReport {
     pub items_merged: u64,
     /// Protocol errors on connections that never completed a HELLO.
     pub unattributed_errors: u64,
+    /// Data frames rejected because their connection never completed a
+    /// valid HELLO (e.g. the HELLO was corrupted in flight). Such a
+    /// connection is poisoned and must be dropped so the sensor
+    /// reconnects and re-announces its position — otherwise frames lost
+    /// before the first accepted batch would vanish without a gap entry.
+    pub unheralded_frames: u64,
+    /// Connections that disconnected before completing a valid HELLO —
+    /// they arrived, possibly carried data (a HELLO and frames that
+    /// never made it out of the network), and vanished without ever
+    /// identifying a sensor. The collector cannot attribute such a
+    /// connection, but it *can* record that it happened: any frames a
+    /// sensor wrote there before its reconnect re-baselined the ledger
+    /// are attributable only to these, never to silent loss.
+    pub anonymous_disconnects: u64,
 }
 
 impl CollectorReport {
@@ -182,6 +263,236 @@ enum Event<T> {
     Frame { conn: u64, frame: Frame<T> },
     BadFrame { conn: u64, error: FeedError },
     Disconnect { conn: u64 },
+}
+
+/// What [`CollectorCore::on_frame`] did with a frame — the observability
+/// hook the chaos differential oracle audits frame-by-frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// A HELLO (re)opened the sensor's stream.
+    Hello {
+        /// Announcing sensor.
+        sensor: u64,
+    },
+    /// A fresh batch was accepted and entered the merge.
+    Accepted {
+        /// Originating sensor.
+        sensor: u64,
+        /// Frame sequence number.
+        seq: u64,
+        /// Items the frame carried.
+        items: u64,
+        /// Of those, items discarded as behind the merge watermark
+        /// (accounted in [`SensorStats::late_items`]).
+        late: u64,
+    },
+    /// A retransmitted duplicate was discarded.
+    Duplicate {
+        /// Originating sensor.
+        sensor: u64,
+        /// Duplicate sequence number.
+        seq: u64,
+    },
+    /// A BYE closed the sensor's stream.
+    Bye {
+        /// Closing sensor.
+        sensor: u64,
+    },
+    /// A data frame arrived on a connection with no valid HELLO (or for a
+    /// different sensor than the HELLO announced). The frame is rejected
+    /// and the connection must be dropped: only a reconnect HELLO can
+    /// re-establish where the stream stands.
+    Unheralded,
+}
+
+impl FrameOutcome {
+    /// True when the connection that produced this frame is poisoned and
+    /// should be closed by the transport.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, FrameOutcome::Unheralded)
+    }
+}
+
+/// Sans-io heart of the collector: per-sensor ledgers, connection→sensor
+/// attribution, and the gap-free time merge — everything the merge
+/// thread does, minus the sockets and channels.
+///
+/// The TCP [`Collector`] drives one instance from its event loop; the
+/// `chaos` fault-injection harness drives another through a scripted
+/// virtual transport. Both paths share *this* accounting code, so an
+/// invariant proven under chaos holds for the real server.
+#[derive(Debug)]
+pub struct CollectorCore<T> {
+    merger: TimeMerger<T>,
+    ledgers: BTreeMap<u64, SensorLedger>,
+    /// conn → sensor identity (learned from HELLO), and per-sensor latest
+    /// conn so a stale disconnect cannot close a reconnected stream.
+    conn_sensor: BTreeMap<u64, u64>,
+    latest_conn: BTreeMap<u64, u64>,
+    items_merged: u64,
+    unattributed_errors: u64,
+    unheralded_frames: u64,
+    anonymous_disconnects: u64,
+    byes: u64,
+    expected_sensors: u64,
+    expected_byes: u64,
+}
+
+impl<T: FeedItem> CollectorCore<T> {
+    /// Core expecting `config.expected_sensors` distinct sensors before
+    /// releasing items and `config.expected_byes` BYEs before
+    /// [`CollectorCore::done`] reports completion.
+    pub fn new(config: &CollectorConfig) -> CollectorCore<T> {
+        CollectorCore {
+            merger: TimeMerger::new(),
+            ledgers: BTreeMap::new(),
+            conn_sensor: BTreeMap::new(),
+            latest_conn: BTreeMap::new(),
+            items_merged: 0,
+            unattributed_errors: 0,
+            unheralded_frames: 0,
+            anonymous_disconnects: 0,
+            byes: 0,
+            expected_sensors: config.expected_sensors,
+            expected_byes: config.expected_byes,
+        }
+    }
+
+    /// A decoded frame arrived on `conn`. Releasable items are appended
+    /// to `out` in merged time order; the returned outcome says what the
+    /// frame did (and whether the connection is now poisoned).
+    pub fn on_frame(&mut self, conn: u64, frame: Frame<T>, out: &mut Vec<T>) -> FrameOutcome {
+        let outcome = match frame {
+            Frame::Hello {
+                sensor, next_seq, ..
+            } => {
+                self.conn_sensor.insert(conn, sensor);
+                self.latest_conn.insert(sensor, conn);
+                self.ledgers.entry(sensor).or_default().on_hello(next_seq);
+                self.merger.open(sensor);
+                FrameOutcome::Hello { sensor }
+            }
+            Frame::Batch { sensor, seq, items } => {
+                if self.conn_sensor.get(&conn) != Some(&sensor) {
+                    self.unheralded_frames += 1;
+                    return FrameOutcome::Unheralded;
+                }
+                let ledger = self.ledgers.entry(sensor).or_default();
+                let count = items.len() as u64;
+                if ledger.on_batch(seq, count) {
+                    let late = self.merger.push(sensor, items);
+                    self.ledgers.entry(sensor).or_default().stats.late_items += late;
+                    FrameOutcome::Accepted {
+                        sensor,
+                        seq,
+                        items: count,
+                        late,
+                    }
+                } else {
+                    FrameOutcome::Duplicate { sensor, seq }
+                }
+            }
+            Frame::Bye {
+                sensor,
+                next_seq,
+                dropped_frames,
+                dropped_items,
+            } => {
+                if self.conn_sensor.get(&conn) != Some(&sensor) {
+                    self.unheralded_frames += 1;
+                    return FrameOutcome::Unheralded;
+                }
+                self.ledgers.entry(sensor).or_default().on_bye(
+                    next_seq,
+                    dropped_frames,
+                    dropped_items,
+                );
+                self.merger.close(sensor);
+                self.byes += 1;
+                FrameOutcome::Bye { sensor }
+            }
+        };
+        self.drain_into(out);
+        outcome
+    }
+
+    /// A frame on `conn` failed its CRC or its decode.
+    pub fn on_bad_frame(&mut self, conn: u64, error: &FeedError) {
+        match self.conn_sensor.get(&conn) {
+            Some(&sensor) => {
+                let stats = &mut self.ledgers.entry(sensor).or_default().stats;
+                if matches!(error, FeedError::Crc { .. }) {
+                    stats.crc_errors += 1;
+                } else {
+                    stats.decode_errors += 1;
+                }
+            }
+            None => self.unattributed_errors += 1,
+        }
+    }
+
+    /// `conn` is gone. If it was the sensor's live connection, its
+    /// silence stops gating the merge; releasable items drain into `out`.
+    /// A connection that vanishes before completing a HELLO is counted —
+    /// it may have swallowed a sensor's in-flight frames (written to a
+    /// socket that died before delivering a byte), and that count is the
+    /// only evidence of such pre-baseline loss the collector can record.
+    pub fn on_disconnect(&mut self, conn: u64, out: &mut Vec<T>) {
+        match self.conn_sensor.get(&conn) {
+            Some(&sensor) => {
+                if self.latest_conn.get(&sensor) == Some(&conn) {
+                    self.merger.close(sensor);
+                }
+            }
+            None => self.anonymous_disconnects += 1,
+        }
+        self.drain_into(out);
+    }
+
+    /// True once the expected number of BYEs has arrived.
+    pub fn done(&self) -> bool {
+        self.expected_byes > 0 && self.byes >= self.expected_byes
+    }
+
+    /// Close every stream, drain the remainder into `out`, and return
+    /// the final accounting.
+    pub fn finish(mut self, out: &mut Vec<T>) -> CollectorReport {
+        let sensors: Vec<u64> = self.ledgers.keys().copied().collect();
+        for sensor in sensors {
+            self.merger.close(sensor);
+        }
+        let drained = self.merger.drain_ready();
+        self.items_merged += drained.len() as u64;
+        out.extend(drained);
+        let mut report = CollectorReport {
+            sensors: BTreeMap::new(),
+            items_merged: self.items_merged,
+            unattributed_errors: self.unattributed_errors,
+            unheralded_frames: self.unheralded_frames,
+            anonymous_disconnects: self.anonymous_disconnects,
+        };
+        report.sensors = self
+            .ledgers
+            .into_iter()
+            .map(|(id, l)| {
+                let mut stats = l.stats;
+                stats.final_expected_seq = l.expected;
+                (id, stats)
+            })
+            .collect();
+        report
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<T>) {
+        // An early sensor must not drain ahead of peers still connecting,
+        // or the merged order would depend on connect timing.
+        if (self.ledgers.len() as u64) < self.expected_sensors {
+            return;
+        }
+        let drained = self.merger.drain_ready();
+        self.items_merged += drained.len() as u64;
+        out.extend(drained);
+    }
 }
 
 /// TCP feed server: accepts sensors, merges their streams, and hands the
@@ -312,6 +623,7 @@ fn reader_loop<T: FeedItem>(
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let mut reader = FrameReader::<T>::new();
     let mut buf = [0u8; 16 * 1024];
+    let mut heralded = false;
     'conn: loop {
         if stop.load(Ordering::Relaxed) {
             break;
@@ -331,7 +643,17 @@ fn reader_loop<T: FeedItem>(
         loop {
             match reader.next_frame() {
                 Ok(Some(frame)) => {
+                    // A data frame before a valid HELLO poisons the
+                    // connection: the merge core will reject it (and
+                    // count it), and dropping the connection forces the
+                    // sensor to reconnect and re-announce its sequence
+                    // position so the loss surfaces as a gap.
+                    let fatal = !heralded && !matches!(frame, Frame::Hello { .. });
+                    heralded = heralded || matches!(frame, Frame::Hello { .. });
                     if events.send(Event::Frame { conn, frame }).is_err() {
+                        break 'conn;
+                    }
+                    if fatal {
                         break 'conn;
                     }
                 }
@@ -359,95 +681,38 @@ fn merge_loop<T: FeedItem>(
     stop: &AtomicBool,
     config: CollectorConfig,
 ) -> CollectorReport {
-    let mut merger = TimeMerger::<T>::new();
-    let mut ledgers: BTreeMap<u64, SensorLedger> = BTreeMap::new();
-    // conn → sensor identity (learned from HELLO), and per-sensor latest
-    // conn so a stale disconnect cannot close a reconnected stream.
-    let mut conn_sensor: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut latest_conn: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut report = CollectorReport::default();
-    let mut byes = 0u64;
+    let mut core = CollectorCore::<T>::new(&config);
+    let mut ready = Vec::new();
 
     for event in events.iter() {
         match event {
-            Event::Frame { conn, frame } => match frame {
-                Frame::Hello {
-                    sensor, next_seq, ..
-                } => {
-                    conn_sensor.insert(conn, sensor);
-                    latest_conn.insert(sensor, conn);
-                    ledgers.entry(sensor).or_default().on_hello(next_seq);
-                    merger.open(sensor);
-                }
-                Frame::Batch { sensor, seq, items } => {
-                    let ledger = ledgers.entry(sensor).or_default();
-                    if ledger.on_batch(seq, items.len() as u64) {
-                        merger.push(sensor, items);
-                    }
-                }
-                Frame::Bye {
-                    sensor,
-                    next_seq,
-                    dropped_frames,
-                    dropped_items,
-                } => {
-                    ledgers.entry(sensor).or_default().on_bye(
-                        next_seq,
-                        dropped_frames,
-                        dropped_items,
-                    );
-                    merger.close(sensor);
-                    byes += 1;
-                }
-            },
-            Event::BadFrame { conn, error } => {
-                match conn_sensor.get(&conn) {
-                    Some(&sensor) => {
-                        let stats = &mut ledgers.entry(sensor).or_default().stats;
-                        if matches!(error, FeedError::Crc { .. }) {
-                            stats.crc_errors += 1;
-                        } else {
-                            stats.decode_errors += 1;
-                        }
-                    }
-                    None => report.unattributed_errors += 1,
-                }
+            Event::Frame { conn, frame } => {
+                // A fatal outcome (unheralded data frame) was already
+                // handled transport-side: the reader drops such a
+                // connection on its own.
+                let _ = core.on_frame(conn, frame, &mut ready);
             }
-            Event::Disconnect { conn } => {
-                if let Some(&sensor) = conn_sensor.get(&conn) {
-                    if latest_conn.get(&sensor) == Some(&conn) {
-                        // The sensor's live connection died without BYE:
-                        // stop letting its silence gate the merge.
-                        merger.close(sensor);
-                    }
-                }
+            Event::BadFrame { conn, error } => core.on_bad_frame(conn, &error),
+            Event::Disconnect { conn } => core.on_disconnect(conn, &mut ready),
+        }
+        for item in ready.drain(..) {
+            if output.send(item).is_err() {
+                break;
             }
         }
-        if ledgers.len() as u64 >= config.expected_sensors {
-            for item in merger.drain_ready() {
-                report.items_merged += 1;
-                if output.send(item).is_err() {
-                    break;
-                }
-            }
-        }
-        if config.expected_byes > 0 && byes >= config.expected_byes {
+        if core.done() {
             break;
         }
     }
 
     // Everything still buffered belongs to closed or abandoned streams.
-    for (&sensor, _) in &ledgers {
-        merger.close(sensor);
-    }
-    for item in merger.drain_ready() {
-        report.items_merged += 1;
+    let report = core.finish(&mut ready);
+    for item in ready.drain(..) {
         if output.send(item).is_err() {
             break;
         }
     }
     stop.store(true, Ordering::Relaxed);
-    report.sensors = ledgers.into_iter().map(|(id, l)| (id, l.stats)).collect();
     report
 }
 
@@ -490,6 +755,248 @@ mod tests {
         assert!(l.on_batch(4, 1));
         assert_eq!(l.stats.gaps, vec![(1, 3)]);
         assert_eq!(l.stats.connects, 2);
+    }
+
+    /// Regression (chaos kernel, minimized from seed 9 of the "flaky"
+    /// profile: stall the first connection's deliveries, then reset it):
+    /// a reconnect HELLO overtakes the stalled connection's in-flight
+    /// frames, so the ledger baselines at `next_seq` above data it has
+    /// never seen. When the old frames finally surface they are *not*
+    /// retransmits — classifying them as duplicates silently discarded
+    /// never-delivered data. The ledger must lower its baseline,
+    /// claim the unknown range as a gap, and let the frames fill it;
+    /// whatever never surfaces stays a gap (visible loss).
+    #[test]
+    fn ledger_lowers_baseline_and_fills_gaps_for_overtaken_connection() {
+        let mut l = SensorLedger::new();
+        l.on_hello(3); // overtaking connection processed first
+        assert!(l.on_batch(3, 1));
+        l.on_hello(0); // stalled connection's HELLO surfaces late
+        assert_eq!(l.stats.gaps, vec![(0, 2)]);
+        assert_eq!(l.stats.gap_frames, 3);
+        assert!(l.on_batch(1, 1), "gap fill, not a duplicate");
+        assert_eq!(l.stats.gaps, vec![(0, 0), (2, 2)]);
+        assert!(!l.on_batch(1, 1), "a second arrival IS a duplicate");
+        assert!(l.on_batch(0, 1));
+        assert_eq!(l.stats.gaps, vec![(2, 2)], "never surfaced: stays visible");
+        assert_eq!(l.stats.gap_frames, 1);
+        assert_eq!(l.stats.gap_filled, 2);
+        assert_eq!(l.stats.duplicate_frames, 1);
+        assert_eq!(l.stats.first_expected_seq, Some(0));
+    }
+
+    fn batch(sensor: u64, seq: u64, items: &[(u64, f64)]) -> Frame<TestItem> {
+        Frame::Batch {
+            sensor,
+            seq,
+            items: items.iter().map(|&(v, t)| TestItem::at(v, t)).collect(),
+        }
+    }
+
+    fn hello(sensor: u64, next_seq: u64) -> Frame<TestItem> {
+        Frame::Hello {
+            sensor,
+            next_seq,
+            item_version: TestItem::ITEM_VERSION,
+        }
+    }
+
+    /// Regression (chaos seed minimized to this sequence): a connection
+    /// whose HELLO was lost to corruption delivers a batch. Accepting it
+    /// would baseline the ledger at the batch's own sequence, silently
+    /// erasing every frame lost before it. The core must reject the
+    /// frame as unheralded (poisoning the connection) so the reconnect
+    /// HELLO exposes the loss as a gap.
+    #[test]
+    fn core_rejects_batch_before_hello_and_gap_surfaces_on_reconnect() {
+        let mut core = CollectorCore::<TestItem>::new(&CollectorConfig::new(1));
+        let mut out = Vec::new();
+
+        // conn 0: HELLO corrupted in flight → only a CRC error arrives.
+        core.on_bad_frame(
+            0,
+            &FeedError::Crc {
+                expected: 1,
+                computed: 2,
+            },
+        );
+        // Frame 0 was also corrupted; frame 1 decodes fine but the
+        // connection was never heralded.
+        let outcome = core.on_frame(0, batch(7, 1, &[(1, 1.0)]), &mut out);
+        assert_eq!(outcome, FrameOutcome::Unheralded);
+        assert!(outcome.is_fatal());
+        assert!(out.is_empty(), "unheralded items must not merge");
+        core.on_disconnect(0, &mut out);
+
+        // conn 1: the sensor reconnects and re-announces at frame 1 (its
+        // retransmit position after the failed write of frame 2).
+        core.on_frame(1, hello(7, 1), &mut out);
+        core.on_frame(1, batch(7, 1, &[(1, 1.0)]), &mut out);
+        core.on_frame(1, batch(7, 2, &[(2, 2.0)]), &mut out);
+        let report = core.finish(&mut out);
+
+        let stats = &report.sensors[&7];
+        assert_eq!(report.unheralded_frames, 1);
+        assert_eq!(report.unattributed_errors, 1, "pre-HELLO CRC error");
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.items, 2);
+        assert_eq!(out.len(), 2);
+        // Frame 0 (lost on the poisoned connection) sits before the
+        // ledger's first baseline — the report pins that baseline plus
+        // the poisoning evidence, so the oracle can attribute the loss
+        // instead of it vanishing silently.
+        assert_eq!(stats.first_expected_seq, Some(1));
+        assert_eq!(stats.final_expected_seq, Some(3));
+    }
+
+    /// Regression (chaos seed minimized to this sequence): a connection
+    /// dies before its HELLO ever arrives — everything the sensor wrote
+    /// into it (HELLO plus early frames) vanished in the network. The
+    /// sensor, whose local writes all "succeeded", reconnects announcing
+    /// an advanced `next_seq`, so the ledger baselines above frames the
+    /// collector never knew existed. The disconnect count is the only
+    /// possible record of that loss; silently dropping it would make the
+    /// early frames unaccountable.
+    #[test]
+    fn core_counts_disconnects_of_never_heralded_connections() {
+        let mut core = CollectorCore::<TestItem>::new(&CollectorConfig::new(1));
+        let mut out = Vec::new();
+
+        // conn 0: accepted by the listener, never delivered a byte.
+        core.on_disconnect(0, &mut out);
+
+        // conn 1: the sensor reconnects believing frames 0–2 were
+        // delivered (they died in conn 0's buffers).
+        core.on_frame(1, hello(7, 3), &mut out);
+        core.on_frame(1, batch(7, 3, &[(3, 3.0)]), &mut out);
+        // conn 1 disconnecting is attributed — not anonymous.
+        core.on_disconnect(1, &mut out);
+        let report = core.finish(&mut out);
+
+        assert_eq!(report.anonymous_disconnects, 1);
+        assert_eq!(report.sensors[&7].first_expected_seq, Some(3));
+        assert_eq!(out.len(), 1);
+    }
+
+    /// End-to-end version of the overtaken-connection regression above,
+    /// through [`CollectorCore`]: the filled frames' items land behind
+    /// the merge watermark and are accounted as late, never reordered in
+    /// and never called duplicates.
+    #[test]
+    fn core_gap_fills_frames_from_overtaken_connection() {
+        let mut core = CollectorCore::<TestItem>::new(&CollectorConfig::new(1));
+        let mut out = Vec::new();
+
+        // conn 1 (the reconnect) is processed before conn 0 (stalled).
+        core.on_frame(1, hello(5, 2), &mut out);
+        core.on_frame(1, batch(5, 2, &[(2, 3.0)]), &mut out);
+        // conn 0's stalled traffic finally surfaces.
+        core.on_frame(0, hello(5, 0), &mut out);
+        let a = core.on_frame(0, batch(5, 0, &[(0, 1.0)]), &mut out);
+        assert!(
+            matches!(a, FrameOutcome::Accepted { seq: 0, late: 1, .. }),
+            "gap-filling frame accepted with its item counted late, got {a:?}"
+        );
+        let b = core.on_frame(0, batch(5, 1, &[(1, 2.0)]), &mut out);
+        assert!(matches!(b, FrameOutcome::Accepted { seq: 1, late: 1, .. }));
+
+        let report = core.finish(&mut out);
+        let stats = &report.sensors[&5];
+        assert_eq!(stats.duplicate_frames, 0, "in-flight data is not a retransmit");
+        assert_eq!(stats.gaps, Vec::<(u64, u64)>::new());
+        assert_eq!((stats.gap_frames, stats.gap_filled), (0, 2));
+        assert_eq!((stats.frames, stats.items, stats.late_items), (3, 3, 2));
+        assert_eq!(stats.first_expected_seq, Some(0));
+        assert_eq!(
+            out.iter().map(|i| i.time).collect::<Vec<_>>(),
+            [3.0],
+            "only the overtaking frame's item was still deliverable"
+        );
+    }
+
+    /// Regression (chaos seed minimized to this sequence): sensor 2's
+    /// connection dies, the merge advances past T on the surviving
+    /// sensor, then sensor 2 reconnects and retransmits items older than
+    /// T. Before the watermark fix those items re-entered the merge out
+    /// of time order — downstream output silently diverged. Now they are
+    /// dropped and *accounted* as `late_items`.
+    #[test]
+    fn core_accounts_late_items_after_reconnect_instead_of_reordering() {
+        let mut config = CollectorConfig::new(2);
+        config.expected_sensors = 2;
+        let mut core = CollectorCore::<TestItem>::new(&config);
+        let mut out = Vec::new();
+
+        core.on_frame(0, hello(1, 0), &mut out);
+        core.on_frame(1, hello(2, 0), &mut out);
+        core.on_frame(0, batch(1, 0, &[(10, 1.0), (11, 5.0)]), &mut out);
+        // Sensor 2's connection dies before delivering anything.
+        core.on_disconnect(1, &mut out);
+        assert_eq!(
+            out.iter().map(|i| i.time).collect::<Vec<_>>(),
+            [1.0, 5.0],
+            "merge advances once the dead stream stops gating"
+        );
+
+        // Sensor 2 reconnects and delivers items from before the
+        // watermark plus one current item.
+        core.on_frame(2, hello(2, 0), &mut out);
+        let outcome = core.on_frame(2, batch(2, 0, &[(20, 0.5), (21, 2.0), (22, 6.0)]), &mut out);
+        assert_eq!(
+            outcome,
+            FrameOutcome::Accepted {
+                sensor: 2,
+                seq: 0,
+                items: 3,
+                late: 2
+            }
+        );
+        let report = core.finish(&mut out);
+        assert_eq!(
+            out.iter().map(|i| i.time).collect::<Vec<_>>(),
+            [1.0, 5.0, 6.0],
+            "late items must not reorder the merged stream"
+        );
+        let stats = &report.sensors[&2];
+        assert_eq!(stats.late_items, 2, "every suppressed item is accounted");
+        assert_eq!(stats.items, 3, "ledger counts what the frame carried");
+        assert_eq!(report.items_merged, 3);
+    }
+
+    #[test]
+    fn core_matches_threaded_collector_accounting() {
+        // Drive the same event sequence through CollectorCore that the
+        // ledger unit test runs, and check the report shape end to end.
+        let mut core = CollectorCore::<TestItem>::new(&CollectorConfig::new(1));
+        let mut out = Vec::new();
+        core.on_frame(0, hello(3, 0), &mut out);
+        core.on_frame(0, batch(3, 0, &[(0, 0.0)]), &mut out);
+        core.on_frame(0, batch(3, 2, &[(2, 2.0)]), &mut out); // frame 1 missing
+        // Frame 1 surfaces after all: it fills the recorded gap (its item
+        // is behind the watermark by now, so it is counted late, not
+        // reordered in), and a second copy is a true duplicate.
+        core.on_frame(0, batch(3, 1, &[(1, 1.0)]), &mut out);
+        core.on_frame(0, batch(3, 1, &[(1, 1.0)]), &mut out);
+        core.on_frame(
+            0,
+            Frame::Bye {
+                sensor: 3,
+                next_seq: 4,
+                dropped_frames: 1,
+                dropped_items: 1,
+            },
+            &mut out,
+        );
+        assert!(core.done());
+        let report = core.finish(&mut out);
+        let stats = &report.sensors[&3];
+        assert_eq!(stats.gaps, vec![(3, 3)], "gap (1,1) was filled");
+        assert_eq!((stats.gap_frames, stats.gap_filled), (1, 1));
+        assert_eq!(stats.duplicate_frames, 1);
+        assert_eq!(stats.late_items, 1);
+        assert_eq!(stats.byes, 1);
+        assert_eq!(stats.final_expected_seq, Some(4));
+        assert_eq!(report.items_merged, 2);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod collector;
 pub mod crc32;
 pub mod error;
 pub mod frame;
+pub mod machine;
 pub mod merge;
 pub mod sensor;
 #[cfg(test)]
@@ -63,8 +64,12 @@ pub mod varint;
 
 pub use backoff::{Backoff, BackoffConfig};
 pub use codec::{ByteReader, FeedItem};
-pub use collector::{Collector, CollectorConfig, CollectorReport, SensorLedger, SensorStats};
+pub use collector::{
+    Collector, CollectorConfig, CollectorCore, CollectorReport, FrameOutcome, SensorLedger,
+    SensorStats,
+};
 pub use error::FeedError;
 pub use frame::{Frame, FrameReader, MAGIC, MAX_FRAME, PROTOCOL_VERSION};
+pub use machine::{SealEvent, SensorMachine, SensorOp, Wrote};
 pub use merge::TimeMerger;
-pub use sensor::{Sensor, SensorConfig, SensorEncoder, SensorReport};
+pub use sensor::{SealedFrame, Sensor, SensorConfig, SensorEncoder, SensorReport};

@@ -10,6 +10,25 @@
 //!
 //! Ties on time break by sensor id, so the merged order is a pure
 //! function of the input streams.
+//!
+//! # Late items
+//!
+//! A closed stream stops gating the merge, so its peers may legitimately
+//! advance past time T while a sensor is disconnected. If that sensor
+//! later reconnects and delivers items *older* than what has already been
+//! released, emitting them would silently reorder the merged feed — the
+//! downstream pipeline would produce different output than a single-
+//! process run with no record of why. The merger therefore tracks the
+//! release watermark `(time, sensor)` and refuses such items at
+//! [`TimeMerger::push`], returning the count so the caller can account
+//! the loss (the collector records it per sensor as `late_items`).
+//!
+//! The same rule applies *within* a stream: a gap-filling frame that
+//! arrives after newer frames were already queued (an overtaken
+//! connection's data surfacing late) may carry items older than the
+//! stream's own tail. Queuing them would break the stream's FIFO order,
+//! so they are refused and counted too. Every released stream is thus
+//! `(time, sensor)`-monotone by construction.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -23,12 +42,15 @@ struct Stream<T> {
 #[derive(Debug)]
 pub struct TimeMerger<T> {
     streams: BTreeMap<u64, Stream<T>>,
+    /// `(time, sensor)` of the most recently released item.
+    watermark: Option<(f64, u64)>,
 }
 
 impl<T> Default for TimeMerger<T> {
     fn default() -> Self {
         TimeMerger {
             streams: BTreeMap::new(),
+            watermark: None,
         }
     }
 }
@@ -51,16 +73,34 @@ impl<T: crate::codec::FeedItem> TimeMerger<T> {
             .open = true;
     }
 
-    /// Append items (in emission order) to `sensor`'s stream.
-    pub fn push(&mut self, sensor: u64, items: impl IntoIterator<Item = T>) {
-        self.streams
-            .entry(sensor)
-            .or_insert_with(|| Stream {
-                queue: VecDeque::new(),
-                open: false,
-            })
-            .queue
-            .extend(items);
+    /// Append items (in emission order) to `sensor`'s stream. Items that
+    /// would release behind the merge watermark — a reconnecting sensor
+    /// delivering data older than what already went out — are discarded
+    /// to keep the output order deterministic; the count of such late
+    /// items is returned so the caller can account the divergence.
+    pub fn push(&mut self, sensor: u64, items: impl IntoIterator<Item = T>) -> u64 {
+        let stream = self.streams.entry(sensor).or_insert_with(|| Stream {
+            queue: VecDeque::new(),
+            open: false,
+        });
+        let mut late = 0u64;
+        for item in items {
+            let t = item.order_time();
+            let behind_watermark = match self.watermark {
+                Some((wt, ws)) => t < wt || (t == wt && sensor < ws),
+                None => false,
+            };
+            let behind_tail = match stream.queue.back() {
+                Some(tail) => t < tail.order_time(),
+                None => false,
+            };
+            if behind_watermark || behind_tail {
+                late += 1;
+                continue;
+            }
+            stream.queue.push_back(item);
+        }
+        late
     }
 
     /// Mark `sensor` finished: an empty queue no longer blocks the merge.
@@ -107,7 +147,8 @@ impl<T: crate::codec::FeedItem> TimeMerger<T> {
                 }
             }
         }
-        let (_, sensor) = best?;
+        let (time, sensor) = best?;
+        self.watermark = Some((time, sensor));
         let stream = self.streams.get_mut(&sensor)?;
         let item = stream.queue.pop_front();
         if stream.queue.is_empty() && !stream.open {
@@ -185,6 +226,57 @@ mod tests {
         m.close(2);
         let got: Vec<u64> = m.drain_ready().into_iter().map(|i| i.value).collect();
         assert_eq!(got, [10, 20]);
+    }
+
+    #[test]
+    fn late_items_behind_watermark_are_dropped_and_counted() {
+        let mut m = TimeMerger::new();
+        m.open(1);
+        m.open(2);
+        m.push(1, [TestItem::at(1, 1.0), TestItem::at(2, 4.0)]);
+        // Sensor 2 dies before delivering; the merge advances without it.
+        m.close(2);
+        assert_eq!(times(&m.drain_ready()), [1.0, 4.0]);
+        // Sensor 2 reconnects and delivers items from before the
+        // watermark: they must be dropped, not reordered in.
+        m.open(2);
+        let late = m.push(2, [TestItem::at(9, 0.5), TestItem::at(10, 2.0), TestItem::at(11, 5.0)]);
+        assert_eq!(late, 2, "items at 0.5 and 2.0 are behind watermark 4.0");
+        m.close(1);
+        m.close(2);
+        assert_eq!(times(&m.drain_ready()), [5.0]);
+    }
+
+    #[test]
+    fn watermark_tie_keeps_higher_sensor_and_drops_lower() {
+        let mut m = TimeMerger::new();
+        m.open(1);
+        m.push(1, [TestItem::at(1, 3.0)]);
+        m.close(1);
+        assert_eq!(times(&m.drain_ready()), [3.0]);
+        // Same time, higher sensor id: would release after (3.0, 1), OK.
+        assert_eq!(m.push(2, [TestItem::at(2, 3.0)]), 0);
+        // Same time, lower sensor id: would have had to release first.
+        assert_eq!(m.push(0, [TestItem::at(3, 3.0)]), 1);
+        m.close(0);
+        m.close(2);
+        assert_eq!(times(&m.drain_ready()), [3.0]);
+    }
+
+    /// A gap-filling frame surfaces behind frames already queued for the
+    /// same stream: queueing its older items would break the stream's
+    /// FIFO order, so they are refused and counted even though the
+    /// global watermark has not passed them yet.
+    #[test]
+    fn items_behind_own_stream_tail_are_late() {
+        let mut m = TimeMerger::new();
+        m.open(1);
+        m.push(1, [TestItem::at(1, 5.0)]);
+        // Nothing released yet (no watermark), but 2.0 < queued tail 5.0.
+        let late = m.push(1, [TestItem::at(2, 2.0), TestItem::at(3, 6.0)]);
+        assert_eq!(late, 1);
+        m.close(1);
+        assert_eq!(times(&m.drain_ready()), [5.0, 6.0]);
     }
 
     #[test]

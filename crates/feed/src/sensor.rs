@@ -300,12 +300,18 @@ impl<T: FeedItem> Sensor<T> {
     }
 
     /// Tear the connection down *without* BYE — simulates (or reacts to)
-    /// a crash. Queued frames are discarded and counted as dropped. The
-    /// report's `next_seq` is what a restarted incarnation should resume
-    /// from.
+    /// a crash. The partial batch is sealed (consuming its sequence
+    /// number, so its loss stays gap-visible) and everything queued is
+    /// discarded and counted as dropped. The report's `next_seq` is what
+    /// a restarted incarnation should resume from.
     pub fn abort(mut self) -> SensorReport {
         {
+            let pending = self.shared.encoder.lock().unwrap().flush();
             let mut q = self.shared.queue.lock().unwrap();
+            if let Some(f) = pending {
+                q.dropped_frames += 1;
+                q.dropped_items += f.items;
+            }
             while let Some(f) = q.frames.pop_front() {
                 q.dropped_frames += 1;
                 q.dropped_items += f.items;
@@ -577,7 +583,9 @@ mod tests {
         let sensor = Sensor::<TestItem>::connect(addr.to_string(), config);
         sensor.send(TestItem::new(42));
 
-        std::thread::sleep(Duration::from_millis(60));
+        // No wall-clock wait: the first attempt races our rebind and the
+        // deterministic backoff schedule itself is covered sans-io (and
+        // in virtual time) by `machine::tests`.
         let listener = TcpListener::bind(addr).unwrap();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();

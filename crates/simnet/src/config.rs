@@ -147,6 +147,20 @@ impl SimConfig {
         }
     }
 
+    /// The smallest useful world: a chaos/differential-test fixture that
+    /// still produces a realistic traffic mix but builds in milliseconds
+    /// and keeps per-run item counts small enough to fan out across
+    /// hundreds of seeded runs.
+    pub fn tiny() -> Self {
+        SimConfig {
+            domains: 400,
+            resolvers: 8,
+            contributors: 4,
+            arrivals_per_sec: 500.0,
+            ..SimConfig::default()
+        }
+    }
+
     /// The configuration used by the experiment binaries: larger domain
     /// and resolver populations so rank curves extend far enough to show
     /// the paper's shapes.
@@ -193,5 +207,7 @@ mod tests {
     #[test]
     fn presets_differ() {
         assert!(SimConfig::paper_scale().domains > SimConfig::small().domains);
+        assert!(SimConfig::small().domains > SimConfig::tiny().domains);
+        assert!(SimConfig::tiny().total_weight() > 0.0);
     }
 }

@@ -216,4 +216,113 @@ proptest! {
         let top = t.top().unwrap();
         prop_assert_eq!(truth[&top], *mode.1);
     }
+
+    /// HyperLogLog merge: associative, with the empty sketch as identity,
+    /// and merging per-part sketches is indistinguishable from sketching
+    /// the concatenated stream — the property the collector relies on
+    /// when it unions per-sensor sketches in any grouping the network
+    /// happens to produce.
+    #[test]
+    fn hll_merge_associativity_identity_and_parts_equal_whole(
+        xs in prop::collection::vec(any::<u64>(), 0..400),
+        ys in prop::collection::vec(any::<u64>(), 0..400),
+        zs in prop::collection::vec(any::<u64>(), 0..400),
+    ) {
+        let sketch = |items: &[u64]| {
+            let mut h = HyperLogLog::new(10);
+            for i in items {
+                h.insert(&i.to_le_bytes());
+            }
+            h
+        };
+        let (a, b, c) = (sketch(&xs), sketch(&ys), sketch(&zs));
+
+        // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.estimate().to_bits(), right.estimate().to_bits());
+
+        // Identity: merging an empty sketch changes nothing.
+        let mut with_empty = a.clone();
+        with_empty.merge(&HyperLogLog::new(10));
+        prop_assert_eq!(with_empty.estimate().to_bits(), a.estimate().to_bits());
+
+        // Parts equal whole: however the stream was split, the union is
+        // the sketch of the concatenation.
+        let mut whole_items = xs.clone();
+        whole_items.extend_from_slice(&ys);
+        whole_items.extend_from_slice(&zs);
+        let whole = sketch(&whole_items);
+        prop_assert_eq!(left.estimate().to_bits(), whole.estimate().to_bits());
+    }
+
+    /// Space-Saving: `error ≤ N/k` and the count bracket hold regardless
+    /// of insertion order — including adversarial schedules engineered to
+    /// maximize eviction churn (rare keys round-robining against the
+    /// table, and frequency-sorted runs in both directions).
+    #[test]
+    fn space_saving_error_bound_is_order_independent(
+        freqs in prop::collection::vec(1u64..40, 3..40),
+        k in 2usize..16,
+    ) {
+        // Key i occurs freqs[i] times; three schedules over one multiset.
+        let mut ascending: Vec<u32> = Vec::new();
+        let mut order: Vec<usize> = (0..freqs.len()).collect();
+        order.sort_by_key(|&i| freqs[i]);
+        for &i in &order {
+            ascending.extend(std::iter::repeat(i as u32).take(freqs[i] as usize));
+        }
+        let descending: Vec<u32> = ascending.iter().rev().copied().collect();
+        // Churn: one copy of each still-remaining key per round, so low-
+        // frequency keys keep re-entering and evicting monitored entries.
+        let mut remaining = freqs.clone();
+        let mut churn: Vec<u32> = Vec::new();
+        loop {
+            let mut any = false;
+            for (i, r) in remaining.iter_mut().enumerate() {
+                if *r > 0 {
+                    *r -= 1;
+                    churn.push(i as u32);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        let n: u64 = freqs.iter().sum();
+        for (name, stream) in [
+            ("ascending", &ascending),
+            ("descending", &descending),
+            ("churn", &churn),
+        ] {
+            let mut ss: SpaceSaving<u32, ()> = SpaceSaving::new(k, 60.0);
+            for (i, key) in stream.iter().enumerate() {
+                ss.observe(key, i as f64 * 0.001);
+            }
+            prop_assert_eq!(ss.observed(), n);
+            for e in ss.iter_desc() {
+                let true_count = freqs[*e.key as usize];
+                prop_assert!(e.error <= n / k as u64,
+                    "{name}: error {} > N/k {}", e.error, n / k as u64);
+                prop_assert!(e.count >= true_count,
+                    "{name}: count {} < true {}", e.count, true_count);
+                prop_assert!(e.count - e.error <= true_count,
+                    "{name}: lower bound {} > true {}", e.count - e.error, true_count);
+            }
+            // Frequent-elements guarantee must also be order-independent.
+            for (i, &count) in freqs.iter().enumerate() {
+                if count > n / k as u64 {
+                    prop_assert!(ss.count(&(i as u32)).is_some(),
+                        "{name}: frequent key {i} (count {count}) evicted");
+                }
+            }
+        }
+    }
 }

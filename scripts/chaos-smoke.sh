@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Chaos smoke check: drive the feed sensor→collector path through the
+# deterministic fault-injection harness (crates/chaos) across a fixed
+# matrix of seeds × fault profiles, in release mode, and fail on the
+# first unaccounted divergence. The chaos_smoke binary prints a minimized
+# repro (seed + smallest fault script) when a run diverges.
+#
+# Usage: ./scripts/chaos-smoke.sh [seeds-per-profile] [profile ...]
+#   seeds-per-profile  default 200
+#   profile            lossless | light | heavy | flaky (default: all)
+# Exit codes: 0 ok, 1 divergence found, 2 cannot build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-200}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+echo "chaos-smoke: building release chaos binary..."
+cargo build --release -q -p chaos --bin chaos_smoke || {
+    echo "chaos-smoke: build failed" >&2
+    exit 2
+}
+
+echo "chaos-smoke: ${SEEDS} seeds per profile (${*:-all profiles})"
+exec ./target/release/chaos_smoke "$SEEDS" "$@"

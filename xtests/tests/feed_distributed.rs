@@ -3,15 +3,23 @@
 //! streaming over real TCP must reproduce, byte for byte, the TSV output
 //! of the same traffic ingested in a single process — plus exact fault
 //! accounting when a sensor dies and comes back.
+//!
+//! The crash/restart and backoff tests run the same protocol code
+//! sans-io on a virtual clock (no wall-clock sleeps): event order is
+//! stated explicitly instead of approximated with `thread::sleep`, so
+//! they are race-free and finish in microseconds of real time.
 
+use chaos::VirtualClock;
 use dns_observatory::{
     tsv, Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TimeSeriesStore, TxSummary,
 };
-use feed::{Backoff, BackoffConfig, Collector, CollectorConfig, Sensor, SensorConfig};
+use feed::{
+    Backoff, BackoffConfig, Collector, CollectorConfig, CollectorCore, FrameReader, Sensor,
+    SensorConfig, SensorMachine, SensorOp,
+};
 use psl::Psl;
 use simnet::{SimConfig, Simulation};
 use std::thread;
-use std::time::{Duration, Instant};
 
 const SENSORS: usize = 3;
 const DURATION: f64 = 3.0;
@@ -77,15 +85,8 @@ fn distributed(seed: u64) -> (TimeSeriesStore, feed::CollectorReport, Vec<feed::
 
 /// Render every window of every dataset exactly as `dnsobs` writes it.
 fn tsv_bytes(store: &TimeSeriesStore) -> Vec<(String, Vec<u8>)> {
-    let mut out = Vec::new();
-    for &(ds, _) in &obs_config(1.0).datasets {
-        for w in store.dataset(ds) {
-            let mut bytes = Vec::new();
-            tsv::write_window(&mut bytes, w).expect("tsv serializes");
-            out.push((format!("{}-{:05}", ds.name(), w.start as u64), bytes));
-        }
-    }
-    out
+    let datasets: Vec<_> = obs_config(1.0).datasets.iter().map(|&(ds, _)| ds).collect();
+    tsv::render_store(store, &datasets)
 }
 
 #[test]
@@ -118,14 +119,45 @@ fn loopback_equivalence_across_seeds() {
     }
 }
 
+/// Drive `machine` on a virtual clock until it has nothing left to do,
+/// delivering every written frame straight into `core` as connection
+/// `conn`. Returns the virtual time when the machine went quiet.
+fn pump(
+    machine: &mut SensorMachine<TxSummary>,
+    clock: &mut VirtualClock,
+    conn: u64,
+    core: &mut CollectorCore<TxSummary>,
+    out: &mut Vec<TxSummary>,
+) -> u64 {
+    let mut reader = FrameReader::<TxSummary>::new();
+    loop {
+        match machine.poll(clock.now()) {
+            SensorOp::Connect => machine.on_connected(clock.now()),
+            SensorOp::WaitUntil(t) => clock.advance_to(t),
+            SensorOp::Write(bytes) => {
+                reader.push(&bytes);
+                loop {
+                    match reader.next_frame() {
+                        Ok(Some(frame)) => {
+                            core.on_frame(conn, frame, out);
+                        }
+                        Ok(None) => break,
+                        Err(e) => core.on_bad_frame(conn, &e),
+                    }
+                }
+                machine.on_write_ok();
+            }
+            SensorOp::Idle | SensorOp::Done => return clock.now(),
+        }
+    }
+}
+
 #[test]
 fn crashed_sensor_restart_reports_exact_gap() {
-    let mut collector =
-        Collector::<TxSummary>::bind("127.0.0.1:0", CollectorConfig::new(1)).expect("bind");
-    let addr = collector.local_addr().to_string();
-    let output = collector.take_output();
-    let consumer = thread::spawn(move || output.iter().count() as u64);
-
+    // Same scenario as the old TCP version, sans-io on a virtual clock:
+    // the former 300 ms "let the collector drain the dead connection"
+    // sleep is now simply the order of events — incarnation 1 is pumped
+    // to completion before incarnation 2's HELLO exists.
     let psl = Psl::embedded();
     let mut sim = Simulation::from_config(SimConfig {
         seed: 5,
@@ -139,24 +171,23 @@ fn crashed_sensor_restart_reports_exact_gap() {
     assert!(summaries.len() > 64, "world too small");
     let half = summaries.len() / 2;
 
+    let mut clock = VirtualClock::new();
+    let mut core = CollectorCore::<TxSummary>::new(&CollectorConfig::new(1));
+    let mut out = Vec::new();
+
     // Incarnation 1: stream the first half, then die without a BYE.
     let mut cfg = SensorConfig::new(0);
     cfg.batch_items = 16;
-    let client = Sensor::connect(&addr, cfg);
+    let mut machine = SensorMachine::<TxSummary>::new(cfg);
     for s in &summaries[..half] {
-        client.send(s.clone());
+        machine.push(s.clone());
     }
-    client.flush();
-    client.wait_drained();
-    let crashed = client.abort();
+    machine.flush();
+    pump(&mut machine, &mut clock, 0, &mut core, &mut out);
+    let crashed = machine.abort();
     assert_eq!(crashed.dropped_frames, 0, "drained before the crash");
     assert!(crashed.sent_frames > 1);
-    // Let the collector finish draining the dead connection before the
-    // replacement shows up — a real restart is never faster than the
-    // collector's read poll, and starting early would make incarnation
-    // 1's final frames race incarnation 2's HELLO through the per-
-    // connection reader threads.
-    thread::sleep(Duration::from_millis(300));
+    core.on_disconnect(0, &mut out);
 
     // Incarnation 2: the crash lost GAP sealed-but-unsent frames, so the
     // restarted sensor resumes its sequence numbers past them.
@@ -164,15 +195,17 @@ fn crashed_sensor_restart_reports_exact_gap() {
     let mut cfg = SensorConfig::new(0);
     cfg.batch_items = 16;
     cfg.first_seq = crashed.next_seq + GAP;
-    let client = Sensor::connect(&addr, cfg);
+    let mut machine = SensorMachine::<TxSummary>::new(cfg);
     for s in &summaries[half..] {
-        client.send(s.clone());
+        machine.push(s.clone());
     }
-    let resumed = client.finish();
+    machine.finish();
+    pump(&mut machine, &mut clock, 1, &mut core, &mut out);
+    let resumed = machine.report();
     assert_eq!(resumed.dropped_frames, 0);
 
-    let merged = consumer.join().unwrap();
-    let report = collector.finish();
+    let report = core.finish(&mut out);
+    let merged = out.len() as u64;
     let stats = &report.sensors[&0];
 
     // The collector saw both incarnations and reports exactly the frames
@@ -204,12 +237,11 @@ fn crashed_sensor_restart_reports_exact_gap() {
 
 #[test]
 fn sensor_reconnects_within_backoff_schedule() {
-    // Reserve a port, then free it: the sensor starts against a dead
-    // address and must keep retrying on its backoff schedule.
-    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
-    let addr = probe.local_addr().unwrap().to_string();
-    drop(probe);
-
+    // The collector is down for the first 120 virtual milliseconds; the
+    // sensor must keep retrying on exactly its seeded backoff schedule
+    // and connect on the first attempt after the listener exists. The
+    // old TCP version could only bound the reconnect latency loosely
+    // (sleeps, scheduler slack); virtual time pins the whole schedule.
     let backoff = BackoffConfig {
         base_ms: 10,
         max_ms: 80,
@@ -217,36 +249,68 @@ fn sensor_reconnects_within_backoff_schedule() {
     };
     let mut cfg = SensorConfig::new(0);
     cfg.backoff = backoff;
-    let client = Sensor::connect(&addr, cfg);
+    let mut machine = SensorMachine::<TxSummary>::new(cfg);
 
     let psl = Psl::embedded();
     let mut sim = Simulation::from_config(SimConfig::small());
     let tx = &sim.collect(0.05)[0];
-    client.send(TxSummary::from_transaction(tx, &psl));
-    client.flush();
+    machine.push(TxSummary::from_transaction(tx, &psl));
+    machine.flush();
 
-    // Let a few attempts fail, then bring the collector up.
-    thread::sleep(Duration::from_millis(120));
-    let mut collector =
-        Collector::<TxSummary>::bind(&addr, CollectorConfig::new(1)).expect("rebind");
-    let up = Instant::now();
-    let output = collector.take_output();
-    let consumer = thread::spawn(move || output.iter().count());
+    // Phase 1: listener down. Every connect attempt fails; the machine
+    // must ask to wait, never busy-loop at one instant.
+    const DOWN_US: u64 = 120_000;
+    let mut clock = VirtualClock::new();
+    let mut failures = 0u64;
+    let mut observed_delays = Vec::new();
+    while clock.now() < DOWN_US {
+        match machine.poll(clock.now()) {
+            SensorOp::Connect => {
+                let before = clock.now();
+                machine.on_connect_failed(before);
+                failures += 1;
+                match machine.poll(before) {
+                    SensorOp::WaitUntil(t) => {
+                        assert!(t > before, "backoff must move time forward");
+                        observed_delays.push(t - before);
+                        clock.advance_to(t);
+                    }
+                    other => panic!("expected a backoff wait, got {other:?}"),
+                }
+            }
+            other => panic!("expected a connect attempt, got {other:?}"),
+        }
+    }
+    assert!(
+        failures >= 3,
+        "schedule retried only {failures} times in {DOWN_US}µs"
+    );
+    // The observed waits are exactly the seeded schedule, delay for
+    // delay — not merely bounded by it.
+    let mut reference = Backoff::new(backoff);
+    for (attempt, &delay) in observed_delays.iter().enumerate() {
+        let expected = reference.next_delay().as_micros() as u64;
+        assert_eq!(delay, expected, "attempt {attempt} diverged from schedule");
+    }
 
-    let report = client.finish();
-    let connected_within = up.elapsed();
-    assert_eq!(consumer.join().unwrap(), 1);
-    let stats = collector.finish();
+    // Phase 2: listener up. The pending attempt (scheduled while the
+    // listener was still down) succeeds, so the connect latency after
+    // startup is bounded by one capped backoff delay of virtual time.
+    let up_at = clock.now();
+    let mut core = CollectorCore::<TxSummary>::new(&CollectorConfig::new(1));
+    let mut out = Vec::new();
+    machine.finish();
+    pump(&mut machine, &mut clock, 0, &mut core, &mut out);
+    let report = machine.report();
+    let stats = core.finish(&mut out);
 
     assert_eq!(report.connects, 1, "one successful connection, late");
     assert_eq!(report.dropped_frames, 0);
     assert_eq!(stats.sensors[&0].items, 1);
-    // Once the listener exists, the very next scheduled attempt succeeds:
-    // the wait is bounded by one capped backoff delay plus slack for
-    // scheduling and the write itself.
-    let cap = Backoff::max_delay_for_attempt(&backoff, 32);
+    assert_eq!(out.len(), 1, "the queued item survives the outage");
+    let cap = Backoff::max_delay_for_attempt(&backoff, 32).as_micros() as u64;
     assert!(
-        connected_within < cap * 3 + Duration::from_millis(750),
-        "reconnect took {connected_within:?}, schedule cap is {cap:?}"
+        up_at - DOWN_US <= cap,
+        "first post-outage attempt at {up_at}µs, cap {cap}µs past {DOWN_US}µs"
     );
 }
