@@ -127,7 +127,9 @@ pub fn extract_org(as_name: &str) -> String {
     // Strip one trailing -NN ordinal.
     let stripped = match token.rsplit_once('-') {
         Some((left, right))
-            if !left.is_empty() && !right.is_empty() && right.chars().all(|c| c.is_ascii_digit()) =>
+            if !left.is_empty()
+                && !right.is_empty()
+                && right.chars().all(|c| c.is_ascii_digit()) =>
         {
             left
         }
@@ -144,11 +146,23 @@ mod tests {
     #[test]
     fn org_extraction() {
         assert_eq!(extract_org("AMAZON-02 - Amazon.com, Inc., US"), "AMAZON");
-        assert_eq!(extract_org("AMAZON-AES - Amazon.com, Inc., US"), "AMAZON-AES");
-        assert_eq!(extract_org("CLOUDFLARENET - Cloudflare, Inc., US"), "CLOUDFLARENET");
+        assert_eq!(
+            extract_org("AMAZON-AES - Amazon.com, Inc., US"),
+            "AMAZON-AES"
+        );
+        assert_eq!(
+            extract_org("CLOUDFLARENET - Cloudflare, Inc., US"),
+            "CLOUDFLARENET"
+        );
         assert_eq!(extract_org("GOOGLE"), "GOOGLE");
-        assert_eq!(extract_org("MICROSOFT-CORP-MSN-AS-BLOCK"), "MICROSOFT-CORP-MSN-AS-BLOCK");
-        assert_eq!(extract_org("VGRS-AC19 - VeriSign Global Registry"), "VGRS-AC19");
+        assert_eq!(
+            extract_org("MICROSOFT-CORP-MSN-AS-BLOCK"),
+            "MICROSOFT-CORP-MSN-AS-BLOCK"
+        );
+        assert_eq!(
+            extract_org("VGRS-AC19 - VeriSign Global Registry"),
+            "VGRS-AC19"
+        );
         assert_eq!(extract_org("akamai-asn1"), "AKAMAI-ASN1");
         assert_eq!(extract_org(""), "");
         assert_eq!(extract_org("ULTRADNS-4"), "ULTRADNS");

@@ -173,11 +173,23 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(PrefixParseError::MissingSlash));
-        assert_eq!("bogus/8".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
-        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!(
+            "10.0.0.0".parse::<Prefix>(),
+            Err(PrefixParseError::MissingSlash)
+        );
+        assert_eq!(
+            "bogus/8".parse::<Prefix>(),
+            Err(PrefixParseError::BadAddress)
+        );
+        assert_eq!(
+            "10.0.0.0/33".parse::<Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
         assert_eq!("::/129".parse::<Prefix>(), Err(PrefixParseError::BadLength));
-        assert_eq!("10.0.0.0/x".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!(
+            "10.0.0.0/x".parse::<Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
     }
 
     #[test]

@@ -240,7 +240,9 @@ mod tests {
         let mut list: Vec<(Prefix, u32)> = Vec::new();
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for i in 0..500u32 {

@@ -6,11 +6,13 @@ use proptest::prelude::*;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(addr)), len))
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(addr, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(addr)), len))
 }
 
 fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u128>(), 0u8..=64).prop_map(|(addr, len)| Prefix::new(IpAddr::V6(Ipv6Addr::from(addr)), len))
+    (any::<u128>(), 0u8..=64)
+        .prop_map(|(addr, len)| Prefix::new(IpAddr::V6(Ipv6Addr::from(addr)), len))
 }
 
 fn naive_lookup(routes: &[(Prefix, u32)], addr: IpAddr) -> Option<u32> {

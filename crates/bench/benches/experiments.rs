@@ -4,9 +4,7 @@
 //! cost. The full-scale regenerators are the `expt-*` binaries.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dns_observatory::analysis::{
-    asn, delays, distribution, happy, hilbert, qmin, represent, ttl,
-};
+use dns_observatory::analysis::{asn, delays, distribution, happy, hilbert, qmin, represent, ttl};
 use dns_observatory::{Dataset, Observatory, ObservatoryConfig, TimeSeriesStore};
 use simnet::{Scenario, ScenarioEvent, ScenarioKind, SimConfig, Simulation};
 use std::collections::HashSet;
@@ -25,8 +23,16 @@ fn fixture() -> &'static Fixture {
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
     FIXTURE.get_or_init(|| {
         let scenario = Scenario::from_events([
-            ScenarioEvent { at: 0.0, domain: 5, kind: ScenarioKind::SetATtl(120) },
-            ScenarioEvent { at: 10.0, domain: 5, kind: ScenarioKind::SetATtl(10) },
+            ScenarioEvent {
+                at: 0.0,
+                domain: 5,
+                kind: ScenarioKind::SetATtl(120),
+            },
+            ScenarioEvent {
+                at: 10.0,
+                domain: 5,
+                kind: ScenarioKind::SetATtl(10),
+            },
         ]);
         let mut sim = Simulation::new(SimConfig::small(), scenario);
         let mut obs = Observatory::new(ObservatoryConfig {
@@ -130,7 +136,11 @@ fn bench_experiments(c: &mut Criterion) {
     });
     g.bench_function("fig7_key_series", |b| {
         let windows = f.store.dataset(Dataset::Esld);
-        let key = &windows[0].rows.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        let key = &windows[0]
+            .rows
+            .first()
+            .map(|(k, _)| k.clone())
+            .unwrap_or_default();
         b.iter(|| black_box(ttl::key_series(&windows, key).len()))
     });
     g.bench_function("fig8_ttl_traffic_changes", |b| {

@@ -62,7 +62,9 @@ fn main() {
     let psl = Psl::embedded();
     let mut sim = Simulation::from_config(SimConfig::small());
     let mut summaries = Vec::new();
-    sim.run(5.0, &mut |tx| summaries.push(TxSummary::from_transaction(tx, &psl)));
+    sim.run(5.0, &mut |tx| {
+        summaries.push(TxSummary::from_transaction(tx, &psl))
+    });
     let exact: std::collections::HashSet<String> =
         summaries.iter().map(|s| s.qname.to_ascii()).collect();
     println!(

@@ -54,9 +54,9 @@ fn main() {
                     && (rank == 1
                         || [10, 100, 1_000, 10_000, 100_000].contains(&rank)
                         || rank == dist.ranked.len())
-                    {
-                        println!("    rank {:>6}: {:>6} {}", rank, pct(v), bar(v, 1.0, 40));
-                    }
+                {
+                    println!("    rank {:>6}: {:>6} {}", rank, pct(v), bar(v, 1.0, 40));
+                }
             }
         }
         let all = &dist.curves[0];

@@ -66,7 +66,9 @@ fn main() {
         pct(end / mid - 1.0)
     );
 
-    header(&format!("b) coverage of the full-data top-{topk} nameserver list"));
+    header(&format!(
+        "b) coverage of the full-data top-{topk} nameserver list"
+    ));
     for p in &points {
         println!(
             "  {:>4.0}%: {:>7} {}",

@@ -23,7 +23,10 @@ fn main() {
             tld: None,
         });
     });
-    println!("collected {} transactions over {duration:.0} simulated seconds", records.len());
+    println!(
+        "collected {} transactions over {duration:.0} simulated seconds",
+        records.len()
+    );
 
     header("nameservers seen vs monitoring time");
     let step = duration / 12.0;

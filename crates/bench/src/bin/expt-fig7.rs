@@ -58,7 +58,9 @@ fn main() {
             "  t={:>6.0}s{} ttl={:>5} hits={:>6} {}",
             p.start,
             marker,
-            p.top_ttl.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            p.top_ttl
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
             p.hits,
             bar(p.hits as f64, max, 40)
         );

@@ -32,7 +32,9 @@ fn main() {
             r.rank,
             r.key,
             r.a_ttl.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
-            r.neg_ttl.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            r.neg_ttl
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
             r.ttl_quotient().unwrap_or(f64::NAN),
             r.empty_aaaa_share * 100.0,
             bar(r.empty_aaaa_share, 1.0, 30)
@@ -60,8 +62,7 @@ fn main() {
         .filter(|r| r.ttl_quotient().map(|q| q <= 1.0).unwrap_or(false))
         .collect();
     if !quiet.is_empty() {
-        let mean_share =
-            quiet.iter().map(|r| r.empty_aaaa_share).sum::<f64>() / quiet.len() as f64;
+        let mean_share = quiet.iter().map(|r| r.empty_aaaa_share).sum::<f64>() / quiet.len() as f64;
         println!(
             "control: {} FQDNs with quotient <= 1 average only {} empty responses",
             quiet.len(),

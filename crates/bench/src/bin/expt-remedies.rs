@@ -118,9 +118,7 @@ fn main() {
     }
 
     let drop_vs = |o: &Outcome| 1.0 - o.transactions as f64 / baseline.transactions as f64;
-    let empty_drop = |o: &Outcome| {
-        1.0 - o.aaaa_nodata as f64 / baseline.aaaa_nodata.max(1) as f64
-    };
+    let empty_drop = |o: &Outcome| 1.0 - o.aaaa_nodata as f64 / baseline.aaaa_nodata.max(1) as f64;
     println!();
     println!(
         "remedy 1 removes {} of all transactions and {} of empty AAAA responses",

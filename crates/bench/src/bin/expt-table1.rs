@@ -28,7 +28,10 @@ fn main() {
     print!("{}", format_org_table(&table, 12));
 
     let top10: f64 = table.iter().take(10).map(|r| r.global_share).sum();
-    println!("\ntop 10 organizations carry {} of all observed transactions", pct(top10));
+    println!(
+        "\ntop 10 organizations carry {} of all observed transactions",
+        pct(top10)
+    );
 
     // The paper's anycast-vs-unicast contrast.
     let find = |name: &str| table.iter().find(|r| r.org == name);

@@ -73,8 +73,12 @@ fn main() {
         .collect();
     let (mut qmin_hits, mut all_hits) = (0u64, 0u64);
     for (key, row) in &rows {
-        let Some((resolver, server)) = key.split_once('|') else { continue };
-        let Ok(ip) = server.parse::<std::net::IpAddr>() else { continue };
+        let Some((resolver, server)) = key.split_once('|') else {
+            continue;
+        };
+        let Ok(ip) = server.parse::<std::net::IpAddr>() else {
+            continue;
+        };
         if sim_level_of(ip) == dns_observatory::analysis::qmin::ServerLevel::Other {
             continue;
         }

@@ -143,7 +143,11 @@ fn main() {
     );
     let spurious = changes
         .iter()
-        .filter(|c| !truth.iter().any(|(d, _)| c.key.ends_with(esld_of[d].as_str())))
+        .filter(|c| {
+            !truth
+                .iter()
+                .any(|(d, _)| c.key.ends_with(esld_of[d].as_str()))
+        })
         .count();
     println!("detections outside the schedule: {spurious} (hash-assigned non-conforming servers and noise)");
 }

@@ -138,7 +138,9 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"summaries\": {},\n", summaries.len()));
-    out.push_str(&format!("  \"wire_bytes_per_item\": {wire_bytes_per_item:.1},\n"));
+    out.push_str(&format!(
+        "  \"wire_bytes_per_item\": {wire_bytes_per_item:.1},\n"
+    ));
     out.push_str(&format!("  \"encode_items_per_sec\": {enc_items:.1},\n"));
     out.push_str(&format!("  \"encode_mb_per_sec\": {enc_mbps:.1},\n"));
     out.push_str(&format!("  \"decode_items_per_sec\": {dec_items:.1},\n"));

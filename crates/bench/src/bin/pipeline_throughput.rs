@@ -134,7 +134,10 @@ fn measure_allocs(txs: &[Transaction]) -> (f64, u64) {
 #[cfg(not(feature = "count-allocs"))]
 fn measure_allocs(_txs: &[Transaction]) -> (f64, u64) {
     // Keep the unused-import lints quiet in the featureless build.
-    let _ = (TopKTracker::new as fn(_, _, _, _) -> _, TxSummary::from_transaction as fn(_, _) -> _);
+    let _ = (
+        TopKTracker::new as fn(_, _, _, _) -> _,
+        TxSummary::from_transaction as fn(_, _) -> _,
+    );
     (f64::NAN, 0)
 }
 

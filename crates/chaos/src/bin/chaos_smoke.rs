@@ -21,8 +21,9 @@ fn main() {
     let profiles: Vec<FaultProfile> = {
         let named: Vec<FaultProfile> = args
             .map(|name| {
-                FaultProfile::by_name(&name)
-                    .unwrap_or_else(|| panic!("unknown profile {name:?} (lossless|light|heavy|flaky)"))
+                FaultProfile::by_name(&name).unwrap_or_else(|| {
+                    panic!("unknown profile {name:?} (lossless|light|heavy|flaky)")
+                })
             })
             .collect();
         if named.is_empty() {
@@ -58,9 +59,7 @@ fn main() {
                     });
                     eprintln!("minimized repro (seed={seed}, profile={}):", profile.name);
                     eprint!("{}", describe_plans(&minimal));
-                    eprintln!(
-                        "replay: chaos::run_planned({seed}, &ChaosConfig::default(), plans)"
-                    );
+                    eprintln!("replay: chaos::run_planned({seed}, &ChaosConfig::default(), plans)");
                     std::process::exit(1);
                 }
             }

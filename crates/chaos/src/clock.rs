@@ -29,7 +29,11 @@ impl VirtualClock {
     /// Jump forward to `t`. Panics on time travel: the harness must only
     /// ever advance to a future (or current) instant.
     pub fn advance_to(&mut self, t: u64) {
-        assert!(t >= self.now, "virtual clock moved backwards: {} -> {t}", self.now);
+        assert!(
+            t >= self.now,
+            "virtual clock moved backwards: {} -> {t}",
+            self.now
+        );
         self.now = t;
     }
 }

@@ -26,6 +26,7 @@ use feed::{
 use crate::clock::{EventQueue, VirtualClock};
 use crate::fault::{plans_for, FaultOp, FaultProfile, SensorPlan};
 use crate::item::{probe_stream, ChaosItem};
+use telemetry::Registry;
 
 /// One-way link latency of the virtual network, µs.
 pub const LINK_LATENCY_US: u64 = 200;
@@ -135,14 +136,40 @@ impl Default for ChaosConfig {
 /// Run the standard probe-item deployment for `(seed, profile)`:
 /// `config.sensors` machines, interleaved item times, plans expanded
 /// from the seed. Fully deterministic in all arguments.
-pub fn run_seed(seed: u64, profile: &FaultProfile, config: &ChaosConfig) -> ChaosOutcome<ChaosItem> {
+pub fn run_seed(
+    seed: u64,
+    profile: &FaultProfile,
+    config: &ChaosConfig,
+) -> ChaosOutcome<ChaosItem> {
+    run_seed_in(&Registry::new(), seed, profile, config)
+}
+
+/// [`run_seed`] reporting telemetry into `registry` — the entry point of
+/// the metric-reconciliation tests, which need one isolated registry per
+/// run to compare against the run's own report.
+pub fn run_seed_in(
+    registry: &Registry,
+    seed: u64,
+    profile: &FaultProfile,
+    config: &ChaosConfig,
+) -> ChaosOutcome<ChaosItem> {
     let plans = plans_for(seed, config.sensors, profile);
-    run_planned(seed, config, plans)
+    run_planned_in(registry, seed, config, plans)
 }
 
 /// [`run_seed`] with explicit plans (the minimizer's entry point: same
 /// deployment, shrunk scripts).
 pub fn run_planned(
+    seed: u64,
+    config: &ChaosConfig,
+    plans: Vec<SensorPlan>,
+) -> ChaosOutcome<ChaosItem> {
+    run_planned_in(&Registry::new(), seed, config, plans)
+}
+
+/// [`run_planned`] reporting telemetry into `registry`.
+pub fn run_planned_in(
+    registry: &Registry,
     seed: u64,
     config: &ChaosConfig,
     plans: Vec<SensorPlan>,
@@ -167,7 +194,7 @@ pub fn run_planned(
             }
         })
         .collect();
-    run(inputs)
+    run_in(registry, inputs)
 }
 
 enum Ev {
@@ -207,9 +234,18 @@ struct SensorState<T> {
 /// Drive arbitrary sensor inputs through the faulty virtual transport to
 /// completion. The only public entry point generic over the item type.
 pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> {
+    run_in(&Registry::new(), inputs)
+}
+
+/// [`run`] reporting telemetry into `registry` instead of a throwaway
+/// one, so tests can reconcile metric totals against the run's reports.
+pub fn run_in<T: FeedItem + Clone>(
+    registry: &Registry,
+    inputs: Vec<SensorInput<T>>,
+) -> ChaosOutcome<T> {
     let n = inputs.len();
     let collector_cfg = CollectorConfig::new(n as u64);
-    let mut core = CollectorCore::<T>::new(&collector_cfg);
+    let mut core = CollectorCore::<T>::with_registry(&collector_cfg, registry);
     let mut core_open = true;
     let mut delivered: Vec<T> = Vec::new();
 
@@ -242,7 +278,7 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
         }
         queue.push(last, Ev::Finish { sensor: i });
         states.push(SensorState {
-            machine: SensorMachine::new(input.config),
+            machine: SensorMachine::with_registry(input.config, registry),
             plan: input.plan,
             items: input.items.into_iter(),
             write_idx: 0,
@@ -266,10 +302,22 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
 
     // Deliver `bytes` on a connection, preserving per-connection FIFO
     // order through the monotone `last_due`.
-    fn deliver(queue: &mut EventQueue<Ev>, last_due: &mut u64, conn_id: u64, now: u64, bytes: Vec<u8>) {
+    fn deliver(
+        queue: &mut EventQueue<Ev>,
+        last_due: &mut u64,
+        conn_id: u64,
+        now: u64,
+        bytes: Vec<u8>,
+    ) {
         let due = (*last_due).max(now + LINK_LATENCY_US);
         *last_due = due;
-        queue.push(due, Ev::Deliver { conn: conn_id, bytes });
+        queue.push(
+            due,
+            Ev::Deliver {
+                conn: conn_id,
+                bytes,
+            },
+        );
     }
 
     'run: loop {
@@ -319,9 +367,11 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
                                         items,
                                         late,
                                     } => {
-                                        states[index_of[&sensor]]
-                                            .accepted
-                                            .push(AcceptedFrame { seq, items, late });
+                                        states[index_of[&sensor]].accepted.push(AcceptedFrame {
+                                            seq,
+                                            items,
+                                            late,
+                                        });
                                     }
                                     FrameOutcome::Duplicate { sensor, .. } => {
                                         states[index_of[&sensor]].duplicates += 1;
@@ -376,18 +426,18 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
         let mut progressed = true;
         while progressed {
             progressed = false;
-            for i in 0..states.len() {
+            for state in states.iter_mut() {
                 loop {
                     poll_ops += 1;
                     assert!(poll_ops < MAX_POLL_OPS, "chaos harness runaway poll loop");
                     let now = clock.now();
-                    match states[i].machine.poll(now) {
+                    match state.machine.poll(now) {
                         SensorOp::Connect => {
                             progressed = true;
-                            let idx = states[i].connect_idx;
-                            states[i].connect_idx += 1;
-                            if states[i].plan.connect_fail(idx) {
-                                states[i].machine.on_connect_failed(now);
+                            let idx = state.connect_idx;
+                            state.connect_idx += 1;
+                            if state.plan.connect_fail(idx) {
+                                state.machine.on_connect_failed(now);
                             } else {
                                 let cid = next_conn;
                                 next_conn += 1;
@@ -400,22 +450,22 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
                                         last_due: now,
                                     },
                                 );
-                                states[i].conn = Some(cid);
-                                states[i].machine.on_connected(now);
+                                state.conn = Some(cid);
+                                state.machine.on_connected(now);
                             }
                         }
                         SensorOp::Write(bytes) => {
                             progressed = true;
-                            let cid = states[i].conn.expect("write while disconnected");
+                            let cid = state.conn.expect("write while disconnected");
                             if !conns[&cid].up_sensor {
                                 // The connection died under the machine.
-                                states[i].machine.on_write_failed(now);
-                                states[i].conn = None;
+                                state.machine.on_write_failed(now);
+                                state.conn = None;
                                 continue;
                             }
-                            let idx = states[i].write_idx;
-                            states[i].write_idx += 1;
-                            let op = states[i].plan.write_op(idx);
+                            let idx = state.write_idx;
+                            state.write_idx += 1;
+                            let op = state.plan.write_op(idx);
                             let mut write_ok = true;
                             {
                                 let c = conns.get_mut(&cid).expect("conn exists");
@@ -442,7 +492,13 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
                                         }
                                     }
                                     FaultOp::Dup => {
-                                        deliver(&mut queue, &mut c.last_due, cid, now, bytes.clone());
+                                        deliver(
+                                            &mut queue,
+                                            &mut c.last_due,
+                                            cid,
+                                            now,
+                                            bytes.clone(),
+                                        );
                                         deliver(&mut queue, &mut c.last_due, cid, now, bytes);
                                     }
                                     FaultOp::Stall { us } => {
@@ -452,7 +508,13 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
                                     FaultOp::Reset { keep_permille } => {
                                         let keep = bytes.len() * keep_permille as usize / 1000;
                                         if keep > 0 {
-                                            deliver(&mut queue, &mut c.last_due, cid, now, bytes[..keep].to_vec());
+                                            deliver(
+                                                &mut queue,
+                                                &mut c.last_due,
+                                                cid,
+                                                now,
+                                                bytes[..keep].to_vec(),
+                                            );
                                         }
                                         // EOF follows whatever was delivered.
                                         let due = c.last_due.max(now + LINK_LATENCY_US);
@@ -463,33 +525,33 @@ pub fn run<T: FeedItem + Clone>(inputs: Vec<SensorInput<T>>) -> ChaosOutcome<T> 
                                 }
                             }
                             if write_ok {
-                                match states[i].machine.on_write_ok() {
+                                match state.machine.on_write_ok() {
                                     Wrote::Hello => {}
                                     Wrote::Batch { seq, items } => {
-                                        states[i].sent_batches.push((seq, items));
+                                        state.sent_batches.push((seq, items));
                                     }
-                                    Wrote::Bye => states[i].bye_sent = true,
+                                    Wrote::Bye => state.bye_sent = true,
                                 }
                             } else {
-                                states[i].machine.on_write_failed(now);
-                                states[i].conn = None;
+                                state.machine.on_write_failed(now);
+                                state.conn = None;
                             }
                         }
                         SensorOp::WaitUntil(t) => {
-                            states[i].wait_until = Some(t);
+                            state.wait_until = Some(t);
                             break;
                         }
                         SensorOp::Idle => {
-                            states[i].wait_until = None;
+                            state.wait_until = None;
                             break;
                         }
                         SensorOp::Done => {
-                            states[i].wait_until = None;
-                            if !states[i].done {
-                                states[i].done = true;
+                            state.wait_until = None;
+                            if !state.done {
+                                state.done = true;
                                 // Sensor closes its side; EOF reaches the
                                 // collector after everything in flight.
-                                if let Some(cid) = states[i].conn.take() {
+                                if let Some(cid) = state.conn.take() {
                                     if let Some(c) = conns.get_mut(&cid) {
                                         c.up_sensor = false;
                                         let due = c.last_due.max(now + LINK_LATENCY_US);

@@ -40,8 +40,8 @@ pub mod oracle;
 pub use clock::{EventQueue, VirtualClock};
 pub use fault::{plan_for, plans_for, FaultOp, FaultProfile, Rng, SensorPlan};
 pub use harness::{
-    run, run_planned, run_seed, AcceptedFrame, ChaosConfig, ChaosOutcome, SensorInput, SensorRun,
-    LINK_LATENCY_US,
+    run, run_in, run_planned, run_planned_in, run_seed, run_seed_in, AcceptedFrame, ChaosConfig,
+    ChaosOutcome, SensorInput, SensorRun, LINK_LATENCY_US,
 };
 pub use item::{probe_stream, ChaosItem};
 pub use minimize::{describe_plans, minimize_plans};

@@ -143,10 +143,7 @@ impl fmt::Display for Divergence {
     }
 }
 
-fn stats_for<'a>(
-    outcome: &'a ChaosOutcome<impl FeedItem + Clone>,
-    sensor: u64,
-) -> Option<&'a SensorStats> {
+fn stats_for(outcome: &ChaosOutcome<impl FeedItem + Clone>, sensor: u64) -> Option<&SensorStats> {
     outcome.report.sensors.get(&sensor)
 }
 
@@ -260,7 +257,10 @@ fn check_sensor<T: FeedItem + Clone>(
         if in_gaps(&stats.gaps, frame.seq) {
             return Err(Divergence::LedgerInconsistent {
                 sensor,
-                detail: format!("accepted frame seq={} sits inside a recorded gap", frame.seq),
+                detail: format!(
+                    "accepted frame seq={} sits inside a recorded gap",
+                    frame.seq
+                ),
             });
         }
     }
@@ -336,8 +336,7 @@ fn check_sensor<T: FeedItem + Clone>(
     let sent_frames = run.sent_batches.len() as u64;
     let seal_dropped = run.sealed.iter().filter(|s| s.dropped).count() as u64;
     let unsent = run.sealed.len() as u64 - seal_dropped - sent_frames;
-    if run.report.dropped_frames < seal_dropped
-        || run.report.dropped_frames > seal_dropped + unsent
+    if run.report.dropped_frames < seal_dropped || run.report.dropped_frames > seal_dropped + unsent
     {
         return Err(Divergence::CountMismatch {
             sensor,
@@ -363,8 +362,7 @@ pub fn predicted_delivery<T: FeedItem + Clone>(outcome: &ChaosOutcome<T>) -> Vec
         // Walk sealed frames in sequence order, slicing the pushed stream.
         let mut sealed: Vec<&feed::SealEvent> = run.sealed.iter().collect();
         sealed.sort_by_key(|s| s.seq);
-        let accepted: BTreeMap<u64, u64> =
-            run.accepted.iter().map(|f| (f.seq, f.late)).collect();
+        let accepted: BTreeMap<u64, u64> = run.accepted.iter().map(|f| (f.seq, f.late)).collect();
         let mut cursor = 0usize;
         let mut order = 0u64;
         for seal in sealed {
@@ -378,11 +376,7 @@ pub fn predicted_delivery<T: FeedItem + Clone>(outcome: &ChaosOutcome<T>) -> Vec
             cursor = end;
         }
     }
-    keyed.sort_by(|a, b| {
-        a.0.total_cmp(&b.0)
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     keyed.into_iter().map(|(_, _, _, item)| item).collect()
 }
 

@@ -274,7 +274,11 @@ fn mutation_misbooked_duplicate_is_caught() {
 #[test]
 fn regression_overtaken_connection_is_gap_filled() {
     let config = ChaosConfig::default();
-    let mut plans = vec![SensorPlan::clean(), SensorPlan::clean(), SensorPlan::clean()];
+    let mut plans = vec![
+        SensorPlan::clean(),
+        SensorPlan::clean(),
+        SensorPlan::clean(),
+    ];
     plans[2].write_ops = vec![
         FaultOp::Stall { us: 65_220 },
         FaultOp::Deliver,

@@ -130,14 +130,17 @@ fn lossless_chaos_is_byte_identical_to_golden() {
 #[test]
 fn lossy_chaos_matches_predicted_survivors() {
     let mut saw_loss = false;
-    for profile in [FaultProfile::light(), FaultProfile::heavy(), FaultProfile::flaky()] {
+    for profile in [
+        FaultProfile::light(),
+        FaultProfile::heavy(),
+        FaultProfile::flaky(),
+    ] {
         for seed in [7u64, 21] {
             let (all, slices) = world(seed);
             let plans = plans_for(seed, SENSORS as u64, &profile);
             let (chaotic, outcome) = chaos_tsv(seed, &slices, plans);
             let predicted = chaos::predicted_delivery(&outcome);
-            let store =
-                ThreadedPipeline::new(obs_config(), 1).run_summaries(predicted.into_iter());
+            let store = ThreadedPipeline::new(obs_config(), 1).run_summaries(predicted);
             let replayed = tsv::render_store(&store, &datasets());
             assert_same_tsv(
                 &replayed,

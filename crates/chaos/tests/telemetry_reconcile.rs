@@ -1,0 +1,226 @@
+//! The telemetry reconciliation axis of the chaos suite: under every
+//! fault profile, the metric totals exported through a run's registry
+//! must be *byte-exact* mirrors of the run's own accounting — the
+//! sensor reports, the collector report, and the differential oracle's
+//! loss ledger. No sampled, approximate, or racy telemetry: if the
+//! ledger says 17 items died in a send buffer, the counter says 17.
+
+use chaos::{check, run_seed_in, ChaosConfig, ChaosItem, ChaosOutcome, FaultProfile};
+use feed::SensorStats;
+use telemetry::{Registry, Snapshot};
+
+/// Every clause tying the registry snapshot to the run's ground truth.
+fn reconcile(seed: u64, profile: &FaultProfile, snap: &Snapshot, out: &ChaosOutcome<ChaosItem>) {
+    let ctx = format!("profile={}, seed={seed}", profile.name);
+    let summary = check(out).unwrap_or_else(|d| panic!("oracle divergence ({ctx}): {d}"));
+
+    // --- Sensor side: per-sensor labelled series == the machine's own
+    // final report, field by field.
+    for s in &out.sensors {
+        let sel = format!("{{sensor=\"{}\"}}", s.sensor_id);
+        let counter = |name: &str| snap.counter(&format!("{name}{sel}"));
+        assert_eq!(
+            counter("feed_sensor_pushed_items_total"),
+            s.pushed.len() as u64,
+            "pushed items ({ctx}, sensor {})",
+            s.sensor_id
+        );
+        assert_eq!(
+            counter("feed_sensor_sent_frames_total"),
+            s.report.sent_frames,
+            "sent frames ({ctx}, sensor {})",
+            s.sensor_id
+        );
+        assert_eq!(
+            counter("feed_sensor_sent_items_total"),
+            s.report.sent_items,
+            "sent items ({ctx}, sensor {})",
+            s.sensor_id
+        );
+        assert_eq!(
+            counter("feed_sensor_buffer_dropped_frames_total"),
+            s.report.dropped_frames,
+            "dropped frames ({ctx}, sensor {})",
+            s.sensor_id
+        );
+        assert_eq!(
+            counter("feed_sensor_buffer_dropped_items_total"),
+            s.report.dropped_items,
+            "dropped items ({ctx}, sensor {})",
+            s.sensor_id
+        );
+        assert_eq!(
+            counter("feed_sensor_connects_total"),
+            s.report.connects,
+            "connects ({ctx}, sensor {})",
+            s.sensor_id
+        );
+    }
+
+    // --- Collector side: aggregate counters == sums over the report's
+    // per-sensor ledgers.
+    let r = &out.report;
+    let total = |f: fn(&SensorStats) -> u64| r.sensors.values().map(f).sum::<u64>();
+    let clauses: &[(&str, u64)] = &[
+        ("feed_collector_frames_total", total(|s| s.frames)),
+        ("feed_collector_items_total", total(|s| s.items)),
+        (
+            "feed_collector_duplicate_frames_total",
+            total(|s| s.duplicate_frames),
+        ),
+        (
+            "feed_collector_gap_recorded_frames_total",
+            total(|s| s.gap_frames + s.gap_filled),
+        ),
+        (
+            "feed_collector_gap_filled_frames_total",
+            total(|s| s.gap_filled),
+        ),
+        ("feed_collector_crc_errors_total", total(|s| s.crc_errors)),
+        (
+            "feed_collector_decode_errors_total",
+            total(|s| s.decode_errors),
+        ),
+        ("feed_collector_late_items_total", total(|s| s.late_items)),
+        ("feed_collector_connects_total", total(|s| s.connects)),
+        ("feed_collector_byes_total", total(|s| s.byes)),
+        ("feed_collector_items_merged_total", r.items_merged),
+        (
+            "feed_collector_unattributed_errors_total",
+            r.unattributed_errors,
+        ),
+        (
+            "feed_collector_unheralded_frames_total",
+            r.unheralded_frames,
+        ),
+        (
+            "feed_collector_anonymous_disconnects_total",
+            r.anonymous_disconnects,
+        ),
+    ];
+    for (name, expected) in clauses {
+        assert_eq!(snap.counter(name), *expected, "{name} ({ctx})");
+    }
+    assert_eq!(
+        r.items_merged,
+        out.delivered.len() as u64,
+        "merged total vs delivered stream ({ctx})"
+    );
+    assert_eq!(
+        snap.gauge("feed_collector_open_gap_frames"),
+        r.total_gap_frames() as f64,
+        "open gap gauge ({ctx})"
+    );
+
+    // --- Oracle axis: the predicted loss ledger reconciles with the
+    // exported totals. Conservation first, then each category against
+    // the counter that claims to track it.
+    assert_eq!(
+        summary.pushed,
+        summary.delivered + summary.late + summary.sensor_dropped + summary.wire_lost,
+        "oracle conservation law ({ctx})"
+    );
+    assert_eq!(
+        summary.sensor_dropped,
+        snap.counter_sum("feed_sensor_buffer_dropped_items_total{"),
+        "oracle sensor drops vs sensor counters ({ctx})"
+    );
+    assert_eq!(
+        summary.crc_errors,
+        snap.counter("feed_collector_crc_errors_total"),
+        "oracle crc vs collector counter ({ctx})"
+    );
+    assert_eq!(
+        summary.duplicate_frames,
+        snap.counter("feed_collector_duplicate_frames_total"),
+        "oracle duplicates vs collector counter ({ctx})"
+    );
+    assert_eq!(
+        summary.late,
+        snap.counter("feed_collector_late_items_total"),
+        "oracle late items vs collector counter ({ctx})"
+    );
+    assert_eq!(
+        summary.delivered,
+        snap.counter("feed_collector_items_merged_total"),
+        "oracle delivered vs merge counter ({ctx})"
+    );
+    assert_eq!(
+        summary.pushed,
+        snap.counter_sum("feed_sensor_pushed_items_total{"),
+        "oracle pushed vs sensor counters ({ctx})"
+    );
+}
+
+/// One reconciled run: fresh registry, standard deployment.
+fn run_reconciled(
+    seed: u64,
+    profile: &FaultProfile,
+    config: &ChaosConfig,
+) -> ChaosOutcome<ChaosItem> {
+    let registry = Registry::new();
+    let out = run_seed_in(&registry, seed, profile, config);
+    assert!(
+        !out.truncated,
+        "profile={}, seed={seed} wedged",
+        profile.name
+    );
+    reconcile(seed, profile, &registry.snapshot(0), &out);
+    out
+}
+
+/// Acceptance criterion: metric totals reconcile exactly with the
+/// drop/gap ledger on ≥ 50 seeds per fault class (20 seeds × 3 lossy
+/// profiles = 60 runs, plus lossless as a control).
+#[test]
+fn telemetry_reconciles_on_60_lossy_schedules() {
+    let config = ChaosConfig::default();
+    let mut dropped = 0u64;
+    let mut gaps = 0u64;
+    for profile in [
+        FaultProfile::light(),
+        FaultProfile::heavy(),
+        FaultProfile::flaky(),
+    ] {
+        for seed in 0..20 {
+            let out = run_reconciled(seed, &profile, &config);
+            dropped += out
+                .sensors
+                .iter()
+                .map(|s| s.report.dropped_items)
+                .sum::<u64>();
+            gaps += out.report.total_gap_frames();
+        }
+    }
+    // The matrix must exercise the loss ledger, not coast on clean runs.
+    assert!(dropped > 0, "no sensor-side drops across the matrix");
+    assert!(gaps > 0, "no collector gaps across the matrix");
+}
+
+#[test]
+fn telemetry_reconciles_on_lossless_control() {
+    let config = ChaosConfig::default();
+    for seed in 0..5 {
+        let out = run_reconciled(seed, &FaultProfile::lossless(), &config);
+        assert_eq!(
+            out.report.total_gap_frames(),
+            0,
+            "lossless control must not gap (seed {seed})"
+        );
+    }
+}
+
+/// Stressed shapes: tiny buffers force heavy sensor-side drops; the
+/// counters must track the ledger through the abort/flush paths too.
+#[test]
+fn telemetry_reconciles_under_stressed_configs() {
+    let config = ChaosConfig {
+        sensors: 4,
+        items_per_sensor: 50,
+        batch_items: 3,
+        buffer_frames: 2,
+    };
+    for seed in 0..10 {
+        run_reconciled(seed, &FaultProfile::flaky(), &config);
+    }
+}

@@ -24,9 +24,21 @@ pub struct Level {
 
 /// The paper's ladder: minute → 10 min → hour → day.
 pub const DEFAULT_LEVELS: &[Level] = &[
-    Level { name: "10min", fan_in: 10, retention: 144 },
-    Level { name: "hour", fan_in: 6, retention: 72 },
-    Level { name: "day", fan_in: 24, retention: 60 },
+    Level {
+        name: "10min",
+        fan_in: 10,
+        retention: 144,
+    },
+    Level {
+        name: "hour",
+        fan_in: 6,
+        retention: 72,
+    },
+    Level {
+        name: "day",
+        fan_in: 24,
+        retention: 60,
+    },
 ];
 
 /// Aggregate `fan_in` consecutive window dumps of one dataset into one
@@ -61,11 +73,7 @@ pub fn rollup(windows: &[WindowDump]) -> WindowDump {
             (key, row)
         })
         .collect();
-    rows.sort_by(|a, b| {
-        b.1.hits
-            .cmp(&a.1.hits)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
     WindowDump {
         dataset,
         start: windows[0].start,
@@ -194,7 +202,9 @@ mod tests {
             ..SimConfig::small()
         });
         let mut fs = FeatureSet::new(FeatureConfig::default());
-        sim.run(secs, &mut |tx| fs.fold(&TxSummary::from_transaction(tx, &psl)));
+        sim.run(secs, &mut |tx| {
+            fs.fold(&TxSummary::from_transaction(tx, &psl))
+        });
         fs.row()
     }
 
@@ -258,8 +268,16 @@ mod tests {
     fn aggregator_cascades() {
         let r = row(0.3, 5);
         let mut agg = Aggregator::new(&[
-            Level { name: "2min", fan_in: 2, retention: 10 },
-            Level { name: "4min", fan_in: 2, retention: 10 },
+            Level {
+                name: "2min",
+                fan_in: 2,
+                retention: 10,
+            },
+            Level {
+                name: "4min",
+                fan_in: 2,
+                retention: 10,
+            },
         ]);
         for i in 0..4 {
             agg.push(dump(i as f64 * 60.0, vec![("k".into(), r.clone())]));

@@ -46,12 +46,7 @@ impl DelayCdf {
         let below5 = self.fraction_below(5.0);
         let below35 = self.fraction_below(35.0);
         let below350 = self.fraction_below(350.0);
-        [
-            below5,
-            below35 - below5,
-            below350 - below35,
-            1.0 - below350,
-        ]
+        [below5, below35 - below5, below350 - below35, 1.0 - below350]
     }
 }
 
@@ -219,10 +214,34 @@ mod tests {
     #[test]
     fn cdf_regimes_partition() {
         let delays = vec![
-            ServerDelay { q25: 1.0, median: 2.0, q75: 3.0, hops: 2.0, hits: 1 },
-            ServerDelay { q25: 8.0, median: 10.0, q75: 15.0, hops: 5.0, hits: 1 },
-            ServerDelay { q25: 50.0, median: 90.0, q75: 200.0, hops: 12.0, hits: 1 },
-            ServerDelay { q25: 300.0, median: 500.0, q75: 900.0, hops: 20.0, hits: 1 },
+            ServerDelay {
+                q25: 1.0,
+                median: 2.0,
+                q75: 3.0,
+                hops: 2.0,
+                hits: 1,
+            },
+            ServerDelay {
+                q25: 8.0,
+                median: 10.0,
+                q75: 15.0,
+                hops: 5.0,
+                hits: 1,
+            },
+            ServerDelay {
+                q25: 50.0,
+                median: 90.0,
+                q75: 200.0,
+                hops: 12.0,
+                hits: 1,
+            },
+            ServerDelay {
+                q25: 300.0,
+                median: 500.0,
+                q75: 900.0,
+                hops: 20.0,
+                hits: 1,
+            },
         ];
         let cdf = delay_cdf(&delays);
         let shares = cdf.regime_shares();
@@ -235,7 +254,12 @@ mod tests {
     #[test]
     fn rank_groups_average() {
         let rows: Vec<(String, FeatureRow)> = (0..10)
-            .map(|i| (format!("10.0.0.{i}"), row(100 - i as u64, (i + 1) as f64 * 10.0, 5.0)))
+            .map(|i| {
+                (
+                    format!("10.0.0.{i}"),
+                    row(100 - i as u64, (i + 1) as f64 * 10.0, 5.0),
+                )
+            })
             .collect();
         let delays = server_delays(&rows);
         let groups = delay_by_rank(&delays, 5);
@@ -255,10 +279,7 @@ mod tests {
                 format!("198.41.{l}.4"),
                 row(100 + l as u64, 10.0 + l as f64, 6.0),
             ));
-            rows.push((
-                format!("192.{}.6.30", 5 + l),
-                row(200, 8.0, 5.0),
-            ));
+            rows.push((format!("192.{}.6.30", 5 + l), row(200, 8.0, 5.0)));
         }
         rows.push(("10.1.2.3".to_string(), row(5_000, 99.0, 9.0)));
         let root = constellation(&rows, root_letter_of);

@@ -101,7 +101,11 @@ pub fn ipv6_turnup(windows: &[&WindowDump], key: &str, split: f64) -> Option<Ipv
     let mut after = (0u64, 0u64, 0usize);
     for w in windows {
         let Some(row) = w.get(key) else { continue };
-        let slot = if w.start < split { &mut before } else { &mut after };
+        let slot = if w.start < split {
+            &mut before
+        } else {
+            &mut after
+        };
         slot.0 += row.hits;
         slot.1 += row.ok6nil;
         slot.2 += 1;

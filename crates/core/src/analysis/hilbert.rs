@@ -142,8 +142,8 @@ mod tests {
     fn heatmap_counts_per_slash24() {
         let addrs: Vec<IpAddr> = vec![
             "60.1.2.3".parse().unwrap(),
-            "60.1.2.4".parse().unwrap(),  // same /24
-            "60.1.3.1".parse().unwrap(),  // different /24
+            "60.1.2.4".parse().unwrap(),    // same /24
+            "60.1.3.1".parse().unwrap(),    // different /24
             "2001:db8::1".parse().unwrap(), // ignored
         ];
         let map = heatmap_of(addrs, 12);

@@ -200,9 +200,18 @@ mod tests {
 
     #[test]
     fn cctld_space_counts_as_tld() {
-        assert_eq!(sim_level_of("194.1.2.10".parse().unwrap()), ServerLevel::Tld);
-        assert_eq!(sim_level_of("198.41.3.4".parse().unwrap()), ServerLevel::Root);
-        assert_eq!(sim_level_of("40.0.0.53".parse().unwrap()), ServerLevel::Other);
+        assert_eq!(
+            sim_level_of("194.1.2.10".parse().unwrap()),
+            ServerLevel::Tld
+        );
+        assert_eq!(
+            sim_level_of("198.41.3.4".parse().unwrap()),
+            ServerLevel::Root
+        );
+        assert_eq!(
+            sim_level_of("40.0.0.53".parse().unwrap()),
+            ServerLevel::Other
+        );
     }
 
     #[test]

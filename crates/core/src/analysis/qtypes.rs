@@ -88,8 +88,22 @@ pub fn format_qtype_table(rows: &[QtypeRow], top: usize) -> String {
     let mut s = String::new();
     s.push_str(&format!(
         "{:<8}{:>7}{:>7}{:>8}{:>7}{:>7}{:>7}{:>8}{:>9}{:>9}{:>7}{:>8}{:>9}{:>7}{:>6}{:>7}\n",
-        "QTYPE", "global", "data", "nodata", "nxd", "err", "qdots", "TLDs", "eSLDs", "FQDNs",
-        "valid", "TTL", "servers", "delay", "hops", "size"
+        "QTYPE",
+        "global",
+        "data",
+        "nodata",
+        "nxd",
+        "err",
+        "qdots",
+        "TLDs",
+        "eSLDs",
+        "FQDNs",
+        "valid",
+        "TTL",
+        "servers",
+        "delay",
+        "hops",
+        "size"
     ));
     for r in rows.iter().take(top) {
         s.push_str(&format!(
@@ -179,7 +193,12 @@ mod tests {
         let ns = table.iter().find(|r| r.qtype == "NS").unwrap();
         let a = table.iter().find(|r| r.qtype == "A").unwrap();
         assert!(ns.nxd > 0.6, "NS nxd share {}", ns.nxd);
-        assert!(ns.size > 2.0 * a.size, "NS size {} vs A {}", ns.size, a.size);
+        assert!(
+            ns.size > 2.0 * a.size,
+            "NS size {} vs A {}",
+            ns.size,
+            a.size
+        );
     }
 
     #[test]

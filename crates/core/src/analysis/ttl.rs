@@ -81,10 +81,7 @@ impl TtlTrafficChange {
 
 /// Compare two periods of a dataset and report keys whose dominant TTL
 /// changed, with their traffic deltas (Fig. 8's population).
-pub fn ttl_traffic_changes(
-    before: &[&WindowDump],
-    after: &[&WindowDump],
-) -> Vec<TtlTrafficChange> {
+pub fn ttl_traffic_changes(before: &[&WindowDump], after: &[&WindowDump]) -> Vec<TtlTrafficChange> {
     let mean_rows = |windows: &[&WindowDump]| -> HashMap<String, (f64, f64, Option<u64>)> {
         let mut acc: HashMap<String, (f64, f64, HashMap<u64, f64>)> = HashMap::new();
         for w in windows {

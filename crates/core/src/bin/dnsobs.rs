@@ -6,7 +6,16 @@
 //! dnsobs top ./data/srvip-60.tsv --n 10          top rows of a window by hits
 //! dnsobs collect --listen 127.0.0.1:5300         run the collector half of a feed
 //! dnsobs sensor --connect 127.0.0.1:5300         run one sensor pushing into it
+//! dnsobs status --metrics 127.0.0.1:9464         one-page health view of a run
 //! ```
+//!
+//! `simulate` and `collect` accept `--metrics ADDR` to serve the global
+//! telemetry registry as a Prometheus text endpoint while they run;
+//! `dnsobs status` scrapes that endpoint (or any Prometheus page the
+//! Observatory exported) and renders the one-page operator summary.
+//! Both writers also emit `meta-*.tsv` self-report windows next to the
+//! data files: the platform's own counters on the platform's own storage
+//! path, like the paper's `meta` dataset (§2.4).
 //!
 //! File names encode the dataset and the window start, like the paper's
 //! storage layout (§2.4). A `10min` rollup is produced alongside the
@@ -23,7 +32,8 @@
 
 use dns_observatory::aggregate::{Aggregator, Level};
 use dns_observatory::{
-    tsv, Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TimeSeriesStore, TxSummary,
+    status, tsv, Dataset, MetaReporter, Observatory, ObservatoryConfig, ThreadedPipeline,
+    TimeSeriesStore, TxSummary,
 };
 use feed::{Collector, CollectorConfig, Sensor, SensorConfig};
 use psl::Psl;
@@ -31,6 +41,9 @@ use simnet::{SimConfig, Simulation};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{MetricsServer, Registry, SystemClock, Watchdog, WatchdogCore};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +51,7 @@ fn main() {
         Some("simulate") => simulate(&args[1..]),
         Some("sensor") => sensor(&args[1..]),
         Some("collect") => collect(&args[1..]),
+        Some("status") => status_cmd(&args[1..]),
         Some("show") => show(&args[1..], usize::MAX),
         Some("top") => {
             let n = flag_value(&args[1..], "--n")
@@ -47,7 +61,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--out DIR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--out DIR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\nsensor:  simulate traffic, keep the 1/N slice owned by --index, and\n         stream its summaries to the collector (reconnects with backoff).\ncollect: accept N sensors, merge their streams in time order, run the\n         tracking pipeline, and write TSV windows like `simulate`."
+                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--out DIR] [--metrics ADDR]\n  dnsobs status [--metrics ADDR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\nsensor:  simulate traffic, keep the 1/N slice owned by --index, and\n         stream its summaries to the collector (reconnects with backoff).\ncollect: accept N sensors, merge their streams in time order, run the\n         tracking pipeline, and write TSV windows like `simulate`.\nstatus:  scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n         and print the one-page health summary."
             );
             2
         }
@@ -60,6 +74,45 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Port every `--metrics ADDR` endpoint defaults to.
+const DEFAULT_METRICS_ADDR: &str = "127.0.0.1:9464";
+
+/// Serve the global registry on `--metrics ADDR` when asked. Returns
+/// `Err` only when the flag was given and the bind failed; the server
+/// must be held alive for the duration of the run.
+fn metrics_server(args: &[String]) -> Result<Option<MetricsServer>, i32> {
+    let Some(addr) = flag_value(args, "--metrics") else {
+        return Ok(None);
+    };
+    match MetricsServer::serve(addr, Registry::global(), Arc::new(SystemClock::new())) {
+        Ok(server) => {
+            eprintln!("metrics: http://{}/metrics", server.addr());
+            Ok(Some(server))
+        }
+        Err(e) => {
+            eprintln!("cannot serve metrics on {addr}: {e}");
+            Err(1)
+        }
+    }
+}
+
+/// Write one rendered meta self-report window into `out`, named by its
+/// window start like the data files (`meta-00060.tsv`).
+fn write_meta(out: &Path, bytes: &[u8]) -> usize {
+    let start = match tsv::read_meta_window(bytes) {
+        Ok((start, _, _)) => start,
+        Err(_) => return 0,
+    };
+    let path = out.join(format!("meta-{:05}.tsv", start as u64));
+    match std::fs::write(&path, bytes) {
+        Ok(()) => 1,
+        Err(e) => {
+            eprintln!("failed writing {}: {e}", path.display());
+            0
+        }
+    }
 }
 
 fn simulate(args: &[String]) -> i32 {
@@ -78,6 +131,11 @@ fn simulate(args: &[String]) -> i32 {
         return 1;
     }
 
+    let _server = match metrics_server(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
     let cfg = SimConfig {
         seed,
         ..SimConfig::small()
@@ -92,13 +150,30 @@ fn simulate(args: &[String]) -> i32 {
         window_secs: window,
         ..ObservatoryConfig::default()
     });
-    sim.run(duration, &mut |tx| obs.ingest(tx));
+    // The meta self-report rides on stream time: one window of platform
+    // counters per data window, written next to the data files.
+    let mut meta = MetaReporter::new(Registry::global(), (window.max(1.0) * 1e6) as u64);
+    let mut meta_files = 0usize;
+    meta.tick(0);
+    sim.run(duration, &mut |tx| {
+        let at = (tx.time.max(0.0) * 1e6) as u64;
+        obs.ingest(tx);
+        if let Some(bytes) = meta.tick(at) {
+            meta_files += write_meta(&out, &bytes);
+        }
+    });
+    if let Some(bytes) = meta.finish((duration.max(0.0) * 1e6) as u64) {
+        meta_files += write_meta(&out, &bytes);
+    }
     eprintln!("ingested {} transactions", obs.ingested());
     let store = obs.finish();
 
     match write_store(&out, &store) {
         Ok(files) => {
-            eprintln!("wrote {files} TSV files to {}", out.display());
+            eprintln!(
+                "wrote {files} TSV files and {meta_files} meta report(s) to {}",
+                out.display()
+            );
             0
         }
         Err(path) => {
@@ -172,9 +247,7 @@ fn sensor(args: &[String]) -> i32 {
         return 2;
     }
 
-    eprintln!(
-        "sensor {index}/{sensors}: {duration}s of traffic (seed {seed}) -> {addr}"
-    );
+    eprintln!("sensor {index}/{sensors}: {duration}s of traffic (seed {seed}) -> {addr}");
     let psl = Psl::embedded();
     let client = Sensor::connect(addr, SensorConfig::new(index as u64));
     let mut sim = Simulation::from_config(SimConfig {
@@ -220,6 +293,14 @@ fn collect(args: &[String]) -> i32 {
         return 1;
     }
 
+    let _server = match metrics_server(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let stall_secs: f64 = flag_value(args, "--stall-threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+
     let mut collector = match Collector::<TxSummary>::bind(listen, CollectorConfig::new(sensors)) {
         Ok(c) => c,
         Err(e) => {
@@ -232,6 +313,21 @@ fn collect(args: &[String]) -> i32 {
         collector.local_addr(),
         out.display()
     );
+
+    // Stall watchdog: the collector proves liveness through its event
+    // counter; a feed frozen past the threshold gets one stderr line
+    // (and one more when it recovers).
+    let clock = Arc::new(SystemClock::new());
+    let registry = Registry::global();
+    let mut dog = WatchdogCore::new();
+    dog.watch_counter(
+        "collector_events",
+        registry.counter("feed_collector_events_total"),
+        (stall_secs.max(1.0) * 1e6) as u64,
+        telemetry::Clock::now_us(clock.as_ref()),
+    );
+    let watchdog = Watchdog::spawn_logging(dog, clock, Duration::from_millis(500)).ok();
+
     let output = collector.take_output();
     let pipeline = ThreadedPipeline::new(
         ObservatoryConfig {
@@ -241,8 +337,26 @@ fn collect(args: &[String]) -> i32 {
         },
         1,
     );
-    let store = pipeline.run_summaries(output.iter());
+    // Meta self-reports ride on the merged feed's stream time, one per
+    // data window.
+    let mut meta = MetaReporter::new(registry, (window.max(1.0) * 1e6) as u64);
+    let mut meta_files = 0usize;
+    meta.tick(0);
+    let mut last_us = 0u64;
+    let store = pipeline.run_summaries(output.iter().inspect(|s| {
+        last_us = (s.time.max(0.0) * 1e6) as u64;
+        if let Some(bytes) = meta.tick(last_us) {
+            meta_files += write_meta(&out, &bytes);
+        }
+    }));
     let report = collector.finish();
+    if let Some(dog) = watchdog {
+        dog.stop();
+    }
+    if let Some(bytes) = meta.finish(last_us) {
+        meta_files += write_meta(&out, &bytes);
+    }
+    eprintln!("wrote {meta_files} meta report(s)");
 
     eprintln!("merged {} items", report.items_merged);
     for (id, s) in &report.sensors {
@@ -270,13 +384,32 @@ fn collect(args: &[String]) -> i32 {
     }
 }
 
+/// `dnsobs status`: scrape a metrics endpoint and render the one-page
+/// operator summary.
+fn status_cmd(args: &[String]) -> i32 {
+    let addr = flag_value(args, "--metrics").unwrap_or(DEFAULT_METRICS_ADDR);
+    let text = match telemetry::fetch(addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot scrape {addr}: {e}\n(start a run with `--metrics {addr}` first)");
+            return 1;
+        }
+    };
+    let samples = telemetry::prometheus::parse(&text);
+    print!("{}", status::render_status(&samples));
+    0
+}
+
 fn write_dump(path: &Path, dump: &dns_observatory::WindowDump) -> std::io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     tsv::write_window(&mut w, dump)
 }
 
 fn show(args: &[String], top: usize) -> i32 {
-    let Some(path) = args.iter().find(|a| !a.starts_with("--") && a.ends_with(".tsv")) else {
+    let Some(path) = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".tsv"))
+    else {
         eprintln!("no .tsv file given");
         return 2;
     };

@@ -234,11 +234,7 @@ impl FeatureSet {
                 .map(|(a, b, c)| [a, b, c])
                 .unwrap_or([f64::NAN; 3])
         };
-        let tv = |t: &TopValues| {
-            t.top_n_with_share(3)
-                .into_iter()
-                .collect()
-        };
+        let tv = |t: &TopValues| t.top_n_with_share(3).into_iter().collect();
         FeatureRow {
             hits: self.hits,
             unans: self.unans,
@@ -458,7 +454,10 @@ mod tests {
         let fs = folded(1.0);
         let row = fs.row();
         let [a, b, c] = row.resp_delays;
-        assert!(a <= b && b <= c, "delay quartiles out of order: {a} {b} {c}");
+        assert!(
+            a <= b && b <= c,
+            "delay quartiles out of order: {a} {b} {c}"
+        );
         assert!(row.median_delay() > 0.0);
         let [ha, hb, hc] = row.network_hops;
         assert!(ha <= hb && hb <= hc);

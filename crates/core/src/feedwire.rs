@@ -158,7 +158,10 @@ impl FeedItem for TxSummary {
         for a in &self.ip6s {
             out.extend_from_slice(&a.octets());
         }
-        for ttl in [self.answer_ttl, self.ns_ttl, self.soa_minimum].into_iter().flatten() {
+        for ttl in [self.answer_ttl, self.ns_ttl, self.soa_minimum]
+            .into_iter()
+            .flatten()
+        {
             out.extend_from_slice(&ttl.to_le_bytes());
         }
         if let Some(d) = self.delay_ms {

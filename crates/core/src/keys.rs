@@ -147,9 +147,10 @@ impl Dataset {
 }
 
 /// How a key's canonical bytes are rendered back into presentation form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum KeyKind {
     /// Bytes are the presentation text itself (ASCII).
+    #[default]
     Text,
     /// Bytes are raw IP octets (4 or 16).
     Ip,
@@ -241,12 +242,6 @@ pub struct KeyBuf {
     kind: KeyKind,
     statik: Option<&'static str>,
     bytes: Vec<u8>,
-}
-
-impl Default for KeyKind {
-    fn default() -> Self {
-        KeyKind::Text
-    }
 }
 
 impl KeyBuf {
@@ -360,7 +355,9 @@ mod tests {
         let psl = Psl::embedded();
         let mut sim = Simulation::from_config(SimConfig::small());
         let mut out = Vec::new();
-        sim.run(1.0, &mut |tx| out.push(TxSummary::from_transaction(tx, &psl)));
+        sim.run(1.0, &mut |tx| {
+            out.push(TxSummary::from_transaction(tx, &psl))
+        });
         out
     }
 
@@ -379,7 +376,10 @@ mod tests {
             assert_eq!(keyed, sums.len(), "{} must key every tx", ds.name());
         }
         // esld drops names without a registrable domain (e.g. bare TLDs).
-        let esld_keyed = sums.iter().filter(|s| Dataset::Esld.key(s).is_some()).count();
+        let esld_keyed = sums
+            .iter()
+            .filter(|s| Dataset::Esld.key(s).is_some())
+            .count();
         assert!(esld_keyed as f64 > 0.7 * sums.len() as f64);
     }
 
@@ -391,7 +391,10 @@ mod tests {
                 assert!(s.aa && (s.ok_ans || s.ok_ns));
             }
         }
-        let kept = sums.iter().filter(|s| Dataset::AaFqdn.key(s).is_some()).count();
+        let kept = sums
+            .iter()
+            .filter(|s| Dataset::AaFqdn.key(s).is_some())
+            .count();
         assert!(kept > 0, "some AA answers expected");
         assert!(kept < sums.len(), "referrals/NXD must be filtered");
     }

@@ -42,7 +42,9 @@ pub mod analysis;
 pub mod features;
 pub mod feedwire;
 pub mod keys;
+pub mod metrics;
 pub mod pipeline;
+pub mod status;
 pub mod summarize;
 pub mod timeseries;
 pub mod topk;
@@ -50,6 +52,7 @@ pub mod tsv;
 
 pub use features::{FeatureConfig, FeatureRow, FeatureSet};
 pub use keys::{Dataset, Key, KeyBuf};
+pub use metrics::{MetaReporter, SequencerMetrics, ShardMetrics, TrackerMetrics};
 pub use pipeline::{Observatory, ObservatoryConfig, ThreadedPipeline};
 pub use summarize::{Outcome, TxSummary};
 pub use timeseries::{TimeSeriesStore, WindowDump};

@@ -5,11 +5,13 @@
 
 use crate::features::FeatureConfig;
 use crate::keys::Dataset;
+use crate::metrics::{SequencerMetrics, ShardMetrics};
 use crate::summarize::TxSummary;
 use crate::timeseries::{TimeSeriesStore, WindowDump};
 use crate::topk::TopKTracker;
 use psl::Psl;
 use simnet::Transaction;
+use telemetry::Registry;
 
 /// Observatory configuration.
 #[derive(Debug, Clone)]
@@ -185,6 +187,7 @@ pub struct ThreadedPipeline {
     cfg: ObservatoryConfig,
     workers: usize,
     shards: usize,
+    registry: Registry,
 }
 
 impl ThreadedPipeline {
@@ -208,7 +211,15 @@ impl ThreadedPipeline {
             cfg,
             workers: workers.max(1),
             shards: shards.max(1),
+            registry: Registry::global(),
         }
+    }
+
+    /// Report telemetry into `registry` instead of the global one (tests
+    /// and multi-pipeline processes that need isolated metric spaces).
+    pub fn with_registry(mut self, registry: Registry) -> ThreadedPipeline {
+        self.registry = registry;
+        self
     }
 
     /// Per-shard cache capacity for a dataset configured with capacity `k`.
@@ -248,6 +259,7 @@ impl ThreadedPipeline {
         // of batches is bounded by the task channel anyway.
         let (recycle_tx, recycle_rx) = unbounded::<Vec<Transaction>>();
         let (shard_txs, shard_rxs) = shard_channels(shards);
+        let seq_metrics = SequencerMetrics::register(&self.registry, shards);
 
         let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
@@ -278,15 +290,18 @@ impl ThreadedPipeline {
 
             let shard_handles: Vec<_> = shard_rxs
                 .into_iter()
-                .map(|rx| {
+                .enumerate()
+                .map(|(sh, rx)| {
                     let cfg = &self.cfg;
-                    scope.spawn(move || shard_loop(rx, cfg, shards))
+                    let metrics = ShardMetrics::register(&self.registry, sh, &datasets);
+                    scope.spawn(move || shard_loop(rx, cfg, shards, metrics))
                 })
                 .collect();
 
             let datasets: &[Dataset] = &datasets;
-            let sequencer =
-                scope.spawn(move || sequencer_loop(done_rx, shard_txs, datasets, window_secs));
+            let sequencer = scope.spawn(move || {
+                sequencer_loop(done_rx, shard_txs, datasets, window_secs, seq_metrics)
+            });
 
             // Feeder (this thread): chunk the input, reusing drained
             // batch Vecs from the recycle channel.
@@ -336,20 +351,24 @@ impl ThreadedPipeline {
 
         let (done_tx, done_rx) = bounded::<(u64, Vec<TxSummary>)>(4);
         let (shard_txs, shard_rxs) = shard_channels(shards);
+        let seq_metrics = SequencerMetrics::register(&self.registry, shards);
 
         let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
             let shard_handles: Vec<_> = shard_rxs
                 .into_iter()
-                .map(|rx| {
+                .enumerate()
+                .map(|(sh, rx)| {
                     let cfg = &self.cfg;
-                    scope.spawn(move || shard_loop(rx, cfg, shards))
+                    let metrics = ShardMetrics::register(&self.registry, sh, &datasets);
+                    scope.spawn(move || shard_loop(rx, cfg, shards, metrics))
                 })
                 .collect();
 
             let datasets: &[Dataset] = &datasets;
-            let sequencer =
-                scope.spawn(move || sequencer_loop(done_rx, shard_txs, datasets, window_secs));
+            let sequencer = scope.spawn(move || {
+                sequencer_loop(done_rx, shard_txs, datasets, window_secs, seq_metrics)
+            });
 
             let mut it = summaries.into_iter();
             let mut seq = 0u64;
@@ -397,6 +416,7 @@ fn shard_loop(
     rx: crossbeam_channel::Receiver<ShardMsg>,
     cfg: &ObservatoryConfig,
     shards: usize,
+    mut metrics: ShardMetrics,
 ) -> ShardWindows {
     let mut trackers: Vec<TopKTracker> = cfg
         .datasets
@@ -413,8 +433,10 @@ fn shard_loop(
     let mut prev = vec![(0u64, 0u64, 0u64); trackers.len()];
     let mut windows: ShardWindows = Vec::new();
     for msg in rx.iter() {
+        metrics.queue_depth.add(-1.0);
         match msg {
             ShardMsg::Batch { summaries, assign } => {
+                let t0 = std::time::Instant::now();
                 for (idx, mask) in assign {
                     let s = &summaries[idx as usize];
                     for (d, t) in trackers.iter_mut().enumerate() {
@@ -423,8 +445,10 @@ fn shard_loop(
                         }
                     }
                 }
+                metrics.batch_seconds.record(t0.elapsed().as_secs_f64());
             }
             ShardMsg::Watermark { start } => {
+                let tracker_metrics = &mut metrics.trackers;
                 let parts = trackers
                     .iter_mut()
                     .enumerate()
@@ -433,7 +457,9 @@ fn shard_loop(
                         let (k, dr, f) = t.stats();
                         let (pk, pd, pf) = prev[i];
                         prev[i] = (k, dr, f);
-                        (rows, (k - pk, dr - pd, f - pf))
+                        let delta = (k - pk, dr - pd, f - pf);
+                        tracker_metrics[i].flush(t, delta);
+                        (rows, delta)
                     })
                     .collect();
                 windows.push((start, parts));
@@ -451,6 +477,7 @@ fn sequencer_loop(
     shard_txs: Vec<crossbeam_channel::Sender<ShardMsg>>,
     datasets: &[Dataset],
     window_secs: f64,
+    metrics: SequencerMetrics,
 ) {
     use crate::keys::KeyBuf;
     use std::collections::BTreeMap;
@@ -472,11 +499,15 @@ fn sequencer_loop(
     let mut masks: Vec<u16> = vec![0; shards];
     let mut pending: Vec<Vec<(u32, u16)>> = vec![Vec::new(); shards];
 
+    let queue_depth = &metrics.queue_depth;
     let flush = |pending: &mut Vec<Vec<(u32, u16)>>,
                  batch: &Arc<Vec<TxSummary>>,
                  shard_txs: &[crossbeam_channel::Sender<ShardMsg>]| {
         for (sh, assign) in pending.iter_mut().enumerate() {
             if !assign.is_empty() {
+                // Gauge first: the bounded channel may block, and the
+                // depth should reflect the message the shard will see.
+                queue_depth[sh].add(1.0);
                 shard_txs[sh]
                     .send(ShardMsg::Batch {
                         summaries: Arc::clone(batch),
@@ -492,6 +523,8 @@ fn sequencer_loop(
         while let Some(batch) = hold.remove(&next_seq) {
             next_seq += 1;
             let batch = Arc::new(batch);
+            metrics.batches.inc(1);
+            metrics.ingested.inc(batch.len() as u64);
             for (i, s) in batch.iter().enumerate() {
                 let start = *window_start.get_or_insert(s.time);
                 if s.time >= start + window_secs {
@@ -500,10 +533,13 @@ fn sequencer_loop(
                     // exactly as the single-threaded Observatory dumps
                     // before observing.
                     flush(&mut pending, &batch, &shard_txs);
-                    for tx in &shard_txs {
+                    for (sh, tx) in shard_txs.iter().enumerate() {
+                        queue_depth[sh].add(1.0);
                         tx.send(ShardMsg::Watermark { start })
                             .unwrap_or_else(|_| panic!("shard thread alive"));
                     }
+                    metrics.windows.inc(1);
+                    metrics.watermark_lag_seconds.set(s.time - start);
                     let skipped = ((s.time - start) / window_secs).floor();
                     window_start = Some(start + skipped * window_secs);
                 }
@@ -536,10 +572,12 @@ fn sequencer_loop(
     // Final partial window, matching `Observatory::finish`.
     if let Some(start) = window_start {
         if ingested > 0 {
-            for tx in &shard_txs {
+            for (sh, tx) in shard_txs.iter().enumerate() {
+                queue_depth[sh].add(1.0);
                 tx.send(ShardMsg::Watermark { start })
                     .unwrap_or_else(|_| panic!("shard thread alive"));
             }
+            metrics.windows.inc(1);
         }
     }
 }
@@ -822,8 +860,7 @@ mod tests {
         let mut sim = Simulation::from_config(SimConfig::small());
         let txs = sim.collect(1.5);
         let from_vec = ThreadedPipeline::new(small_cfg(), 2).run(txs.clone());
-        let from_iter =
-            ThreadedPipeline::new(small_cfg(), 2).run(txs.into_iter().filter(|_| true));
+        let from_iter = ThreadedPipeline::new(small_cfg(), 2).run(txs.into_iter().filter(|_| true));
         assert_eq!(from_vec.windows().len(), from_iter.windows().len());
         for (a, b) in from_vec.windows().iter().zip(from_iter.windows()) {
             assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
@@ -854,9 +891,63 @@ mod tests {
         for (a, b) in single.windows().iter().zip(threaded.windows()) {
             assert_eq!(a.dataset, b.dataset);
             assert_eq!(a.start, b.start);
-            assert_eq!((a.kept, a.dropped, a.filtered), (b.kept, b.dropped, b.filtered));
+            assert_eq!(
+                (a.kept, a.dropped, a.filtered),
+                (b.kept, b.dropped, b.filtered)
+            );
             assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
         }
+    }
+
+    /// The telemetry counters must reconcile exactly with the store the
+    /// pipeline produced: ingested matches the input, and each dataset's
+    /// kept/dropped/filtered counters equal the per-window TSV totals.
+    #[test]
+    fn telemetry_reconciles_with_store() {
+        let registry = Registry::new();
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(2.0);
+        let total = txs.len() as u64;
+        let store = ThreadedPipeline::with_shards(small_cfg(), 2, 3)
+            .with_registry(registry.clone())
+            .run(txs);
+        let snap = registry.snapshot(0);
+        assert_eq!(snap.counter("pipeline_ingested_total"), total);
+        assert!(snap.counter("pipeline_batches_total") > 0);
+        let boundaries = snap.counter("pipeline_windows_total");
+        assert_eq!(
+            boundaries as usize,
+            store.dataset(Dataset::SrvIp).len(),
+            "one watermark broadcast per produced window"
+        );
+        for ds in [Dataset::SrvIp, Dataset::Qtype] {
+            let from_store: (u64, u64, u64) =
+                store.dataset(ds).iter().fold((0, 0, 0), |(k, d, f), w| {
+                    (k + w.kept, d + w.dropped, f + w.filtered)
+                });
+            let sel = |what: &str| {
+                snap.counter_sum(&format!("pipeline_{what}_total{{dataset=\"{}\"", ds.name()))
+            };
+            assert_eq!(
+                (sel("kept"), sel("dropped"), sel("filtered")),
+                from_store,
+                "{} counters must mirror the TSV totals",
+                ds.name()
+            );
+        }
+        // Every queued message was consumed: the depth gauges are back
+        // to zero once the run returns.
+        for sh in 0..3 {
+            assert_eq!(
+                snap.gauge(&format!("pipeline_queue_depth{{shard=\"{sh}\"}}")),
+                0.0
+            );
+        }
+        // Each batch was timed.
+        let h = snap
+            .histogram("pipeline_batch_seconds")
+            .expect("batch histogram registered");
+        assert!(h.count > 0);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! `dnsobs status` — a one-screen summary of a live `/metrics` scrape.
+//!
+//! Input is the parsed Prometheus exposition ([`telemetry::prometheus::parse`]),
+//! so the renderer is a pure function over a name→value map and testable
+//! without a running server. Sections appear only when their metrics do,
+//! so the same screen serves a sensor, a collector, or a full pipeline.
+
+use telemetry::prometheus::Samples;
+
+/// Sum every sample of `base`: the plain series plus all labeled ones
+/// (`base{...}`). Returns `None` when the metric is entirely absent.
+fn sum(samples: &Samples, base: &str) -> Option<f64> {
+    let mut total = 0.0;
+    let mut seen = false;
+    let prefix = format!("{base}{{");
+    for (name, v) in samples {
+        if name == base || name.starts_with(&prefix) {
+            total += v;
+            seen = true;
+        }
+    }
+    seen.then_some(total)
+}
+
+/// Every `(label-set, value)` of `base`, for per-shard/per-sensor lines.
+fn series<'a>(samples: &'a Samples, base: &str) -> Vec<(&'a str, f64)> {
+    let prefix = format!("{base}{{");
+    samples
+        .iter()
+        .filter_map(|(name, v)| {
+            if name == base {
+                Some(("", *v))
+            } else {
+                name.strip_prefix(&prefix)
+                    .and_then(|rest| rest.strip_suffix('}'))
+                    .map(|labels| (labels, *v))
+            }
+        })
+        .collect()
+}
+
+fn fmt_count(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn push_line(out: &mut String, key: &str, value: String) {
+    out.push_str(&format!("  {key:<28} {value}\n"));
+}
+
+/// Render the status screen. Returns a multi-line string ending in `\n`;
+/// "no metrics" when the scrape was empty.
+pub fn render_status(samples: &Samples) -> String {
+    let mut out = String::new();
+
+    if let Some(ingested) = sum(samples, "pipeline_ingested_total") {
+        out.push_str("pipeline\n");
+        push_line(&mut out, "ingested", fmt_count(ingested));
+        if let Some(w) = sum(samples, "pipeline_windows_total") {
+            push_line(&mut out, "windows closed", fmt_count(w));
+        }
+        if let Some(lag) = sum(samples, "pipeline_watermark_lag_seconds") {
+            push_line(&mut out, "watermark lag (s)", format!("{lag:.3}"));
+        }
+        let depths = series(samples, "pipeline_queue_depth");
+        if !depths.is_empty() {
+            let total: f64 = depths.iter().map(|(_, v)| v).sum();
+            push_line(
+                &mut out,
+                "queued batches",
+                format!("{} across {} shard(s)", fmt_count(total), depths.len()),
+            );
+        }
+        if let (Some(c), Some(s)) = (
+            sum(samples, "pipeline_batch_seconds_count"),
+            sum(samples, "pipeline_batch_seconds_sum"),
+        ) {
+            if c > 0.0 {
+                push_line(
+                    &mut out,
+                    "batch latency mean (ms)",
+                    format!("{:.3} over {} batches", 1e3 * s / c, fmt_count(c)),
+                );
+            }
+        }
+    }
+
+    if let Some(kept) = sum(samples, "pipeline_kept_total") {
+        let dropped = sum(samples, "pipeline_dropped_total").unwrap_or(0.0);
+        let filtered = sum(samples, "pipeline_filtered_total").unwrap_or(0.0);
+        out.push_str("trackers\n");
+        push_line(
+            &mut out,
+            "kept / dropped / filtered",
+            format!(
+                "{} / {} / {}",
+                fmt_count(kept),
+                fmt_count(dropped),
+                fmt_count(filtered)
+            ),
+        );
+        if let Some(ev) = sum(samples, "topk_evictions_total") {
+            push_line(&mut out, "top-k evictions", fmt_count(ev));
+        }
+        if let Some(m) = sum(samples, "topk_monitored") {
+            push_line(&mut out, "monitored objects", fmt_count(m));
+        }
+    }
+
+    if let Some(frames) = sum(samples, "feed_collector_frames_total") {
+        out.push_str("collector\n");
+        let items = sum(samples, "feed_collector_items_total").unwrap_or(0.0);
+        push_line(
+            &mut out,
+            "frames / items",
+            format!("{} / {}", fmt_count(frames), fmt_count(items)),
+        );
+        if let Some(s) = sum(samples, "feed_collector_sensors") {
+            push_line(&mut out, "sensors connected", fmt_count(s));
+        }
+        let gaps = sum(samples, "feed_collector_gap_recorded_frames_total").unwrap_or(0.0);
+        let open = sum(samples, "feed_collector_open_gap_frames").unwrap_or(0.0);
+        let crc = sum(samples, "feed_collector_crc_errors_total").unwrap_or(0.0);
+        push_line(
+            &mut out,
+            "gap frames (open) / crc",
+            format!(
+                "{} ({}) / {}",
+                fmt_count(gaps),
+                fmt_count(open),
+                fmt_count(crc)
+            ),
+        );
+        if let Some(late) = sum(samples, "feed_collector_late_items_total") {
+            push_line(&mut out, "late items", fmt_count(late));
+        }
+    }
+
+    let pushed = series(samples, "feed_sensor_pushed_items_total");
+    if !pushed.is_empty() {
+        out.push_str("sensors\n");
+        for (labels, v) in &pushed {
+            let sent = lookup(samples, "feed_sensor_sent_items_total", labels).unwrap_or(0.0);
+            let dropped =
+                lookup(samples, "feed_sensor_buffer_dropped_items_total", labels).unwrap_or(0.0);
+            let who = label_value(labels, "sensor").unwrap_or(labels);
+            push_line(
+                &mut out,
+                &format!("sensor {who}"),
+                format!(
+                    "pushed {} sent {} dropped {}",
+                    fmt_count(*v),
+                    fmt_count(sent),
+                    fmt_count(dropped)
+                ),
+            );
+        }
+    }
+
+    if let Some(tx) = sum(samples, "simnet_transactions_total") {
+        out.push_str("simnet\n");
+        push_line(&mut out, "transactions", fmt_count(tx));
+        if let Some(secs) = sum(samples, "simnet_stream_seconds") {
+            if secs > 0.0 {
+                push_line(&mut out, "tx/s (stream time)", format!("{:.0}", tx / secs));
+            }
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("no metrics\n");
+    }
+    out
+}
+
+/// Value of `base{labels}` exactly.
+fn lookup(samples: &Samples, base: &str, labels: &str) -> Option<f64> {
+    samples.get(&format!("{base}{{{labels}}}")).copied()
+}
+
+/// Extract one label's value out of a `k="v",...` label string.
+fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("{key}=\"");
+    let start = labels.find(&pat)? + pat.len();
+    let end = labels[start..].find('"')? + start;
+    Some(&labels[start..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pairs: &[(&str, f64)]) -> Samples {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn empty_scrape_says_so() {
+        assert_eq!(render_status(&Samples::new()), "no metrics\n");
+    }
+
+    #[test]
+    fn pipeline_section_sums_labeled_series() {
+        let s = samples(&[
+            ("pipeline_ingested_total", 1000.0),
+            ("pipeline_windows_total", 4.0),
+            ("pipeline_queue_depth{shard=\"0\"}", 2.0),
+            ("pipeline_queue_depth{shard=\"1\"}", 3.0),
+            ("pipeline_kept_total{dataset=\"srvip\",shard=\"0\"}", 700.0),
+            ("pipeline_kept_total{dataset=\"srvip\",shard=\"1\"}", 300.0),
+            ("pipeline_dropped_total{dataset=\"srvip\",shard=\"0\"}", 5.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("pipeline\n"));
+        assert!(text.contains("ingested"));
+        assert!(text.contains("1000"));
+        assert!(text.contains("5 across 2 shard(s)"));
+        assert!(text.contains("1000 / 5 / 0"));
+    }
+
+    #[test]
+    fn collector_and_sensor_sections() {
+        let s = samples(&[
+            ("feed_collector_frames_total", 42.0),
+            ("feed_collector_items_total", 420.0),
+            ("feed_collector_gap_recorded_frames_total", 3.0),
+            ("feed_collector_open_gap_frames", 1.0),
+            ("feed_collector_crc_errors_total", 2.0),
+            ("feed_sensor_pushed_items_total{sensor=\"7\"}", 500.0),
+            ("feed_sensor_sent_items_total{sensor=\"7\"}", 480.0),
+            ("feed_sensor_buffer_dropped_items_total{sensor=\"7\"}", 20.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("collector\n"));
+        assert!(text.contains("42 / 420"));
+        assert!(text.contains("3 (1) / 2"));
+        assert!(text.contains("sensor 7"));
+        assert!(text.contains("pushed 500 sent 480 dropped 20"));
+    }
+
+    #[test]
+    fn simnet_rate_uses_stream_time() {
+        let s = samples(&[
+            ("simnet_transactions_total", 5000.0),
+            ("simnet_stream_seconds", 10.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("simnet\n"));
+        assert!(text.contains("500"));
+    }
+
+    #[test]
+    fn label_value_extracts() {
+        assert_eq!(
+            label_value("dataset=\"srvip\",sensor=\"3\"", "sensor"),
+            Some("3")
+        );
+        assert_eq!(label_value("dataset=\"srvip\"", "sensor"), None);
+    }
+}

@@ -129,12 +129,7 @@ impl TxSummary {
             .question()
             .cloned()
             .unwrap_or_else(|| dnswire::Question::new(Name::root(), RecordType::Any));
-        let do_flag = tx
-            .query
-            .edns
-            .as_ref()
-            .map(|e| e.dnssec_ok)
-            .unwrap_or(false);
+        let do_flag = tx.query.edns.as_ref().map(|e| e.dnssec_ok).unwrap_or(false);
         let mut s = TxSummary {
             time: tx.time,
             resolver: tx.resolver,
@@ -262,10 +257,9 @@ impl TxSummary {
                     }
                     self.ns_name_hashes.push(hash_bytes(name.as_wire()));
                 }
-                RData::Soa(soa)
-                    if section == Section::Authority && self.soa_minimum.is_none() => {
-                        self.soa_minimum = Some(soa.minimum);
-                    }
+                RData::Soa(soa) if section == Section::Authority && self.soa_minimum.is_none() => {
+                    self.soa_minimum = Some(soa.minimum);
+                }
                 RData::Rrsig(_) => has_rrsig = true,
                 _ => {}
             }
@@ -347,10 +341,22 @@ mod tests {
     fn summaries_cover_outcomes() {
         let sums = collect_summaries(2.0);
         assert!(sums.len() > 200);
-        let ok = sums.iter().filter(|s| s.outcome == Outcome::NoError).count();
-        let nxd = sums.iter().filter(|s| s.outcome == Outcome::NxDomain).count();
-        let unans = sums.iter().filter(|s| s.outcome == Outcome::Unanswered).count();
-        assert!(ok > 0 && nxd > 0 && unans > 0, "ok={ok} nxd={nxd} unans={unans}");
+        let ok = sums
+            .iter()
+            .filter(|s| s.outcome == Outcome::NoError)
+            .count();
+        let nxd = sums
+            .iter()
+            .filter(|s| s.outcome == Outcome::NxDomain)
+            .count();
+        let unans = sums
+            .iter()
+            .filter(|s| s.outcome == Outcome::Unanswered)
+            .count();
+        assert!(
+            ok > 0 && nxd > 0 && unans > 0,
+            "ok={ok} nxd={nxd} unans={unans}"
+        );
     }
 
     #[test]

@@ -32,10 +32,7 @@ impl WindowDump {
 
     /// Look up a key's row.
     pub fn get(&self, key: &str) -> Option<&FeatureRow> {
-        self.rows
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, r)| r)
+        self.rows.iter().find(|(k, _)| k == key).map(|(_, r)| r)
     }
 }
 
@@ -144,7 +141,12 @@ pub(crate) fn merge_rows(total: &mut FeatureRow, other: &FeatureRow) {
     merge_tops(&mut total.nsttl_top, &other.nsttl_top, w_total, w_other);
     merge_tops(&mut total.negttl_top, &other.negttl_top, w_total, w_other);
     merge_tops(&mut total.a_data_top, &other.a_data_top, w_total, w_other);
-    merge_tops(&mut total.ns_names_top, &other.ns_names_top, w_total, w_other);
+    merge_tops(
+        &mut total.ns_names_top,
+        &other.ns_names_top,
+        w_total,
+        w_other,
+    );
     for i in 0..3 {
         total.resp_delays[i] = nan_add(total.resp_delays[i], other.resp_delays[i]);
         total.network_hops[i] = nan_add(total.network_hops[i], other.network_hops[i]);
@@ -229,7 +231,9 @@ mod tests {
             ..SimConfig::small()
         });
         let mut fs = FeatureSet::new(FeatureConfig::default());
-        sim.run(secs, &mut |tx| fs.fold(&TxSummary::from_transaction(tx, &psl)));
+        sim.run(secs, &mut |tx| {
+            fs.fold(&TxSummary::from_transaction(tx, &psl))
+        });
         fs.row()
     }
 

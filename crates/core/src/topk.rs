@@ -107,6 +107,23 @@ impl TopKTracker {
         (self.kept, self.dropped, self.filtered)
     }
 
+    /// Monitored objects displaced so far (Space-Saving `replace_min`
+    /// calls) — the churn number the telemetry layer exports.
+    pub fn evictions(&self) -> u64 {
+        self.ss.evictions()
+    }
+
+    /// Smallest monitored count — the Space-Saving error bound on any
+    /// reported frequency.
+    pub fn min_count(&self) -> u64 {
+        self.ss.min_count()
+    }
+
+    /// Worst-case over-count bound (observed / capacity).
+    pub fn error_bound(&self) -> u64 {
+        self.ss.error_bound()
+    }
+
     /// Capture one window: render every object's features, reset the
     /// feature state, keep the top-k list intact.
     ///
@@ -118,12 +135,13 @@ impl TopKTracker {
         // One pass: residency comes straight from each entry's insertion
         // time, so only emitted rows pay a key rendering (and nothing is
         // cloned into a side set, as the old two-pass version did).
-        self.ss.for_each_value(|key, _count, _rate, inserted_at, fs| {
-            if inserted_at <= window_start && fs.hits() > 0 {
-                rows.push((key.render(), fs.row()));
-            }
-            fs.reset();
-        });
+        self.ss
+            .for_each_value(|key, _count, _rate, inserted_at, fs| {
+                if inserted_at <= window_start && fs.hits() > 0 {
+                    rows.push((key.render(), fs.row()));
+                }
+                fs.reset();
+            });
         // Deterministic output order: by hits desc, then key.
         rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
         rows

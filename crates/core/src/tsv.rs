@@ -9,11 +9,49 @@ use std::io::{self, BufRead, Write};
 
 /// Column names, in file order.
 pub const COLUMNS: &[&str] = &[
-    "key", "hits", "unans", "ok", "nxd", "rfs", "fail", "ok_ans", "ok_ns", "ok_add", "ok_nil",
-    "ok6", "ok6nil", "ok_sec", "srvips", "srcips", "sources", "qnamesa", "qnames", "tlds",
-    "eslds", "qtypes", "ip4s", "ip6s", "qdots", "qdots_max", "lvl", "nslvl", "ttl_top", "ttl_a_top",
-    "nsttl_top", "negttl_top", "a_data_top", "ns_names_top", "delay_q25", "delay_q50",
-    "delay_q75", "hops_q25", "hops_q50", "hops_q75", "size_q25", "size_q50", "size_q75",
+    "key",
+    "hits",
+    "unans",
+    "ok",
+    "nxd",
+    "rfs",
+    "fail",
+    "ok_ans",
+    "ok_ns",
+    "ok_add",
+    "ok_nil",
+    "ok6",
+    "ok6nil",
+    "ok_sec",
+    "srvips",
+    "srcips",
+    "sources",
+    "qnamesa",
+    "qnames",
+    "tlds",
+    "eslds",
+    "qtypes",
+    "ip4s",
+    "ip6s",
+    "qdots",
+    "qdots_max",
+    "lvl",
+    "nslvl",
+    "ttl_top",
+    "ttl_a_top",
+    "nsttl_top",
+    "negttl_top",
+    "a_data_top",
+    "ns_names_top",
+    "delay_q25",
+    "delay_q50",
+    "delay_q75",
+    "hops_q25",
+    "hops_q50",
+    "hops_q75",
+    "size_q25",
+    "size_q50",
+    "size_q75",
 ];
 
 fn fmt_tops(tops: &[(u64, f64)]) -> String {
@@ -180,6 +218,74 @@ pub fn read_window<R: BufRead>(r: R) -> io::Result<WindowDump> {
     Ok(dump)
 }
 
+/// Column names of the `meta` self-report files, in file order.
+pub const META_COLUMNS: &[&str] = &["metric", "value"];
+
+/// Write one telemetry self-report window in the same shape as the data
+/// files: column header first, one row per metric, `#totals` last. The
+/// dataset name is always `meta`, so the files sort next to the real
+/// datasets in an output directory.
+pub fn write_meta_window<W: Write>(
+    w: &mut W,
+    start: f64,
+    length: f64,
+    rows: &[(String, f64)],
+) -> io::Result<()> {
+    writeln!(w, "{}", META_COLUMNS.join("\t"))?;
+    for (metric, value) in rows {
+        // Counters dominate; print them without a fractional tail so the
+        // files diff cleanly, falling back to full precision for gauges.
+        if value.fract() == 0.0 && value.abs() < 9.0e15 {
+            writeln!(w, "{metric}\t{}", *value as i64)?;
+        } else {
+            writeln!(w, "{metric}\t{value}")?;
+        }
+    }
+    writeln!(
+        w,
+        "#totals\tdataset=meta\tstart={start}\tlength={length}\tmetrics={}",
+        rows.len()
+    )
+}
+
+/// A parsed meta self-report: `(start, length, rows)`.
+pub type MetaWindow = (f64, f64, Vec<(String, f64)>);
+
+/// Parse a meta self-report produced by [`write_meta_window`].
+pub fn read_meta_window<R: BufRead>(r: R) -> io::Result<MetaWindow> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty file"))??;
+    if header != META_COLUMNS.join("\t") {
+        return Err(bad("unexpected meta header"));
+    }
+    let (mut start, mut length) = (0.0f64, 0.0f64);
+    let mut rows = Vec::new();
+    for line in lines {
+        let line = line?;
+        if let Some(rest) = line.strip_prefix("#totals\t") {
+            for field in rest.split('\t') {
+                if let Some((k, v)) = field.split_once('=') {
+                    match k {
+                        "start" => start = v.parse().map_err(|_| bad("bad start"))?,
+                        "length" => length = v.parse().map_err(|_| bad("bad length"))?,
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        let (metric, value) = line.split_once('\t').ok_or_else(|| bad("bad meta row"))?;
+        rows.push((
+            metric.to_string(),
+            value.parse().map_err(|_| bad("bad meta value"))?,
+        ));
+    }
+    Ok((start, length, rows))
+}
+
 fn parse_row(line: &str) -> Option<(String, FeatureRow)> {
     let f: Vec<&str> = line.split('\t').collect();
     if f.len() != COLUMNS.len() {
@@ -245,7 +351,9 @@ mod tests {
         let psl = Psl::embedded();
         let mut sim = Simulation::from_config(SimConfig::small());
         let mut fs = FeatureSet::new(FeatureConfig::default());
-        sim.run(1.0, &mut |tx| fs.fold(&TxSummary::from_transaction(tx, &psl)));
+        sim.run(1.0, &mut |tx| {
+            fs.fold(&TxSummary::from_transaction(tx, &psl))
+        });
         WindowDump {
             dataset: "srvip".into(),
             start: 0.0,
@@ -313,6 +421,36 @@ mod tests {
         lines[1] = lines[1].split('\t').take(5).collect::<Vec<_>>().join("\t");
         let broken = lines.join("\n");
         assert!(read_window(broken.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn meta_window_roundtrips() {
+        let rows = vec![
+            ("pipeline_ingested_total".to_string(), 12_345.0),
+            ("pipeline_watermark_lag_seconds".to_string(), 0.125),
+        ];
+        let mut buf = Vec::new();
+        write_meta_window(&mut buf, 60.0, 60.0, &rows).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("metric\tvalue\n"));
+        assert!(text.contains("pipeline_ingested_total\t12345\n"));
+        assert!(text
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("#totals\tdataset=meta"));
+        let (start, length, parsed) = read_meta_window(&buf[..]).unwrap();
+        assert_eq!(start, 60.0);
+        assert_eq!(length, 60.0);
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn meta_window_rejects_data_header() {
+        let dump = sample_dump();
+        let mut buf = Vec::new();
+        write_window(&mut buf, &dump).unwrap();
+        assert!(read_meta_window(&buf[..]).is_err());
     }
 
     #[test]

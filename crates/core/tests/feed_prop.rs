@@ -51,9 +51,10 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
 }
 
 fn arb_opt_string() -> impl Strategy<Value = Option<String>> {
-    prop::option::of(prop::collection::vec(prop::char::range('a', 'z'), 0..=12).prop_map(
-        |chars| chars.into_iter().collect::<String>(),
-    ))
+    prop::option::of(
+        prop::collection::vec(prop::char::range('a', 'z'), 0..=12)
+            .prop_map(|chars| chars.into_iter().collect::<String>()),
+    )
 }
 
 // The stub's tuple strategies cap out well below TxSummary's field
@@ -239,12 +240,7 @@ proptest! {
         let mut reader = FrameReader::<TxSummary>::new();
         reader.push(&bytes);
         // Drain until the reader wants more input or errors; either is fine.
-        loop {
-            match reader.next_frame() {
-                Ok(Some(_)) => continue,
-                Ok(None) | Err(_) => break,
-            }
-        }
+        while let Ok(Some(_)) = reader.next_frame() {}
     }
 
     /// The payload decoder itself (CRC already verified) also never

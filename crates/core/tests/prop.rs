@@ -25,8 +25,11 @@ fn arb_tops() -> impl Strategy<Value = Vec<(u64, f64)>> {
 fn arb_quartiles() -> impl Strategy<Value = [f64; 3]> {
     prop_oneof![
         Just([f64::NAN; 3]),
-        (0.5f64..100.0, 0.0f64..50.0, 0.0f64..50.0)
-            .prop_map(|(a, d1, d2)| [a, a + d1, a + d1 + d2]),
+        (0.5f64..100.0, 0.0f64..50.0, 0.0f64..50.0).prop_map(|(a, d1, d2)| [
+            a,
+            a + d1,
+            a + d1 + d2
+        ]),
     ]
 }
 
@@ -103,7 +106,8 @@ fn dump(rows: Vec<(String, FeatureRow)>, start: f64) -> WindowDump {
 }
 
 fn rows_close(a: &FeatureRow, b: &FeatureRow) -> bool {
-    let f_eq = |x: f64, y: f64| (x.is_nan() && y.is_nan()) || (x - y).abs() < 2e-3 * (1.0 + x.abs());
+    let f_eq =
+        |x: f64, y: f64| (x.is_nan() && y.is_nan()) || (x - y).abs() < 2e-3 * (1.0 + x.abs());
     a.hits == b.hits
         && a.nxd == b.nxd
         && a.ok_nil == b.ok_nil
@@ -112,8 +116,7 @@ fn rows_close(a: &FeatureRow, b: &FeatureRow) -> bool {
         && a.qdots_max == b.qdots_max
         && f_eq(a.resp_delays[1], b.resp_delays[1])
         && a.ttl_top.len() == b.ttl_top.len()
-        && a
-            .ttl_top
+        && a.ttl_top
             .iter()
             .zip(&b.ttl_top)
             .all(|((v1, s1), (v2, s2))| v1 == v2 && (s1 - s2).abs() < 1e-3)
@@ -175,7 +178,7 @@ proptest! {
     fn distribution_invariants(
         mut rows in prop::collection::vec(("k[a-z0-9]{1,10}", arb_row()), 1..40),
     ) {
-        rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.hits));
         let dist = traffic_distribution(&rows);
         prop_assert_eq!(
             dist.captured_hits,

@@ -46,9 +46,7 @@ impl IpHeader {
     /// Parse an IPv4 or IPv6 header from the start of `buf`, dispatching on
     /// the version nibble.
     pub fn parse(buf: &[u8]) -> Result<IpHeader> {
-        let first = *buf
-            .first()
-            .ok_or(WireError::BadIpHeader("empty buffer"))?;
+        let first = *buf.first().ok_or(WireError::BadIpHeader("empty buffer"))?;
         match first >> 4 {
             4 => Self::parse_v4(buf),
             6 => Self::parse_v6(buf),
@@ -301,12 +299,7 @@ mod tests {
 
     #[test]
     fn ipv4_checksum_is_valid() {
-        let h = IpHeader::build_v4(
-            Ipv4Addr::new(1, 2, 3, 4),
-            Ipv4Addr::new(5, 6, 7, 8),
-            64,
-            10,
-        );
+        let h = IpHeader::build_v4(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 64, 10);
         // Recomputing the checksum over a header with a valid checksum
         // field must give zero.
         assert_eq!(ipv4_checksum(&h), 0);
@@ -322,12 +315,8 @@ mod tests {
         bad_ihl[0] = 0x41; // IHL = 1 word
         assert!(IpHeader::parse(&bad_ihl).is_err());
         // Non-UDP protocol.
-        let mut tcp = IpHeader::build_v4(
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-            64,
-            20,
-        );
+        let mut tcp =
+            IpHeader::build_v4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 64, 20);
         tcp[9] = 6;
         tcp[10..12].copy_from_slice(&[0, 0]);
         tcp.extend_from_slice(&[0u8; 20]);

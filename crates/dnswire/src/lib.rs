@@ -62,7 +62,7 @@ pub use header::Header;
 pub use message::{Edns, Message};
 pub use name::{Label, Name, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use question::Question;
-pub use rdata::{RData, Soa, SvcRecord, Rrsig, Ds, Mx};
+pub use rdata::{Ds, Mx, RData, Rrsig, Soa, SvcRecord};
 pub use reader::WireReader;
 pub use record::{Record, Section};
 pub use types::{Opcode, Rcode, RecordClass, RecordType};

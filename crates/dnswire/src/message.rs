@@ -101,10 +101,7 @@ impl Message {
 
     /// Iterate over answer + authority + additional with section tags.
     pub fn all_records(&self) -> impl Iterator<Item = (crate::Section, &Record)> {
-        let ans = self
-            .answers
-            .iter()
-            .map(|r| (crate::Section::Answer, r));
+        let ans = self.answers.iter().map(|r| (crate::Section::Answer, r));
         let auth = self
             .authorities
             .iter()
@@ -269,7 +266,8 @@ mod tests {
         // Uncompressed, the four names would repeat "example.com" in full;
         // with compression the message must be well under that size.
         let uncompressed_estimate: usize = 12
-            + msg.questions[0].qname.wire_len() + 4
+            + msg.questions[0].qname.wire_len()
+            + 4
             + msg
                 .all_records()
                 .map(|(_, r)| r.name.wire_len() + 10 + 20)

@@ -412,10 +412,7 @@ mod tests {
 
     #[test]
     fn empty_label_rejected() {
-        assert_eq!(
-            Name::from_ascii("a..b").unwrap_err(),
-            WireError::EmptyLabel
-        );
+        assert_eq!(Name::from_ascii("a..b").unwrap_err(), WireError::EmptyLabel);
     }
 
     #[test]

@@ -208,13 +208,13 @@ impl RData {
                 let key_tag = r.read_u16("DS key tag")?;
                 let algorithm = r.read_u8("DS algorithm")?;
                 let digest_type = r.read_u8("DS digest type")?;
-                let digest_len = end
-                    .checked_sub(r.position())
-                    .ok_or(WireError::BadRdataLength {
-                        rtype: rtype.code(),
-                        declared: rdlength,
-                        consumed: r.position() - start,
-                    })?;
+                let digest_len =
+                    end.checked_sub(r.position())
+                        .ok_or(WireError::BadRdataLength {
+                            rtype: rtype.code(),
+                            declared: rdlength,
+                            consumed: r.position() - start,
+                        })?;
                 RData::Ds(Ds {
                     key_tag,
                     algorithm,
@@ -510,10 +510,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "1.2.3.4");
-        assert_eq!(
-            RData::Txt(vec![b"hi".to_vec()]).to_string(),
-            "\"hi\""
-        );
+        assert_eq!(RData::Txt(vec![b"hi".to_vec()]).to_string(), "\"hi\"");
         let mx = RData::Mx(Mx {
             preference: 10,
             exchange: Name::from_ascii("mx.example").unwrap(),

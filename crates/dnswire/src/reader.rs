@@ -37,7 +37,9 @@ impl<'a> WireReader<'a> {
     /// Move to an absolute offset (used to skip over opaque RDATA).
     pub fn seek(&mut self, pos: usize) -> Result<()> {
         if pos > self.msg.len() {
-            return Err(WireError::Truncated { what: "seek target" });
+            return Err(WireError::Truncated {
+                what: "seek target",
+            });
         }
         self.pos = pos;
         Ok(())
@@ -71,7 +73,10 @@ impl<'a> WireReader<'a> {
             .pos
             .checked_add(len)
             .ok_or(WireError::Truncated { what })?;
-        let slice = self.msg.get(self.pos..end).ok_or(WireError::Truncated { what })?;
+        let slice = self
+            .msg
+            .get(self.pos..end)
+            .ok_or(WireError::Truncated { what })?;
         self.pos = end;
         Ok(slice)
     }

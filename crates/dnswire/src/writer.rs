@@ -172,9 +172,11 @@ mod tests {
     #[test]
     fn compression_is_case_insensitive() {
         let mut w = WireWriter::new();
-        w.write_name(&Name::from_ascii("Example.COM").unwrap()).unwrap();
+        w.write_name(&Name::from_ascii("Example.COM").unwrap())
+            .unwrap();
         let before = w.len();
-        w.write_name(&Name::from_ascii("example.com").unwrap()).unwrap();
+        w.write_name(&Name::from_ascii("example.com").unwrap())
+            .unwrap();
         assert_eq!(w.len() - before, 2);
     }
 

@@ -7,8 +7,7 @@
 //!    arbitrary input bytes.
 
 use dnswire::{
-    ip, Edns, Header, Message, Mx, Name, Question, RData, Rcode, Record, RecordType, Soa,
-    SvcRecord,
+    ip, Edns, Header, Message, Mx, Name, Question, RData, Rcode, Record, RecordType, Soa, SvcRecord,
 };
 use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -84,21 +83,28 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
             port: v[2],
             target
         })),
-        (any::<u16>(), any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..=40))
-            .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Ds(dnswire::Ds {
-                key_tag,
-                algorithm,
-                digest_type,
-                digest
-            })),
-        (4096u16..9999, prop::collection::vec(any::<u8>(), 0..=30)).prop_map(|(rtype, data)| {
-            RData::Unknown { rtype, data }
-        }),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..=40)
+        )
+            .prop_map(
+                |(key_tag, algorithm, digest_type, digest)| RData::Ds(dnswire::Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest
+                })
+            ),
+        (4096u16..9999, prop::collection::vec(any::<u8>(), 0..=30))
+            .prop_map(|(rtype, data)| { RData::Unknown { rtype, data } }),
     ]
 }
 
 fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+    (arb_name(), any::<u32>(), arb_rdata())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
 }
 
 fn arb_header() -> impl Strategy<Value = Header> {
@@ -125,22 +131,24 @@ fn arb_message() -> impl Strategy<Value = Message> {
         prop::collection::vec(arb_record(), 0..=3),
         prop::option::of((512u16..8192, any::<bool>())),
     )
-        .prop_map(|(header, qs, answers, authorities, additionals, edns)| Message {
-            header,
-            questions: qs
-                .into_iter()
-                .map(|(qname, qtype)| Question::new(qname, qtype))
-                .collect(),
-            answers,
-            authorities,
-            additionals,
-            edns: edns.map(|(udp_payload_size, dnssec_ok)| Edns {
-                udp_payload_size,
-                version: 0,
-                dnssec_ok,
-                options: Vec::new(),
-            }),
-        })
+        .prop_map(
+            |(header, qs, answers, authorities, additionals, edns)| Message {
+                header,
+                questions: qs
+                    .into_iter()
+                    .map(|(qname, qtype)| Question::new(qname, qtype))
+                    .collect(),
+                answers,
+                authorities,
+                additionals,
+                edns: edns.map(|(udp_payload_size, dnssec_ok)| Edns {
+                    udp_payload_size,
+                    version: 0,
+                    dnssec_ok,
+                    options: Vec::new(),
+                }),
+            },
+        )
 }
 
 proptest! {

@@ -28,11 +28,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use telemetry::{Clock, RateLimiter, Registry, SystemClock};
 
 use crate::codec::FeedItem;
 use crate::error::FeedError;
 use crate::frame::{Frame, FrameReader};
 use crate::merge::TimeMerger;
+use crate::metrics::{CollectorMetrics, CollectorTotals};
 
 /// Per-sensor accounting kept by the collector.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -336,13 +338,22 @@ pub struct CollectorCore<T> {
     byes: u64,
     expected_sensors: u64,
     expected_byes: u64,
+    metrics: CollectorMetrics,
 }
 
 impl<T: FeedItem> CollectorCore<T> {
     /// Core expecting `config.expected_sensors` distinct sensors before
     /// releasing items and `config.expected_byes` BYEs before
-    /// [`CollectorCore::done`] reports completion.
+    /// [`CollectorCore::done`] reports completion. Telemetry goes to the
+    /// global registry.
     pub fn new(config: &CollectorConfig) -> CollectorCore<T> {
+        CollectorCore::with_registry(config, &Registry::global())
+    }
+
+    /// Core reporting telemetry to `registry` (the chaos harness injects
+    /// a fresh registry per run to keep seeds isolated).
+    pub fn with_registry(config: &CollectorConfig, registry: &Registry) -> CollectorCore<T> {
+        let metrics = CollectorMetrics::register(registry);
         CollectorCore {
             merger: TimeMerger::new(),
             ledgers: BTreeMap::new(),
@@ -355,7 +366,55 @@ impl<T: FeedItem> CollectorCore<T> {
             byes: 0,
             expected_sensors: config.expected_sensors,
             expected_byes: config.expected_byes,
+            metrics,
         }
+    }
+
+    /// Aggregate totals over every ledger plus the core's own counts —
+    /// the exact numbers mirrored into the telemetry counters.
+    pub fn totals(&self) -> CollectorTotals {
+        let mut t = CollectorTotals {
+            items_merged: self.items_merged,
+            unattributed_errors: self.unattributed_errors,
+            unheralded_frames: self.unheralded_frames,
+            anonymous_disconnects: self.anonymous_disconnects,
+            ..CollectorTotals::default()
+        };
+        for ledger in self.ledgers.values() {
+            let s = &ledger.stats;
+            t.frames += s.frames;
+            t.items += s.items;
+            t.duplicate_frames += s.duplicate_frames;
+            t.gap_recorded_frames += s.gap_frames + s.gap_filled;
+            t.gap_filled_frames += s.gap_filled;
+            t.crc_errors += s.crc_errors;
+            t.decode_errors += s.decode_errors;
+            t.late_items += s.late_items;
+            t.connects += s.connects;
+            t.byes += s.byes;
+        }
+        t
+    }
+
+    /// Frames currently recorded missing (unfilled gaps, all sensors).
+    pub fn open_gap_frames(&self) -> u64 {
+        self.ledgers.values().map(|l| l.stats.gap_frames).sum()
+    }
+
+    /// Frames ever recorded missing, filled or not — the monotone number
+    /// the collector's gap-growth warning watches.
+    pub fn total_gap_recorded(&self) -> u64 {
+        self.ledgers
+            .values()
+            .map(|l| l.stats.gap_frames + l.stats.gap_filled)
+            .sum()
+    }
+
+    fn sync_metrics(&mut self) {
+        self.metrics.events.inc(1);
+        let totals = self.totals();
+        let open = self.open_gap_frames();
+        self.metrics.sync(totals, open, self.ledgers.len() as u64);
     }
 
     /// A decoded frame arrived on `conn`. Releasable items are appended
@@ -375,6 +434,7 @@ impl<T: FeedItem> CollectorCore<T> {
             Frame::Batch { sensor, seq, items } => {
                 if self.conn_sensor.get(&conn) != Some(&sensor) {
                     self.unheralded_frames += 1;
+                    self.sync_metrics();
                     return FrameOutcome::Unheralded;
                 }
                 let ledger = self.ledgers.entry(sensor).or_default();
@@ -400,6 +460,7 @@ impl<T: FeedItem> CollectorCore<T> {
             } => {
                 if self.conn_sensor.get(&conn) != Some(&sensor) {
                     self.unheralded_frames += 1;
+                    self.sync_metrics();
                     return FrameOutcome::Unheralded;
                 }
                 self.ledgers.entry(sensor).or_default().on_bye(
@@ -413,6 +474,7 @@ impl<T: FeedItem> CollectorCore<T> {
             }
         };
         self.drain_into(out);
+        self.sync_metrics();
         outcome
     }
 
@@ -429,6 +491,7 @@ impl<T: FeedItem> CollectorCore<T> {
             }
             None => self.unattributed_errors += 1,
         }
+        self.sync_metrics();
     }
 
     /// `conn` is gone. If it was the sensor's live connection, its
@@ -447,6 +510,7 @@ impl<T: FeedItem> CollectorCore<T> {
             None => self.anonymous_disconnects += 1,
         }
         self.drain_into(out);
+        self.sync_metrics();
     }
 
     /// True once the expected number of BYEs has arrived.
@@ -464,6 +528,7 @@ impl<T: FeedItem> CollectorCore<T> {
         let drained = self.merger.drain_ready();
         self.items_merged += drained.len() as u64;
         out.extend(drained);
+        self.sync_metrics();
         let mut report = CollectorReport {
             sensors: BTreeMap::new(),
             items_merged: self.items_merged,
@@ -683,6 +748,12 @@ fn merge_loop<T: FeedItem>(
 ) -> CollectorReport {
     let mut core = CollectorCore::<T>::new(&config);
     let mut ready = Vec::new();
+    // Operator-facing loss warnings: one line when the gap ledger grows,
+    // rate-limited so a lossy deployment cannot flood the log. The full
+    // totals stay in the telemetry counters.
+    let warn_clock = SystemClock::new();
+    let mut warn_limit = RateLimiter::new(5_000_000);
+    let mut last_gap_recorded = 0u64;
 
     for event in events.iter() {
         match event {
@@ -694,6 +765,17 @@ fn merge_loop<T: FeedItem>(
             }
             Event::BadFrame { conn, error } => core.on_bad_frame(conn, &error),
             Event::Disconnect { conn } => core.on_disconnect(conn, &mut ready),
+        }
+        let gap_recorded = core.total_gap_recorded();
+        if gap_recorded > last_gap_recorded {
+            if let Some(suppressed) = warn_limit.allow(warn_clock.now_us()) {
+                eprintln!(
+                    "collector: gap ledger grew to {gap_recorded} missing frames \
+                     ({} open, {suppressed} earlier warnings suppressed)",
+                    core.open_gap_frames()
+                );
+            }
+            last_gap_recorded = gap_recorded;
         }
         for item in ready.drain(..) {
             if output.send(item).is_err() {
@@ -894,15 +976,32 @@ mod tests {
         core.on_frame(0, hello(5, 0), &mut out);
         let a = core.on_frame(0, batch(5, 0, &[(0, 1.0)]), &mut out);
         assert!(
-            matches!(a, FrameOutcome::Accepted { seq: 0, late: 1, .. }),
+            matches!(
+                a,
+                FrameOutcome::Accepted {
+                    seq: 0,
+                    late: 1,
+                    ..
+                }
+            ),
             "gap-filling frame accepted with its item counted late, got {a:?}"
         );
         let b = core.on_frame(0, batch(5, 1, &[(1, 2.0)]), &mut out);
-        assert!(matches!(b, FrameOutcome::Accepted { seq: 1, late: 1, .. }));
+        assert!(matches!(
+            b,
+            FrameOutcome::Accepted {
+                seq: 1,
+                late: 1,
+                ..
+            }
+        ));
 
         let report = core.finish(&mut out);
         let stats = &report.sensors[&5];
-        assert_eq!(stats.duplicate_frames, 0, "in-flight data is not a retransmit");
+        assert_eq!(
+            stats.duplicate_frames, 0,
+            "in-flight data is not a retransmit"
+        );
         assert_eq!(stats.gaps, Vec::<(u64, u64)>::new());
         assert_eq!((stats.gap_frames, stats.gap_filled), (0, 2));
         assert_eq!((stats.frames, stats.items, stats.late_items), (3, 3, 2));
@@ -972,9 +1071,9 @@ mod tests {
         core.on_frame(0, hello(3, 0), &mut out);
         core.on_frame(0, batch(3, 0, &[(0, 0.0)]), &mut out);
         core.on_frame(0, batch(3, 2, &[(2, 2.0)]), &mut out); // frame 1 missing
-        // Frame 1 surfaces after all: it fills the recorded gap (its item
-        // is behind the watermark by now, so it is counted late, not
-        // reordered in), and a second copy is a true duplicate.
+                                                              // Frame 1 surfaces after all: it fills the recorded gap (its item
+                                                              // is behind the watermark by now, so it is counted late, not
+                                                              // reordered in), and a second copy is a true duplicate.
         core.on_frame(0, batch(3, 1, &[(1, 1.0)]), &mut out);
         core.on_frame(0, batch(3, 1, &[(1, 1.0)]), &mut out);
         core.on_frame(

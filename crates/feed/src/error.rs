@@ -53,7 +53,10 @@ impl fmt::Display for FeedError {
             FeedError::Framing(e) => write!(f, "stream framing: {e}"),
             FeedError::Truncated(what) => write!(f, "frame truncated while reading {what}"),
             FeedError::Crc { expected, computed } => {
-                write!(f, "crc mismatch: frame says {expected:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: frame says {expected:#010x}, computed {computed:#010x}"
+                )
             }
             FeedError::BadMagic(m) => write!(f, "bad hello magic {m:02x?}"),
             FeedError::BadProtocolVersion { got, want } => {

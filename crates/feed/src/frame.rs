@@ -135,7 +135,9 @@ pub fn decode_payload<T: FeedItem>(payload: &[u8]) -> Result<Frame<T>, FeedError
         TYPE_HELLO => {
             let magic = r.bytes(4, "hello magic")?;
             if magic != MAGIC {
-                return Err(FeedError::BadMagic([magic[0], magic[1], magic[2], magic[3]]));
+                return Err(FeedError::BadMagic([
+                    magic[0], magic[1], magic[2], magic[3],
+                ]));
             }
             let protocol = r.u8("protocol version")?;
             if protocol != PROTOCOL_VERSION {

@@ -57,6 +57,7 @@ pub mod error;
 pub mod frame;
 pub mod machine;
 pub mod merge;
+pub mod metrics;
 pub mod sensor;
 #[cfg(test)]
 pub(crate) mod testitem;
@@ -72,4 +73,5 @@ pub use error::FeedError;
 pub use frame::{Frame, FrameReader, MAGIC, MAX_FRAME, PROTOCOL_VERSION};
 pub use machine::{SealEvent, SensorMachine, SensorOp, Wrote};
 pub use merge::TimeMerger;
+pub use metrics::{CollectorMetrics, CollectorTotals, SensorMetrics};
 pub use sensor::{SealedFrame, Sensor, SensorConfig, SensorEncoder, SensorReport};

@@ -35,8 +35,11 @@
 
 use std::collections::VecDeque;
 
+use telemetry::Registry;
+
 use crate::backoff::{Backoff, BackoffConfig};
 use crate::codec::FeedItem;
+use crate::metrics::SensorMetrics;
 use crate::sensor::{SealedFrame, SensorConfig, SensorEncoder, SensorReport};
 
 /// What the transport should do next for this machine.
@@ -109,12 +112,21 @@ pub struct SensorMachine<T> {
     sent_items: u64,
     dropped_frames: u64,
     dropped_items: u64,
+    metrics: SensorMetrics,
 }
 
 impl<T: FeedItem> SensorMachine<T> {
     /// Machine for `config` (the `backoff` seed drives the deterministic
-    /// jitter; `first_seq` resumes a restarted incarnation).
+    /// jitter; `first_seq` resumes a restarted incarnation), reporting
+    /// telemetry to the global registry.
     pub fn new(config: SensorConfig) -> SensorMachine<T> {
+        SensorMachine::with_registry(config, &Registry::global())
+    }
+
+    /// Machine for `config`, reporting telemetry to `registry` (the chaos
+    /// harness injects a fresh registry per run to keep seeds isolated).
+    pub fn with_registry(config: SensorConfig, registry: &Registry) -> SensorMachine<T> {
+        let metrics = SensorMetrics::register(registry, config.sensor_id);
         SensorMachine {
             encoder: SensorEncoder::new(config.sensor_id, config.batch_items, config.first_seq),
             queue: VecDeque::new(),
@@ -131,6 +143,7 @@ impl<T: FeedItem> SensorMachine<T> {
             sent_items: 0,
             dropped_frames: 0,
             dropped_items: 0,
+            metrics,
         }
     }
 
@@ -147,6 +160,7 @@ impl<T: FeedItem> SensorMachine<T> {
     /// Queue an item; returns the seal event when the batch fills.
     pub fn push(&mut self, item: T) -> Option<SealEvent> {
         debug_assert!(!self.closing, "push after finish");
+        self.metrics.pushed_items.inc(1);
         let sealed = self.encoder.push(item)?;
         Some(self.enqueue(sealed, true, false))
     }
@@ -178,13 +192,18 @@ impl<T: FeedItem> SensorMachine<T> {
         if let Some(sealed) = self.encoder.flush() {
             self.dropped_frames += 1;
             self.dropped_items += sealed.items;
+            self.metrics.dropped_frames.inc(1);
+            self.metrics.dropped_items.inc(sealed.items);
         }
         while let Some(q) = self.queue.pop_front() {
             if !q.bye {
                 self.dropped_frames += 1;
                 self.dropped_items += q.frame.items;
+                self.metrics.dropped_frames.inc(1);
+                self.metrics.dropped_items.inc(q.frame.items);
             }
         }
+        self.metrics.queue_frames.set(0.0);
         self.aborted = true;
         self.closing = true;
         self.report()
@@ -228,11 +247,15 @@ impl<T: FeedItem> SensorMachine<T> {
         self.hello_pending = true;
         self.retry_at = None;
         self.backoff.reset();
+        self.metrics.backoff_seconds.set(0.0);
     }
 
     /// A connect attempt failed: back off before the next one.
     pub fn on_connect_failed(&mut self, now: u64) {
-        self.retry_at = Some(now + self.backoff.next_delay().as_micros() as u64);
+        let delay = self.backoff.next_delay();
+        self.metrics.connect_failures.inc(1);
+        self.metrics.backoff_seconds.set(delay.as_secs_f64());
+        self.retry_at = Some(now + delay.as_micros() as u64);
     }
 
     /// The pending write completed; reports what went out. A completed
@@ -243,11 +266,15 @@ impl<T: FeedItem> SensorMachine<T> {
         if self.hello_pending {
             self.hello_pending = false;
             self.connects += 1;
+            self.metrics.connects.inc(1);
             return Wrote::Hello;
         }
         let q = self.queue.pop_front().expect("write_ok without a frame");
         self.sent_frames += 1;
         self.sent_items += q.frame.items;
+        self.metrics.sent_frames.inc(1);
+        self.metrics.sent_items.inc(q.frame.items);
+        self.metrics.queue_frames.set(self.queue.len() as f64);
         if q.bye {
             Wrote::Bye
         } else {
@@ -300,12 +327,15 @@ impl<T: FeedItem> SensorMachine<T> {
             // loss as a gap.
             self.dropped_frames += 1;
             self.dropped_items += frame.items;
+            self.metrics.dropped_frames.inc(1);
+            self.metrics.dropped_items.inc(frame.items);
             return SealEvent {
                 dropped: true,
                 ..event
             };
         }
         self.queue.push_back(Queued { frame, bye });
+        self.metrics.queue_frames.set(self.queue.len() as f64);
         event
     }
 }

@@ -240,7 +240,14 @@ mod tests {
         // Sensor 2 reconnects and delivers items from before the
         // watermark: they must be dropped, not reordered in.
         m.open(2);
-        let late = m.push(2, [TestItem::at(9, 0.5), TestItem::at(10, 2.0), TestItem::at(11, 5.0)]);
+        let late = m.push(
+            2,
+            [
+                TestItem::at(9, 0.5),
+                TestItem::at(10, 2.0),
+                TestItem::at(11, 5.0),
+            ],
+        );
         assert_eq!(late, 2, "items at 0.5 and 2.0 are behind watermark 4.0");
         m.close(1);
         m.close(2);

@@ -1,0 +1,247 @@
+//! Telemetry handles for the feed: one struct per side, registered once
+//! (cold path) and bumped with lock-free counters on the hot path.
+//!
+//! The collector side deliberately does *not* bump counters inline in the
+//! ledger logic — gap accounting moves in non-monotone ways (a gap can be
+//! recorded and later filled). Instead [`CollectorMetrics::sync`]
+//! recomputes the monotone aggregate totals from the ledgers after each
+//! event and advances the counters by the positive difference against a
+//! mirror, so the exported totals are byte-exact mirrors of the
+//! [`crate::CollectorReport`] at all times — the invariant the chaos
+//! reconciliation tests pin.
+
+use telemetry::{Counter, Gauge, Registry};
+
+/// Sensor-side metric handles, labelled by sensor id.
+#[derive(Debug, Clone)]
+pub struct SensorMetrics {
+    /// Items handed to the encoder (`feed_sensor_pushed_items_total`).
+    pub pushed_items: Counter,
+    /// Frames written to the wire, HELLOs excluded.
+    pub sent_frames: Counter,
+    /// Items inside those frames.
+    pub sent_items: Counter,
+    /// Frames dropped at the full send buffer (aborts included).
+    pub dropped_frames: Counter,
+    /// Items inside the dropped frames.
+    pub dropped_items: Counter,
+    /// Successful connections (HELLO delivered).
+    pub connects: Counter,
+    /// Failed connect attempts (each one starts a backoff wait).
+    pub connect_failures: Counter,
+    /// Frames currently waiting in the send buffer.
+    pub queue_frames: Gauge,
+    /// Current reconnect backoff delay, seconds (0 when connected).
+    pub backoff_seconds: Gauge,
+}
+
+impl SensorMetrics {
+    /// Register (or re-attach to) the sensor series for `sensor` in
+    /// `registry`.
+    pub fn register(registry: &Registry, sensor: u64) -> SensorMetrics {
+        let id = sensor.to_string();
+        let labels: &[(&str, &str)] = &[("sensor", id.as_str())];
+        SensorMetrics {
+            pushed_items: registry.counter_with("feed_sensor_pushed_items_total", labels),
+            sent_frames: registry.counter_with("feed_sensor_sent_frames_total", labels),
+            sent_items: registry.counter_with("feed_sensor_sent_items_total", labels),
+            dropped_frames: registry
+                .counter_with("feed_sensor_buffer_dropped_frames_total", labels),
+            dropped_items: registry.counter_with("feed_sensor_buffer_dropped_items_total", labels),
+            connects: registry.counter_with("feed_sensor_connects_total", labels),
+            connect_failures: registry.counter_with("feed_sensor_connect_failures_total", labels),
+            queue_frames: registry.gauge_with("feed_sensor_queue_frames", labels),
+            backoff_seconds: registry.gauge_with("feed_sensor_backoff_seconds", labels),
+        }
+    }
+}
+
+/// The monotone aggregate totals mirrored into counters by
+/// [`CollectorMetrics::sync`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorTotals {
+    /// Fresh BATCH frames accepted.
+    pub frames: u64,
+    /// Items those frames carried.
+    pub items: u64,
+    /// Retransmitted duplicates discarded.
+    pub duplicate_frames: u64,
+    /// Frames ever recorded missing (`gap_frames + gap_filled`: filling a
+    /// gap moves a frame between the two, so the sum only grows).
+    pub gap_recorded_frames: u64,
+    /// Missing frames that later surfaced and filled their gap.
+    pub gap_filled_frames: u64,
+    /// CRC failures.
+    pub crc_errors: u64,
+    /// Payload decode failures after a clean CRC.
+    pub decode_errors: u64,
+    /// Items discarded behind the merge watermark.
+    pub late_items: u64,
+    /// HELLO frames seen.
+    pub connects: u64,
+    /// BYE frames seen.
+    pub byes: u64,
+    /// Items released into the merged output.
+    pub items_merged: u64,
+    /// Errors on never-heralded connections.
+    pub unattributed_errors: u64,
+    /// Data frames rejected for lack of a valid HELLO.
+    pub unheralded_frames: u64,
+    /// Connections lost before completing a HELLO.
+    pub anonymous_disconnects: u64,
+}
+
+/// Collector-side metric handles (aggregate over all sensors — the
+/// per-sensor split stays in the [`crate::CollectorReport`]).
+#[derive(Debug, Clone)]
+pub struct CollectorMetrics {
+    frames: Counter,
+    items: Counter,
+    duplicate_frames: Counter,
+    gap_recorded_frames: Counter,
+    gap_filled_frames: Counter,
+    crc_errors: Counter,
+    decode_errors: Counter,
+    late_items: Counter,
+    connects: Counter,
+    byes: Counter,
+    items_merged: Counter,
+    unattributed_errors: Counter,
+    unheralded_frames: Counter,
+    anonymous_disconnects: Counter,
+    /// Every processed event (frame, bad frame, disconnect) — the
+    /// collector's liveness heartbeat for the stall watchdog.
+    pub events: Counter,
+    open_gap_frames: Gauge,
+    sensors: Gauge,
+    mirror: CollectorTotals,
+}
+
+impl CollectorMetrics {
+    /// Register (or re-attach to) the collector series in `registry`.
+    pub fn register(registry: &Registry) -> CollectorMetrics {
+        CollectorMetrics {
+            frames: registry.counter("feed_collector_frames_total"),
+            items: registry.counter("feed_collector_items_total"),
+            duplicate_frames: registry.counter("feed_collector_duplicate_frames_total"),
+            gap_recorded_frames: registry.counter("feed_collector_gap_recorded_frames_total"),
+            gap_filled_frames: registry.counter("feed_collector_gap_filled_frames_total"),
+            crc_errors: registry.counter("feed_collector_crc_errors_total"),
+            decode_errors: registry.counter("feed_collector_decode_errors_total"),
+            late_items: registry.counter("feed_collector_late_items_total"),
+            connects: registry.counter("feed_collector_connects_total"),
+            byes: registry.counter("feed_collector_byes_total"),
+            items_merged: registry.counter("feed_collector_items_merged_total"),
+            unattributed_errors: registry.counter("feed_collector_unattributed_errors_total"),
+            unheralded_frames: registry.counter("feed_collector_unheralded_frames_total"),
+            anonymous_disconnects: registry.counter("feed_collector_anonymous_disconnects_total"),
+            events: registry.counter("feed_collector_events_total"),
+            open_gap_frames: registry.gauge("feed_collector_open_gap_frames"),
+            sensors: registry.gauge("feed_collector_sensors"),
+            mirror: CollectorTotals::default(),
+        }
+    }
+
+    /// Advance every counter to `totals` (by the positive difference
+    /// against the last sync) and set the level gauges. `open_gaps` is
+    /// the current number of unfilled missing frames; `sensors` the
+    /// number of known ledgers.
+    pub fn sync(&mut self, totals: CollectorTotals, open_gaps: u64, sensors: u64) {
+        fn advance(counter: &Counter, old: u64, new: u64) {
+            if new > old {
+                counter.inc(new - old);
+            }
+        }
+        let m = &self.mirror;
+        advance(&self.frames, m.frames, totals.frames);
+        advance(&self.items, m.items, totals.items);
+        advance(
+            &self.duplicate_frames,
+            m.duplicate_frames,
+            totals.duplicate_frames,
+        );
+        advance(
+            &self.gap_recorded_frames,
+            m.gap_recorded_frames,
+            totals.gap_recorded_frames,
+        );
+        advance(
+            &self.gap_filled_frames,
+            m.gap_filled_frames,
+            totals.gap_filled_frames,
+        );
+        advance(&self.crc_errors, m.crc_errors, totals.crc_errors);
+        advance(&self.decode_errors, m.decode_errors, totals.decode_errors);
+        advance(&self.late_items, m.late_items, totals.late_items);
+        advance(&self.connects, m.connects, totals.connects);
+        advance(&self.byes, m.byes, totals.byes);
+        advance(&self.items_merged, m.items_merged, totals.items_merged);
+        advance(
+            &self.unattributed_errors,
+            m.unattributed_errors,
+            totals.unattributed_errors,
+        );
+        advance(
+            &self.unheralded_frames,
+            m.unheralded_frames,
+            totals.unheralded_frames,
+        );
+        advance(
+            &self.anonymous_disconnects,
+            m.anonymous_disconnects,
+            totals.anonymous_disconnects,
+        );
+        self.open_gap_frames.set(open_gaps as f64);
+        self.sensors.set(sensors as f64);
+        self.mirror = totals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_advances_by_positive_diffs_only() {
+        let registry = Registry::new();
+        let mut metrics = CollectorMetrics::register(&registry);
+        let mut totals = CollectorTotals {
+            frames: 3,
+            items: 30,
+            ..CollectorTotals::default()
+        };
+        metrics.sync(totals, 2, 1);
+        totals.frames = 5;
+        totals.items = 50;
+        metrics.sync(totals, 0, 1);
+        let snap = registry.snapshot(0);
+        assert_eq!(snap.counter("feed_collector_frames_total"), 5);
+        assert_eq!(snap.counter("feed_collector_items_total"), 50);
+        assert_eq!(snap.gauge("feed_collector_open_gap_frames"), 0.0);
+        // Re-syncing identical totals is a no-op.
+        metrics.sync(totals, 0, 1);
+        assert_eq!(
+            registry.snapshot(0).counter("feed_collector_frames_total"),
+            5
+        );
+    }
+
+    #[test]
+    fn sensor_metrics_are_labelled_per_sensor() {
+        let registry = Registry::new();
+        let a = SensorMetrics::register(&registry, 1);
+        let b = SensorMetrics::register(&registry, 2);
+        a.sent_items.inc(5);
+        b.sent_items.inc(7);
+        let snap = registry.snapshot(0);
+        assert_eq!(
+            snap.counter("feed_sensor_sent_items_total{sensor=\"1\"}"),
+            5
+        );
+        assert_eq!(
+            snap.counter("feed_sensor_sent_items_total{sensor=\"2\"}"),
+            7
+        );
+        assert_eq!(snap.counter_sum("feed_sensor_sent_items_total{"), 12);
+    }
+}

@@ -15,9 +15,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use telemetry::{Clock, RateLimiter, Registry, SystemClock};
+
 use crate::backoff::{Backoff, BackoffConfig};
 use crate::codec::FeedItem;
 use crate::frame::{encode_frame, Frame};
+use crate::metrics::SensorMetrics;
 
 /// Tuning for a [`Sensor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,14 +223,27 @@ pub struct Sensor<T> {
     shared: Arc<Shared<T>>,
     buffer_frames: usize,
     writer: Option<JoinHandle<()>>,
+    metrics: SensorMetrics,
+    warn_limit: Mutex<RateLimiter>,
+    warn_clock: SystemClock,
 }
 
 impl<T: FeedItem> Sensor<T> {
     /// Start a sensor pushing to `addr`. Connection (and reconnection) is
     /// handled by the writer thread; this call never blocks on the
-    /// network.
+    /// network. Telemetry goes to the global registry.
     pub fn connect(addr: impl Into<String>, config: SensorConfig) -> Sensor<T> {
+        Sensor::connect_with_registry(addr, config, &Registry::global())
+    }
+
+    /// Start a sensor reporting telemetry to `registry`.
+    pub fn connect_with_registry(
+        addr: impl Into<String>,
+        config: SensorConfig,
+        registry: &Registry,
+    ) -> Sensor<T> {
         let addr = addr.into();
+        let metrics = SensorMetrics::register(registry, config.sensor_id);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue::default()),
             cond: Condvar::new(),
@@ -241,21 +257,28 @@ impl<T: FeedItem> Sensor<T> {
             let shared = Arc::clone(&shared);
             let backoff = config.backoff;
             let sensor_id = config.sensor_id;
+            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name(format!("feed-sensor-{sensor_id}"))
-                .spawn(move || writer_loop::<T>(&addr, &shared, backoff, sensor_id))
+                .spawn(move || writer_loop::<T>(&addr, &shared, backoff, sensor_id, &metrics))
                 .expect("spawn sensor writer")
         };
         Sensor {
             shared,
             buffer_frames: config.buffer_frames.max(1),
             writer: Some(writer),
+            metrics,
+            // One drop warning per 5s of wall time; the counters carry
+            // the full tally.
+            warn_limit: Mutex::new(RateLimiter::new(5_000_000)),
+            warn_clock: SystemClock::new(),
         }
     }
 
     /// Queue an item. When the batch fills, the sealed frame enters the
     /// send buffer — or is dropped (and accounted) if the buffer is full.
     pub fn send(&self, item: T) {
+        self.metrics.pushed_items.inc(1);
         let sealed = self.shared.encoder.lock().unwrap().push(item);
         if let Some(frame) = sealed {
             self.enqueue(frame, true);
@@ -311,11 +334,16 @@ impl<T: FeedItem> Sensor<T> {
             if let Some(f) = pending {
                 q.dropped_frames += 1;
                 q.dropped_items += f.items;
+                self.metrics.dropped_frames.inc(1);
+                self.metrics.dropped_items.inc(f.items);
             }
             while let Some(f) = q.frames.pop_front() {
                 q.dropped_frames += 1;
                 q.dropped_items += f.items;
+                self.metrics.dropped_frames.inc(1);
+                self.metrics.dropped_items.inc(f.items);
             }
+            self.metrics.queue_frames.set(0.0);
             q.abort = true;
             self.shared.cond.notify_all();
         }
@@ -346,10 +374,34 @@ impl<T: FeedItem> Sensor<T> {
             // collector observes this exact loss as a gap.
             q.dropped_frames += 1;
             q.dropped_items += frame.items;
+            let total = (q.dropped_frames, q.dropped_items);
+            drop(q);
+            self.metrics.dropped_frames.inc(1);
+            self.metrics.dropped_items.inc(frame.items);
+            if let Some(suppressed) = self
+                .warn_limit
+                .lock()
+                .unwrap()
+                .allow(self.warn_clock.now_us())
+            {
+                eprintln!(
+                    "sensor {}: send buffer full, dropped frame seq {} \
+                     ({} frames / {} items total, {suppressed} earlier warnings suppressed)",
+                    self.metrics_sensor_id(),
+                    frame.seq,
+                    total.0,
+                    total.1,
+                );
+            }
             return;
         }
         q.frames.push_back(frame);
+        self.metrics.queue_frames.set(q.frames.len() as f64);
         self.shared.cond.notify_all();
+    }
+
+    fn metrics_sensor_id(&self) -> u64 {
+        self.shared.encoder.lock().unwrap().sensor()
     }
 }
 
@@ -371,6 +423,7 @@ fn writer_loop<T: FeedItem>(
     shared: &Shared<T>,
     backoff: BackoffConfig,
     sensor_id: u64,
+    metrics: &SensorMetrics,
 ) {
     let mut backoff = Backoff::new(backoff);
     let mut conn: Option<TcpStream> = None;
@@ -412,10 +465,14 @@ fn writer_loop<T: FeedItem>(
                             let mut q = shared.queue.lock().unwrap();
                             q.connects += 1;
                         }
+                        metrics.connects.inc(1);
+                        metrics.backoff_seconds.set(0.0);
                         conn = Some(stream);
                     }
                     Err(_) => {
                         let delay = backoff.next_delay();
+                        metrics.connect_failures.inc(1);
+                        metrics.backoff_seconds.set(delay.as_secs_f64());
                         if sleep_or_abort(shared, delay) {
                             return;
                         }
@@ -426,11 +483,17 @@ fn writer_loop<T: FeedItem>(
             let stream = conn.as_mut().expect("connection present");
             match std::io::Write::write_all(stream, &frame.bytes) {
                 Ok(()) => {
-                    let mut q = shared.queue.lock().unwrap();
-                    q.in_flight = false;
-                    q.sent_frames += 1;
-                    q.sent_items += frame.items;
-                    shared.cond.notify_all();
+                    let queued = {
+                        let mut q = shared.queue.lock().unwrap();
+                        q.in_flight = false;
+                        q.sent_frames += 1;
+                        q.sent_items += frame.items;
+                        shared.cond.notify_all();
+                        q.frames.len()
+                    };
+                    metrics.sent_frames.inc(1);
+                    metrics.sent_items.inc(frame.items);
+                    metrics.queue_frames.set(queued as f64);
                     continue 'frames;
                 }
                 Err(_) => {
@@ -624,7 +687,11 @@ mod tests {
         let report = sensor.abort();
         // One frame may be in flight with the writer; the rest split
         // between the 2-slot buffer and the drop counter.
-        assert!(report.dropped_frames >= 7, "dropped {}", report.dropped_frames);
+        assert!(
+            report.dropped_frames >= 7,
+            "dropped {}",
+            report.dropped_frames
+        );
         assert_eq!(report.dropped_items, report.dropped_frames);
         assert_eq!(report.next_seq, 10); // seqs consumed even for drops
         assert_eq!(report.sent_frames, 0);

@@ -81,8 +81,7 @@ impl Psl {
             if body.is_empty() {
                 continue;
             }
-            let labels = body.split('.').count()
-                + usize::from(kind == RuleKind::Wildcard);
+            let labels = body.split('.').count() + usize::from(kind == RuleKind::Wildcard);
             max_labels = max_labels.max(labels);
             rules.insert(body, kind);
         }
@@ -147,10 +146,7 @@ impl Psl {
         // Collect lowered labels right-to-left once.
         let labels: Vec<String> = name
             .labels()
-            .map(|l| {
-                String::from_utf8_lossy(l.as_bytes())
-                    .to_ascii_lowercase()
-            })
+            .map(|l| String::from_utf8_lossy(l.as_bytes()).to_ascii_lowercase())
             .collect();
 
         let mut best = 1; // implicit "*" rule: the bare TLD
@@ -238,7 +234,10 @@ mod tests {
         let psl = Psl::from_rules(["com", "*.ck", "!www.ck"]);
         // Every child of .ck is a public suffix...
         assert_eq!(psl.etld(&name("shop.foo.ck")).unwrap(), name("foo.ck"));
-        assert_eq!(psl.esld(&name("x.shop.foo.ck")).unwrap(), name("shop.foo.ck"));
+        assert_eq!(
+            psl.esld(&name("x.shop.foo.ck")).unwrap(),
+            name("shop.foo.ck")
+        );
         // ...except www.ck, whose registrable domain is www.ck itself.
         assert_eq!(psl.etld(&name("www.ck")).unwrap(), name("ck"));
         assert_eq!(psl.esld(&name("a.www.ck")).unwrap(), name("www.ck"));

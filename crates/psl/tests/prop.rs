@@ -10,9 +10,8 @@ fn arb_label() -> impl Strategy<Value = String> {
 }
 
 fn arb_name() -> impl Strategy<Value = Name> {
-    prop::collection::vec(arb_label(), 1..=5).prop_map(|labels| {
-        Name::from_ascii(&labels.join(".")).expect("lowercase labels are valid")
-    })
+    prop::collection::vec(arb_label(), 1..=5)
+        .prop_map(|labels| Name::from_ascii(&labels.join(".")).expect("lowercase labels are valid"))
 }
 
 proptest! {

@@ -61,16 +61,96 @@ pub struct OrgSpec {
 /// keep the ratios (AKAMAI many unicast IPs vs CLOUDFLARE few anycast
 /// ones) without six-thousand-entry tables.
 pub const ORGS: &[OrgSpec] = &[
-    OrgSpec { name: "AMAZON",     as_count: 3, servers: 503, median_delay_ms: 60.9, median_hops: 12, hosting_weight: 16.0, anycast: false },
-    OrgSpec { name: "VERISIGN",   as_count: 7, servers: 6,   median_delay_ms: 53.5, median_hops: 10, hosting_weight: 0.5,  anycast: true  },
-    OrgSpec { name: "CLOUDFLARE", as_count: 2, servers: 100, median_delay_ms: 26.5, median_hops: 7,  hosting_weight: 6.6,  anycast: true  },
-    OrgSpec { name: "AKAMAI",     as_count: 6, servers: 684, median_delay_ms: 14.9, median_hops: 7,  hosting_weight: 6.4,  anycast: false },
-    OrgSpec { name: "MICROSOFT",  as_count: 5, servers: 48,  median_delay_ms: 74.8, median_hops: 14, hosting_weight: 2.7,  anycast: false },
-    OrgSpec { name: "PCH",        as_count: 2, servers: 18,  median_delay_ms: 29.9, median_hops: 7,  hosting_weight: 0.4,  anycast: true  },
-    OrgSpec { name: "ULTRADNS",   as_count: 1, servers: 93,  median_delay_ms: 24.6, median_hops: 8,  hosting_weight: 2.3,  anycast: true  },
-    OrgSpec { name: "GOOGLE",     as_count: 1, servers: 24,  median_delay_ms: 89.9, median_hops: 13, hosting_weight: 2.1,  anycast: false },
-    OrgSpec { name: "DYNDNS",     as_count: 1, servers: 60,  median_delay_ms: 56.0, median_hops: 11, hosting_weight: 1.8,  anycast: true  },
-    OrgSpec { name: "GODADDY",    as_count: 2, servers: 37,  median_delay_ms: 63.0, median_hops: 11, hosting_weight: 1.2,  anycast: false },
+    OrgSpec {
+        name: "AMAZON",
+        as_count: 3,
+        servers: 503,
+        median_delay_ms: 60.9,
+        median_hops: 12,
+        hosting_weight: 16.0,
+        anycast: false,
+    },
+    OrgSpec {
+        name: "VERISIGN",
+        as_count: 7,
+        servers: 6,
+        median_delay_ms: 53.5,
+        median_hops: 10,
+        hosting_weight: 0.5,
+        anycast: true,
+    },
+    OrgSpec {
+        name: "CLOUDFLARE",
+        as_count: 2,
+        servers: 100,
+        median_delay_ms: 26.5,
+        median_hops: 7,
+        hosting_weight: 6.6,
+        anycast: true,
+    },
+    OrgSpec {
+        name: "AKAMAI",
+        as_count: 6,
+        servers: 684,
+        median_delay_ms: 14.9,
+        median_hops: 7,
+        hosting_weight: 6.4,
+        anycast: false,
+    },
+    OrgSpec {
+        name: "MICROSOFT",
+        as_count: 5,
+        servers: 48,
+        median_delay_ms: 74.8,
+        median_hops: 14,
+        hosting_weight: 2.7,
+        anycast: false,
+    },
+    OrgSpec {
+        name: "PCH",
+        as_count: 2,
+        servers: 18,
+        median_delay_ms: 29.9,
+        median_hops: 7,
+        hosting_weight: 0.4,
+        anycast: true,
+    },
+    OrgSpec {
+        name: "ULTRADNS",
+        as_count: 1,
+        servers: 93,
+        median_delay_ms: 24.6,
+        median_hops: 8,
+        hosting_weight: 2.3,
+        anycast: true,
+    },
+    OrgSpec {
+        name: "GOOGLE",
+        as_count: 1,
+        servers: 24,
+        median_delay_ms: 89.9,
+        median_hops: 13,
+        hosting_weight: 2.1,
+        anycast: false,
+    },
+    OrgSpec {
+        name: "DYNDNS",
+        as_count: 1,
+        servers: 60,
+        median_delay_ms: 56.0,
+        median_hops: 11,
+        hosting_weight: 1.8,
+        anycast: true,
+    },
+    OrgSpec {
+        name: "GODADDY",
+        as_count: 2,
+        servers: 37,
+        median_delay_ms: 63.0,
+        median_hops: 11,
+        hosting_weight: 1.2,
+        anycast: false,
+    },
 ];
 
 /// Anycast mirror counts for the 13 root letters A–M. E, F and L have the
@@ -344,7 +424,10 @@ impl AddressPlan {
             // v4: split the org /8 across its ASes as /10+ chunks; simply
             // announce the /8 from the primary AS and carve per-AS /12s.
             let base = Ipv4Addr::new(ORG_BASE_OCTET + i as u8, 0, 0, 0);
-            db.announce(Prefix::new(IpAddr::V4(base), 8), ORG_BASE_ASN + (i as u32) * 16);
+            db.announce(
+                Prefix::new(IpAddr::V4(base), 8),
+                ORG_BASE_ASN + (i as u32) * 16,
+            );
             for j in 1..org.as_count {
                 let sub = Ipv4Addr::new(ORG_BASE_OCTET + i as u8, j << 4, 0, 0);
                 db.announce(
@@ -354,7 +437,10 @@ impl AddressPlan {
             }
             // v6 block.
             let v6 = Ipv6Addr::new(0x2001, 0xdb8, i as u16, 0, 0, 0, 0, 0);
-            db.announce(Prefix::new(IpAddr::V6(v6), 48), ORG_BASE_ASN + (i as u32) * 16);
+            db.announce(
+                Prefix::new(IpAddr::V6(v6), 48),
+                ORG_BASE_ASN + (i as u32) * 16,
+            );
         }
         // Root letter prefixes: announced by PCH's first AS (index 5).
         db.announce(
@@ -533,10 +619,26 @@ mod tests {
             }
         }
         let share = |c: usize| c as f64 / n as f64;
-        assert!((0.005..0.05).contains(&share(counts[0])), "colocated {}", share(counts[0]));
-        assert!((0.1..0.35).contains(&share(counts[1])), "regional {}", share(counts[1]));
-        assert!((0.6..0.85).contains(&share(counts[2])), "distant {}", share(counts[2]));
-        assert!((0.005..0.06).contains(&share(counts[3])), "impaired {}", share(counts[3]));
+        assert!(
+            (0.005..0.05).contains(&share(counts[0])),
+            "colocated {}",
+            share(counts[0])
+        );
+        assert!(
+            (0.1..0.35).contains(&share(counts[1])),
+            "regional {}",
+            share(counts[1])
+        );
+        assert!(
+            (0.6..0.85).contains(&share(counts[2])),
+            "distant {}",
+            share(counts[2])
+        );
+        assert!(
+            (0.005..0.06).contains(&share(counts[3])),
+            "impaired {}",
+            share(counts[3])
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl QueryIntent {
     pub fn profile(self) -> ClientProfile {
         match self {
             QueryIntent::WebDualstack | QueryIntent::WebV4Only => ClientProfile::Web,
-            QueryIntent::Ptr | QueryIntent::Mx | QueryIntent::Soa | QueryIntent::Srv
+            QueryIntent::Ptr
+            | QueryIntent::Mx
+            | QueryIntent::Soa
+            | QueryIntent::Srv
             | QueryIntent::Cname => ClientProfile::Infrastructure,
             QueryIntent::Txt | QueryIntent::Ds => ClientProfile::Security,
             QueryIntent::NsQuery | QueryIntent::Botnet | QueryIntent::Scanner => {

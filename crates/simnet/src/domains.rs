@@ -84,11 +84,10 @@ impl DomainPlan {
         // Head TLDs get real names so PSL extraction and the TLD-count
         // experiments look right; the rest are synthetic ccTLD-ish labels.
         const HEAD: &[&str] = &[
-            "com", "net", "org", "de", "uk", "ru", "nl", "fr", "br", "it",
-            "pl", "cn", "jp", "au", "in", "info", "ir", "cz", "ua", "ca",
-            "eu", "kr", "es", "ch", "se", "us", "at", "be", "biz", "dk",
-            "tv", "me", "io", "co", "xyz", "top", "online", "site", "club",
-            "shop", "app", "dev", "arpa",
+            "com", "net", "org", "de", "uk", "ru", "nl", "fr", "br", "it", "pl", "cn", "jp", "au",
+            "in", "info", "ir", "cz", "ua", "ca", "eu", "kr", "es", "ch", "se", "us", "at", "be",
+            "biz", "dk", "tv", "me", "io", "co", "xyz", "top", "online", "site", "club", "shop",
+            "app", "dev", "arpa",
         ];
         for name in HEAD {
             tlds.push((*name).to_string());
@@ -177,7 +176,11 @@ impl DomainPlan {
         // the default. A deterministic slice of domains runs a *low*
         // negative-caching TTL (the Fig. 9 pathology); a smaller slice
         // runs a *high* one.
-        let mut a_ttl = if popular { self.ttl_a_popular } else { self.ttl_a_default };
+        let mut a_ttl = if popular {
+            self.ttl_a_popular
+        } else {
+            self.ttl_a_default
+        };
         let neg_sel = mix(h ^ 4) % 100;
         let neg_ttl = if neg_sel < 7 {
             // The paper's worst offenders (§5.2, the OS time services at
@@ -222,8 +225,8 @@ impl DomainPlan {
     /// The `i`-th stable FQDN label under a domain ("www" first).
     pub fn fqdn_label(&self, id: DomainId, i: usize) -> String {
         const COMMON: &[&str] = &[
-            "www", "api", "cdn", "mail", "img", "static", "app", "login",
-            "news", "shop", "m", "blog",
+            "www", "api", "cdn", "mail", "img", "static", "app", "login", "news", "shop", "m",
+            "blog",
         ];
         if i < COMMON.len() {
             COMMON[i].to_string()
@@ -333,8 +336,13 @@ mod tests {
             hosted as f64 > 0.8 * cutoff as f64,
             "only {hosted}/{cutoff} popular domains org-hosted"
         );
-        let tail_hosted = (1500..=1999).filter(|&id| p.props(id).org.is_some()).count();
-        assert!(tail_hosted < 200, "{tail_hosted}/500 tail domains org-hosted");
+        let tail_hosted = (1500..=1999)
+            .filter(|&id| p.props(id).org.is_some())
+            .count();
+        assert!(
+            tail_hosted < 200,
+            "{tail_hosted}/500 tail domains org-hosted"
+        );
     }
 
     #[test]
@@ -366,7 +374,9 @@ mod tests {
     #[test]
     fn nonconforming_is_rare() {
         let p = plan();
-        let n = (1..=2000).filter(|&id| p.props(id).nonconforming_ttl).count();
+        let n = (1..=2000)
+            .filter(|&id| p.props(id).nonconforming_ttl)
+            .count();
         assert!(n < 40, "nonconforming too common: {n}");
     }
 

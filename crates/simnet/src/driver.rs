@@ -53,6 +53,12 @@ pub struct Simulation {
     txt_domains: Vec<DomainId>,
     transactions_emitted: u64,
     arrivals: u64,
+    /// `simnet_transactions_total` / `simnet_arrivals_total` /
+    /// `simnet_stream_seconds` in the global telemetry registry: the
+    /// load-generation side of the Observatory's self-report.
+    tx_metric: telemetry::Counter,
+    arrival_metric: telemetry::Counter,
+    stream_seconds: telemetry::Gauge,
 }
 
 impl Simulation {
@@ -78,6 +84,7 @@ impl Simulation {
             .filter(|&id| world.domains.props(id).txt_service)
             .collect();
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_c0de);
+        let registry = telemetry::Registry::global();
         Simulation {
             world,
             resolvers,
@@ -87,6 +94,9 @@ impl Simulation {
             txt_domains,
             transactions_emitted: 0,
             arrivals: 0,
+            tx_metric: registry.counter("simnet_transactions_total"),
+            arrival_metric: registry.counter("simnet_arrivals_total"),
+            stream_seconds: registry.gauge("simnet_stream_seconds"),
         }
     }
 
@@ -132,6 +142,7 @@ impl Simulation {
             self.now += -u.ln() / rate;
             if self.now >= end {
                 self.now = end;
+                self.stream_seconds.set(self.now);
                 return;
             }
             self.arrival(sink);
@@ -156,6 +167,7 @@ impl Simulation {
     /// Process one client arrival.
     fn arrival(&mut self, sink: &mut dyn FnMut(&Transaction)) {
         self.arrivals += 1;
+        self.arrival_metric.inc(1);
         let r = self.rng.gen_range(0..self.resolvers.len());
         // Scripted scan floods divert a share of arrivals into junk
         // queries against their target domains (query rate up, response
@@ -265,8 +277,8 @@ impl Simulation {
             QueryIntent::Srv => {
                 let id = self.zipf_domain();
                 let (props, _, _) = self.world.domain_at(id, self.now);
-                let name = Name::from_ascii(&format!("_sip._tcp.{}", props.esld))
-                    .expect("valid srv name");
+                let name =
+                    Name::from_ascii(&format!("_sip._tcp.{}", props.esld)).expect("valid srv name");
                 self.resolve(
                     r,
                     name,
@@ -339,9 +351,16 @@ impl Simulation {
                     // PRSD: NS for a non-existent .com SLD, DO set for
                     // maximum amplification.
                     let nonce: u64 = self.rng.gen();
-                    let name = Name::from_ascii(&format!("prsd-{:010x}.com", nonce & 0xff_ffff_ffff))
-                        .expect("valid prsd name");
-                    self.resolve(r, name, RecordType::Ns, Target::MissingDomain { tld: 0 }, sink);
+                    let name =
+                        Name::from_ascii(&format!("prsd-{:010x}.com", nonce & 0xff_ffff_ffff))
+                            .expect("valid prsd name");
+                    self.resolve(
+                        r,
+                        name,
+                        RecordType::Ns,
+                        Target::MissingDomain { tld: 0 },
+                        sink,
+                    );
                 } else {
                     let id = self.zipf_domain();
                     let (props, _, _) = self.world.domain_at(id, self.now);
@@ -363,12 +382,16 @@ impl Simulation {
                 // non-existent .com SLDs.
                 let sld = self.rng.gen_range(0..4_000u32);
                 let nonce: u64 = self.rng.gen();
-                let name = Name::from_ascii(&format!(
-                    "m{:08x}.dga-{sld:04}.com",
-                    nonce & 0xffff_ffff
-                ))
-                .expect("valid dga name");
-                self.resolve(r, name, RecordType::A, Target::MissingDomain { tld: 0 }, sink);
+                let name =
+                    Name::from_ascii(&format!("m{:08x}.dga-{sld:04}.com", nonce & 0xffff_ffff))
+                        .expect("valid dga name");
+                self.resolve(
+                    r,
+                    name,
+                    RecordType::A,
+                    Target::MissingDomain { tld: 0 },
+                    sink,
+                );
             }
             QueryIntent::Scanner => {
                 if self.rng.gen::<f64>() < 0.5 {
@@ -393,11 +416,8 @@ impl Simulation {
                 } else {
                     // Junk TLD hitting the root (wpad.localdomain etc.).
                     let nonce: u64 = self.rng.gen();
-                    let name = Name::from_ascii(&format!(
-                        "wpad.junk{:06x}",
-                        nonce & 0xff_ffff
-                    ))
-                    .expect("valid junk name");
+                    let name = Name::from_ascii(&format!("wpad.junk{:06x}", nonce & 0xff_ffff))
+                        .expect("valid junk name");
                     self.resolve(r, name, RecordType::A, Target::BadTld, sink);
                 }
             }
@@ -499,11 +519,9 @@ impl Simulation {
                 let server = self.world.root_server(self.rng.gen());
                 let resp = servers::answer_root(self.actx(), &q, None);
                 if self.emit(r, &server, q, resp, sink) {
-                    self.resolvers[r].cache.store(
-                        CacheKey::NxDomain(qname),
-                        now,
-                        UPSTREAM_NEG_TTL,
-                    );
+                    self.resolvers[r]
+                        .cache
+                        .store(CacheKey::NxDomain(qname), now, UPSTREAM_NEG_TTL);
                 }
             }
             Target::Reverse { exists } => {
@@ -540,11 +558,9 @@ impl Simulation {
                 let server = self.world.tld_server(tld, self.rng.gen());
                 let resp = servers::answer_tld(self.actx(), &q, tld, None);
                 if self.emit(r, &server, q, resp, sink) {
-                    self.resolvers[r].cache.store(
-                        CacheKey::NxDomain(qname),
-                        now,
-                        UPSTREAM_NEG_TTL,
-                    );
+                    self.resolvers[r]
+                        .cache
+                        .store(CacheKey::NxDomain(qname), now, UPSTREAM_NEG_TTL);
                 }
             }
             Target::Domain {
@@ -730,6 +746,7 @@ impl Simulation {
         sink: &mut dyn FnMut(&Transaction),
     ) -> bool {
         self.transactions_emitted += 1;
+        self.tx_metric.inc(1);
         let lost = self.rng.gen::<f64>() < self.world.cfg.loss_rate;
         let qhash: u64 = self.rng.gen();
         let delay_ms = self.world.latency.query_delay_ms(r, server, qhash);
@@ -946,6 +963,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn emits_telemetry_into_global_registry() {
+        let registry = telemetry::Registry::global();
+        let before = registry.snapshot(0).counter("simnet_transactions_total");
+        let mut s = sim();
+        let txs = s.collect(0.5);
+        let after = registry.snapshot(0).counter("simnet_transactions_total");
+        // Other tests share the global registry, so only a lower bound
+        // is exact: at least our own transactions were counted.
+        assert!(after - before >= txs.len() as u64);
+        assert!(registry.snapshot(0).gauge("simnet_stream_seconds") > 0.0);
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl LatencyModel {
 
     /// The response packet's IP TTL as observed at the sensor.
     pub fn observed_ip_ttl(&self, resolver: usize, ns: &NsInfo) -> u8 {
-        ns.initial_ttl.saturating_sub(self.pair_hops(resolver, ns)).max(1)
+        ns.initial_ttl
+            .saturating_sub(self.pair_hops(resolver, ns))
+            .max(1)
     }
 }
 
@@ -76,7 +78,10 @@ mod tests {
     #[test]
     fn pair_values_are_stable() {
         let (m, ns) = model_and_ns();
-        assert_eq!(m.pair_factor(2, ns.ip).to_bits(), m.pair_factor(2, ns.ip).to_bits());
+        assert_eq!(
+            m.pair_factor(2, ns.ip).to_bits(),
+            m.pair_factor(2, ns.ip).to_bits()
+        );
         assert_eq!(m.pair_hops(2, &ns), m.pair_hops(2, &ns));
     }
 
@@ -100,8 +105,11 @@ mod tests {
         }
         let mean = sum / n as f64;
         // Mean should be within a factor ~2.5 of the server median.
-        assert!(mean > ns.median_delay_ms / 2.5 && mean < ns.median_delay_ms * 2.5,
-            "mean {mean} vs median {}", ns.median_delay_ms);
+        assert!(
+            mean > ns.median_delay_ms / 2.5 && mean < ns.median_delay_ms * 2.5,
+            "mean {mean} vs median {}",
+            ns.median_delay_ms
+        );
     }
 
     #[test]

@@ -120,12 +120,7 @@ impl ResolverCache {
         if self.entries.len() >= self.capacity {
             let target = self.capacity * 7 / 8;
             let excess = self.entries.len() - target;
-            let doomed: Vec<CacheKey> = self
-                .entries
-                .keys()
-                .take(excess)
-                .cloned()
-                .collect();
+            let doomed: Vec<CacheKey> = self.entries.keys().take(excess).cloned().collect();
             for k in doomed {
                 self.entries.remove(&k);
             }

@@ -205,8 +205,16 @@ mod tests {
     #[test]
     fn events_apply_in_time_order() {
         let s = Scenario::from_events([
-            ScenarioEvent { at: 200.0, domain: 1, kind: ScenarioKind::SetATtl(999) },
-            ScenarioEvent { at: 100.0, domain: 1, kind: ScenarioKind::SetATtl(111) },
+            ScenarioEvent {
+                at: 200.0,
+                domain: 1,
+                kind: ScenarioKind::SetATtl(999),
+            },
+            ScenarioEvent {
+                at: 100.0,
+                domain: 1,
+                kind: ScenarioKind::SetATtl(111),
+            },
         ]);
         let mut p = props(1);
         s.apply(&mut p, 150.0);
@@ -219,8 +227,16 @@ mod tests {
     #[test]
     fn epochs_accumulate() {
         let s = Scenario::from_events([
-            ScenarioEvent { at: 10.0, domain: 3, kind: ScenarioKind::Renumber },
-            ScenarioEvent { at: 20.0, domain: 3, kind: ScenarioKind::ChangeNs },
+            ScenarioEvent {
+                at: 10.0,
+                domain: 3,
+                kind: ScenarioKind::Renumber,
+            },
+            ScenarioEvent {
+                at: 20.0,
+                domain: 3,
+                kind: ScenarioKind::ChangeNs,
+            },
         ]);
         let mut p = props(3);
         assert_eq!(s.apply(&mut p, 15.0), (1, 0));

@@ -102,7 +102,9 @@ fn fake_rrsig(owner: Name, rtype: RecordType, ttl: u32, signer: Name, qhash: u64
 /// An opaque NSEC3 record used to bulk up signed NXDOMAIN responses.
 fn fake_nsec3(zone: &Name, qhash: u64) -> Record {
     let label = format!("{:032x}", qhash as u128 | 0x1);
-    let owner = zone.prepend(label.as_bytes()).unwrap_or_else(|_| zone.clone());
+    let owner = zone
+        .prepend(label.as_bytes())
+        .unwrap_or_else(|_| zone.clone());
     Record::new(
         owner,
         TLD_NEG_TTL,
@@ -126,9 +128,13 @@ pub fn answer_root(ctx: AnswerContext<'_>, query: &Message, tld: Option<usize>) 
         Some(tld_idx) => {
             // Referral: NS set for the TLD plus one glue address.
             let mut resp = base_response(query, Rcode::NoError, false);
-            let tld_name = Name::from_ascii(ctx.world.domains.tld_name(tld_idx))
-                .expect("tld names are valid");
-            let servers = if ctx.world.domains.tld_is_gtld(tld_idx) { 13 } else { 2 };
+            let tld_name =
+                Name::from_ascii(ctx.world.domains.tld_name(tld_idx)).expect("tld names are valid");
+            let servers = if ctx.world.domains.tld_is_gtld(tld_idx) {
+                13
+            } else {
+                2
+            };
             for j in 0..servers {
                 let ns_name = tld_ns_name(ctx.world, tld_idx, j);
                 resp.authorities.push(Record::new(
@@ -211,12 +217,16 @@ pub fn answer_tld(
                 ));
                 let info = ctx.world.domain_ns(props, j, ns_epoch);
                 match info.ip {
-                    std::net::IpAddr::V4(v4) => resp
-                        .additionals
-                        .push(Record::new(ns_name, ctx.world.cfg.ttl_ns, RData::A(v4))),
-                    std::net::IpAddr::V6(v6) => resp
-                        .additionals
-                        .push(Record::new(ns_name, ctx.world.cfg.ttl_ns, RData::Aaaa(v6))),
+                    std::net::IpAddr::V4(v4) => resp.additionals.push(Record::new(
+                        ns_name,
+                        ctx.world.cfg.ttl_ns,
+                        RData::A(v4),
+                    )),
+                    std::net::IpAddr::V6(v6) => resp.additionals.push(Record::new(
+                        ns_name,
+                        ctx.world.cfg.ttl_ns,
+                        RData::Aaaa(v6),
+                    )),
                 }
             }
             resp
@@ -227,8 +237,12 @@ pub fn answer_tld(
             // responses so large (Table 2's 835-byte NS row).
             let mut resp = base_response(query, Rcode::NxDomain, true);
             let mname = tld_ns_name(ctx.world, tld, 0);
-            resp.authorities
-                .push(soa_record(tld_name.clone(), mname, TLD_NEG_TTL, 1_556_000_000));
+            resp.authorities.push(soa_record(
+                tld_name.clone(),
+                mname,
+                TLD_NEG_TTL,
+                1_556_000_000,
+            ));
             if wants_dnssec(query) && ctx.world.domains.tld_is_gtld(tld) {
                 for k in 0..3u64 {
                     resp.authorities.push(fake_nsec3(&tld_name, ctx.qhash ^ k));
@@ -584,7 +598,10 @@ mod tests {
         let signed_len = signed.to_bytes().unwrap().len();
         assert_eq!(plain.rcode(), Rcode::NxDomain);
         assert!(signed_len > 3 * plain_len, "{signed_len} vs {plain_len}");
-        assert!(signed_len > 600, "signed NXD should approach Table 2's 835 B: {signed_len}");
+        assert!(
+            signed_len > 600,
+            "signed NXD should approach Table 2's 835 B: {signed_len}"
+        );
     }
 
     #[test]
@@ -661,7 +678,10 @@ mod tests {
         let (props, _, e) = w.domain_at(signed, 0.0);
         let q = query_do(&props.esld.to_ascii(), RecordType::Ds);
         let resp = answer_tld(ctx(&w), &q, props.tld, Some((&props, e)));
-        assert!(resp.header.aa, "DS answers come authoritatively from the parent");
+        assert!(
+            resp.header.aa,
+            "DS answers come authoritatively from the parent"
+        );
         assert!(matches!(resp.answers[0].rdata, RData::Ds(_)));
 
         let unsigned = (1..=2000).find(|&i| !w.domain_at(i, 0.0).0.dnssec).unwrap();
@@ -686,7 +706,9 @@ mod tests {
     #[test]
     fn ipv6_enabled_domain_answers_aaaa() {
         let w = world();
-        let id = (1..=2000).find(|&i| w.domain_at(i, 0.0).0.has_ipv6).unwrap();
+        let id = (1..=2000)
+            .find(|&i| w.domain_at(i, 0.0).0.has_ipv6)
+            .unwrap();
         let (props, ae, ne) = w.domain_at(id, 0.0);
         let fqdn = w.domains.fqdn(&props, 0);
         let q = query(&fqdn.to_ascii(), RecordType::Aaaa);

@@ -31,7 +31,12 @@ pub struct World {
 impl World {
     /// Build a world from config and scenario.
     pub fn new(cfg: SimConfig, scenario: Scenario) -> World {
-        let plan = AddressPlan::new(cfg.seed, cfg.resolvers, cfg.contributors, (cfg.domains as u32).saturating_mul(7) / 4);
+        let plan = AddressPlan::new(
+            cfg.seed,
+            cfg.resolvers,
+            cfg.contributors,
+            (cfg.domains as u32).saturating_mul(7) / 4,
+        );
         let domains = DomainPlan::new(&cfg);
         let latency = LatencyModel::new(cfg.seed ^ 0x1a7e);
         let asdb = plan.build_asdb();
@@ -76,7 +81,8 @@ impl World {
                 self.plan.org_server(org, slot)
             }
             None => {
-                let key = mix(props.id.wrapping_mul(0x9e3779b97f4a7c15) ^ ((ns_epoch as u64) << 40));
+                let key =
+                    mix(props.id.wrapping_mul(0x9e3779b97f4a7c15) ^ ((ns_epoch as u64) << 40));
                 self.plan.tail_server(key ^ j as u64, j)
             }
         }
@@ -116,7 +122,10 @@ impl World {
     /// A root letter, chosen with probability ∝ mirror count (resolvers
     /// prefer well-deployed, nearby letters).
     pub fn root_server(&self, pick: u64) -> NsInfo {
-        let total: u32 = crate::addressing::ROOT_MIRRORS.iter().map(|&m| m as u32).sum();
+        let total: u32 = crate::addressing::ROOT_MIRRORS
+            .iter()
+            .map(|&m| m as u32)
+            .sum();
         let mut target = (mix(pick) % total as u64) as u32;
         for (i, &m) in crate::addressing::ROOT_MIRRORS.iter().enumerate() {
             if target < m as u32 {
@@ -128,7 +137,10 @@ impl World {
     }
 
     fn weighted_gtld_letter(&self, pick: u64) -> usize {
-        let total: u32 = crate::addressing::GTLD_MIRRORS.iter().map(|&m| m as u32).sum();
+        let total: u32 = crate::addressing::GTLD_MIRRORS
+            .iter()
+            .map(|&m| m as u32)
+            .sum();
         let mut target = (mix(pick ^ 0x67) % total as u64) as u32;
         for (i, &m) in crate::addressing::GTLD_MIRRORS.iter().enumerate() {
             if target < m as u32 {
@@ -157,15 +169,37 @@ impl World {
 
     /// IPv4 address published for FQDN index `i` of a domain; varies with
     /// the address epoch (renumbering support).
-    pub fn fqdn_v4(&self, props: &DomainProps, i: usize, k: usize, addr_epoch: u32) -> std::net::Ipv4Addr {
-        let h = mix(props.id ^ ((i as u64) << 24) ^ ((k as u64) << 50) ^ ((addr_epoch as u64) << 56));
+    pub fn fqdn_v4(
+        &self,
+        props: &DomainProps,
+        i: usize,
+        k: usize,
+        addr_epoch: u32,
+    ) -> std::net::Ipv4Addr {
+        let h =
+            mix(props.id ^ ((i as u64) << 24) ^ ((k as u64) << 50) ^ ((addr_epoch as u64) << 56));
         // Web content lives in yet another address space (203.x / 198.x).
-        std::net::Ipv4Addr::new(203, (h >> 8) as u8, (h >> 16) as u8, ((h >> 24) % 254 + 1) as u8)
+        std::net::Ipv4Addr::new(
+            203,
+            (h >> 8) as u8,
+            (h >> 16) as u8,
+            ((h >> 24) % 254 + 1) as u8,
+        )
     }
 
     /// IPv6 address published for FQDN index `i` of a domain.
-    pub fn fqdn_v6(&self, props: &DomainProps, i: usize, k: usize, addr_epoch: u32) -> std::net::Ipv6Addr {
-        let h = mix(props.id ^ ((i as u64) << 24) ^ ((k as u64) << 50) ^ ((addr_epoch as u64) << 56) ^ 0x6666);
+    pub fn fqdn_v6(
+        &self,
+        props: &DomainProps,
+        i: usize,
+        k: usize,
+        addr_epoch: u32,
+    ) -> std::net::Ipv6Addr {
+        let h = mix(props.id
+            ^ ((i as u64) << 24)
+            ^ ((k as u64) << 50)
+            ^ ((addr_epoch as u64) << 56)
+            ^ 0x6666);
         std::net::Ipv6Addr::new(
             0x2a00,
             0x1450,
@@ -219,10 +253,7 @@ mod tests {
         let before = w.domain_ns(&p, 0, 0);
         let after = w.domain_ns(&p, 0, 1);
         assert_ne!(before.ip, after.ip);
-        assert_ne!(
-            w.domain_ns_name(&p, 0, 0),
-            w.domain_ns_name(&p, 0, 1)
-        );
+        assert_ne!(w.domain_ns_name(&p, 0, 0), w.domain_ns_name(&p, 0, 1));
     }
 
     #[test]
@@ -238,7 +269,12 @@ mod tests {
             counts[letter] += 1;
         }
         // F (index 5, 220 mirrors) must see far more picks than B (6).
-        assert!(counts[5] > 10 * counts[1], "F={} B={}", counts[5], counts[1]);
+        assert!(
+            counts[5] > 10 * counts[1],
+            "F={} B={}",
+            counts[5],
+            counts[1]
+        );
     }
 
     #[test]

@@ -5,17 +5,85 @@
 //! on quantiles with a few dozen counters, and merges trivially for the
 //! time-aggregation step.
 
-/// Histogram over non-negative values with logarithmically spaced buckets.
+/// The logarithmic bucket layout of a [`LogHistogram`], as a standalone
+/// value: bucket `i` covers `[base^i·min, base^(i+1)·min)`, bucket 0
+/// additionally absorbs everything below `min`, and the last bucket
+/// absorbs everything at or above `max`.
 ///
-/// Bucket `i` covers `[base^i·min, base^(i+1)·min)`; bucket 0 additionally
-/// absorbs everything below `min`, and the last bucket absorbs everything
-/// at or above `max`. The per-bucket representative value used for
-/// quantiles is the geometric midpoint of the bucket.
-#[derive(Debug, Clone)]
-pub struct LogHistogram {
+/// Extracted so other counting structures (the `telemetry` crate's atomic
+/// histograms) share the exact same bucket math — an index computed here
+/// means the same value range everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogBuckets {
     min: f64,
     base: f64,
     log_base: f64,
+    len: usize,
+}
+
+impl LogBuckets {
+    /// Layout spanning `[min, max)` with `buckets_per_decade` buckets per
+    /// factor-of-10 (relative quantile error ≈ `10^(1/bpd) − 1`, e.g.
+    /// ±12 % at bpd=20).
+    pub fn new(min: f64, max: f64, buckets_per_decade: usize) -> LogBuckets {
+        assert!(min > 0.0 && max > min, "need 0 < min < max");
+        assert!(buckets_per_decade > 0);
+        let base = 10f64.powf(1.0 / buckets_per_decade as f64);
+        let log_base = base.ln();
+        let len = ((max / min).ln() / log_base).ceil() as usize + 1;
+        LogBuckets {
+            min,
+            base,
+            log_base,
+            len,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: a layout has at least two buckets by construction.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bucket index for `value` (values below `min` clamp to 0, at or
+    /// above `max` to the last bucket). `value` must not be NaN.
+    pub fn index_of(&self, value: f64) -> usize {
+        if value < self.min {
+            return 0;
+        }
+        let idx = ((value / self.min).ln() / self.log_base) as usize;
+        idx.min(self.len - 1)
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn lower_bound(&self, i: usize) -> f64 {
+        self.min * self.base.powi(i as i32)
+    }
+
+    /// Exclusive upper bound of bucket `i` (the last bucket is unbounded
+    /// in practice: it absorbs everything at or above `max`).
+    pub fn upper_bound(&self, i: usize) -> f64 {
+        self.min * self.base.powi(i as i32 + 1)
+    }
+
+    /// Geometric midpoint of bucket `i` — the representative value used
+    /// for quantile extraction.
+    pub fn midpoint(&self, i: usize) -> f64 {
+        self.lower_bound(i) * self.base.sqrt()
+    }
+}
+
+/// Histogram over non-negative values with logarithmically spaced buckets.
+///
+/// The bucket layout is a [`LogBuckets`]; the per-bucket representative
+/// value used for quantiles is the geometric midpoint of the bucket.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: LogBuckets,
     counts: Vec<u64>,
     total: u64,
     /// Exact running sum, for means.
@@ -29,21 +97,24 @@ impl LogHistogram {
     /// buckets per factor-of-10 (relative quantile error ≈
     /// `10^(1/bpd) − 1`, e.g. ±12 % at bpd=20).
     pub fn new(min: f64, max: f64, buckets_per_decade: usize) -> Self {
-        assert!(min > 0.0 && max > min, "need 0 < min < max");
-        assert!(buckets_per_decade > 0);
-        let base = 10f64.powf(1.0 / buckets_per_decade as f64);
-        let log_base = base.ln();
-        let n = ((max / min).ln() / log_base).ceil() as usize + 1;
+        Self::with_buckets(LogBuckets::new(min, max, buckets_per_decade))
+    }
+
+    /// Create a histogram over an existing bucket layout.
+    pub fn with_buckets(buckets: LogBuckets) -> Self {
         LogHistogram {
-            min,
-            base,
-            log_base,
-            counts: vec![0; n],
+            buckets,
+            counts: vec![0; buckets.len()],
             total: 0,
             sum: 0.0,
             observed_min: f64::INFINITY,
             observed_max: f64::NEG_INFINITY,
         }
+    }
+
+    /// The bucket layout.
+    pub fn buckets(&self) -> LogBuckets {
+        self.buckets
     }
 
     /// A default configuration for millisecond delays: 0.1 ms – 100 s,
@@ -67,20 +138,12 @@ impl LogHistogram {
         if value.is_nan() {
             return;
         }
-        let idx = self.bucket_of(value);
+        let idx = self.buckets.index_of(value);
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += value;
         self.observed_min = self.observed_min.min(value);
         self.observed_max = self.observed_max.max(value);
-    }
-
-    fn bucket_of(&self, value: f64) -> usize {
-        if value < self.min {
-            return 0;
-        }
-        let idx = ((value / self.min).ln() / self.log_base) as usize;
-        idx.min(self.counts.len() - 1)
     }
 
     /// Number of recorded values.
@@ -124,8 +187,7 @@ impl LogHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let lo = self.min * self.base.powi(i as i32);
-                let mid = lo * self.base.sqrt();
+                let mid = self.buckets.midpoint(i);
                 return Some(mid.clamp(self.observed_min, self.observed_max));
             }
         }
@@ -143,8 +205,7 @@ impl LogHistogram {
 
     /// Merge another histogram with identical configuration.
     pub fn merge(&mut self, other: &LogHistogram) {
-        assert_eq!(self.counts.len(), other.counts.len(), "config mismatch");
-        assert!((self.min - other.min).abs() < f64::EPSILON, "config mismatch");
+        assert_eq!(self.buckets, other.buckets, "config mismatch");
         for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -254,6 +315,32 @@ mod tests {
         assert!(h.is_empty());
         h.record(42.0);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn bucket_layout_bounds_contain_their_values() {
+        let b = LogBuckets::new(0.5, 2000.0, 10);
+        for i in 0..200 {
+            let v = 0.1 + i as f64 * 17.3;
+            let idx = b.index_of(v);
+            assert!(idx < b.len());
+            if v >= 0.5 && idx < b.len() - 1 {
+                assert!(
+                    b.lower_bound(idx) <= v * (1.0 + 1e-12)
+                        && v < b.upper_bound(idx) * (1.0 + 1e-12),
+                    "v={v} idx={idx} lo={} hi={}",
+                    b.lower_bound(idx),
+                    b.upper_bound(idx)
+                );
+            }
+        }
+        // Below-range clamps to 0, above-range to the last bucket.
+        assert_eq!(b.index_of(0.0001), 0);
+        assert_eq!(b.index_of(1e12), b.len() - 1);
+        // Midpoint sits inside its bucket.
+        for i in 0..b.len() - 1 {
+            assert!(b.lower_bound(i) <= b.midpoint(i) && b.midpoint(i) < b.upper_bound(i));
+        }
     }
 
     #[test]

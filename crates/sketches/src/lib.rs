@@ -34,7 +34,7 @@ mod topvalues;
 
 pub use bloom::BloomFilter;
 pub use ewma::DecayingRate;
-pub use histogram::LogHistogram;
+pub use histogram::{LogBuckets, LogHistogram};
 pub use hll::HyperLogLog;
 pub use reservoir::Reservoir;
 pub use spacesaving::{SpaceSaving, TopEntry};

@@ -90,6 +90,7 @@ pub struct SpaceSaving<K, V> {
     /// Lowest-count bucket.
     min_bucket: Idx,
     observed: u64,
+    evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
@@ -107,12 +108,19 @@ impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
             index: HashMap::with_capacity(capacity),
             min_bucket: NIL,
             observed: 0,
+            evictions: 0,
         }
     }
 
     /// Total number of observations fed into the tracker.
     pub fn observed(&self) -> u64 {
         self.observed
+    }
+
+    /// Keys displaced from the cache since construction (each eviction
+    /// inherits the minimum count, per the Space-Saving update rule).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of currently monitored keys.
@@ -180,7 +188,10 @@ impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
             return &mut self.entries[idx].value;
         }
         let key = make_key();
-        debug_assert!(key.borrow() == q, "make_key must agree with the lookup form");
+        debug_assert!(
+            key.borrow() == q,
+            "make_key must agree with the lookup form"
+        );
         let idx = if self.entries.len() < self.capacity {
             self.insert_new(key, make(), now)
         } else {
@@ -316,6 +327,7 @@ impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
     }
 
     fn replace_min(&mut self, key: K, value: V, now: f64) -> Idx {
+        self.evictions += 1;
         let bucket = self.min_bucket;
         debug_assert_ne!(bucket, NIL);
         let victim = self.buckets[bucket].head;
@@ -464,11 +476,7 @@ mod tests {
         observe(&mut ss, "c", 0.0);
         assert_eq!(ss.count("b"), None);
         assert_eq!(ss.count("c"), Some(2));
-        let c = ss
-            .iter_desc()
-            .into_iter()
-            .find(|e| e.key == "c")
-            .unwrap();
+        let c = ss.iter_desc().into_iter().find(|e| e.key == "c").unwrap();
         assert_eq!(c.error, 1);
     }
 
@@ -518,11 +526,7 @@ mod tests {
         // Nothing for 100 s (10 half-lives): rate should be tiny but the
         // key still monitored.
         observe(&mut ss, "y", 101.0);
-        let x = ss
-            .iter_desc()
-            .into_iter()
-            .find(|e| e.key == "x")
-            .unwrap();
+        let x = ss.iter_desc().into_iter().find(|e| e.key == "x").unwrap();
         // The stored (undecayed) value only updates on hits; decayed view
         // comes from iter at the entry's own timestamp. Compare via decay:
         assert!(x.rate <= fresh);

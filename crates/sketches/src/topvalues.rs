@@ -101,11 +101,8 @@ impl TopValues {
                 slot.1 += c;
             } else if self.slots.len() < self.capacity {
                 self.slots.push((v, c));
-            } else if let Some((min_idx, &(_, min_count))) = self
-                .slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, cc))| *cc)
+            } else if let Some((min_idx, &(_, min_count))) =
+                self.slots.iter().enumerate().min_by_key(|(_, (_, cc))| *cc)
             {
                 if c > min_count {
                     self.slots[min_idx] = (v, c);

@@ -275,7 +275,7 @@ proptest! {
         let mut order: Vec<usize> = (0..freqs.len()).collect();
         order.sort_by_key(|&i| freqs[i]);
         for &i in &order {
-            ascending.extend(std::iter::repeat(i as u32).take(freqs[i] as usize));
+            ascending.extend(std::iter::repeat_n(i as u32, freqs[i] as usize));
         }
         let descending: Vec<u32> = ascending.iter().rev().copied().collect();
         // Churn: one copy of each still-remaining key per round, so low-

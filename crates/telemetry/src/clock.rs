@@ -1,0 +1,95 @@
+//! The clock dependency, inverted: everything in this crate that needs
+//! "now" asks a [`Clock`] for microseconds, so the watchdog and the meta
+//! reporter run deterministically under the chaos kernel's virtual time
+//! and against the wall clock in production.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone microsecond clock.
+pub trait Clock: Send + Sync {
+    /// Current time, microseconds since an arbitrary epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall clock: microseconds since this process's first use of it.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock anchored at construction time.
+    pub fn new() -> SystemClock {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-driven clock for tests: time moves only when told to.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Set the current time (µs). Monotonicity is the caller's problem,
+    /// as it is for any test clock.
+    pub fn set(&self, us: u64) {
+        self.now.store(us, Ordering::SeqCst);
+    }
+
+    /// Advance the clock by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now_us(), 12);
+        c.set(100);
+        assert_eq!(c.now_us(), 100);
+    }
+}

@@ -1,0 +1,88 @@
+//! Gauges: last-value-wins f64 cells, stored as bit patterns in an
+//! `AtomicU64` so `set` is a plain store and `add` a CAS loop — no locks
+//! anywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A settable f64 gauge handle. Cloning is cheap; all clones share the
+/// same cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A standalone gauge at 0.0.
+    pub fn new() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) with a CAS loop — safe from any
+    /// number of threads, e.g. queue-depth inc/dec pairs.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_read() {
+        let g = Gauge::new();
+        assert_eq!(g.value(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.value(), 2.5);
+        g.set(-1.0);
+        assert_eq!(g.value(), -1.0);
+    }
+
+    #[test]
+    fn concurrent_add_balances_out() {
+        let g = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        g.add(1.0);
+                        g.add(-1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 0.0);
+    }
+}

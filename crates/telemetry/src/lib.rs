@@ -1,0 +1,44 @@
+//! Production observability for the DNS Observatory.
+//!
+//! The design follows the rest of the workspace: a sans-io core with io
+//! pushed to the edges. Recording is lock-free and allocation-free —
+//! sharded atomic [`Counter`]s, f64-bits [`Gauge`]s, and atomic
+//! [`Histogram`]s over the exact [`sketches::LogBuckets`] layout the
+//! analytics histograms use. A [`Registry`] maps names (with Prometheus
+//! label syntax baked into the key) to handles; handles are cheap clones
+//! that never touch the registry lock on the hot path.
+//!
+//! Two exporters read consistent [`Snapshot`]s: the Prometheus text
+//! endpoint ([`MetricsServer`]) and the `meta` TSV self-report that rides
+//! the ordinary timeseries path. [`Snapshot::delta`] gives exact
+//! interval arithmetic (`delta(a,c) == delta(a,b) + delta(b,c)`), which
+//! the chaos reconciliation tests lean on.
+//!
+//! Liveness comes from the [`WatchdogCore`]: any stage that increments a
+//! counter is thereby heartbeating, and a counter frozen past its
+//! threshold raises a [`StallEvent`]. The core is pure state + `tick`,
+//! so the chaos kernel drives it with virtual time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod counter;
+mod gauge;
+mod histogram;
+pub mod prometheus;
+mod ratelimit;
+mod registry;
+mod server;
+mod snapshot;
+mod watchdog;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use counter::Counter;
+pub use gauge::Gauge;
+pub use histogram::Histogram;
+pub use ratelimit::RateLimiter;
+pub use registry::{encode_labels, Registry};
+pub use server::{fetch, MetricsServer};
+pub use snapshot::{HistogramSnapshot, Snapshot, Value};
+pub use watchdog::{StallEvent, Watchdog, WatchdogCore};

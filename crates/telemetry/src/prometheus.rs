@@ -1,0 +1,163 @@
+//! Prometheus text exposition (version 0.0.4): render a [`Snapshot`] to
+//! the text format, and parse it back for `dnsobs status` and tests.
+//!
+//! Counters and gauges render one sample each (labels, if any, are
+//! already encoded in the metric name). Histograms render the standard
+//! cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+use std::collections::BTreeMap;
+
+use crate::snapshot::{Snapshot, Value};
+
+/// Base metric name: the part before any `{`.
+fn base_name(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+/// Format an f64 the way Prometheus clients expect (shortest round-trip
+/// form; integral values without a trailing `.0` is fine for the format).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format. Metrics
+/// come out sorted by name; `# TYPE` lines are emitted once per base
+/// name.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(64 * snapshot.values.len());
+    let mut last_typed = String::new();
+    for (name, value) in &snapshot.values {
+        let base = base_name(name);
+        match value {
+            Value::Counter(v) => {
+                if last_typed != base {
+                    out.push_str(&format!("# TYPE {base} counter\n"));
+                    last_typed = base.to_string();
+                }
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            Value::Gauge(v) => {
+                if last_typed != base {
+                    out.push_str(&format!("# TYPE {base} gauge\n"));
+                    last_typed = base.to_string();
+                }
+                out.push_str(&format!("{name} {}\n", fmt_f64(*v)));
+            }
+            Value::Histogram(h) => {
+                if last_typed != base {
+                    out.push_str(&format!("# TYPE {base} histogram\n"));
+                    last_typed = base.to_string();
+                }
+                let mut cumulative = 0u64;
+                for (i, bucket) in h.buckets.iter().enumerate() {
+                    cumulative += bucket;
+                    let le = fmt_f64(h.layout.upper_bound(i));
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample: full series name (labels included) → value.
+pub type Samples = BTreeMap<String, f64>;
+
+/// Parse Prometheus text exposition into a flat sample map. Comment and
+/// blank lines are skipped; malformed lines are ignored rather than
+/// fatal, because `status` parses whatever the endpoint serves.
+pub fn parse(text: &str) -> Samples {
+    let mut samples = Samples::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is the text after the last space *outside* braces —
+        // label values may themselves contain spaces.
+        let split_at = match line.rfind('}') {
+            Some(brace) => line[brace..].find(' ').map(|i| brace + i),
+            None => line.find(' '),
+        };
+        let Some(split_at) = split_at else { continue };
+        let (name, rest) = line.split_at(split_at);
+        let value_text = rest.trim().split(' ').next().unwrap_or("");
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            other => match other.parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => continue,
+            },
+        };
+        samples.insert(name.to_string(), value);
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let r = Registry::new();
+        r.counter_with("kept_total", &[("shard", "0")]).inc(7);
+        r.gauge("queue_depth").set(3.0);
+        let text = render(&r.snapshot(0));
+        assert!(text.contains("# TYPE kept_total counter\n"));
+        assert!(text.contains("kept_total{shard=\"0\"} 7\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\n"));
+        assert!(text.contains("queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", Histogram::seconds_layout());
+        h.record(1e-6);
+        h.record(1e-6);
+        h.record(50.0);
+        let text = render(&r.snapshot(0));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_count 3\n"));
+        // Every non-Inf bucket count is ≤ the total.
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v <= 3.0);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_flat_samples() {
+        let r = Registry::new();
+        r.counter_with("kept_total", &[("dataset", "qname")])
+            .inc(11);
+        r.gauge("lag").set(-2.5);
+        let samples = parse(&render(&r.snapshot(0)));
+        assert_eq!(samples["kept_total{dataset=\"qname\"}"], 11.0);
+        assert_eq!(samples["lag"], -2.5);
+    }
+
+    #[test]
+    fn parse_skips_garbage() {
+        let samples = parse("# HELP x\n\nnot-a-sample\nok 5\nbad val\n");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples["ok"], 5.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! A minimal token-for-time rate limiter for operator warnings: at most
+//! one `allow` per interval, with a suppressed-count so the next allowed
+//! line can say how much it swallowed.
+
+/// Allows one event per fixed interval; counts what it suppressed.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    interval_us: u64,
+    last_allowed_us: Option<u64>,
+    suppressed: u64,
+}
+
+impl RateLimiter {
+    /// A limiter allowing one event per `interval_us` microseconds.
+    pub fn new(interval_us: u64) -> RateLimiter {
+        RateLimiter {
+            interval_us,
+            last_allowed_us: None,
+            suppressed: 0,
+        }
+    }
+
+    /// Should an event at `now_us` be emitted? On `true`, returns the
+    /// number of events suppressed since the last allowed one (and
+    /// resets that count); on `false`, the event joins the suppressed
+    /// tally.
+    pub fn allow(&mut self, now_us: u64) -> Option<u64> {
+        let due = match self.last_allowed_us {
+            None => true,
+            Some(last) => now_us.saturating_sub(last) >= self.interval_us,
+        };
+        if due {
+            self.last_allowed_us = Some(now_us);
+            let suppressed = self.suppressed;
+            self.suppressed = 0;
+            Some(suppressed)
+        } else {
+            self.suppressed += 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_event_passes_then_throttles() {
+        let mut rl = RateLimiter::new(1_000);
+        assert_eq!(rl.allow(0), Some(0));
+        assert_eq!(rl.allow(10), None);
+        assert_eq!(rl.allow(999), None);
+        assert_eq!(rl.allow(1_000), Some(2));
+        assert_eq!(rl.allow(1_500), None);
+        assert_eq!(rl.allow(2_000), Some(1));
+    }
+}

@@ -1,0 +1,230 @@
+//! The metric registry: a cold-path name → handle map behind a mutex.
+//!
+//! Registration takes the lock once and hands back a cheap clone of the
+//! metric's handle ([`Counter`], [`Gauge`], [`Histogram`]); all recording
+//! then goes straight to the shared atomic cells without ever touching
+//! the registry again. Exporters take the lock briefly to walk the map
+//! and read each handle.
+//!
+//! Labels are encoded into the metric name with Prometheus syntax
+//! (`name{key="value"}`) by [`Registry::counter_with`] /
+//! [`Registry::gauge_with`]; the exposition renderer passes them through
+//! verbatim. Histograms are label-free by convention — cumulative `le`
+//! series with label sets would complicate the renderer for no current
+//! consumer.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sketches::LogBuckets;
+
+use crate::counter::Counter;
+use crate::gauge::Gauge;
+use crate::histogram::Histogram;
+use crate::snapshot::{HistogramSnapshot, Snapshot, Value};
+
+/// A registered metric handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A set of named metrics. Cloning shares the set; the process-wide
+/// default lives behind [`Registry::global`], and tests inject fresh
+/// instances to stay isolated.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Render one label set as `{k1="v1",k2="v2"}` in the given order.
+pub fn encode_labels(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        // Prometheus escaping for label values.
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide default registry.
+    pub fn global() -> Registry {
+        GLOBAL.get_or_init(Registry::new).clone()
+    }
+
+    /// Get-or-register a counter under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.metrics.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    /// Get-or-register a counter with labels: `name{k="v",...}`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&encode_labels(name, labels))
+    }
+
+    /// Get-or-register a gauge under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.metrics.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    /// Get-or-register a gauge with labels: `name{k="v",...}`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge(&encode_labels(name, labels))
+    }
+
+    /// Get-or-register a histogram under `name` with `layout`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind, or as a
+    /// histogram with a different layout.
+    pub fn histogram(&self, name: &str, layout: LogBuckets) -> Histogram {
+        let mut map = self.metrics.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(layout)))
+        {
+            Metric::Histogram(h) => {
+                assert!(
+                    h.layout() == layout,
+                    "metric {name:?} already registered with a different bucket layout"
+                );
+                h.clone()
+            }
+            other => panic!("metric {name:?} already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// Point-in-time snapshot of every registered metric, stamped with
+    /// the caller's clock reading.
+    pub fn snapshot(&self, at_us: u64) -> Snapshot {
+        let map = self.metrics.lock().expect("registry poisoned");
+        let values = map
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => Value::Counter(c.value()),
+                    Metric::Gauge(g) => Value::Gauge(g.value()),
+                    Metric::Histogram(h) => Value::Histogram(HistogramSnapshot {
+                        layout: h.layout(),
+                        buckets: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    }),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { at_us, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("hits_total");
+        let b = r.counter("hits_total");
+        a.inc(2);
+        b.inc(3);
+        assert_eq!(r.snapshot(0).counter("hits_total"), 5);
+    }
+
+    #[test]
+    fn labels_encode_into_the_name() {
+        assert_eq!(
+            encode_labels("kept_total", &[("dataset", "qname"), ("shard", "3")]),
+            "kept_total{dataset=\"qname\",shard=\"3\"}"
+        );
+        assert_eq!(encode_labels("plain", &[]), "plain");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            encode_labels("x", &[("k", "a\"b\\c")]),
+            "x{k=\"a\\\"b\\\\c\"}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("thing");
+        r.gauge("thing");
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let r = Registry::new();
+        r.counter("c_total").inc(1);
+        r.gauge("g").set(2.5);
+        r.histogram("h_seconds", Histogram::seconds_layout())
+            .record(0.1);
+        let s = r.snapshot(42);
+        assert_eq!(s.at_us, 42);
+        assert_eq!(s.counter("c_total"), 1);
+        assert_eq!(s.gauge("g"), 2.5);
+        assert_eq!(s.histogram("h_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = Registry::global();
+        let b = Registry::global();
+        a.counter("global_test_total").inc(1);
+        assert_eq!(b.snapshot(0).counter("global_test_total"), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! A deliberately tiny HTTP/1.0 listener for the Prometheus endpoint.
+//!
+//! One thread, one connection at a time, every request answered with the
+//! full exposition — scrape traffic is one request every N seconds, so
+//! anything fancier is dead weight. The io stays here at the edge; the
+//! rendering is the pure [`crate::prometheus::render`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::clock::Clock;
+use crate::prometheus;
+use crate::registry::Registry;
+
+/// A running metrics endpoint.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`, or port 0 for an ephemeral
+    /// port) and serve `registry` snapshots until the process exits.
+    pub fn serve(
+        addr: &str,
+        registry: Registry,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name("metrics-http".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    // Serving is best-effort: a scraper that hangs up
+                    // mid-response must not take the exporter down.
+                    let _ = answer(stream, &registry, clock.as_ref());
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        // The accept loop blocks in `incoming()`; detach rather than
+        // join so dropping the server never hangs the caller.
+        if let Some(handle) = self.handle.take() {
+            drop(handle);
+        }
+    }
+}
+
+fn answer(stream: TcpStream, registry: &Registry, clock: &dyn Clock) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    // Drain the request head; the path is irrelevant — every GET gets
+    // the metrics page.
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        if header.trim().is_empty() {
+            break;
+        }
+    }
+    let body = prometheus::render(&registry.snapshot(clock.now_us()));
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+/// Fetch the metrics page from `addr` (e.g. `127.0.0.1:9464`) — the
+/// client half of the endpoint, used by `dnsobs status` and the tests.
+pub fn fetch(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET /metrics HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.find("\r\n\r\n") {
+        Some(i) => Ok(raw[i + 4..].to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SystemClock;
+
+    #[test]
+    fn serves_and_fetches_metrics() {
+        let registry = Registry::new();
+        registry.counter("served_total").inc(9);
+        let server = MetricsServer::serve(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::new(SystemClock::new()),
+        )
+        .expect("bind");
+        let body = fetch(&server.addr().to_string()).expect("fetch");
+        let samples = prometheus::parse(&body);
+        assert_eq!(samples["served_total"], 9.0);
+
+        // A second scrape sees updated values.
+        registry.counter("served_total").inc(1);
+        let body = fetch(&server.addr().to_string()).expect("fetch");
+        assert_eq!(prometheus::parse(&body)["served_total"], 10.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Consistent point-in-time snapshots of a registry, with exact delta
+//! arithmetic.
+//!
+//! A [`Snapshot`] is a plain sorted map of metric name → [`Value`].
+//! Deltas are defined metric-wise: counters and histogram buckets
+//! subtract as `u64`, gauges keep the *newer* value (a gauge is a level,
+//! not a flow). For any snapshots `a ≤ b ≤ c` of the same registry the
+//! merge law `delta(a, c) == delta(a, b) + delta(b, c)` holds exactly for
+//! counters and buckets; for f64 sums it holds exactly whenever the
+//! recorded values are exactly representable (e.g. integers below 2^52),
+//! which the property tests exploit.
+
+use std::collections::BTreeMap;
+
+use sketches::LogBuckets;
+
+/// A frozen histogram: layout plus cumulative state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket layout the counts are indexed by.
+    pub layout: LogBuckets,
+    /// Per-bucket counts (length == `layout.len()`).
+    pub buckets: Vec<u64>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-set level.
+    Gauge(f64),
+    /// Distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A consistent-enough point-in-time view of every registered metric.
+///
+/// "Consistent" here means each metric is read atomically; metrics are
+/// read one after another, so cross-metric invariants can be off by
+/// whatever was recorded during the sweep — the same contract every
+/// sampling exporter has.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Clock reading when the snapshot was taken (µs).
+    pub at_us: u64,
+    /// Metric name (with encoded labels) → value, sorted by name.
+    pub values: BTreeMap<String, Value>,
+}
+
+impl Snapshot {
+    /// An empty snapshot at time zero.
+    pub fn empty() -> Snapshot {
+        Snapshot {
+            at_us: 0,
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Look up a counter's value; 0 if absent or a different kind.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(Value::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Look up a gauge's value; 0.0 if absent or a different kind.
+    pub fn gauge(&self, name: &str) -> f64 {
+        match self.values.get(name) {
+            Some(Value::Gauge(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// Look up a histogram; `None` if absent or a different kind.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.values.get(name) {
+            Some(Value::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum all counters whose name starts with `prefix` (labels
+    /// included), e.g. `counter_sum("pipeline_kept_total{")` across
+    /// every shard label.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.values
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| match v {
+                Value::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// `newer - self`, metric-wise. Counters and histogram buckets
+    /// subtract (saturating, so a restarted registry yields zeros rather
+    /// than wrap-around); gauges take the newer level. Metrics present
+    /// only in `newer` appear as-is; metrics that vanished are dropped.
+    pub fn delta(&self, newer: &Snapshot) -> Snapshot {
+        let mut values = BTreeMap::new();
+        for (name, new_v) in &newer.values {
+            let v = match (self.values.get(name), new_v) {
+                (Some(Value::Counter(old)), Value::Counter(new)) => {
+                    Value::Counter(new.saturating_sub(*old))
+                }
+                (Some(Value::Histogram(old)), Value::Histogram(new))
+                    if old.layout == new.layout =>
+                {
+                    Value::Histogram(HistogramSnapshot {
+                        layout: new.layout,
+                        buckets: new
+                            .buckets
+                            .iter()
+                            .zip(&old.buckets)
+                            .map(|(n, o)| n.saturating_sub(*o))
+                            .collect(),
+                        count: new.count.saturating_sub(old.count),
+                        sum: new.sum - old.sum,
+                    })
+                }
+                // Gauge, kind mismatch, or newly appeared: take the new
+                // value verbatim.
+                _ => new_v.clone(),
+            };
+            values.insert(name.clone(), v);
+        }
+        Snapshot {
+            at_us: newer.at_us,
+            values,
+        }
+    }
+
+    /// Add two deltas: counters and buckets add, gauges keep `other`'s
+    /// (newer) level. `delta(a, b).plus(&delta(b, c)) == delta(a, c)`.
+    pub fn plus(&self, other: &Snapshot) -> Snapshot {
+        let mut values = self.values.clone();
+        for (name, other_v) in &other.values {
+            let merged = match (values.get(name), other_v) {
+                (Some(Value::Counter(a)), Value::Counter(b)) => Value::Counter(a + b),
+                (Some(Value::Histogram(a)), Value::Histogram(b)) if a.layout == b.layout => {
+                    Value::Histogram(HistogramSnapshot {
+                        layout: b.layout,
+                        buckets: a
+                            .buckets
+                            .iter()
+                            .zip(&b.buckets)
+                            .map(|(x, y)| x + y)
+                            .collect(),
+                        count: a.count + b.count,
+                        sum: a.sum + b.sum,
+                    })
+                }
+                _ => other_v.clone(),
+            };
+            values.insert(name.clone(), merged);
+        }
+        Snapshot {
+            at_us: self.at_us.max(other.at_us),
+            values,
+        }
+    }
+
+    /// Flatten into `(metric, value)` rows for the meta TSV self-report.
+    /// Counters and gauges become one row each; histograms become
+    /// `name_count` and `name_sum` rows (the buckets stay on the
+    /// Prometheus side, where cumulative `le` semantics live).
+    pub fn meta_rows(&self) -> Vec<(String, f64)> {
+        let mut rows = Vec::with_capacity(self.values.len());
+        for (name, v) in &self.values {
+            match v {
+                Value::Counter(c) => rows.push((name.clone(), *c as f64)),
+                Value::Gauge(g) => rows.push((name.clone(), *g)),
+                Value::Histogram(h) => {
+                    rows.push((format!("{name}_count"), h.count as f64));
+                    rows.push((format!("{name}_sum"), h.sum));
+                }
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, Value)], at_us: u64) -> Snapshot {
+        Snapshot {
+            at_us,
+            values: pairs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn counter_delta_subtracts() {
+        let a = snap(&[("x", Value::Counter(10))], 1);
+        let b = snap(&[("x", Value::Counter(25))], 2);
+        let d = a.delta(&b);
+        assert_eq!(d.counter("x"), 15);
+        assert_eq!(d.at_us, 2);
+    }
+
+    #[test]
+    fn gauge_delta_keeps_newer_level() {
+        let a = snap(&[("g", Value::Gauge(5.0))], 1);
+        let b = snap(&[("g", Value::Gauge(2.0))], 2);
+        assert_eq!(a.delta(&b).gauge("g"), 2.0);
+    }
+
+    #[test]
+    fn merge_law_on_counters() {
+        let a = snap(&[("x", Value::Counter(3))], 1);
+        let b = snap(&[("x", Value::Counter(10))], 2);
+        let c = snap(&[("x", Value::Counter(40))], 3);
+        assert_eq!(a.delta(&b).plus(&b.delta(&c)), a.delta(&c));
+    }
+
+    #[test]
+    fn counter_sum_matches_prefix() {
+        let s = snap(
+            &[
+                ("kept_total{shard=\"0\"}", Value::Counter(3)),
+                ("kept_total{shard=\"1\"}", Value::Counter(4)),
+                ("other_total", Value::Counter(100)),
+            ],
+            0,
+        );
+        assert_eq!(s.counter_sum("kept_total{"), 7);
+    }
+
+    #[test]
+    fn meta_rows_flatten_histograms() {
+        let h = HistogramSnapshot {
+            layout: LogBuckets::new(0.001, 1.0, 3),
+            buckets: vec![0; LogBuckets::new(0.001, 1.0, 3).len()],
+            count: 5,
+            sum: 1.25,
+        };
+        let s = snap(&[("lat_seconds", Value::Histogram(h))], 0);
+        let rows = s.meta_rows();
+        assert_eq!(
+            rows,
+            vec![
+                ("lat_seconds_count".to_string(), 5.0),
+                ("lat_seconds_sum".to_string(), 1.25),
+            ]
+        );
+    }
+}

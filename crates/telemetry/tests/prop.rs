@@ -1,0 +1,145 @@
+//! Property tests for the metric primitives: bucket boundary laws,
+//! sharded-counter conservation under concurrency, and the snapshot
+//! delta merge law.
+
+use proptest::prelude::*;
+use sketches::LogBuckets;
+use telemetry::{Histogram, Registry};
+
+proptest! {
+    /// Every in-range value lands in a bucket whose bounds contain it,
+    /// and bucket edges tile the range without gaps.
+    #[test]
+    fn bucket_bounds_contain_their_values(
+        value in 1e-6f64..100.0,
+        buckets_per_decade in 1usize..20,
+    ) {
+        let layout = LogBuckets::new(1e-6, 100.0, buckets_per_decade);
+        let i = layout.index_of(value);
+        prop_assert!(i < layout.len());
+        // Containment, with a one-bucket tolerance at the exact edge
+        // where floating-point log can round either way.
+        let lo = layout.lower_bound(i);
+        let hi = layout.upper_bound(i);
+        prop_assert!(
+            value >= lo * (1.0 - 1e-12) && value <= hi * (1.0 + 1e-12),
+            "value {} escaped bucket {} [{}, {})", value, i, lo, hi
+        );
+    }
+
+    /// Bucket index is monotone in the value.
+    #[test]
+    fn bucket_index_is_monotone(
+        a in 1e-9f64..1e3,
+        b in 1e-9f64..1e3,
+    ) {
+        let layout = LogBuckets::new(1e-6, 100.0, 10);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(layout.index_of(lo) <= layout.index_of(hi));
+    }
+
+    /// Out-of-range values clamp to the edge buckets.
+    #[test]
+    fn bucket_index_clamps(value in 1e-12f64..1e12) {
+        let layout = LogBuckets::new(1e-3, 10.0, 5);
+        let i = layout.index_of(value);
+        prop_assert!(i < layout.len());
+        if value < 1e-3 {
+            prop_assert_eq!(i, 0);
+        }
+        if value >= 10.0 {
+            prop_assert_eq!(i, layout.len() - 1);
+        }
+    }
+
+    /// delta(a,c) == delta(a,b) + delta(b,c) for counters, gauges, and
+    /// histograms, exactly — the increments are integers, so even the
+    /// f64 histogram sums are exact.
+    #[test]
+    fn snapshot_delta_merge_law(
+        inc1 in prop::collection::vec(0u64..1000, 3),
+        inc2 in prop::collection::vec(0u64..1000, 3),
+        gauge1 in -1e6f64..1e6,
+        gauge2 in -1e6f64..1e6,
+        hist1 in prop::collection::vec(1u32..100_000, 0..20),
+        hist2 in prop::collection::vec(1u32..100_000, 0..20),
+    ) {
+        let registry = Registry::new();
+        let counters: Vec<_> = (0..3)
+            .map(|i| registry.counter(&format!("c{i}_total")))
+            .collect();
+        let gauge = registry.gauge("level");
+        let hist = registry.histogram("h_seconds", Histogram::seconds_layout());
+
+        let a = registry.snapshot(1);
+        for (c, n) in counters.iter().zip(&inc1) {
+            c.inc(*n);
+        }
+        gauge.set(gauge1);
+        for v in &hist1 {
+            hist.record(f64::from(*v)); // integer-valued: f64 sums stay exact
+        }
+        let b = registry.snapshot(2);
+        for (c, n) in counters.iter().zip(&inc2) {
+            c.inc(*n);
+        }
+        gauge.set(gauge2);
+        for v in &hist2 {
+            hist.record(f64::from(*v));
+        }
+        let c_snap = registry.snapshot(3);
+
+        let direct = a.delta(&c_snap);
+        let stitched = a.delta(&b).plus(&b.delta(&c_snap));
+        prop_assert_eq!(&stitched, &direct);
+
+        // And the delta actually reflects the increments.
+        for (i, (n1, n2)) in inc1.iter().zip(&inc2).enumerate() {
+            prop_assert_eq!(direct.counter(&format!("c{i}_total")), n1 + n2);
+        }
+        let h = direct.histogram("h_seconds").unwrap();
+        prop_assert_eq!(h.count, (hist1.len() + hist2.len()) as u64);
+        let expected_sum: f64 = hist1.iter().chain(&hist2).map(|v| f64::from(*v)).sum();
+        prop_assert_eq!(h.sum, expected_sum);
+    }
+}
+
+/// Not a proptest (threads), but the core conservation law: N writers ×
+/// M increments over shared handles lose nothing.
+#[test]
+fn sharded_counter_sum_under_concurrent_writers() {
+    let registry = Registry::new();
+    let counter = registry.counter("spray_total");
+    let threads = 8u64;
+    let per = 25_000u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..per {
+                    counter.inc(1);
+                }
+            });
+        }
+    });
+    assert_eq!(registry.snapshot(0).counter("spray_total"), threads * per);
+}
+
+/// Prometheus render/parse round-trips every counter and gauge sample.
+#[test]
+fn prometheus_round_trip() {
+    let registry = Registry::new();
+    registry
+        .counter_with("kept_total", &[("dataset", "qname"), ("shard", "2")])
+        .inc(123);
+    registry.gauge("watermark_lag_seconds").set(0.75);
+    registry
+        .histogram("batch_seconds", Histogram::seconds_layout())
+        .record(0.01);
+    let text = telemetry::prometheus::render(&registry.snapshot(0));
+    let samples = telemetry::prometheus::parse(&text);
+    assert_eq!(samples["kept_total{dataset=\"qname\",shard=\"2\"}"], 123.0);
+    assert_eq!(samples["watermark_lag_seconds"], 0.75);
+    assert_eq!(samples["batch_seconds_count"], 1.0);
+    assert_eq!(samples["batch_seconds_bucket{le=\"+Inf\"}"], 1.0);
+}

@@ -45,7 +45,10 @@ fn main() {
             suspicious += 1;
         }
     }
-    assert!(suspicious > 0, "expected NXD-heavy servers with the botnet on");
+    assert!(
+        suspicious > 0,
+        "expected NXD-heavy servers with the botnet on"
+    );
 
     // Step 2: the domain view. DGA SLDs have a signature: almost pure
     // NXDOMAIN, many distinct QNAMEs, zero resolved names.
@@ -68,7 +71,8 @@ fn main() {
         dga.len()
     );
     assert!(
-        dga.iter().all(|(esld, _, _)| esld.contains("dga-") || esld.contains("prsd-")),
+        dga.iter()
+            .all(|(esld, _, _)| esld.contains("dga-") || esld.contains("prsd-")),
         "false positives in the DGA hunt"
     );
 }

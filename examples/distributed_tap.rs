@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --release --example distributed_tap`
 
-use dns_observatory::{
-    Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TxSummary,
-};
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TxSummary};
 use feed::{Collector, CollectorConfig, Sensor, SensorConfig};
 use psl::Psl;
 use simnet::{SimConfig, Simulation};

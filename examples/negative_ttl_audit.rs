@@ -48,13 +48,17 @@ fn main() {
     if let Some(corr) = quotient_share_correlation(&audit) {
         println!("\ncorrelation of ln(A-TTL/negTTL) vs empty share: {corr:.2}");
     }
-    assert!(!offenders.is_empty(), "the small world always has offenders");
+    assert!(
+        !offenders.is_empty(),
+        "the small world always has offenders"
+    );
 
     // Now apply the paper's third remedy — align the negative TTL with
     // the A TTL — for every offending domain, and re-measure.
-    println!("\napplying the fix (negative TTL := 300 s) to {} domains...", {
-        offenders.len()
-    });
+    println!(
+        "\napplying the fix (negative TTL := 300 s) to {} domains...",
+        { offenders.len() }
+    );
     let probe = Simulation::from_config(SimConfig::small());
     let mut events = Vec::new();
     for key in &offenders {

@@ -75,3 +75,12 @@ awk -v cur="$feed_cur" -v base="$feed_base" 'BEGIN {
     }
     printf "bench-smoke: OK — feed within 20%% of baseline (floor %.0f tx/s)\n", floor;
 }'
+
+# Append this run to the performance history so drift is visible across
+# commits, not just against the committed baseline.
+HISTORY=BENCH_history.jsonl
+timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s}\n' \
+    "$timestamp" "$commit" "$cur" "$feed_cur" >> "$HISTORY"
+echo "bench-smoke: appended run to $HISTORY"

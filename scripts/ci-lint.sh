@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting and clippy, both zero-tolerance.
+#
+# Usage: ./scripts/ci-lint.sh
+# Exit codes: 0 clean, 1 violations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "ci-lint: cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "ci-lint: cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "ci-lint: OK"

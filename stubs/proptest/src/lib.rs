@@ -74,10 +74,7 @@ pub mod test_runner {
         /// Next raw 64 bits.
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -573,8 +570,7 @@ pub mod string {
                         out.push((0x20 + rng.below(0x5f) as u8) as ::std::primitive::char)
                     }
                     Atom::Class(ranges) => {
-                        let total: u64 =
-                            ranges.iter().map(|(lo, hi)| (hi - lo) as u64 + 1).sum();
+                        let total: u64 = ranges.iter().map(|(lo, hi)| (hi - lo) as u64 + 1).sum();
                         let mut pick = rng.below(total);
                         for (lo, hi) in ranges {
                             let size = (hi - lo) as u64 + 1;
@@ -798,7 +794,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_and_assume(pick in prop_oneof![Just(1u8), Just(2u8), (5u8..7)]) {
+        fn oneof_and_assume(pick in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
             prop_assume!(pick != 2);
             prop_assert!(pick == 1 || pick == 5 || pick == 6);
         }

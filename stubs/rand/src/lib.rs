@@ -96,10 +96,7 @@ pub mod rngs {
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -212,7 +209,7 @@ mod tests {
             let y = r.gen_range(0u8..=255);
             let _ = y;
             let z = r.gen_range(1e-12..1.0f64);
-            assert!(z >= 1e-12 && z < 1.0);
+            assert!((1e-12..1.0).contains(&z));
             let w: f64 = r.gen();
             assert!((0.0..1.0).contains(&w));
         }

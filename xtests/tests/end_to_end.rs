@@ -35,7 +35,11 @@ fn traffic_concentrates_on_few_servers() {
     );
     // NXDOMAIN is even more concentrated (gTLD letters).
     let nxd = dist.curves.iter().find(|c| c.label == "nxdomain").unwrap();
-    assert!(nxd.at_rank(30) > 0.5, "NXD not concentrated: {}", nxd.at_rank(30));
+    assert!(
+        nxd.at_rank(30) > 0.5,
+        "NXD not concentrated: {}",
+        nxd.at_rank(30)
+    );
 }
 
 #[test]
@@ -127,7 +131,11 @@ fn qmin_classifier_recovers_configured_resolvers() {
         .map(|r| sim.world().plan.resolver_ip(r).to_string())
         .collect();
     for v in verdicts.iter().filter(|v| v.possible_qmin) {
-        assert!(expected.contains(&v.resolver), "unexpected qmin {}", v.resolver);
+        assert!(
+            expected.contains(&v.resolver),
+            "unexpected qmin {}",
+            v.resolver
+        );
     }
 }
 
@@ -177,7 +185,10 @@ fn collection_stats_account_for_every_transaction() {
     for ds in [Dataset::SrvIp, Dataset::AaFqdn] {
         let windows = store.dataset(ds);
         assert!(!windows.is_empty());
-        let ingested: u64 = windows.iter().map(|w| w.kept + w.dropped + w.filtered).sum();
+        let ingested: u64 = windows
+            .iter()
+            .map(|w| w.kept + w.dropped + w.filtered)
+            .sum();
         let first: u64 = store
             .dataset(Dataset::SrvIp)
             .iter()

@@ -50,7 +50,13 @@ fn single_process(seed: u64) -> TimeSeriesStore {
 /// Distributed run: K sensor threads each simulate the deployment's
 /// traffic, keep their own vantage slice, and stream summaries over TCP
 /// to a collector that feeds the pipeline.
-fn distributed(seed: u64) -> (TimeSeriesStore, feed::CollectorReport, Vec<feed::SensorReport>) {
+fn distributed(
+    seed: u64,
+) -> (
+    TimeSeriesStore,
+    feed::CollectorReport,
+    Vec<feed::SensorReport>,
+) {
     let mut collector =
         Collector::<TxSummary>::bind("127.0.0.1:0", CollectorConfig::new(SENSORS as u64))
             .expect("bind collector");
@@ -101,7 +107,11 @@ fn loopback_equivalence_across_seeds() {
         let sent: u64 = sensor_reports.iter().map(|r| r.sent_items).sum();
         assert_eq!(report.items_merged, sent, "seed {seed}: items vanished");
         for r in &sensor_reports {
-            assert_eq!(r.dropped_frames, 0, "seed {seed}: sensor {} dropped", r.sensor);
+            assert_eq!(
+                r.dropped_frames, 0,
+                "seed {seed}: sensor {} dropped",
+                r.sensor
+            );
         }
 
         assert_eq!(
@@ -225,7 +235,10 @@ fn crashed_sensor_restart_reports_exact_gap() {
     // accounted as dropped; nothing is double-counted or invented. The
     // sensor's `sent_frames` includes incarnation 2's BYE, which the
     // collector tallies separately from data frames.
-    assert_eq!(stats.frames + stats.byes, crashed.sent_frames + resumed.sent_frames);
+    assert_eq!(
+        stats.frames + stats.byes,
+        crashed.sent_frames + resumed.sent_frames
+    );
     assert_eq!(stats.items, crashed.sent_items + resumed.sent_items);
     assert_eq!(report.items_merged, stats.items);
     assert_eq!(merged, report.items_merged);

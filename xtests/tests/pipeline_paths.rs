@@ -24,7 +24,13 @@ fn stores_equal(a: &TimeSeriesStore, b: &TimeSeriesStore) {
     for (wa, wb) in a.windows().iter().zip(b.windows()) {
         assert_eq!(wa.dataset, wb.dataset);
         assert_eq!(wa.start, wb.start);
-        assert_eq!(wa.rows.len(), wb.rows.len(), "{} @ {}", wa.dataset, wa.start);
+        assert_eq!(
+            wa.rows.len(),
+            wb.rows.len(),
+            "{} @ {}",
+            wa.dataset,
+            wa.start
+        );
         for ((ka, ra), (kb, rb)) in wa.rows.iter().zip(&wb.rows) {
             assert_eq!(ka, kb);
             assert_eq!(ra.hits, rb.hits, "key {ka}");
@@ -126,8 +132,16 @@ fn aggregation_ladder_preserves_rates() {
     let minutely: Vec<_> = store.dataset(Dataset::Qtype);
 
     let mut agg = Aggregator::new(&[
-        Level { name: "4s", fan_in: 4, retention: 100 },
-        Level { name: "8s", fan_in: 2, retention: 100 },
+        Level {
+            name: "4s",
+            fan_in: 4,
+            retention: 100,
+        },
+        Level {
+            name: "8s",
+            fan_in: 2,
+            retention: 100,
+        },
     ]);
     for w in &minutely {
         agg.push((*w).clone());

@@ -32,12 +32,7 @@ fn measure(cfg: SimConfig) -> Counts {
         if s.qtype == RecordType::Any && !s.ip4s.is_empty() && !s.ip6s.is_empty() {
             c.any_with_both += 1;
         }
-        if s.ok_ans
-            && matches!(
-                s.qtype,
-                RecordType::A | RecordType::Aaaa | RecordType::Any
-            )
-        {
+        if s.ok_ans && matches!(s.qtype, RecordType::A | RecordType::Aaaa | RecordType::Any) {
             c.answered_web += 1;
         }
     });
@@ -87,7 +82,10 @@ fn split_negative_caching_reduces_empty_aaaa_for_pathological_fqdns() {
             probe.world().domains.fqdn(&p, 0).to_ascii()
         })
         .collect();
-    assert!(!victims.is_empty(), "the small world has pathological domains");
+    assert!(
+        !victims.is_empty(),
+        "the small world has pathological domains"
+    );
     drop(probe);
 
     let count_for = |cfg: SimConfig| {
@@ -119,7 +117,10 @@ fn split_negative_caching_reduces_empty_aaaa_for_pathological_fqdns() {
         (split as f64) < 0.6 * baseline as f64,
         "split {split} vs baseline {baseline}"
     );
-    assert!(baseline > 50, "baseline flood too small to judge: {baseline}");
+    assert!(
+        baseline > 50,
+        "baseline flood too small to judge: {baseline}"
+    );
 }
 
 #[test]

@@ -29,8 +29,16 @@ fn ttl_cut_multiplies_cache_misses() {
     // last pre-change windows with the last post-change windows isolates
     // the effect.
     let scenario = Scenario::from_events([
-        ScenarioEvent { at: 0.0, domain: 1, kind: ScenarioKind::SetATtl(20) },
-        ScenarioEvent { at: 30.0, domain: 1, kind: ScenarioKind::SetATtl(1) },
+        ScenarioEvent {
+            at: 0.0,
+            domain: 1,
+            kind: ScenarioKind::SetATtl(20),
+        },
+        ScenarioEvent {
+            at: 30.0,
+            domain: 1,
+            kind: ScenarioKind::SetATtl(1),
+        },
     ]);
     let probe = Simulation::new(SimConfig::small(), Scenario::new());
     let props = probe.world().domains.props(1);
@@ -90,8 +98,16 @@ fn ns_change_detected_on_esld_key() {
         ..SimConfig::small()
     };
     let scenario = Scenario::from_events([
-        ScenarioEvent { at: 0.0, domain: 6, kind: ScenarioKind::SetATtl(600) },
-        ScenarioEvent { at: 40.0, domain: 6, kind: ScenarioKind::ChangeNs },
+        ScenarioEvent {
+            at: 0.0,
+            domain: 6,
+            kind: ScenarioKind::SetATtl(600),
+        },
+        ScenarioEvent {
+            at: 40.0,
+            domain: 6,
+            kind: ScenarioKind::ChangeNs,
+        },
     ]);
     let mut sim = Simulation::new(cfg, scenario);
     let mut obs = Observatory::new(ObservatoryConfig {
@@ -148,12 +164,27 @@ fn scan_flood_raises_queries_not_responses() {
     let esld = probe.world().domains.props(7).esld.to_ascii();
     drop(probe);
     let series = ttl::key_series(&windows, &esld);
-    let calm: u64 = series.iter().filter(|p| p.start < 20.0).map(|p| p.hits).sum();
-    let flooded: u64 = series.iter().filter(|p| p.start >= 20.0).map(|p| p.hits).sum();
-    assert!(flooded > 3 * calm.max(1), "flood invisible: {calm} -> {flooded}");
+    let calm: u64 = series
+        .iter()
+        .filter(|p| p.start < 20.0)
+        .map(|p| p.hits)
+        .sum();
+    let flooded: u64 = series
+        .iter()
+        .filter(|p| p.start >= 20.0)
+        .map(|p| p.hits)
+        .sum();
+    assert!(
+        flooded > 3 * calm.max(1),
+        "flood invisible: {calm} -> {flooded}"
+    );
     // Responses (ok) must not grow with the queries: the flood is NXD.
     let calm_ok: u64 = series.iter().filter(|p| p.start < 20.0).map(|p| p.ok).sum();
-    let flooded_ok: u64 = series.iter().filter(|p| p.start >= 20.0).map(|p| p.ok).sum();
+    let flooded_ok: u64 = series
+        .iter()
+        .filter(|p| p.start >= 20.0)
+        .map(|p| p.ok)
+        .sum();
     assert!(
         (flooded_ok as f64) < 2.0 * calm_ok.max(1) as f64,
         "flood should not raise NoError responses: {calm_ok} -> {flooded_ok}"
@@ -184,7 +215,11 @@ fn ipv6_turnup_kills_empty_aaaa() {
     let windows = store.dataset(Dataset::Qname);
     let turnup = dns_observatory::analysis::happy::ipv6_turnup(&windows, &fqdn, 40.0)
         .expect("victim fqdn tracked");
-    assert!(turnup.empty_share_before > 0.2, "{}", turnup.empty_share_before);
+    assert!(
+        turnup.empty_share_before > 0.2,
+        "{}",
+        turnup.empty_share_before
+    );
     assert!(
         turnup.empty_share_after < 0.5 * turnup.empty_share_before,
         "share did not collapse: {} -> {}",
