@@ -1,5 +1,5 @@
 //! End-to-end pipeline benchmarks: transactions/second through
-//! summarization and tracking, single-threaded vs the crossbeam pipeline
+//! summarization and tracking, single-threaded vs the stage-ring pipeline
 //! — the numbers that decide whether the platform keeps up with the
 //! paper's 200 k transactions/second feed.
 

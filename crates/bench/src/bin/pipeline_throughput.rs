@@ -5,7 +5,11 @@
 //! Writes `BENCH_pipeline.json` at the repository root (the committed
 //! baseline `scripts/bench-smoke.sh` regresses against) and prints the
 //! table. `--smoke` runs only the smoke configuration and prints
-//! `smoke_tx_per_sec=<n>` for the regression check.
+//! `smoke_tx_per_sec=<n>` for the regression check. `--scaling` runs the
+//! full grid, prints machine-parseable `scaling_*` facts (single-thread
+//! fold, best parallel config, speedup, monotonicity verdict) for the
+//! scaling-shape gate in `scripts/bench-smoke.sh`, appends the curve to
+//! `BENCH_history.jsonl`, and refreshes `BENCH_pipeline.json`.
 //!
 //! Steady-state tracker allocations are measured when built with
 //! `--features count-allocs` (a counting global allocator); without the
@@ -149,8 +153,95 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Each grid point's predecessor for the monotone-scaling check: adding
+/// cores along this chain must never reduce throughput (with 10 %
+/// measurement tolerance). `(1,1)` has no predecessor.
+fn predecessor(workers: usize, shards: usize) -> Option<(usize, usize)> {
+    match (workers, shards) {
+        (2, 1) => Some((1, 1)),
+        (4, 1) => Some((2, 1)),
+        (2, 2) => Some((2, 1)),
+        (4, 2) => Some((2, 2)),
+        (4, 4) => Some((4, 2)),
+        _ => None,
+    }
+}
+
+/// The scaling-shape facts `scripts/bench-smoke.sh` gates on.
+fn print_scaling_facts(cores: usize, single: f64, results: &[(usize, usize, f64)]) {
+    println!("scaling_cores={cores}");
+    println!("scaling_single_tx_per_sec={single:.1}");
+    for &(w, s, tps) in results {
+        println!("scaling_point workers={w} shards={s} tx_per_sec={tps:.1}");
+    }
+    let (bw, bs, best) = results
+        .iter()
+        .filter(|&&(w, _, _)| w > 1)
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .copied()
+        .expect("grid has workers>1 points");
+    println!("scaling_best_parallel workers={bw} shards={bs} tx_per_sec={best:.1}");
+    println!("scaling_speedup={:.3}", best / single);
+    let mut violations = Vec::new();
+    for &(w, s, tps) in results {
+        if let Some((pw, ps)) = predecessor(w, s) {
+            let pred = results
+                .iter()
+                .find(|&&(rw, rs, _)| (rw, rs) == (pw, ps))
+                .map(|&(_, _, t)| t)
+                .expect("predecessor is in the grid");
+            if tps < 0.9 * pred {
+                violations.push(format!("({w},{s})={tps:.0}<0.9*({pw},{ps})={pred:.0}"));
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!("scaling_monotone=ok");
+    } else {
+        println!("scaling_monotone=violation {}", violations.join(" "));
+    }
+}
+
+/// Append the scaling curve to `BENCH_history.jsonl` so the shape is
+/// trackable across commits, alongside the smoke records bench-smoke.sh
+/// writes.
+fn append_history(
+    root: &std::path::Path,
+    cores: usize,
+    single: f64,
+    results: &[(usize, usize, f64)],
+) {
+    use std::io::Write;
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let grid = results
+        .iter()
+        .map(|&(w, s, tps)| {
+            format!(
+                "{{\"workers\":{w},\"shards\":{s},\"tx_per_sec\":{}}}",
+                json_f64(tps)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let line = format!(
+        "{{\"kind\":\"scaling\",\"unix_time\":{unix_time},\"cores\":{cores},\"single_tx_per_sec\":{},\"grid\":[{grid}]}}\n",
+        json_f64(single)
+    );
+    let path = root.join("BENCH_history.jsonl");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open BENCH_history.jsonl");
+    f.write_all(line.as_bytes()).expect("append scaling record");
+    println!("appended scaling record to {}", path.display());
+}
+
 fn main() {
     let smoke_only = std::env::args().any(|a| a == "--smoke");
+    let scaling = std::env::args().any(|a| a == "--scaling");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     if smoke_only {
@@ -183,6 +274,13 @@ fn main() {
     let (allocs_per_tx, alloc_total) = measure_allocs(&txs);
     if allocs_per_tx.is_finite() {
         println!("steady-state srvip tracker: {allocs_per_tx:.4} allocs/tx ({alloc_total} total)");
+        // The committed baseline is 0.0001 allocs/tx; hold the line (with
+        // 50 % headroom for counter jitter) so recycling regressions fail
+        // the bench run itself.
+        assert!(
+            allocs_per_tx <= 1.5e-4,
+            "steady-state allocs_per_tx {allocs_per_tx} exceeds the 0.0001 baseline"
+        );
     } else {
         println!("steady-state allocs: not measured (build with --features count-allocs)");
     }
@@ -221,4 +319,9 @@ fn main() {
     let path = root.join("BENCH_pipeline.json");
     std::fs::write(&path, out).expect("write BENCH_pipeline.json");
     println!("wrote {}", path.display());
+
+    if scaling {
+        print_scaling_facts(cores, single, &results);
+        append_history(&root, cores, single, &results);
+    }
 }

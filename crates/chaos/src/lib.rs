@@ -7,7 +7,7 @@
 //! (sensor drop tallies, collector sequence gaps, late-item counts).
 //! This crate turns that promise into a machine-checked property.
 //!
-//! Three pieces, all sans-io and fully deterministic:
+//! Four pieces, all sans-io and fully deterministic:
 //!
 //! * **Virtual time** ([`clock`]) — a microsecond clock plus an event
 //!   queue; reconnect/backoff schedules that take wall-clock seconds in
@@ -23,6 +23,10 @@
 //!   rejects any divergence that is not covered by an explicit loss
 //!   ledger entry. A failing seed is shrunk by the built-in
 //!   delta-debugger ([`minimize`]) into a one-screen repro.
+//! * **Slow-shard axis** ([`slowshard`]) — seeded stall schedules for
+//!   one tracker shard of the threaded pipeline, used to check that the
+//!   per-shard watermark frontier protocol neither loses nor
+//!   double-counts a window when a shard lags.
 //!
 //! Run the full seed × profile matrix with `cargo test -p chaos`, or the
 //! release-mode smoke sweep with `scripts/chaos-smoke.sh`.
@@ -36,6 +40,7 @@ pub mod harness;
 pub mod item;
 pub mod minimize;
 pub mod oracle;
+pub mod slowshard;
 
 pub use clock::{EventQueue, VirtualClock};
 pub use fault::{plan_for, plans_for, FaultOp, FaultProfile, Rng, SensorPlan};
@@ -46,3 +51,4 @@ pub use harness::{
 pub use item::{probe_stream, ChaosItem};
 pub use minimize::{describe_plans, minimize_plans};
 pub use oracle::{check, predicted_delivery, Divergence, OracleSummary};
+pub use slowshard::{StallInjector, StallPlan};

@@ -1,0 +1,127 @@
+//! Slow-shard fault axis: stall one tracker shard's consumer on a
+//! deterministic schedule.
+//!
+//! The threaded pipeline's per-shard watermark frontiers let fast shards
+//! run ahead while a slow shard catches up on its own clock. The safety
+//! property is a conservation law: however long one shard lags, every
+//! window is closed exactly once on every shard — none lost, none
+//! double-counted — and the merged output is byte-identical to an
+//! unstalled run. This module provides the deterministic stall schedule;
+//! `crates/chaos/tests/slow_shard.rs` drives it through
+//! `ThreadedPipeline::with_stall_injector` and checks the law against
+//! the telemetry oracle.
+//!
+//! Stalls burn scheduler yields rather than wall-clock sleeps: on a
+//! loaded CI box a `yield_now` loop deterministically hands the core to
+//! the other pipeline stages (which is exactly the interleaving the
+//! fault axis wants to provoke) without slowing the suite down.
+
+use crate::fault::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The hook shape `ThreadedPipeline::with_stall_injector` accepts:
+/// `(shard index, message index)` called before each message a shard
+/// consumes.
+pub type StallInjector = Arc<dyn Fn(usize, u64) + Send + Sync>;
+
+/// A deterministic stall schedule for one shard.
+///
+/// The plan is plain data, like [`crate::fault::SensorPlan`]: which shard
+/// is slow, how often it stalls (every `period`-th message it consumes),
+/// and how hard (scheduler yields per stall). Expand a seed through
+/// [`StallPlan::from_seed`] for matrix runs, or build one literally for
+/// a targeted repro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallPlan {
+    /// Index of the stalled shard.
+    pub shard: usize,
+    /// Stall on every `period`-th message (1 = every message).
+    pub period: u64,
+    /// `thread::yield_now` iterations burned per stall.
+    pub yields: u32,
+}
+
+impl StallPlan {
+    /// Expand `seed` into a plan targeting one of `shards` shards. The
+    /// same `(seed, shards)` pair always yields the same plan.
+    pub fn from_seed(seed: u64, shards: usize) -> StallPlan {
+        // Mixing constant keeps stall plans decorrelated from the
+        // transport fault plans derived from the same seed.
+        let mut rng = Rng::new(seed ^ 0x51_0b5e_5108_47d5);
+        StallPlan {
+            shard: rng.below(shards.max(1) as u64) as usize,
+            period: 1 + rng.below(8),
+            yields: 16 + rng.below(497) as u32,
+        }
+    }
+
+    /// Whether the `msg_idx`-th message on `shard` stalls under this plan.
+    pub fn stalls(&self, shard: usize, msg_idx: u64) -> bool {
+        shard == self.shard && msg_idx.is_multiple_of(self.period)
+    }
+
+    /// Build the injector closure for
+    /// `ThreadedPipeline::with_stall_injector`, plus a counter of stalls
+    /// actually executed (tests assert the fault really fired — a fault
+    /// axis that silently injects nothing proves nothing).
+    pub fn injector(self) -> (StallInjector, Arc<AtomicU64>) {
+        let fired = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&fired);
+        let hook = Arc::new(move |shard: usize, msg_idx: u64| {
+            if self.stalls(shard, msg_idx) {
+                counter.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..self.yields {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        (hook, fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_in_range() {
+        for seed in 0..64 {
+            let a = StallPlan::from_seed(seed, 4);
+            let b = StallPlan::from_seed(seed, 4);
+            assert_eq!(a, b);
+            assert!(a.shard < 4);
+            assert!(a.period >= 1);
+            assert!(a.yields >= 16);
+        }
+    }
+
+    #[test]
+    fn only_the_planned_shard_stalls() {
+        let plan = StallPlan {
+            shard: 2,
+            period: 3,
+            yields: 10,
+        };
+        assert!(plan.stalls(2, 0));
+        assert!(!plan.stalls(2, 1));
+        assert!(plan.stalls(2, 3));
+        assert!(!plan.stalls(1, 0));
+        assert!(!plan.stalls(0, 3));
+    }
+
+    #[test]
+    fn injector_counts_fired_stalls() {
+        let plan = StallPlan {
+            shard: 0,
+            period: 2,
+            yields: 1,
+        };
+        let (hook, fired) = plan.injector();
+        for idx in 0..10 {
+            hook(0, idx);
+            hook(1, idx);
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Slow-shard fault axis: one tracker shard's consumer stalls on a
+//! seeded schedule while the rest of the pipeline runs at full speed.
+//!
+//! The frontier protocol's conservation law, checked two ways:
+//!
+//! * **Byte identity** — in the unsaturated regime the stalled run's
+//!   rendered TSV windows equal both an unstalled threaded run and the
+//!   single-threaded `Observatory`: a lagging shard delays dumps but
+//!   cannot change them.
+//! * **Telemetry oracle** — window and transaction accounting balances
+//!   exactly: one frontier close per produced window (none lost, none
+//!   double-counted), every transaction in exactly one window's
+//!   kept/dropped/filtered tally, and all queue-depth gauges drained to
+//!   zero. These hold even under eviction pressure, where row-level
+//!   identity legitimately does not.
+
+use chaos::StallPlan;
+use dns_observatory::tsv::render_store;
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig, ThreadedPipeline};
+use simnet::{SimConfig, Simulation};
+use std::sync::atomic::Ordering;
+use telemetry::Registry;
+
+const DATASETS: [Dataset; 3] = [Dataset::SrvIp, Dataset::Esld, Dataset::Qtype];
+
+fn roomy_cfg() -> ObservatoryConfig {
+    ObservatoryConfig {
+        datasets: vec![
+            (Dataset::SrvIp, 16_000),
+            (Dataset::Esld, 16_000),
+            (Dataset::Qtype, 64),
+        ],
+        window_secs: 0.5,
+        ..ObservatoryConfig::default()
+    }
+}
+
+fn tight_cfg() -> ObservatoryConfig {
+    ObservatoryConfig {
+        datasets: vec![(Dataset::SrvIp, 200), (Dataset::Qtype, 16)],
+        window_secs: 0.5,
+        ..ObservatoryConfig::default()
+    }
+}
+
+#[test]
+fn stalled_shard_output_is_byte_identical() {
+    let mut sim = Simulation::from_config(SimConfig::tiny());
+    let txs = sim.collect(2.0);
+
+    let mut obs = Observatory::new(roomy_cfg());
+    for tx in &txs {
+        obs.ingest(tx);
+    }
+    let single = obs.finish();
+    for w in single.windows() {
+        assert_eq!(w.dropped, 0, "test premise: no eviction in {}", w.dataset);
+    }
+    let reference = render_store(&single, &DATASETS);
+
+    for seed in 0..8u64 {
+        let plan = StallPlan::from_seed(seed, 3);
+        let (hook, fired) = plan.injector();
+        let stalled = ThreadedPipeline::with_shards(roomy_cfg(), 2, 3)
+            .with_batch_range(32, 32)
+            .with_stall_injector(hook)
+            .run(txs.clone());
+        assert!(
+            fired.load(Ordering::Relaxed) > 0,
+            "seed {seed}: the fault axis must actually fire ({plan:?})"
+        );
+        assert_eq!(
+            reference,
+            render_store(&stalled, &DATASETS),
+            "seed {seed}: stalled run diverged from Observatory ({plan:?})"
+        );
+    }
+}
+
+/// Under eviction pressure rows may differ from single-threaded, but the
+/// window/transaction conservation law must survive any stall schedule.
+#[test]
+fn stalled_shard_conserves_windows_and_transactions() {
+    let mut sim = Simulation::from_config(SimConfig::tiny());
+    let txs = sim.collect(2.5);
+    let total = txs.len() as u64;
+
+    // Unstalled reference run fixes the expected window grid.
+    let clean = ThreadedPipeline::with_shards(tight_cfg(), 2, 3).run(txs.clone());
+    let clean_starts: Vec<f64> = clean
+        .dataset(Dataset::SrvIp)
+        .iter()
+        .map(|w| w.start)
+        .collect();
+    assert!(clean_starts.len() >= 4, "workload too small to mean much");
+
+    for seed in 0..8u64 {
+        let plan = StallPlan::from_seed(seed, 3);
+        let (hook, fired) = plan.injector();
+        let registry = Registry::new();
+        let store = ThreadedPipeline::with_shards(tight_cfg(), 2, 3)
+            .with_registry(registry.clone())
+            .with_stall_injector(hook)
+            .run(txs.clone());
+        assert!(fired.load(Ordering::Relaxed) > 0, "seed {seed}: no stalls");
+
+        // No window lost, none double-counted: the stalled run produces
+        // exactly the reference window grid, in order.
+        let starts: Vec<f64> = store
+            .dataset(Dataset::SrvIp)
+            .iter()
+            .map(|w| w.start)
+            .collect();
+        assert_eq!(starts, clean_starts, "seed {seed}: window grid changed");
+
+        let snap = registry.snapshot(0);
+        assert_eq!(
+            snap.counter("pipeline_ingested_total"),
+            total,
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("pipeline_windows_total") as usize,
+            starts.len(),
+            "seed {seed}: one frontier close per produced window"
+        );
+        // Every transaction lands in exactly one window's tally, for
+        // every dataset — the conservation law from the telemetry
+        // oracle.
+        for ds in [Dataset::SrvIp, Dataset::Qtype] {
+            let sum: u64 = store
+                .dataset(ds)
+                .iter()
+                .map(|w| w.kept + w.dropped + w.filtered)
+                .sum();
+            assert_eq!(sum, total, "seed {seed}: {} leaked transactions", ds.name());
+        }
+        // All shard queues fully drained.
+        for sh in 0..3 {
+            assert_eq!(
+                snap.gauge(&format!("pipeline_queue_depth{{shard=\"{sh}\"}}")),
+                0.0,
+                "seed {seed}: shard {sh} queue not drained"
+            );
+        }
+    }
+}

@@ -53,7 +53,7 @@ pub mod tsv;
 pub use features::{FeatureConfig, FeatureRow, FeatureSet};
 pub use keys::{Dataset, Key, KeyBuf};
 pub use metrics::{MetaReporter, SequencerMetrics, ShardMetrics, TrackerMetrics};
-pub use pipeline::{Observatory, ObservatoryConfig, ThreadedPipeline};
+pub use pipeline::{Observatory, ObservatoryConfig, StallHook, ThreadedPipeline};
 pub use summarize::{Outcome, TxSummary};
 pub use timeseries::{TimeSeriesStore, WindowDump};
 pub use topk::TopKTracker;

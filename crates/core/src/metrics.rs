@@ -25,9 +25,13 @@ pub struct SequencerMetrics {
     /// closing window's start when its watermark fired.
     pub watermark_lag_seconds: Gauge,
     /// `pipeline_queue_depth{shard=..}`: in-flight messages per shard
-    /// channel. The sequencer adds on send; the shard subtracts on
-    /// receive (the channel itself cannot be asked for its length).
+    /// ring. The sequencer adds on send; the shard subtracts on
+    /// receive (so the gauge reflects unconsumed work, not ring slots).
     pub queue_depth: Vec<Gauge>,
+    /// `pipeline_batch_size`: the adaptive feeder's current batch size in
+    /// transactions — grows under backlog, shrinks when the stage rings
+    /// run idle.
+    pub batch_size: Gauge,
 }
 
 impl SequencerMetrics {
@@ -43,6 +47,7 @@ impl SequencerMetrics {
                     registry.gauge_with("pipeline_queue_depth", &[("shard", &sh.to_string())])
                 })
                 .collect(),
+            batch_size: registry.gauge("pipeline_batch_size"),
         }
     }
 }

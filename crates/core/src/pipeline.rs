@@ -1,7 +1,32 @@
 //! The assembled Observatory (steps B–F of the paper's Figure 1), in two
-//! flavours: a single-threaded [`Observatory`] and a crossbeam-channel
-//! [`ThreadedPipeline`] with parallel summarizers and a sequencing stage,
-//! mirroring how a production deployment separates ingest from tracking.
+//! flavours: a single-threaded [`Observatory`] and a multi-core
+//! [`ThreadedPipeline`] built on lock-free SPSC stage rings
+//! (`crates/spsc`) with parallel summarizers, an order-restoring
+//! sequencer, and hash-partitioned tracker shards.
+//!
+//! Concurrency architecture (see DESIGN.md for the full protocol):
+//!
+//! * **Stage rings** — every inter-stage edge (feeder → worker, worker →
+//!   sequencer, sequencer → shard) is a single-producer/single-consumer
+//!   ring; a hand-off costs one slot write and one release store,
+//!   amortized over a whole batch of transactions.
+//! * **Round-robin sequencing** — the feeder deals batches to workers in
+//!   round-robin order and the sequencer collects them in the same
+//!   order, so global stream order is restored with no reorder buffer.
+//! * **Per-shard watermark frontiers** — window closes are not broadcast
+//!   as a barrier; each shard's next message piggybacks the list of
+//!   window starts that closed since the shard last heard from the
+//!   sequencer, so idle shards never stall the hot path and every shard
+//!   still dumps at exactly the same points in the (deterministic)
+//!   stream.
+//! * **Adaptive batching** — the feeder grows its batch size under
+//!   backlog (deep stage rings / shard queues) and shrinks it when the
+//!   pipeline runs idle, between a configurable `[min, max]`.
+//!
+//! The threaded output is byte-identical to the single-threaded
+//! [`Observatory`] (in the unsaturated-cache regime for `shards > 1`);
+//! the differential tests below and `crates/core/tests/frontier_prop.rs`
+//! enforce it.
 
 use crate::features::FeatureConfig;
 use crate::keys::Dataset;
@@ -11,6 +36,8 @@ use crate::timeseries::{TimeSeriesStore, WindowDump};
 use crate::topk::TopKTracker;
 use psl::Psl;
 use simnet::Transaction;
+use spsc::{ring, Consumer, Pool, Producer, Recycled};
+use std::sync::Arc;
 use telemetry::Registry;
 
 /// Observatory configuration.
@@ -152,22 +179,118 @@ impl Observatory {
     }
 }
 
-/// One message on a shard's input channel.
+/// Chaos-testing hook: called by each tracker shard as `(shard index,
+/// message index)` before every message it processes, so fault-injection
+/// harnesses can stall one shard on a deterministic schedule (see
+/// `chaos::slowshard`). Production pipelines leave it unset.
+pub type StallHook = Arc<dyn Fn(usize, u64) + Send + Sync>;
+
+/// Feeder → worker and worker → sequencer ring depth, in batches.
+const STAGE_RING_BATCHES: usize = 4;
+/// Sequencer → shard ring depth, in messages. Deep enough that window
+/// closes and short shard hiccups never stall the sequencer.
+const SHARD_RING_MSGS: usize = 64;
+/// Default adaptive batch bounds (transactions per batch).
+const BATCH_MIN_DEFAULT: usize = 64;
+const BATCH_MAX_DEFAULT: usize = 8_192;
+/// Initial batch size before the controller has seen any signal.
+const BATCH_START: usize = 512;
+
+/// One message on a shard's ring.
 ///
-/// Batches carry the summaries by `Arc` (shared with every other shard
-/// that got assignments from the same batch) plus this shard's private
+/// `closes` is this shard's watermark frontier delta: the window starts
+/// (in global stream order) that closed since the sequencer last sent
+/// this shard a message. The shard dumps its trackers for each close
+/// *before* observing `batch` — all of the batch's assignments belong to
+/// the window that is open after the last close. Batches carry the
+/// summaries by `Arc` (shared with every other shard that got
+/// assignments from the same feeder batch) plus this shard's private
 /// assignment list: `(index into the batch, bitmask of dataset slots)`.
-/// Watermarks mark a window boundary; the sequencer broadcasts one to
-/// every shard so all partial trackers dump at exactly the same point in
-/// the (re-ordered, deterministic) stream.
-enum ShardMsg {
-    Batch {
-        summaries: std::sync::Arc<Vec<TxSummary>>,
-        assign: Vec<(u32, u16)>,
-    },
-    Watermark {
-        start: f64,
-    },
+struct ShardMsg {
+    closes: Vec<f64>,
+    batch: Option<ShardBatch>,
+}
+
+/// A shared summary batch plus one shard's private assignment list.
+type ShardBatch = (Arc<Recycled<TxSummary>>, Vec<(u32, u16)>);
+
+/// The sequencer's view of how far each shard's window clock lags the
+/// global one: all closed window starts, plus a per-shard cursor of how
+/// many have been shipped. Shards learn about closes lazily — piggybacked
+/// on their next batch, or in a final drain message — so a window close
+/// costs nothing on the hot path and never synchronizes the shard pool.
+struct Frontier {
+    closes: Vec<f64>,
+    sent: Vec<usize>,
+}
+
+impl Frontier {
+    fn new(shards: usize) -> Frontier {
+        Frontier {
+            closes: Vec::new(),
+            sent: vec![0; shards],
+        }
+    }
+
+    /// Record a window close at `start` (global stream order).
+    fn close(&mut self, start: f64) {
+        self.closes.push(start);
+    }
+
+    /// The closes shard `sh` has not heard about yet; marks them sent.
+    /// Returns an empty (allocation-free) `Vec` when the shard is
+    /// current.
+    fn take(&mut self, sh: usize) -> Vec<f64> {
+        let from = self.sent[sh];
+        self.sent[sh] = self.closes.len();
+        if from == self.closes.len() {
+            Vec::new()
+        } else {
+            self.closes[from..].to_vec()
+        }
+    }
+}
+
+/// The feeder's batch-size controller: grow under backlog, shrink when
+/// idle, clamp to `[min, max]`.
+///
+/// Signals (both already exported as telemetry gauges): the occupancy of
+/// the stage ring being pushed to, and the deepest sequencer → shard
+/// queue. A nearly-full ring or deep shard queues mean downstream is the
+/// bottleneck — larger batches amortize per-batch overhead. An empty
+/// ring with idle shard queues means the pipeline is keeping up —
+/// smaller batches reduce latency and memory. Output is *independent* of
+/// batch size (the window clock is driven per summary), so adaptation
+/// never affects byte-identicality.
+struct AdaptiveBatch {
+    cur: usize,
+    min: usize,
+    max: usize,
+}
+
+impl AdaptiveBatch {
+    fn new(min: usize, max: usize) -> AdaptiveBatch {
+        AdaptiveBatch {
+            cur: BATCH_START.clamp(min, max),
+            min,
+            max,
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.cur
+    }
+
+    fn adapt(&mut self, ring_occupancy: usize, ring_cap: usize, deepest_shard_queue: f64) {
+        let backlog =
+            ring_occupancy + 1 >= ring_cap || deepest_shard_queue >= (SHARD_RING_MSGS / 2) as f64;
+        let idle = ring_occupancy == 0 && deepest_shard_queue <= 0.0;
+        if backlog {
+            self.cur = (self.cur * 2).min(self.max);
+        } else if idle {
+            self.cur = (self.cur / 2).max(self.min);
+        }
+    }
 }
 
 /// Per-window output of one shard: for each configured dataset (in config
@@ -176,17 +299,22 @@ enum ShardMsg {
 type ShardPart = (Vec<(String, crate::features::FeatureRow)>, (u64, u64, u64));
 type ShardWindows = Vec<(f64, Vec<ShardPart>)>;
 
-/// A threaded pipeline: transactions are chunked into batches and fanned
-/// out to `workers` summarizer threads; a sequencer restores batch order,
-/// drives the window clock, and routes each summary to one of `shards`
-/// tracker threads by `xxh64(key) % shards` — so the Top-k state itself
-/// is partitioned, not just the parsing. Disjoint key partitions make the
+/// A threaded pipeline: transactions are chunked into recycled batches
+/// and dealt round-robin to `workers` summarizer threads over SPSC
+/// rings; a sequencer collects the batches in the same round-robin order
+/// (restoring global stream order with no reorder buffer), drives the
+/// window clock, and routes each summary to one of `shards` tracker
+/// threads by `xxh64(key) % shards` — so the Top-k state itself is
+/// partitioned, not just the parsing. Disjoint key partitions make the
 /// merge trivial (concatenate + re-sort) and keep the sharded output
 /// byte-identical to the single-threaded [`Observatory`].
 pub struct ThreadedPipeline {
     cfg: ObservatoryConfig,
     workers: usize,
     shards: usize,
+    batch_min: usize,
+    batch_max: usize,
+    stall: Option<StallHook>,
     registry: Registry,
 }
 
@@ -211,6 +339,9 @@ impl ThreadedPipeline {
             cfg,
             workers: workers.max(1),
             shards: shards.max(1),
+            batch_min: BATCH_MIN_DEFAULT,
+            batch_max: BATCH_MAX_DEFAULT,
+            stall: None,
             registry: Registry::global(),
         }
     }
@@ -219,6 +350,27 @@ impl ThreadedPipeline {
     /// and multi-pipeline processes that need isolated metric spaces).
     pub fn with_registry(mut self, registry: Registry) -> ThreadedPipeline {
         self.registry = registry;
+        self
+    }
+
+    /// Constrain the adaptive feeder batch size to `[min, max]`
+    /// transactions. Passing `min == max` pins the batch size — the
+    /// frontier-equivalence property tests use this to sweep schedules.
+    /// Output never depends on batch size; only throughput and latency
+    /// do.
+    pub fn with_batch_range(mut self, min: usize, max: usize) -> ThreadedPipeline {
+        assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+        self.batch_min = min;
+        self.batch_max = max;
+        self
+    }
+
+    /// Install a chaos-testing [`StallHook`] invoked by each shard before
+    /// every message it processes. Used by the slow-shard fault axis to
+    /// stall one shard's consumer on a deterministic schedule; must not
+    /// be set in production pipelines.
+    pub fn with_stall_injector(mut self, hook: StallHook) -> ThreadedPipeline {
+        self.stall = Some(hook);
         self
     }
 
@@ -235,58 +387,54 @@ impl ThreadedPipeline {
     /// Consume `transactions`, returning the collected time series.
     ///
     /// The input is chunked into batches on the calling thread (batch
-    /// `Vec`s are recycled through a return channel, so the steady state
-    /// allocates no batch storage); each batch is summarized by one
-    /// worker; the sequencer restores batch order so window boundaries
-    /// are deterministic and identical to the single-threaded result,
-    /// then scatters summaries to the tracker shards.
+    /// storage is recycled through bounded [`Pool`]s, so the steady state
+    /// allocates no batch storage on any path); each batch is summarized
+    /// by one worker; the sequencer collects batches in round-robin order
+    /// so window boundaries are deterministic and identical to the
+    /// single-threaded result, then scatters summaries to the tracker
+    /// shards with per-shard frontier watermarks.
     pub fn run<I>(&self, transactions: I) -> TimeSeriesStore
     where
         I: IntoIterator<Item = Transaction>,
     {
-        use crossbeam_channel::{bounded, unbounded};
-
-        const BATCH: usize = 512;
         let workers = self.workers;
         let shards = self.shards;
         let datasets: Vec<Dataset> = self.cfg.datasets.iter().map(|&(ds, _)| ds).collect();
         let window_secs = self.cfg.window_secs;
 
-        let (task_tx, task_rx) = bounded::<(u64, Vec<Transaction>)>(workers * 2);
-        let (done_tx, done_rx) = bounded::<(u64, Vec<TxSummary>)>(workers * 2);
-        // Drained batch Vecs flow back to the feeder for reuse. Unbounded
-        // so a worker can never block on the return path; the population
-        // of batches is bounded by the task channel anyway.
-        let (recycle_tx, recycle_rx) = unbounded::<Vec<Transaction>>();
-        let (shard_txs, shard_rxs) = shard_channels(shards);
+        // One SPSC ring per stage edge.
+        let mut task_txs = Vec::with_capacity(workers);
+        let mut task_rxs = Vec::with_capacity(workers);
+        let mut done_txs = Vec::with_capacity(workers);
+        let mut done_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = ring::<Vec<Transaction>>(STAGE_RING_BATCHES);
+            task_txs.push(tx);
+            task_rxs.push(rx);
+            let (tx, rx) = ring::<Vec<TxSummary>>(STAGE_RING_BATCHES);
+            done_txs.push(tx);
+            done_rxs.push(rx);
+        }
+        let (shard_txs, shard_rxs) = shard_rings(shards);
+
+        // Batch-storage pools, bounded to the rings' aggregate depth (a
+        // slow stage can never accumulate more idle buffers than the
+        // rings could hold in flight).
+        let tx_pool: Pool<Transaction> = Pool::new(workers * STAGE_RING_BATCHES + 2);
+        let summary_pool: Pool<TxSummary> =
+            Pool::new(workers * STAGE_RING_BATCHES + 2 * shards + 2);
+        let assign_pool: Pool<(u32, u16)> = Pool::new(shards * SHARD_RING_MSGS + shards + 2);
+
         let seq_metrics = SequencerMetrics::register(&self.registry, shards);
 
         let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
             // Summarizer workers.
-            for _ in 0..workers {
-                let task_rx = task_rx.clone();
-                let done_tx = done_tx.clone();
-                let recycle_tx = recycle_tx.clone();
-                scope.spawn(move || {
-                    let psl = Psl::embedded();
-                    for (seq, mut batch) in task_rx.iter() {
-                        let summaries = batch
-                            .iter()
-                            .map(|tx| TxSummary::from_transaction(tx, &psl))
-                            .collect();
-                        batch.clear();
-                        // Feeder may already be done draining; that's fine.
-                        let _ = recycle_tx.send(batch);
-                        if done_tx.send((seq, summaries)).is_err() {
-                            return;
-                        }
-                    }
-                });
+            for (task_rx, done_tx) in task_rxs.into_iter().zip(done_txs) {
+                let tx_pool = tx_pool.clone();
+                let summary_pool = summary_pool.clone();
+                scope.spawn(move || worker_loop(task_rx, done_tx, tx_pool, summary_pool));
             }
-            drop(task_rx);
-            drop(done_tx);
-            drop(recycle_tx);
 
             let shard_handles: Vec<_> = shard_rxs
                 .into_iter()
@@ -294,32 +442,38 @@ impl ThreadedPipeline {
                 .map(|(sh, rx)| {
                     let cfg = &self.cfg;
                     let metrics = ShardMetrics::register(&self.registry, sh, &datasets);
-                    scope.spawn(move || shard_loop(rx, cfg, shards, metrics))
+                    let stall = self.stall.clone();
+                    let assign_pool = assign_pool.clone();
+                    scope
+                        .spawn(move || shard_loop(sh, rx, cfg, shards, metrics, stall, assign_pool))
                 })
                 .collect();
 
             let datasets: &[Dataset] = &datasets;
+            let seq_m = seq_metrics.clone();
+            let seq_summary_pool = summary_pool.clone();
+            let seq_assign_pool = assign_pool.clone();
             let sequencer = scope.spawn(move || {
-                sequencer_loop(done_rx, shard_txs, datasets, window_secs, seq_metrics)
+                sequencer_loop(
+                    done_rxs,
+                    shard_txs,
+                    datasets,
+                    window_secs,
+                    seq_m,
+                    seq_summary_pool,
+                    seq_assign_pool,
+                )
             });
 
-            // Feeder (this thread): chunk the input, reusing drained
-            // batch Vecs from the recycle channel.
-            let mut it = transactions.into_iter();
-            let mut seq = 0u64;
-            loop {
-                let mut batch = recycle_rx.try_recv().unwrap_or_default();
-                batch.extend(it.by_ref().take(BATCH));
-                if batch.is_empty() {
-                    break;
-                }
-                if task_tx.send((seq, batch)).is_err() {
-                    break;
-                }
-                seq += 1;
-            }
-            drop(task_tx);
-            drop(recycle_rx);
+            // Feeder (this thread): chunk the input into recycled batch
+            // Vecs, dealing them round-robin to the workers.
+            feed_batches(
+                transactions.into_iter(),
+                task_txs,
+                &tx_pool,
+                AdaptiveBatch::new(self.batch_min, self.batch_max),
+                &seq_metrics,
+            );
 
             sequencer.join().expect("sequencer thread");
             for h in shard_handles {
@@ -336,21 +490,23 @@ impl ThreadedPipeline {
     /// summaries were produced (and parallelized) on the sensors, so the
     /// summarizer stage is skipped and the stream goes straight through
     /// the sequencer → shard → merge machinery shared with [`Self::run`].
-    /// With one shard the result is byte-identical to feeding the same
-    /// summaries through [`Observatory::ingest_summary`].
+    /// The feeder is the same recycling, adaptive-batch chunker — batch
+    /// storage flows back through the bounded summary pool exactly as on
+    /// the transaction path. With one shard the result is byte-identical
+    /// to feeding the same summaries through
+    /// [`Observatory::ingest_summary`].
     pub fn run_summaries<I>(&self, summaries: I) -> TimeSeriesStore
     where
         I: IntoIterator<Item = TxSummary>,
     {
-        use crossbeam_channel::bounded;
-
-        const BATCH: usize = 512;
         let shards = self.shards;
         let datasets: Vec<Dataset> = self.cfg.datasets.iter().map(|&(ds, _)| ds).collect();
         let window_secs = self.cfg.window_secs;
 
-        let (done_tx, done_rx) = bounded::<(u64, Vec<TxSummary>)>(4);
-        let (shard_txs, shard_rxs) = shard_channels(shards);
+        let (feed_tx, feed_rx) = ring::<Vec<TxSummary>>(STAGE_RING_BATCHES);
+        let (shard_txs, shard_rxs) = shard_rings(shards);
+        let summary_pool: Pool<TxSummary> = Pool::new(STAGE_RING_BATCHES + 2 * shards + 2);
+        let assign_pool: Pool<(u32, u16)> = Pool::new(shards * SHARD_RING_MSGS + shards + 2);
         let seq_metrics = SequencerMetrics::register(&self.registry, shards);
 
         let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
@@ -361,28 +517,36 @@ impl ThreadedPipeline {
                 .map(|(sh, rx)| {
                     let cfg = &self.cfg;
                     let metrics = ShardMetrics::register(&self.registry, sh, &datasets);
-                    scope.spawn(move || shard_loop(rx, cfg, shards, metrics))
+                    let stall = self.stall.clone();
+                    let assign_pool = assign_pool.clone();
+                    scope
+                        .spawn(move || shard_loop(sh, rx, cfg, shards, metrics, stall, assign_pool))
                 })
                 .collect();
 
             let datasets: &[Dataset] = &datasets;
+            let seq_m = seq_metrics.clone();
+            let seq_summary_pool = summary_pool.clone();
+            let seq_assign_pool = assign_pool.clone();
             let sequencer = scope.spawn(move || {
-                sequencer_loop(done_rx, shard_txs, datasets, window_secs, seq_metrics)
+                sequencer_loop(
+                    vec![feed_rx],
+                    shard_txs,
+                    datasets,
+                    window_secs,
+                    seq_m,
+                    seq_summary_pool,
+                    seq_assign_pool,
+                )
             });
 
-            let mut it = summaries.into_iter();
-            let mut seq = 0u64;
-            loop {
-                let batch: Vec<TxSummary> = it.by_ref().take(BATCH).collect();
-                if batch.is_empty() {
-                    break;
-                }
-                if done_tx.send((seq, batch)).is_err() {
-                    break;
-                }
-                seq += 1;
-            }
-            drop(done_tx);
+            feed_batches(
+                summaries.into_iter(),
+                vec![feed_tx],
+                &summary_pool,
+                AdaptiveBatch::new(self.batch_min, self.batch_max),
+                &seq_metrics,
+            );
 
             sequencer.join().expect("sequencer thread");
             for h in shard_handles {
@@ -394,29 +558,87 @@ impl ThreadedPipeline {
     }
 }
 
-fn shard_channels(
-    shards: usize,
-) -> (
-    Vec<crossbeam_channel::Sender<ShardMsg>>,
-    Vec<crossbeam_channel::Receiver<ShardMsg>>,
-) {
+fn shard_rings(shards: usize) -> (Vec<Producer<ShardMsg>>, Vec<Consumer<ShardMsg>>) {
     let mut shard_txs = Vec::with_capacity(shards);
     let mut shard_rxs = Vec::with_capacity(shards);
     for _ in 0..shards {
-        let (tx, rx) = crossbeam_channel::bounded::<ShardMsg>(4);
+        let (tx, rx) = ring::<ShardMsg>(SHARD_RING_MSGS);
         shard_txs.push(tx);
         shard_rxs.push(rx);
     }
     (shard_txs, shard_rxs)
 }
 
+/// The shared feeder: chunk `it` into pooled batch `Vec`s and deal them
+/// round-robin to `outs`, adapting the batch size to backpressure. Both
+/// `run` (transactions → workers) and `run_summaries` (summaries →
+/// sequencer) go through here, so batch recycling and adaptive sizing
+/// behave identically on both paths.
+fn feed_batches<T, I>(
+    mut it: I,
+    mut outs: Vec<Producer<Vec<T>>>,
+    pool: &Pool<T>,
+    mut ctl: AdaptiveBatch,
+    metrics: &SequencerMetrics,
+) where
+    T: Send,
+    I: Iterator<Item = T>,
+{
+    let mut w = 0usize;
+    loop {
+        let mut batch = pool.get();
+        batch.extend(it.by_ref().take(ctl.size()));
+        if batch.is_empty() {
+            pool.put(batch);
+            break;
+        }
+        let out = &mut outs[w];
+        let deepest = metrics
+            .queue_depth
+            .iter()
+            .map(telemetry::Gauge::value)
+            .fold(0.0, f64::max);
+        ctl.adapt(out.len(), out.capacity(), deepest);
+        metrics.batch_size.set(ctl.size() as f64);
+        if out.push(batch).is_err() {
+            break; // downstream died (panic propagates at scope join)
+        }
+        w = (w + 1) % outs.len();
+    }
+    // Dropping the producers here ends the stream for every worker.
+}
+
+/// Summarizer worker: pooled transaction batches in, pooled summary
+/// batches out, strict FIFO so round-robin sequencing holds.
+fn worker_loop(
+    mut rx: Consumer<Vec<Transaction>>,
+    mut tx: Producer<Vec<TxSummary>>,
+    tx_pool: Pool<Transaction>,
+    summary_pool: Pool<TxSummary>,
+) {
+    let psl = Psl::embedded();
+    while let Some(batch) = rx.pop() {
+        let mut out = summary_pool.get();
+        out.extend(batch.iter().map(|t| TxSummary::from_transaction(t, &psl)));
+        tx_pool.put(batch);
+        if tx.push(out).is_err() {
+            return;
+        }
+    }
+}
+
 /// Tracker shard: owns an independent TopKTracker per dataset over its
-/// disjoint slice of the key space, dumping at every watermark.
+/// disjoint slice of the key space. Processes each message's frontier
+/// closes (window dumps) before its batch assignments, which restores
+/// exactly the single-threaded dump-before-observe order.
 fn shard_loop(
-    rx: crossbeam_channel::Receiver<ShardMsg>,
+    sh: usize,
+    mut rx: Consumer<ShardMsg>,
     cfg: &ObservatoryConfig,
     shards: usize,
     mut metrics: ShardMetrics,
+    stall: Option<StallHook>,
+    assign_pool: Pool<(u32, u16)>,
 ) -> ShardWindows {
     let mut trackers: Vec<TopKTracker> = cfg
         .datasets
@@ -432,56 +654,64 @@ fn shard_loop(
         .collect();
     let mut prev = vec![(0u64, 0u64, 0u64); trackers.len()];
     let mut windows: ShardWindows = Vec::new();
-    for msg in rx.iter() {
+    let mut msg_idx = 0u64;
+    while let Some(msg) = rx.pop() {
         metrics.queue_depth.add(-1.0);
-        match msg {
-            ShardMsg::Batch { summaries, assign } => {
-                let t0 = std::time::Instant::now();
-                for (idx, mask) in assign {
-                    let s = &summaries[idx as usize];
-                    for (d, t) in trackers.iter_mut().enumerate() {
-                        if mask & (1 << d) != 0 {
-                            t.observe(s);
-                        }
+        if let Some(stall) = &stall {
+            stall(sh, msg_idx);
+        }
+        msg_idx += 1;
+        for &start in &msg.closes {
+            let tracker_metrics = &mut metrics.trackers;
+            let parts = trackers
+                .iter_mut()
+                .enumerate()
+                .map(|(i, t)| {
+                    let rows = t.dump(start);
+                    let (k, dr, f) = t.stats();
+                    let (pk, pd, pf) = prev[i];
+                    prev[i] = (k, dr, f);
+                    let delta = (k - pk, dr - pd, f - pf);
+                    tracker_metrics[i].flush(t, delta);
+                    (rows, delta)
+                })
+                .collect();
+            windows.push((start, parts));
+        }
+        if let Some((summaries, assign)) = msg.batch {
+            let t0 = std::time::Instant::now();
+            for &(idx, mask) in &assign {
+                let s = &summaries[idx as usize];
+                for (d, t) in trackers.iter_mut().enumerate() {
+                    if mask & (1 << d) != 0 {
+                        t.observe(s);
                     }
                 }
-                metrics.batch_seconds.record(t0.elapsed().as_secs_f64());
             }
-            ShardMsg::Watermark { start } => {
-                let tracker_metrics = &mut metrics.trackers;
-                let parts = trackers
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, t)| {
-                        let rows = t.dump(start);
-                        let (k, dr, f) = t.stats();
-                        let (pk, pd, pf) = prev[i];
-                        prev[i] = (k, dr, f);
-                        let delta = (k - pk, dr - pd, f - pf);
-                        tracker_metrics[i].flush(t, delta);
-                        (rows, delta)
-                    })
-                    .collect();
-                windows.push((start, parts));
-            }
+            metrics.batch_seconds.record(t0.elapsed().as_secs_f64());
+            assign_pool.put(assign);
+            // `summaries` drops here; the last shard to finish with the
+            // batch returns its storage to the summary pool.
         }
     }
     windows
 }
 
-/// Sequencer: restore batch order, drive the window clock with the exact
+/// Sequencer: collect worker batches in round-robin order (global stream
+/// order by construction), drive the window clock with the exact
 /// arithmetic of `Observatory::ingest_summary`, and scatter assignments
-/// to the shards. Dropping the senders on return disconnects the shards.
+/// to the shards with per-shard frontier closes piggybacked. Dropping
+/// the ring producers on return disconnects the shards.
 fn sequencer_loop(
-    done_rx: crossbeam_channel::Receiver<(u64, Vec<TxSummary>)>,
-    shard_txs: Vec<crossbeam_channel::Sender<ShardMsg>>,
+    mut inputs: Vec<Consumer<Vec<TxSummary>>>,
+    mut shard_txs: Vec<Producer<ShardMsg>>,
     datasets: &[Dataset],
     window_secs: f64,
     metrics: SequencerMetrics,
+    summary_pool: Pool<TxSummary>,
+    assign_pool: Pool<(u32, u16)>,
 ) {
     use crate::keys::KeyBuf;
-    use std::collections::BTreeMap;
-    use std::sync::Arc;
 
     let shards = shard_txs.len();
     let n_datasets = datasets.len();
@@ -491,101 +721,139 @@ fn sequencer_loop(
         (1u16 << n_datasets) - 1
     };
 
-    let mut next_seq = 0u64;
-    let mut hold: BTreeMap<u64, Vec<TxSummary>> = BTreeMap::new();
+    let mut next = 0usize;
     let mut window_start: Option<f64> = None;
     let mut ingested = 0u64;
     let mut keybuf = KeyBuf::new();
     let mut masks: Vec<u16> = vec![0; shards];
     let mut pending: Vec<Vec<(u32, u16)>> = vec![Vec::new(); shards];
+    let mut frontier = Frontier::new(shards);
 
-    let queue_depth = &metrics.queue_depth;
-    let flush = |pending: &mut Vec<Vec<(u32, u16)>>,
-                 batch: &Arc<Vec<TxSummary>>,
-                 shard_txs: &[crossbeam_channel::Sender<ShardMsg>]| {
-        for (sh, assign) in pending.iter_mut().enumerate() {
-            if !assign.is_empty() {
-                // Gauge first: the bounded channel may block, and the
-                // depth should reflect the message the shard will see.
-                queue_depth[sh].add(1.0);
-                shard_txs[sh]
-                    .send(ShardMsg::Batch {
-                        summaries: Arc::clone(batch),
-                        assign: std::mem::take(assign),
-                    })
-                    .unwrap_or_else(|_| panic!("shard thread alive"));
+    // Strict round-robin: when the batch due from a ring does not exist
+    // (producer gone, ring drained), no later batch exists either — the
+    // stream is over.
+    while let Some(buf) = inputs[next].pop() {
+        next = (next + 1) % inputs.len();
+        let batch = Arc::new(summary_pool.wrap(buf));
+        metrics.batches.inc(1);
+        metrics.ingested.inc(batch.len() as u64);
+        for (i, s) in batch.iter().enumerate() {
+            let start = *window_start.get_or_insert(s.time);
+            if s.time >= start + window_secs {
+                // Window boundary *before* this summary: everything
+                // routed so far belongs to the closing window, so flush
+                // it, then record the close on the frontier. No message
+                // is sent to idle shards — they learn of the close with
+                // their next batch (or the final drain).
+                flush_pending(
+                    &mut pending,
+                    &batch,
+                    &mut shard_txs,
+                    &mut frontier,
+                    &metrics,
+                );
+                frontier.close(start);
+                metrics.windows.inc(1);
+                metrics.watermark_lag_seconds.set(s.time - start);
+                let skipped = ((s.time - start) / window_secs).floor();
+                window_start = Some(start + skipped * window_secs);
             }
-        }
-    };
-
-    for (seq, summaries) in done_rx.iter() {
-        hold.insert(seq, summaries);
-        while let Some(batch) = hold.remove(&next_seq) {
-            next_seq += 1;
-            let batch = Arc::new(batch);
-            metrics.batches.inc(1);
-            metrics.ingested.inc(batch.len() as u64);
-            for (i, s) in batch.iter().enumerate() {
-                let start = *window_start.get_or_insert(s.time);
-                if s.time >= start + window_secs {
-                    // Window boundary *before* this summary: ship
-                    // everything routed so far, then the watermark,
-                    // exactly as the single-threaded Observatory dumps
-                    // before observing.
-                    flush(&mut pending, &batch, &shard_txs);
-                    for (sh, tx) in shard_txs.iter().enumerate() {
-                        queue_depth[sh].add(1.0);
-                        tx.send(ShardMsg::Watermark { start })
-                            .unwrap_or_else(|_| panic!("shard thread alive"));
-                    }
-                    metrics.windows.inc(1);
-                    metrics.watermark_lag_seconds.set(s.time - start);
-                    let skipped = ((s.time - start) / window_secs).floor();
-                    window_start = Some(start + skipped * window_secs);
+            ingested += 1;
+            if shards == 1 {
+                push_assign(&mut pending[0], &assign_pool, (i as u32, full_mask));
+            } else {
+                masks.iter_mut().for_each(|m| *m = 0);
+                for (d, ds) in datasets.iter().enumerate() {
+                    // Filtered summaries still count once: route them
+                    // by dataset slot so exactly one shard tallies
+                    // the `filtered` stat.
+                    let sh = if ds.key_into(s, &mut keybuf) {
+                        (sketches::hash::xxh64(keybuf.as_bytes(), 0) % shards as u64) as usize
+                    } else {
+                        d % shards
+                    };
+                    masks[sh] |= 1 << d;
                 }
-                ingested += 1;
-                if shards == 1 {
-                    pending[0].push((i as u32, full_mask));
-                } else {
-                    masks.iter_mut().for_each(|m| *m = 0);
-                    for (d, ds) in datasets.iter().enumerate() {
-                        // Filtered summaries still count once: route them
-                        // by dataset slot so exactly one shard tallies
-                        // the `filtered` stat.
-                        let sh = if ds.key_into(s, &mut keybuf) {
-                            (sketches::hash::xxh64(keybuf.as_bytes(), 0) % shards as u64) as usize
-                        } else {
-                            d % shards
-                        };
-                        masks[sh] |= 1 << d;
-                    }
-                    for (sh, m) in masks.iter().enumerate() {
-                        if *m != 0 {
-                            pending[sh].push((i as u32, *m));
-                        }
+                for (sh, m) in masks.iter().enumerate() {
+                    if *m != 0 {
+                        push_assign(&mut pending[sh], &assign_pool, (i as u32, *m));
                     }
                 }
             }
-            flush(&mut pending, &batch, &shard_txs);
         }
+        // Messages never span feeder batches (assignments index into one
+        // `Arc` batch), so flush the remainder before the next batch.
+        flush_pending(
+            &mut pending,
+            &batch,
+            &mut shard_txs,
+            &mut frontier,
+            &metrics,
+        );
     }
     // Final partial window, matching `Observatory::finish`.
     if let Some(start) = window_start {
         if ingested > 0 {
-            for (sh, tx) in shard_txs.iter().enumerate() {
-                queue_depth[sh].add(1.0);
-                tx.send(ShardMsg::Watermark { start })
-                    .unwrap_or_else(|_| panic!("shard thread alive"));
-            }
+            frontier.close(start);
             metrics.windows.inc(1);
+        }
+    }
+    // Drain outstanding frontier deltas so every shard closes every
+    // window (idle shards included) before the rings disconnect.
+    for (sh, tx) in shard_txs.iter_mut().enumerate() {
+        let closes = frontier.take(sh);
+        if !closes.is_empty() {
+            metrics.queue_depth[sh].add(1.0);
+            tx.push(ShardMsg {
+                closes,
+                batch: None,
+            })
+            .unwrap_or_else(|_| panic!("shard thread alive"));
         }
     }
 }
 
-/// Merge: every shard saw every watermark, so all shards report the same
-/// window starts in the same order. Partitions are disjoint, so a
-/// window's rows are the concatenation, re-sorted with the tracker's own
-/// dump order (hits desc, then key).
+/// Append one assignment, fetching pooled storage on first use (the
+/// previous `Vec` left with the last message to this shard).
+#[inline]
+fn push_assign(pending: &mut Vec<(u32, u16)>, pool: &Pool<(u32, u16)>, item: (u32, u16)) {
+    if pending.capacity() == 0 {
+        *pending = pool.get();
+    }
+    pending.push(item);
+}
+
+/// Ship every shard's pending assignments for `batch`, with that shard's
+/// outstanding frontier closes piggybacked. Shards without assignments
+/// get nothing — no barrier, no wakeup.
+fn flush_pending(
+    pending: &mut [Vec<(u32, u16)>],
+    batch: &Arc<Recycled<TxSummary>>,
+    shard_txs: &mut [Producer<ShardMsg>],
+    frontier: &mut Frontier,
+    metrics: &SequencerMetrics,
+) {
+    for (sh, assign) in pending.iter_mut().enumerate() {
+        if assign.is_empty() {
+            continue;
+        }
+        let closes = frontier.take(sh);
+        // Gauge first: the bounded ring may block, and the depth should
+        // reflect the message the shard will see.
+        metrics.queue_depth[sh].add(1.0);
+        shard_txs[sh]
+            .push(ShardMsg {
+                closes,
+                batch: Some((Arc::clone(batch), std::mem::take(assign))),
+            })
+            .unwrap_or_else(|_| panic!("shard thread alive"));
+    }
+}
+
+/// Merge: every shard processes every frontier close, so all shards
+/// report the same window starts in the same order. Partitions are
+/// disjoint, so a window's rows are the concatenation, re-sorted with
+/// the tracker's own dump order (hits desc, then key).
 fn merge_shard_windows(
     mut shard_windows: Vec<ShardWindows>,
     datasets: &[Dataset],
@@ -899,6 +1167,69 @@ mod tests {
         }
     }
 
+    /// Batch size must never affect output: pin the adaptive controller
+    /// at several sizes (including degenerate 1-transaction batches that
+    /// maximize frontier piggybacking) and demand identical stores.
+    #[test]
+    fn output_is_invariant_under_batch_size() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(2.0);
+        let reference = ThreadedPipeline::with_shards(small_cfg(), 2, 2)
+            .with_batch_range(512, 512)
+            .run(txs.clone());
+        for pinned in [1, 7, 64, 4096] {
+            let got = ThreadedPipeline::with_shards(small_cfg(), 2, 2)
+                .with_batch_range(pinned, pinned)
+                .run(txs.clone());
+            assert_eq!(reference.windows().len(), got.windows().len());
+            for (a, b) in reference.windows().iter().zip(got.windows()) {
+                assert_eq!(a.start, b.start, "batch={pinned}");
+                assert_eq!(
+                    (a.kept, a.dropped, a.filtered),
+                    (b.kept, b.dropped, b.filtered),
+                    "batch={pinned}"
+                );
+                assert_eq!(
+                    format!("{:?}", a.rows),
+                    format!("{:?}", b.rows),
+                    "batch={pinned}"
+                );
+            }
+        }
+    }
+
+    /// The stall hook exists for chaos testing; stalling must delay, not
+    /// change, the output.
+    #[test]
+    fn stall_injector_does_not_change_output() {
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(1.5);
+        let clean = ThreadedPipeline::with_shards(small_cfg(), 2, 2).run(txs.clone());
+        let stalled = ThreadedPipeline::with_shards(small_cfg(), 2, 2)
+            .with_stall_injector(Arc::new(|sh, idx| {
+                if sh == 0 && idx % 3 == 0 {
+                    for _ in 0..50 {
+                        std::thread::yield_now();
+                    }
+                }
+            }))
+            .run(txs);
+        assert_eq!(clean.windows().len(), stalled.windows().len());
+        for (a, b) in clean.windows().iter().zip(stalled.windows()) {
+            assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
+        }
+    }
+
+    /// An empty input stream must terminate cleanly with an empty store
+    /// on every stage topology.
+    #[test]
+    fn empty_input_produces_empty_store() {
+        let store = ThreadedPipeline::with_shards(small_cfg(), 3, 2).run(Vec::new());
+        assert!(store.windows().is_empty());
+        let store = ThreadedPipeline::new(small_cfg(), 2).run_summaries(Vec::new());
+        assert!(store.windows().is_empty());
+    }
+
     /// The telemetry counters must reconcile exactly with the store the
     /// pipeline produced: ingested matches the input, and each dataset's
     /// kept/dropped/filtered counters equal the per-window TSV totals.
@@ -918,7 +1249,7 @@ mod tests {
         assert_eq!(
             boundaries as usize,
             store.dataset(Dataset::SrvIp).len(),
-            "one watermark broadcast per produced window"
+            "one frontier close per produced window"
         );
         for ds in [Dataset::SrvIp, Dataset::Qtype] {
             let from_store: (u64, u64, u64) =
@@ -943,6 +1274,8 @@ mod tests {
                 0.0
             );
         }
+        // The adaptive feeder reported its batch size.
+        assert!(snap.gauge("pipeline_batch_size") >= 1.0);
         // Each batch was timed.
         let h = snap
             .histogram("pipeline_batch_seconds")

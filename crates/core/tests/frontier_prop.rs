@@ -1,0 +1,131 @@
+//! Property test for the per-shard watermark frontier protocol: for
+//! random worker/shard/batch/window schedules, the threaded pipeline's
+//! merged per-shard window closes must render to byte-identical TSV
+//! files as the single-threaded `Observatory` fed the same stream.
+//!
+//! This is the frontier ⇔ global-barrier equivalence law. The single-
+//! threaded fold *is* the global barrier (every tracker dumps at every
+//! close, in stream order); the threaded pipeline closes windows lazily
+//! per shard via frontier deltas, so any ordering bug — a close applied
+//! after a batch it should precede, a lost close on an idle shard, a
+//! duplicated close on the final drain — shows up as a byte difference
+//! in some rendered window file.
+//!
+//! Capacities are sized so no cache saturates (exactness premise for
+//! `shards > 1`; see `sharded_pipeline_is_byte_identical_to_observatory`
+//! for why), and each case pins the adaptive batch controller so the
+//! schedule space — batch boundaries relative to window boundaries — is
+//! actually swept rather than left to the controller.
+
+use dns_observatory::tsv::render_store;
+use dns_observatory::{Dataset, Observatory, ObservatoryConfig, ThreadedPipeline, TxSummary};
+use proptest::prelude::*;
+use simnet::{SimConfig, Simulation};
+
+fn roomy_cfg(window_secs: f64) -> ObservatoryConfig {
+    ObservatoryConfig {
+        datasets: vec![
+            (Dataset::SrvIp, 16_000),
+            (Dataset::Esld, 16_000),
+            (Dataset::Qtype, 64),
+            (Dataset::AaFqdn, 16_000),
+        ],
+        window_secs,
+        ..ObservatoryConfig::default()
+    }
+}
+
+const DATASETS: [Dataset; 4] = [
+    Dataset::SrvIp,
+    Dataset::Esld,
+    Dataset::Qtype,
+    Dataset::AaFqdn,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn frontier_closes_equal_global_barrier(
+        seed in 0u64..1_000_000,
+        workers in 1usize..=4,
+        shards in 1usize..=4,
+        batch in prop_oneof![Just(1usize), Just(3), Just(17), Just(64), Just(512)],
+        window_secs in prop_oneof![Just(0.25f64), Just(0.5), Just(1.0)],
+        gap in prop_oneof![Just(0.0f64), Just(3.0), Just(9.5)],
+    ) {
+        let mut cfg = SimConfig::tiny();
+        cfg.seed = seed;
+        let mut sim = Simulation::from_config(cfg);
+        let mut txs = sim.collect(1.2);
+        if gap > 0.0 {
+            // A silence gap forces skipped windows: the frontier must
+            // close the pre-gap window exactly once, not once per
+            // skipped grid slot.
+            sim.skip_to(gap);
+            txs.extend(sim.collect(0.6));
+        }
+
+        let mut obs = Observatory::new(roomy_cfg(window_secs));
+        for tx in &txs {
+            obs.ingest(tx);
+        }
+        let single = obs.finish();
+        for w in single.windows() {
+            prop_assert_eq!(w.dropped, 0, "premise: no eviction in {}", &w.dataset);
+        }
+
+        let threaded = ThreadedPipeline::with_shards(roomy_cfg(window_secs), workers, shards)
+            .with_batch_range(batch, batch)
+            .run(txs.clone());
+
+        let a = render_store(&single, &DATASETS);
+        let b = render_store(&threaded, &DATASETS);
+        prop_assert_eq!(a.len(), b.len(), "window-file count");
+        for ((name_a, bytes_a), (name_b, bytes_b)) in a.iter().zip(&b) {
+            prop_assert_eq!(name_a, name_b);
+            prop_assert_eq!(
+                bytes_a, bytes_b,
+                "window file {} differs (workers={} shards={} batch={} w={}s gap={})",
+                name_a, workers, shards, batch, window_secs, gap
+            );
+        }
+    }
+
+    /// The summary path shares the feeder and sequencer; spot-check the
+    /// same law through `run_summaries`.
+    #[test]
+    fn frontier_equivalence_holds_on_summary_path(
+        seed in 0u64..1_000_000,
+        shards in 1usize..=3,
+        batch in prop_oneof![Just(1usize), Just(13), Just(256)],
+    ) {
+        let psl = psl::Psl::embedded();
+        let mut cfg = SimConfig::tiny();
+        cfg.seed = seed;
+        let mut sim = Simulation::from_config(cfg);
+        let summaries: Vec<TxSummary> = sim
+            .collect(1.0)
+            .iter()
+            .map(|tx| TxSummary::from_transaction(tx, &psl))
+            .collect();
+
+        let mut obs = Observatory::new(roomy_cfg(0.5));
+        for s in summaries.clone() {
+            obs.ingest_summary(s);
+        }
+        let single = obs.finish();
+
+        let threaded = ThreadedPipeline::with_shards(roomy_cfg(0.5), 1, shards)
+            .with_batch_range(batch, batch)
+            .run_summaries(summaries);
+
+        prop_assert_eq!(
+            render_store(&single, &DATASETS),
+            render_store(&threaded, &DATASETS),
+            "summary path diverged (shards={} batch={})",
+            shards,
+            batch
+        );
+    }
+}

@@ -3,6 +3,12 @@
 # or the feed transport's loopback tx/s (BENCH_feed.json) regressed more
 # than 20 % against the committed baselines.
 #
+# On machines with >= 2 cores the check also gates on *scaling shape*
+# (pipeline_throughput --scaling): the best workers>1 configuration must
+# beat the single-threaded fold by >= 1.5x, and no grid point may run
+# slower than its predecessor config (monotone non-negative scaling,
+# 10 % tolerance). Absolute tx/s drifts with hardware; shape should not.
+#
 # Usage: ./scripts/bench-smoke.sh
 # Exit codes: 0 ok, 1 regression, 2 cannot run (no baseline / bad output).
 set -euo pipefail
@@ -76,8 +82,39 @@ awk -v cur="$feed_cur" -v base="$feed_base" 'BEGIN {
     printf "bench-smoke: OK — feed within 20%% of baseline (floor %.0f tx/s)\n", floor;
 }'
 
+# Scaling-shape gate: only meaningful with real parallelism available.
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 2 ]; then
+    echo "bench-smoke: running scaling sweep on ${cores} cores..."
+    scaling_out=$(./target/release/pipeline_throughput --scaling)
+    printf '%s\n' "$scaling_out" | grep '^scaling_'
+    speedup=$(printf '%s\n' "$scaling_out" \
+        | sed -n 's/^scaling_speedup=\([0-9][0-9.]*\)$/\1/p' | head -n1)
+    monotone=$(printf '%s\n' "$scaling_out" \
+        | sed -n 's/^scaling_monotone=\(.*\)$/\1/p' | head -n1)
+    if [ -z "$speedup" ] || [ -z "$monotone" ]; then
+        echo "bench-smoke: could not parse scaling output" >&2
+        exit 2
+    fi
+    awk -v s="$speedup" 'BEGIN {
+        if (s < 1.5) {
+            printf "bench-smoke: FAIL — parallel speedup %.2fx is below the 1.5x gate\n", s;
+            exit 1;
+        }
+        printf "bench-smoke: OK — parallel speedup %.2fx (gate 1.5x)\n", s;
+    }'
+    if [ "$monotone" != "ok" ]; then
+        echo "bench-smoke: FAIL — scaling grid is not monotone: $monotone" >&2
+        exit 1
+    fi
+    echo "bench-smoke: OK — scaling grid is monotone non-negative"
+else
+    echo "bench-smoke: 1 core — skipping the scaling-shape gate (needs >= 2)"
+fi
+
 # Append this run to the performance history so drift is visible across
-# commits, not just against the committed baseline.
+# commits, not just against the committed baseline. (--scaling appends
+# its own curve record when it runs.)
 HISTORY=BENCH_history.jsonl
 timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
