@@ -356,24 +356,32 @@ fn check_sensor<T: FeedItem + Clone>(
 /// Predict the exact merged output from ground truth: survivor items of
 /// accepted frames (each frame loses its `late` leading items), merged
 /// by `(time, sensor, per-sensor order)`.
+///
+/// Per-sensor order follows the collector's *arrival* order, not the
+/// sensor's sequence order: when a gap is backfilled by retransmission,
+/// the later-seq frame that jumped the gap was merged first, and items
+/// sharing a timestamp (e.g. chunks of one window) keep that order.
 pub fn predicted_delivery<T: FeedItem + Clone>(outcome: &ChaosOutcome<T>) -> Vec<T> {
     let mut keyed: Vec<(f64, u64, u64, T)> = Vec::new();
     for run in &outcome.sensors {
-        // Walk sealed frames in sequence order, slicing the pushed stream.
+        // Walk sealed frames in sequence order to slice the pushed
+        // stream, then replay the slices in arrival order.
         let mut sealed: Vec<&feed::SealEvent> = run.sealed.iter().collect();
         sealed.sort_by_key(|s| s.seq);
-        let accepted: BTreeMap<u64, u64> = run.accepted.iter().map(|f| (f.seq, f.late)).collect();
+        let mut slices: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
         let mut cursor = 0usize;
-        let mut order = 0u64;
         for seal in sealed {
             let end = cursor + seal.items as usize;
-            if let Some(&late) = accepted.get(&seal.seq) {
-                for item in &run.pushed[cursor + late as usize..end] {
-                    keyed.push((item.order_time(), run.sensor_id, order, item.clone()));
-                    order += 1;
-                }
-            }
+            slices.insert(seal.seq, (cursor, end));
             cursor = end;
+        }
+        let mut order = 0u64;
+        for frame in &run.accepted {
+            let (start, end) = slices[&frame.seq];
+            for item in &run.pushed[start + frame.late as usize..end] {
+                keyed.push((item.order_time(), run.sensor_id, order, item.clone()));
+                order += 1;
+            }
         }
     }
     keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));

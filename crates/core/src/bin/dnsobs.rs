@@ -32,12 +32,13 @@
 
 use dns_observatory::aggregate::{Aggregator, Level};
 use dns_observatory::{
-    status, tsv, Dataset, MetaReporter, Observatory, ObservatoryConfig, ThreadedPipeline,
-    TimeSeriesStore, TxSummary,
+    status, tsv, Dataset, MetaReporter, Observatory, ObservatoryConfig, StateExporter,
+    ThreadedPipeline, TimeSeriesStore, TxSummary,
 };
 use feed::{Collector, CollectorConfig, Sensor, SensorConfig};
 use psl::Psl;
 use simnet::{SimConfig, Simulation};
+use sketchwire::{AggregatorConfig, AggregatorCore, WindowState};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
@@ -51,6 +52,7 @@ fn main() {
         Some("simulate") => simulate(&args[1..]),
         Some("sensor") => sensor(&args[1..]),
         Some("collect") => collect(&args[1..]),
+        Some("aggregate") => aggregate_cmd(&args[1..]),
         Some("status") => status_cmd(&args[1..]),
         Some("show") => show(&args[1..], usize::MAX),
         Some("top") => {
@@ -61,7 +63,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--out DIR] [--metrics ADDR]\n  dnsobs status [--metrics ADDR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\nsensor:  simulate traffic, keep the 1/N slice owned by --index, and\n         stream its summaries to the collector (reconnects with backoff).\ncollect: accept N sensors, merge their streams in time order, run the\n         tracking pipeline, and write TSV windows like `simulate`.\nstatus:  scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n         and print the one-page health summary."
+                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs collect --listen ADDR --forward ADDR [--upstream N] [--chunk-entries N] [--state-out FILE]\n  dnsobs aggregate --listen ADDR --upstreams N [--out DIR] [--metrics ADDR]\n  dnsobs aggregate --input FILE [--input FILE ...] [--out DIR]\n  dnsobs status [--metrics ADDR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\n--topk caps the big per-dataset trackers (default 10000); forwarding\ncollectors and the aggregator must agree on it for state to merge.\n\nsensor:    simulate traffic, keep the 1/N slice owned by --index, and\n           stream its summaries to the collector (reconnects with backoff).\ncollect:   accept N sensors, merge their streams in time order, run the\n           tracking pipeline, and write TSV windows like `simulate`.\n           With --forward/--state-out it exports per-window sketch state\n           upward instead of rendering TSVs locally (federated tier).\naggregate: merge the window-state streams of N forwarding collectors\n           (or state files) into global TSV windows with a stated\n           error bound.\nstatus:    scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n           and print the one-page health summary."
             );
             2
         }
@@ -146,7 +148,7 @@ fn simulate(args: &[String]) -> i32 {
     );
     let mut sim = Simulation::from_config(cfg);
     let mut obs = Observatory::new(ObservatoryConfig {
-        datasets: default_datasets(),
+        datasets: datasets(args),
         window_secs: window,
         ..ObservatoryConfig::default()
     });
@@ -184,12 +186,26 @@ fn simulate(args: &[String]) -> i32 {
 }
 
 fn default_datasets() -> Vec<(Dataset, usize)> {
+    datasets_with_cap(10_000)
+}
+
+/// The standard dataset suite with the big trackers capped at `--topk`
+/// (default 10 000). Small enumerated datasets keep their natural caps.
+fn datasets(args: &[String]) -> Vec<(Dataset, usize)> {
+    let cap: usize = flag_value(args, "--topk")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10_000);
+    datasets_with_cap(cap)
+}
+
+fn datasets_with_cap(cap: usize) -> Vec<(Dataset, usize)> {
     vec![
-        (Dataset::SrvIp, 10_000),
-        (Dataset::Esld, 10_000),
-        (Dataset::Qname, 10_000),
-        (Dataset::Qtype, 64),
-        (Dataset::Rcode, 16),
+        (Dataset::SrvIp, cap),
+        (Dataset::Esld, cap),
+        (Dataset::Qname, cap),
+        (Dataset::Qtype, 64.min(cap)),
+        (Dataset::Rcode, 16.min(cap)),
     ]
 }
 
@@ -329,9 +345,18 @@ fn collect(args: &[String]) -> i32 {
     let watchdog = Watchdog::spawn_logging(dog, clock, Duration::from_millis(500)).ok();
 
     let output = collector.take_output();
+    if flag_value(args, "--forward").is_some() || flag_value(args, "--state-out").is_some() {
+        let code = collect_forward(args, output.iter(), window);
+        let report = collector.finish();
+        if let Some(dog) = watchdog {
+            dog.stop();
+        }
+        print_feed_report(&report);
+        return code;
+    }
     let pipeline = ThreadedPipeline::new(
         ObservatoryConfig {
-            datasets: default_datasets(),
+            datasets: datasets(args),
             window_secs: window,
             ..ObservatoryConfig::default()
         },
@@ -358,6 +383,22 @@ fn collect(args: &[String]) -> i32 {
     }
     eprintln!("wrote {meta_files} meta report(s)");
 
+    print_feed_report(&report);
+    match write_store(&out, &store) {
+        Ok(files) => {
+            eprintln!("wrote {files} TSV files to {}", out.display());
+            0
+        }
+        Err(path) => {
+            eprintln!("failed writing {}", path.display());
+            1
+        }
+    }
+}
+
+/// Print the transport-level ledger of a finished feed: merged totals
+/// plus per-sensor gap/dup/CRC accounting.
+fn print_feed_report(report: &feed::CollectorReport) {
     eprintln!("merged {} items", report.items_merged);
     for (id, s) in &report.sensors {
         eprintln!(
@@ -372,15 +413,233 @@ fn collect(args: &[String]) -> i32 {
             s.reported_dropped_items
         );
     }
-    match write_store(&out, &store) {
-        Ok(files) => {
-            eprintln!("wrote {files} TSV files to {}", out.display());
-            0
+}
+
+/// The forwarding half of a federated collector: fold the merged summary
+/// feed into per-window sketch state and push it upward (`--forward`)
+/// and/or append it to a state record file (`--state-out`).
+fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, window: f64) -> i32 {
+    let upstream: u64 = flag_value(args, "--upstream")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    // Chunk trackers so every record stays comfortably under the feed's
+    // frame cap even at the default 10k-key capacities.
+    let chunk_entries: usize = flag_value(args, "--chunk-entries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
+    let state_out = flag_value(args, "--state-out");
+    let upward = flag_value(args, "--forward")
+        .map(|addr| Sensor::<WindowState>::connect(addr, SensorConfig::new(upstream)));
+
+    let mut exporter = StateExporter::new(
+        ObservatoryConfig {
+            datasets: datasets(args),
+            window_secs: window,
+            ..ObservatoryConfig::default()
+        },
+        upstream,
+        chunk_entries,
+    );
+    let mut file_buf = Vec::new();
+    let mut states = Vec::new();
+    let mut exported = 0u64;
+    let mut push = |states: &mut Vec<WindowState>, file_buf: &mut Vec<u8>| {
+        for ws in states.drain(..) {
+            if state_out.is_some() {
+                sketchwire::write_record(&ws, file_buf);
+            }
+            if let Some(s) = &upward {
+                s.send(ws);
+            }
+            exported += 1;
         }
-        Err(path) => {
-            eprintln!("failed writing {}", path.display());
-            1
+    };
+    for summary in output {
+        exporter.ingest_summary(summary, &mut states);
+        push(&mut states, &mut file_buf);
+    }
+    let ingested = exporter.finish(&mut states);
+    push(&mut states, &mut file_buf);
+    eprintln!("upstream {upstream}: ingested {ingested} summaries, exported {exported} window-state record(s)");
+
+    if let Some(path) = state_out {
+        if let Err(e) = std::fs::write(path, &file_buf) {
+            eprintln!("failed writing {path}: {e}");
+            return 1;
         }
+        eprintln!("wrote {} state bytes to {path}", file_buf.len());
+    }
+    if let Some(s) = upward {
+        let report = s.finish();
+        eprintln!(
+            "forwarded {} frames/{} items, dropped {} frames/{} items, {} connect(s)",
+            report.sent_frames,
+            report.sent_items,
+            report.dropped_frames,
+            report.dropped_items,
+            report.connects
+        );
+    }
+    0
+}
+
+/// Every value of a repeatable flag (`--input a --input b`).
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// The aggregation tier: merge N forwarding collectors' window-state
+/// streams (over TCP or from record files) into global TSV windows whose
+/// error bound is the sum of the per-collector bounds.
+fn aggregate_cmd(args: &[String]) -> i32 {
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("./dnsobs-data"));
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return 1;
+    }
+    let _server = match metrics_server(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    let inputs = flag_values(args, "--input");
+    if !inputs.is_empty() {
+        return aggregate_files(&inputs, &out);
+    }
+
+    let Some(listen) = flag_value(args, "--listen") else {
+        eprintln!("aggregate: --listen ADDR (or --input FILE) is required");
+        return 2;
+    };
+    let upstreams: u64 = flag_value(args, "--upstreams")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut collector =
+        match Collector::<WindowState>::bind(listen, CollectorConfig::new(upstreams)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot listen on {listen}: {e}");
+                return 1;
+            }
+        };
+    eprintln!(
+        "aggregating {upstreams} upstream(s) on {} -> {}",
+        collector.local_addr(),
+        out.display()
+    );
+
+    let mut core = AggregatorCore::with_registry(
+        &AggregatorConfig::new(upstreams as usize),
+        &Registry::global(),
+    );
+    let output = collector.take_output();
+    let mut sealed = Vec::new();
+    let mut files = 0usize;
+    for ws in output.iter() {
+        if let Err(e) = core.on_state(ws) {
+            eprintln!("rejected window-state record: {e}");
+        }
+        core.poll(&mut sealed);
+        match write_sealed(&out, &mut sealed) {
+            Ok(n) => files += n,
+            Err(e) => {
+                eprintln!("failed writing global window: {e}");
+                return 1;
+            }
+        }
+    }
+    let feed_report = collector.finish();
+    let report = core.finish(&mut sealed);
+    match write_sealed(&out, &mut sealed) {
+        Ok(n) => files += n,
+        Err(e) => {
+            eprintln!("failed writing global window: {e}");
+            return 1;
+        }
+    }
+    print_feed_report(&feed_report);
+    print_aggregator_report(&report);
+    eprintln!("wrote {files} global TSV files to {}", out.display());
+    0
+}
+
+/// Offline aggregation over `--state-out` record files.
+fn aggregate_files(inputs: &[&str], out: &Path) -> i32 {
+    let mut records = Vec::new();
+    for path in inputs {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        match sketchwire::read_all(&bytes) {
+            Ok(mut r) => records.append(&mut r),
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let expected = records
+        .iter()
+        .map(|r| r.upstream)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        .max(1);
+    let mut core =
+        AggregatorCore::with_registry(&AggregatorConfig::new(expected), &Registry::global());
+    for ws in records {
+        if let Err(e) = core.on_state(ws) {
+            eprintln!("rejected window-state record: {e}");
+        }
+    }
+    let mut sealed = Vec::new();
+    let report = core.finish(&mut sealed);
+    let files = match write_sealed(out, &mut sealed) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("failed writing global window: {e}");
+            return 1;
+        }
+    };
+    print_aggregator_report(&report);
+    eprintln!("wrote {files} global TSV files to {}", out.display());
+    0
+}
+
+/// Render and write every sealed global window, draining `sealed`.
+fn write_sealed(out: &Path, sealed: &mut Vec<sketchwire::GlobalWindow>) -> std::io::Result<usize> {
+    let mut files = 0usize;
+    for gw in sealed.drain(..) {
+        files += dns_observatory::write_global(out, &gw)?;
+    }
+    Ok(files)
+}
+
+/// Print the aggregator's semantic ledger: per-upstream record, window,
+/// gap, and late counts (the transport ledger is printed separately).
+fn print_aggregator_report(report: &sketchwire::AggregatorReport) {
+    eprintln!(
+        "aggregated {} records into {} global window(s) ({} dataset merges, {} conflicts, {} late, {} rejected)",
+        report.records,
+        report.windows_sealed,
+        report.dataset_merges,
+        report.merge_conflicts,
+        report.late_records,
+        report.rejected
+    );
+    for (id, s) in &report.upstreams {
+        eprintln!(
+            "  upstream {id}: {} records, {} windows, {} gap(s), {} out-of-order, {} late, {} rejected, {} merged",
+            s.records, s.windows, s.window_gaps, s.out_of_order, s.late_records, s.rejected, s.merged_windows
+        );
     }
 }
 

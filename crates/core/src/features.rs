@@ -8,7 +8,30 @@
 use crate::summarize::{Outcome, TxSummary};
 use serde::{Deserialize, Serialize};
 use sketches::{HyperLogLog, LogHistogram, TopValues};
+use sketchwire::StateError;
 use std::collections::BTreeSet;
+
+/// Positional layout contract of a serialized [`FeatureSet`] — the order
+/// in which counters, sketches, and distributions appear inside a
+/// [`sketchwire::FeatureState`]. Owned by this module: [`FeatureSet::to_state`]
+/// writes it, [`FeatureSet::from_state`] refuses anything else.
+///
+/// `adds`: hits, unans, ok, nxd, rfs, fail, ok_ans, ok_ns, ok_add,
+/// ok_nil, ok6, ok6nil, ok_sec, qdots_sum, lvl_sum, nslvl_sum, answered.
+/// `maxes`: qdots_max. `hlls`: srvips, srcips, qnamesa, qnames, tlds,
+/// eslds, qtypes, ip4s, ip6s. `tops`: ttl, ttl_a, nsttl, negttl, a_data,
+/// ns_names. `hists`: resp_delays, network_hops, resp_size.
+pub const STATE_ADDS: usize = 17;
+/// Max-merged scalar count in the layout contract.
+pub const STATE_MAXES: usize = 1;
+/// HyperLogLog count in the layout contract.
+pub const STATE_HLLS: usize = 9;
+/// Top-value table count in the layout contract.
+pub const STATE_TOPS: usize = 6;
+/// Histogram count in the layout contract.
+pub const STATE_HISTS: usize = 3;
+/// Exact-contributor-set cap (matches the fold-path cap).
+pub const STATE_SOURCE_CAP: u64 = 4_096;
 
 /// Sizing knobs for per-object sketches. The defaults balance accuracy
 /// against the memory of 10⁵ tracked objects.
@@ -221,7 +244,7 @@ impl FeatureSet {
             std::net::IpAddr::V4(v4) => self.srcips.insert(&v4.octets()),
             std::net::IpAddr::V6(v6) => self.srcips.insert(&v6.octets()),
         }
-        if self.sources.len() < 4_096 {
+        if (self.sources.len() as u64) < STATE_SOURCE_CAP {
             self.sources.insert(s.contributor);
         }
     }
@@ -284,6 +307,161 @@ impl FeatureSet {
     /// Total transactions folded so far.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Export the live sketch state as a wire-ready [`FeatureState`],
+    /// following the positional layout contract (`STATE_*` constants).
+    pub fn to_state(&self) -> sketchwire::FeatureState {
+        use sketchwire::{FeatureState, HistogramState, HllState, TopValuesState};
+        FeatureState {
+            adds: vec![
+                self.hits,
+                self.unans,
+                self.ok,
+                self.nxd,
+                self.rfs,
+                self.fail,
+                self.ok_ans,
+                self.ok_ns,
+                self.ok_add,
+                self.ok_nil,
+                self.ok6,
+                self.ok6nil,
+                self.ok_sec,
+                self.qdots_sum,
+                self.lvl_sum,
+                self.nslvl_sum,
+                self.answered,
+            ],
+            maxes: vec![self.qdots_max as u64],
+            hlls: [
+                &self.srvips,
+                &self.srcips,
+                &self.qnamesa,
+                &self.qnames,
+                &self.tlds,
+                &self.eslds,
+                &self.qtypes,
+                &self.ip4s,
+                &self.ip6s,
+            ]
+            .into_iter()
+            .map(HllState::from_sketch)
+            .collect(),
+            source_cap: STATE_SOURCE_CAP,
+            sources: self.sources.iter().copied().collect(),
+            tops: [
+                &self.ttl,
+                &self.ttl_a,
+                &self.nsttl,
+                &self.negttl,
+                &self.a_data,
+                &self.ns_names,
+            ]
+            .into_iter()
+            .map(TopValuesState::from_sketch)
+            .collect(),
+            hists: [&self.resp_delays, &self.network_hops, &self.resp_size]
+                .into_iter()
+                .map(HistogramState::from_sketch)
+                .collect(),
+        }
+    }
+
+    /// Rebuild live sketch state from a (possibly merged) wire state.
+    ///
+    /// Merged states may exceed nominal capacities — top-value tables
+    /// keep their most frequent entries (ties to the smaller value,
+    /// matching [`TopValues::ranked`]) and contributor sets their first
+    /// `source_cap` ids. A state whose shape does not match the layout
+    /// contract is a [`StateError::LayoutMismatch`].
+    pub fn from_state(state: &sketchwire::FeatureState) -> Result<FeatureSet, StateError> {
+        if state.adds.len() != STATE_ADDS {
+            return Err(StateError::LayoutMismatch("counter count"));
+        }
+        if state.maxes.len() != STATE_MAXES {
+            return Err(StateError::LayoutMismatch("max count"));
+        }
+        if state.hlls.len() != STATE_HLLS {
+            return Err(StateError::LayoutMismatch("hll count"));
+        }
+        if state.hlls.iter().any(|h| !(4..=16).contains(&h.p)) {
+            return Err(StateError::LayoutMismatch("hll precision"));
+        }
+        if state.tops.len() != STATE_TOPS {
+            return Err(StateError::LayoutMismatch("topvalues count"));
+        }
+        if state.tops.iter().any(|t| t.capacity == 0) {
+            return Err(StateError::LayoutMismatch("topvalues capacity"));
+        }
+        if state.hists.len() != STATE_HISTS {
+            return Err(StateError::LayoutMismatch("histogram count"));
+        }
+        if state.hists.iter().any(|h| {
+            !(h.min.is_finite() && h.min > 0.0 && h.base.is_finite() && h.base > 1.0)
+                || h.counts.is_empty()
+        }) {
+            return Err(StateError::LayoutMismatch("histogram layout"));
+        }
+        let a = &state.adds;
+        let hll = |i: usize| state.hlls[i].to_sketch();
+        let top = |i: usize| {
+            let t = &state.tops[i];
+            let cap = t.capacity as usize;
+            let mut slots = t.slots.clone();
+            slots.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+            slots.truncate(cap);
+            TopValues::from_parts(cap, t.observed, slots)
+        };
+        let hist = |i: usize| state.hists[i].to_sketch();
+        Ok(FeatureSet {
+            cfg: FeatureConfig {
+                hll_precision: state.hlls[0].p,
+                ttl_slots: state.tops[0].capacity as usize,
+            },
+            hits: a[0],
+            unans: a[1],
+            ok: a[2],
+            nxd: a[3],
+            rfs: a[4],
+            fail: a[5],
+            ok_ans: a[6],
+            ok_ns: a[7],
+            ok_add: a[8],
+            ok_nil: a[9],
+            ok6: a[10],
+            ok6nil: a[11],
+            ok_sec: a[12],
+            qdots_sum: a[13],
+            lvl_sum: a[14],
+            nslvl_sum: a[15],
+            answered: a[16],
+            srvips: hll(0),
+            srcips: hll(1),
+            qnamesa: hll(2),
+            qnames: hll(3),
+            tlds: hll(4),
+            eslds: hll(5),
+            qtypes: hll(6),
+            ip4s: hll(7),
+            ip6s: hll(8),
+            sources: state
+                .sources
+                .iter()
+                .take(state.source_cap as usize)
+                .copied()
+                .collect(),
+            ttl: top(0),
+            ttl_a: top(1),
+            nsttl: top(2),
+            negttl: top(3),
+            a_data: top(4),
+            ns_names: top(5),
+            resp_delays: hist(0),
+            network_hops: hist(1),
+            resp_size: hist(2),
+            qdots_max: state.maxes[0].min(u8::MAX as u64) as u8,
+        })
     }
 }
 

@@ -40,6 +40,7 @@
 pub mod aggregate;
 pub mod analysis;
 pub mod features;
+pub mod federate;
 pub mod feedwire;
 pub mod keys;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod topk;
 pub mod tsv;
 
 pub use features::{FeatureConfig, FeatureRow, FeatureSet};
+pub use federate::{render_global, write_global, StateExporter};
 pub use keys::{Dataset, Key, KeyBuf};
 pub use metrics::{MetaReporter, SequencerMetrics, ShardMetrics, TrackerMetrics};
 pub use pipeline::{Observatory, ObservatoryConfig, StallHook, ThreadedPipeline};

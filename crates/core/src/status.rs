@@ -160,6 +160,52 @@ pub fn render_status(samples: &Samples) -> String {
         }
     }
 
+    if let Some(records) = sum(samples, "agg_records_total") {
+        out.push_str("aggregator\n");
+        let rejected = sum(samples, "agg_rejected_records_total").unwrap_or(0.0);
+        let late = sum(samples, "agg_late_records_total").unwrap_or(0.0);
+        push_line(
+            &mut out,
+            "records / rejected / late",
+            format!(
+                "{} / {} / {}",
+                fmt_count(records),
+                fmt_count(rejected),
+                fmt_count(late)
+            ),
+        );
+        if let Some(sealed) = sum(samples, "agg_windows_sealed_total") {
+            let merges = sum(samples, "agg_dataset_merges_total").unwrap_or(0.0);
+            push_line(
+                &mut out,
+                "windows sealed / merges",
+                format!("{} / {}", fmt_count(sealed), fmt_count(merges)),
+            );
+        }
+        if let Some(open) = sum(samples, "agg_open_windows") {
+            push_line(&mut out, "open windows", fmt_count(open));
+        }
+        let upstreams = series(samples, "agg_upstream_records_total");
+        if !upstreams.is_empty() {
+            push_line(&mut out, "upstreams", fmt_count(upstreams.len() as f64));
+            for (labels, v) in &upstreams {
+                let gaps = lookup(samples, "agg_upstream_window_gaps_total", labels).unwrap_or(0.0);
+                let windows = lookup(samples, "agg_upstream_windows_total", labels).unwrap_or(0.0);
+                let who = label_value(labels, "upstream").unwrap_or(labels);
+                push_line(
+                    &mut out,
+                    &format!("upstream {who}"),
+                    format!(
+                        "records {} windows {} gaps {}",
+                        fmt_count(*v),
+                        fmt_count(windows),
+                        fmt_count(gaps)
+                    ),
+                );
+            }
+        }
+    }
+
     if let Some(tx) = sum(samples, "simnet_transactions_total") {
         out.push_str("simnet\n");
         push_line(&mut out, "transactions", fmt_count(tx));
@@ -239,6 +285,31 @@ mod tests {
         assert!(text.contains("3 (1) / 2"));
         assert!(text.contains("sensor 7"));
         assert!(text.contains("pushed 500 sent 480 dropped 20"));
+    }
+
+    #[test]
+    fn aggregator_section_lists_upstream_ledgers() {
+        let s = samples(&[
+            ("agg_records_total", 120.0),
+            ("agg_rejected_records_total", 2.0),
+            ("agg_late_records_total", 1.0),
+            ("agg_windows_sealed_total", 6.0),
+            ("agg_dataset_merges_total", 18.0),
+            ("agg_open_windows", 2.0),
+            ("agg_upstream_records_total{upstream=\"3\"}", 60.0),
+            ("agg_upstream_windows_total{upstream=\"3\"}", 6.0),
+            ("agg_upstream_window_gaps_total{upstream=\"3\"}", 1.0),
+            ("agg_upstream_records_total{upstream=\"9\"}", 60.0),
+            ("agg_upstream_windows_total{upstream=\"9\"}", 7.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("aggregator\n"));
+        assert!(text.contains("120 / 2 / 1"));
+        assert!(text.contains("6 / 18"));
+        assert!(text.contains("upstream 3"));
+        assert!(text.contains("records 60 windows 6 gaps 1"));
+        assert!(text.contains("upstream 9"));
+        assert!(text.contains("records 60 windows 7 gaps 0"));
     }
 
     #[test]

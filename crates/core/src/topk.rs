@@ -124,6 +124,52 @@ impl TopKTracker {
         self.ss.error_bound()
     }
 
+    /// Export the tracker's full state for one window as a wire-ready
+    /// [`sketchwire::TopKState`], then reset all feature state (the top-k
+    /// list itself stays intact, exactly like [`TopKTracker::dump`]).
+    ///
+    /// *Every* monitored entry is exported, including zero-hit ones: the
+    /// federated merge law needs to know which keys each collector
+    /// tracked (a key absent from an input gains that input's
+    /// `min_count` on both bounds). Residency and the hit filter are
+    /// re-applied when the merged global window is rendered. `kept`,
+    /// `dropped`, and `filtered` are this window's deltas, computed by
+    /// the caller against the previous window boundary.
+    pub fn export_state(
+        &mut self,
+        kept: u64,
+        dropped: u64,
+        filtered: u64,
+    ) -> sketchwire::TopKState {
+        let entries = self
+            .ss
+            .iter_desc()
+            .into_iter()
+            .map(|e| sketchwire::TopKEntry {
+                key: e.key.render(),
+                count: e.count,
+                error: e.error,
+                inserted_at: e.inserted_at,
+                features: e.value.to_state(),
+            })
+            .collect();
+        self.ss.for_each_value(|_, _, _, _, fs| fs.reset());
+        sketchwire::TopKState {
+            dataset: self.dataset.name().to_string(),
+            capacity: self.ss.capacity() as u64,
+            observed: self.ss.observed(),
+            min_count: self.ss.min_count(),
+            error_bound: self.ss.error_bound(),
+            evictions: self.ss.evictions(),
+            kept,
+            dropped,
+            filtered,
+            chunk: 0,
+            chunks: 1,
+            entries,
+        }
+    }
+
     /// Capture one window: render every object's features, reset the
     /// feature state, keep the top-k list intact.
     ///

@@ -75,6 +75,34 @@ impl LogBuckets {
     pub fn midpoint(&self, i: usize) -> f64 {
         self.lower_bound(i) * self.base.sqrt()
     }
+
+    /// Inclusive lower edge of the layout (the `min` passed to
+    /// [`new`](Self::new)).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Per-bucket growth factor (`10^(1/buckets_per_decade)`).
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Rebuild a layout from raw parts previously obtained via
+    /// [`min`](Self::min)/[`base`](Self::base)/[`len`](Self::len) — the
+    /// deserialization path. The derived `log_base` is recomputed exactly
+    /// as [`new`](Self::new) does, so a round-tripped layout compares
+    /// equal to the original.
+    pub fn from_parts(min: f64, base: f64, len: usize) -> LogBuckets {
+        assert!(min > 0.0 && min.is_finite(), "need finite min > 0");
+        assert!(base > 1.0 && base.is_finite(), "need finite base > 1");
+        assert!(len >= 1, "need at least one bucket");
+        LogBuckets {
+            min,
+            base,
+            log_base: base.ln(),
+            len,
+        }
+    }
 }
 
 /// Histogram over non-negative values with logarithmically spaced buckets.
@@ -201,6 +229,46 @@ impl LogHistogram {
             self.quantile(0.50)?,
             self.quantile(0.75)?,
         ))
+    }
+
+    /// Per-bucket counts — the serialization surface, together with the
+    /// layout and observed range.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild a histogram from raw parts (the deserialization path): a
+    /// layout, per-bucket counts, and the observed value range. The total
+    /// is recomputed from the counts; the running sum behind [`mean`]
+    /// (Self::mean) is approximated from bucket midpoints — quantiles and
+    /// observed bounds are exact, the mean is not. An empty histogram
+    /// (all-zero counts) ignores the supplied range.
+    pub fn from_parts(
+        buckets: LogBuckets,
+        counts: Vec<u64>,
+        observed_min: f64,
+        observed_max: f64,
+    ) -> LogHistogram {
+        assert_eq!(counts.len(), buckets.len(), "layout mismatch");
+        let total: u64 = counts.iter().sum();
+        let sum = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * buckets.midpoint(i))
+            .sum();
+        let (observed_min, observed_max) = if total == 0 {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        } else {
+            (observed_min, observed_max)
+        };
+        LogHistogram {
+            buckets,
+            counts,
+            total,
+            sum,
+            observed_min,
+            observed_max,
+        }
     }
 
     /// Merge another histogram with identical configuration.

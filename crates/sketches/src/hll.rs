@@ -96,6 +96,31 @@ impl HyperLogLog {
         }
     }
 
+    /// Precision `p` of this sketch.
+    pub fn precision(&self) -> u8 {
+        self.p
+    }
+
+    /// The raw register array (length `2^p`) — the serialization surface:
+    /// two sketches with equal registers are interchangeable.
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Rebuild a sketch from raw registers previously obtained via
+    /// [`registers`](Self::registers) — the deserialization path. Callers
+    /// must validate untrusted input first: precision in 4..=16, exactly
+    /// `2^p` registers, every register within the rank range (`<= 65 - p`).
+    pub fn from_registers(p: u8, registers: Vec<u8>) -> HyperLogLog {
+        assert!((4..=16).contains(&p), "precision must be in 4..=16");
+        assert_eq!(registers.len(), 1usize << p, "register count must be 2^p");
+        assert!(
+            registers.iter().all(|&r| r <= 65 - p),
+            "register exceeds rank range"
+        );
+        HyperLogLog { p, registers }
+    }
+
     /// Reset all registers to empty.
     pub fn clear(&mut self) {
         self.registers.fill(0);

@@ -62,6 +62,32 @@ impl TopValues {
         self.observed
     }
 
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The raw `(value, count)` slots in insertion order — the
+    /// serialization surface.
+    pub fn slots(&self) -> &[(u64, u64)] {
+        &self.slots
+    }
+
+    /// Rebuild a tracker from raw parts previously obtained via
+    /// [`slots`](Self::slots)/[`observed`](Self::observed) — the
+    /// deserialization path. Callers must validate untrusted input first:
+    /// distinct values, at most `capacity` slots, slot counts summing to
+    /// at most `observed`.
+    pub fn from_parts(capacity: usize, observed: u64, slots: Vec<(u64, u64)>) -> TopValues {
+        assert!(capacity > 0);
+        assert!(slots.len() <= capacity, "slots exceed capacity");
+        TopValues {
+            capacity,
+            slots,
+            observed,
+        }
+    }
+
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.observed == 0

@@ -1,0 +1,286 @@
+//! Merge laws over serialized sketch state.
+//!
+//! Everything here is associative and commutative — the property the
+//! serialized-layer proptests pin — so an aggregation tree produces the
+//! same global state no matter how streams arrive or how the tree is
+//! shaped. Three ingredients make that work:
+//!
+//! * integer arithmetic only (saturating adds, maxes, mins) — no
+//!   floating-point accumulation on the wire;
+//! * merges never truncate (top-value tables and contributor sets may
+//!   exceed their nominal capacity; capacity is re-applied on render);
+//! * the Space-Saving law: a key absent from input `x` has true count
+//!   `≤ min_count(x)`, so the merged count and error both gain
+//!   `min_count(x)`, and the merged `min_count` is the sum of the
+//!   inputs' — which keeps the law self-similar under further merges.
+//!
+//! The bound bookkeeping that falls out: every merged entry satisfies
+//! `count − error ≤ true ≤ count` and `error ≤ error_bound`, where the
+//! merged `error_bound` is exactly the sum of the per-input bounds — the
+//! *stated* error the aggregator emits and the chaos oracle asserts.
+
+use std::collections::BTreeMap;
+
+use crate::state::{FeatureState, HistogramState, StateError, TopKEntry, TopKState};
+
+fn check_features(a: &FeatureState, b: &FeatureState) -> Result<(), StateError> {
+    if a.adds.len() != b.adds.len() {
+        return Err(StateError::LayoutMismatch("counter count"));
+    }
+    if a.maxes.len() != b.maxes.len() {
+        return Err(StateError::LayoutMismatch("max count"));
+    }
+    if a.hlls.len() != b.hlls.len() {
+        return Err(StateError::LayoutMismatch("hll count"));
+    }
+    if a.hlls.iter().zip(&b.hlls).any(|(x, y)| x.p != y.p) {
+        return Err(StateError::LayoutMismatch("hll precision"));
+    }
+    if a.source_cap != b.source_cap {
+        return Err(StateError::LayoutMismatch("source cap"));
+    }
+    if a.tops.len() != b.tops.len() {
+        return Err(StateError::LayoutMismatch("topvalues count"));
+    }
+    if a.tops
+        .iter()
+        .zip(&b.tops)
+        .any(|(x, y)| x.capacity != y.capacity)
+    {
+        return Err(StateError::LayoutMismatch("topvalues capacity"));
+    }
+    if a.hists.len() != b.hists.len() {
+        return Err(StateError::LayoutMismatch("histogram count"));
+    }
+    if a.hists.iter().zip(&b.hists).any(|(x, y)| {
+        x.min.to_bits() != y.min.to_bits()
+            || x.base.to_bits() != y.base.to_bits()
+            || x.counts.len() != y.counts.len()
+    }) {
+        return Err(StateError::LayoutMismatch("histogram layout"));
+    }
+    Ok(())
+}
+
+fn merge_sorted_u16(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn merge_histogram(a: &HistogramState, b: &HistogramState) -> HistogramState {
+    HistogramState {
+        min: a.min,
+        base: a.base,
+        counts: a
+            .counts
+            .iter()
+            .zip(&b.counts)
+            .map(|(&x, &y)| x.saturating_add(y))
+            .collect(),
+        // Canonical empty bounds (+∞/−∞) are the identity of min/max, so
+        // empty inputs merge transparently.
+        observed_min: a.observed_min.min(b.observed_min),
+        observed_max: a.observed_max.max(b.observed_max),
+    }
+}
+
+/// Merge two feature accumulator states of identical shape.
+pub fn merge_features(a: &FeatureState, b: &FeatureState) -> Result<FeatureState, StateError> {
+    check_features(a, b)?;
+    let hlls = a
+        .hlls
+        .iter()
+        .zip(&b.hlls)
+        .map(|(x, y)| {
+            let mut h = x.clone();
+            for (r, &s) in h.registers.iter_mut().zip(&y.registers) {
+                if s > *r {
+                    *r = s;
+                }
+            }
+            h
+        })
+        .collect();
+    let tops = a
+        .tops
+        .iter()
+        .zip(&b.tops)
+        .map(|(x, y)| {
+            let mut by_value: BTreeMap<u64, u64> = BTreeMap::new();
+            for &(v, c) in x.slots.iter().chain(&y.slots) {
+                let slot = by_value.entry(v).or_insert(0);
+                *slot = slot.saturating_add(c);
+            }
+            crate::state::TopValuesState {
+                capacity: x.capacity,
+                observed: x.observed.saturating_add(y.observed),
+                // Canonical value-ascending order keeps merges comparable
+                // regardless of input slot order.
+                slots: by_value.into_iter().collect(),
+            }
+        })
+        .collect();
+    Ok(FeatureState {
+        adds: a
+            .adds
+            .iter()
+            .zip(&b.adds)
+            .map(|(&x, &y)| x.saturating_add(y))
+            .collect(),
+        maxes: a
+            .maxes
+            .iter()
+            .zip(&b.maxes)
+            .map(|(&x, &y)| x.max(y))
+            .collect(),
+        hlls,
+        source_cap: a.source_cap,
+        sources: merge_sorted_u16(&a.sources, &b.sources),
+        tops,
+        hists: a
+            .hists
+            .iter()
+            .zip(&b.hists)
+            .map(|(x, y)| merge_histogram(x, y))
+            .collect(),
+    })
+}
+
+/// Merge two assembled tracker states from *different* sources (the
+/// cross-collector Space-Saving merge law). Inputs must be whole windows
+/// (`chunks == 1`); chunks of one source reassemble with
+/// [`merge_chunks`] first — the absent-key adjustment below would be
+/// wrong within a single source.
+pub fn merge_topk(a: &TopKState, b: &TopKState) -> Result<TopKState, StateError> {
+    if a.dataset != b.dataset {
+        return Err(StateError::DatasetMismatch);
+    }
+    if a.chunks != 1 || b.chunks != 1 {
+        return Err(StateError::ChunkMismatch("merging unassembled chunk"));
+    }
+    let mut keys: BTreeMap<&str, (Option<&TopKEntry>, Option<&TopKEntry>)> = BTreeMap::new();
+    for e in &a.entries {
+        keys.entry(&e.key).or_default().0 = Some(e);
+    }
+    for e in &b.entries {
+        keys.entry(&e.key).or_default().1 = Some(e);
+    }
+    let mut entries = Vec::with_capacity(keys.len());
+    for (key, pair) in keys {
+        let e = match pair {
+            (Some(x), Some(y)) => TopKEntry {
+                key: key.to_string(),
+                count: x.count.saturating_add(y.count),
+                error: x.error.saturating_add(y.error),
+                inserted_at: x.inserted_at.min(y.inserted_at),
+                features: merge_features(&x.features, &y.features)?,
+            },
+            // A key one side never tracked has a true count of at most
+            // that side's min_count — add it to both the count (upper
+            // bound stays an upper bound) and the error (the lower bound
+            // concedes it may be zero).
+            (Some(x), None) => TopKEntry {
+                key: key.to_string(),
+                count: x.count.saturating_add(b.min_count),
+                error: x.error.saturating_add(b.min_count),
+                inserted_at: x.inserted_at,
+                features: x.features.clone(),
+            },
+            (None, Some(y)) => TopKEntry {
+                key: key.to_string(),
+                count: y.count.saturating_add(a.min_count),
+                error: y.error.saturating_add(a.min_count),
+                inserted_at: y.inserted_at,
+                features: y.features.clone(),
+            },
+            (None, None) => unreachable!("key came from one of the inputs"),
+        };
+        entries.push(e);
+    }
+    Ok(TopKState {
+        dataset: a.dataset.clone(),
+        capacity: a.capacity.min(b.capacity),
+        observed: a.observed.saturating_add(b.observed),
+        min_count: a.min_count.saturating_add(b.min_count),
+        error_bound: a.error_bound.saturating_add(b.error_bound),
+        evictions: a.evictions.saturating_add(b.evictions),
+        kept: a.kept.saturating_add(b.kept),
+        dropped: a.dropped.saturating_add(b.dropped),
+        filtered: a.filtered.saturating_add(b.filtered),
+        chunk: 0,
+        chunks: 1,
+        entries,
+    })
+}
+
+/// Reassemble the surviving chunks of *one* source window into a whole
+/// tracker state. Chunks repeat the source header, so any subset (chunk
+/// loss under faults) still reassembles; the per-source `min_count` law
+/// stays valid for the keys that survived. Headers must agree and keys
+/// must be disjoint — anything else is a [`StateError::ChunkMismatch`].
+pub fn merge_chunks(parts: &[TopKState]) -> Result<TopKState, StateError> {
+    let first = parts
+        .first()
+        .ok_or(StateError::ChunkMismatch("no chunks"))?;
+    let mut seen = std::collections::BTreeSet::new();
+    for p in parts {
+        if p.dataset != first.dataset {
+            return Err(StateError::DatasetMismatch);
+        }
+        if p.chunks != first.chunks || p.chunk >= p.chunks {
+            return Err(StateError::ChunkMismatch("chunk count disagreement"));
+        }
+        if !seen.insert(p.chunk) {
+            return Err(StateError::ChunkMismatch("duplicate chunk"));
+        }
+        if p.capacity != first.capacity
+            || p.observed != first.observed
+            || p.min_count != first.min_count
+            || p.error_bound != first.error_bound
+            || p.evictions != first.evictions
+            || p.kept != first.kept
+            || p.dropped != first.dropped
+            || p.filtered != first.filtered
+        {
+            return Err(StateError::ChunkMismatch("header disagreement"));
+        }
+    }
+    // A split state is only whole once every declared chunk is present;
+    // merging fewer would silently under-count the tracker.
+    if parts.len() as u32 != first.chunks {
+        return Err(StateError::ChunkMismatch("missing chunks"));
+    }
+    let mut entries: Vec<TopKEntry> = Vec::new();
+    for p in parts {
+        entries.extend(p.entries.iter().cloned());
+    }
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    if entries.windows(2).any(|w| w[0].key == w[1].key) {
+        return Err(StateError::ChunkMismatch("overlapping chunk keys"));
+    }
+    let mut out = first.clone();
+    out.chunk = 0;
+    out.chunks = 1;
+    out.entries = entries;
+    Ok(out)
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Aggregator chaos smoke check: ship three virtual collectors' serialized
+# sketch state through the seeded faulty transport (crates/chaos) and
+# verify the real AggregatorCore seals exactly the reference merge of the
+# predicted survivor set — stated global error bounds equal to the sum of
+# the contributing per-upstream bounds, chunk loss accounted as merge
+# conflicts. Release mode, fixed matrix of seeds × fault profiles.
+#
+# Usage: ./scripts/agg-chaos-smoke.sh [seeds-per-profile] [profile ...]
+#   seeds-per-profile  default 40
+#   profile            lossless | light | heavy | flaky (default: all)
+# Exit codes: 0 ok, 1 divergence found, 2 cannot build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-40}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+echo "agg-chaos-smoke: building release sweep example..."
+cargo build --release -q -p chaos --example agg_chaos_sweep || {
+    echo "agg-chaos-smoke: build failed" >&2
+    exit 2
+}
+
+echo "agg-chaos-smoke: ${SEEDS} seeds per profile (${*:-all profiles})"
+exec ./target/release/examples/agg_chaos_sweep "$SEEDS" "$@"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Throughput smoke check: fail if the pipeline's tx/s (BENCH_pipeline.json)
-# or the feed transport's loopback tx/s (BENCH_feed.json) regressed more
+# Throughput smoke check: fail if the pipeline's tx/s (BENCH_pipeline.json),
+# the feed transport's loopback tx/s (BENCH_feed.json), or the federated
+# aggregator's merge records/s (BENCH_aggregate.json) regressed more
 # than 20 % against the committed baselines.
 #
 # On machines with >= 2 cores the check also gates on *scaling shape*
@@ -82,6 +83,40 @@ awk -v cur="$feed_cur" -v base="$feed_base" 'BEGIN {
     printf "bench-smoke: OK — feed within 20%% of baseline (floor %.0f tx/s)\n", floor;
 }'
 
+AGG_BASELINE=BENCH_aggregate.json
+if [ ! -f "$AGG_BASELINE" ]; then
+    echo "bench-smoke: no $AGG_BASELINE baseline; generate one with:" >&2
+    echo "  cargo run --release -p bench --bin aggregate_throughput" >&2
+    exit 2
+fi
+
+agg_base=$(sed -n 's/.*"aggregate_smoke_records_per_sec": *\([0-9][0-9.]*\).*/\1/p' "$AGG_BASELINE" | head -n1)
+if [ -z "$agg_base" ]; then
+    echo "bench-smoke: $AGG_BASELINE lacks an aggregate_smoke_records_per_sec field" >&2
+    exit 2
+fi
+
+echo "bench-smoke: building release aggregate bench binary..."
+cargo build --release -q -p bench --bin aggregate_throughput
+
+agg_out=$(./target/release/aggregate_throughput --smoke)
+agg_cur=$(printf '%s\n' "$agg_out" | sed -n 's/^aggregate_smoke_records_per_sec=\([0-9][0-9.]*\)$/\1/p' | head -n1)
+if [ -z "$agg_cur" ]; then
+    echo "bench-smoke: could not parse aggregate smoke output:" >&2
+    printf '%s\n' "$agg_out" >&2
+    exit 2
+fi
+
+echo "bench-smoke: aggregate baseline ${agg_base} records/s, current ${agg_cur} records/s"
+awk -v cur="$agg_cur" -v base="$agg_base" 'BEGIN {
+    floor = 0.8 * base;
+    if (cur < floor) {
+        printf "bench-smoke: FAIL — aggregate %.0f records/s is below the 20%% floor (%.0f records/s)\n", cur, floor;
+        exit 1;
+    }
+    printf "bench-smoke: OK — aggregate within 20%% of baseline (floor %.0f records/s)\n", floor;
+}'
+
 # Scaling-shape gate: only meaningful with real parallelism available.
 cores=$(nproc 2>/dev/null || echo 1)
 if [ "$cores" -ge 2 ]; then
@@ -118,6 +153,6 @@ fi
 HISTORY=BENCH_history.jsonl
 timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
-printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s}\n' \
-    "$timestamp" "$commit" "$cur" "$feed_cur" >> "$HISTORY"
+printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s,"aggregate_smoke_records_per_sec":%s}\n' \
+    "$timestamp" "$commit" "$cur" "$feed_cur" "$agg_cur" >> "$HISTORY"
 echo "bench-smoke: appended run to $HISTORY"
