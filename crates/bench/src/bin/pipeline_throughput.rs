@@ -10,6 +10,9 @@
 //! fold, best parallel config, speedup, monotonicity verdict) for the
 //! scaling-shape gate in `scripts/bench-smoke.sh`, appends the curve to
 //! `BENCH_history.jsonl`, and refreshes `BENCH_pipeline.json`.
+//! `--trace-overhead` measures the smoke config with and without a
+//! flight recorder attached and prints `trace_*` facts for the ≤5 %
+//! tracing-tax gate.
 //!
 //! Steady-state tracker allocations are measured when built with
 //! `--features count-allocs` (a counting global allocator); without the
@@ -87,6 +90,28 @@ fn measure_threaded(txs: &[Transaction], workers: usize, shards: usize, reps: us
         let store = pipeline.run(txs.iter().cloned());
         let secs = t0.elapsed().as_secs_f64();
         assert!(!store.windows().is_empty());
+        best = best.max(txs.len() as f64 / secs);
+    }
+    best
+}
+
+/// Same measurement with provenance tracing on: a flight recorder is
+/// attached, so every stage records span events. The ratio against the
+/// untraced run is the tracing tax `scripts/bench-smoke.sh` gates at 5 %.
+fn measure_traced(txs: &[Transaction], workers: usize, shards: usize, reps: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let recorder = telemetry::FlightRecorder::new();
+        let pipeline = ThreadedPipeline::with_shards(bench_cfg(), workers, shards)
+            .with_flight_recorder(recorder.clone());
+        let t0 = Instant::now();
+        let store = pipeline.run(txs.iter().cloned());
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(!store.windows().is_empty());
+        assert!(
+            recorder.ring("pipeline/seal").recorded() > 0,
+            "tracing was supposed to be on"
+        );
         best = best.max(txs.len() as f64 / secs);
     }
     best
@@ -248,6 +273,23 @@ fn main() {
         let txs = generate(4.0);
         let tps = measure_threaded(&txs, SMOKE_WORKERS, SMOKE_SHARDS, 2);
         println!("smoke_tx_per_sec={tps:.1}");
+        return;
+    }
+
+    if std::env::args().any(|a| a == "--trace-overhead") {
+        // Interleaved best-of-3 per mode on the smoke config: the
+        // tracing tax is the ratio of the two bests, which cancels the
+        // shared machine noise better than back-to-back blocks.
+        let txs = generate(4.0);
+        let mut off = 0.0f64;
+        let mut on = 0.0f64;
+        for _ in 0..3 {
+            off = off.max(measure_threaded(&txs, SMOKE_WORKERS, SMOKE_SHARDS, 1));
+            on = on.max(measure_traced(&txs, SMOKE_WORKERS, SMOKE_SHARDS, 1));
+        }
+        println!("trace_off_tx_per_sec={off:.1}");
+        println!("trace_on_tx_per_sec={on:.1}");
+        println!("trace_overhead_ratio={:.4}", on / off);
         return;
     }
 

@@ -1,0 +1,245 @@
+//! The trace-conservation law, pinned differentially under faults.
+//!
+//! Three virtual forwarding collectors ship window state through the
+//! seeded faulty transport into a *traced* `AggregatorCore` driven on
+//! virtual time. The flight-recorder events must then balance against
+//! the aggregator's own ledger, byte for byte:
+//!
+//! * every `ingest` event is one accepted record — counts equal;
+//! * every window with at least one `ingest` terminates in **exactly
+//!   one** terminal event (`conflict` when chunks went missing, `seal`
+//!   otherwise), whose payload is that window's record count;
+//! * `drop` events equal the late-record count, `mark` events the
+//!   rejected count;
+//! * summed per-window lineage conflicts equal the ledger's
+//!   `merge_conflicts`;
+//! * and tracing is a pure observer: the sealed output equals an
+//!   untraced run over the same survivor stream.
+
+use chaos::{check, plans_for, run as chaos_run, FaultProfile, SensorInput};
+use dns_observatory::{Dataset, ObservatoryConfig, StateExporter};
+use feed::SensorConfig;
+use simnet::{SimConfig, Simulation};
+use sketchwire::{AggregatorConfig, AggregatorCore, GlobalWindow, WindowState};
+use std::collections::BTreeMap;
+use telemetry::trace::{TraceEvent, TraceKind, TraceRing};
+
+const UPSTREAMS: usize = 3;
+const WINDOW: f64 = 0.5;
+const DURATION: f64 = 1.8;
+const CHUNK_ENTRIES: usize = 8;
+
+fn cfg() -> ObservatoryConfig {
+    ObservatoryConfig {
+        datasets: vec![(Dataset::SrvIp, 120), (Dataset::Qtype, 64)],
+        window_secs: WINDOW,
+        bloom_gate: false,
+        ..ObservatoryConfig::default()
+    }
+}
+
+fn upstream_states(seed: u64) -> Vec<Vec<WindowState>> {
+    let mut exporters: Vec<StateExporter> = (0..UPSTREAMS)
+        .map(|u| StateExporter::new(cfg(), u as u64, CHUNK_ENTRIES))
+        .collect();
+    let mut outs: Vec<Vec<WindowState>> = vec![Vec::new(); UPSTREAMS];
+    let mut sim = Simulation::from_config(SimConfig {
+        seed,
+        ..SimConfig::tiny()
+    });
+    sim.run(DURATION, &mut |tx| {
+        let u = tx.sensor_index(UPSTREAMS);
+        exporters[u].ingest(tx, &mut outs[u]);
+    });
+    for (e, out) in exporters.into_iter().zip(&mut outs) {
+        e.finish(out);
+    }
+    outs
+}
+
+fn survivors(seed: u64, profile: &FaultProfile) -> Vec<WindowState> {
+    let states = upstream_states(seed);
+    let plans = plans_for(seed, UPSTREAMS as u64, profile);
+    let inputs = states
+        .iter()
+        .enumerate()
+        .map(|(u, items)| {
+            let mut config = SensorConfig::new(u as u64);
+            config.batch_items = 1;
+            config.buffer_frames = 256;
+            config.backoff.seed = seed.wrapping_mul(31).wrapping_add(u as u64);
+            config.backoff.base_ms = 2;
+            config.backoff.max_ms = 40;
+            SensorInput {
+                config,
+                items: items.clone(),
+                plan: plans[u].clone(),
+            }
+        })
+        .collect();
+    let outcome = chaos_run(inputs);
+    check(&outcome).unwrap_or_else(|d| {
+        panic!(
+            "chaos run diverged (seed={seed}, profile={}): {d}",
+            profile.name
+        )
+    });
+    outcome.delivered
+}
+
+/// Drive `records` through a core (traced when `ring` is given) on a
+/// deterministic virtual clock — one tick per record.
+fn aggregate(
+    records: &[WindowState],
+    ring: Option<TraceRing>,
+) -> (Vec<GlobalWindow>, sketchwire::AggregatorReport) {
+    let mut core = AggregatorCore::new(&AggregatorConfig::new(UPSTREAMS));
+    if let Some(ring) = ring {
+        core = core.with_trace(ring);
+    }
+    let mut sealed = Vec::new();
+    for (i, ws) in records.iter().enumerate() {
+        core.set_now_us(i as u64 + 1);
+        let _ = core.on_state(ws.clone());
+        core.poll(&mut sealed);
+    }
+    let report = core.finish(&mut sealed);
+    (sealed, report)
+}
+
+/// Assert the conservation law between the recorded events, the
+/// aggregator's ledger, and its sealed output.
+fn assert_conserved(
+    events: &[TraceEvent],
+    report: &sketchwire::AggregatorReport,
+    sealed: &[GlobalWindow],
+    context: &str,
+) {
+    let count = |kind: TraceKind| events.iter().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(
+        count(TraceKind::Ingest),
+        report.records,
+        "{context}: ingests"
+    );
+    assert_eq!(
+        count(TraceKind::Drop),
+        report.late_records,
+        "{context}: drops"
+    );
+    assert_eq!(count(TraceKind::Mark), report.rejected, "{context}: marks");
+    let terminals = count(TraceKind::Seal) + count(TraceKind::Conflict);
+    assert_eq!(terminals, report.windows_sealed, "{context}: terminals");
+
+    // Per window: ≥1 ingest ⇒ exactly one terminal whose payload is the
+    // window's accepted-record count.
+    let mut ingests: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut window_terminals: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            TraceKind::Ingest => *ingests.entry(e.window_us).or_default() += 1,
+            TraceKind::Seal | TraceKind::Conflict => {
+                window_terminals.entry(e.window_us).or_default().push(e)
+            }
+            _ => {}
+        }
+    }
+    for (window_us, n) in &ingests {
+        let t = window_terminals
+            .get(window_us)
+            .unwrap_or_else(|| panic!("{context}: window {window_us} ingested but never ended"));
+        assert_eq!(t.len(), 1, "{context}: window {window_us} ended twice");
+        assert_eq!(
+            t[0].value, *n,
+            "{context}: window {window_us} terminal payload"
+        );
+    }
+    for window_us in window_terminals.keys() {
+        assert!(
+            ingests.contains_key(window_us),
+            "{context}: window {window_us} ended without an ingest"
+        );
+    }
+
+    // Lineage rides every sealed window and balances the conflict ledger.
+    let conflict_sum: u64 = sealed.iter().map(|gw| gw.lineage.conflicts).sum();
+    assert_eq!(
+        conflict_sum, report.merge_conflicts,
+        "{context}: lineage conflicts"
+    );
+    for gw in sealed {
+        let window_us = (gw.start * 1e6).round() as u64;
+        let terminal = window_terminals[&window_us][0];
+        let want = if gw.lineage.conflicts > 0 {
+            TraceKind::Conflict
+        } else {
+            TraceKind::Seal
+        };
+        assert_eq!(terminal.kind, want, "{context}: terminal kind @{window_us}");
+        assert_eq!(
+            gw.lineage.records, terminal.value,
+            "{context}: lineage records"
+        );
+        assert_eq!(
+            gw.lineage.sealed_us, terminal.at_us,
+            "{context}: lineage seal time"
+        );
+    }
+}
+
+/// Seeded schedules over all fault profiles: the trace balances the
+/// ledger exactly, and tracing never perturbs the sealed output.
+#[test]
+fn trace_conservation_holds_under_faults() {
+    let mut saw_conflict_terminal = false;
+    for profile in FaultProfile::all() {
+        for seed in [5u64, 17] {
+            let delivered = survivors(seed, &profile);
+            assert!(!delivered.is_empty(), "schedule delivered nothing");
+            let context = format!("seed {seed} {}", profile.name);
+
+            let ring = TraceRing::new(1 << 16);
+            let (sealed, report) = aggregate(&delivered, Some(ring.clone()));
+            let (plain, plain_report) = aggregate(&delivered, None);
+            assert_eq!(sealed, plain, "{context}: tracing perturbed output");
+            assert_eq!(report, plain_report, "{context}: tracing perturbed ledger");
+
+            assert!(
+                ring.recorded() <= 1 << 16,
+                "{context}: ring wrapped — conservation unverifiable"
+            );
+            let events: Vec<TraceEvent> = ring.events().into_iter().map(|(_, e)| e).collect();
+            assert_conserved(&events, &report, &sealed, &context);
+            saw_conflict_terminal |= events.iter().any(|e| e.kind == TraceKind::Conflict);
+        }
+    }
+    assert!(
+        saw_conflict_terminal,
+        "no schedule produced a conflict terminal — recalibrate"
+    );
+}
+
+/// Rejected records surface as `mark` events: same window, same count,
+/// and the ledger's rejected counter agrees.
+#[test]
+fn rejected_records_mark_the_trace() {
+    let delivered = survivors(5, &FaultProfile::lossless());
+    let mut records = delivered.clone();
+    // A record whose window length disagrees with an earlier one for
+    // the same window is rejected at validation. It must land while the
+    // window is still open — inserted right behind the record that
+    // opened it, before any seal can demote it to a late drop.
+    let mut bad = records[0].clone();
+    bad.length *= 2.0;
+    records.insert(1, bad);
+
+    let ring = TraceRing::new(1 << 16);
+    let (sealed, report) = aggregate(&records, Some(ring.clone()));
+    assert_eq!(report.rejected, 1);
+    let events: Vec<TraceEvent> = ring.events().into_iter().map(|(_, e)| e).collect();
+    assert_conserved(&events, &report, &sealed, "rejected-record run");
+    let mark = events
+        .iter()
+        .find(|e| e.kind == TraceKind::Mark)
+        .expect("mark event");
+    assert_eq!(mark.window_us, (records[0].start * 1e6).round() as u64);
+}

@@ -2,10 +2,12 @@
 //! [`telemetry::WatchdogCore`] is ticked with [`chaos::VirtualClock`]
 //! instants around a real chaos run, proving the liveness story end to
 //! end without a single wall-clock sleep — a wedged collector raises
-//! exactly one stall, and the next processed event clears it.
+//! exactly one stall, and the next processed event clears it. The same
+//! virtual time drives the [`telemetry::RateLimiter`] behind the
+//! operator warning paths (sensor drop lines, collector decode lines).
 
 use chaos::{run_seed_in, ChaosConfig, FaultProfile, VirtualClock};
-use telemetry::{Registry, StallEvent, WatchdogCore};
+use telemetry::{RateLimiter, Registry, StallEvent, WatchdogCore};
 
 const THRESHOLD_US: u64 = 5_000_000;
 
@@ -56,6 +58,155 @@ fn collector_heartbeat_stalls_once_and_recovers_after_a_run() {
         "expected recovery, got {events:?}"
     );
     assert!(dog.stalled().is_empty());
+}
+
+/// A stage that wedges, recovers, and wedges again must raise one alarm
+/// *per freeze*: strictly alternating Stalled/Recovered transitions with
+/// exact durations and frozen values, never a duplicate mid-stall.
+#[test]
+fn watchdog_reports_each_stall_and_recovery_across_cycles() {
+    let registry = Registry::new();
+    let heartbeat = registry.counter("pipeline_records_total");
+    let mut clock = VirtualClock::new();
+    let mut dog = WatchdogCore::new();
+    dog.watch_counter(
+        "pipeline_records",
+        heartbeat.clone(),
+        THRESHOLD_US,
+        clock.now(),
+    );
+
+    let mut transitions = Vec::new();
+    let mut expected = Vec::new();
+    let mut value = 0u64;
+    let mut last_progress = clock.now();
+    for cycle in 1..=3u64 {
+        // Freeze past the threshold (a little longer each cycle).
+        let extra = cycle * 1_000;
+        clock.advance_to(last_progress + THRESHOLD_US + extra);
+        transitions.extend(dog.tick(clock.now()));
+        expected.push(StallEvent::Stalled {
+            name: "pipeline_records".to_string(),
+            stalled_for_us: THRESHOLD_US + extra,
+            at_value: value,
+        });
+        // Still frozen: the alarm already fired, further ticks are quiet.
+        clock.advance_to(clock.now() + THRESHOLD_US);
+        assert!(
+            dog.tick(clock.now()).is_empty(),
+            "cycle {cycle}: duplicate stall"
+        );
+        assert_eq!(dog.stalled(), vec!["pipeline_records".to_string()]);
+        // Progress clears the stall on the very next tick.
+        heartbeat.inc(cycle);
+        value += cycle;
+        clock.advance_to(clock.now() + 1);
+        transitions.extend(dog.tick(clock.now()));
+        expected.push(StallEvent::Recovered {
+            name: "pipeline_records".to_string(),
+            stalled_for_us: clock.now() - last_progress,
+        });
+        assert!(
+            dog.stalled().is_empty(),
+            "cycle {cycle}: stall did not clear"
+        );
+        last_progress = clock.now();
+    }
+    assert_eq!(transitions, expected);
+}
+
+/// Two watches with different thresholds trip and clear independently —
+/// including a recovery and a fresh stall surfacing in the same tick.
+#[test]
+fn watches_stall_and_recover_independently() {
+    let registry = Registry::new();
+    let collector = registry.counter("feed_collector_events_total");
+    let aggregator = registry.counter("agg_records_total");
+    let mut clock = VirtualClock::new();
+    let mut dog = WatchdogCore::new();
+    dog.watch_counter("collector", collector.clone(), THRESHOLD_US, clock.now());
+    dog.watch_counter(
+        "aggregator",
+        aggregator.clone(),
+        2 * THRESHOLD_US,
+        clock.now(),
+    );
+
+    // Only the collector's heartbeat moves: the aggregator alone trips,
+    // at its longer threshold, exactly once.
+    for i in 1..=4u64 {
+        collector.inc(1);
+        clock.advance_to(i * THRESHOLD_US);
+        let events = dog.tick(clock.now());
+        if i == 2 {
+            assert_eq!(
+                events,
+                vec![StallEvent::Stalled {
+                    name: "aggregator".to_string(),
+                    stalled_for_us: 2 * THRESHOLD_US,
+                    at_value: 0,
+                }]
+            );
+        } else {
+            assert!(events.is_empty(), "tick {i}: {events:?}");
+        }
+    }
+    assert_eq!(dog.stalled(), vec!["aggregator".to_string()]);
+
+    // The aggregator catches up while the collector freezes: one tick
+    // carries both the new stall and the recovery.
+    aggregator.inc(7);
+    clock.advance_to(5 * THRESHOLD_US);
+    assert_eq!(
+        dog.tick(clock.now()),
+        vec![
+            StallEvent::Stalled {
+                name: "collector".to_string(),
+                stalled_for_us: THRESHOLD_US,
+                at_value: 4,
+            },
+            StallEvent::Recovered {
+                name: "aggregator".to_string(),
+                stalled_for_us: 5 * THRESHOLD_US,
+            },
+        ]
+    );
+    assert_eq!(dog.stalled(), vec!["collector".to_string()]);
+}
+
+/// The warning paths (sensor drop lines, collector decode lines) emit at
+/// most one line per interval and report the swallowed tally on the next
+/// allowed line — a drop storm must not become a stderr storm.
+#[test]
+fn warning_ratelimit_carries_suppressed_counts_across_bursts() {
+    const INTERVAL_US: u64 = 5_000_000; // the warn paths' interval
+    let mut clock = VirtualClock::new();
+    let mut warn = RateLimiter::new(INTERVAL_US);
+
+    // First warning always passes, with nothing suppressed behind it.
+    assert_eq!(warn.allow(clock.now()), Some(0));
+    // A 100-drop burst inside the interval: every one suppressed.
+    for i in 1..=100u64 {
+        clock.advance_to(i * 1_000);
+        assert_eq!(warn.allow(clock.now()), None, "drop {i} leaked");
+    }
+    // The next allowed line reports the whole swallowed burst.
+    clock.advance_to(INTERVAL_US);
+    assert_eq!(warn.allow(clock.now()), Some(100));
+    // After a quiet stretch a lone drop warns immediately, tally reset.
+    clock.advance_to(10 * INTERVAL_US);
+    assert_eq!(warn.allow(clock.now()), Some(0));
+}
+
+/// The warn-path clocks are wall clocks; a step backwards (NTP, VM
+/// migration) must neither panic nor re-arm the limiter early.
+#[test]
+fn warning_ratelimit_tolerates_clock_regression() {
+    let mut warn = RateLimiter::new(1_000);
+    assert_eq!(warn.allow(5_000), Some(0));
+    assert_eq!(warn.allow(4_000), None, "regressed clock re-armed early");
+    assert_eq!(warn.allow(5_999), None);
+    assert_eq!(warn.allow(6_000), Some(2));
 }
 
 #[test]

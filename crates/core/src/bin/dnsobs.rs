@@ -44,9 +44,13 @@ use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
-use telemetry::{MetricsServer, Registry, SystemClock, Watchdog, WatchdogCore};
+use telemetry::{
+    FlightRecorder, MetricsServer, Registry, StallEvent, SystemClock, Watchdog, WatchdogCore,
+};
 
 fn main() {
+    // Whatever crashes, the black box survives to stderr.
+    FlightRecorder::install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("simulate") => simulate(&args[1..]),
@@ -54,6 +58,7 @@ fn main() {
         Some("collect") => collect(&args[1..]),
         Some("aggregate") => aggregate_cmd(&args[1..]),
         Some("status") => status_cmd(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("show") => show(&args[1..], usize::MAX),
         Some("top") => {
             let n = flag_value(&args[1..], "--n")
@@ -63,7 +68,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs collect --listen ADDR --forward ADDR [--upstream N] [--chunk-entries N] [--state-out FILE]\n  dnsobs aggregate --listen ADDR --upstreams N [--out DIR] [--metrics ADDR]\n  dnsobs aggregate --input FILE [--input FILE ...] [--out DIR]\n  dnsobs status [--metrics ADDR]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\n--topk caps the big per-dataset trackers (default 10000); forwarding\ncollectors and the aggregator must agree on it for state to merge.\n\nsensor:    simulate traffic, keep the 1/N slice owned by --index, and\n           stream its summaries to the collector (reconnects with backoff).\ncollect:   accept N sensors, merge their streams in time order, run the\n           tracking pipeline, and write TSV windows like `simulate`.\n           With --forward/--state-out it exports per-window sketch state\n           upward instead of rendering TSVs locally (federated tier).\naggregate: merge the window-state streams of N forwarding collectors\n           (or state files) into global TSV windows with a stated\n           error bound.\nstatus:    scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n           and print the one-page health summary."
+                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--topk N] [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs collect --listen ADDR --forward ADDR [--upstream N] [--chunk-entries N] [--state-out FILE]\n  dnsobs aggregate --listen ADDR --upstreams N [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs aggregate --input FILE [--input FILE ...] [--out DIR]\n  dnsobs status [--metrics ADDR]\n  dnsobs trace DUMP.tsv [--window-start SECS]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\n--topk caps the big per-dataset trackers (default 10000); forwarding\ncollectors and the aggregator must agree on it for state to merge.\n\nsensor:    simulate traffic, keep the 1/N slice owned by --index, and\n           stream its summaries to the collector (reconnects with backoff).\ncollect:   accept N sensors, merge their streams in time order, run the\n           tracking pipeline, and write TSV windows like `simulate`.\n           With --forward/--state-out it exports per-window sketch state\n           upward instead of rendering TSVs locally (federated tier).\naggregate: merge the window-state streams of N forwarding collectors\n           (or state files) into global TSV windows with a stated\n           error bound.\nstatus:    scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n           and print the one-page health summary.\ntrace:     render a flight-recorder dump (`--trace-out`, stall or panic\n           dump) as per-window lineage; --window-start narrows to one\n           window. --trace-out on collect/aggregate records span events\n           into the flight recorder and writes the dump at exit (the\n           stall watchdog also dumps it on a stall, to the same file)."
             );
             2
         }
@@ -80,6 +85,52 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 /// Port every `--metrics ADDR` endpoint defaults to.
 const DEFAULT_METRICS_ADDR: &str = "127.0.0.1:9464";
+
+/// Dump the global flight recorder: to `path` when given, otherwise as
+/// a delimited block on stderr (skipped when nothing was recorded).
+fn dump_recorder(path: Option<&Path>, why: &str) {
+    let recorder = FlightRecorder::global();
+    match path {
+        Some(p) => match recorder.dump_to(p) {
+            Ok(()) => eprintln!("flight recorder ({why}): wrote {}", p.display()),
+            Err(e) => eprintln!("flight recorder ({why}): cannot write {}: {e}", p.display()),
+        },
+        None => {
+            let dump = recorder.dump();
+            if dump.lines().count() > 1 {
+                eprintln!("--- flight recorder dump ({why}) ---");
+                eprint!("{dump}");
+                eprintln!("--- end flight recorder dump ---");
+            }
+        }
+    }
+}
+
+/// The watchdog's stderr reporter, plus the black box: a stall dumps the
+/// flight recorder (to `trace_out` when given, else stderr) so the
+/// evidence is on disk *before* anyone attaches a debugger.
+fn watchdog_reporter(trace_out: Option<PathBuf>) -> impl Fn(&StallEvent) + Send + 'static {
+    move |event| match event {
+        StallEvent::Stalled {
+            name,
+            stalled_for_us,
+            at_value,
+        } => {
+            eprintln!(
+                "watchdog: {name} stalled for {:.1}s at {at_value}",
+                *stalled_for_us as f64 / 1e6
+            );
+            dump_recorder(trace_out.as_deref(), "stall");
+        }
+        StallEvent::Recovered {
+            name,
+            stalled_for_us,
+        } => eprintln!(
+            "watchdog: {name} recovered after {:.1}s",
+            *stalled_for_us as f64 / 1e6
+        ),
+    }
+}
 
 /// Serve the global registry on `--metrics ADDR` when asked. Returns
 /// `Err` only when the flag was given and the bind failed; the server
@@ -332,7 +383,8 @@ fn collect(args: &[String]) -> i32 {
 
     // Stall watchdog: the collector proves liveness through its event
     // counter; a feed frozen past the threshold gets one stderr line
-    // (and one more when it recovers).
+    // (and one more when it recovers) plus a flight-recorder dump.
+    let trace_out = flag_value(args, "--trace-out").map(PathBuf::from);
     let clock = Arc::new(SystemClock::new());
     let registry = Registry::global();
     let mut dog = WatchdogCore::new();
@@ -342,7 +394,13 @@ fn collect(args: &[String]) -> i32 {
         (stall_secs.max(1.0) * 1e6) as u64,
         telemetry::Clock::now_us(clock.as_ref()),
     );
-    let watchdog = Watchdog::spawn_logging(dog, clock, Duration::from_millis(500)).ok();
+    let watchdog = Watchdog::spawn(
+        dog,
+        clock,
+        Duration::from_millis(500),
+        watchdog_reporter(trace_out.clone()),
+    )
+    .ok();
 
     let output = collector.take_output();
     if flag_value(args, "--forward").is_some() || flag_value(args, "--state-out").is_some() {
@@ -352,9 +410,12 @@ fn collect(args: &[String]) -> i32 {
             dog.stop();
         }
         print_feed_report(&report);
+        if let Some(path) = &trace_out {
+            dump_recorder(Some(path), "run end");
+        }
         return code;
     }
-    let pipeline = ThreadedPipeline::new(
+    let mut pipeline = ThreadedPipeline::new(
         ObservatoryConfig {
             datasets: datasets(args),
             window_secs: window,
@@ -362,6 +423,11 @@ fn collect(args: &[String]) -> i32 {
         },
         1,
     );
+    if trace_out.is_some() {
+        // Provenance tracing on: the pipeline stages record span events
+        // into the same recorder the feed io edges already write to.
+        pipeline = pipeline.with_flight_recorder(FlightRecorder::global());
+    }
     // Meta self-reports ride on the merged feed's stream time, one per
     // data window.
     let mut meta = MetaReporter::new(registry, (window.max(1.0) * 1e6) as u64);
@@ -384,6 +450,9 @@ fn collect(args: &[String]) -> i32 {
     eprintln!("wrote {meta_files} meta report(s)");
 
     print_feed_report(&report);
+    if let Some(path) = &trace_out {
+        dump_recorder(Some(path), "run end");
+    }
     match write_store(&out, &store) {
         Ok(files) => {
             eprintln!("wrote {files} TSV files to {}", out.display());
@@ -440,6 +509,11 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
         upstream,
         chunk_entries,
     );
+    let tracing = flag_value(args, "--trace-out").is_some();
+    let export_clock = SystemClock::new();
+    if tracing {
+        exporter = exporter.with_trace(FlightRecorder::global().ring("exporter"));
+    }
     let mut file_buf = Vec::new();
     let mut states = Vec::new();
     let mut exported = 0u64;
@@ -455,6 +529,9 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
         }
     };
     for summary in output {
+        if tracing {
+            exporter.set_now_us(telemetry::Clock::now_us(&export_clock));
+        }
         exporter.ingest_summary(summary, &mut states);
         push(&mut states, &mut file_buf);
     }
@@ -533,14 +610,23 @@ fn aggregate_cmd(args: &[String]) -> i32 {
         out.display()
     );
 
+    let trace_out = flag_value(args, "--trace-out").map(PathBuf::from);
     let mut core = AggregatorCore::with_registry(
         &AggregatorConfig::new(upstreams as usize),
         &Registry::global(),
     );
+    if trace_out.is_some() {
+        core = core.with_trace(FlightRecorder::global().ring("aggregator"));
+    }
+    // Lineage timestamps are always stamped — one clock read per record
+    // keeps every sealed window's first-seen/sealed times meaningful
+    // even when span tracing is off.
+    let agg_clock = SystemClock::new();
     let output = collector.take_output();
     let mut sealed = Vec::new();
     let mut files = 0usize;
     for ws in output.iter() {
+        core.set_now_us(telemetry::Clock::now_us(&agg_clock));
         if let Err(e) = core.on_state(ws) {
             eprintln!("rejected window-state record: {e}");
         }
@@ -564,6 +650,9 @@ fn aggregate_cmd(args: &[String]) -> i32 {
     }
     print_feed_report(&feed_report);
     print_aggregator_report(&report);
+    if let Some(path) = &trace_out {
+        dump_recorder(Some(path), "run end");
+    }
     eprintln!("wrote {files} global TSV files to {}", out.display());
     0
 }
@@ -656,6 +745,28 @@ fn status_cmd(args: &[String]) -> i32 {
     };
     let samples = telemetry::prometheus::parse(&text);
     print!("{}", status::render_status(&samples));
+    0
+}
+
+/// `dnsobs trace`: render a flight-recorder dump file as per-window
+/// lineage. `--window-start SECS` narrows the detail to one window.
+fn trace_cmd(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("trace: usage: dnsobs trace DUMP.tsv [--window-start SECS]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let rows = telemetry::trace::parse_dump(&text);
+    let only = flag_value(args, "--window-start")
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|s| (s * 1e6).round() as u64);
+    print!("{}", dns_observatory::lineage::render_trace(&rows, only));
     0
 }
 

@@ -21,7 +21,7 @@
 //!   `min_count`, so the forwarding path keeps trackers whole.
 
 use crate::features::FeatureSet;
-use crate::pipeline::ObservatoryConfig;
+use crate::pipeline::{window_id_us, ObservatoryConfig};
 use crate::summarize::TxSummary;
 use crate::timeseries::WindowDump;
 use crate::topk::TopKTracker;
@@ -31,6 +31,10 @@ use simnet::Transaction;
 use sketchwire::{GlobalWindow, StateError, WindowState};
 use std::io;
 use std::path::Path;
+use telemetry::trace::{TraceEvent, TraceKind, TraceRing};
+
+/// Trace stage name for exporter span events.
+const STAGE: &str = "exporter";
 
 /// Turns a summary stream into per-window [`WindowState`] items — the
 /// collector half of the federated tier.
@@ -44,6 +48,8 @@ pub struct StateExporter {
     prev_stats: Vec<(u64, u64, u64)>,
     window_start: Option<f64>,
     ingested: u64,
+    trace: TraceRing,
+    now_us: u64,
 }
 
 impl StateExporter {
@@ -71,7 +77,23 @@ impl StateExporter {
             prev_stats,
             window_start: None,
             ingested: 0,
+            trace: TraceRing::disabled(),
+            now_us: 0,
         }
+    }
+
+    /// Attach a trace ring; each exported window records a `close` span
+    /// event keyed by the same window id the aggregator uses on the
+    /// wire, with the chunk count as its value. Sans-io: pair with
+    /// [`StateExporter::set_now_us`] to timestamp events.
+    pub fn with_trace(mut self, ring: TraceRing) -> StateExporter {
+        self.trace = ring;
+        self
+    }
+
+    /// Advance the exporter's notion of time for trace timestamps.
+    pub fn set_now_us(&mut self, now_us: u64) {
+        self.now_us = now_us;
     }
 
     /// Total transactions ingested.
@@ -93,12 +115,16 @@ impl StateExporter {
         let w = self.cfg.window_secs;
         let aligned = (summary.time / w).floor() * w;
         match self.window_start {
-            None => self.window_start = Some(aligned),
+            None => {
+                self.window_start = Some(aligned);
+                self.trace_open(aligned);
+            }
             Some(start) if aligned > start => {
                 // A jump of more than one window leaves a gap the
                 // aggregator's per-upstream ledger will count.
                 self.export_window(start, out);
                 self.window_start = Some(aligned);
+                self.trace_open(aligned);
             }
             _ => {}
         }
@@ -119,7 +145,18 @@ impl StateExporter {
         self.ingested
     }
 
+    fn trace_open(&self, start: f64) {
+        if self.trace.is_enabled() {
+            self.trace.record(
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Open)
+                    .window(window_id_us(start))
+                    .source(self.upstream),
+            );
+        }
+    }
+
     fn export_window(&mut self, start: f64, out: &mut Vec<WindowState>) {
+        let before = out.len();
         for (i, t) in self.trackers.iter_mut().enumerate() {
             let (kept, dropped, filtered) = t.stats();
             let (pk, pd, pf) = self.prev_stats[i];
@@ -133,6 +170,14 @@ impl StateExporter {
                     topk: chunk,
                 });
             }
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Close)
+                    .window(window_id_us(start))
+                    .source(self.upstream)
+                    .value((out.len() - before) as u64),
+            );
         }
     }
 }
@@ -287,6 +332,57 @@ mod tests {
             want.entries.sort_by(|a, b| a.key.cmp(&b.key));
             back.entries.sort_by(|a, b| a.key.cmp(&b.key));
             assert_eq!(back, want);
+        }
+    }
+
+    /// Tracing is a pure observer: a traced exporter emits one `open`
+    /// and one `close` span per exported window (close value = chunk
+    /// count) and produces byte-identical states to an untraced run.
+    #[test]
+    fn traced_exporter_spans_match_exports() {
+        let run = |ring: Option<TraceRing>| {
+            let mut exporter = StateExporter::new(cfg(1.0), 7, 0);
+            if let Some(ring) = ring {
+                exporter = exporter.with_trace(ring);
+            }
+            let mut states = Vec::new();
+            let mut sim = Simulation::from_config(SimConfig::small());
+            let mut tick = 0u64;
+            sim.run(2.5, &mut |tx| {
+                tick += 1;
+                exporter.set_now_us(tick);
+                exporter.ingest(tx, &mut states);
+            });
+            exporter.finish(&mut states);
+            states
+        };
+        let ring = TraceRing::new(256);
+        let plain = run(None);
+        let traced = run(Some(ring.clone()));
+        assert_eq!(plain, traced, "tracing must not perturb exports");
+
+        let events: Vec<TraceEvent> = ring.events().into_iter().map(|(_, e)| e).collect();
+        let opens: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Open)
+            .collect();
+        let closes: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Close)
+            .collect();
+        let windows: BTreeMap<u64, usize> = traced.iter().fold(BTreeMap::new(), |mut acc, ws| {
+            *acc.entry(window_id_us(ws.start)).or_default() += 1;
+            acc
+        });
+        assert_eq!(opens.len(), windows.len(), "one open per window");
+        // Boundary windows close at the boundary; `finish` closes the
+        // final partial window — so every window closes exactly once.
+        assert_eq!(closes.len(), windows.len(), "one close per window");
+        for close in &closes {
+            assert_eq!(close.stage, "exporter");
+            assert_eq!(close.source, 7, "upstream id rides the span");
+            let chunks = windows[&close.window_us];
+            assert_eq!(close.value, chunks as u64);
         }
     }
 

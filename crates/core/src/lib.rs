@@ -43,6 +43,7 @@ pub mod features;
 pub mod federate;
 pub mod feedwire;
 pub mod keys;
+pub mod lineage;
 pub mod metrics;
 pub mod pipeline;
 pub mod status;

@@ -32,6 +32,10 @@ pub struct SequencerMetrics {
     /// transactions — grows under backlog, shrinks when the stage rings
     /// run idle.
     pub batch_size: Gauge,
+    /// `pipeline_window_seconds{stage="sequencer"}`: wall residency of
+    /// each window from open to frontier close at the sequencer — the
+    /// stage-latency leg of a sealed window's lineage.
+    pub window_seconds: Histogram,
 }
 
 impl SequencerMetrics {
@@ -48,6 +52,11 @@ impl SequencerMetrics {
                 })
                 .collect(),
             batch_size: registry.gauge("pipeline_batch_size"),
+            window_seconds: registry.histogram_with(
+                "pipeline_window_seconds",
+                &[("stage", "sequencer")],
+                Histogram::seconds_layout(),
+            ),
         }
     }
 }
@@ -116,7 +125,7 @@ pub struct ShardMetrics {
     /// This shard's slice of `pipeline_queue_depth{shard=..}`.
     pub queue_depth: Gauge,
     /// `pipeline_batch_seconds`: per-batch tracking latency, shared by
-    /// all shards (histograms are label-free by convention).
+    /// all shards.
     pub batch_seconds: Histogram,
     /// Per-dataset tracker handles, in config order.
     pub trackers: Vec<TrackerMetrics>,

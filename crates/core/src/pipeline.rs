@@ -38,7 +38,8 @@ use psl::Psl;
 use simnet::Transaction;
 use spsc::{ring, Consumer, Pool, Producer, Recycled};
 use std::sync::Arc;
-use telemetry::Registry;
+use telemetry::trace::{TraceEvent, TraceKind, TraceRing};
+use telemetry::{Clock, FlightRecorder, Registry, SystemClock};
 
 /// Observatory configuration.
 #[derive(Debug, Clone)]
@@ -316,6 +317,8 @@ pub struct ThreadedPipeline {
     batch_max: usize,
     stall: Option<StallHook>,
     registry: Registry,
+    recorder: Option<FlightRecorder>,
+    clock: Arc<dyn Clock>,
 }
 
 impl ThreadedPipeline {
@@ -343,6 +346,8 @@ impl ThreadedPipeline {
             batch_max: BATCH_MAX_DEFAULT,
             stall: None,
             registry: Registry::global(),
+            recorder: None,
+            clock: Arc::new(SystemClock::new()),
         }
     }
 
@@ -362,6 +367,26 @@ impl ThreadedPipeline {
         assert!(min >= 1 && max >= min, "need 1 <= min <= max");
         self.batch_min = min;
         self.batch_max = max;
+        self
+    }
+
+    /// Attach a flight recorder: every stage records window-provenance
+    /// [`TraceEvent`]s into its own bounded ring (`pipeline/feeder`,
+    /// `pipeline/worker<i>`, `pipeline/sequencer`, `pipeline/shard<sh>`,
+    /// `pipeline/seal`). Window ids on the trace are the window start in
+    /// integer microseconds — the same keying `sketchwire` uses on the
+    /// wire. Without a recorder the rings are disabled and the hot path
+    /// skips the per-event clock reads entirely.
+    pub fn with_flight_recorder(mut self, recorder: FlightRecorder) -> ThreadedPipeline {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Trace timestamps come from `clock` — tests pin a
+    /// [`telemetry::ManualClock`] (or the chaos `VirtualClock`) for
+    /// deterministic dumps. Defaults to [`SystemClock`].
+    pub fn with_trace_clock(mut self, clock: Arc<dyn Clock>) -> ThreadedPipeline {
+        self.clock = clock;
         self
     }
 
@@ -426,14 +451,17 @@ impl ThreadedPipeline {
         let assign_pool: Pool<(u32, u16)> = Pool::new(shards * SHARD_RING_MSGS + shards + 2);
 
         let seq_metrics = SequencerMetrics::register(&self.registry, shards);
+        let trace = PipelineTrace::new(self.recorder.as_ref(), self.clock.clone(), workers, shards);
 
         let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
             // Summarizer workers.
-            for (task_rx, done_tx) in task_rxs.into_iter().zip(done_txs) {
+            for (w, (task_rx, done_tx)) in task_rxs.into_iter().zip(done_txs).enumerate() {
                 let tx_pool = tx_pool.clone();
                 let summary_pool = summary_pool.clone();
-                scope.spawn(move || worker_loop(task_rx, done_tx, tx_pool, summary_pool));
+                let wtrace = trace.workers[w].clone();
+                scope
+                    .spawn(move || worker_loop(w, task_rx, done_tx, tx_pool, summary_pool, wtrace));
             }
 
             let shard_handles: Vec<_> = shard_rxs
@@ -444,8 +472,10 @@ impl ThreadedPipeline {
                     let metrics = ShardMetrics::register(&self.registry, sh, &datasets);
                     let stall = self.stall.clone();
                     let assign_pool = assign_pool.clone();
-                    scope
-                        .spawn(move || shard_loop(sh, rx, cfg, shards, metrics, stall, assign_pool))
+                    let strace = trace.shards[sh].clone();
+                    scope.spawn(move || {
+                        shard_loop(sh, rx, cfg, shards, metrics, stall, assign_pool, strace)
+                    })
                 })
                 .collect();
 
@@ -453,6 +483,7 @@ impl ThreadedPipeline {
             let seq_m = seq_metrics.clone();
             let seq_summary_pool = summary_pool.clone();
             let seq_assign_pool = assign_pool.clone();
+            let seq_trace = trace.sequencer.clone();
             let sequencer = scope.spawn(move || {
                 sequencer_loop(
                     done_rxs,
@@ -462,6 +493,7 @@ impl ThreadedPipeline {
                     seq_m,
                     seq_summary_pool,
                     seq_assign_pool,
+                    seq_trace,
                 )
             });
 
@@ -473,6 +505,7 @@ impl ThreadedPipeline {
                 &tx_pool,
                 AdaptiveBatch::new(self.batch_min, self.batch_max),
                 &seq_metrics,
+                &trace.feeder,
             );
 
             sequencer.join().expect("sequencer thread");
@@ -481,7 +514,7 @@ impl ThreadedPipeline {
             }
         });
 
-        merge_shard_windows(shard_windows, &datasets, window_secs)
+        merge_shard_windows(shard_windows, &datasets, window_secs, &trace)
     }
 
     /// Consume pre-built summaries, returning the collected time series.
@@ -508,6 +541,7 @@ impl ThreadedPipeline {
         let summary_pool: Pool<TxSummary> = Pool::new(STAGE_RING_BATCHES + 2 * shards + 2);
         let assign_pool: Pool<(u32, u16)> = Pool::new(shards * SHARD_RING_MSGS + shards + 2);
         let seq_metrics = SequencerMetrics::register(&self.registry, shards);
+        let trace = PipelineTrace::new(self.recorder.as_ref(), self.clock.clone(), 0, shards);
 
         let mut shard_windows: Vec<ShardWindows> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
@@ -519,8 +553,10 @@ impl ThreadedPipeline {
                     let metrics = ShardMetrics::register(&self.registry, sh, &datasets);
                     let stall = self.stall.clone();
                     let assign_pool = assign_pool.clone();
-                    scope
-                        .spawn(move || shard_loop(sh, rx, cfg, shards, metrics, stall, assign_pool))
+                    let strace = trace.shards[sh].clone();
+                    scope.spawn(move || {
+                        shard_loop(sh, rx, cfg, shards, metrics, stall, assign_pool, strace)
+                    })
                 })
                 .collect();
 
@@ -528,6 +564,7 @@ impl ThreadedPipeline {
             let seq_m = seq_metrics.clone();
             let seq_summary_pool = summary_pool.clone();
             let seq_assign_pool = assign_pool.clone();
+            let seq_trace = trace.sequencer.clone();
             let sequencer = scope.spawn(move || {
                 sequencer_loop(
                     vec![feed_rx],
@@ -537,6 +574,7 @@ impl ThreadedPipeline {
                     seq_m,
                     seq_summary_pool,
                     seq_assign_pool,
+                    seq_trace,
                 )
             });
 
@@ -546,6 +584,7 @@ impl ThreadedPipeline {
                 &summary_pool,
                 AdaptiveBatch::new(self.batch_min, self.batch_max),
                 &seq_metrics,
+                &trace.feeder,
             );
 
             sequencer.join().expect("sequencer thread");
@@ -554,7 +593,77 @@ impl ThreadedPipeline {
             }
         });
 
-        merge_shard_windows(shard_windows, &datasets, window_secs)
+        merge_shard_windows(shard_windows, &datasets, window_secs, &trace)
+    }
+}
+
+/// Window ids on the trace: the window start in integer microseconds,
+/// the same keying `sketchwire::AggregatorCore` uses for windows on the
+/// wire — so a window's provenance can be followed from the pipeline
+/// stages through the federation tier with one id.
+pub(crate) fn window_id_us(start: f64) -> u64 {
+    (start * 1e6).round() as u64
+}
+
+/// One stage's handle on the flight recorder: its bounded trace ring
+/// plus the clock that stamps events. With no recorder attached the
+/// ring is disabled, so the tracing-off hot path checks one bool and
+/// performs no clock reads and takes no locks.
+#[derive(Clone)]
+struct StageTrace {
+    ring: TraceRing,
+    clock: Arc<dyn Clock>,
+}
+
+impl StageTrace {
+    fn is_enabled(&self) -> bool {
+        self.ring.is_enabled()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    fn record(&self, event: TraceEvent) {
+        self.ring.record(event);
+    }
+}
+
+/// Per-run trace handles: one [`StageTrace`] per pipeline stage.
+#[derive(Clone)]
+struct PipelineTrace {
+    feeder: StageTrace,
+    workers: Vec<StageTrace>,
+    sequencer: StageTrace,
+    shards: Vec<StageTrace>,
+    seal: StageTrace,
+}
+
+impl PipelineTrace {
+    fn new(
+        recorder: Option<&FlightRecorder>,
+        clock: Arc<dyn Clock>,
+        workers: usize,
+        shards: usize,
+    ) -> PipelineTrace {
+        let stage = |name: String| StageTrace {
+            ring: match recorder {
+                Some(fr) => fr.ring(&name),
+                None => TraceRing::disabled(),
+            },
+            clock: clock.clone(),
+        };
+        PipelineTrace {
+            feeder: stage("pipeline/feeder".to_string()),
+            workers: (0..workers)
+                .map(|w| stage(format!("pipeline/worker{w}")))
+                .collect(),
+            sequencer: stage("pipeline/sequencer".to_string()),
+            shards: (0..shards)
+                .map(|sh| stage(format!("pipeline/shard{sh}")))
+                .collect(),
+            seal: stage("pipeline/seal".to_string()),
+        }
     }
 }
 
@@ -580,6 +689,7 @@ fn feed_batches<T, I>(
     pool: &Pool<T>,
     mut ctl: AdaptiveBatch,
     metrics: &SequencerMetrics,
+    trace: &StageTrace,
 ) where
     T: Send,
     I: Iterator<Item = T>,
@@ -591,6 +701,13 @@ fn feed_batches<T, I>(
         if batch.is_empty() {
             pool.put(batch);
             break;
+        }
+        if trace.is_enabled() {
+            trace.record(
+                TraceEvent::new(trace.now_us(), "feeder", TraceKind::Ingest)
+                    .source(w as u64)
+                    .value(batch.len() as u64),
+            );
         }
         let out = &mut outs[w];
         let deepest = metrics
@@ -611,16 +728,25 @@ fn feed_batches<T, I>(
 /// Summarizer worker: pooled transaction batches in, pooled summary
 /// batches out, strict FIFO so round-robin sequencing holds.
 fn worker_loop(
+    w: usize,
     mut rx: Consumer<Vec<Transaction>>,
     mut tx: Producer<Vec<TxSummary>>,
     tx_pool: Pool<Transaction>,
     summary_pool: Pool<TxSummary>,
+    trace: StageTrace,
 ) {
     let psl = Psl::embedded();
     while let Some(batch) = rx.pop() {
         let mut out = summary_pool.get();
         out.extend(batch.iter().map(|t| TxSummary::from_transaction(t, &psl)));
         tx_pool.put(batch);
+        if trace.is_enabled() {
+            trace.record(
+                TraceEvent::new(trace.now_us(), "worker", TraceKind::Ingest)
+                    .source(w as u64)
+                    .value(out.len() as u64),
+            );
+        }
         if tx.push(out).is_err() {
             return;
         }
@@ -631,6 +757,7 @@ fn worker_loop(
 /// disjoint slice of the key space. Processes each message's frontier
 /// closes (window dumps) before its batch assignments, which restores
 /// exactly the single-threaded dump-before-observe order.
+#[allow(clippy::too_many_arguments)] // internal stage entry point
 fn shard_loop(
     sh: usize,
     mut rx: Consumer<ShardMsg>,
@@ -639,6 +766,7 @@ fn shard_loop(
     mut metrics: ShardMetrics,
     stall: Option<StallHook>,
     assign_pool: Pool<(u32, u16)>,
+    trace: StageTrace,
 ) -> ShardWindows {
     let mut trackers: Vec<TopKTracker> = cfg
         .datasets
@@ -663,7 +791,7 @@ fn shard_loop(
         msg_idx += 1;
         for &start in &msg.closes {
             let tracker_metrics = &mut metrics.trackers;
-            let parts = trackers
+            let parts: Vec<ShardPart> = trackers
                 .iter_mut()
                 .enumerate()
                 .map(|(i, t)| {
@@ -676,6 +804,15 @@ fn shard_loop(
                     (rows, delta)
                 })
                 .collect();
+            if trace.is_enabled() {
+                let rows: usize = parts.iter().map(|(r, _)| r.len()).sum();
+                trace.record(
+                    TraceEvent::new(trace.now_us(), "shard", TraceKind::Close)
+                        .window(window_id_us(start))
+                        .source(sh as u64)
+                        .value(rows as u64),
+                );
+            }
             windows.push((start, parts));
         }
         if let Some((summaries, assign)) = msg.batch {
@@ -702,6 +839,7 @@ fn shard_loop(
 /// arithmetic of `Observatory::ingest_summary`, and scatter assignments
 /// to the shards with per-shard frontier closes piggybacked. Dropping
 /// the ring producers on return disconnects the shards.
+#[allow(clippy::too_many_arguments)] // internal stage entry point
 fn sequencer_loop(
     mut inputs: Vec<Consumer<Vec<TxSummary>>>,
     mut shard_txs: Vec<Producer<ShardMsg>>,
@@ -710,6 +848,7 @@ fn sequencer_loop(
     metrics: SequencerMetrics,
     summary_pool: Pool<TxSummary>,
     assign_pool: Pool<(u32, u16)>,
+    trace: StageTrace,
 ) {
     use crate::keys::KeyBuf;
 
@@ -724,6 +863,10 @@ fn sequencer_loop(
     let mut next = 0usize;
     let mut window_start: Option<f64> = None;
     let mut ingested = 0u64;
+    // Per-window provenance: when the open window was opened (clock
+    // time) and how many summaries landed in it.
+    let mut window_opened_us = 0u64;
+    let mut window_count = 0u64;
     let mut keybuf = KeyBuf::new();
     let mut masks: Vec<u16> = vec![0; shards];
     let mut pending: Vec<Vec<(u32, u16)>> = vec![Vec::new(); shards];
@@ -738,7 +881,21 @@ fn sequencer_loop(
         metrics.batches.inc(1);
         metrics.ingested.inc(batch.len() as u64);
         for (i, s) in batch.iter().enumerate() {
-            let start = *window_start.get_or_insert(s.time);
+            let start = match window_start {
+                Some(start) => start,
+                None => {
+                    // First summary of the stream opens the first window.
+                    window_start = Some(s.time);
+                    window_opened_us = trace.now_us();
+                    if trace.is_enabled() {
+                        trace.record(
+                            TraceEvent::new(window_opened_us, "sequencer", TraceKind::Open)
+                                .window(window_id_us(s.time)),
+                        );
+                    }
+                    s.time
+                }
+            };
             if s.time >= start + window_secs {
                 // Window boundary *before* this summary: everything
                 // routed so far belongs to the closing window, so flush
@@ -755,10 +912,29 @@ fn sequencer_loop(
                 frontier.close(start);
                 metrics.windows.inc(1);
                 metrics.watermark_lag_seconds.set(s.time - start);
+                let closed_us = trace.now_us();
+                metrics
+                    .window_seconds
+                    .record(closed_us.saturating_sub(window_opened_us) as f64 / 1e6);
                 let skipped = ((s.time - start) / window_secs).floor();
-                window_start = Some(start + skipped * window_secs);
+                let new_start = start + skipped * window_secs;
+                window_start = Some(new_start);
+                if trace.is_enabled() {
+                    trace.record(
+                        TraceEvent::new(closed_us, "sequencer", TraceKind::Close)
+                            .window(window_id_us(start))
+                            .value(window_count),
+                    );
+                    trace.record(
+                        TraceEvent::new(closed_us, "sequencer", TraceKind::Open)
+                            .window(window_id_us(new_start)),
+                    );
+                }
+                window_opened_us = closed_us;
+                window_count = 0;
             }
             ingested += 1;
+            window_count += 1;
             if shards == 1 {
                 push_assign(&mut pending[0], &assign_pool, (i as u32, full_mask));
             } else {
@@ -796,6 +972,17 @@ fn sequencer_loop(
         if ingested > 0 {
             frontier.close(start);
             metrics.windows.inc(1);
+            let closed_us = trace.now_us();
+            metrics
+                .window_seconds
+                .record(closed_us.saturating_sub(window_opened_us) as f64 / 1e6);
+            if trace.is_enabled() {
+                trace.record(
+                    TraceEvent::new(closed_us, "sequencer", TraceKind::Close)
+                        .window(window_id_us(start))
+                        .value(window_count),
+                );
+            }
         }
     }
     // Drain outstanding frontier deltas so every shard closes every
@@ -858,12 +1045,14 @@ fn merge_shard_windows(
     mut shard_windows: Vec<ShardWindows>,
     datasets: &[Dataset],
     window_secs: f64,
+    trace: &PipelineTrace,
 ) -> TimeSeriesStore {
     let mut store = TimeSeriesStore::new();
     let n_windows = shard_windows.first().map_or(0, Vec::len);
     debug_assert!(shard_windows.iter().all(|w| w.len() == n_windows));
     for w in 0..n_windows {
         let start = shard_windows[0][w].0;
+        let mut window_rows = 0u64;
         for (d, ds) in datasets.iter().enumerate() {
             let mut rows = Vec::new();
             let (mut kept, mut dropped, mut filtered) = (0u64, 0u64, 0u64);
@@ -875,6 +1064,7 @@ fn merge_shard_windows(
                 filtered += df;
             }
             rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
+            window_rows += rows.len() as u64;
             store.push(WindowDump {
                 dataset: ds.name().to_string(),
                 start,
@@ -884,6 +1074,15 @@ fn merge_shard_windows(
                 dropped,
                 filtered,
             });
+        }
+        // The merged window is final — the pipeline-local terminal of its
+        // provenance trace (the federation tier seals across upstreams).
+        if trace.seal.is_enabled() {
+            trace.seal.record(
+                TraceEvent::new(trace.seal.now_us(), "seal", TraceKind::Seal)
+                    .window(window_id_us(start))
+                    .value(window_rows),
+            );
         }
     }
     store
@@ -1281,6 +1480,86 @@ mod tests {
             .histogram("pipeline_batch_seconds")
             .expect("batch histogram registered");
         assert!(h.count > 0);
+    }
+
+    /// With a flight recorder attached, every stage leaves a provenance
+    /// trail and the record-level balance holds: one sequencer Open and
+    /// one Close per produced window, the Close values summing to the
+    /// input size; one Close per (shard, window); one Seal per window at
+    /// the merge. Attaching the recorder must not change the output.
+    #[test]
+    fn flight_recorder_captures_window_provenance() {
+        use telemetry::trace::parse_dump;
+        use telemetry::{FlightRecorder, ManualClock};
+
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(2.0);
+        let plain = ThreadedPipeline::with_shards(small_cfg(), 2, 2).run(txs.clone());
+
+        let recorder = FlightRecorder::new();
+        let clock = Arc::new(ManualClock::new());
+        clock.set(7);
+        let traced = ThreadedPipeline::with_shards(small_cfg(), 2, 2)
+            .with_flight_recorder(recorder.clone())
+            .with_trace_clock(clock)
+            .run(txs.clone());
+
+        // Tracing is observability, never behaviour.
+        assert_eq!(plain.windows().len(), traced.windows().len());
+        for (a, b) in plain.windows().iter().zip(traced.windows()) {
+            assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
+        }
+
+        let n_windows = plain.dataset(Dataset::SrvIp).len();
+        let rows = parse_dump(&recorder.dump());
+        let count = |subsystem: &str, kind: TraceKind| {
+            rows.iter()
+                .filter(|r| r.subsystem == subsystem && r.kind == kind)
+                .count()
+        };
+        assert_eq!(count("pipeline/sequencer", TraceKind::Open), n_windows);
+        assert_eq!(count("pipeline/sequencer", TraceKind::Close), n_windows);
+        let routed: u64 = rows
+            .iter()
+            .filter(|r| r.subsystem == "pipeline/sequencer" && r.kind == TraceKind::Close)
+            .map(|r| r.value)
+            .sum();
+        assert_eq!(routed, txs.len() as u64, "every summary lands in a window");
+        for sh in 0..2 {
+            assert_eq!(
+                count(&format!("pipeline/shard{sh}"), TraceKind::Close),
+                n_windows
+            );
+        }
+        assert_eq!(count("pipeline/seal", TraceKind::Seal), n_windows);
+        // The feeder and both workers saw the stream go by.
+        assert!(count("pipeline/feeder", TraceKind::Ingest) > 0);
+        // Window ids are the window start in µs; every Seal id matches a
+        // produced window, stamped by the manual clock.
+        for r in rows.iter().filter(|r| r.kind == TraceKind::Seal) {
+            assert_eq!(r.at_us, 7);
+            assert!(plain
+                .dataset(Dataset::SrvIp)
+                .iter()
+                .any(|w| (w.start * 1e6).round() as u64 == r.window_us));
+        }
+    }
+
+    /// The sequencer's window-residency histogram records one sample per
+    /// produced window even with tracing disabled.
+    #[test]
+    fn window_residency_histogram_fills_without_a_recorder() {
+        let registry = Registry::new();
+        let mut sim = Simulation::from_config(SimConfig::small());
+        let txs = sim.collect(2.0);
+        let store = ThreadedPipeline::with_shards(small_cfg(), 2, 2)
+            .with_registry(registry.clone())
+            .run(txs);
+        let snap = registry.snapshot(0);
+        let h = snap
+            .histogram("pipeline_window_seconds{stage=\"sequencer\"}")
+            .expect("window residency histogram registered");
+        assert_eq!(h.count as usize, store.dataset(Dataset::SrvIp).len());
     }
 
     #[test]

@@ -86,6 +86,18 @@ pub fn render_status(samples: &Samples) -> String {
                 );
             }
         }
+        if let (Some(c), Some(s)) = (
+            sum(samples, "pipeline_window_seconds_count"),
+            sum(samples, "pipeline_window_seconds_sum"),
+        ) {
+            if c > 0.0 {
+                push_line(
+                    &mut out,
+                    "window residency mean (s)",
+                    format!("{:.3} over {} windows", s / c, fmt_count(c)),
+                );
+            }
+        }
     }
 
     if let Some(kept) = sum(samples, "pipeline_kept_total") {
@@ -185,6 +197,18 @@ pub fn render_status(samples: &Samples) -> String {
         if let Some(open) = sum(samples, "agg_open_windows") {
             push_line(&mut out, "open windows", fmt_count(open));
         }
+        if let (Some(c), Some(s)) = (
+            sum(samples, "agg_window_seal_seconds_count"),
+            sum(samples, "agg_window_seal_seconds_sum"),
+        ) {
+            if c > 0.0 {
+                push_line(
+                    &mut out,
+                    "seal latency mean (s)",
+                    format!("{:.3} over {} windows", s / c, fmt_count(c)),
+                );
+            }
+        }
         let upstreams = series(samples, "agg_upstream_records_total");
         if !upstreams.is_empty() {
             push_line(&mut out, "upstreams", fmt_count(upstreams.len() as f64));
@@ -213,6 +237,21 @@ pub fn render_status(samples: &Samples) -> String {
             if secs > 0.0 {
                 push_line(&mut out, "tx/s (stream time)", format!("{:.0}", tx / secs));
             }
+        }
+    }
+
+    if let Some(threads) = sum(samples, "process_threads") {
+        out.push_str("process\n");
+        push_line(&mut out, "threads", fmt_count(threads));
+        if let (Some(rss), Some(vsize)) = (
+            sum(samples, "process_rss_kbytes"),
+            sum(samples, "process_vsize_kbytes"),
+        ) {
+            push_line(
+                &mut out,
+                "rss / vsize (MB)",
+                format!("{:.1} / {:.1}", rss / 1024.0, vsize / 1024.0),
+            );
         }
     }
 
@@ -313,6 +352,23 @@ mod tests {
     }
 
     #[test]
+    fn stage_latency_means_render_from_histogram_sums() {
+        let s = samples(&[
+            ("pipeline_ingested_total", 10.0),
+            ("pipeline_window_seconds_sum{stage=\"sequencer\"}", 3.0),
+            ("pipeline_window_seconds_count{stage=\"sequencer\"}", 6.0),
+            ("agg_records_total", 4.0),
+            ("agg_window_seal_seconds_sum", 1.0),
+            ("agg_window_seal_seconds_count", 4.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("window residency mean (s)"));
+        assert!(text.contains("0.500 over 6 windows"));
+        assert!(text.contains("seal latency mean (s)"));
+        assert!(text.contains("0.250 over 4 windows"));
+    }
+
+    #[test]
     fn simnet_rate_uses_stream_time() {
         let s = samples(&[
             ("simnet_transactions_total", 5000.0),
@@ -321,6 +377,19 @@ mod tests {
         let text = render_status(&s);
         assert!(text.contains("simnet\n"));
         assert!(text.contains("500"));
+    }
+
+    #[test]
+    fn process_section_reports_thread_and_memory_budget() {
+        let s = samples(&[
+            ("process_threads", 17.0),
+            ("process_rss_kbytes", 10240.0),
+            ("process_vsize_kbytes", 204800.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("process\n"));
+        assert!(text.contains("17"));
+        assert!(text.contains("10.0 / 200.0"));
     }
 
     #[test]

@@ -137,8 +137,12 @@ fn three_process_topology_matches_in_process_reference() {
                 "1",
                 "--window",
                 "1",
+                // Full default-scale caps: fine since io threads run on
+                // bounded stacks and the sensor encoder seals batches
+                // by bytes (chunked 10k-cap state records no longer
+                // overflow MAX_FRAME or the address space).
                 "--topk",
-                "200",
+                "10000",
                 "--forward",
                 &agg_addr,
                 "--upstream",

@@ -28,7 +28,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use telemetry::{Clock, RateLimiter, Registry, SystemClock};
+use telemetry::trace::{TraceEvent, TraceKind, TraceRing};
+use telemetry::{Clock, FlightRecorder, RateLimiter, Registry, SystemClock};
 
 use crate::codec::FeedItem;
 use crate::error::FeedError;
@@ -267,6 +268,14 @@ enum Event<T> {
     Disconnect { conn: u64 },
 }
 
+/// Stage name on collector trace events.
+const STAGE: &str = "collector";
+
+/// Io-edge thread stack size: explicit and bounded, so the collector's
+/// one-reader-per-sensor fan-out cannot exhaust a small container's
+/// address space (the thread-spawn ENOMEM seen at 10k top-k caps).
+pub(crate) const IO_STACK_BYTES: usize = telemetry::IO_THREAD_STACK_BYTES;
+
 /// What [`CollectorCore::on_frame`] did with a frame — the observability
 /// hook the chaos differential oracle audits frame-by-frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -339,6 +348,8 @@ pub struct CollectorCore<T> {
     expected_sensors: u64,
     expected_byes: u64,
     metrics: CollectorMetrics,
+    trace: TraceRing,
+    now_us: u64,
 }
 
 impl<T: FeedItem> CollectorCore<T> {
@@ -367,7 +378,66 @@ impl<T: FeedItem> CollectorCore<T> {
             expected_sensors: config.expected_sensors,
             expected_byes: config.expected_byes,
             metrics,
+            trace: TraceRing::disabled(),
+            now_us: 0,
         }
+    }
+
+    /// Record frame-level provenance events into `ring` (see
+    /// [`telemetry::trace`]). Disabled by default; the TCP collector
+    /// attaches the global flight recorder's `feed/collector` ring.
+    pub fn with_trace(mut self, ring: TraceRing) -> CollectorCore<T> {
+        self.trace = ring;
+        self
+    }
+
+    /// Clock reading stamped onto subsequent trace events. The io driver
+    /// forwards its wall clock; sans-io tests pass virtual time.
+    pub fn set_now_us(&mut self, now_us: u64) {
+        self.now_us = now_us;
+    }
+
+    /// Leave the outcome of one frame on the trace: Open for HELLO,
+    /// Ingest (+ a Drop for watermark-late items) for accepted batches,
+    /// Mark for duplicates and unheralded frames, Close for BYE.
+    fn trace_outcome(&self, outcome: FrameOutcome) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let event = match outcome {
+            FrameOutcome::Hello { sensor } => {
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Open).source(sensor)
+            }
+            FrameOutcome::Accepted {
+                sensor,
+                items,
+                late,
+                ..
+            } => {
+                if late > 0 {
+                    self.trace.record(
+                        TraceEvent::new(self.now_us, STAGE, TraceKind::Drop)
+                            .source(sensor)
+                            .value(late),
+                    );
+                }
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Ingest)
+                    .source(sensor)
+                    .value(items)
+            }
+            FrameOutcome::Duplicate { sensor, seq } => {
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Mark)
+                    .source(sensor)
+                    .value(seq)
+            }
+            FrameOutcome::Bye { sensor } => {
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Close).source(sensor)
+            }
+            FrameOutcome::Unheralded => {
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Mark).value(1)
+            }
+        };
+        self.trace.record(event);
     }
 
     /// Aggregate totals over every ledger plus the core's own counts —
@@ -435,6 +505,7 @@ impl<T: FeedItem> CollectorCore<T> {
                 if self.conn_sensor.get(&conn) != Some(&sensor) {
                     self.unheralded_frames += 1;
                     self.sync_metrics();
+                    self.trace_outcome(FrameOutcome::Unheralded);
                     return FrameOutcome::Unheralded;
                 }
                 let ledger = self.ledgers.entry(sensor).or_default();
@@ -461,6 +532,7 @@ impl<T: FeedItem> CollectorCore<T> {
                 if self.conn_sensor.get(&conn) != Some(&sensor) {
                     self.unheralded_frames += 1;
                     self.sync_metrics();
+                    self.trace_outcome(FrameOutcome::Unheralded);
                     return FrameOutcome::Unheralded;
                 }
                 self.ledgers.entry(sensor).or_default().on_bye(
@@ -475,6 +547,7 @@ impl<T: FeedItem> CollectorCore<T> {
         };
         self.drain_into(out);
         self.sync_metrics();
+        self.trace_outcome(outcome);
         outcome
     }
 
@@ -584,6 +657,7 @@ impl<T: FeedItem> Collector<T> {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("feed-accept".into())
+                .stack_size(IO_STACK_BYTES)
                 .spawn(move || accept_loop(listener, event_tx, stop, config))
                 .expect("spawn collector accept thread")
         };
@@ -591,6 +665,7 @@ impl<T: FeedItem> Collector<T> {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("feed-merge".into())
+                .stack_size(IO_STACK_BYTES)
                 .spawn(move || merge_loop(event_rx, out_tx, &stop, config))
                 .expect("spawn collector merge thread")
         };
@@ -662,6 +737,7 @@ fn accept_loop<T: FeedItem>(
                 let stop = Arc::clone(&stop);
                 let handle = std::thread::Builder::new()
                     .name(format!("feed-reader-{conn}"))
+                    .stack_size(IO_STACK_BYTES)
                     .spawn(move || reader_loop(stream, conn, events, stop, config))
                     .expect("spawn collector reader thread");
                 readers.push(handle);
@@ -746,7 +822,8 @@ fn merge_loop<T: FeedItem>(
     stop: &AtomicBool,
     config: CollectorConfig,
 ) -> CollectorReport {
-    let mut core = CollectorCore::<T>::new(&config);
+    let mut core = CollectorCore::<T>::new(&config)
+        .with_trace(FlightRecorder::global().ring("feed/collector"));
     let mut ready = Vec::new();
     // Operator-facing loss warnings: one line when the gap ledger grows,
     // rate-limited so a lossy deployment cannot flood the log. The full
@@ -756,6 +833,7 @@ fn merge_loop<T: FeedItem>(
     let mut last_gap_recorded = 0u64;
 
     for event in events.iter() {
+        core.set_now_us(warn_clock.now_us());
         match event {
             Event::Frame { conn, frame } => {
                 // A fatal outcome (unheralded data frame) was already

@@ -118,6 +118,29 @@ pub fn encode_frame<T: FeedItem>(frame: &Frame<T>, out: &mut Vec<u8>) {
     encode_frame_into::<U32Prefix>(&payload, out);
 }
 
+/// Append a BATCH frame whose `count` items are already encoded
+/// back-to-back in `items` — the sensor's byte-aware batching path,
+/// which sizes batches as it encodes. Wire-identical to
+/// [`encode_frame`] with [`Frame::Batch`].
+pub(crate) fn encode_batch_preencoded(
+    sensor: u64,
+    seq: u64,
+    count: u64,
+    items: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let mut payload = Vec::with_capacity(items.len() + 16);
+    payload.push(TYPE_BATCH);
+    varint::write_u64(sensor, &mut payload);
+    varint::write_u64(seq, &mut payload);
+    varint::write_u64(count, &mut payload);
+    payload.extend_from_slice(items);
+    let crc = crc32(&payload);
+    payload.extend_from_slice(&crc.to_le_bytes());
+    debug_assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    encode_frame_into::<U32Prefix>(&payload, out);
+}
+
 /// Decode one frame payload (the bytes between length prefix and end,
 /// CRC trailer included).
 pub fn decode_payload<T: FeedItem>(payload: &[u8]) -> Result<Frame<T>, FeedError> {
@@ -286,6 +309,27 @@ mod tests {
         assert_eq!(got, frames);
         assert_eq!(reader.decoded(), 4);
         assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn preencoded_batch_is_wire_identical() {
+        let items = vec![TestItem::new(1), TestItem::new(2), TestItem::new(3)];
+        let mut encoded = Vec::new();
+        for item in &items {
+            item.encode(&mut encoded);
+        }
+        let mut direct = Vec::new();
+        encode_batch_preencoded(9, 42, items.len() as u64, &encoded, &mut direct);
+        let mut reference = Vec::new();
+        encode_frame(
+            &Frame::Batch {
+                sensor: 9,
+                seq: 42,
+                items,
+            },
+            &mut reference,
+        );
+        assert_eq!(direct, reference);
     }
 
     #[test]

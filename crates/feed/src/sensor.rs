@@ -15,11 +15,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use telemetry::{Clock, RateLimiter, Registry, SystemClock};
+use telemetry::trace::{TraceEvent, TraceKind, TraceRing};
+use telemetry::{Clock, FlightRecorder, RateLimiter, Registry, SystemClock};
 
 use crate::backoff::{Backoff, BackoffConfig};
 use crate::codec::FeedItem;
-use crate::frame::{encode_frame, Frame};
+use crate::collector::IO_STACK_BYTES;
+use crate::frame::{encode_batch_preencoded, encode_frame, Frame};
 use crate::metrics::SensorMetrics;
 
 /// Tuning for a [`Sensor`].
@@ -68,14 +70,28 @@ pub struct SealedFrame {
     pub items: u64,
 }
 
+/// Soft byte budget for one BATCH: headroom under
+/// [`crate::frame::MAX_FRAME`] for the batch header and CRC trailer.
+/// Item counts alone can't bound frame size — one chunked sketch-state
+/// record is orders of magnitude larger than a DNS summary — so the
+/// encoder also seals when the next item would cross this line.
+const MAX_BATCH_BYTES: usize = crate::frame::MAX_FRAME - 1024;
+
 /// Sans-io encoder: accumulates items, seals them into BATCH frames with
 /// monotone sequence numbers, and builds the HELLO/BYE envelopes.
+///
+/// Items are encoded as they arrive (batch-payload order), so batching
+/// is byte-aware: a batch seals at `batch_items` items *or* just before
+/// it would overflow the frame cap, whichever comes first.
 #[derive(Debug)]
 pub struct SensorEncoder<T> {
     sensor: u64,
     batch_items: usize,
     next_seq: u64,
-    pending: Vec<T>,
+    /// Pending items, already encoded back-to-back.
+    pending: Vec<u8>,
+    pending_items: u64,
+    _item: std::marker::PhantomData<fn(T)>,
 }
 
 impl<T: FeedItem> SensorEncoder<T> {
@@ -87,6 +103,8 @@ impl<T: FeedItem> SensorEncoder<T> {
             batch_items: batch_items.max(1),
             next_seq: first_seq,
             pending: Vec::new(),
+            pending_items: 0,
+            _item: std::marker::PhantomData,
         }
     }
 
@@ -102,7 +120,7 @@ impl<T: FeedItem> SensorEncoder<T> {
 
     /// Items buffered towards the next batch.
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.pending_items as usize
     }
 
     /// HELLO announcing `sensor` will continue at `next_seq`.
@@ -124,10 +142,23 @@ impl<T: FeedItem> SensorEncoder<T> {
         Self::hello_for(self.sensor, self.next_seq)
     }
 
-    /// Add an item; returns a sealed frame when the batch fills.
+    /// Add an item; returns a sealed frame when the batch fills — by
+    /// item count, or early when the item would push the frame past
+    /// [`crate::frame::MAX_FRAME`] (the item then opens the next
+    /// batch). A *single* item must still fit a frame on its own; that
+    /// is the chunking layer's contract, not the encoder's.
     pub fn push(&mut self, item: T) -> Option<SealedFrame> {
-        self.pending.push(item);
-        if self.pending.len() >= self.batch_items {
+        let start = self.pending.len();
+        item.encode(&mut self.pending);
+        if self.pending_items > 0 && self.pending.len() > MAX_BATCH_BYTES {
+            let tail = self.pending.split_off(start);
+            let sealed = self.flush();
+            self.pending = tail;
+            self.pending_items = 1;
+            return sealed;
+        }
+        self.pending_items += 1;
+        if self.pending_items as usize >= self.batch_items {
             self.flush()
         } else {
             None
@@ -136,27 +167,16 @@ impl<T: FeedItem> SensorEncoder<T> {
 
     /// Seal the partial batch, if any.
     pub fn flush(&mut self) -> Option<SealedFrame> {
-        if self.pending.is_empty() {
+        if self.pending_items == 0 {
             return None;
         }
-        let items = std::mem::take(&mut self.pending);
+        let encoded = std::mem::take(&mut self.pending);
+        let items = std::mem::replace(&mut self.pending_items, 0);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let mut bytes = Vec::with_capacity(items.len() * 32);
-        let count = items.len() as u64;
-        encode_frame(
-            &Frame::Batch {
-                sensor: self.sensor,
-                seq,
-                items,
-            },
-            &mut bytes,
-        );
-        Some(SealedFrame {
-            bytes,
-            seq,
-            items: count,
-        })
+        let mut bytes = Vec::with_capacity(encoded.len() + 32);
+        encode_batch_preencoded(self.sensor, seq, items, &encoded, &mut bytes);
+        Some(SealedFrame { bytes, seq, items })
     }
 
     /// BYE carrying this sensor's own loss accounting.
@@ -226,7 +246,11 @@ pub struct Sensor<T> {
     metrics: SensorMetrics,
     warn_limit: Mutex<RateLimiter>,
     warn_clock: SystemClock,
+    trace: TraceRing,
 }
+
+/// Stage name on sensor trace events.
+const STAGE: &str = "sensor";
 
 impl<T: FeedItem> Sensor<T> {
     /// Start a sensor pushing to `addr`. Connection (and reconnection) is
@@ -260,6 +284,7 @@ impl<T: FeedItem> Sensor<T> {
             let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name(format!("feed-sensor-{sensor_id}"))
+                .stack_size(IO_STACK_BYTES)
                 .spawn(move || writer_loop::<T>(&addr, &shared, backoff, sensor_id, &metrics))
                 .expect("spawn sensor writer")
         };
@@ -272,6 +297,7 @@ impl<T: FeedItem> Sensor<T> {
             // the full tally.
             warn_limit: Mutex::new(RateLimiter::new(5_000_000)),
             warn_clock: SystemClock::new(),
+            trace: FlightRecorder::global().ring("feed/sensor"),
         }
     }
 
@@ -378,6 +404,13 @@ impl<T: FeedItem> Sensor<T> {
             drop(q);
             self.metrics.dropped_frames.inc(1);
             self.metrics.dropped_items.inc(frame.items);
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    TraceEvent::new(self.warn_clock.now_us(), STAGE, TraceKind::Drop)
+                        .source(self.metrics_sensor_id())
+                        .value(frame.items),
+                );
+            }
             if let Some(suppressed) = self
                 .warn_limit
                 .lock()
@@ -427,6 +460,10 @@ fn writer_loop<T: FeedItem>(
 ) {
     let mut backoff = Backoff::new(backoff);
     let mut conn: Option<TcpStream> = None;
+    // Connection lifecycle provenance: (re)connects announce the resume
+    // position, write failures mark the retransmit about to happen.
+    let trace = FlightRecorder::global().ring("feed/sensor");
+    let trace_clock = SystemClock::new();
     'frames: loop {
         // Wait for something to send (or a shutdown signal).
         let frame = {
@@ -467,6 +504,13 @@ fn writer_loop<T: FeedItem>(
                         }
                         metrics.connects.inc(1);
                         metrics.backoff_seconds.set(0.0);
+                        if trace.is_enabled() {
+                            trace.record(
+                                TraceEvent::new(trace_clock.now_us(), STAGE, TraceKind::Open)
+                                    .source(sensor_id)
+                                    .value(frame.seq),
+                            );
+                        }
                         conn = Some(stream);
                     }
                     Err(_) => {
@@ -498,6 +542,13 @@ fn writer_loop<T: FeedItem>(
                 }
                 Err(_) => {
                     conn = None;
+                    if trace.is_enabled() {
+                        trace.record(
+                            TraceEvent::new(trace_clock.now_us(), STAGE, TraceKind::Mark)
+                                .source(sensor_id)
+                                .value(frame.seq),
+                        );
+                    }
                     if shared.queue.lock().unwrap().abort {
                         return;
                     }
@@ -577,6 +628,47 @@ mod tests {
                 dropped_items: 9,
             })
         ));
+    }
+
+    #[test]
+    fn encoder_seals_early_before_frame_cap() {
+        // Items are 16 bytes each; with an effectively unbounded item
+        // count the byte budget alone must seal each batch under the
+        // frame cap, and every item must still arrive exactly once, in
+        // order.
+        let total = 300_000u64;
+        let mut enc = SensorEncoder::<TestItem>::new(5, usize::MAX, 0);
+        let mut frames = Vec::new();
+        for v in 0..total {
+            frames.extend(enc.push(TestItem::new(v)));
+        }
+        frames.extend(enc.flush());
+        assert!(frames.len() >= 2, "byte budget never sealed a frame");
+        let mut reader = FrameReader::<TestItem>::new();
+        let mut got = 0u64;
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.seq, i as u64, "monotone seqs across early seals");
+            assert!(
+                f.bytes.len() <= crate::frame::MAX_FRAME,
+                "sealed frame exceeds the cap: {} bytes",
+                f.bytes.len()
+            );
+            reader.push(&f.bytes);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                match frame {
+                    Frame::Batch {
+                        sensor: 5, items, ..
+                    } => {
+                        for item in items {
+                            assert_eq!(item.value, got);
+                            got += 1;
+                        }
+                    }
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got, total, "every item delivered exactly once");
     }
 
     #[test]

@@ -14,10 +14,14 @@
 
 use std::collections::BTreeMap;
 
-use telemetry::{Counter, Gauge, Registry};
+use telemetry::trace::{TraceEvent, TraceKind, TraceRing};
+use telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::merge::{merge_chunks, merge_topk};
 use crate::state::{StateError, TopKState, WindowState};
+
+/// Stage name the aggregator records trace events under.
+const STAGE: &str = "aggregator";
 
 /// Microseconds per second — window starts are keyed on integer µs so
 /// float window boundaries computed identically on every collector map
@@ -76,10 +80,35 @@ struct UpstreamLedger {
     last_window_us: Option<u64>,
 }
 
+/// Provenance of one sealed window: where its time went and what it
+/// absorbed on the way. Timestamps come from whatever clock the io edge
+/// injects via [`AggregatorCore::set_now_us`] — wall time in `dnsobs
+/// aggregate`, virtual time under the chaos kernel, zero when nobody
+/// injects one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowLineage {
+    /// Clock reading when the first record for this window arrived, µs.
+    pub first_seen_us: u64,
+    /// Clock reading when the window was sealed, µs.
+    pub sealed_us: u64,
+    /// Window-state records merged into this window.
+    pub records: u64,
+    /// Merge conflicts absorbed while sealing (chunk loss, cross-
+    /// collector shape conflicts).
+    pub conflicts: u64,
+}
+
+impl WindowLineage {
+    /// Open-to-seal residency, µs.
+    pub fn latency_us(&self) -> u64 {
+        self.sealed_us.saturating_sub(self.first_seen_us)
+    }
+}
+
 /// One sealed global window: the merged per-dataset tracker states, each
 /// carrying its stated error bound (`TopKState::error_bound` — the sum
 /// of the contributing upstreams' bounds).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct GlobalWindow {
     /// Window start, seconds.
     pub start: f64,
@@ -89,6 +118,21 @@ pub struct GlobalWindow {
     pub upstreams: Vec<u64>,
     /// Merged per-dataset states, dataset-name ascending.
     pub datasets: Vec<TopKState>,
+    /// Provenance metadata (see [`WindowLineage`]).
+    pub lineage: WindowLineage,
+}
+
+/// Equality is *payload* equality: two windows with the same merged
+/// state are equal no matter what path or clock produced them. Lineage
+/// is provenance metadata, deliberately excluded so the differential
+/// suites can compare a traced run against an untraced reference fold.
+impl PartialEq for GlobalWindow {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start
+            && self.length == other.length
+            && self.upstreams == other.upstreams
+            && self.datasets == other.datasets
+    }
 }
 
 /// Aggregate accounting, mirrored byte-exactly into telemetry.
@@ -116,6 +160,10 @@ struct WindowAccum {
     length: f64,
     /// upstream → dataset → received chunks.
     sources: BTreeMap<u64, BTreeMap<String, Vec<TopKState>>>,
+    /// Clock reading when the first record arrived (µs).
+    first_seen_us: u64,
+    /// Records accepted into this window.
+    records: u64,
 }
 
 /// The sans-io aggregation state machine.
@@ -133,6 +181,10 @@ pub struct AggregatorCore {
     dataset_merges: u64,
     merge_conflicts: u64,
     metrics: Option<AggregatorMetrics>,
+    /// Injected clock reading (µs); stamps lineage and trace events.
+    now_us: u64,
+    /// Provenance ring; disabled (zero-capacity) unless installed.
+    trace: TraceRing,
 }
 
 impl AggregatorCore {
@@ -150,6 +202,8 @@ impl AggregatorCore {
             dataset_merges: 0,
             merge_conflicts: 0,
             metrics: None,
+            now_us: 0,
+            trace: TraceRing::disabled(),
         }
     }
 
@@ -158,6 +212,20 @@ impl AggregatorCore {
         let mut core = AggregatorCore::new(cfg);
         core.metrics = Some(AggregatorMetrics::register(registry));
         core
+    }
+
+    /// Record provenance events into `ring` (builder style).
+    pub fn with_trace(mut self, ring: TraceRing) -> AggregatorCore {
+        self.trace = ring;
+        self
+    }
+
+    /// Inject the current clock reading (µs). Sans-io discipline: the
+    /// core never reads a clock; the io edge (or the chaos kernel, with
+    /// virtual time) tells it what time it is before each event, and
+    /// lineage/trace timestamps follow.
+    pub fn set_now_us(&mut self, now_us: u64) {
+        self.now_us = now_us;
     }
 
     fn ledger(&mut self, upstream: u64) -> &mut UpstreamLedger {
@@ -188,9 +256,15 @@ impl AggregatorCore {
         }
     }
 
-    fn reject(&mut self, upstream: u64, err: StateError) -> Result<(), StateError> {
+    fn reject(&mut self, upstream: u64, window_us: u64, err: StateError) -> Result<(), StateError> {
         self.rejected += 1;
         self.ledger(upstream).stats.rejected += 1;
+        self.trace.record(
+            TraceEvent::new(self.now_us, STAGE, TraceKind::Mark)
+                .window(window_us)
+                .source(upstream)
+                .value(1),
+        );
         self.sync_metrics();
         Err(err)
     }
@@ -213,6 +287,12 @@ impl AggregatorCore {
         if self.sealed_through_us.is_some_and(|s| window_us <= s) {
             self.late_records += 1;
             self.ledger(upstream).stats.late_records += 1;
+            self.trace.record(
+                TraceEvent::new(self.now_us, STAGE, TraceKind::Drop)
+                    .window(window_us)
+                    .source(upstream)
+                    .value(1),
+            );
             self.sync_metrics();
             return Ok(());
         }
@@ -235,6 +315,7 @@ impl AggregatorCore {
             Some(_) => {}
         }
 
+        let now_us = self.now_us;
         let accum = self
             .windows
             .entry(window_us)
@@ -242,9 +323,15 @@ impl AggregatorCore {
                 start: ws.start,
                 length: ws.length,
                 sources: BTreeMap::new(),
+                first_seen_us: now_us,
+                records: 0,
             });
         if accum.length.to_bits() != ws.length.to_bits() {
-            return self.reject(upstream, StateError::LayoutMismatch("window length"));
+            return self.reject(
+                upstream,
+                window_us,
+                StateError::LayoutMismatch("window length"),
+            );
         }
         let parts = accum
             .sources
@@ -256,16 +343,28 @@ impl AggregatorCore {
             if first.chunks != ws.topk.chunks {
                 return self.reject(
                     upstream,
+                    window_us,
                     StateError::ChunkMismatch("chunk count disagreement"),
                 );
             }
             if parts.iter().any(|p| p.chunk == ws.topk.chunk) {
-                return self.reject(upstream, StateError::ChunkMismatch("duplicate chunk"));
+                return self.reject(
+                    upstream,
+                    window_us,
+                    StateError::ChunkMismatch("duplicate chunk"),
+                );
             }
         }
         parts.push(ws.topk);
+        accum.records += 1;
         self.records += 1;
         self.ledger(upstream).stats.records += 1;
+        self.trace.record(
+            TraceEvent::new(now_us, STAGE, TraceKind::Ingest)
+                .window(window_us)
+                .source(upstream)
+                .value(1),
+        );
         self.sync_metrics();
         Ok(())
     }
@@ -307,6 +406,7 @@ impl AggregatorCore {
         let Some((window_us, accum)) = self.windows.pop_first() else {
             return;
         };
+        let conflicts_before = self.merge_conflicts;
         let mut by_dataset: BTreeMap<String, TopKState> = BTreeMap::new();
         let mut contributors: Vec<u64> = Vec::new();
         for (&upstream, datasets) in &accum.sources {
@@ -347,11 +447,37 @@ impl AggregatorCore {
             self.sealed_through_us
                 .map_or(window_us, |s| s.max(window_us)),
         );
+        let lineage = WindowLineage {
+            first_seen_us: accum.first_seen_us,
+            sealed_us: self.now_us,
+            records: accum.records,
+            conflicts: self.merge_conflicts - conflicts_before,
+        };
+        // Exactly one terminal event per window: a clean seal, or a seal
+        // that absorbed merge conflicts. Either way the payload is the
+        // record count, so the trace-conservation law can balance Ingest
+        // events against terminals.
+        let terminal = if lineage.conflicts > 0 {
+            TraceKind::Conflict
+        } else {
+            TraceKind::Seal
+        };
+        self.trace.record(
+            TraceEvent::new(self.now_us, STAGE, terminal)
+                .window(window_us)
+                .value(lineage.records),
+        );
+        if let Some(metrics) = self.metrics.as_ref() {
+            metrics
+                .seal_latency
+                .record(lineage.latency_us() as f64 / 1e6);
+        }
         out.push(GlobalWindow {
             start: accum.start,
             length: accum.length,
             upstreams: contributors,
             datasets: by_dataset.into_values().collect(),
+            lineage,
         });
         self.sync_metrics();
     }
@@ -402,6 +528,8 @@ struct AggregatorMetrics {
     merge_conflicts: Counter,
     open_windows: Gauge,
     upstreams: Gauge,
+    /// Open-to-seal residency per window, seconds.
+    seal_latency: Histogram,
     per_upstream: BTreeMap<u64, UpstreamCounters>,
 }
 
@@ -429,6 +557,8 @@ impl AggregatorMetrics {
             merge_conflicts: registry.counter("agg_merge_conflicts_total"),
             open_windows: registry.gauge("agg_open_windows"),
             upstreams: registry.gauge("agg_upstreams"),
+            seal_latency: registry
+                .histogram("agg_window_seal_seconds", Histogram::seconds_layout()),
             per_upstream: BTreeMap::new(),
         }
     }

@@ -29,7 +29,7 @@ pub mod record;
 pub mod state;
 
 pub use aggregator::{
-    AggregatorConfig, AggregatorCore, AggregatorReport, GlobalWindow, UpstreamStats,
+    AggregatorConfig, AggregatorCore, AggregatorReport, GlobalWindow, UpstreamStats, WindowLineage,
 };
 pub use merge::{merge_chunks, merge_features, merge_topk};
 pub use record::{read_all, write_record, RecordReader, MAX_RECORD, RECORD_MAGIC, RECORD_VERSION};
@@ -216,6 +216,49 @@ mod tests {
         let report = core.report();
         assert_eq!(report.upstreams[&1].windows, 2);
         assert_eq!(report.upstreams[&1].window_gaps, 2);
+    }
+
+    #[test]
+    fn lineage_and_trace_track_window_provenance() {
+        use telemetry::TraceKind;
+
+        let ring = telemetry::TraceRing::new(64);
+        let cfg = AggregatorConfig::new(2);
+        let mut core = AggregatorCore::new(&cfg).with_trace(ring.clone());
+        core.set_now_us(1_000);
+        core.on_state(tiny_state(1, 0.0, "esld", &["a"])).unwrap();
+        core.set_now_us(2_000);
+        core.on_state(tiny_state(2, 0.0, "esld", &["b"])).unwrap();
+        core.set_now_us(5_000);
+        let mut out = Vec::new();
+        core.finish(&mut out);
+        assert_eq!(out.len(), 1);
+
+        let lineage = out[0].lineage;
+        assert_eq!(lineage.first_seen_us, 1_000);
+        assert_eq!(lineage.sealed_us, 5_000);
+        assert_eq!(lineage.records, 2);
+        assert_eq!(lineage.conflicts, 0);
+        assert_eq!(lineage.latency_us(), 4_000);
+
+        let events: Vec<_> = ring.events().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == TraceKind::Ingest)
+                .count(),
+            2
+        );
+        let terminals: Vec<_> = events.iter().filter(|e| e.kind.is_terminal()).collect();
+        assert_eq!(terminals.len(), 1, "exactly one terminal per window");
+        assert_eq!(terminals[0].kind, TraceKind::Seal);
+        assert_eq!(terminals[0].value, 2, "terminal carries the record count");
+        assert_eq!(terminals[0].window_us, 0);
+
+        // Lineage is provenance, not payload: equality ignores it.
+        let mut other = out[0].clone();
+        other.lineage = WindowLineage::default();
+        assert_eq!(other, out[0]);
     }
 
     #[test]

@@ -29,8 +29,10 @@ mod histogram;
 pub mod prometheus;
 mod ratelimit;
 mod registry;
+pub mod selfstat;
 mod server;
 mod snapshot;
+pub mod trace;
 mod watchdog;
 
 pub use clock::{Clock, ManualClock, SystemClock};
@@ -41,4 +43,16 @@ pub use ratelimit::RateLimiter;
 pub use registry::{encode_labels, Registry};
 pub use server::{fetch, MetricsServer};
 pub use snapshot::{HistogramSnapshot, Snapshot, Value};
+pub use trace::{FlightRecorder, TraceEvent, TraceKind, TraceRing};
 pub use watchdog::{StallEvent, Watchdog, WatchdogCore};
+
+/// Stack size for the platform's io-edge helper threads (metrics server,
+/// watchdog, feed readers/writers). The platform default — typically
+/// 8 MiB of reserved address space per thread — exhausts a small
+/// container once a collector fans out one reader per sensor next to
+/// full-capacity tracker shards: the thread-spawn ENOMEM seen at 10k
+/// top-k caps. These threads hold fixed buffers and small state
+/// machines; 256 KiB is generous. The [`selfstat`] gauges
+/// (`process_threads`, `process_stack_kbytes`) make the budget
+/// observable on the scrape path.
+pub const IO_THREAD_STACK_BYTES: usize = 256 * 1024;

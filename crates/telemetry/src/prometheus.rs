@@ -17,6 +17,15 @@ fn base_name(name: &str) -> &str {
     }
 }
 
+/// Split `name{k="v",...}` into the base name and the label body (the
+/// text between the braces), if any.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        None => (name, None),
+    }
+}
+
 /// Format an f64 the way Prometheus clients expect (shortest round-trip
 /// form; integral values without a trailing `.0` is fine for the format).
 fn fmt_f64(v: f64) -> String {
@@ -57,15 +66,28 @@ pub fn render(snapshot: &Snapshot) -> String {
                     out.push_str(&format!("# TYPE {base} histogram\n"));
                     last_typed = base.to_string();
                 }
+                // A labeled histogram (`h{stage="x"}`) must fold `le`
+                // into the existing label set, and hang `_sum`/`_count`
+                // off the base name — suffixes after a `}` are invalid
+                // exposition syntax.
+                let (hbase, labels) = split_labels(name);
+                let bucket_series = |le: &str| match labels {
+                    Some(body) => format!("{hbase}_bucket{{{body},le=\"{le}\"}}"),
+                    None => format!("{hbase}_bucket{{le=\"{le}\"}}"),
+                };
+                let plain_series = |suffix: &str| match labels {
+                    Some(body) => format!("{hbase}_{suffix}{{{body}}}"),
+                    None => format!("{hbase}_{suffix}"),
+                };
                 let mut cumulative = 0u64;
                 for (i, bucket) in h.buckets.iter().enumerate() {
                     cumulative += bucket;
                     let le = fmt_f64(h.layout.upper_bound(i));
-                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    out.push_str(&format!("{} {cumulative}\n", bucket_series(&le)));
                 }
-                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-                out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
-                out.push_str(&format!("{name}_count {}\n", h.count));
+                out.push_str(&format!("{} {}\n", bucket_series("+Inf"), h.count));
+                out.push_str(&format!("{} {}\n", plain_series("sum"), fmt_f64(h.sum)));
+                out.push_str(&format!("{} {}\n", plain_series("count"), h.count));
             }
         }
     }
@@ -141,6 +163,41 @@ mod tests {
             let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
             assert!(v <= 3.0);
         }
+    }
+
+    #[test]
+    fn labeled_histogram_folds_le_into_the_label_set() {
+        let r = Registry::new();
+        let h = r.histogram_with(
+            "stage_seconds",
+            &[("stage", "seal")],
+            Histogram::seconds_layout(),
+        );
+        h.record(0.25);
+        let text = render(&r.snapshot(0));
+        assert!(text.contains("# TYPE stage_seconds histogram\n"));
+        assert!(text.contains("stage_seconds_bucket{stage=\"seal\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("stage_seconds_sum{stage=\"seal\"} 0.25\n"));
+        assert!(text.contains("stage_seconds_count{stage=\"seal\"} 1\n"));
+        // Nothing may render a suffix after a closing brace.
+        assert!(!text.contains("}_bucket"), "{text}");
+        assert!(!text.contains("}_sum"), "{text}");
+        assert!(!text.contains("}_count"), "{text}");
+        let samples = parse(&text);
+        assert_eq!(samples["stage_seconds_count{stage=\"seal\"}"], 1.0);
+        assert_eq!(samples["stage_seconds_sum{stage=\"seal\"}"], 0.25);
+    }
+
+    #[test]
+    fn nasty_label_values_survive_render_and_parse() {
+        let r = Registry::new();
+        r.counter_with("odd_total", &[("k", "a\\b\"c\nd e}f")])
+            .inc(3);
+        let text = render(&r.snapshot(0));
+        // One sample line plus its TYPE line: the newline was escaped.
+        assert_eq!(text.lines().count(), 2, "{text}");
+        let samples = parse(&text);
+        assert_eq!(samples[r#"odd_total{k="a\\b\"c\nd e}f"}"#], 3.0, "{text}");
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //!
 //! Labels are encoded into the metric name with Prometheus syntax
 //! (`name{key="value"}`) by [`Registry::counter_with`] /
-//! [`Registry::gauge_with`]; the exposition renderer passes them through
-//! verbatim. Histograms are label-free by convention — cumulative `le`
-//! series with label sets would complicate the renderer for no current
-//! consumer.
+//! [`Registry::gauge_with`] / [`Registry::histogram_with`]; the
+//! exposition renderer passes counter and gauge names through verbatim
+//! and folds a labeled histogram's label set into its cumulative `le`
+//! series.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -141,6 +141,17 @@ impl Registry {
             }
             other => panic!("metric {name:?} already registered as {other:?}, wanted histogram"),
         }
+    }
+
+    /// Get-or-register a histogram with labels: `name{k="v",...}`. The
+    /// Prometheus renderer merges the `le` bucket label into the set.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        layout: LogBuckets,
+    ) -> Histogram {
+        self.histogram(&encode_labels(name, labels), layout)
     }
 
     /// Point-in-time snapshot of every registered metric, stamped with

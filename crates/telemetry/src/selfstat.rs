@@ -1,0 +1,127 @@
+//! Process self-gauges: thread count and memory from `/proc/self/status`.
+//!
+//! Motivated by a real incident: `dnsobs aggregate` hit thread-spawn
+//! ENOMEM at full 10k Top-k caps on a small container, and nothing in
+//! the registry could say how many threads or how much address space the
+//! process was using at the time. These gauges close that hole — the
+//! sans-io parse is [`parse_proc_status`]; the one-line io edge
+//! ([`update`]) reads `/proc/self/status` and is a no-op on platforms
+//! without procfs.
+
+use crate::registry::Registry;
+
+/// Values lifted from `/proc/self/status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelfStat {
+    /// Number of threads in the process (`Threads:`).
+    pub threads: u64,
+    /// Resident set size in kB (`VmRSS:`).
+    pub vm_rss_kb: u64,
+    /// Stack segment size in kB (`VmStk:`) — main thread only; spawned
+    /// threads' stacks live in `VmSize`.
+    pub vm_stk_kb: u64,
+    /// Virtual address space in kB (`VmSize:`) — where per-thread stack
+    /// reservations show up, hence the ENOMEM signal.
+    pub vm_size_kb: u64,
+}
+
+/// Parse the `Threads:` / `Vm*:` lines out of a `/proc/self/status`
+/// body. Unknown lines are ignored; missing fields stay zero.
+pub fn parse_proc_status(text: &str) -> SelfStat {
+    let mut stat = SelfStat::default();
+    for line in text.lines() {
+        let Some((key, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let value = rest
+            .split_whitespace()
+            .next()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        match key {
+            "Threads" => stat.threads = value,
+            "VmRSS" => stat.vm_rss_kb = value,
+            "VmStk" => stat.vm_stk_kb = value,
+            "VmSize" => stat.vm_size_kb = value,
+            _ => {}
+        }
+    }
+    stat
+}
+
+/// Set the `process_*` gauges in `registry` from `stat`.
+pub fn record(registry: &Registry, stat: SelfStat) {
+    registry.gauge("process_threads").set(stat.threads as f64);
+    registry
+        .gauge("process_rss_kbytes")
+        .set(stat.vm_rss_kb as f64);
+    registry
+        .gauge("process_stack_kbytes")
+        .set(stat.vm_stk_kb as f64);
+    registry
+        .gauge("process_vsize_kbytes")
+        .set(stat.vm_size_kb as f64);
+}
+
+/// Read `/proc/self/status` and update the gauges. Returns the parsed
+/// stat, or `None` where procfs is unavailable (non-Linux), in which
+/// case the registry is untouched.
+pub fn update(registry: &Registry) -> Option<SelfStat> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let stat = parse_proc_status(&text);
+    record(registry, stat);
+    Some(stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_fields_it_cares_about() {
+        let text = "Name:\tdnsobs\nVmSize:\t  123456 kB\nVmRSS:\t   7890 kB\nVmStk:\t    132 kB\nThreads:\t17\nnonsense\n";
+        let stat = parse_proc_status(text);
+        assert_eq!(
+            stat,
+            SelfStat {
+                threads: 17,
+                vm_rss_kb: 7890,
+                vm_stk_kb: 132,
+                vm_size_kb: 123456,
+            }
+        );
+    }
+
+    #[test]
+    fn missing_fields_stay_zero() {
+        assert_eq!(parse_proc_status("Name: x\n"), SelfStat::default());
+    }
+
+    #[test]
+    fn record_sets_gauges() {
+        let r = Registry::new();
+        record(
+            &r,
+            SelfStat {
+                threads: 5,
+                vm_rss_kb: 100,
+                vm_stk_kb: 8,
+                vm_size_kb: 2048,
+            },
+        );
+        let s = r.snapshot(0);
+        assert_eq!(s.gauge("process_threads"), 5.0);
+        assert_eq!(s.gauge("process_rss_kbytes"), 100.0);
+        assert_eq!(s.gauge("process_stack_kbytes"), 8.0);
+        assert_eq!(s.gauge("process_vsize_kbytes"), 2048.0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn update_reads_procfs_on_linux() {
+        let r = Registry::new();
+        let stat = update(&r).expect("procfs available on linux");
+        assert!(stat.threads >= 1);
+        assert!(r.snapshot(0).gauge("process_threads") >= 1.0);
+    }
+}

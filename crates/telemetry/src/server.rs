@@ -34,6 +34,7 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let handle = std::thread::Builder::new()
             .name("metrics-http".to_string())
+            .stack_size(crate::IO_THREAD_STACK_BYTES)
             .spawn(move || {
                 for stream in listener.incoming() {
                     let Ok(stream) = stream else { continue };
@@ -79,6 +80,10 @@ fn answer(stream: TcpStream, registry: &Registry, clock: &dyn Clock) -> std::io:
             break;
         }
     }
+    // Refresh the process self-gauges (threads, RSS, stack, vsize) on
+    // every scrape, so the thread/memory budget behind the ENOMEM class
+    // of failures is current at observation time. No-op without procfs.
+    let _ = crate::selfstat::update(registry);
     let body = prometheus::render(&registry.snapshot(clock.now_us()));
     let mut stream = reader.into_inner();
     write!(
@@ -131,5 +136,17 @@ mod tests {
         registry.counter("served_total").inc(1);
         let body = fetch(&server.addr().to_string()).expect("fetch");
         assert_eq!(prometheus::parse(&body)["served_total"], 10.0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn scrape_refreshes_process_self_gauges() {
+        let server =
+            MetricsServer::serve("127.0.0.1:0", Registry::new(), Arc::new(SystemClock::new()))
+                .expect("bind");
+        let body = fetch(&server.addr().to_string()).expect("fetch");
+        let samples = prometheus::parse(&body);
+        assert!(samples["process_threads"] >= 1.0);
+        assert!(samples["process_vsize_kbytes"] > 0.0);
     }
 }

@@ -1,0 +1,521 @@
+//! Window provenance tracing: structured span events in bounded rings,
+//! collected by a black-box **flight recorder**.
+//!
+//! The metrics layer counts aggregates; it cannot answer "where did
+//! window W come from and where did its time go". This module can. Each
+//! subsystem (a pipeline stage, a collector reader, the aggregator)
+//! records [`TraceEvent`]s into its own [`TraceRing`] — a preallocated
+//! circular buffer, so the hot path never allocates and an unbounded
+//! run never grows memory. The [`FlightRecorder`] owns one ring per
+//! subsystem and dumps them all as a deterministic TSV on demand, on
+//! panic ([`FlightRecorder::install_panic_hook`]), or when the watchdog
+//! reports a stall — the black-box you read *after* the crash.
+//!
+//! Events are keyed by the window ids already on the wire (a window's
+//! start time in µs), so traces from different processes line up without
+//! any id-distribution protocol. Timestamps come from whatever clock the
+//! caller injects — wall time in production, virtual time under the
+//! chaos kernel — which keeps every consumer deterministic in tests.
+//!
+//! The conservation law the chaos suite pins: every window that appears
+//! in an `Ingest` event terminates in **exactly one** of `Seal`, `Drop`,
+//! or `Conflict`, and the event counts agree byte-for-byte with the
+//! aggregator's ledger.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Sentinel for "no window id on this event".
+pub const NO_WINDOW: u64 = u64::MAX;
+
+/// Sentinel for "no source (sensor / upstream / shard) id".
+pub const NO_SOURCE: u64 = u64::MAX;
+
+/// What a trace event marks in a window's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceKind {
+    /// A window (or batch) first seen / opened at this stage.
+    Open,
+    /// A record for this window was accepted at this stage.
+    Ingest,
+    /// This stage closed the window (watermark passed / dumped).
+    Close,
+    /// Terminal: the window was sealed into final output.
+    Seal,
+    /// Terminal: the record/window was dropped (e.g. arrived late).
+    Drop,
+    /// Terminal: the window sealed, but with a merge conflict.
+    Conflict,
+    /// Free-form annotation (connects, retransmits, stalls...).
+    Mark,
+}
+
+impl TraceKind {
+    /// Stable lowercase name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Open => "open",
+            TraceKind::Ingest => "ingest",
+            TraceKind::Close => "close",
+            TraceKind::Seal => "seal",
+            TraceKind::Drop => "drop",
+            TraceKind::Conflict => "conflict",
+            TraceKind::Mark => "mark",
+        }
+    }
+
+    /// Parse a dump token back into a kind.
+    pub fn from_token(s: &str) -> Option<TraceKind> {
+        Some(match s {
+            "open" => TraceKind::Open,
+            "ingest" => TraceKind::Ingest,
+            "close" => TraceKind::Close,
+            "seal" => TraceKind::Seal,
+            "drop" => TraceKind::Drop,
+            "conflict" => TraceKind::Conflict,
+            "mark" => TraceKind::Mark,
+            _ => return None,
+        })
+    }
+
+    /// True for the kinds that end a window's trace.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TraceKind::Seal | TraceKind::Drop | TraceKind::Conflict
+        )
+    }
+}
+
+/// One structured span event. `Copy` and free of owned data, so
+/// recording is a couple of word moves — no allocation, ever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Clock reading when the event was recorded, µs (virtual or wall —
+    /// whatever clock the recording stage was given).
+    pub at_us: u64,
+    /// Window id: the window's start time in µs, or [`NO_WINDOW`].
+    pub window_us: u64,
+    /// Stage name, e.g. `"sequencer"`, `"aggregator"`.
+    pub stage: &'static str,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Dataset name, or `""` when the event spans all datasets.
+    pub dataset: &'static str,
+    /// Sensor / upstream / shard id, or [`NO_SOURCE`].
+    pub source: u64,
+    /// Event-specific payload (record count, bytes, latency µs...).
+    pub value: u64,
+}
+
+impl TraceEvent {
+    /// An event with every optional field blank.
+    pub fn new(at_us: u64, stage: &'static str, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at_us,
+            window_us: NO_WINDOW,
+            stage,
+            kind,
+            dataset: "",
+            source: NO_SOURCE,
+            value: 0,
+        }
+    }
+
+    /// Set the window id.
+    pub fn window(mut self, window_us: u64) -> TraceEvent {
+        self.window_us = window_us;
+        self
+    }
+
+    /// Set the dataset.
+    pub fn dataset(mut self, dataset: &'static str) -> TraceEvent {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Set the source id.
+    pub fn source(mut self, source: u64) -> TraceEvent {
+        self.source = source;
+        self
+    }
+
+    /// Set the payload value.
+    pub fn value(mut self, value: u64) -> TraceEvent {
+        self.value = value;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct RingInner {
+    /// Circular storage, preallocated to capacity at construction.
+    events: Vec<TraceEvent>,
+    /// Total events ever recorded; `events[seq % cap]` is the slot the
+    /// next event overwrites. Doubles as the per-event sequence number.
+    seq: u64,
+}
+
+/// A bounded ring of trace events for one subsystem. Cloning shares the
+/// ring; recording takes a short uncontended lock (each subsystem owns
+/// its ring, so in the threaded topology a ring has one writer).
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    inner: Arc<Mutex<RingInner>>,
+    cap: usize,
+}
+
+impl TraceRing {
+    /// A ring keeping the last `cap` events. `cap == 0` gives a ring
+    /// that drops everything (a cheap "tracing off" sink).
+    pub fn new(cap: usize) -> TraceRing {
+        TraceRing {
+            inner: Arc::new(Mutex::new(RingInner {
+                events: Vec::with_capacity(cap),
+                seq: 0,
+            })),
+            cap,
+        }
+    }
+
+    /// A ring that records nothing.
+    pub fn disabled() -> TraceRing {
+        TraceRing::new(0)
+    }
+
+    /// True when this ring retains events (capacity > 0). Hot paths use
+    /// this to skip clock reads when tracing is off.
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Record one event, overwriting the oldest when full. Never
+    /// allocates once the ring has filled.
+    pub fn record(&self, event: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        let slot = (inner.seq % self.cap as u64) as usize;
+        if inner.events.len() < self.cap {
+            inner.events.push(event);
+        } else {
+            inner.events[slot] = event;
+        }
+        inner.seq += 1;
+    }
+
+    /// Total events ever recorded (recorded, not retained).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").seq
+    }
+
+    /// The retained events, oldest first, each with its global sequence
+    /// number (so a dump shows exactly how much history was lost).
+    pub fn events(&self) -> Vec<(u64, TraceEvent)> {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        let len = inner.events.len() as u64;
+        let first_seq = inner.seq - len;
+        let mut out = Vec::with_capacity(inner.events.len());
+        for i in 0..len {
+            let seq = first_seq + i;
+            out.push((seq, inner.events[(seq % self.cap as u64) as usize]));
+        }
+        out
+    }
+}
+
+/// The black box: one named [`TraceRing`] per subsystem, dumped as a
+/// deterministic TSV. Cloning shares the recorder.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    rings: Arc<Mutex<BTreeMap<String, TraceRing>>>,
+    default_cap: usize,
+}
+
+/// Default per-subsystem ring capacity: enough for hours of per-window
+/// events at production windows, small enough to never matter.
+pub const DEFAULT_RING_CAP: usize = 4096;
+
+static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+
+impl FlightRecorder {
+    /// A recorder whose rings keep the last [`DEFAULT_RING_CAP`] events.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_RING_CAP)
+    }
+
+    /// A recorder with a custom per-subsystem ring capacity.
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            rings: Arc::new(Mutex::new(BTreeMap::new())),
+            default_cap: cap,
+        }
+    }
+
+    /// The process-wide recorder (what the panic hook dumps).
+    pub fn global() -> FlightRecorder {
+        GLOBAL.get_or_init(FlightRecorder::new).clone()
+    }
+
+    /// Get-or-create the ring for `subsystem`.
+    pub fn ring(&self, subsystem: &str) -> TraceRing {
+        let mut rings = self.rings.lock().expect("flight recorder poisoned");
+        rings
+            .entry(subsystem.to_string())
+            .or_insert_with(|| TraceRing::new(self.default_cap))
+            .clone()
+    }
+
+    /// Dump every ring as TSV, deterministic: subsystems in name order,
+    /// events in sequence order within each. Columns:
+    /// `subsystem seq at_us stage kind window_us dataset source value`
+    /// with `-` for absent window/source/dataset.
+    pub fn dump(&self) -> String {
+        let rings: Vec<(String, TraceRing)> = {
+            let map = self.rings.lock().expect("flight recorder poisoned");
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = String::new();
+        out.push_str("subsystem\tseq\tat_us\tstage\tkind\twindow_us\tdataset\tsource\tvalue\n");
+        for (name, ring) in rings {
+            for (seq, ev) in ring.events() {
+                let window = if ev.window_us == NO_WINDOW {
+                    "-".to_string()
+                } else {
+                    ev.window_us.to_string()
+                };
+                let source = if ev.source == NO_SOURCE {
+                    "-".to_string()
+                } else {
+                    ev.source.to_string()
+                };
+                let dataset = if ev.dataset.is_empty() {
+                    "-"
+                } else {
+                    ev.dataset
+                };
+                out.push_str(&format!(
+                    "{name}\t{seq}\t{}\t{}\t{}\t{window}\t{dataset}\t{source}\t{}\n",
+                    ev.at_us,
+                    ev.stage,
+                    ev.kind.as_str(),
+                    ev.value
+                ));
+            }
+        }
+        out
+    }
+
+    /// Write [`FlightRecorder::dump`] to `path`.
+    pub fn dump_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.dump())
+    }
+
+    /// Install a panic hook that dumps the **global** recorder to stderr
+    /// (after the default hook), so a crashing process leaves its black
+    /// box in the logs. Safe to call more than once per test binary —
+    /// only the first call installs.
+    pub fn install_panic_hook() {
+        static INSTALLED: OnceLock<()> = OnceLock::new();
+        INSTALLED.get_or_init(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                previous(info);
+                let dump = FlightRecorder::global().dump();
+                // Header-only means nothing was recorded; stay quiet.
+                if dump.lines().count() > 1 {
+                    eprintln!("--- flight recorder dump (panic) ---");
+                    eprint!("{dump}");
+                    eprintln!("--- end flight recorder dump ---");
+                }
+            }));
+        });
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+/// One parsed dump row — the owned mirror of [`TraceEvent`], plus its
+/// subsystem and sequence number. What `dnsobs trace` works from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Ring name the event came from.
+    pub subsystem: String,
+    /// Sequence number within the ring.
+    pub seq: u64,
+    /// Event timestamp, µs.
+    pub at_us: u64,
+    /// Stage name.
+    pub stage: String,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Window id (µs), or [`NO_WINDOW`].
+    pub window_us: u64,
+    /// Dataset, or `""`.
+    pub dataset: String,
+    /// Source id, or [`NO_SOURCE`].
+    pub source: u64,
+    /// Payload value.
+    pub value: u64,
+}
+
+/// Parse a [`FlightRecorder::dump`] back into rows. Malformed lines are
+/// skipped (the dump may be truncated by the very crash it documents).
+pub fn parse_dump(text: &str) -> Vec<TraceRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 9 || fields[0] == "subsystem" {
+            continue;
+        }
+        let (Ok(seq), Ok(at_us), Ok(value)) = (
+            fields[1].parse::<u64>(),
+            fields[2].parse::<u64>(),
+            fields[8].parse::<u64>(),
+        ) else {
+            continue;
+        };
+        let Some(kind) = TraceKind::from_token(fields[4]) else {
+            continue;
+        };
+        let window_us = match fields[5] {
+            "-" => NO_WINDOW,
+            w => match w.parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            },
+        };
+        let source = match fields[7] {
+            "-" => NO_SOURCE,
+            s => match s.parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            },
+        };
+        rows.push(TraceRow {
+            subsystem: fields[0].to_string(),
+            seq,
+            at_us,
+            stage: fields[3].to_string(),
+            kind,
+            window_us,
+            dataset: if fields[6] == "-" {
+                String::new()
+            } else {
+                fields[6].to_string()
+            },
+            source,
+            value,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_n_with_global_seq() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.record(TraceEvent::new(i, "s", TraceKind::Mark).value(i));
+        }
+        assert_eq!(ring.recorded(), 5);
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|(seq, _)| *seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(
+            events.iter().map(|(_, e)| e.value).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let ring = TraceRing::disabled();
+        ring.record(TraceEvent::new(0, "s", TraceKind::Mark));
+        assert_eq!(ring.recorded(), 0);
+        assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn ring_never_allocates_once_full() {
+        let ring = TraceRing::new(8);
+        for i in 0..8u64 {
+            ring.record(TraceEvent::new(i, "s", TraceKind::Mark));
+        }
+        let cap_before = ring.inner.lock().unwrap().events.capacity();
+        for i in 8..1000u64 {
+            ring.record(TraceEvent::new(i, "s", TraceKind::Mark));
+        }
+        assert_eq!(ring.inner.lock().unwrap().events.capacity(), cap_before);
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_parses_back() {
+        let fr = FlightRecorder::with_capacity(16);
+        fr.ring("b-sub").record(
+            TraceEvent::new(10, "shard", TraceKind::Close)
+                .window(1_000_000)
+                .source(2)
+                .value(7),
+        );
+        fr.ring("a-sub").record(
+            TraceEvent::new(5, "sequencer", TraceKind::Open)
+                .window(1_000_000)
+                .dataset("qname"),
+        );
+        let dump = fr.dump();
+        assert_eq!(dump, fr.dump(), "dump must be deterministic");
+        let rows = parse_dump(&dump);
+        assert_eq!(rows.len(), 2);
+        // Subsystems come out in name order.
+        assert_eq!(rows[0].subsystem, "a-sub");
+        assert_eq!(rows[0].kind, TraceKind::Open);
+        assert_eq!(rows[0].dataset, "qname");
+        assert_eq!(rows[0].source, NO_SOURCE);
+        assert_eq!(rows[1].subsystem, "b-sub");
+        assert_eq!(rows[1].window_us, 1_000_000);
+        assert_eq!(rows[1].source, 2);
+        assert_eq!(rows[1].value, 7);
+    }
+
+    #[test]
+    fn parse_skips_garbage_and_header() {
+        let rows = parse_dump("subsystem\tseq\tat_us\tstage\tkind\twindow_us\tdataset\tsource\tvalue\nnot a row\nx\t1\t2\ts\tnot-a-kind\t-\t-\t-\t0\n");
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn recorder_ring_is_get_or_create() {
+        let fr = FlightRecorder::with_capacity(4);
+        let a = fr.ring("agg");
+        let b = fr.ring("agg");
+        a.record(TraceEvent::new(0, "s", TraceKind::Mark));
+        assert_eq!(b.recorded(), 1);
+    }
+
+    #[test]
+    fn terminal_kinds_are_exactly_seal_drop_conflict() {
+        for kind in [
+            TraceKind::Open,
+            TraceKind::Ingest,
+            TraceKind::Close,
+            TraceKind::Mark,
+        ] {
+            assert!(!kind.is_terminal());
+        }
+        for kind in [TraceKind::Seal, TraceKind::Drop, TraceKind::Conflict] {
+            assert!(kind.is_terminal());
+        }
+    }
+}

@@ -156,6 +156,7 @@ impl Watchdog {
         let core = Mutex::new(core);
         let handle = std::thread::Builder::new()
             .name("stall-watchdog".to_string())
+            .stack_size(crate::IO_THREAD_STACK_BYTES)
             .spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
                     std::thread::sleep(interval);

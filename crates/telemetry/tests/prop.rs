@@ -104,6 +104,64 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Render → parse round-trips every counter sample regardless of how
+    /// hostile the label values are (backslashes, quotes, newlines,
+    /// braces, spaces): the sample count and every value survive.
+    #[test]
+    fn prometheus_round_trip_with_arbitrary_label_values(
+        values in prop::collection::vec(("[ -~\\n\"\\\\]{0,12}", 0u64..1000), 1..6),
+    ) {
+        let registry = Registry::new();
+        let mut expect = std::collections::BTreeMap::new();
+        for (i, (label, count)) in values.iter().enumerate() {
+            let name = format!("p{i}_total");
+            registry.counter_with(&name, &[("k", label)]).inc(*count);
+            expect.insert(
+                telemetry::encode_labels(&name, &[("k", label)]),
+                *count as f64,
+            );
+        }
+        let text = telemetry::prometheus::render(&registry.snapshot(0));
+        // Escaping must keep every sample on one line: lines are either
+        // comments or parseable samples.
+        let samples = telemetry::prometheus::parse(&text);
+        prop_assert_eq!(samples.len(), expect.len(), "render:\n{}", text);
+        for (name, want) in &expect {
+            prop_assert_eq!(samples.get(name), Some(want), "render:\n{}", text);
+        }
+    }
+
+    /// Labeled histograms render valid exposition: `le` folds into the
+    /// label set and `_sum`/`_count` never dangle after a brace.
+    #[test]
+    fn labeled_histogram_exposition_is_well_formed(
+        label in "[a-z}{\" ]{0,10}",
+        samples in prop::collection::vec(1u32..10_000, 1..10),
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram_with(
+            "stage_seconds",
+            &[("stage", &label)],
+            Histogram::seconds_layout(),
+        );
+        for v in &samples {
+            h.record(f64::from(*v));
+        }
+        let text = telemetry::prometheus::render(&registry.snapshot(0));
+        prop_assert!(!text.contains("}_"), "dangling suffix:\n{}", text);
+        let parsed = telemetry::prometheus::parse(&text);
+        let count_name =
+            telemetry::encode_labels("stage_seconds_count", &[("stage", &label)]);
+        prop_assert_eq!(
+            parsed.get(&count_name).copied(),
+            Some(samples.len() as f64),
+            "render:\n{}",
+            text
+        );
+    }
+}
+
 /// Not a proptest (threads), but the core conservation law: N writers ×
 /// M increments over shared handles lose nothing.
 #[test]

@@ -117,6 +117,27 @@ awk -v cur="$agg_cur" -v base="$agg_base" 'BEGIN {
     printf "bench-smoke: OK — aggregate within 20%% of baseline (floor %.0f records/s)\n", floor;
 }'
 
+# Tracing-tax gate: the pipeline with a flight recorder attached must
+# stay within 5 % of the untraced run. Absolute tx/s drifts with
+# hardware; the on/off ratio on the same machine should not.
+echo "bench-smoke: measuring tracing overhead..."
+trace_out=$(./target/release/pipeline_throughput --trace-overhead)
+printf '%s\n' "$trace_out" | grep '^trace_'
+trace_ratio=$(printf '%s\n' "$trace_out" \
+    | sed -n 's/^trace_overhead_ratio=\([0-9][0-9.]*\)$/\1/p' | head -n1)
+if [ -z "$trace_ratio" ]; then
+    echo "bench-smoke: could not parse trace-overhead output:" >&2
+    printf '%s\n' "$trace_out" >&2
+    exit 2
+fi
+awk -v r="$trace_ratio" 'BEGIN {
+    if (r < 0.95) {
+        printf "bench-smoke: FAIL — tracing-on runs at %.1f%% of tracing-off (gate 95%%)\n", 100 * r;
+        exit 1;
+    }
+    printf "bench-smoke: OK — tracing-on runs at %.1f%% of tracing-off (gate 95%%)\n", 100 * r;
+}'
+
 # Scaling-shape gate: only meaningful with real parallelism available.
 cores=$(nproc 2>/dev/null || echo 1)
 if [ "$cores" -ge 2 ]; then
@@ -153,6 +174,6 @@ fi
 HISTORY=BENCH_history.jsonl
 timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
-printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s,"aggregate_smoke_records_per_sec":%s}\n' \
-    "$timestamp" "$commit" "$cur" "$feed_cur" "$agg_cur" >> "$HISTORY"
+printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s,"aggregate_smoke_records_per_sec":%s,"trace_overhead_ratio":%s}\n' \
+    "$timestamp" "$commit" "$cur" "$feed_cur" "$agg_cur" "$trace_ratio" >> "$HISTORY"
 echo "bench-smoke: appended run to $HISTORY"
