@@ -27,6 +27,11 @@
 //!   one tracker shard of the threaded pipeline, used to check that the
 //!   per-shard watermark frontier protocol neither loses nor
 //!   double-counts a window when a shard lags.
+//! * **Store-crash axis** ([`storecrash`]) — seeded kill points for the
+//!   historical store's compactor (after segment write, before manifest
+//!   swap, mid-footer torn writes); a recovery differential checks the
+//!   re-opened store folds identically to the raw appended windows and
+//!   that every swept file is ledgered, never silently dropped.
 //!
 //! Run the full seed × profile matrix with `cargo test -p chaos`, or the
 //! release-mode smoke sweep with `scripts/chaos-smoke.sh`.
@@ -41,6 +46,7 @@ pub mod item;
 pub mod minimize;
 pub mod oracle;
 pub mod slowshard;
+pub mod storecrash;
 
 pub use clock::{EventQueue, VirtualClock};
 pub use fault::{plan_for, plans_for, FaultOp, FaultProfile, Rng, SensorPlan};
@@ -52,3 +58,4 @@ pub use item::{probe_stream, ChaosItem};
 pub use minimize::{describe_plans, minimize_plans};
 pub use oracle::{check, predicted_delivery, Divergence, OracleSummary};
 pub use slowshard::{StallInjector, StallPlan};
+pub use storecrash::{StoreCrashOutcome, StoreDivergence};

@@ -57,6 +57,8 @@ fn main() {
         Some("sensor") => sensor(&args[1..]),
         Some("collect") => collect(&args[1..]),
         Some("aggregate") => aggregate_cmd(&args[1..]),
+        Some("query") => query_cmd(&args[1..]),
+        Some("store") => store_admin(&args[1..]),
         Some("status") => status_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("show") => show(&args[1..], usize::MAX),
@@ -68,7 +70,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--topk N] [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs collect --listen ADDR --forward ADDR [--upstream N] [--chunk-entries N] [--state-out FILE]\n  dnsobs aggregate --listen ADDR --upstreams N [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs aggregate --input FILE [--input FILE ...] [--out DIR]\n  dnsobs status [--metrics ADDR]\n  dnsobs trace DUMP.tsv [--window-start SECS]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\n--topk caps the big per-dataset trackers (default 10000); forwarding\ncollectors and the aggregator must agree on it for state to merge.\n\nsensor:    simulate traffic, keep the 1/N slice owned by --index, and\n           stream its summaries to the collector (reconnects with backoff).\ncollect:   accept N sensors, merge their streams in time order, run the\n           tracking pipeline, and write TSV windows like `simulate`.\n           With --forward/--state-out it exports per-window sketch state\n           upward instead of rendering TSVs locally (federated tier).\naggregate: merge the window-state streams of N forwarding collectors\n           (or state files) into global TSV windows with a stated\n           error bound.\nstatus:    scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n           and print the one-page health summary.\ntrace:     render a flight-recorder dump (`--trace-out`, stall or panic\n           dump) as per-window lineage; --window-start narrows to one\n           window. --trace-out on collect/aggregate records span events\n           into the flight recorder and writes the dump at exit (the\n           stall watchdog also dumps it on a stall, to the same file)."
+                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--topk N] [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs collect --listen ADDR --forward ADDR [--upstream N] [--chunk-entries N] [--state-out FILE] [--store DIR] [--no-bloom-gate]\n  dnsobs aggregate --listen ADDR --upstreams N [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs aggregate --input FILE [--input FILE ...] [--out DIR]\n  dnsobs query history --store DIR --dataset DS --key KEY [--from SECS] [--to SECS]\n  dnsobs query renumber --store DIR [--dataset aafqdn] [--from SECS] [--to SECS]\n  dnsobs query topk --store DIR --dataset DS --at SECS [--n N]\n  dnsobs store synth --dir DIR [--days N] [--seed N] [--keys N] [--window SECS] [--renumber-every N] [--no-compact]\n  dnsobs store info --dir DIR\n  dnsobs status [--metrics ADDR]\n  dnsobs trace DUMP.tsv [--window-start SECS]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\n--topk caps the big per-dataset trackers (default 10000); forwarding\ncollectors and the aggregator must agree on it for state to merge.\n\nsensor:    simulate traffic, keep the 1/N slice owned by --index, and\n           stream its summaries to the collector (reconnects with backoff).\ncollect:   accept N sensors, merge their streams in time order, run the\n           tracking pipeline, and write TSV windows like `simulate`.\n           With --forward/--state-out it exports per-window sketch state\n           upward instead of rendering TSVs locally (federated tier).\naggregate: merge the window-state streams of N forwarding collectors\n           (or state files) into global TSV windows with a stated\n           error bound.\nquery:     answer history/renumbering/top-k questions from a --store\n           directory in milliseconds, from footer indexes and merged\n           sketch state — raw transactions are never re-read. Output\n           states the merged Space-Saving error bound.\nstore:     `synth` fabricates months of seeded 10-min windows (with\n           planted renumbering events) and compacts them; `info` prints\n           the manifest summary. `collect`/`aggregate` accept\n           --store DIR to persist every sealed window; on restart the\n           last durable window resumes the watermark frontier.\nstatus:    scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n           and print the one-page health summary.\ntrace:     render a flight-recorder dump (`--trace-out`, stall or panic\n           dump) as per-window lineage; --window-start narrows to one\n           window. --trace-out on collect/aggregate records span events\n           into the flight recorder and writes the dump at exit (the\n           stall watchdog also dumps it on a stall, to the same file)."
             );
             2
         }
@@ -403,7 +405,10 @@ fn collect(args: &[String]) -> i32 {
     .ok();
 
     let output = collector.take_output();
-    if flag_value(args, "--forward").is_some() || flag_value(args, "--state-out").is_some() {
+    if flag_value(args, "--forward").is_some()
+        || flag_value(args, "--state-out").is_some()
+        || flag_value(args, "--store").is_some()
+    {
         let code = collect_forward(args, output.iter(), window);
         let report = collector.finish();
         if let Some(dog) = watchdog {
@@ -484,9 +489,89 @@ fn print_feed_report(report: &feed::CollectorReport) {
     }
 }
 
+/// An open `--store` handle plus the newest durable window (start
+/// seconds + its states) — the resume point, when one exists.
+type CliStore = (store::Store, Option<(f64, Vec<WindowState>)>);
+
+/// Open the `--store DIR` historical window store when asked: recovery
+/// leftovers are printed (ledgered, never silent), counters mirror into
+/// the global registry, and the newest durable window — the resume
+/// point — is returned alongside.
+fn open_cli_store(args: &[String]) -> Result<Option<CliStore>, i32> {
+    let Some(dir) = flag_value(args, "--store") else {
+        return Ok(None);
+    };
+    let dir = PathBuf::from(dir);
+    let (s, report) = match store::Store::open(&dir) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("cannot open store {}: {e}", dir.display());
+            if let Some(seg) = e.bad_segment() {
+                eprintln!("bad segment: {seg} (quarantine it or restore from a replica)");
+            }
+            return Err(1);
+        }
+    };
+    if !report.is_clean() {
+        eprintln!(
+            "store recovery: removed {} tmp file(s) {:?} and {} orphan segment(s) {:?}",
+            report.removed_tmp.len(),
+            report.removed_tmp,
+            report.removed_orphans.len(),
+            report.removed_orphans
+        );
+    }
+    let mut s = s.with_registry(&Registry::global(), &report);
+    if flag_value(args, "--trace-out").is_some() {
+        s = s.with_trace(FlightRecorder::global().ring("store"));
+    }
+    let last = match s.last_window() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("store {}: cannot read last window: {e}", dir.display());
+            return Err(1);
+        }
+    };
+    Ok(Some((s, last)))
+}
+
+/// Append one sealed window's records and run the background compaction
+/// tick (rolls any newly ripe hour/day/month bucket).
+fn store_append(
+    s: &mut store::Store,
+    batch: &[WindowState],
+    policy: &store::CompactionPolicy,
+) -> Result<(), i32> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    if let Err(e) = s.append(batch) {
+        eprintln!("store append failed: {e}");
+        return Err(1);
+    }
+    match store::compact(s, policy) {
+        Ok(report) if !report.rolled.is_empty() => {
+            eprintln!(
+                "store: rolled {} segment(s) into {} rollup(s)",
+                report.inputs(),
+                report.rolled.len()
+            );
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("store compaction failed: {e}");
+            return Err(1);
+        }
+    }
+    Ok(())
+}
+
 /// The forwarding half of a federated collector: fold the merged summary
-/// feed into per-window sketch state and push it upward (`--forward`)
-/// and/or append it to a state record file (`--state-out`).
+/// feed into per-window sketch state and push it upward (`--forward`),
+/// append it to a state record file (`--state-out`), and/or persist it
+/// into a historical store (`--store`). With a store, a restart resumes
+/// the watermark frontier from the last durable window instead of
+/// re-counting from zero.
 fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, window: f64) -> i32 {
     let upstream: u64 = flag_value(args, "--upstream")
         .and_then(|v| v.parse().ok())
@@ -499,16 +584,41 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
     let state_out = flag_value(args, "--state-out");
     let upward = flag_value(args, "--forward")
         .map(|addr| Sensor::<WindowState>::connect(addr, SensorConfig::new(upstream)));
+    // Test hook for the crash-recovery suite: exit hard (code 3) after
+    // the Nth window is durable, like a kill -9 at the worst moment.
+    let kill_after: Option<u64> =
+        flag_value(args, "--kill-after-windows").and_then(|v| v.parse().ok());
 
-    let mut exporter = StateExporter::new(
-        ObservatoryConfig {
-            datasets: datasets(args),
-            window_secs: window,
-            ..ObservatoryConfig::default()
-        },
-        upstream,
-        chunk_entries,
-    );
+    let cfg = ObservatoryConfig {
+        datasets: datasets(args),
+        window_secs: window,
+        // The admission gate is long-lived in-memory state that is not
+        // part of the serialized window exports, so a crash-recovery
+        // resume cannot reconstruct it; deployments that need exact
+        // resume equality run with the gate off.
+        bloom_gate: !args.iter().any(|a| a == "--no-bloom-gate"),
+        ..ObservatoryConfig::default()
+    };
+    let mut cli_store = match open_cli_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut exporter = match &cli_store {
+        Some((_, Some((start, states)))) => {
+            match StateExporter::resume(cfg.clone(), upstream, chunk_entries, *start, states) {
+                Ok(e) => {
+                    eprintln!("store: resumed watermark frontier after window t={start}s");
+                    e
+                }
+                Err(e) => {
+                    eprintln!("store: cannot resume from last window ({e}); starting fresh");
+                    StateExporter::new(cfg.clone(), upstream, chunk_entries)
+                }
+            }
+        }
+        _ => StateExporter::new(cfg.clone(), upstream, chunk_entries),
+    };
+    let policy = store::CompactionPolicy::default();
     let tracing = flag_value(args, "--trace-out").is_some();
     let export_clock = SystemClock::new();
     if tracing {
@@ -517,7 +627,22 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
     let mut file_buf = Vec::new();
     let mut states = Vec::new();
     let mut exported = 0u64;
-    let mut push = |states: &mut Vec<WindowState>, file_buf: &mut Vec<u8>| {
+    let mut windows_stored = 0u64;
+    let mut push = |states: &mut Vec<WindowState>,
+                    file_buf: &mut Vec<u8>,
+                    cli_store: &mut Option<CliStore>|
+     -> Result<(), i32> {
+        if let Some((s, _)) = cli_store {
+            // Each drain is one sealed window's full record batch.
+            store_append(s, states, &policy)?;
+            if !states.is_empty() {
+                windows_stored += 1;
+                if kill_after.is_some_and(|n| windows_stored >= n) {
+                    eprintln!("kill hook: exiting after {windows_stored} stored window(s)");
+                    std::process::exit(3);
+                }
+            }
+        }
         for ws in states.drain(..) {
             if state_out.is_some() {
                 sketchwire::write_record(&ws, file_buf);
@@ -527,17 +652,35 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
             }
             exported += 1;
         }
+        Ok(())
     };
     for summary in output {
         if tracing {
             exporter.set_now_us(telemetry::Clock::now_us(&export_clock));
         }
         exporter.ingest_summary(summary, &mut states);
-        push(&mut states, &mut file_buf);
+        if let Err(code) = push(&mut states, &mut file_buf, &mut cli_store) {
+            return code;
+        }
     }
+    let skipped = exporter.resumed_skipped();
     let ingested = exporter.finish(&mut states);
-    push(&mut states, &mut file_buf);
+    if let Err(code) = push(&mut states, &mut file_buf, &mut cli_store) {
+        return code;
+    }
+    if skipped > 0 {
+        eprintln!("store: skipped {skipped} summaries already covered by durable windows");
+    }
     eprintln!("upstream {upstream}: ingested {ingested} summaries, exported {exported} window-state record(s)");
+    if let Some((s, _)) = &cli_store {
+        eprintln!(
+            "store: {} live segment(s), frontier {}",
+            s.segments().len(),
+            s.frontier_us()
+                .map(|us| format!("t={}s", us as f64 / 1e6))
+                .unwrap_or_else(|| "empty".into())
+        );
+    }
 
     if let Some(path) = state_out {
         if let Err(e) = std::fs::write(path, &file_buf) {
@@ -586,7 +729,7 @@ fn aggregate_cmd(args: &[String]) -> i32 {
 
     let inputs = flag_values(args, "--input");
     if !inputs.is_empty() {
-        return aggregate_files(&inputs, &out);
+        return aggregate_files(&inputs, &out, args);
     }
 
     let Some(listen) = flag_value(args, "--listen") else {
@@ -618,6 +761,18 @@ fn aggregate_cmd(args: &[String]) -> i32 {
     if trace_out.is_some() {
         core = core.with_trace(FlightRecorder::global().ring("aggregator"));
     }
+    // With --store, sealed global windows are persisted (upstream id 0)
+    // and a restart resumes the seal watermark from the last durable
+    // window instead of re-sealing — records at or before it are late.
+    let mut cli_store = match open_cli_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let policy = store::CompactionPolicy::default();
+    if let Some((_, Some((start, _)))) = &cli_store {
+        core.resume_sealed_through((start * 1e6).round() as u64);
+        eprintln!("store: resumed seal watermark after window t={start}s");
+    }
     // Lineage timestamps are always stamped — one clock read per record
     // keeps every sealed window's first-seen/sealed times meaningful
     // even when span tracing is off.
@@ -631,7 +786,12 @@ fn aggregate_cmd(args: &[String]) -> i32 {
             eprintln!("rejected window-state record: {e}");
         }
         core.poll(&mut sealed);
-        match write_sealed(&out, &mut sealed) {
+        match write_sealed(
+            &out,
+            &mut sealed,
+            cli_store.as_mut().map(|(s, _)| s),
+            &policy,
+        ) {
             Ok(n) => files += n,
             Err(e) => {
                 eprintln!("failed writing global window: {e}");
@@ -641,7 +801,12 @@ fn aggregate_cmd(args: &[String]) -> i32 {
     }
     let feed_report = collector.finish();
     let report = core.finish(&mut sealed);
-    match write_sealed(&out, &mut sealed) {
+    match write_sealed(
+        &out,
+        &mut sealed,
+        cli_store.as_mut().map(|(s, _)| s),
+        &policy,
+    ) {
         Ok(n) => files += n,
         Err(e) => {
             eprintln!("failed writing global window: {e}");
@@ -658,7 +823,7 @@ fn aggregate_cmd(args: &[String]) -> i32 {
 }
 
 /// Offline aggregation over `--state-out` record files.
-fn aggregate_files(inputs: &[&str], out: &Path) -> i32 {
+fn aggregate_files(inputs: &[&str], out: &Path, args: &[String]) -> i32 {
     let mut records = Vec::new();
     for path in inputs {
         let bytes = match std::fs::read(path) {
@@ -684,6 +849,15 @@ fn aggregate_files(inputs: &[&str], out: &Path) -> i32 {
         .max(1);
     let mut core =
         AggregatorCore::with_registry(&AggregatorConfig::new(expected), &Registry::global());
+    let mut cli_store = match open_cli_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let policy = store::CompactionPolicy::default();
+    if let Some((_, Some((start, _)))) = &cli_store {
+        core.resume_sealed_through((start * 1e6).round() as u64);
+        eprintln!("store: resumed seal watermark after window t={start}s");
+    }
     for ws in records {
         if let Err(e) = core.on_state(ws) {
             eprintln!("rejected window-state record: {e}");
@@ -691,7 +865,12 @@ fn aggregate_files(inputs: &[&str], out: &Path) -> i32 {
     }
     let mut sealed = Vec::new();
     let report = core.finish(&mut sealed);
-    let files = match write_sealed(out, &mut sealed) {
+    let files = match write_sealed(
+        out,
+        &mut sealed,
+        cli_store.as_mut().map(|(s, _)| s),
+        &policy,
+    ) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("failed writing global window: {e}");
@@ -704,12 +883,397 @@ fn aggregate_files(inputs: &[&str], out: &Path) -> i32 {
 }
 
 /// Render and write every sealed global window, draining `sealed`.
-fn write_sealed(out: &Path, sealed: &mut Vec<sketchwire::GlobalWindow>) -> std::io::Result<usize> {
+/// When a store is given, each window is persisted (durably, before the
+/// TSV render) as upstream-0 records, then compaction ticks.
+fn write_sealed(
+    out: &Path,
+    sealed: &mut Vec<sketchwire::GlobalWindow>,
+    mut cli_store: Option<&mut store::Store>,
+    policy: &store::CompactionPolicy,
+) -> std::io::Result<usize> {
     let mut files = 0usize;
     for gw in sealed.drain(..) {
+        if let Some(s) = cli_store.as_deref_mut() {
+            let batch: Vec<WindowState> = gw
+                .datasets
+                .iter()
+                .map(|topk| WindowState {
+                    upstream: 0,
+                    start: gw.start,
+                    length: gw.length,
+                    topk: topk.clone(),
+                })
+                .collect();
+            if store_append(s, &batch, policy).is_err() {
+                return Err(std::io::Error::other("store append failed"));
+            }
+        }
         files += dns_observatory::write_global(out, &gw)?;
     }
     Ok(files)
+}
+
+/// Parse a `--flag SECS` time as integer microseconds.
+fn secs_us(args: &[String], flag: &str) -> Option<u64> {
+    flag_value(args, flag)
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s >= 0.0)
+        .map(|s| (s * 1e6).round() as u64)
+}
+
+/// Print a typed query failure; corrupt stores name the bad segment so
+/// the operator knows which file to quarantine.
+fn report_query_error(e: &store::StoreError) -> i32 {
+    eprintln!("query failed: {e}");
+    if let Some(seg) = e.bad_segment() {
+        eprintln!("bad segment: {seg} (quarantine it or restore from a replica)");
+    }
+    1
+}
+
+/// Print the query planner's accounting plus wall-clock latency.
+fn print_query_stats(started: std::time::Instant, stats: &store::QueryStats) {
+    println!(
+        "answered in {:.2} ms ({} of {} segment(s) decoded, {} record(s); pruned {} time, {} dataset, {} bloom)",
+        started.elapsed().as_secs_f64() * 1e3,
+        stats.segments_scanned,
+        stats.segments_total,
+        stats.records_decoded,
+        stats.pruned_time,
+        stats.pruned_dataset,
+        stats.pruned_bloom
+    );
+}
+
+/// `dnsobs query`: answer historical questions from a `--store`
+/// directory — footer indexes plus merged sketch state, never raw
+/// transactions. Every answer states the merged Space-Saving error
+/// bound it carries.
+fn query_cmd(args: &[String]) -> i32 {
+    let usage = || {
+        eprintln!(
+            "query: usage:\n  dnsobs query history --store DIR --dataset DS --key KEY [--from SECS] [--to SECS]\n  dnsobs query renumber --store DIR [--dataset aafqdn] [--from SECS] [--to SECS]\n  dnsobs query topk --store DIR --dataset DS --at SECS [--n N]"
+        );
+        2
+    };
+    let Some(kind) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let Some(dir) = flag_value(rest, "--store") else {
+        eprintln!("query: --store DIR is required");
+        return 2;
+    };
+    let started = std::time::Instant::now();
+    let (s, report) = match store::Store::open(Path::new(dir)) {
+        Ok(opened) => opened,
+        Err(e) => return report_query_error(&e),
+    };
+    if !report.is_clean() {
+        eprintln!(
+            "note: store recovery swept {} tmp / {} orphan file(s)",
+            report.removed_tmp.len(),
+            report.removed_orphans.len()
+        );
+    }
+    let t0_us = secs_us(rest, "--from").unwrap_or(0);
+    let t1_us = secs_us(rest, "--to")
+        .or_else(|| s.frontier_us().map(|f| f.saturating_add(1)))
+        .unwrap_or(u64::MAX);
+    match kind {
+        "history" => {
+            let (Some(dataset), Some(key)) =
+                (flag_value(rest, "--dataset"), flag_value(rest, "--key"))
+            else {
+                eprintln!("query history: --dataset and --key are required");
+                return 2;
+            };
+            match store::query::history(&s, dataset, key, t0_us, t1_us) {
+                Ok((points, total_bound, stats)) => {
+                    println!(
+                        "history of {key:?} in {dataset} over [{}s, {}s): {} window(s)",
+                        t0_us as f64 / 1e6,
+                        t1_us as f64 / 1e6,
+                        points.len()
+                    );
+                    for p in &points {
+                        println!(
+                            "  t={:>12.0}s len={:>7.0}s level={} hits={:<10} count<={} (err<={}) window-bound={}",
+                            p.start, p.length, p.level, p.hits, p.count, p.error, p.error_bound
+                        );
+                    }
+                    let hits: u64 = points.iter().map(|p| p.hits).sum();
+                    println!("exact hits (feature counters, sum of per-window deltas): {hits}");
+                    println!(
+                        "merged Space-Saving error bound: {total_bound} (sum over {} window(s))",
+                        points.len()
+                    );
+                    print_query_stats(started, &stats);
+                    0
+                }
+                Err(e) => report_query_error(&e),
+            }
+        }
+        "renumber" => {
+            let dataset = flag_value(rest, "--dataset").unwrap_or("aafqdn");
+            let (groups, stats) = match store::query::windows_in(&s, dataset, t0_us, t1_us, None) {
+                Ok(r) => r,
+                Err(e) => return report_query_error(&e),
+            };
+            let mut dumps = Vec::new();
+            let mut total_bound = 0u64;
+            for g in &groups {
+                total_bound = total_bound.saturating_add(g.state.error_bound);
+                match dns_observatory::render_state(&g.state, g.start, g.length) {
+                    Ok(d) => dumps.push(d),
+                    Err(e) => {
+                        eprintln!("window t={}s does not render: {e}", g.start);
+                        return 1;
+                    }
+                }
+            }
+            let refs: Vec<&dns_observatory::WindowDump> = dumps.iter().collect();
+            let changes = dns_observatory::analysis::ttl::detect_changes(&refs);
+            let renumberings: Vec<_> = changes
+                .iter()
+                .filter(|c| {
+                    c.category == dns_observatory::analysis::ttl::ChangeCategory::Renumbering
+                })
+                .collect();
+            println!(
+                "renumbering events in [{}s, {}s): {}",
+                t0_us as f64 / 1e6,
+                t1_us as f64 / 1e6,
+                renumberings.len()
+            );
+            for c in &renumberings {
+                println!(
+                    "  t={:>12.0}s {:<40} A-TTL {} -> {}",
+                    c.at, c.key, c.ttl_before, c.ttl_after
+                );
+            }
+            println!(
+                "inspected {} window(s) of {dataset}; merged Space-Saving error bound: {total_bound}",
+                groups.len()
+            );
+            print_query_stats(started, &stats);
+            0
+        }
+        "topk" => {
+            let Some(dataset) = flag_value(rest, "--dataset") else {
+                eprintln!("query topk: --dataset is required");
+                return 2;
+            };
+            let Some(at_us) = secs_us(rest, "--at") else {
+                eprintln!("query topk: --at SECS is required");
+                return 2;
+            };
+            let n: usize = flag_value(rest, "--n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            match store::query::topk_at(&s, dataset, at_us) {
+                Ok((Some(g), stats)) => {
+                    let mut rows: Vec<(&str, u64, u64, u64)> = g
+                        .state
+                        .entries
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.key.as_str(),
+                                e.features.adds.first().copied().unwrap_or(0),
+                                e.count,
+                                e.error,
+                            )
+                        })
+                        .collect();
+                    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                    println!(
+                        "top-{n} of {dataset} at t={}s (window t={}s len={}s, level {}):",
+                        at_us as f64 / 1e6,
+                        g.start,
+                        g.length,
+                        g.level
+                    );
+                    println!(
+                        "{:<40} {:>10} {:>12} {:>8}",
+                        "key", "hits", "count<=", "err<="
+                    );
+                    for (key, hits, count, err) in rows.into_iter().take(n) {
+                        println!("{key:<40} {hits:>10} {count:>12} {err:>8}");
+                    }
+                    println!(
+                        "merged Space-Saving error bound: {} (observed {}, capacity {})",
+                        g.state.error_bound, g.state.observed, g.state.capacity
+                    );
+                    print_query_stats(started, &stats);
+                    0
+                }
+                Ok((None, stats)) => {
+                    println!("no {dataset} window covers t={}s", at_us as f64 / 1e6);
+                    print_query_stats(started, &stats);
+                    0
+                }
+                Err(e) => report_query_error(&e),
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// `dnsobs store`: admin verbs for a store directory.
+fn store_admin(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("synth") => store_synth(&args[1..]),
+        Some("info") => store_info(&args[1..]),
+        _ => {
+            eprintln!(
+                "store: usage:\n  dnsobs store synth --dir DIR [--days N] [--seed N] [--keys N] [--window SECS] [--renumber-every N] [--no-compact]\n  dnsobs store info --dir DIR"
+            );
+            2
+        }
+    }
+}
+
+/// `dnsobs store synth`: fabricate months of seeded 10-minute windows
+/// (with planted renumbering events `dnsobs query renumber` can find)
+/// and compact them up the hour/day/month hierarchy.
+fn store_synth(args: &[String]) -> i32 {
+    use dns_observatory::synth::{renumber_truth, SynthConfig, SynthStream};
+    let Some(dir) = flag_value(args, "--dir") else {
+        eprintln!("store synth: --dir DIR is required");
+        return 2;
+    };
+    let days: usize = flag_value(args, "--days")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(92);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let keys: usize = flag_value(args, "--keys")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8);
+    let window: f64 = flag_value(args, "--window")
+        .and_then(|v| v.parse().ok())
+        .filter(|&w: &f64| w > 0.0)
+        .unwrap_or(600.0);
+    let windows_per_day = (86_400.0 / window).round().max(1.0) as usize;
+    let renumber_every: usize = flag_value(args, "--renumber-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(windows_per_day);
+    let started = std::time::Instant::now();
+    let (mut s, report) = match store::Store::open(Path::new(dir)) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("cannot open store {dir}: {e}");
+            return 1;
+        }
+    };
+    if !report.is_clean() {
+        eprintln!(
+            "store recovery swept {} tmp / {} orphan file(s)",
+            report.removed_tmp.len(),
+            report.removed_orphans.len()
+        );
+    }
+    if !s.segments().is_empty() {
+        eprintln!(
+            "store synth: {dir} already holds {} segment(s); refusing to mix",
+            s.segments().len()
+        );
+        return 1;
+    }
+    let cfg = SynthConfig {
+        seed,
+        start: 0.0,
+        window_secs: window,
+        windows: days * windows_per_day,
+        keys,
+        datasets: vec!["aafqdn".to_string(), "esld".to_string()],
+        capacity: (keys as u64) * 4,
+        renumber_every,
+    };
+    let planted = renumber_truth(&cfg).len();
+    let mut stream = SynthStream::new(cfg);
+    // One level-0 segment per synthetic day keeps the append count (and
+    // the manifest) proportional to days, not 10-min windows.
+    for day in 0..days {
+        let mut batch = Vec::new();
+        for _ in 0..windows_per_day {
+            batch.extend(stream.next_window().expect("stream sized to days"));
+        }
+        if let Err(e) = s.append(&batch) {
+            eprintln!("append failed on day {day}: {e}");
+            return 1;
+        }
+    }
+    let before = s.segments().len();
+    if flag_value(args, "--no-compact").is_none() && !args.iter().any(|a| a == "--no-compact") {
+        match store::compact(&mut s, &store::CompactionPolicy::default()) {
+            Ok(r) => eprintln!(
+                "compacted {} input segment(s) into {} rollup(s)",
+                r.inputs(),
+                r.rolled.len()
+            ),
+            Err(e) => {
+                eprintln!("compaction failed: {e}");
+                return 1;
+            }
+        }
+    }
+    eprintln!(
+        "synthesized {days} day(s) = {} windows ({} planted renumbering event(s), seed {seed}) in {:.2}s; segments {before} -> {}",
+        days * windows_per_day,
+        planted,
+        started.elapsed().as_secs_f64(),
+        s.segments().len()
+    );
+    0
+}
+
+/// `dnsobs store info`: one-page manifest summary of a store directory.
+fn store_info(args: &[String]) -> i32 {
+    let Some(dir) = flag_value(args, "--dir") else {
+        eprintln!("store info: --dir DIR is required");
+        return 2;
+    };
+    let (s, report) = match store::Store::open(Path::new(dir)) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("cannot open store {dir}: {e}");
+            if let Some(seg) = e.bad_segment() {
+                eprintln!("bad segment: {seg}");
+            }
+            return 1;
+        }
+    };
+    if !report.is_clean() {
+        println!(
+            "recovery swept: {} tmp {:?}, {} orphan(s) {:?}",
+            report.removed_tmp.len(),
+            report.removed_tmp,
+            report.removed_orphans.len(),
+            report.removed_orphans
+        );
+    }
+    println!("generation: {}", s.generation());
+    println!("segments:   {}", s.segments().len());
+    let mut by_level: std::collections::BTreeMap<u8, (usize, u64, u64)> = Default::default();
+    for m in s.segments() {
+        let e = by_level.entry(m.level).or_default();
+        e.0 += 1;
+        e.1 += m.windows as u64;
+        e.2 += m.records as u64;
+    }
+    for (level, (segs, windows, records)) in by_level {
+        println!("  level {level}: {segs} segment(s), {windows} window(s), {records} record(s)");
+    }
+    match s.frontier_us() {
+        Some(f) => println!("frontier:   t={}s", f as f64 / 1e6),
+        None => println!("frontier:   empty store"),
+    }
+    0
 }
 
 /// Print the aggregator's semantic ledger: per-upstream record, window,

@@ -28,7 +28,8 @@ use crate::topk::TopKTracker;
 use crate::tsv;
 use psl::Psl;
 use simnet::Transaction;
-use sketchwire::{GlobalWindow, StateError, WindowState};
+use sketchwire::{merge_chunks, GlobalWindow, StateError, TopKState, WindowState};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use telemetry::trace::{TraceEvent, TraceKind, TraceRing};
@@ -48,6 +49,11 @@ pub struct StateExporter {
     prev_stats: Vec<(u64, u64, u64)>,
     window_start: Option<f64>,
     ingested: u64,
+    /// Summaries at or before this aligned window start are already in
+    /// the durable store and are skipped on a resumed run.
+    resume_before: f64,
+    /// Summaries skipped by the resume frontier.
+    resumed_skipped: u64,
     trace: TraceRing,
     now_us: u64,
 }
@@ -77,9 +83,61 @@ impl StateExporter {
             prev_stats,
             window_start: None,
             ingested: 0,
+            resume_before: f64::NEG_INFINITY,
+            resumed_skipped: 0,
             trace: TraceRing::disabled(),
             now_us: 0,
         }
+    }
+
+    /// Rebuild an exporter from the newest durable window of a store —
+    /// the crash-recovery path of `collect --store`.
+    ///
+    /// `states` are that window's records (every dataset, chunked or
+    /// not) and `last_window_start` its aligned start. Each tracker is
+    /// restored from its serialized state (see [`TopKTracker::restore`]
+    /// for why the rebuilt tracker equals the post-export one), and the
+    /// resume frontier is set so replayed summaries belonging to the
+    /// durable window — or anything earlier — are skipped, not
+    /// double-counted. The per-tracker `kept`/`dropped`/`filtered`
+    /// counters and `prev_stats` both restart at zero, so the *deltas*
+    /// exported per window are unaffected by the restart.
+    pub fn resume(
+        cfg: ObservatoryConfig,
+        upstream: u64,
+        chunk_entries: usize,
+        last_window_start: f64,
+        states: &[WindowState],
+    ) -> Result<StateExporter, StateError> {
+        let mut exporter = StateExporter::new(cfg, upstream, chunk_entries);
+        let mut by_dataset: BTreeMap<String, Vec<TopKState>> = BTreeMap::new();
+        for ws in states {
+            by_dataset
+                .entry(ws.topk.dataset.clone())
+                .or_default()
+                .push(ws.topk.clone());
+        }
+        for (i, tracker) in exporter.trackers.iter_mut().enumerate() {
+            let (ds, k) = exporter.cfg.datasets[i];
+            let parts = by_dataset
+                .remove(ds.name())
+                .ok_or(StateError::LayoutMismatch("resume state missing a dataset"))?;
+            let whole = merge_chunks(&parts)?;
+            if whole.capacity != k as u64 {
+                return Err(StateError::LayoutMismatch(
+                    "resume capacity differs from configured k",
+                ));
+            }
+            *tracker =
+                TopKTracker::restore(&whole, exporter.cfg.feature_cfg, exporter.cfg.bloom_gate)?;
+        }
+        if !by_dataset.is_empty() {
+            return Err(StateError::LayoutMismatch(
+                "resume state has a dataset the config lacks",
+            ));
+        }
+        exporter.resume_before = last_window_start + exporter.cfg.window_secs;
+        Ok(exporter)
     }
 
     /// Attach a trace ring; each exported window records a `close` span
@@ -101,6 +159,11 @@ impl StateExporter {
         self.ingested
     }
 
+    /// Transactions skipped because they predate the resume frontier.
+    pub fn resumed_skipped(&self) -> u64 {
+        self.resumed_skipped
+    }
+
     /// Ingest one simulator transaction; completed windows are appended
     /// to `out`.
     pub fn ingest(&mut self, tx: &Transaction, out: &mut Vec<WindowState>) {
@@ -114,6 +177,13 @@ impl StateExporter {
     pub fn ingest_summary(&mut self, summary: TxSummary, out: &mut Vec<WindowState>) {
         let w = self.cfg.window_secs;
         let aligned = (summary.time / w).floor() * w;
+        // Resumed runs replay the feed from before the crash; anything
+        // already folded into the durable store is skipped (and counted),
+        // never double-aggregated.
+        if aligned < self.resume_before {
+            self.resumed_skipped += 1;
+            return;
+        }
         match self.window_start {
             None => {
                 self.window_start = Some(aligned);
@@ -182,35 +252,42 @@ impl StateExporter {
     }
 }
 
-/// Render one merged global window into the same [`WindowDump`] shape the
+/// Render one merged sketch state into the [`WindowDump`] shape the
 /// local pipeline produces — residency rule, hit filter, hits-descending
-/// order, and the merged capacity cap re-applied, so the global view is a
-/// drop-in for every downstream consumer (TSV writer, rollups, analysis).
-pub fn render_global(gw: &GlobalWindow) -> Result<Vec<WindowDump>, StateError> {
-    let mut dumps = Vec::with_capacity(gw.datasets.len());
-    for state in &gw.datasets {
-        let mut rows = Vec::new();
-        for e in &state.entries {
-            // adds[0] is `hits` in the layout contract: per-window
-            // traffic, not the cumulative Space-Saving count.
-            let hits = e.features.adds.first().copied().unwrap_or(0);
-            if e.inserted_at <= gw.start && hits > 0 {
-                rows.push((e.key.clone(), FeatureSet::from_state(&e.features)?.row()));
-            }
+/// order, and the capacity cap re-applied. Shared by the aggregator's
+/// global render and the historical store's query path (which renders
+/// windows of any compaction level through exactly this function).
+pub fn render_state(state: &TopKState, start: f64, length: f64) -> Result<WindowDump, StateError> {
+    let mut rows = Vec::new();
+    for e in &state.entries {
+        // adds[0] is `hits` in the layout contract: per-window
+        // traffic, not the cumulative Space-Saving count.
+        let hits = e.features.adds.first().copied().unwrap_or(0);
+        if e.inserted_at <= start && hits > 0 {
+            rows.push((e.key.clone(), FeatureSet::from_state(&e.features)?.row()));
         }
-        rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
-        rows.truncate(state.capacity as usize);
-        dumps.push(WindowDump {
-            dataset: state.dataset.clone(),
-            start: gw.start,
-            length: gw.length,
-            rows,
-            kept: state.kept,
-            dropped: state.dropped,
-            filtered: state.filtered,
-        });
     }
-    Ok(dumps)
+    rows.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then_with(|| a.0.cmp(&b.0)));
+    rows.truncate(state.capacity as usize);
+    Ok(WindowDump {
+        dataset: state.dataset.clone(),
+        start,
+        length,
+        rows,
+        kept: state.kept,
+        dropped: state.dropped,
+        filtered: state.filtered,
+    })
+}
+
+/// Render one merged global window into per-dataset [`WindowDump`]s —
+/// a drop-in for every downstream consumer (TSV writer, rollups,
+/// analysis).
+pub fn render_global(gw: &GlobalWindow) -> Result<Vec<WindowDump>, StateError> {
+    gw.datasets
+        .iter()
+        .map(|state| render_state(state, gw.start, gw.length))
+        .collect()
 }
 
 /// Write one global window to `dir` using the same file naming as the

@@ -50,6 +50,33 @@ impl Dataset {
         }
     }
 
+    /// Inverse of [`Dataset::name`]; `None` for unknown names. Used by
+    /// the historical store's restore path, where dataset identity
+    /// arrives as the serialized name string.
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Some(match name {
+            "srvip" => Dataset::SrvIp,
+            "etld" => Dataset::Etld,
+            "esld" => Dataset::Esld,
+            "qname" => Dataset::Qname,
+            "qtype" => Dataset::Qtype,
+            "rcode" => Dataset::Rcode,
+            "aafqdn" => Dataset::AaFqdn,
+            "srcsrv" => Dataset::SrcSrv,
+            _ => return None,
+        })
+    }
+
+    /// How this dataset's canonical key bytes render to presentation
+    /// form (uniform within a dataset).
+    fn key_kind(self) -> KeyKind {
+        match self {
+            Dataset::SrvIp => KeyKind::Ip,
+            Dataset::SrcSrv => KeyKind::IpPair,
+            _ => KeyKind::Text,
+        }
+    }
+
     /// The k used in the paper for this aggregation.
     pub fn paper_k(self) -> usize {
         match self {
@@ -201,6 +228,42 @@ impl Key {
     /// show) — identical to what [`Dataset::key`] returns.
     pub fn render(&self) -> String {
         render_bytes(self.kind, self.as_bytes())
+    }
+
+    /// Rebuild a key from its rendered presentation form — the inverse
+    /// of [`Key::render`] for `dataset`'s key kind. This is the
+    /// historical store's restore path: serialized tracker state carries
+    /// rendered keys, and a tracker rebuilt from it must produce byte-
+    /// identical canonical encodings. `None` when the text is not a
+    /// valid rendering (e.g. a non-address string for an IP dataset).
+    pub fn from_render(dataset: Dataset, text: &str) -> Option<Key> {
+        let kind = dataset.key_kind();
+        let mut bytes = Vec::new();
+        match kind {
+            KeyKind::Text => bytes.extend_from_slice(text.as_bytes()),
+            KeyKind::Ip => push_ip(&mut bytes, text.parse::<IpAddr>().ok()?),
+            KeyKind::IpPair => {
+                let (first, second) = text.split_once('|')?;
+                let first = first.parse::<IpAddr>().ok()?;
+                let second = second.parse::<IpAddr>().ok()?;
+                let flags = (matches!(first, IpAddr::V6(_)) as u8)
+                    | ((matches!(second, IpAddr::V6(_)) as u8) << 1);
+                bytes.push(flags);
+                push_ip(&mut bytes, first);
+                push_ip(&mut bytes, second);
+            }
+        }
+        let repr = if bytes.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..bytes.len()].copy_from_slice(&bytes);
+            Repr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            }
+        } else {
+            Repr::Heap(bytes.into())
+        };
+        Some(Key { kind, repr })
     }
 }
 
@@ -415,6 +478,50 @@ mod tests {
             sums.iter().filter_map(|s| Dataset::Qtype.key(s)).collect();
         assert!(keys.contains("A"));
         assert!(keys.iter().all(|k| !k.is_empty()));
+    }
+
+    #[test]
+    fn from_render_inverts_render() {
+        let sums = sample();
+        for ds in [
+            Dataset::SrvIp,
+            Dataset::Etld,
+            Dataset::Esld,
+            Dataset::Qname,
+            Dataset::Qtype,
+            Dataset::Rcode,
+            Dataset::AaFqdn,
+            Dataset::SrcSrv,
+        ] {
+            for s in &sums {
+                let mut buf = KeyBuf::new();
+                if ds.key_into(s, &mut buf) {
+                    let key = buf.to_key();
+                    let back = Key::from_render(ds, &key.render()).expect("parseable rendering");
+                    assert_eq!(back.as_bytes(), key.as_bytes(), "{}", ds.name());
+                    assert_eq!(back.render(), key.render());
+                }
+            }
+        }
+        assert!(Key::from_render(Dataset::SrvIp, "not-an-ip").is_none());
+        assert!(Key::from_render(Dataset::SrcSrv, "1.2.3.4").is_none());
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for ds in [
+            Dataset::SrvIp,
+            Dataset::Etld,
+            Dataset::Esld,
+            Dataset::Qname,
+            Dataset::Qtype,
+            Dataset::Rcode,
+            Dataset::AaFqdn,
+            Dataset::SrcSrv,
+        ] {
+            assert_eq!(Dataset::from_name(ds.name()), Some(ds));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
     }
 
     #[test]

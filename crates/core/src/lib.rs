@@ -48,12 +48,13 @@ pub mod metrics;
 pub mod pipeline;
 pub mod status;
 pub mod summarize;
+pub mod synth;
 pub mod timeseries;
 pub mod topk;
 pub mod tsv;
 
 pub use features::{FeatureConfig, FeatureRow, FeatureSet};
-pub use federate::{render_global, write_global, StateExporter};
+pub use federate::{render_global, render_state, write_global, StateExporter};
 pub use keys::{Dataset, Key, KeyBuf};
 pub use metrics::{MetaReporter, SequencerMetrics, ShardMetrics, TrackerMetrics};
 pub use pipeline::{Observatory, ObservatoryConfig, StallHook, ThreadedPipeline};

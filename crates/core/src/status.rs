@@ -230,6 +230,39 @@ pub fn render_status(samples: &Samples) -> String {
         }
     }
 
+    if let Some(appends) = sum(samples, "store_appends_total") {
+        out.push_str("store\n");
+        let segments = sum(samples, "store_segments_written_total").unwrap_or(0.0);
+        let records = sum(samples, "store_records_written_total").unwrap_or(0.0);
+        push_line(
+            &mut out,
+            "appends / segments / records",
+            format!(
+                "{} / {} / {}",
+                fmt_count(appends),
+                fmt_count(segments),
+                fmt_count(records)
+            ),
+        );
+        if let Some(compactions) = sum(samples, "store_compactions_total") {
+            let inputs = sum(samples, "store_compaction_input_segments_total").unwrap_or(0.0);
+            push_line(
+                &mut out,
+                "compactions / inputs rolled",
+                format!("{} / {}", fmt_count(compactions), fmt_count(inputs)),
+            );
+        }
+        let tmp = sum(samples, "store_recovery_tmp_removed_total").unwrap_or(0.0);
+        let orphans = sum(samples, "store_recovery_orphans_removed_total").unwrap_or(0.0);
+        if tmp + orphans > 0.0 {
+            push_line(
+                &mut out,
+                "recovery swept tmp/orphans",
+                format!("{} / {}", fmt_count(tmp), fmt_count(orphans)),
+            );
+        }
+    }
+
     if let Some(tx) = sum(samples, "simnet_transactions_total") {
         out.push_str("simnet\n");
         push_line(&mut out, "transactions", fmt_count(tx));
@@ -349,6 +382,33 @@ mod tests {
         assert!(text.contains("records 60 windows 6 gaps 1"));
         assert!(text.contains("upstream 9"));
         assert!(text.contains("records 60 windows 7 gaps 0"));
+    }
+
+    #[test]
+    fn store_section_renders_compaction_and_recovery_ledger() {
+        let s = samples(&[
+            ("store_appends_total", 12.0),
+            ("store_segments_written_total", 14.0),
+            ("store_records_written_total", 96.0),
+            ("store_compactions_total", 3.0),
+            ("store_compaction_input_segments_total", 9.0),
+            ("store_recovery_tmp_removed_total", 1.0),
+            ("store_recovery_orphans_removed_total", 2.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("store\n"));
+        assert!(text.contains("12 / 14 / 96"));
+        assert!(text.contains("3 / 9"));
+        assert!(text.contains("recovery swept tmp/orphans"));
+        assert!(text.contains("1 / 2"));
+    }
+
+    #[test]
+    fn store_recovery_line_is_hidden_when_clean() {
+        let s = samples(&[("store_appends_total", 2.0)]);
+        let text = render_status(&s);
+        assert!(text.contains("store\n"));
+        assert!(!text.contains("recovery swept"));
     }
 
     #[test]

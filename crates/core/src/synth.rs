@@ -1,0 +1,355 @@
+//! Deterministic synthetic window-state history.
+//!
+//! The store's query path, benches, and recovery tests all need *months*
+//! of sealed windows without paying for months of simulated packets.
+//! This module fabricates [`sketchwire::WindowState`] records directly —
+//! bit-for-bit reproducible from a seed — with the same invariants real
+//! tracker exports carry: cumulative Space-Saving counts, per-window
+//! feature deltas in `adds`, `error_bound = observed / capacity`, and
+//! single-chunk records.
+//!
+//! The generated population also embeds *renumbering episodes*: at a
+//! seeded cadence one key flips its dominant A-record TTL and its
+//! dominant A-data hash in the same window, which is exactly the
+//! signature [`crate::analysis::ttl::detect_changes`] classifies as
+//! [`crate::analysis::ttl::ChangeCategory::Renumbering`]. The ground
+//! truth schedule is available via [`renumber_truth`] so tests can
+//! assert the query layer finds every planted event and nothing else.
+
+use crate::features::{FeatureConfig, FeatureSet};
+use sketchwire::{FeatureState, TopKEntry, TopKState, WindowState};
+
+/// Parameters of a synthetic history. All generation is a pure function
+/// of this struct, so two streams with equal configs yield byte-equal
+/// windows.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Seed for the per-epoch data hashes.
+    pub seed: u64,
+    /// Start of the first window, seconds (must be finite and ≥ 0).
+    pub start: f64,
+    /// Window length, seconds (the paper's native grain is 600).
+    pub window_secs: f64,
+    /// Number of windows to generate.
+    pub windows: usize,
+    /// Objects per dataset (all objects appear in every window).
+    pub keys: usize,
+    /// Dataset names to emit per window (e.g. `"aafqdn"`, `"srvip"`).
+    pub datasets: Vec<String>,
+    /// Claimed tracker capacity (must be ≥ `keys`).
+    pub capacity: u64,
+    /// Every `renumber_every`-th window, one key (round-robin) changes
+    /// its dominant TTL and A data. `0` disables renumbering.
+    pub renumber_every: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            seed: 1,
+            start: 0.0,
+            window_secs: 600.0,
+            windows: 144,
+            keys: 8,
+            datasets: vec!["aafqdn".to_string()],
+            capacity: 64,
+            renumber_every: 0,
+        }
+    }
+}
+
+/// One planted renumbering event: the ground truth the query layer is
+/// expected to recover from sketch state alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenumberEvent {
+    /// Index of the window where the new TTL/data first appear.
+    pub window_index: usize,
+    /// Start of that window, seconds.
+    pub window_start: f64,
+    /// Index of the renumbered key.
+    pub key_index: usize,
+    /// Rendered key (text form, as in the `aafqdn` dataset).
+    pub key: String,
+    /// Dominant A TTL before the event.
+    pub ttl_before: u64,
+    /// Dominant A TTL from the event on.
+    pub ttl_after: u64,
+}
+
+/// SplitMix64 — the repo's standard seedable mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Rendered key for object `i` of `dataset`, shaped to the dataset's
+/// key kind so the strings parse back through `Key::from_render`.
+pub fn key_name(dataset: &str, i: usize) -> String {
+    match dataset {
+        "srvip" => format!("198.51.{}.{}", i / 250, 1 + i % 250),
+        "srcsrv" => format!("203.0.113.{}|198.51.100.{}", 1 + i % 250, 1 + i % 250),
+        _ => format!("host{i}.example."),
+    }
+}
+
+/// Per-key constant hits per window: distinct enough to give a stable
+/// top-k order, constant so cumulative counts have a closed form.
+fn hits_for(key: usize) -> u64 {
+    40 + 10 * (key as u64 % 5) + key as u64
+}
+
+/// Dominant A TTL of `key` during `epoch`. Consecutive epochs always
+/// differ (the step is 3 mod 7, coprime with 7).
+fn ttl_for(key: usize, epoch: u32) -> u64 {
+    60 * (1 + ((key as u64 + 3 * epoch as u64) % 7))
+}
+
+/// Dominant A-data hash of `key` during `epoch`.
+fn adata_for(seed: u64, key: usize, epoch: u32) -> u64 {
+    splitmix(seed ^ ((key as u64) << 32) ^ epoch as u64) | 1
+}
+
+/// A lazy generator of consecutive synthetic windows. Calling
+/// [`SynthStream::next_window`] `n` times is equivalent to any other
+/// batching of the same `n` windows.
+#[derive(Debug)]
+pub struct SynthStream {
+    cfg: SynthConfig,
+    template: FeatureState,
+    widx: usize,
+    counts: Vec<u64>,
+    epochs: Vec<u32>,
+}
+
+impl SynthStream {
+    /// Build a stream positioned before the first window.
+    ///
+    /// # Panics
+    /// If the config is degenerate (no keys/datasets, zero capacity,
+    /// capacity < keys, or a non-finite/negative start).
+    pub fn new(cfg: SynthConfig) -> SynthStream {
+        assert!(
+            cfg.keys > 0 && !cfg.datasets.is_empty(),
+            "empty synth population"
+        );
+        assert!(cfg.capacity >= cfg.keys as u64, "capacity below key count");
+        assert!(cfg.start.is_finite() && cfg.start >= 0.0, "bad synth start");
+        assert!(cfg.window_secs > 0.0, "bad synth window length");
+        let template = FeatureSet::new(FeatureConfig {
+            hll_precision: 4,
+            ttl_slots: 4,
+        })
+        .to_state();
+        let counts = vec![0; cfg.keys];
+        let epochs = vec![0; cfg.keys];
+        SynthStream {
+            cfg,
+            template,
+            widx: 0,
+            counts,
+            epochs,
+        }
+    }
+
+    /// Index of the next window to be generated.
+    pub fn window_index(&self) -> usize {
+        self.widx
+    }
+
+    /// The feature layout every generated entry uses.
+    fn features(&self, key: usize, hits: u64) -> FeatureState {
+        let mut f = self.template.clone();
+        // Positional contract (see features.rs): adds[0]=hits,
+        // adds[2]=ok, adds[16]=answered; tops: 0=ttl 1=ttl_a 2=nsttl
+        // 3=negttl 4=a_data 5=ns_names.
+        f.adds[0] = hits;
+        f.adds[2] = hits;
+        f.adds[16] = hits;
+        let epoch = self.epochs[key];
+        let ttl = ttl_for(key, epoch);
+        let adata = adata_for(self.cfg.seed, key, epoch);
+        let ns = splitmix(self.cfg.seed ^ 0x4e53) | 1;
+        for (idx, value) in [(0, ttl), (1, ttl), (4, adata), (5, ns)] {
+            f.tops[idx].observed = hits;
+            f.tops[idx].slots = vec![(value, hits)];
+        }
+        f
+    }
+
+    /// Generate the next window, or `None` once `cfg.windows` have been
+    /// produced.
+    pub fn next_window(&mut self) -> Option<Vec<WindowState>> {
+        if self.widx >= self.cfg.windows {
+            return None;
+        }
+        let w = self.widx;
+        self.widx += 1;
+        if self.cfg.renumber_every > 0 && w > 0 && w.is_multiple_of(self.cfg.renumber_every) {
+            let event = w / self.cfg.renumber_every;
+            self.epochs[(event - 1) % self.cfg.keys] += 1;
+        }
+        let mut window_hits = 0;
+        for (k, count) in self.counts.iter_mut().enumerate() {
+            let h = hits_for(k);
+            *count += h;
+            window_hits += h;
+        }
+        let observed: u64 = self.counts.iter().sum();
+        let start = self.cfg.start + w as f64 * self.cfg.window_secs;
+        let out = self
+            .cfg
+            .datasets
+            .iter()
+            .map(|dataset| {
+                let mut entries: Vec<TopKEntry> = (0..self.cfg.keys)
+                    .map(|k| TopKEntry {
+                        key: key_name(dataset, k),
+                        count: self.counts[k],
+                        error: 0,
+                        inserted_at: 0.0,
+                        features: self.features(k, hits_for(k)),
+                    })
+                    .collect();
+                // Real exports come count-descending; ties break on key.
+                entries.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+                WindowState {
+                    upstream: 1,
+                    start,
+                    length: self.cfg.window_secs,
+                    topk: TopKState {
+                        dataset: dataset.clone(),
+                        capacity: self.cfg.capacity,
+                        observed,
+                        min_count: 0,
+                        error_bound: observed / self.cfg.capacity,
+                        evictions: 0,
+                        kept: window_hits,
+                        dropped: 0,
+                        filtered: 0,
+                        chunk: 0,
+                        chunks: 1,
+                        entries,
+                    },
+                }
+            })
+            .collect();
+        Some(out)
+    }
+}
+
+/// Replay the renumbering schedule of `cfg` without materializing any
+/// window state. Keys are rendered in text (`aafqdn`) form.
+pub fn renumber_truth(cfg: &SynthConfig) -> Vec<RenumberEvent> {
+    let mut out = Vec::new();
+    if cfg.renumber_every == 0 || cfg.keys == 0 {
+        return out;
+    }
+    let mut epochs = vec![0u32; cfg.keys];
+    let mut w = cfg.renumber_every;
+    while w < cfg.windows {
+        let event = w / cfg.renumber_every;
+        let key_index = (event - 1) % cfg.keys;
+        let before = ttl_for(key_index, epochs[key_index]);
+        epochs[key_index] += 1;
+        out.push(RenumberEvent {
+            window_index: w,
+            window_start: cfg.start + w as f64 * cfg.window_secs,
+            key_index,
+            key: key_name("aafqdn", key_index),
+            ttl_before: before,
+            ttl_after: ttl_for(key_index, epochs[key_index]),
+        });
+        w += cfg.renumber_every;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ttl::{detect_changes, ChangeCategory};
+    use crate::federate::render_state;
+    use crate::timeseries::WindowDump;
+
+    fn cfg() -> SynthConfig {
+        SynthConfig {
+            windows: 24,
+            keys: 4,
+            renumber_every: 6,
+            ..SynthConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_and_reencodable() {
+        let mut a = SynthStream::new(cfg());
+        let mut b = SynthStream::new(cfg());
+        let mut seen = 0;
+        while let Some(wa) = a.next_window() {
+            let wb = b.next_window().expect("streams agree on length");
+            assert_eq!(wa, wb);
+            seen += 1;
+            // Every generated record must survive the wire codec.
+            let mut buf = Vec::new();
+            for ws in &wa {
+                sketchwire::write_record(ws, &mut buf);
+            }
+            let back: Vec<WindowState> = sketchwire::read_all(&buf).expect("codec roundtrip");
+            assert_eq!(back, wa);
+        }
+        assert_eq!(seen, 24);
+        assert!(b.next_window().is_none());
+    }
+
+    #[test]
+    fn planted_renumberings_are_detected() {
+        let cfg = cfg();
+        let truth = renumber_truth(&cfg);
+        assert!(!truth.is_empty(), "schedule plants at least one event");
+        let mut stream = SynthStream::new(cfg);
+        let mut dumps: Vec<WindowDump> = Vec::new();
+        while let Some(states) = stream.next_window() {
+            for ws in &states {
+                dumps.push(render_state(&ws.topk, ws.start, ws.length).expect("renderable"));
+            }
+        }
+        let refs: Vec<&WindowDump> = dumps.iter().collect();
+        let changes = detect_changes(&refs);
+        for event in &truth {
+            let hit = changes
+                .iter()
+                .find(|c| c.key == event.key)
+                .unwrap_or_else(|| panic!("planted event for {} not detected", event.key));
+            assert_eq!(hit.category, ChangeCategory::Renumbering);
+        }
+        // No phantom detections on keys that never renumbered.
+        for c in &changes {
+            assert!(
+                truth.iter().any(|e| e.key == c.key),
+                "phantom change on {}",
+                c.key
+            );
+        }
+    }
+
+    #[test]
+    fn truth_matches_stream_epochs() {
+        let cfg = SynthConfig {
+            windows: 40,
+            keys: 3,
+            renumber_every: 7,
+            ..SynthConfig::default()
+        };
+        let truth = renumber_truth(&cfg);
+        assert_eq!(truth.len(), (cfg.windows - 1) / cfg.renumber_every);
+        for e in &truth {
+            assert_ne!(e.ttl_before, e.ttl_after, "epochs must move the TTL");
+            assert_eq!(
+                e.window_start,
+                cfg.start + e.window_index as f64 * cfg.window_secs
+            );
+        }
+    }
+}

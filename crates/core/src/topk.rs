@@ -54,6 +54,56 @@ impl TopKTracker {
         self.dataset
     }
 
+    /// Rebuild a tracker from serialized state captured at a window
+    /// boundary — the historical store's crash-recovery path.
+    ///
+    /// [`TopKTracker::export_state`] resets every feature set as it
+    /// exports, so the tracker this rebuilds — historical counts, error
+    /// terms, and insertion times under *fresh* feature state — is
+    /// exactly the post-export tracker: feeding both the same subsequent
+    /// traffic yields the same exports while the cache is unsaturated.
+    /// `kept`/`dropped`/`filtered` restart at zero; the exporter computes
+    /// per-window deltas against its own boundary snapshot, so absolute
+    /// restart does not skew any window's statistics.
+    ///
+    /// `state` must be whole (`chunks == 1`; reassemble with
+    /// `merge_chunks` first) and must name a known dataset with
+    /// renderable keys — anything else is a typed error.
+    pub fn restore(
+        state: &sketchwire::TopKState,
+        feature_cfg: FeatureConfig,
+        bloom_gate: bool,
+    ) -> Result<TopKTracker, sketchwire::StateError> {
+        use sketchwire::StateError;
+        if state.chunks != 1 {
+            return Err(StateError::ChunkMismatch("restore from unassembled chunk"));
+        }
+        let dataset = Dataset::from_name(&state.dataset)
+            .ok_or(StateError::LayoutMismatch("unknown dataset name"))?;
+        if state.capacity == 0 || state.capacity > usize::MAX as u64 {
+            return Err(StateError::LayoutMismatch("restore capacity out of range"));
+        }
+        let mut tracker =
+            TopKTracker::new(dataset, state.capacity as usize, feature_cfg, bloom_gate);
+        for e in &state.entries {
+            let key = Key::from_render(dataset, &e.key)
+                .ok_or(StateError::LayoutMismatch("unrenderable key"))?;
+            if !tracker.ss.restore_entry(
+                key,
+                e.count,
+                e.error,
+                e.inserted_at,
+                FeatureSet::new(feature_cfg),
+            ) {
+                return Err(StateError::LayoutMismatch(
+                    "duplicate or over-capacity restore entry",
+                ));
+            }
+        }
+        tracker.ss.restore_totals(state.observed, state.evictions);
+        Ok(tracker)
+    }
+
     /// Feed one summary. Steady state (object already monitored) performs
     /// no allocation: the key is encoded into the reusable scratch buffer
     /// and looked up by borrowed bytes.
@@ -288,6 +338,68 @@ mod tests {
             gated_hits as f64 >= 0.9 * raw_hits as f64,
             "gated {gated_hits} far below raw {raw_hits}"
         );
+    }
+
+    #[test]
+    fn restore_resumes_export_stream() {
+        let psl = Psl::embedded();
+        let mut summaries = Vec::new();
+        let mut sim = Simulation::from_config(SimConfig::small());
+        sim.run(2.0, &mut |tx| {
+            summaries.push(TxSummary::from_transaction(tx, &psl));
+        });
+        let mid = summaries.len() / 2;
+
+        // Live tracker sees everything, exporting (and resetting
+        // features) at the midpoint boundary.
+        // Capacity above the sample's distinct-key count: the resume
+        // guarantee is stated for unsaturated caches (eviction victims
+        // among tied minima are representation-dependent).
+        let cfg = FeatureConfig::default();
+        let mut live = TopKTracker::new(Dataset::SrvIp, 20_000, cfg, false);
+        for s in &summaries[..mid] {
+            live.observe(s);
+        }
+        let boundary = live.export_state(0, 0, 0);
+        assert_eq!(boundary.evictions, 0, "test premise: unsaturated cache");
+        let mut restored = TopKTracker::restore(&boundary, cfg, false).expect("restore");
+        assert_eq!(restored.len(), live.len());
+        assert_eq!(restored.min_count(), live.min_count());
+        assert_eq!(restored.error_bound(), live.error_bound());
+
+        for s in &summaries[mid..] {
+            live.observe(s);
+            restored.observe(s);
+        }
+        // Unsaturated caches: the next exports must agree entry-for-entry
+        // (canonical key order; tie order within equal counts is the only
+        // representation freedom).
+        let canon = |mut st: sketchwire::TopKState| {
+            st.entries.sort_by(|a, b| a.key.cmp(&b.key));
+            st
+        };
+        let a = canon(live.export_state(0, 0, 0));
+        let b = canon(restored.export_state(0, 0, 0));
+        assert_eq!(a, b, "restored tracker must resume the export stream");
+    }
+
+    #[test]
+    fn restore_rejects_malformed_state() {
+        let mut t = TopKTracker::new(Dataset::SrvIp, 16, FeatureConfig::default(), false);
+        feed(&mut t, 0.5);
+        let good = t.export_state(0, 0, 0);
+        let cfg = FeatureConfig::default();
+        let mut unknown = good.clone();
+        unknown.dataset = "mystery".into();
+        assert!(TopKTracker::restore(&unknown, cfg, false).is_err());
+        let mut chunked = good.clone();
+        chunked.chunks = 2;
+        assert!(TopKTracker::restore(&chunked, cfg, false).is_err());
+        let mut badkey = good.clone();
+        if let Some(e) = badkey.entries.first_mut() {
+            e.key = "not an ip".into();
+            assert!(TopKTracker::restore(&badkey, cfg, false).is_err());
+        }
     }
 
     #[test]

@@ -201,6 +201,64 @@ impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
         &mut self.entries[idx].value
     }
 
+    /// Re-insert a monitored entry captured by a previous state export,
+    /// preserving its historical count, error term, and insertion time.
+    ///
+    /// This is the crash-recovery path of the historical store: a tracker
+    /// serialized at a window boundary is rebuilt entry by entry, after
+    /// which [`SpaceSaving::restore_totals`] re-establishes the cumulative
+    /// `observed`/`evictions` totals. The bucket list is rebuilt by an
+    /// ordered walk from the minimum, so entries may arrive in any count
+    /// order. Returns `false` (and changes nothing) when the cache is
+    /// already full or the key is already monitored.
+    pub fn restore_entry(
+        &mut self,
+        key: K,
+        count: u64,
+        error: u64,
+        inserted_at: f64,
+        value: V,
+    ) -> bool {
+        if self.entries.len() >= self.capacity || self.index.contains_key(&key) {
+            return false;
+        }
+        let idx = self.entries.len();
+        self.entries.push(Entry {
+            key: key.clone(),
+            count,
+            error,
+            value,
+            rate: 0.0,
+            rate_updated: inserted_at,
+            inserted_at,
+            bucket: NIL,
+            prev: NIL,
+            next: NIL,
+        });
+        // Walk the ordered bucket list upward to the slot for `count`.
+        let mut lower = NIL;
+        let mut cur = self.min_bucket;
+        while cur != NIL && self.buckets[cur].count < count {
+            lower = cur;
+            cur = self.buckets[cur].higher;
+        }
+        let target = if cur != NIL && self.buckets[cur].count == count {
+            cur
+        } else {
+            self.alloc_bucket(count, lower, cur)
+        };
+        self.push_into_bucket(idx, target);
+        self.index.insert(key, idx);
+        true
+    }
+
+    /// Restore the cumulative observation totals exported alongside the
+    /// entries re-inserted via [`SpaceSaving::restore_entry`].
+    pub fn restore_totals(&mut self, observed: u64, evictions: u64) {
+        self.observed = observed;
+        self.evictions = evictions;
+    }
+
     /// Estimated count for `key` if it is currently monitored. Accepts any
     /// borrowed form of the key (e.g. `&[u8]` for byte-backed keys).
     pub fn count<Q>(&self, key: &Q) -> Option<u64>
@@ -566,6 +624,61 @@ mod tests {
         seen.sort();
         assert_eq!(seen, vec!["a", "b", "c"]);
         assert!(ss.iter_desc().iter().all(|e| *e.value == 99));
+    }
+
+    #[test]
+    fn restore_rebuilds_exported_state() {
+        let mut ss = Ss::new(3, 60.0);
+        for (k, n) in [("a", 5u32), ("b", 3), ("c", 1)] {
+            for _ in 0..n {
+                observe(&mut ss, k, 1.0);
+            }
+        }
+        let snapshot: Vec<(String, u64, u64, f64)> = ss
+            .iter_desc()
+            .iter()
+            .map(|e| (e.key.clone(), e.count, e.error, e.inserted_at))
+            .collect();
+        // Restore in ascending count order to exercise the bucket walk.
+        let mut back = Ss::new(3, 60.0);
+        for (k, c, err, at) in snapshot.iter().rev() {
+            assert!(back.restore_entry(k.clone(), *c, *err, *at, 0u32));
+        }
+        back.restore_totals(ss.observed(), ss.evictions());
+        assert_eq!(back.observed(), ss.observed());
+        assert_eq!(back.evictions(), ss.evictions());
+        assert_eq!(back.min_count(), ss.min_count());
+        assert_eq!(back.error_bound(), ss.error_bound());
+        // Further identical traffic keeps the two trackers in lockstep.
+        for t in [&mut ss, &mut back] {
+            observe(t, "b", 2.0);
+            observe(t, "b", 2.0);
+            observe(t, "c", 2.0);
+        }
+        // Tie order among equal counts is insertion-dependent, so compare
+        // the canonical (count desc, key) shape — exactly what renderers
+        // sort to before emitting.
+        let shape = |s: &Ss| -> Vec<(String, u64, u64)> {
+            let mut v: Vec<(String, u64, u64)> = s
+                .iter_desc()
+                .iter()
+                .map(|e| (e.key.clone(), e.count, e.error))
+                .collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            v
+        };
+        assert_eq!(shape(&ss), shape(&back));
+    }
+
+    #[test]
+    fn restore_rejects_full_and_duplicate() {
+        let mut ss = Ss::new(2, 60.0);
+        assert!(ss.restore_entry("a".into(), 4, 0, 0.0, 0));
+        assert!(!ss.restore_entry("a".into(), 4, 0, 0.0, 0), "duplicate");
+        assert!(ss.restore_entry("b".into(), 2, 1, 0.0, 0));
+        assert!(!ss.restore_entry("c".into(), 1, 0, 0.0, 0), "full");
+        assert_eq!(ss.len(), 2);
+        assert_eq!(ss.min_count(), 2);
     }
 
     #[test]

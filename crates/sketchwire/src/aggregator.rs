@@ -228,6 +228,27 @@ impl AggregatorCore {
         self.now_us = now_us;
     }
 
+    /// Resume the sealing frontier from a durable store: every record for
+    /// a window at or before `window_us` is treated as late (ledgered and
+    /// dropped), exactly as if this core had sealed those windows itself.
+    ///
+    /// This is the crash-recovery contract of `aggregate --store`: on
+    /// restart the aggregator replays upstream retransmissions without
+    /// double-merging windows that already reached disk. The frontier
+    /// only moves forward; a resume behind the current frontier is a
+    /// no-op.
+    pub fn resume_sealed_through(&mut self, window_us: u64) {
+        if self.sealed_through_us.is_none_or(|s| s < window_us) {
+            self.sealed_through_us = Some(window_us);
+        }
+    }
+
+    /// The sealing frontier: the window-start (µs) through which windows
+    /// have been sealed, if any. Mirrors what a `--store` run persists.
+    pub fn sealed_through_us(&self) -> Option<u64> {
+        self.sealed_through_us
+    }
+
     fn ledger(&mut self, upstream: u64) -> &mut UpstreamLedger {
         self.upstreams
             .entry(upstream)

@@ -336,4 +336,53 @@ proptest! {
         want.entries.sort_by(|a, b| a.key.cmp(&b.key));
         prop_assert_eq!(back, want);
     }
+
+    // --- compaction hierarchy ------------------------------------------
+
+    #[test]
+    fn hierarchical_fold_matches_oneshot(
+        states in prop::collection::vec(arb_topk(), 2..=12),
+        cuts_hourly in prop::collection::vec(any::<bool>(), 11),
+        cuts_daily in prop::collection::vec(any::<bool>(), 11),
+    ) {
+        // The store's compactor rolls 10-min windows into hours, hours
+        // into days, days into months — i.e. it re-associates the same
+        // linear fold. Whatever consecutive partition each level picks,
+        // the final state must be byte-identical to the one-shot fold.
+        let fold = |group: &[TopKState]| -> TopKState {
+            let mut acc = group[0].clone();
+            for part in &group[1..] {
+                acc = merge_topk(&acc, part).expect("fixed layout merges");
+            }
+            acc
+        };
+        // Split `items` into consecutive runs, cutting after position i
+        // when cuts[i] is set.
+        let split = |items: &[TopKState], cuts: &[bool]| -> Vec<Vec<TopKState>> {
+            let mut groups = vec![Vec::new()];
+            for (i, item) in items.iter().enumerate() {
+                groups.last_mut().expect("non-empty").push(item.clone());
+                if i + 1 < items.len() && cuts.get(i).copied().unwrap_or(false) {
+                    groups.push(Vec::new());
+                }
+            }
+            groups
+        };
+        let oneshot = fold(&states);
+        let hourly: Vec<TopKState> =
+            split(&states, &cuts_hourly).iter().map(|g| fold(g)).collect();
+        let daily: Vec<TopKState> =
+            split(&hourly, &cuts_daily).iter().map(|g| fold(g)).collect();
+        let rolled = fold(&daily);
+        // Struct equality, then byte equality after rendering to the
+        // wire — the canonical form a segment file would store.
+        prop_assert_eq!(&rolled, &oneshot);
+        let wrap = |topk: TopKState| WindowState {
+            upstream: 0,
+            start: 0.0,
+            length: 600.0,
+            topk,
+        };
+        prop_assert_eq!(encode_ws(&wrap(rolled)), encode_ws(&wrap(oneshot)));
+    }
 }

@@ -1,0 +1,125 @@
+//! Serializable per-segment key bloom.
+//!
+//! Each segment footer carries a small bloom filter over every entry key
+//! in the segment, so a history-of-object query can skip whole segments
+//! without decoding a single record. Unlike `sketches::BloomFilter`
+//! (a live, mutable gate), this one is built once at segment-write time
+//! and its raw bits travel inside the CRC-protected footer, so the
+//! layout is part of the segment format and versioned with it.
+
+/// Number of hash probes per key. Fixed: the value is baked into the
+/// segment format rather than tuned per segment.
+const PROBES: u32 = 4;
+
+/// Bits budgeted per distinct key (≈ 2.4 % false-positive rate at 4
+/// probes). Queries only use the bloom to *skip* segments, so a false
+/// positive costs one segment decode, never a wrong answer.
+const BITS_PER_KEY: usize = 10;
+
+/// A fixed-size split-free bloom filter over segment keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyBloom {
+    bits: Vec<u8>,
+}
+
+impl KeyBloom {
+    /// An empty bloom sized for `keys` distinct keys.
+    pub fn with_keys(keys: usize) -> KeyBloom {
+        let nbits = (keys.max(1) * BITS_PER_KEY).next_power_of_two().max(64);
+        KeyBloom {
+            bits: vec![0u8; nbits / 8],
+        }
+    }
+
+    /// Rebuild a bloom from serialized bits (footer decode path).
+    /// `None` when the bit vector has an invalid (non-power-of-two or
+    /// zero) length.
+    pub fn from_bits(bits: Vec<u8>) -> Option<KeyBloom> {
+        if bits.is_empty() || !(bits.len() * 8).is_power_of_two() {
+            return None;
+        }
+        Some(KeyBloom { bits })
+    }
+
+    /// The raw bit vector (footer encode path).
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Add one key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = hash_pair(key);
+        let nbits = (self.bits.len() * 8) as u64;
+        for i in 0..PROBES as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & (nbits - 1);
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+    }
+
+    /// True when `key` *may* be present; false means definitely absent.
+    pub fn maybe_contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hash_pair(key);
+        let nbits = (self.bits.len() * 8) as u64;
+        (0..PROBES as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & (nbits - 1);
+            self.bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+        })
+    }
+}
+
+/// Two independent 64-bit FNV-1a style hashes for double hashing.
+fn hash_pair(key: &[u8]) -> (u64, u64) {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &b in key {
+        h1 = (h1 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        h2 = (h2 ^ b as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        h2 = h2.rotate_left(31);
+    }
+    // An even h2 would cycle over a power-of-two range; force odd.
+    (h1, h2 | 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_found() {
+        let mut b = KeyBloom::with_keys(100);
+        for i in 0..100u32 {
+            b.insert(format!("key-{i}").as_bytes());
+        }
+        for i in 0..100u32 {
+            assert!(b.maybe_contains(format!("key-{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_small() {
+        let mut b = KeyBloom::with_keys(1_000);
+        for i in 0..1_000u32 {
+            b.insert(format!("present-{i}").as_bytes());
+        }
+        let fp = (0..10_000u32)
+            .filter(|i| b.maybe_contains(format!("absent-{i}").as_bytes()))
+            .count();
+        assert!(fp < 800, "false positives {fp}/10000");
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let mut b = KeyBloom::with_keys(10);
+        b.insert(b"x");
+        let back = KeyBloom::from_bits(b.bits().to_vec()).expect("valid bits");
+        assert_eq!(back, b);
+        assert!(back.maybe_contains(b"x"));
+    }
+
+    #[test]
+    fn from_bits_rejects_bad_lengths() {
+        assert!(KeyBloom::from_bits(vec![]).is_none());
+        assert!(KeyBloom::from_bits(vec![0u8; 3]).is_none());
+        assert!(KeyBloom::from_bits(vec![0u8; 8]).is_some());
+    }
+}

@@ -1,0 +1,240 @@
+//! The store's single mutable file: a checksummed text manifest.
+//!
+//! The manifest is the store's commit point. Every mutation — append,
+//! compaction — writes new segment files first, then replaces the
+//! manifest by write-temp + rename. A crash therefore leaves either the
+//! old manifest (new segments become ledgered orphans) or the new one
+//! (dropped inputs become ledgered orphans); the set of *referenced*
+//! windows is never half-updated. The format is human-readable on
+//! purpose — CI uploads manifests as failure artifacts — with a trailing
+//! CRC line so a torn or hand-mangled manifest is a typed error, not a
+//! confused store:
+//!
+//! ```text
+//! dnsobs-store v1 generation 42
+//! segment  <name>  <level>  <start_us>  <end_us>  <windows>  <records>
+//! ...
+//! crc  <hex8>
+//! ```
+//! (fields are tab-separated; the CRC covers every preceding byte).
+
+use crate::StoreError;
+use feed::crc32::crc32;
+use std::fmt::Write as _;
+
+/// Manifest file name inside the store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// First-line prefix (format version lives here).
+const HEADER_PREFIX: &str = "dnsobs-store v1 generation ";
+
+/// One live segment as the manifest records it. The footer holds the
+/// full index (datasets, bloom); the manifest keeps just enough to plan
+/// queries and compactions without opening any segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Segment file name (relative to the store directory).
+    pub name: String,
+    /// Compaction level (0 = raw appends, then hour/day/month).
+    pub level: u8,
+    /// Earliest window start, µs.
+    pub start_us: u64,
+    /// Latest window end, µs.
+    pub end_us: u64,
+    /// Distinct window starts covered.
+    pub windows: u32,
+    /// Serialized record count.
+    pub records: u32,
+}
+
+/// The decoded manifest: a generation counter plus the live segment set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic swap counter; also salts new segment file names so a
+    /// recovered store never reuses an orphan's name.
+    pub generation: u64,
+    /// Live segments, in manifest order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Render the manifest to its on-disk text form.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER_PREFIX}{}", self.generation);
+        for s in &self.segments {
+            let _ = writeln!(
+                out,
+                "segment\t{}\t{}\t{}\t{}\t{}\t{}",
+                s.name, s.level, s.start_us, s.end_us, s.windows, s.records
+            );
+        }
+        let crc = crc32(out.as_bytes());
+        let _ = writeln!(out, "crc\t{crc:08x}");
+        out
+    }
+
+    /// Parse and checksum an on-disk manifest. Every malformed input is
+    /// a typed [`StoreError::Manifest`]; this function never panics.
+    pub fn decode(text: &str) -> Result<Manifest, StoreError> {
+        let bad = |what: String| StoreError::Manifest { what };
+        // Split off the CRC line first: it covers all preceding bytes.
+        let body_end = text
+            .rfind("crc\t")
+            .ok_or_else(|| bad("missing crc line".into()))?;
+        let (body, crc_line) = text.split_at(body_end);
+        let crc_hex = crc_line
+            .strip_prefix("crc\t")
+            .and_then(|s| s.strip_suffix('\n'))
+            .ok_or_else(|| bad("malformed crc line".into()))?;
+        let want = u32::from_str_radix(crc_hex, 16).map_err(|_| bad("malformed crc hex".into()))?;
+        let got = crc32(body.as_bytes());
+        if want != got {
+            return Err(bad(format!(
+                "crc mismatch: stored {want:08x}, computed {got:08x}"
+            )));
+        }
+
+        let mut lines = body.lines();
+        let header = lines.next().ok_or_else(|| bad("empty manifest".into()))?;
+        let generation = header
+            .strip_prefix(HEADER_PREFIX)
+            .ok_or_else(|| bad(format!("unsupported header: {header:?}")))?
+            .parse::<u64>()
+            .map_err(|_| bad("malformed generation".into()))?;
+
+        let mut segments = Vec::new();
+        for line in lines {
+            let mut f = line.split('\t');
+            if f.next() != Some("segment") {
+                return Err(bad(format!("unknown line: {line:?}")));
+            }
+            let name = f
+                .next()
+                .ok_or_else(|| bad("segment line missing name".into()))?
+                .to_string();
+            if !valid_segment_name(&name) {
+                return Err(bad(format!("invalid segment name: {name:?}")));
+            }
+            let mut num = |what: &str| -> Result<u64, StoreError> {
+                f.next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| bad(format!("segment {name}: bad {what}")))
+            };
+            let level = num("level")?;
+            if level > u8::MAX as u64 {
+                return Err(bad(format!("segment {name}: level out of range")));
+            }
+            let start_us = num("start_us")?;
+            let end_us = num("end_us")?;
+            if end_us < start_us {
+                return Err(bad(format!("segment {name}: time range inverted")));
+            }
+            let windows = num("windows")?;
+            let records = num("records")?;
+            if windows > u32::MAX as u64 || records > u32::MAX as u64 {
+                return Err(bad(format!("segment {name}: count out of range")));
+            }
+            if f.next().is_some() {
+                return Err(bad(format!("segment {name}: trailing fields")));
+            }
+            segments.push(SegmentMeta {
+                name,
+                level: level as u8,
+                start_us,
+                end_us,
+                windows: windows as u32,
+                records: records as u32,
+            });
+        }
+        Ok(Manifest {
+            generation,
+            segments,
+        })
+    }
+}
+
+/// Segment names are store-relative single path components ending in
+/// `.seg` — anything else is either corruption or an escape attempt.
+pub fn valid_segment_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.ends_with(".seg")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+        && !name.contains("..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 7,
+            segments: vec![
+                SegmentMeta {
+                    name: "L0-0000-g1.seg".into(),
+                    level: 0,
+                    start_us: 0,
+                    end_us: 600_000_000,
+                    windows: 1,
+                    records: 2,
+                },
+                SegmentMeta {
+                    name: "L1-3600-g6.seg".into(),
+                    level: 1,
+                    start_us: 3_600_000_000,
+                    end_us: 7_200_000_000,
+                    windows: 6,
+                    records: 6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let text = m.encode();
+        assert_eq!(Manifest::decode(&text).expect("decode"), m);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let m = Manifest::default();
+        assert_eq!(Manifest::decode(&m.encode()).expect("decode"), m);
+    }
+
+    #[test]
+    fn any_byte_flip_is_a_typed_error() {
+        let text = sample().encode();
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 0x01;
+            // Flips can produce invalid UTF-8; both paths must error.
+            if let Ok(s) = std::str::from_utf8(&bad) {
+                assert!(Manifest::decode(s).is_err(), "flip at {i} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let text = sample().encode();
+        for cut in 0..text.len() {
+            if let Some(prefix) = text.get(..cut) {
+                assert!(Manifest::decode(prefix).is_err(), "cut at {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn name_validation_rejects_path_escapes() {
+        assert!(valid_segment_name("L0-123-g4.seg"));
+        assert!(!valid_segment_name("../evil.seg"));
+        assert!(!valid_segment_name("a/b.seg"));
+        assert!(!valid_segment_name("plain.txt"));
+        assert!(!valid_segment_name(""));
+    }
+}

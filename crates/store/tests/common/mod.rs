@@ -1,0 +1,120 @@
+//! Shared helpers for the store integration tests: a unique temp dir
+//! per test and a miniature deterministic window-state generator with
+//! the same invariants real tracker exports carry (cumulative counts,
+//! per-window feature deltas, single-chunk records).
+
+use sketchwire::{FeatureState, TopKEntry, TopKState, TopValuesState, WindowState};
+use std::path::PathBuf;
+
+/// A fresh, empty temp directory unique to (test, process).
+pub fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dnsobs-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn features(seed: u64, hits: u64) -> FeatureState {
+    FeatureState {
+        adds: vec![hits, seed % 3],
+        maxes: vec![seed % 5],
+        hlls: vec![],
+        source_cap: 8,
+        sources: vec![(seed % 100) as u16],
+        tops: vec![TopValuesState {
+            capacity: 4,
+            observed: hits,
+            slots: vec![(60 * (1 + seed % 4), hits)],
+        }],
+        hists: vec![],
+    }
+}
+
+/// Deterministic stream of consecutive 600-second windows. Counts are
+/// cumulative across windows (like live Space-Saving exports); the
+/// per-window delta rides in `features.adds[0]`.
+pub struct MiniSynth {
+    datasets: Vec<String>,
+    keys: usize,
+    counts: Vec<u64>,
+    w: usize,
+}
+
+pub const WINDOW_SECS: f64 = 600.0;
+
+impl MiniSynth {
+    pub fn new(datasets: &[&str], keys: usize) -> MiniSynth {
+        MiniSynth {
+            datasets: datasets.iter().map(|d| d.to_string()).collect(),
+            keys,
+            counts: vec![0; keys],
+            w: 0,
+        }
+    }
+
+    /// Generate the next window (one state per dataset).
+    pub fn next_window(&mut self) -> Vec<WindowState> {
+        let w = self.w;
+        self.w += 1;
+        let mut window_hits = 0;
+        for (k, c) in self.counts.iter_mut().enumerate() {
+            let delta = 5 + ((k + w) % 7) as u64;
+            *c += delta;
+            window_hits += delta;
+        }
+        let observed: u64 = self.counts.iter().sum();
+        self.datasets
+            .iter()
+            .map(|dataset| WindowState {
+                upstream: 1,
+                start: w as f64 * WINDOW_SECS,
+                length: WINDOW_SECS,
+                topk: TopKState {
+                    dataset: dataset.clone(),
+                    capacity: 16,
+                    observed,
+                    min_count: 0,
+                    error_bound: observed / 16,
+                    evictions: 0,
+                    kept: window_hits,
+                    dropped: 0,
+                    filtered: 0,
+                    chunk: 0,
+                    chunks: 1,
+                    entries: (0..self.keys)
+                        .map(|k| TopKEntry {
+                            key: format!("k{k:02}"),
+                            count: self.counts[k],
+                            error: 0,
+                            inserted_at: 0.0,
+                            features: features(
+                                ((k as u64) << 8) | (w as u64 & 0xff),
+                                5 + ((k + w) % 7) as u64,
+                            ),
+                        })
+                        .collect(),
+                },
+            })
+            .collect()
+    }
+
+    /// Generate `n` consecutive windows, flattened.
+    #[allow(dead_code)] // shared across test targets; not every target calls it
+    pub fn take(&mut self, n: usize) -> Vec<WindowState> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.extend(self.next_window());
+        }
+        out
+    }
+}
+
+/// Every state currently durable in the store, read segment by segment.
+#[allow(dead_code)] // shared across test targets; not every target calls it
+pub fn all_states(store: &store::Store) -> Vec<WindowState> {
+    let mut out = Vec::new();
+    for meta in store.segments().to_vec() {
+        let (_, states) = store.read_segment(&meta).expect("readable segment");
+        out.extend(states);
+    }
+    out
+}

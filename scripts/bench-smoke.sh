@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Throughput smoke check: fail if the pipeline's tx/s (BENCH_pipeline.json),
-# the feed transport's loopback tx/s (BENCH_feed.json), or the federated
-# aggregator's merge records/s (BENCH_aggregate.json) regressed more
-# than 20 % against the committed baselines.
+# the feed transport's loopback tx/s (BENCH_feed.json), the federated
+# aggregator's merge records/s (BENCH_aggregate.json), or the historical
+# store's query rate over three months of windows (BENCH_store.json)
+# regressed more than 20 % against the committed baselines. The store
+# bench also hard-fails if any query shape exceeds its 100 ms budget.
 #
 # On machines with >= 2 cores the check also gates on *scaling shape*
 # (pipeline_throughput --scaling): the best workers>1 configuration must
@@ -117,6 +119,40 @@ awk -v cur="$agg_cur" -v base="$agg_base" 'BEGIN {
     printf "bench-smoke: OK — aggregate within 20%% of baseline (floor %.0f records/s)\n", floor;
 }'
 
+STORE_BASELINE=BENCH_store.json
+if [ ! -f "$STORE_BASELINE" ]; then
+    echo "bench-smoke: no $STORE_BASELINE baseline; generate one with:" >&2
+    echo "  cargo run --release -p bench --bin query_latency" >&2
+    exit 2
+fi
+
+store_base=$(sed -n 's/.*"store_smoke_queries_per_sec": *\([0-9][0-9.]*\).*/\1/p' "$STORE_BASELINE" | head -n1)
+if [ -z "$store_base" ]; then
+    echo "bench-smoke: $STORE_BASELINE lacks a store_smoke_queries_per_sec field" >&2
+    exit 2
+fi
+
+echo "bench-smoke: building release store query bench binary..."
+cargo build --release -q -p bench --bin query_latency
+
+store_out=$(./target/release/query_latency --smoke)
+store_cur=$(printf '%s\n' "$store_out" | sed -n 's/^store_smoke_queries_per_sec=\([0-9][0-9.]*\)$/\1/p' | head -n1)
+if [ -z "$store_cur" ]; then
+    echo "bench-smoke: could not parse store query smoke output:" >&2
+    printf '%s\n' "$store_out" >&2
+    exit 2
+fi
+
+echo "bench-smoke: store query baseline ${store_base} queries/s, current ${store_cur} queries/s"
+awk -v cur="$store_cur" -v base="$store_base" 'BEGIN {
+    floor = 0.8 * base;
+    if (cur < floor) {
+        printf "bench-smoke: FAIL — store %.1f queries/s is below the 20%% floor (%.1f queries/s)\n", cur, floor;
+        exit 1;
+    }
+    printf "bench-smoke: OK — store queries within 20%% of baseline (floor %.1f queries/s)\n", floor;
+}'
+
 # Tracing-tax gate: the pipeline with a flight recorder attached must
 # stay within 5 % of the untraced run. Absolute tx/s drifts with
 # hardware; the on/off ratio on the same machine should not.
@@ -174,6 +210,6 @@ fi
 HISTORY=BENCH_history.jsonl
 timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
-printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s,"aggregate_smoke_records_per_sec":%s,"trace_overhead_ratio":%s}\n' \
-    "$timestamp" "$commit" "$cur" "$feed_cur" "$agg_cur" "$trace_ratio" >> "$HISTORY"
+printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s,"aggregate_smoke_records_per_sec":%s,"store_smoke_queries_per_sec":%s,"trace_overhead_ratio":%s}\n' \
+    "$timestamp" "$commit" "$cur" "$feed_cur" "$agg_cur" "$store_cur" "$trace_ratio" >> "$HISTORY"
 echo "bench-smoke: appended run to $HISTORY"
