@@ -32,6 +32,11 @@
 //!   swap, mid-footer torn writes); a recovery differential checks the
 //!   re-opened store folds identically to the raw appended windows and
 //!   that every swept file is ledgered, never silently dropped.
+//! * **Subscriber axis** ([`subscriber`]) — seeded fleets of live
+//!   pub/sub subscribers (healthy, slow, stalled, disconnecting,
+//!   reconnecting) against the serving broker; checks per-client frame
+//!   conservation, typed departure ledgering, and exact snapshot+delta
+//!   state convergence on virtual time.
 //!
 //! Run the full seed × profile matrix with `cargo test -p chaos`, or the
 //! release-mode smoke sweep with `scripts/chaos-smoke.sh`.
@@ -47,6 +52,7 @@ pub mod minimize;
 pub mod oracle;
 pub mod slowshard;
 pub mod storecrash;
+pub mod subscriber;
 
 pub use clock::{EventQueue, VirtualClock};
 pub use fault::{plan_for, plans_for, FaultOp, FaultProfile, Rng, SensorPlan};
@@ -59,3 +65,4 @@ pub use minimize::{describe_plans, minimize_plans};
 pub use oracle::{check, predicted_delivery, Divergence, OracleSummary};
 pub use slowshard::{StallInjector, StallPlan};
 pub use storecrash::{StoreCrashOutcome, StoreDivergence};
+pub use subscriber::{ClientProfile, SubscriberDivergence, SubscriberOutcome};

@@ -161,6 +161,7 @@ pub fn workload(windows: usize, keys: usize, datasets: &[&str]) -> Vec<Vec<Windo
                                 ),
                             })
                             .collect(),
+                        gate: None,
                     },
                 })
                 .collect()

@@ -1,0 +1,722 @@
+//! Subscriber-backpressure chaos axis: seeded fleets of live
+//! subscribers — healthy, slow, stalled, disconnecting, reconnecting —
+//! driven against the pub/sub broker on virtual time.
+//!
+//! The broker's contract is that one slow client can never stall the
+//! seal path and that every departure is ledgered with exact frame
+//! conservation (`pushed == delivered + undelivered`). This axis turns
+//! that into a differential check: the harness replays the same
+//! deterministic workload the store-crash axis uses
+//! ([`crate::storecrash::workload`]) through a [`pubsub::BrokerCore`]
+//! with a deliberately tiny egress window, drives each subscriber per
+//! its seeded profile, and verifies
+//!
+//! * frame conservation on every departure ledger record,
+//! * exactly one typed record per connection (stalled clients end in
+//!   `TooSlow` evictions, voluntary departures in `Gone`, the rest in
+//!   `Shutdown`) with the exact undelivered count,
+//! * the harness's per-client delivery queue always agrees with the
+//!   broker's egress depth accounting, and
+//! * every subscriber that kept draining holds byte-for-byte the
+//!   canonical last window per dataset — the snapshot-then-delta stream
+//!   loses nothing, including across a mid-stream reconnect.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use pubsub::{
+    canonicalize, strip_features, window_id_us, Action, BrokerConfig, BrokerCore, EvictReason,
+    FrameReader, SubEvent, SubscriberCore, Topic,
+};
+
+use crate::fault::Rng;
+use crate::storecrash::{workload, WINDOW_SECS};
+
+/// Microseconds per workload window.
+const WINDOW_US: u64 = WINDOW_SECS as u64 * 1_000_000;
+
+/// How a simulated subscriber behaves, seeded per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientProfile {
+    /// Drains its whole queue every window; must track the broker
+    /// exactly.
+    Healthy,
+    /// Drains one frame per window — falls behind, degrades, and is
+    /// periodically rescued by snapshot resyncs, but never evicted.
+    Slow,
+    /// Stops draining entirely after the given window; must end in a
+    /// ledgered `TooSlow` eviction.
+    Stalled {
+        /// First window at which the client no longer drains.
+        after_window: usize,
+    },
+    /// Drains slowly, then disconnects (clean `Bye`) before the given
+    /// window's seal; its queued frames become ledgered `undelivered`.
+    Disconnecting {
+        /// Window before whose seal the client departs.
+        at_window: usize,
+    },
+    /// Disconnects like [`ClientProfile::Disconnecting`], then rejoins
+    /// as a fresh connection mid-stream and must converge via the
+    /// connect-time snapshot.
+    Reconnecting {
+        /// Window before whose seal the first leg departs.
+        leave_at: usize,
+        /// Window before whose seal the second leg connects.
+        rejoin_at: usize,
+    },
+}
+
+/// A divergence from the broker/subscriber contract found by one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubscriberDivergence {
+    /// The broker rejected a sealed workload window.
+    Broker(String),
+    /// A frame failed to decode on a subscriber's wire.
+    Codec {
+        /// Client id.
+        client: u64,
+        /// Decode failure.
+        error: String,
+    },
+    /// A subscriber's fold rejected a frame (desync, bad delta, ...).
+    Subscriber {
+        /// Client id.
+        client: u64,
+        /// The typed subscriber error.
+        error: String,
+    },
+    /// The harness's queue depth disagrees with the broker's egress
+    /// accounting for a live client.
+    DepthMismatch {
+        /// Client id.
+        client: u64,
+        /// Frames queued by the harness.
+        queued: usize,
+        /// Depth the broker reports.
+        depth: usize,
+    },
+    /// A ledger record violates `pushed == delivered + undelivered`.
+    Conservation {
+        /// Client id.
+        client: u64,
+        /// Frames accepted into the egress window.
+        pushed: u64,
+        /// Frames reported drained.
+        delivered: u64,
+        /// Frames pending at departure.
+        undelivered: u64,
+    },
+    /// A departure record's reason or undelivered count does not match
+    /// what the harness observed, or a record is missing/duplicated.
+    Ledger {
+        /// Client id.
+        client: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A fully-draining subscriber's final held state differs from the
+    /// canonical last window.
+    StateMismatch {
+        /// Client id.
+        client: u64,
+        /// Dataset that diverged.
+        dataset: String,
+        /// What differed.
+        detail: String,
+    },
+    /// The always-connected baseline client missed meta payloads.
+    MetaLoss {
+        /// Meta payloads published while it was connected.
+        published: u64,
+        /// Meta events it observed.
+        seen: u64,
+    },
+}
+
+impl fmt::Display for SubscriberDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscriberDivergence::Broker(e) => write!(f, "broker rejected seal: {e}"),
+            SubscriberDivergence::Codec { client, error } => {
+                write!(f, "client {client}: frame decode failed: {error}")
+            }
+            SubscriberDivergence::Subscriber { client, error } => {
+                write!(f, "client {client}: subscriber fold failed: {error}")
+            }
+            SubscriberDivergence::DepthMismatch {
+                client,
+                queued,
+                depth,
+            } => write!(
+                f,
+                "client {client}: harness queue {queued} != broker depth {depth}"
+            ),
+            SubscriberDivergence::Conservation {
+                client,
+                pushed,
+                delivered,
+                undelivered,
+            } => write!(
+                f,
+                "client {client}: pushed {pushed} != delivered {delivered} + undelivered {undelivered}"
+            ),
+            SubscriberDivergence::Ledger { client, detail } => {
+                write!(f, "client {client}: ledger mismatch: {detail}")
+            }
+            SubscriberDivergence::StateMismatch {
+                client,
+                dataset,
+                detail,
+            } => write!(f, "client {client}: {dataset} diverged: {detail}"),
+            SubscriberDivergence::MetaLoss { published, seen } => {
+                write!(f, "baseline client saw {seen} of {published} meta payloads")
+            }
+        }
+    }
+}
+
+/// One seed's end-of-run accounting; byte-equal across repeated runs of
+/// the same seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriberOutcome {
+    /// The seed that was run.
+    pub seed: u64,
+    /// Workload windows sealed.
+    pub windows: usize,
+    /// Connections that ever completed a handshake (reconnect legs
+    /// count separately).
+    pub connections: u64,
+    /// Departures ledgered as `TooSlow` evictions.
+    pub evicted_too_slow: usize,
+    /// Departures ledgered as voluntary `Gone`.
+    pub departures_gone: usize,
+    /// Departures ledgered at shutdown.
+    pub departures_shutdown: usize,
+    /// Second-leg reconnections that converged.
+    pub reconnects: usize,
+    /// Sum of frames accepted into egress windows.
+    pub frames_pushed: u64,
+    /// Sum of frames drained to subscribers.
+    pub frames_delivered: u64,
+    /// Sum of frames skipped while clients were saturated or degraded.
+    pub frames_dropped: u64,
+    /// Sum of frames pending at departure.
+    pub undelivered: u64,
+    /// Snapshot installs across all subscribers.
+    pub snapshots_applied: u64,
+    /// Delta applications across all subscribers.
+    pub deltas_applied: u64,
+}
+
+/// The seeded roster: `(profile, stripped)` per connection, where
+/// `stripped` subscribes the top-k topic only (no features, no meta).
+/// Client 1 is always a full-fidelity, fully-draining baseline so every
+/// seed checks exact end-to-end state convergence.
+pub fn roster_for(seed: u64, clients: usize, windows: usize) -> Vec<(ClientProfile, bool)> {
+    let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5b5c);
+    let mut roster = vec![(ClientProfile::Healthy, false)];
+    for _ in 1..clients {
+        let profile = match rng.below(5) {
+            0 => ClientProfile::Healthy,
+            1 => ClientProfile::Slow,
+            2 => ClientProfile::Stalled {
+                after_window: 1 + rng.below(3) as usize,
+            },
+            3 => ClientProfile::Disconnecting {
+                at_window: windows / 2 + rng.below((windows as u64 / 4).max(1)) as usize,
+            },
+            _ => {
+                let leave_at = 2 + rng.below(3) as usize;
+                ClientProfile::Reconnecting {
+                    leave_at,
+                    rejoin_at: leave_at + 2 + rng.below(2) as usize,
+                }
+            }
+        };
+        roster.push((profile, rng.chance(0.4)));
+    }
+    roster
+}
+
+/// How the profile is ledgered when the run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    Live,
+    Evicted { undelivered: u64 },
+    Gone { undelivered: u64 },
+    Shutdown { undelivered: u64 },
+}
+
+struct Conn {
+    id: u64,
+    profile: ClientProfile,
+    stripped: bool,
+    sub: SubscriberCore,
+    queue: VecDeque<Arc<Vec<u8>>>,
+    state: ConnState,
+    meta_seen: u64,
+    rejoined: bool,
+}
+
+impl Conn {
+    fn topics(stripped: bool) -> Vec<Topic> {
+        if stripped {
+            vec![Topic::Topk]
+        } else {
+            Vec::new() // everything, full fidelity, meta included
+        }
+    }
+
+    fn drain_quota(&self, window: usize) -> usize {
+        match self.profile {
+            ClientProfile::Healthy => self.queue.len(),
+            ClientProfile::Slow | ClientProfile::Disconnecting { .. } => self.queue.len().min(1),
+            ClientProfile::Stalled { after_window } => {
+                if window >= after_window {
+                    0
+                } else {
+                    self.queue.len()
+                }
+            }
+            // Fully drains while connected, on both legs.
+            ClientProfile::Reconnecting { .. } => self.queue.len(),
+        }
+    }
+
+    /// Decode one wire frame and fold it into the subscriber.
+    fn feed(&mut self, bytes: &[u8]) -> Result<Option<SubEvent>, SubscriberDivergence> {
+        let mut rd = FrameReader::new();
+        rd.push(bytes);
+        let frame = match rd.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                return Err(SubscriberDivergence::Codec {
+                    client: self.id,
+                    error: "incomplete frame".to_string(),
+                })
+            }
+            Err(e) => {
+                return Err(SubscriberDivergence::Codec {
+                    client: self.id,
+                    error: format!("{e}"),
+                })
+            }
+        };
+        match self.sub.on_frame(frame) {
+            Ok(ev) => {
+                if matches!(ev, Some(SubEvent::Meta { .. })) {
+                    self.meta_seen += 1;
+                }
+                Ok(ev)
+            }
+            Err(e) => Err(SubscriberDivergence::Subscriber {
+                client: self.id,
+                error: format!("{e}"),
+            }),
+        }
+    }
+}
+
+/// Route one batch of broker actions into the per-client queues;
+/// `Evict` actions deliver their terminal frame immediately and retire
+/// the connection.
+fn route(actions: &[Action], conns: &mut [Conn]) -> Result<(), SubscriberDivergence> {
+    for action in actions {
+        match action {
+            Action::Send { client, frame } => {
+                if let Some(conn) = conns
+                    .iter_mut()
+                    .find(|c| c.id == *client && c.state == ConnState::Live)
+                {
+                    conn.queue.push_back(frame.clone());
+                }
+            }
+            Action::Evict {
+                client,
+                reason: _,
+                frame,
+            } => {
+                let Some(conn) = conns
+                    .iter_mut()
+                    .find(|c| c.id == *client && c.state == ConnState::Live)
+                else {
+                    continue;
+                };
+                let undelivered = conn.queue.len() as u64;
+                conn.queue.clear();
+                match conn.feed(frame)? {
+                    Some(SubEvent::Evicted {
+                        undelivered: in_frame,
+                        ..
+                    }) if in_frame == undelivered => {}
+                    other => {
+                        return Err(SubscriberDivergence::Ledger {
+                            client: conn.id,
+                            detail: format!(
+                                "evict frame said {other:?}, harness had {undelivered} queued"
+                            ),
+                        })
+                    }
+                }
+                conn.state = ConnState::Evicted { undelivered };
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one seeded fleet for `windows` workload windows and check every
+/// oracle. `Err` is a contract violation; `Ok` carries deterministic
+/// end-of-run accounting.
+pub fn run_seed(seed: u64) -> Result<SubscriberOutcome, SubscriberDivergence> {
+    run_with(seed, &roster_for(seed, 6, 12), 12)
+}
+
+/// [`run_seed`] with an explicit roster, for targeted scenarios.
+pub fn run_with(
+    seed: u64,
+    roster: &[(ClientProfile, bool)],
+    windows: usize,
+) -> Result<SubscriberOutcome, SubscriberDivergence> {
+    // Tiny egress window so saturation dynamics (degrade, resync,
+    // evict) all trigger within a dozen windows.
+    let mut broker = BrokerCore::new(BrokerConfig {
+        egress_frames: 4,
+        snapshot_every: 2,
+        evict_after: 2,
+    });
+    broker.set_now_us(0);
+
+    let work = workload(windows, 8, &["esld", "qtype"]);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+    let mut next_id: u64 = 1;
+    for (profile, stripped) in roster {
+        conns.push(Conn {
+            id: next_id,
+            profile: *profile,
+            stripped: *stripped,
+            sub: SubscriberCore::new(),
+            queue: VecDeque::new(),
+            state: ConnState::Live,
+            meta_seen: 0,
+            rejoined: false,
+        });
+        broker.on_client_connect(next_id, &Conn::topics(*stripped), &mut actions);
+        next_id += 1;
+    }
+    route(&actions, &mut conns)?;
+
+    let mut metas_published: u64 = 0;
+    for (w, states) in work.iter().enumerate() {
+        broker.set_now_us(w as u64 * WINDOW_US);
+
+        // Departures and rejoins happen in the gap before this seal.
+        let mut rejoin: Vec<(bool, u64)> = Vec::new();
+        for conn in conns.iter_mut().filter(|c| c.state == ConnState::Live) {
+            let (leaves, rejoins) = match conn.profile {
+                ClientProfile::Disconnecting { at_window } => (at_window == w, false),
+                ClientProfile::Reconnecting { leave_at, .. } => {
+                    (leave_at == w && !conn.rejoined, false)
+                }
+                _ => (false, false),
+            };
+            let _ = rejoins;
+            if leaves {
+                let undelivered = conn.queue.len() as u64;
+                conn.queue.clear();
+                broker.on_client_gone(conn.id, EvictReason::Gone);
+                conn.state = ConnState::Gone { undelivered };
+            }
+        }
+        for conn in &conns {
+            if let ClientProfile::Reconnecting { rejoin_at, .. } = conn.profile {
+                if rejoin_at == w && matches!(conn.state, ConnState::Gone { .. }) && !conn.rejoined
+                {
+                    rejoin.push((conn.stripped, next_id));
+                    next_id += 1;
+                }
+            }
+        }
+        for (stripped, id) in rejoin {
+            actions.clear();
+            broker.on_client_connect(id, &Conn::topics(stripped), &mut actions);
+            conns.push(Conn {
+                id,
+                profile: ClientProfile::Healthy,
+                stripped,
+                sub: SubscriberCore::new(),
+                queue: VecDeque::new(),
+                state: ConnState::Live,
+                meta_seen: 0,
+                rejoined: true,
+            });
+            route(&actions, &mut conns)?;
+        }
+
+        // Seal the window; fan out deltas/snapshots/evictions.
+        actions.clear();
+        broker
+            .on_sealed(states.clone(), &mut actions)
+            .map_err(|e| SubscriberDivergence::Broker(format!("{e}")))?;
+        route(&actions, &mut conns)?;
+
+        // Periodic meta payload on the same path the aggregator uses.
+        if w % 3 == 0 {
+            actions.clear();
+            let bytes = format!("window\t{w}\nqueries\t{}\n", 100 + w).into_bytes();
+            broker.on_meta(w as u64 * WINDOW_US, bytes, &mut actions);
+            route(&actions, &mut conns)?;
+            metas_published += 1;
+        }
+
+        // Drain phase: each live client consumes per its profile, then
+        // acks; harness queue depth must agree with broker accounting.
+        for conn in conns.iter_mut().filter(|c| c.state == ConnState::Live) {
+            let quota = conn.drain_quota(w);
+            for _ in 0..quota {
+                let frame = conn.queue.pop_front().expect("quota bounded by queue");
+                conn.feed(&frame)?;
+            }
+            broker.on_drained(conn.id, quota as u64);
+            if conn.state == ConnState::Live {
+                let depth = broker.client_depth(conn.id).unwrap_or(usize::MAX);
+                if depth != conn.queue.len() {
+                    return Err(SubscriberDivergence::DepthMismatch {
+                        client: conn.id,
+                        queued: conn.queue.len(),
+                        depth,
+                    });
+                }
+            }
+        }
+    }
+
+    // Shutdown: remaining clients get a best-effort Bye; their queued
+    // frames are exactly the ledgered undelivered.
+    broker.set_now_us(windows as u64 * WINDOW_US);
+    actions.clear();
+    let report = broker.finish(&mut actions);
+    for conn in conns.iter_mut() {
+        if conn.state == ConnState::Live {
+            conn.state = ConnState::Shutdown {
+                undelivered: conn.queue.len() as u64,
+            };
+        }
+    }
+    for action in &actions {
+        if let Action::Send { client, frame } = action {
+            if let Some(conn) = conns.iter_mut().find(|c| c.id == *client) {
+                match conn.feed(frame)? {
+                    Some(SubEvent::End) => {}
+                    other => {
+                        return Err(SubscriberDivergence::Subscriber {
+                            client: conn.id,
+                            error: format!("expected End at shutdown, got {other:?}"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    // Oracle 1: exactly one typed ledger record per connection, with
+    // the exact undelivered count the harness observed.
+    let mut expected: BTreeMap<u64, (EvictReason, u64)> = BTreeMap::new();
+    for conn in &conns {
+        let entry = match conn.state {
+            ConnState::Live => unreachable!("all live conns retired above"),
+            ConnState::Evicted { undelivered } => (EvictReason::TooSlow, undelivered),
+            ConnState::Gone { undelivered } => (EvictReason::Gone, undelivered),
+            ConnState::Shutdown { undelivered } => (EvictReason::Shutdown, undelivered),
+        };
+        expected.insert(conn.id, entry);
+    }
+    for rec in &report.departures {
+        let Some((reason, undelivered)) = expected.remove(&rec.client) else {
+            return Err(SubscriberDivergence::Ledger {
+                client: rec.client,
+                detail: "duplicate or unknown departure record".to_string(),
+            });
+        };
+        if rec.reason != reason || rec.undelivered != undelivered {
+            return Err(SubscriberDivergence::Ledger {
+                client: rec.client,
+                detail: format!(
+                    "record {:?}/{} undelivered, harness saw {reason:?}/{undelivered}",
+                    rec.reason, rec.undelivered
+                ),
+            });
+        }
+        // Oracle 2: conservation on every record.
+        if rec.totals.pushed != rec.totals.delivered + rec.undelivered {
+            return Err(SubscriberDivergence::Conservation {
+                client: rec.client,
+                pushed: rec.totals.pushed,
+                delivered: rec.totals.delivered,
+                undelivered: rec.undelivered,
+            });
+        }
+    }
+    if let Some((&client, _)) = expected.iter().next() {
+        return Err(SubscriberDivergence::Ledger {
+            client,
+            detail: "connection has no departure record".to_string(),
+        });
+    }
+
+    // Oracle 3: every fully-draining subscriber that survived to
+    // shutdown holds exactly the canonical last window per dataset.
+    let last = &work[windows - 1];
+    for conn in &conns {
+        let fully_draining = matches!(conn.profile, ClientProfile::Healthy) || conn.rejoined;
+        if !fully_draining || !matches!(conn.state, ConnState::Shutdown { .. }) {
+            continue;
+        }
+        for ws in last {
+            let ds = &ws.topk.dataset;
+            let full = canonicalize(ws.topk.clone());
+            let expect = if conn.stripped {
+                strip_features(&full)
+            } else {
+                full
+            };
+            match conn.sub.held(ds) {
+                Some(h) if h.state == expect && h.window_us == window_id_us(ws.start) => {}
+                Some(h) => {
+                    return Err(SubscriberDivergence::StateMismatch {
+                        client: conn.id,
+                        dataset: ds.clone(),
+                        detail: format!(
+                            "held window {} with {} entries, want window {} with {}",
+                            h.window_us,
+                            h.state.entries.len(),
+                            window_id_us(ws.start),
+                            expect.entries.len()
+                        ),
+                    })
+                }
+                None => {
+                    return Err(SubscriberDivergence::StateMismatch {
+                        client: conn.id,
+                        dataset: ds.clone(),
+                        detail: "no held window".to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    // Oracle 4: the baseline client (id 1, full fidelity, connected
+    // throughout) saw every meta payload.
+    let baseline = &conns[0];
+    if baseline.meta_seen != metas_published {
+        return Err(SubscriberDivergence::MetaLoss {
+            published: metas_published,
+            seen: baseline.meta_seen,
+        });
+    }
+
+    Ok(SubscriberOutcome {
+        seed,
+        windows,
+        connections: report.clients_seen,
+        evicted_too_slow: report
+            .departures
+            .iter()
+            .filter(|r| r.reason == EvictReason::TooSlow)
+            .count(),
+        departures_gone: report
+            .departures
+            .iter()
+            .filter(|r| r.reason == EvictReason::Gone)
+            .count(),
+        departures_shutdown: report
+            .departures
+            .iter()
+            .filter(|r| r.reason == EvictReason::Shutdown)
+            .count(),
+        reconnects: conns.iter().filter(|c| c.rejoined).count(),
+        frames_pushed: report.frames_pushed,
+        frames_delivered: report.frames_delivered,
+        frames_dropped: report.frames_dropped,
+        undelivered: report.undelivered,
+        snapshots_applied: conns.iter().map(|c| c.sub.snapshots_applied()).sum(),
+        deltas_applied: conns.iter().map(|c| c.sub.deltas_applied()).sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_is_deterministic() {
+        assert_eq!(roster_for(7, 6, 12), roster_for(7, 6, 12));
+        assert_ne!(roster_for(7, 6, 12), roster_for(8, 6, 12));
+    }
+
+    #[test]
+    fn rosters_cover_every_profile() {
+        let mut healthy = 0;
+        let mut slow = 0;
+        let mut stalled = 0;
+        let mut gone = 0;
+        let mut reconnect = 0;
+        for seed in 0..32 {
+            for (profile, _) in roster_for(seed, 6, 12) {
+                match profile {
+                    ClientProfile::Healthy => healthy += 1,
+                    ClientProfile::Slow => slow += 1,
+                    ClientProfile::Stalled { .. } => stalled += 1,
+                    ClientProfile::Disconnecting { .. } => gone += 1,
+                    ClientProfile::Reconnecting { .. } => reconnect += 1,
+                }
+            }
+        }
+        assert!(healthy > 0 && slow > 0 && stalled > 0 && gone > 0 && reconnect > 0);
+    }
+
+    #[test]
+    fn stalled_client_is_evicted_with_exact_ledger() {
+        let out = run_with(
+            0,
+            &[
+                (ClientProfile::Healthy, false),
+                (ClientProfile::Stalled { after_window: 1 }, false),
+            ],
+            12,
+        )
+        .expect("contract holds");
+        assert_eq!(out.evicted_too_slow, 1);
+        assert_eq!(out.departures_shutdown, 1);
+        assert!(out.undelivered > 0);
+    }
+
+    #[test]
+    fn reconnect_leg_converges_via_snapshot() {
+        let out = run_with(
+            0,
+            &[
+                (ClientProfile::Healthy, false),
+                (
+                    ClientProfile::Reconnecting {
+                        leave_at: 3,
+                        rejoin_at: 6,
+                    },
+                    true,
+                ),
+            ],
+            12,
+        )
+        .expect("contract holds");
+        assert_eq!(out.reconnects, 1);
+        assert_eq!(out.departures_gone, 1);
+        assert_eq!(out.departures_shutdown, 2);
+        // The rejoined leg installed a snapshot and then rode deltas.
+        assert!(out.snapshots_applied >= 2);
+        assert!(out.deltas_applied > 0);
+    }
+}

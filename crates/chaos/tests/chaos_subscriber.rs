@@ -1,0 +1,95 @@
+//! Seed sweep for the subscriber-backpressure chaos axis: every seed
+//! must satisfy the broker/subscriber contract (conservation, typed
+//! ledgering, exact state convergence), and across the sweep every
+//! failure dynamic — slow-client eviction, voluntary departure,
+//! mid-stream reconnect — must actually fire.
+
+use chaos::subscriber::{run_seed, run_with, ClientProfile};
+
+#[test]
+fn sweep_seeds_hold_the_contract_and_cover_every_dynamic() {
+    let mut evicted = 0;
+    let mut gone = 0;
+    let mut reconnects = 0;
+    let mut dropped = 0u64;
+    let mut undelivered = 0u64;
+    for seed in 0..64 {
+        let out = run_seed(seed).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        assert_eq!(
+            out.connections as usize,
+            out.evicted_too_slow + out.departures_gone + out.departures_shutdown,
+            "seed {seed}: every connection must be ledgered exactly once"
+        );
+        evicted += out.evicted_too_slow;
+        gone += out.departures_gone;
+        reconnects += out.reconnects;
+        dropped += out.frames_dropped;
+        undelivered += out.undelivered;
+    }
+    assert!(evicted > 0, "no seed produced a TooSlow eviction");
+    assert!(gone > 0, "no seed produced a voluntary departure");
+    assert!(reconnects > 0, "no seed exercised a reconnect");
+    assert!(dropped > 0, "no seed saturated an egress window");
+    assert!(undelivered > 0, "no seed departed with pending frames");
+}
+
+#[test]
+fn seeds_are_deterministic() {
+    for seed in [0, 7, 23, 41, 63] {
+        let a = run_seed(seed).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        let b = run_seed(seed).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        assert_eq!(a, b, "seed {seed} diverged between runs");
+    }
+}
+
+#[test]
+fn slow_client_degrades_but_survives() {
+    // A slow drainer oscillates between degraded and resynced; it must
+    // reach shutdown (never evicted) with dropped frames on its record.
+    let out = run_with(
+        1,
+        &[
+            (ClientProfile::Healthy, false),
+            (ClientProfile::Slow, false),
+        ],
+        12,
+    )
+    .expect("contract holds");
+    assert_eq!(out.evicted_too_slow, 0);
+    assert_eq!(out.departures_shutdown, 2);
+    assert!(out.frames_dropped > 0, "slow client never saturated");
+    assert!(
+        out.snapshots_applied > 2,
+        "slow client was never snapshot-resynced"
+    );
+}
+
+#[test]
+fn every_profile_together_converges() {
+    let out = run_with(
+        2,
+        &[
+            (ClientProfile::Healthy, false),
+            (ClientProfile::Healthy, true),
+            (ClientProfile::Slow, false),
+            (ClientProfile::Stalled { after_window: 2 }, false),
+            (ClientProfile::Disconnecting { at_window: 7 }, true),
+            (
+                ClientProfile::Reconnecting {
+                    leave_at: 3,
+                    rejoin_at: 6,
+                },
+                false,
+            ),
+        ],
+        12,
+    )
+    .expect("contract holds");
+    assert_eq!(out.evicted_too_slow, 1);
+    assert_eq!(out.departures_gone, 2);
+    assert_eq!(out.reconnects, 1);
+    assert_eq!(
+        out.connections as usize,
+        out.evicted_too_slow + out.departures_gone + out.departures_shutdown
+    );
+}

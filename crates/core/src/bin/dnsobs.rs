@@ -37,6 +37,7 @@ use dns_observatory::{
 };
 use feed::{Collector, CollectorConfig, Sensor, SensorConfig};
 use psl::Psl;
+use pubsub::{ServeConfig, Server, ServerHandle, SubEvent, SubscribeClient, Topic};
 use simnet::{SimConfig, Simulation};
 use sketchwire::{AggregatorConfig, AggregatorCore, WindowState};
 use std::fs::File;
@@ -58,6 +59,7 @@ fn main() {
         Some("collect") => collect(&args[1..]),
         Some("aggregate") => aggregate_cmd(&args[1..]),
         Some("query") => query_cmd(&args[1..]),
+        Some("subscribe") => subscribe_cmd(&args[1..]),
         Some("store") => store_admin(&args[1..]),
         Some("status") => status_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
@@ -70,7 +72,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--topk N] [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs collect --listen ADDR --forward ADDR [--upstream N] [--chunk-entries N] [--state-out FILE] [--store DIR] [--no-bloom-gate]\n  dnsobs aggregate --listen ADDR --upstreams N [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs aggregate --input FILE [--input FILE ...] [--out DIR]\n  dnsobs query history --store DIR --dataset DS --key KEY [--from SECS] [--to SECS]\n  dnsobs query renumber --store DIR [--dataset aafqdn] [--from SECS] [--to SECS]\n  dnsobs query topk --store DIR --dataset DS --at SECS [--n N]\n  dnsobs store synth --dir DIR [--days N] [--seed N] [--keys N] [--window SECS] [--renumber-every N] [--no-compact]\n  dnsobs store info --dir DIR\n  dnsobs status [--metrics ADDR]\n  dnsobs trace DUMP.tsv [--window-start SECS]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\n--topk caps the big per-dataset trackers (default 10000); forwarding\ncollectors and the aggregator must agree on it for state to merge.\n\nsensor:    simulate traffic, keep the 1/N slice owned by --index, and\n           stream its summaries to the collector (reconnects with backoff).\ncollect:   accept N sensors, merge their streams in time order, run the\n           tracking pipeline, and write TSV windows like `simulate`.\n           With --forward/--state-out it exports per-window sketch state\n           upward instead of rendering TSVs locally (federated tier).\naggregate: merge the window-state streams of N forwarding collectors\n           (or state files) into global TSV windows with a stated\n           error bound.\nquery:     answer history/renumbering/top-k questions from a --store\n           directory in milliseconds, from footer indexes and merged\n           sketch state — raw transactions are never re-read. Output\n           states the merged Space-Saving error bound.\nstore:     `synth` fabricates months of seeded 10-min windows (with\n           planted renumbering events) and compacts them; `info` prints\n           the manifest summary. `collect`/`aggregate` accept\n           --store DIR to persist every sealed window; on restart the\n           last durable window resumes the watermark frontier.\nstatus:    scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n           and print the one-page health summary.\ntrace:     render a flight-recorder dump (`--trace-out`, stall or panic\n           dump) as per-window lineage; --window-start narrows to one\n           window. --trace-out on collect/aggregate records span events\n           into the flight recorder and writes the dump at exit (the\n           stall watchdog also dumps it on a stall, to the same file)."
+                "usage:\n  dnsobs simulate [--duration SECS] [--window SECS] [--seed N] [--topk N] [--out DIR] [--metrics ADDR]\n  dnsobs sensor --connect ADDR [--duration SECS] [--seed N] [--sensors N] [--index I]\n  dnsobs collect --listen ADDR [--sensors N] [--window SECS] [--topk N] [--out DIR] [--metrics ADDR] [--trace-out FILE]\n  dnsobs collect --listen ADDR --forward ADDR [--upstream N] [--chunk-entries N] [--state-out FILE] [--store DIR] [--retain DAYS] [--serve ADDR] [--no-bloom-gate]\n  dnsobs aggregate --listen ADDR --upstreams N [--out DIR] [--metrics ADDR] [--trace-out FILE] [--store DIR] [--retain DAYS] [--serve ADDR]\n  dnsobs aggregate --input FILE [--input FILE ...] [--out DIR]\n  dnsobs subscribe --connect ADDR [--out DIR] [--topics topk,features,meta,dataset=DS]\n  dnsobs query history --store DIR --dataset DS --key KEY [--from SECS] [--to SECS]\n  dnsobs query renumber --store DIR [--dataset aafqdn] [--from SECS] [--to SECS]\n  dnsobs query topk --store DIR --dataset DS --at SECS [--n N]\n  dnsobs store synth --dir DIR [--days N] [--seed N] [--keys N] [--window SECS] [--renumber-every N] [--no-compact]\n  dnsobs store info --dir DIR\n  dnsobs store expire --dir DIR (--retain DAYS | --before SECS)\n  dnsobs status [--metrics ADDR]\n  dnsobs trace DUMP.tsv [--window-start SECS]\n  dnsobs show FILE.tsv\n  dnsobs top FILE.tsv [--n N]\n\n--topk caps the big per-dataset trackers (default 10000); forwarding\ncollectors and the aggregator must agree on it for state to merge.\n\nsensor:    simulate traffic, keep the 1/N slice owned by --index, and\n           stream its summaries to the collector (reconnects with backoff).\ncollect:   accept N sensors, merge their streams in time order, run the\n           tracking pipeline, and write TSV windows like `simulate`.\n           With --forward/--state-out it exports per-window sketch state\n           upward instead of rendering TSVs locally (federated tier).\naggregate: merge the window-state streams of N forwarding collectors\n           (or state files) into global TSV windows with a stated\n           error bound.\nsubscribe: connect to a `--serve ADDR` collector or aggregator and\n           follow its live sealed windows (snapshot, then deltas),\n           writing the same TSV files the server writes locally.\n           --topics narrows fidelity: `topk` drops per-key features.\nquery:     answer history/renumbering/top-k questions from a --store\n           directory in milliseconds, from footer indexes and merged\n           sketch state — raw transactions are never re-read. Output\n           states the merged Space-Saving error bound.\nstore:     `synth` fabricates months of seeded 10-min windows (with\n           planted renumbering events) and compacts them; `info` prints\n           the manifest summary; `expire` drops whole segments older\n           than the retention horizon (manifest-swap commit, ledgered).\n           `collect`/`aggregate` accept --store DIR to persist every\n           sealed window (on restart the last durable window resumes\n           the watermark frontier) and --retain DAYS to expire old\n           segments after every append. --serve ADDR additionally\n           publishes every sealed window to `dnsobs subscribe` clients\n           as delta-encoded state with per-client backpressure.\nstatus:    scrape a running `--metrics` endpoint (default 127.0.0.1:9464)\n           and print the one-page health summary.\ntrace:     render a flight-recorder dump (`--trace-out`, stall or panic\n           dump) as per-window lineage; --window-start narrows to one\n           window. --trace-out on collect/aggregate records span events\n           into the flight recorder and writes the dump at exit (the\n           stall watchdog also dumps it on a stall, to the same file)."
             );
             2
         }
@@ -408,6 +410,7 @@ fn collect(args: &[String]) -> i32 {
     if flag_value(args, "--forward").is_some()
         || flag_value(args, "--state-out").is_some()
         || flag_value(args, "--store").is_some()
+        || flag_value(args, "--serve").is_some()
     {
         let code = collect_forward(args, output.iter(), window);
         let report = collector.finish();
@@ -535,12 +538,24 @@ fn open_cli_store(args: &[String]) -> Result<Option<CliStore>, i32> {
     Ok(Some((s, last)))
 }
 
-/// Append one sealed window's records and run the background compaction
-/// tick (rolls any newly ripe hour/day/month bucket).
+/// Parse `--retain DAYS` (fractional days allowed) into a retention
+/// span in microseconds of stream time.
+fn retain_span_us(args: &[String]) -> Option<u64> {
+    flag_value(args, "--retain")
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .map(|d| (d * 86_400.0 * 1e6).round() as u64)
+}
+
+/// Append one sealed window's records, run the background compaction
+/// tick (rolls any newly ripe hour/day/month bucket), then enforce the
+/// `--retain` horizon: segments wholly older than `frontier - retain`
+/// are dropped behind a manifest-swap commit.
 fn store_append(
     s: &mut store::Store,
     batch: &[WindowState],
     policy: &store::CompactionPolicy,
+    retain: Option<u64>,
 ) -> Result<(), i32> {
     if batch.is_empty() {
         return Ok(());
@@ -563,7 +578,73 @@ fn store_append(
             return Err(1);
         }
     }
+    if let (Some(span), Some(frontier)) = (retain, s.frontier_us()) {
+        match s.expire_before(frontier.saturating_sub(span)) {
+            Ok(report) if !report.expired.is_empty() => {
+                eprintln!(
+                    "store: expired {} segment(s) ({} window(s)) behind t={}s",
+                    report.expired.len(),
+                    report.windows(),
+                    report.horizon_us as f64 / 1e6
+                );
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("store expiry failed: {e}");
+                return Err(1);
+            }
+        }
+    }
     Ok(())
+}
+
+/// Bind the `--serve ADDR` live subscription tier when asked. Returns
+/// the server plus its single seal-path publish handle.
+fn serve_server(args: &[String]) -> Result<Option<(Server, ServerHandle)>, i32> {
+    let Some(addr) = flag_value(args, "--serve") else {
+        return Ok(None);
+    };
+    let trace = if flag_value(args, "--trace-out").is_some() {
+        FlightRecorder::global().ring("pubsub")
+    } else {
+        telemetry::TraceRing::disabled()
+    };
+    match Server::bind(addr, ServeConfig::default(), &Registry::global(), trace) {
+        Ok(mut server) => {
+            eprintln!("serving live windows on {}", server.local_addr());
+            let handle = server.take_handle().expect("fresh server has its handle");
+            Ok(Some((server, handle)))
+        }
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            Err(1)
+        }
+    }
+}
+
+/// Drop the publish handle, finish the server, and print the broker's
+/// departure ledger summary.
+fn finish_server(serve: Option<(Server, ServerHandle)>) {
+    let Some((server, handle)) = serve else {
+        return;
+    };
+    drop(handle);
+    let report = server.finish();
+    eprintln!(
+        "served {} client(s): {} frames delivered, {} dropped, {} undelivered at exit, {} evicted",
+        report.clients_seen,
+        report.frames_delivered,
+        report.frames_dropped,
+        report.undelivered,
+        report
+            .departures
+            .iter()
+            .filter(|d| matches!(
+                d.reason,
+                pubsub::EvictReason::TooSlow | pubsub::EvictReason::Protocol
+            ))
+            .count()
+    );
 }
 
 /// The forwarding half of a federated collector: fold the merged summary
@@ -592,10 +673,10 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
     let cfg = ObservatoryConfig {
         datasets: datasets(args),
         window_secs: window,
-        // The admission gate is long-lived in-memory state that is not
-        // part of the serialized window exports, so a crash-recovery
-        // resume cannot reconstruct it; deployments that need exact
-        // resume equality run with the gate off.
+        // The admission gate's bloom filter and eviction order ride in
+        // the serialized window exports, so a crash-recovery resume
+        // reconstructs the gate exactly; --no-bloom-gate now only
+        // disables the gate itself, it is not needed for exact resume.
         bloom_gate: !args.iter().any(|a| a == "--no-bloom-gate"),
         ..ObservatoryConfig::default()
     };
@@ -603,6 +684,11 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
         Ok(s) => s,
         Err(code) => return code,
     };
+    let mut serve = match serve_server(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let retain = retain_span_us(args);
     let mut exporter = match &cli_store {
         Some((_, Some((start, states)))) => {
             match StateExporter::resume(cfg.clone(), upstream, chunk_entries, *start, states) {
@@ -624,23 +710,39 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
     if tracing {
         exporter = exporter.with_trace(FlightRecorder::global().ring("exporter"));
     }
+    // Live subscribers get the platform's own meta self-report windows
+    // alongside the data, one per sealed window of stream time.
+    let mut meta = serve
+        .is_some()
+        .then(|| MetaReporter::new(Registry::global(), (window.max(1.0) * 1e6) as u64));
+    if let Some(m) = &mut meta {
+        m.tick(0);
+    }
     let mut file_buf = Vec::new();
     let mut states = Vec::new();
     let mut exported = 0u64;
     let mut windows_stored = 0u64;
     let mut push = |states: &mut Vec<WindowState>,
                     file_buf: &mut Vec<u8>,
-                    cli_store: &mut Option<CliStore>|
+                    cli_store: &mut Option<CliStore>,
+                    serve: &mut Option<(Server, ServerHandle)>|
      -> Result<(), i32> {
         if let Some((s, _)) = cli_store {
             // Each drain is one sealed window's full record batch.
-            store_append(s, states, &policy)?;
+            store_append(s, states, &policy, retain)?;
             if !states.is_empty() {
                 windows_stored += 1;
                 if kill_after.is_some_and(|n| windows_stored >= n) {
                     eprintln!("kill hook: exiting after {windows_stored} stored window(s)");
                     std::process::exit(3);
                 }
+            }
+        }
+        if let Some((_, handle)) = serve {
+            // Publishing never blocks the seal path: a full broker ring
+            // drops the batch and counts it, subscribers resync later.
+            if !states.is_empty() {
+                handle.publish_windows(states.clone());
             }
         }
         for ws in states.drain(..) {
@@ -654,20 +756,39 @@ fn collect_forward(args: &[String], output: impl Iterator<Item = TxSummary>, win
         }
         Ok(())
     };
+    let publish_meta = |meta_bytes: Option<Vec<u8>>, serve: &mut Option<(Server, ServerHandle)>| {
+        let (Some(bytes), Some((_, handle))) = (meta_bytes, serve.as_mut()) else {
+            return;
+        };
+        if let Ok((start, _, _)) = tsv::read_meta_window(bytes.as_slice()) {
+            handle.publish_meta((start.max(0.0) * 1e6) as u64, bytes);
+        }
+    };
+    let mut last_us = 0u64;
     for summary in output {
         if tracing {
             exporter.set_now_us(telemetry::Clock::now_us(&export_clock));
         }
+        last_us = (summary.time.max(0.0) * 1e6) as u64;
+        if let Some(m) = &mut meta {
+            let bytes = m.tick(last_us);
+            publish_meta(bytes, &mut serve);
+        }
         exporter.ingest_summary(summary, &mut states);
-        if let Err(code) = push(&mut states, &mut file_buf, &mut cli_store) {
+        if let Err(code) = push(&mut states, &mut file_buf, &mut cli_store, &mut serve) {
             return code;
         }
     }
     let skipped = exporter.resumed_skipped();
     let ingested = exporter.finish(&mut states);
-    if let Err(code) = push(&mut states, &mut file_buf, &mut cli_store) {
+    if let Err(code) = push(&mut states, &mut file_buf, &mut cli_store, &mut serve) {
         return code;
     }
+    if let Some(m) = &mut meta {
+        let bytes = m.finish(last_us);
+        publish_meta(bytes, &mut serve);
+    }
+    finish_server(serve);
     if skipped > 0 {
         eprintln!("store: skipped {skipped} summaries already covered by durable windows");
     }
@@ -768,6 +889,11 @@ fn aggregate_cmd(args: &[String]) -> i32 {
         Ok(s) => s,
         Err(code) => return code,
     };
+    let mut serve = match serve_server(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let retain = retain_span_us(args);
     let policy = store::CompactionPolicy::default();
     if let Some((_, Some((start, _)))) = &cli_store {
         core.resume_sealed_through((start * 1e6).round() as u64);
@@ -791,6 +917,8 @@ fn aggregate_cmd(args: &[String]) -> i32 {
             &mut sealed,
             cli_store.as_mut().map(|(s, _)| s),
             &policy,
+            retain,
+            serve.as_mut().map(|(_, h)| h),
         ) {
             Ok(n) => files += n,
             Err(e) => {
@@ -806,6 +934,8 @@ fn aggregate_cmd(args: &[String]) -> i32 {
         &mut sealed,
         cli_store.as_mut().map(|(s, _)| s),
         &policy,
+        retain,
+        serve.as_mut().map(|(_, h)| h),
     ) {
         Ok(n) => files += n,
         Err(e) => {
@@ -813,6 +943,7 @@ fn aggregate_cmd(args: &[String]) -> i32 {
             return 1;
         }
     }
+    finish_server(serve);
     print_feed_report(&feed_report);
     print_aggregator_report(&report);
     if let Some(path) = &trace_out {
@@ -853,6 +984,7 @@ fn aggregate_files(inputs: &[&str], out: &Path, args: &[String]) -> i32 {
         Ok(s) => s,
         Err(code) => return code,
     };
+    let retain = retain_span_us(args);
     let policy = store::CompactionPolicy::default();
     if let Some((_, Some((start, _)))) = &cli_store {
         core.resume_sealed_through((start * 1e6).round() as u64);
@@ -870,6 +1002,8 @@ fn aggregate_files(inputs: &[&str], out: &Path, args: &[String]) -> i32 {
         &mut sealed,
         cli_store.as_mut().map(|(s, _)| s),
         &policy,
+        retain,
+        None,
     ) {
         Ok(n) => n,
         Err(e) => {
@@ -884,16 +1018,20 @@ fn aggregate_files(inputs: &[&str], out: &Path, args: &[String]) -> i32 {
 
 /// Render and write every sealed global window, draining `sealed`.
 /// When a store is given, each window is persisted (durably, before the
-/// TSV render) as upstream-0 records, then compaction ticks.
+/// TSV render) as upstream-0 records, then compaction and retention
+/// tick. When a serve handle is given, the window is also published to
+/// live subscribers (never blocking: a full broker ring drops it).
 fn write_sealed(
     out: &Path,
     sealed: &mut Vec<sketchwire::GlobalWindow>,
     mut cli_store: Option<&mut store::Store>,
     policy: &store::CompactionPolicy,
+    retain: Option<u64>,
+    mut serve: Option<&mut ServerHandle>,
 ) -> std::io::Result<usize> {
     let mut files = 0usize;
     for gw in sealed.drain(..) {
-        if let Some(s) = cli_store.as_deref_mut() {
+        if cli_store.is_some() || serve.is_some() {
             let batch: Vec<WindowState> = gw
                 .datasets
                 .iter()
@@ -904,8 +1042,13 @@ fn write_sealed(
                     topk: topk.clone(),
                 })
                 .collect();
-            if store_append(s, &batch, policy).is_err() {
-                return Err(std::io::Error::other("store append failed"));
+            if let Some(s) = cli_store.as_deref_mut() {
+                if store_append(s, &batch, policy, retain).is_err() {
+                    return Err(std::io::Error::other("store append failed"));
+                }
+            }
+            if let Some(h) = serve.as_deref_mut() {
+                h.publish_windows(batch);
             }
         }
         files += dns_observatory::write_global(out, &gw)?;
@@ -1120,16 +1263,164 @@ fn query_cmd(args: &[String]) -> i32 {
     }
 }
 
+/// `dnsobs subscribe`: follow a `--serve ADDR` collector or aggregator
+/// live. The first frame per dataset is a full snapshot; every later
+/// sealed window arrives as a delta against the previous one, and the
+/// reassembled state renders to the same TSV files the server writes
+/// locally. Meta self-report windows land next to the data files.
+fn subscribe_cmd(args: &[String]) -> i32 {
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("subscribe: --connect ADDR is required");
+        return 2;
+    };
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("./dnsobs-data"));
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return 1;
+    }
+    let mut topics = Vec::new();
+    for spec in flag_value(args, "--topics")
+        .map(|v| v.split(',').collect::<Vec<_>>())
+        .unwrap_or_default()
+    {
+        match Topic::parse(spec.trim()) {
+            Some(t) => topics.push(t),
+            None => {
+                eprintln!(
+                    "subscribe: unknown topic {spec:?} (expected topk, features, meta, or dataset=NAME)"
+                );
+                return 2;
+            }
+        }
+    }
+    let mut client = match SubscribeClient::connect(addr, &topics) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot subscribe to {addr}: {e}");
+            return 1;
+        }
+    };
+    eprintln!("subscribed to {addr} -> {}", out.display());
+    let mut files = 0usize;
+    let mut meta_files = 0usize;
+    loop {
+        match client.next_event() {
+            Ok(Some(SubEvent::Window(h))) => {
+                let dump = match dns_observatory::render_state(&h.state, h.start, h.length) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("window t={}s does not render: {e}", h.start);
+                        return 1;
+                    }
+                };
+                let path = out.join(format!("{}-{:05}.tsv", dump.dataset, dump.start as u64));
+                if let Err(e) = write_dump(&path, &dump) {
+                    eprintln!("failed writing {}: {e}", path.display());
+                    return 1;
+                }
+                files += 1;
+            }
+            Ok(Some(SubEvent::Meta { bytes, .. })) => {
+                meta_files += write_meta(&out, &bytes);
+            }
+            Ok(Some(SubEvent::Evicted {
+                reason,
+                undelivered,
+            })) => {
+                eprintln!(
+                    "evicted by the server ({reason}): {undelivered} frame(s) were undelivered"
+                );
+                eprintln!("wrote {files} TSV file(s) and {meta_files} meta report(s)");
+                return 1;
+            }
+            Ok(Some(SubEvent::End)) | Ok(None) => {
+                let core = client.core();
+                eprintln!(
+                    "stream over: {} snapshot(s) + {} delta(s) -> {files} TSV file(s), {meta_files} meta report(s)",
+                    core.snapshots_applied(),
+                    core.deltas_applied()
+                );
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("subscription failed: {e}");
+                return 1;
+            }
+        }
+    }
+}
+
 /// `dnsobs store`: admin verbs for a store directory.
 fn store_admin(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("synth") => store_synth(&args[1..]),
         Some("info") => store_info(&args[1..]),
+        Some("expire") => store_expire(&args[1..]),
         _ => {
             eprintln!(
-                "store: usage:\n  dnsobs store synth --dir DIR [--days N] [--seed N] [--keys N] [--window SECS] [--renumber-every N] [--no-compact]\n  dnsobs store info --dir DIR"
+                "store: usage:\n  dnsobs store synth --dir DIR [--days N] [--seed N] [--keys N] [--window SECS] [--renumber-every N] [--no-compact]\n  dnsobs store info --dir DIR\n  dnsobs store expire --dir DIR (--retain DAYS | --before SECS)"
             );
             2
+        }
+    }
+}
+
+/// `dnsobs store expire`: drop whole segments older than the retention
+/// horizon. `--retain DAYS` keeps the trailing span behind the frontier;
+/// `--before SECS` names an absolute stream-time horizon. The manifest
+/// swap is the commit point: a crash mid-unlink leaves only ledgered
+/// orphans for the next open to sweep.
+fn store_expire(args: &[String]) -> i32 {
+    let Some(dir) = flag_value(args, "--dir") else {
+        eprintln!("store expire: --dir DIR is required");
+        return 2;
+    };
+    let (mut s, report) = match store::Store::open(Path::new(dir)) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("cannot open store {dir}: {e}");
+            return 1;
+        }
+    };
+    if !report.is_clean() {
+        eprintln!(
+            "store recovery swept {} tmp / {} orphan file(s)",
+            report.removed_tmp.len(),
+            report.removed_orphans.len()
+        );
+    }
+    let horizon_us = match (retain_span_us(args), secs_us(args, "--before")) {
+        (Some(span), None) => {
+            let Some(frontier) = s.frontier_us() else {
+                eprintln!("store expire: {dir} is empty, nothing to do");
+                return 0;
+            };
+            frontier.saturating_sub(span)
+        }
+        (None, Some(at)) => at,
+        _ => {
+            eprintln!("store expire: exactly one of --retain DAYS or --before SECS is required");
+            return 2;
+        }
+    };
+    match s.expire_before(horizon_us) {
+        Ok(report) => {
+            eprintln!(
+                "expired {} segment(s), {} window(s), {} record(s) behind t={}s; {} live segment(s) remain",
+                report.expired.len(),
+                report.windows(),
+                report.records(),
+                report.horizon_us as f64 / 1e6,
+                s.segments().len()
+            );
+            for meta in &report.expired {
+                eprintln!("  removed {}", meta.name);
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("store expire failed: {e}");
+            1
         }
     }
 }

@@ -261,6 +261,46 @@ pub fn render_status(samples: &Samples) -> String {
                 format!("{} / {}", fmt_count(tmp), fmt_count(orphans)),
             );
         }
+        if let Some(expired) = sum(samples, "store_expired_segments_total") {
+            if expired > 0.0 {
+                push_line(&mut out, "expired segments", fmt_count(expired));
+            }
+        }
+    }
+
+    if let Some(windows) = sum(samples, "pubsub_windows_ingested_total") {
+        out.push_str("pubsub\n");
+        push_line(
+            &mut out,
+            "clients / windows served",
+            format!(
+                "{} / {}",
+                fmt_count(sum(samples, "pubsub_clients").unwrap_or(0.0)),
+                fmt_count(windows)
+            ),
+        );
+        let pushed = sum(samples, "pubsub_frames_pushed_total").unwrap_or(0.0);
+        let delivered = sum(samples, "pubsub_frames_delivered_total").unwrap_or(0.0);
+        let dropped = sum(samples, "pubsub_frames_dropped_total").unwrap_or(0.0);
+        push_line(
+            &mut out,
+            "frames pushed/delivered/drop",
+            format!(
+                "{} / {} / {}",
+                fmt_count(pushed),
+                fmt_count(delivered),
+                fmt_count(dropped)
+            ),
+        );
+        let evicted = sum(samples, "pubsub_clients_evicted_total").unwrap_or(0.0);
+        let lost = sum(samples, "pubsub_ingest_dropped_total").unwrap_or(0.0);
+        if evicted + lost > 0.0 {
+            push_line(
+                &mut out,
+                "evicted clients / lost seals",
+                format!("{} / {}", fmt_count(evicted), fmt_count(lost)),
+            );
+        }
     }
 
     if let Some(tx) = sum(samples, "simnet_transactions_total") {
@@ -409,6 +449,48 @@ mod tests {
         let text = render_status(&s);
         assert!(text.contains("store\n"));
         assert!(!text.contains("recovery swept"));
+        assert!(!text.contains("expired segments"));
+    }
+
+    #[test]
+    fn store_section_reports_retention_expiry() {
+        let s = samples(&[
+            ("store_appends_total", 2.0),
+            ("store_expired_segments_total", 7.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("expired segments"));
+        assert!(text.contains("7"));
+    }
+
+    #[test]
+    fn pubsub_section_renders_broker_ledger() {
+        let s = samples(&[
+            ("pubsub_windows_ingested_total", 20.0),
+            ("pubsub_clients", 3.0),
+            ("pubsub_frames_pushed_total", 60.0),
+            ("pubsub_frames_delivered_total", 55.0),
+            ("pubsub_frames_dropped_total", 5.0),
+            ("pubsub_clients_evicted_total", 1.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("pubsub\n"));
+        assert!(text.contains("3 / 20"));
+        assert!(text.contains("60 / 55 / 5"));
+        assert!(text.contains("evicted clients / lost seals"));
+        assert!(text.contains("1 / 0"));
+    }
+
+    #[test]
+    fn pubsub_eviction_line_is_hidden_when_healthy() {
+        let s = samples(&[
+            ("pubsub_windows_ingested_total", 20.0),
+            ("pubsub_frames_pushed_total", 60.0),
+            ("pubsub_frames_delivered_total", 60.0),
+        ]);
+        let text = render_status(&s);
+        assert!(text.contains("pubsub\n"));
+        assert!(!text.contains("evicted clients"));
     }
 
     #[test]

@@ -231,6 +231,7 @@ impl SynthStream {
                         chunk: 0,
                         chunks: 1,
                         entries,
+                        gate: None,
                     },
                 }
             })

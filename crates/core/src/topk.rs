@@ -59,9 +59,12 @@ impl TopKTracker {
     ///
     /// [`TopKTracker::export_state`] resets every feature set as it
     /// exports, so the tracker this rebuilds — historical counts, error
-    /// terms, and insertion times under *fresh* feature state — is
-    /// exactly the post-export tracker: feeding both the same subsequent
-    /// traffic yields the same exports while the cache is unsaturated.
+    /// terms, insertion times, bucket order, and the admission-gate
+    /// bloom, all under *fresh* feature state — is exactly the
+    /// post-export tracker: feeding both the same subsequent traffic
+    /// yields the same exports, saturated or not (entries arrive in the
+    /// export's restore order, which reproduces eviction-victim choices;
+    /// the serialized gate reproduces admission decisions).
     /// `kept`/`dropped`/`filtered` restart at zero; the exporter computes
     /// per-window deltas against its own boundary snapshot, so absolute
     /// restart does not skew any window's statistics.
@@ -85,6 +88,18 @@ impl TopKTracker {
         }
         let mut tracker =
             TopKTracker::new(dataset, state.capacity as usize, feature_cfg, bloom_gate);
+        // Reinstall the serialized admission gate bit-exact: hashing is
+        // deterministic, so the restored gate answers every future probe
+        // the way the original would have — which is what makes resume
+        // exact even for saturated trackers.
+        if bloom_gate {
+            if let Some(g) = &state.gate {
+                tracker.bloom = Some(
+                    g.to_filter()
+                        .ok_or(StateError::LayoutMismatch("inconsistent gate state"))?,
+                );
+            }
+        }
         for e in &state.entries {
             let key = Key::from_render(dataset, &e.key)
                 .ok_or(StateError::LayoutMismatch("unrenderable key"))?;
@@ -193,7 +208,11 @@ impl TopKTracker {
     ) -> sketchwire::TopKState {
         let entries = self
             .ss
-            .iter_desc()
+            // Restore order (count-descending; canonical within ties):
+            // re-inserting in this order reproduces the eviction-victim
+            // chains, which keeps a `--store DIR` resume exact even for
+            // saturated trackers.
+            .iter_restore()
             .into_iter()
             .map(|e| sketchwire::TopKEntry {
                 key: e.key.render(),
@@ -217,6 +236,10 @@ impl TopKTracker {
             chunk: 0,
             chunks: 1,
             entries,
+            // The admission gate is live tracker state: without it a
+            // resumed saturated tracker would re-admit keys the original
+            // would have filtered, and the export streams would diverge.
+            gate: self.bloom.as_ref().map(sketchwire::GateState::from_filter),
         }
     }
 
@@ -351,10 +374,9 @@ mod tests {
         let mid = summaries.len() / 2;
 
         // Live tracker sees everything, exporting (and resetting
-        // features) at the midpoint boundary.
-        // Capacity above the sample's distinct-key count: the resume
-        // guarantee is stated for unsaturated caches (eviction victims
-        // among tied minima are representation-dependent).
+        // features) at the midpoint boundary. Capacity above the
+        // sample's distinct-key count: the unsaturated base case (the
+        // saturated, gated case is covered below).
         let cfg = FeatureConfig::default();
         let mut live = TopKTracker::new(Dataset::SrvIp, 20_000, cfg, false);
         for s in &summaries[..mid] {
@@ -381,6 +403,55 @@ mod tests {
         let a = canon(live.export_state(0, 0, 0));
         let b = canon(restored.export_state(0, 0, 0));
         assert_eq!(a, b, "restored tracker must resume the export stream");
+    }
+
+    #[test]
+    fn restore_resumes_saturated_gated_tracker() {
+        // The hard case the serialized gate and restore order exist for:
+        // a tiny gated cache under heavy churn, split mid-stream. The
+        // restored tracker must make the same admission decisions (gate
+        // bits are bit-exact) and evict the same victims (bucket chains
+        // are reproduced), so the subsequent exports agree exactly.
+        let psl = Psl::embedded();
+        let cfg = SimConfig {
+            weight_botnet: 40.0, // unique names: saturates a tiny cache
+            ..SimConfig::small()
+        };
+        let mut summaries = Vec::new();
+        let mut sim = Simulation::from_config(cfg);
+        sim.run(2.0, &mut |tx| {
+            summaries.push(TxSummary::from_transaction(tx, &psl));
+        });
+        let mid = summaries.len() / 2;
+
+        let fcfg = FeatureConfig::default();
+        let mut live = TopKTracker::new(Dataset::Qname, 64, fcfg, true);
+        for s in &summaries[..mid] {
+            live.observe(s);
+        }
+        let at_boundary = live.stats();
+        let boundary = live.export_state(0, 0, 0);
+        assert!(boundary.evictions > 0, "test premise: saturated cache");
+        assert!(boundary.gate.is_some(), "gated export carries the gate");
+
+        let mut restored = TopKTracker::restore(&boundary, fcfg, true).expect("restore");
+        for s in &summaries[mid..] {
+            live.observe(s);
+            restored.observe(s);
+        }
+        // The restored tracker's counters restart at zero, so compare
+        // the live tracker's post-boundary deltas.
+        let (lk, ld, lf) = live.stats();
+        let (bk, bd, bf) = at_boundary;
+        assert_eq!(
+            (lk - bk, ld - bd, lf - bf),
+            restored.stats(),
+            "admission decisions"
+        );
+        assert_eq!(live.evictions(), restored.evictions());
+        let a = live.export_state(0, 0, 0);
+        let b = restored.export_state(0, 0, 0);
+        assert_eq!(a, b, "saturated gated resume must be exact");
     }
 
     #[test]

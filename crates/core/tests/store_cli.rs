@@ -98,12 +98,11 @@ fn collect(name: &'static str, listen: &str, store: &Path, extra: &[&str]) -> Pr
         "1",
         "--window",
         "1",
-        // Exact resume equality needs an unsaturated cache (evicted-key
-        // state is not serialized) and no admission gate (its long-lived
-        // bloom filter is not serialized either).
+        // The admission gate stays on: exports serialize its bloom
+        // bit-exact and list entries in restore order, so resume is
+        // exact even for gated (and saturated) trackers.
         "--topk",
         "10000",
-        "--no-bloom-gate",
         "--store",
         store.to_str().unwrap(),
     ];

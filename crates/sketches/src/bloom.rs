@@ -103,6 +103,35 @@ impl BloomFilter {
         set as f64 / self.num_bits as f64
     }
 
+    /// The raw bit array, one little-endian word per 64 bits. Hashing is
+    /// fully deterministic (fixed xxh64 seeds), so serializing the words
+    /// and rebuilding with [`BloomFilter::from_parts`] yields a filter
+    /// whose every future answer matches the original's.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuild a filter from serialized parts. Returns `None` when the
+    /// parts are inconsistent (word count must cover exactly `num_bits`,
+    /// and both sizing parameters must be nonzero) — deserializers turn
+    /// that into their own typed error.
+    pub fn from_parts(
+        bits: Vec<u64>,
+        num_bits: usize,
+        num_hashes: u32,
+        inserted: u64,
+    ) -> Option<Self> {
+        if num_bits == 0 || num_hashes == 0 || bits.len() != num_bits.div_ceil(64) {
+            return None;
+        }
+        Some(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+            inserted,
+        })
+    }
+
     #[inline]
     fn base_hashes(&self, item: &[u8]) -> (u64, u64) {
         let h1 = xxh64(item, 0x9d2c_5680_5bd1_e995);
@@ -179,5 +208,34 @@ mod tests {
     #[should_panic(expected = "false positive rate")]
     fn invalid_rate_panics() {
         BloomFilter::new(10, 1.5);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_behavior() {
+        let mut bf = BloomFilter::new(1000, 0.02);
+        for i in 0..500u32 {
+            bf.insert(&i.to_le_bytes());
+        }
+        let back = BloomFilter::from_parts(
+            bf.words().to_vec(),
+            bf.num_bits(),
+            bf.num_hashes(),
+            bf.inserted(),
+        )
+        .expect("consistent parts");
+        assert_eq!(back.inserted(), bf.inserted());
+        // Deterministic hashing: every probe answers identically.
+        for i in 0..2000u32 {
+            let item = i.to_le_bytes();
+            assert_eq!(back.contains(&item), bf.contains(&item), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_sizes() {
+        assert!(BloomFilter::from_parts(vec![0; 2], 64, 3, 0).is_none());
+        assert!(BloomFilter::from_parts(vec![0; 1], 0, 3, 0).is_none());
+        assert!(BloomFilter::from_parts(vec![0; 1], 64, 0, 0).is_none());
+        assert!(BloomFilter::from_parts(vec![0; 1], 64, 3, 9).is_some());
     }
 }

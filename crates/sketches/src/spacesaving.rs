@@ -299,6 +299,45 @@ impl<K: Eq + Hash + Clone, V> SpaceSaving<K, V> {
             .collect()
     }
 
+    /// Iterate over all monitored entries in *restore order*: buckets
+    /// from highest count to lowest, each bucket tail→head. Re-inserting
+    /// entries in this order via [`SpaceSaving::restore_entry`] (which
+    /// pushes to each bucket's head) reproduces every bucket chain
+    /// exactly — and with it every future eviction-victim choice, which
+    /// is what makes a serialized saturated tracker resume exact. The
+    /// order is also count-descending, so it doubles as a display order.
+    pub fn iter_restore(&self) -> Vec<TopEntry<'_, K, V>> {
+        let mut buckets_desc = Vec::new();
+        let mut cur = self.min_bucket;
+        while cur != NIL {
+            buckets_desc.push(cur);
+            cur = self.buckets[cur].higher;
+        }
+        buckets_desc.reverse();
+        let mut out = Vec::with_capacity(self.entries.len());
+        for b in buckets_desc {
+            let mut chain = Vec::new();
+            let mut e = self.buckets[b].head;
+            while e != NIL {
+                chain.push(e);
+                e = self.entries[e].next;
+            }
+            // Tail first: head-insertion on restore rebuilds head..tail.
+            for &i in chain.iter().rev() {
+                let e = &self.entries[i];
+                out.push(TopEntry {
+                    key: &e.key,
+                    count: e.count,
+                    error: e.error,
+                    rate: self.decayed_rate(e, e.rate_updated),
+                    value: &e.value,
+                    inserted_at: e.inserted_at,
+                });
+            }
+        }
+        out
+    }
+
     /// Visit every monitored entry mutably (used by the 60 s dump step to
     /// harvest-and-reset feature state without touching the top-k list).
     /// The callback receives `(key, count, rate, inserted_at, value)` so
@@ -668,6 +707,41 @@ mod tests {
             v
         };
         assert_eq!(shape(&ss), shape(&back));
+    }
+
+    #[test]
+    fn restore_order_reproduces_eviction_choices() {
+        // Build a tracker whose min bucket holds several tied entries,
+        // round-trip it through iter_restore/restore_entry, and check
+        // the rebuilt tracker evicts the *same* victims under identical
+        // further traffic — byte-for-byte equal restore order.
+        let mut ss = Ss::new(4, 60.0);
+        for k in ["a", "b", "c", "d"] {
+            observe(&mut ss, k, 0.0); // all tied at count 1
+        }
+        observe(&mut ss, "a", 0.5); // a → 2, min bucket = {b,c,d}
+        let snap: Vec<(String, u64, u64, f64)> = ss
+            .iter_restore()
+            .iter()
+            .map(|e| (e.key.clone(), e.count, e.error, e.inserted_at))
+            .collect();
+        let mut back = Ss::new(4, 60.0);
+        for (k, c, err, at) in &snap {
+            assert!(back.restore_entry(k.clone(), *c, *err, *at, 0u32));
+        }
+        back.restore_totals(ss.observed(), ss.evictions());
+        // Identical churn: each new key must displace the same victim.
+        for (i, k) in ["x", "y", "z"].iter().enumerate() {
+            observe(&mut ss, k, 1.0 + i as f64);
+            observe(&mut back, k, 1.0 + i as f64);
+            let shape = |s: &Ss| -> Vec<(String, u64, u64, String)> {
+                s.iter_restore()
+                    .iter()
+                    .map(|e| (e.key.clone(), e.count, e.error, e.key.clone()))
+                    .collect()
+            };
+            assert_eq!(shape(&ss), shape(&back), "diverged after {k}");
+        }
     }
 
     #[test]

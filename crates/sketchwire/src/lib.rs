@@ -34,8 +34,8 @@ pub use aggregator::{
 pub use merge::{merge_chunks, merge_features, merge_topk};
 pub use record::{read_all, write_record, RecordReader, MAX_RECORD, RECORD_MAGIC, RECORD_VERSION};
 pub use state::{
-    FeatureState, HistogramState, HllState, StateError, TopKEntry, TopKState, TopValuesState,
-    WindowState,
+    FeatureState, GateState, HistogramState, HllState, StateError, TopKEntry, TopKState,
+    TopValuesState, WindowState,
 };
 
 #[cfg(test)]
@@ -94,6 +94,7 @@ mod tests {
                 chunk: 0,
                 chunks: 1,
                 entries,
+                gate: None,
             },
         }
     }

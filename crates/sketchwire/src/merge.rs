@@ -230,6 +230,9 @@ pub fn merge_topk(a: &TopKState, b: &TopKState) -> Result<TopKState, StateError>
         chunk: 0,
         chunks: 1,
         entries,
+        // A merge output is an aggregate of two trackers, not a live
+        // tracker: no single gate describes it, so it carries none.
+        gate: None,
     })
 }
 
@@ -261,6 +264,7 @@ pub fn merge_chunks(parts: &[TopKState]) -> Result<TopKState, StateError> {
             || p.kept != first.kept
             || p.dropped != first.dropped
             || p.filtered != first.filtered
+            || p.gate != first.gate
         {
             return Err(StateError::ChunkMismatch("header disagreement"));
         }

@@ -28,6 +28,10 @@ const MAX_HIST_BUCKETS: usize = 4096;
 /// Most per-feature sub-sketches of one kind (HLLs, top-value tables,
 /// histograms) a record may carry.
 const MAX_SKETCHES: usize = 64;
+/// Widest accepted admission-gate bloom filter (bits). The pipeline
+/// sizes gates at `4·k` expected items, so even a million-key tracker
+/// stays orders of magnitude under this.
+const MAX_GATE_BITS: u64 = 1 << 27;
 
 fn write_f64(v: f64, out: &mut Vec<u8>) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -410,7 +414,9 @@ pub struct TopKEntry {
 }
 
 impl TopKEntry {
-    fn encode(&self, out: &mut Vec<u8>) {
+    /// Encode into `out` (public so the pub/sub delta codec can frame
+    /// individual entries without re-stating the layout).
+    pub fn encode(&self, out: &mut Vec<u8>) {
         write_string(&self.key, out);
         write_varint(self.count, out);
         write_varint(self.error, out);
@@ -418,7 +424,8 @@ impl TopKEntry {
         self.features.encode(out);
     }
 
-    fn decode(r: &mut ByteReader<'_>) -> Result<TopKEntry, FeedError> {
+    /// Decode and validate one entry.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<TopKEntry, FeedError> {
         let key = read_string(r, MAX_KEY_BYTES, "topk key")?;
         let count = r.varint()?;
         let error = r.varint()?;
@@ -436,6 +443,93 @@ impl TopKEntry {
             error,
             inserted_at,
             features,
+        })
+    }
+}
+
+/// The Space-Saving admission-gate bloom filter, serialized bit-exact.
+///
+/// The gate decides whether an unmonitored key may displace a monitored
+/// one, so it is live tracker state: a resumed `--store DIR` run that
+/// rebuilt the gate empty would admit keys the original would have
+/// filtered, and its exports would diverge from an uncrashed run's.
+/// Hashing is deterministic (fixed xxh64 seeds), so carrying the raw
+/// words reproduces every future gate answer exactly. Merged states
+/// (cross-collector) drop the gate — a merge output is an aggregate,
+/// not a resumable live tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateState {
+    /// Bit-array width of the originating filter.
+    pub num_bits: u64,
+    /// Hash function count.
+    pub num_hashes: u32,
+    /// Items inserted since the last gate rotation.
+    pub inserted: u64,
+    /// The bit array, one little-endian word per 64 bits; exactly
+    /// `ceil(num_bits / 64)` words, unused tail bits zero.
+    pub words: Vec<u64>,
+}
+
+impl GateState {
+    /// Capture a live filter.
+    pub fn from_filter(f: &sketches::BloomFilter) -> GateState {
+        GateState {
+            num_bits: f.num_bits() as u64,
+            num_hashes: f.num_hashes(),
+            inserted: f.inserted(),
+            words: f.words().to_vec(),
+        }
+    }
+
+    /// Rebuild a live filter (state is pre-validated by `decode`).
+    pub fn to_filter(&self) -> Option<sketches::BloomFilter> {
+        sketches::BloomFilter::from_parts(
+            self.words.clone(),
+            self.num_bits as usize,
+            self.num_hashes,
+            self.inserted,
+        )
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.num_bits, out);
+        write_varint(self.num_hashes as u64, out);
+        write_varint(self.inserted, out);
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<GateState, FeedError> {
+        let num_bits = r.varint()?;
+        if num_bits == 0 || num_bits > MAX_GATE_BITS {
+            return Err(FeedError::Invalid("gate bit count out of range"));
+        }
+        let num_hashes = r.varint()?;
+        if num_hashes == 0 || num_hashes > 64 {
+            return Err(FeedError::Invalid("gate hash count out of range"));
+        }
+        let inserted = r.varint()?;
+        let n_words = (num_bits as usize).div_ceil(64);
+        let bytes = r.bytes(n_words * 8, "gate words")?;
+        let words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        // A real filter never sets a bit at index ≥ num_bits; a set tail
+        // bit is corruption, and rejecting it keeps decode canonical.
+        let tail = num_bits % 64;
+        if tail != 0 {
+            let last = words.last().copied().unwrap_or(0);
+            if last >> tail != 0 {
+                return Err(FeedError::Invalid("gate tail bits set"));
+            }
+        }
+        Ok(GateState {
+            num_bits,
+            num_hashes: num_hashes as u32,
+            inserted,
+            words,
         })
     }
 }
@@ -473,6 +567,11 @@ pub struct TopKState {
     pub chunks: u32,
     /// Tracked keys. Distinct; merge output is key-ascending.
     pub entries: Vec<TopKEntry>,
+    /// Admission-gate bloom state, present on gated tracker exports so a
+    /// `--store DIR` resume is exact even for saturated trackers. `None`
+    /// for ungated trackers and for merge outputs. Chunks of one source
+    /// all repeat the same gate (it is header state, like the counters).
+    pub gate: Option<GateState>,
 }
 
 impl TopKState {
@@ -525,6 +624,13 @@ impl TopKState {
         for e in &self.entries {
             e.encode(out);
         }
+        match &self.gate {
+            None => out.push(0),
+            Some(g) => {
+                out.push(1);
+                g.encode(out);
+            }
+        }
     }
 
     /// Decode and validate one tracker state.
@@ -563,6 +669,11 @@ impl TopKState {
         if keys.windows(2).any(|w| w[0] == w[1]) {
             return Err(FeedError::Invalid("duplicate topk key"));
         }
+        let gate = match r.u8("gate presence")? {
+            0 => None,
+            1 => Some(GateState::decode(r)?),
+            _ => return Err(FeedError::Invalid("gate presence flag")),
+        };
         Ok(TopKState {
             dataset,
             capacity,
@@ -576,6 +687,7 @@ impl TopKState {
             chunk: chunk as u32,
             chunks: chunks as u32,
             entries,
+            gate,
         })
     }
 }

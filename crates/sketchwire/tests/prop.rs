@@ -155,6 +155,7 @@ prop_compose! {
             chunk: 0,
             chunks: 1,
             entries,
+            gate: None,
         }
     }
 }

@@ -42,7 +42,7 @@ pub use compact::{compact, compact_with, CompactionPolicy, CompactionReport, Cra
 pub use manifest::{Manifest, SegmentMeta};
 pub use query::{fold_states, HistoryPoint, QueryStats, WindowGroup};
 pub use segment::{SegmentFooter, SEGMENT_MAGIC, SEGMENT_VERSION};
-pub use store::{RecoveryReport, Store};
+pub use store::{ExpiryReport, RecoveryReport, Store};
 
 use std::fmt;
 

@@ -374,6 +374,7 @@ mod tests {
                 chunk: 0,
                 chunks: 1,
                 entries,
+                gate: None,
             },
         }
     }

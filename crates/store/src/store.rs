@@ -55,6 +55,7 @@ pub(crate) struct StoreMetrics {
     pub(crate) compaction_inputs: Counter,
     pub(crate) recovery_tmp: Counter,
     pub(crate) recovery_orphans: Counter,
+    pub(crate) expired_segments: Counter,
 }
 
 impl StoreMetrics {
@@ -67,7 +68,31 @@ impl StoreMetrics {
             compaction_inputs: registry.counter("store_compaction_input_segments_total"),
             recovery_tmp: registry.counter("store_recovery_tmp_removed_total"),
             recovery_orphans: registry.counter("store_recovery_orphans_removed_total"),
+            expired_segments: registry.counter("store_expired_segments_total"),
         }
+    }
+}
+
+/// What one retention pass removed. Expiry is segment-granular: only
+/// segments *wholly* past the horizon are dropped, so a window is never
+/// partially forgotten.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpiryReport {
+    /// The horizon applied (µs): segments with `end_us < horizon` go.
+    pub horizon_us: u64,
+    /// Manifest rows of the segments removed, in manifest order.
+    pub expired: Vec<SegmentMeta>,
+}
+
+impl ExpiryReport {
+    /// Windows covered by the expired segments.
+    pub fn windows(&self) -> u64 {
+        self.expired.iter().map(|s| s.windows as u64).sum()
+    }
+
+    /// Records covered by the expired segments.
+    pub fn records(&self) -> u64 {
+        self.expired.iter().map(|s| s.records as u64).sum()
     }
 }
 
@@ -226,6 +251,53 @@ impl Store {
         }
         self.trace_event(TraceKind::Seal, meta.start_us, meta.records as u64);
         Ok(meta)
+    }
+
+    /// Drop every segment wholly before `horizon_us` (retention). The
+    /// manifest swap is the commit point, exactly as for appends: the
+    /// shrunk manifest lands first, then the dead segment files are
+    /// unlinked. A crash in between leaves unreferenced `.seg` files,
+    /// which the next [`Store::open`] sweeps and ledgers in its
+    /// [`RecoveryReport`] — the deletion is never silent either way.
+    pub fn expire_before(&mut self, horizon_us: u64) -> Result<ExpiryReport, StoreError> {
+        self.expire_before_with(horizon_us, &mut CrashFs::durable())
+    }
+
+    /// [`Store::expire_before`] with filesystem mutations routed through
+    /// `fs`, so the chaos suite can crash the retention pass mid-flight.
+    pub fn expire_before_with(
+        &mut self,
+        horizon_us: u64,
+        fs: &mut CrashFs,
+    ) -> Result<ExpiryReport, StoreError> {
+        let expired: Vec<SegmentMeta> = self
+            .manifest
+            .segments
+            .iter()
+            .filter(|s| s.end_us < horizon_us)
+            .cloned()
+            .collect();
+        if expired.is_empty() {
+            return Ok(ExpiryReport {
+                horizon_us,
+                expired,
+            });
+        }
+        let mut next = self.manifest.clone();
+        next.generation += 1;
+        next.segments.retain(|s| s.end_us >= horizon_us);
+        self.swap_manifest(next, fs)?;
+        for meta in &expired {
+            fs.remove(&self.dir.join(&meta.name))?;
+            self.trace_event(TraceKind::Drop, meta.start_us, meta.records as u64);
+        }
+        if let Some(m) = &self.metrics {
+            m.expired_segments.inc(expired.len() as u64);
+        }
+        Ok(ExpiryReport {
+            horizon_us,
+            expired,
+        })
     }
 
     /// Write one segment (temp + rename) and return its manifest row.

@@ -92,6 +92,7 @@ impl MiniSynth {
                             ),
                         })
                         .collect(),
+                    gate: None,
                 },
             })
             .collect()

@@ -296,3 +296,103 @@ fn query_history_topk_and_stats() {
         fold_states(&raw).expect("raw fold"),
     );
 }
+
+#[test]
+fn expire_drops_whole_segments_behind_the_horizon() {
+    let dir = temp_store("expire");
+    let (mut store, _) = Store::open(&dir).expect("open");
+    let mut synth = MiniSynth::new(&["esld"], 4);
+    for _ in 0..8 {
+        let states = synth.next_window();
+        store.append(&states).expect("append");
+    }
+    let frontier = store.frontier_us().expect("nonempty");
+    let gen_before = store.generation();
+
+    // A horizon before everything is a no-op — and must not burn a
+    // manifest generation.
+    let report = store.expire_before(0).expect("noop expiry");
+    assert!(report.expired.is_empty());
+    assert_eq!(store.generation(), gen_before);
+
+    // Retain the last three windows (end_us >= horizon is live, strict
+    // `<` expires): segments wholly before the horizon go; the frontier
+    // (and the resume window) survive.
+    let horizon = frontier - 2 * (WINDOW_SECS as u64) * 1_000_000;
+    let report = store.expire_before(horizon).expect("expiry");
+    assert_eq!(report.horizon_us, horizon);
+    assert_eq!(report.expired.len(), 5, "five single-window segments");
+    assert!(report.windows() == 5 && report.records() > 0);
+    assert!(store.segments().iter().all(|s| s.end_us >= horizon));
+    assert_eq!(store.frontier_us(), Some(frontier));
+
+    // Expired files are really gone from disk, and a reopen is clean:
+    // nothing to sweep, nothing missing.
+    for meta in &report.expired {
+        assert!(!dir.join(&meta.name).exists(), "{} survived", meta.name);
+    }
+    drop(store);
+    let (reopened, recovery) = Store::open(&dir).expect("reopen");
+    assert!(recovery.is_clean());
+    assert_eq!(reopened.segments().len(), 3);
+    assert_eq!(reopened.frontier_us(), Some(frontier));
+}
+
+#[test]
+fn expire_crash_at_every_op_never_loses_live_windows() {
+    // Build a reference store, expire it cleanly, then re-run the same
+    // expiry crashing at every filesystem op. After recovery the live
+    // fold must equal the reference's: the manifest swap is the commit
+    // point, and a crash mid-unlink only leaves ledgered orphans.
+    let build = |tag: &str| {
+        let dir = temp_store(tag);
+        let (mut store, _) = Store::open(&dir).expect("open");
+        let mut synth = MiniSynth::new(&["esld", "srvip"], 3);
+        for _ in 0..6 {
+            let states = synth.next_window();
+            store.append(&states).expect("append");
+        }
+        store
+    };
+    let mut reference = build("expire-crash-ref");
+    let frontier = reference.frontier_us().expect("nonempty");
+    let horizon = frontier - 2 * (WINDOW_SECS as u64) * 1_000_000;
+    let mut durable = CrashFs::durable();
+    reference
+        .expire_before_with(horizon, &mut durable)
+        .expect("reference expiry");
+    let total_ops = durable.ops();
+    assert!(total_ops >= 3, "manifest swap plus unlinks");
+    let reference_fold = fold_states(&all_states(&reference)).expect("reference fold");
+
+    for op in 0..total_ops {
+        let mut victim = build(&format!("expire-crash-{op}"));
+        let mut fs = CrashFs::with_plan(CrashPlan {
+            crash_at_op: op,
+            partial_millis: 500,
+        });
+        let err = victim
+            .expire_before_with(horizon, &mut fs)
+            .expect_err("every op index inside the run must crash");
+        assert!(matches!(err, StoreError::Crashed));
+        let dir = victim.dir().to_path_buf();
+        drop(victim);
+        let (recovered, report) = Store::open(&dir).expect("recovery always opens");
+        assert_eq!(recovered.frontier_us(), Some(frontier));
+        if op < 2 {
+            // Crashed before the manifest commit: nothing expired yet.
+            // A partial MANIFEST.tmp may be swept (ledgered), but no
+            // segment is orphaned and every window is still live.
+            assert!(
+                report.removed_orphans.is_empty(),
+                "crash op {op}: {report:?}"
+            );
+            assert_eq!(recovered.segments().len(), 6, "crash op {op}");
+        }
+        // Re-running the expiry converges to the reference state.
+        let (mut recovered, _) = Store::open(&dir).expect("reopen");
+        recovered.expire_before(horizon).expect("resume expiry");
+        let fold = fold_states(&all_states(&recovered)).expect("recovered fold");
+        assert_eq!(fold, reference_fold, "crash op {op} diverged");
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Throughput smoke check: fail if the pipeline's tx/s (BENCH_pipeline.json),
 # the feed transport's loopback tx/s (BENCH_feed.json), the federated
-# aggregator's merge records/s (BENCH_aggregate.json), or the historical
-# store's query rate over three months of windows (BENCH_store.json)
+# aggregator's merge records/s (BENCH_aggregate.json), the historical
+# store's query rate over three months of windows (BENCH_store.json), or
+# the subscription broker's fanout frames/s (BENCH_pubsub.json)
 # regressed more than 20 % against the committed baselines. The store
 # bench also hard-fails if any query shape exceeds its 100 ms budget.
 #
@@ -153,6 +154,40 @@ awk -v cur="$store_cur" -v base="$store_base" 'BEGIN {
     printf "bench-smoke: OK — store queries within 20%% of baseline (floor %.1f queries/s)\n", floor;
 }'
 
+PUBSUB_BASELINE=BENCH_pubsub.json
+if [ ! -f "$PUBSUB_BASELINE" ]; then
+    echo "bench-smoke: no $PUBSUB_BASELINE baseline; generate one with:" >&2
+    echo "  cargo run --release -p bench --bin subscribe_fanout" >&2
+    exit 2
+fi
+
+pubsub_base=$(sed -n 's/.*"pubsub_smoke_fanout_frames_per_sec": *\([0-9][0-9.]*\).*/\1/p' "$PUBSUB_BASELINE" | head -n1)
+if [ -z "$pubsub_base" ]; then
+    echo "bench-smoke: $PUBSUB_BASELINE lacks a pubsub_smoke_fanout_frames_per_sec field" >&2
+    exit 2
+fi
+
+echo "bench-smoke: building release pubsub fanout bench binary..."
+cargo build --release -q -p bench --bin subscribe_fanout
+
+pubsub_out=$(./target/release/subscribe_fanout --smoke)
+pubsub_cur=$(printf '%s\n' "$pubsub_out" | sed -n 's/^pubsub_smoke_fanout_frames_per_sec=\([0-9][0-9.]*\)$/\1/p' | head -n1)
+if [ -z "$pubsub_cur" ]; then
+    echo "bench-smoke: could not parse pubsub fanout smoke output:" >&2
+    printf '%s\n' "$pubsub_out" >&2
+    exit 2
+fi
+
+echo "bench-smoke: pubsub fanout baseline ${pubsub_base} frames/s, current ${pubsub_cur} frames/s"
+awk -v cur="$pubsub_cur" -v base="$pubsub_base" 'BEGIN {
+    floor = 0.8 * base;
+    if (cur < floor) {
+        printf "bench-smoke: FAIL — pubsub fanout %.0f frames/s is below the 20%% floor (%.0f frames/s)\n", cur, floor;
+        exit 1;
+    }
+    printf "bench-smoke: OK — pubsub fanout within 20%% of baseline (floor %.0f frames/s)\n", floor;
+}'
+
 # Tracing-tax gate: the pipeline with a flight recorder attached must
 # stay within 5 % of the untraced run. Absolute tx/s drifts with
 # hardware; the on/off ratio on the same machine should not.
@@ -210,6 +245,6 @@ fi
 HISTORY=BENCH_history.jsonl
 timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
-printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s,"aggregate_smoke_records_per_sec":%s,"store_smoke_queries_per_sec":%s,"trace_overhead_ratio":%s}\n' \
-    "$timestamp" "$commit" "$cur" "$feed_cur" "$agg_cur" "$store_cur" "$trace_ratio" >> "$HISTORY"
+printf '{"timestamp":"%s","commit":"%s","smoke_tx_per_sec":%s,"feed_smoke_tx_per_sec":%s,"aggregate_smoke_records_per_sec":%s,"store_smoke_queries_per_sec":%s,"pubsub_smoke_fanout_frames_per_sec":%s,"trace_overhead_ratio":%s}\n' \
+    "$timestamp" "$commit" "$cur" "$feed_cur" "$agg_cur" "$store_cur" "$pubsub_cur" "$trace_ratio" >> "$HISTORY"
 echo "bench-smoke: appended run to $HISTORY"
